@@ -1,0 +1,239 @@
+//! Exact (or near-exact) reference optima for special instance families.
+//!
+//! The approximation-quality experiment (E8) needs ground truth. Three
+//! families admit it:
+//!
+//! * **Diagonal** instances — positive LPs; solved exactly by simplex.
+//! * **Simultaneously diagonalizable** families — rotate to the common
+//!   eigenbasis, where the instance is diagonal, and solve the LP.
+//! * **`n ≤ 2` general** instances — the feasible set is 2-dimensional;
+//!   parametrize rays `x = r(cos θ, sin θ)` and maximize
+//!   `r(θ)(cos θ + sin θ)` with `r(θ) = 1/λmax(cos θ·A₁ + sin θ·A₂)` by a
+//!   dense grid plus golden-section refinement.
+
+use crate::simplex::{packing_lp_opt, LpResult};
+use psdp_core::{PackingInstance, PsdpError};
+use psdp_linalg::{matmul, sym_eigen, Mat};
+use psdp_sparse::PsdMatrix;
+
+/// Exact packing optimum of a diagonal instance (positive LP), via simplex.
+///
+/// # Errors
+/// [`PsdpError::InvalidInstance`] if any constraint is not diagonal.
+pub fn exact_diagonal_opt(inst: &PackingInstance) -> Result<f64, PsdpError> {
+    let mut cols = Vec::with_capacity(inst.n());
+    for (i, a) in inst.mats().iter().enumerate() {
+        match a {
+            PsdMatrix::Diagonal(d) => cols.push(d.clone()),
+            _ => {
+                return Err(PsdpError::InvalidInstance(format!(
+                    "constraint {i} is not diagonal"
+                )))
+            }
+        }
+    }
+    match packing_lp_opt(&cols) {
+        LpResult::Optimal { value, .. } => Ok(value),
+        LpResult::Unbounded => {
+            Err(PsdpError::InvalidInstance("diagonal LP unbounded (zero column)".into()))
+        }
+    }
+}
+
+/// Exact packing optimum of a simultaneously diagonalizable family: rotate
+/// by the supplied common eigenbasis `u` (orthogonal, columns = basis) and
+/// solve the diagonal LP over the eigenvalues.
+///
+/// # Errors
+/// [`PsdpError::InvalidInstance`] if rotation does not diagonalize some
+/// constraint (off-diagonal residual above `1e-8`).
+pub fn exact_commuting_opt(inst: &PackingInstance, u: &Mat) -> Result<f64, PsdpError> {
+    let m = inst.dim();
+    let mut cols = Vec::with_capacity(inst.n());
+    for (i, a) in inst.mats().iter().enumerate() {
+        let rotated = matmul(&matmul(&u.transpose(), &a.to_dense()), u);
+        let mut diag = vec![0.0; m];
+        let mut off = 0.0_f64;
+        for r in 0..m {
+            for c in 0..m {
+                if r == c {
+                    diag[r] = rotated[(r, c)].max(0.0);
+                } else {
+                    off = off.max(rotated[(r, c)].abs());
+                }
+            }
+        }
+        if off > 1e-8 * rotated.max_abs().max(1.0) {
+            return Err(PsdpError::InvalidInstance(format!(
+                "constraint {i} not diagonalized by the supplied basis (residual {off:.2e})"
+            )));
+        }
+        cols.push(diag);
+    }
+    match packing_lp_opt(&cols) {
+        LpResult::Optimal { value, .. } => Ok(value),
+        LpResult::Unbounded => Err(PsdpError::InvalidInstance("rotated LP unbounded".into())),
+    }
+}
+
+/// Near-exact packing optimum for `n ≤ 2` general instances (grid + golden
+/// section; relative error ≲ 1e-6 on smooth instances).
+///
+/// # Errors
+/// [`PsdpError::InvalidInstance`] for `n > 2`.
+pub fn exact_small_opt(inst: &PackingInstance) -> Result<f64, PsdpError> {
+    match inst.n() {
+        1 => {
+            let lam = sym_eigen(&inst.mats()[0].to_dense())?.lambda_max();
+            Ok(1.0 / lam)
+        }
+        2 => {
+            let a1 = inst.mats()[0].to_dense();
+            let a2 = inst.mats()[1].to_dense();
+            let value = |theta: f64| -> f64 {
+                let (c, s) = (theta.cos(), theta.sin());
+                let mut mix = a1.scaled(c);
+                mix.axpy(s, &a2);
+                mix.symmetrize();
+                let lam = sym_eigen(&mix).map(|e| e.lambda_max()).unwrap_or(f64::INFINITY);
+                if lam <= 0.0 {
+                    return 0.0;
+                }
+                (c + s) / lam
+            };
+            // Dense grid over [0, π/2], then golden-section refine around
+            // the best cell.
+            let grid: usize = 512;
+            let half_pi = std::f64::consts::FRAC_PI_2;
+            let mut best_k = 0;
+            let mut best_v = f64::NEG_INFINITY;
+            for k in 0..=grid {
+                let v = value(half_pi * k as f64 / grid as f64);
+                if v > best_v {
+                    best_v = v;
+                    best_k = k;
+                }
+            }
+            let mut lo = half_pi * best_k.saturating_sub(1) as f64 / grid as f64;
+            let mut hi = half_pi * (best_k + 1).min(grid) as f64 / grid as f64;
+            let phi = (5.0_f64.sqrt() - 1.0) / 2.0;
+            for _ in 0..80 {
+                let m1 = hi - phi * (hi - lo);
+                let m2 = lo + phi * (hi - lo);
+                if value(m1) < value(m2) {
+                    lo = m1;
+                } else {
+                    hi = m2;
+                }
+            }
+            Ok(value(0.5 * (lo + hi)).max(best_v))
+        }
+        n => Err(PsdpError::InvalidInstance(format!("exact_small_opt supports n ≤ 2, got {n}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(d: &[f64]) -> PsdMatrix {
+        PsdMatrix::Diagonal(d.to_vec())
+    }
+
+    #[test]
+    fn diagonal_exact_matches_hand_calc() {
+        let inst =
+            PackingInstance::new(vec![diag(&[2.0, 0.0]), diag(&[0.0, 4.0])]).unwrap();
+        let v = exact_diagonal_opt(&inst).unwrap();
+        assert!((v - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diagonal_exact_rejects_dense() {
+        let inst = PackingInstance::new(vec![PsdMatrix::Dense(Mat::identity(2))]).unwrap();
+        assert!(exact_diagonal_opt(&inst).is_err());
+    }
+
+    #[test]
+    fn single_constraint_inverse_lambda_max() {
+        let mut a = Mat::zeros(3, 3);
+        a.rank1_update(2.0, &[1.0, 1.0, 0.0]); // λmax = 4
+        let inst = PackingInstance::new(vec![PsdMatrix::Dense(a)]).unwrap();
+        let v = exact_small_opt(&inst).unwrap();
+        assert!((v - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_orthogonal_projectors() {
+        // A₁ = e₁e₁ᵀ, A₂ = e₂e₂ᵀ: OPT = 2 (x = (1,1)).
+        let mut a1 = Mat::zeros(2, 2);
+        a1.rank1_update(1.0, &[1.0, 0.0]);
+        let mut a2 = Mat::zeros(2, 2);
+        a2.rank1_update(1.0, &[0.0, 1.0]);
+        let inst =
+            PackingInstance::new(vec![PsdMatrix::Dense(a1), PsdMatrix::Dense(a2)]).unwrap();
+        let v = exact_small_opt(&inst).unwrap();
+        assert!((v - 2.0).abs() < 1e-4, "got {v}");
+    }
+
+    #[test]
+    fn two_identical_matrices() {
+        // A₁ = A₂ = I: OPT = 1 (x₁+x₂ = 1).
+        let inst = PackingInstance::new(vec![
+            PsdMatrix::Dense(Mat::identity(2)),
+            PsdMatrix::Dense(Mat::identity(2)),
+        ])
+        .unwrap();
+        let v = exact_small_opt(&inst).unwrap();
+        assert!((v - 1.0).abs() < 1e-6, "got {v}");
+    }
+
+    #[test]
+    fn small_opt_agrees_with_diagonal_lp() {
+        // Cross-check the geometric method against simplex on a diagonal
+        // 2-constraint instance.
+        let d1 = vec![1.0, 0.4, 0.1];
+        let d2 = vec![0.2, 0.9, 0.5];
+        let inst = PackingInstance::new(vec![diag(&d1), diag(&d2)]).unwrap();
+        let geo = exact_small_opt(&inst).unwrap();
+        let lp = exact_diagonal_opt(&inst).unwrap();
+        assert!((geo - lp).abs() < 1e-5, "geometric {geo} vs simplex {lp}");
+    }
+
+    #[test]
+    fn commuting_family_via_rotation() {
+        // Build commuting matrices from a shared basis, check against the
+        // eigenvalue LP.
+        let u = psdp_linalg::orthonormalize(&Mat::from_rows(&[
+            &[1.0, 1.0],
+            &[1.0, -1.0],
+        ]));
+        let lam1 = [2.0, 0.5];
+        let lam2 = [0.3, 1.5];
+        let mk = |lams: &[f64; 2]| {
+            let d = Mat::from_diag(lams);
+            let mut a = matmul(&matmul(&u, &d), &u.transpose());
+            a.symmetrize();
+            PsdMatrix::Dense(a)
+        };
+        let inst = PackingInstance::new(vec![mk(&lam1), mk(&lam2)]).unwrap();
+        let v = exact_commuting_opt(&inst, &u).unwrap();
+        let lp = match packing_lp_opt(&[lam1.to_vec(), lam2.to_vec()]) {
+            LpResult::Optimal { value, .. } => value,
+            _ => panic!(),
+        };
+        assert!((v - lp).abs() < 1e-9);
+        // Also agrees with the geometric 2-constraint method.
+        let geo = exact_small_opt(&inst).unwrap();
+        assert!((v - geo).abs() < 1e-5, "{v} vs {geo}");
+    }
+
+    #[test]
+    fn commuting_rejects_wrong_basis() {
+        let mut a1 = Mat::zeros(2, 2);
+        a1.rank1_update(1.0, &[1.0, 0.5]);
+        let inst = PackingInstance::new(vec![PsdMatrix::Dense(a1)]).unwrap();
+        let u = Mat::identity(2);
+        assert!(exact_commuting_opt(&inst, &u).is_err());
+    }
+}

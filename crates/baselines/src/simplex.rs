@@ -1,0 +1,232 @@
+//! Dense tableau simplex for small LPs — the *exact* reference solver.
+//!
+//! Diagonal positive SDPs are positive LPs, and positive packing LPs are
+//! exactly `max cᵀx` s.t. `Ax ≤ b`, `x ≥ 0` with nonnegative data — the form
+//! this solver handles (all-slack initial basis is feasible since `b ≥ 0`).
+//! The cross-validation experiment (E8) checks the approximate SDP solver's
+//! `(1+ε)` bracket against these exact optima.
+//!
+//! Bland's rule is used for anti-cycling; sizes here are tiny (tens of
+//! variables), so the O(mn) per-pivot cost is irrelevant.
+
+/// Outcome of a simplex solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpResult {
+    /// Optimal solution found: `(x, value)`.
+    Optimal {
+        /// Optimal variable values.
+        x: Vec<f64>,
+        /// Optimal objective value `cᵀx`.
+        value: f64,
+    },
+    /// The LP is unbounded above.
+    Unbounded,
+}
+
+/// Pivot tolerance: entries smaller than this are treated as zero.
+const TOL: f64 = 1e-10;
+
+/// Solve `max cᵀx` subject to `Ax ≤ b`, `x ≥ 0` with `b ≥ 0`.
+///
+/// `a` is row-major, `m × n` (`m = b.len()`, `n = c.len()`).
+///
+/// # Panics
+/// Panics on shape mismatch or a negative entry in `b` (the all-slack basis
+/// would be infeasible; positive packing LPs always have `b ≥ 0`).
+pub fn simplex_max(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> LpResult {
+    let m = b.len();
+    let n = c.len();
+    assert_eq!(a.len(), m, "A row count");
+    for row in a {
+        assert_eq!(row.len(), n, "A column count");
+    }
+    assert!(b.iter().all(|&v| v >= 0.0), "need b >= 0 for the slack basis");
+
+    // Tableau: m constraint rows + 1 objective row; n vars + m slacks + rhs.
+    let width = n + m + 1;
+    let mut t = vec![vec![0.0_f64; width]; m + 1];
+    for (r, row) in a.iter().enumerate() {
+        t[r][..n].copy_from_slice(row);
+        t[r][n + r] = 1.0;
+        t[r][width - 1] = b[r];
+    }
+    for (j, &cj) in c.iter().enumerate() {
+        t[m][j] = -cj;
+    }
+
+    let mut basis: Vec<usize> = (n..n + m).collect();
+
+    // Bland's rule: smallest-index entering column with negative reduced
+    // cost; smallest-index leaving row on ties. Guarantees termination.
+    loop {
+        let Some(enter) = (0..n + m).find(|&j| t[m][j] < -TOL) else {
+            break; // optimal
+        };
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for (r, row) in t.iter().enumerate().take(m) {
+            if row[enter] > TOL {
+                let ratio = row[width - 1] / row[enter];
+                if ratio < best_ratio - TOL
+                    || (ratio < best_ratio + TOL
+                        && leave.is_some_and(|l| basis[r] < basis[l]))
+                {
+                    best_ratio = ratio;
+                    leave = Some(r);
+                }
+            }
+        }
+        let Some(lr) = leave else {
+            return LpResult::Unbounded;
+        };
+
+        // Pivot on (lr, enter).
+        let piv = t[lr][enter];
+        for v in &mut t[lr] {
+            *v /= piv;
+        }
+        for r in 0..=m {
+            if r != lr && t[r][enter].abs() > TOL {
+                let factor = t[r][enter];
+                for j in 0..width {
+                    t[r][j] -= factor * t[lr][j];
+                }
+            }
+        }
+        basis[lr] = enter;
+    }
+
+    let mut x = vec![0.0; n];
+    for (r, &bv) in basis.iter().enumerate() {
+        if bv < n {
+            x[bv] = t[r][width - 1].max(0.0);
+        }
+    }
+    let value = t[m][width - 1];
+    LpResult::Optimal { x, value }
+}
+
+/// Exact optimum of the positive packing LP `max 1ᵀx` s.t. `Dx ≤ 1`, `x ≥ 0`
+/// where column `i` of `D` is `diag_cols[i]` (the diagonal of the `i`-th
+/// constraint matrix). This is the diagonal positive SDP's exact value.
+///
+/// # Panics
+/// Panics if columns have inconsistent lengths.
+pub fn packing_lp_opt(diag_cols: &[Vec<f64>]) -> LpResult {
+    let n = diag_cols.len();
+    assert!(n > 0, "need at least one column");
+    let m = diag_cols[0].len();
+    let mut a = vec![vec![0.0; n]; m];
+    for (i, col) in diag_cols.iter().enumerate() {
+        assert_eq!(col.len(), m, "ragged diagonal columns");
+        for (j, &v) in col.iter().enumerate() {
+            assert!(v >= 0.0, "positive LP needs nonnegative data");
+            a[j][i] = v;
+        }
+    }
+    let b = vec![1.0; m];
+    let c = vec![1.0; n];
+    simplex_max(&a, &b, &c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opt(r: LpResult) -> (Vec<f64>, f64) {
+        match r {
+            LpResult::Optimal { x, value } => (x, value),
+            LpResult::Unbounded => panic!("unexpected unbounded"),
+        }
+    }
+
+    #[test]
+    fn textbook_2d() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → opt 36 at (2, 6).
+        let a = vec![vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]];
+        let (x, v) = opt(simplex_max(&a, &[4.0, 12.0, 18.0], &[3.0, 5.0]));
+        assert!((v - 36.0).abs() < 1e-9);
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binding_single_constraint() {
+        // max x + y s.t. x + y ≤ 1 → value 1.
+        let (_, v) = opt(simplex_max(&[vec![1.0, 1.0]], &[1.0], &[1.0, 1.0]));
+        assert!((v - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // max x with no constraint on x beyond y ≤ 1.
+        let r = simplex_max(&[vec![0.0, 1.0]], &[1.0], &[1.0, 0.0]);
+        assert_eq!(r, LpResult::Unbounded);
+    }
+
+    #[test]
+    fn zero_objective() {
+        let (x, v) = opt(simplex_max(&[vec![1.0]], &[5.0], &[0.0]));
+        assert_eq!(v, 0.0);
+        assert_eq!(x, vec![0.0]);
+    }
+
+    #[test]
+    fn degenerate_rhs_zero() {
+        // x ≤ 0 forces x = 0 even though it is profitable.
+        let (x, v) = opt(simplex_max(&[vec![1.0]], &[0.0], &[1.0]));
+        assert!(v.abs() < 1e-12);
+        assert!(x[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn packing_lp_orthogonal_columns() {
+        // D columns diag(2,0) and diag(0,4): OPT = 1/2 + 1/4.
+        let r = packing_lp_opt(&[vec![2.0, 0.0], vec![0.0, 4.0]]);
+        let (_, v) = opt(r);
+        assert!((v - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn packing_lp_shared_row() {
+        // Both columns load the same row: x1 + x2 ≤ 1 → OPT = 1.
+        let r = packing_lp_opt(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        let (_, v) = opt(r);
+        assert!((v - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn packing_lp_feasibility_of_solution() {
+        let cols = vec![vec![1.0, 0.5, 0.0], vec![0.2, 0.9, 0.3], vec![0.0, 0.1, 1.0]];
+        let (x, v) = opt(packing_lp_opt(&cols));
+        assert!(v > 0.0);
+        // Check Dx ≤ 1 row-wise.
+        for j in 0..3 {
+            let s: f64 = (0..3).map(|i| cols[i][j] * x[i]).sum();
+            assert!(s <= 1.0 + 1e-9, "row {j}: {s}");
+        }
+    }
+
+    #[test]
+    fn larger_random_lp_matches_greedy_bound() {
+        // Deterministic pseudo-random LP; simplex value must be ≥ any
+        // feasible hand-rolled solution and satisfy all constraints.
+        let n = 6;
+        let m = 5;
+        let a: Vec<Vec<f64>> = (0..m)
+            .map(|j| (0..n).map(|i| ((i * 7 + j * 11) % 5) as f64 * 0.25).collect())
+            .collect();
+        let b = vec![1.0; m];
+        let c = vec![1.0; n];
+        let (x, v) = opt(simplex_max(&a, &b, &c));
+        for j in 0..m {
+            let s: f64 = (0..n).map(|i| a[j][i] * x[i]).sum();
+            assert!(s <= 1.0 + 1e-8);
+        }
+        // Uniform scaling heuristic is feasible; simplex must beat it.
+        let row_sums: Vec<f64> = (0..m).map(|j| a[j].iter().sum()).collect();
+        let worst = row_sums.iter().fold(0.0_f64, |acc, &s| acc.max(s));
+        let heuristic = n as f64 / worst;
+        assert!(v >= heuristic - 1e-9, "simplex {v} < heuristic {heuristic}");
+    }
+}

@@ -1,0 +1,45 @@
+//! E10 wall-clock counterpart: engine and update-rule ablations on one
+//! fixed instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psdp_core::{decision_psdp, DecisionOptions, EngineKind, PackingInstance, UpdateRule};
+use psdp_workloads::{random_factorized, RandomFactorized};
+
+fn bench_ablations(c: &mut Criterion) {
+    let mats = random_factorized(&RandomFactorized {
+        dim: 14,
+        n: 10,
+        rank: 2,
+        nnz_per_col: 4,
+        width: 2.0,
+        seed: 31,
+    });
+    let inst = PackingInstance::new(mats).unwrap().scaled(0.4);
+
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    for (name, kind) in [
+        ("exact", EngineKind::Exact),
+        ("taylor", EngineKind::Taylor { eps: 0.1 }),
+        ("taylor_jl", EngineKind::TaylorJl { eps: 0.2, sketch_const: 4.0 }),
+    ] {
+        let opts = DecisionOptions::practical(0.2).with_engine(kind);
+        g.bench_function(format!("engine_{name}"), |b| {
+            b.iter(|| decision_psdp(&inst, &opts).unwrap())
+        });
+    }
+    for (name, rule) in [
+        ("standard", UpdateRule::Standard),
+        ("bucketed", UpdateRule::Bucketed { boost: 4.0 }),
+        ("stale8", UpdateRule::Stale { period: 8 }),
+    ] {
+        let opts = DecisionOptions::practical(0.2).with_rule(rule);
+        g.bench_function(format!("rule_{name}"), |b| {
+            b.iter(|| decision_psdp(&inst, &opts).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

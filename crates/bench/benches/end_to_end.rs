@@ -1,0 +1,25 @@
+//! E8 wall-clock counterpart: approxPSDP end to end on two instance
+//! families.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psdp_core::{solve_covering, solve_packing, ApproxOptions, PackingInstance};
+use psdp_workloads::{beamforming_sdp, random_lp_diagonal, Beamforming};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("approx_psdp");
+    g.sample_size(10);
+
+    let inst = PackingInstance::new(random_lp_diagonal(8, 6, 0.6, 1)).unwrap();
+    g.bench_function("diagonal_m8_n6", |b| {
+        b.iter(|| solve_packing(&inst, &ApproxOptions::practical(0.1)).unwrap())
+    });
+
+    let sdp = beamforming_sdp(&Beamforming::default());
+    g.bench_function("beamforming_m16_n6", |b| {
+        b.iter(|| solve_covering(&sdp, &ApproxOptions::practical(0.1)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

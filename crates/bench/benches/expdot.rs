@@ -1,0 +1,49 @@
+//! E4 wall-clock counterpart: the three exp(Phi).A engines on a fixed
+//! constraint set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psdp_expdot::{Engine, EngineKind};
+use psdp_linalg::{sym_eigen, Mat};
+use psdp_sparse::PsdMatrix;
+use psdp_workloads::{random_factorized, RandomFactorized};
+
+fn fixture(m: usize) -> (Mat, Vec<PsdMatrix>) {
+    let mats = random_factorized(&RandomFactorized {
+        dim: m,
+        n: 8,
+        rank: 2,
+        nnz_per_col: 4,
+        width: 1.0,
+        seed: 3,
+    });
+    let mut phi = Mat::zeros(m, m);
+    for a in &mats {
+        a.add_scaled_into(&mut phi, 0.3);
+    }
+    phi.symmetrize();
+    let lam = sym_eigen(&phi).unwrap().lambda_max();
+    phi.scale(4.0 / lam);
+    (phi, mats)
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("expdot");
+    g.sample_size(20);
+    for m in [16usize, 48] {
+        let (phi, mats) = fixture(m);
+        for kind in [
+            EngineKind::Exact,
+            EngineKind::Taylor { eps: 0.1 },
+            EngineKind::TaylorJl { eps: 0.25, sketch_const: 2.0 },
+        ] {
+            let eng = Engine::new(kind, &mats, 0).unwrap();
+            g.bench_function(format!("{}_m{m}", kind.name()), |b| {
+                b.iter(|| eng.compute(&phi, 4.0, &mats, 1).unwrap())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

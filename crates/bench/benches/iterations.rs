@@ -1,0 +1,41 @@
+//! Criterion timing for the decision procedure across n (E1/E2 wall-clock
+//! counterpart).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psdp_core::{decision_psdp, DecisionOptions, PackingInstance};
+use psdp_workloads::{random_factorized, RandomFactorized};
+
+fn instance(n: usize) -> PackingInstance {
+    let mats = random_factorized(&RandomFactorized {
+        dim: 10,
+        n,
+        rank: 2,
+        nnz_per_col: 3,
+        width: 1.0,
+        seed: 42,
+    });
+    PackingInstance::new(mats).unwrap().scaled(0.4)
+}
+
+fn bench_iterations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decision_psdp");
+    g.sample_size(10);
+    for n in [4usize, 16, 64] {
+        let inst = instance(n);
+        g.bench_with_input(BenchmarkId::new("practical_eps0.25", n), &inst, |b, inst| {
+            b.iter(|| decision_psdp(inst, &DecisionOptions::practical(0.25)).unwrap())
+        });
+    }
+    for eps in [0.5, 0.25] {
+        let inst = instance(16);
+        g.bench_with_input(
+            BenchmarkId::new("strict_n16", format!("eps{eps}")),
+            &inst,
+            |b, inst| b.iter(|| decision_psdp(inst, &DecisionOptions::strict(eps)).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_iterations);
+criterion_main!(benches);

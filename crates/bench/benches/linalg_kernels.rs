@@ -1,0 +1,32 @@
+//! Substrate kernel timings: eigensolver, GEMM, Taylor block application —
+//! the per-iteration building blocks every experiment rests on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psdp_linalg::{apply_exp_taylor_block, matmul, sym_eigen, Mat};
+
+fn sym(m: usize) -> Mat {
+    let mut a = Mat::from_fn(m, m, |i, j| ((i * 31 + j * 17) % 13) as f64 / 13.0);
+    a.symmetrize();
+    a.add_diag(1.0);
+    a
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linalg");
+    g.sample_size(10);
+    for m in [32usize, 96] {
+        let a = sym(m);
+        g.bench_with_input(BenchmarkId::new("sym_eigen", m), &a, |b, a| {
+            b.iter(|| sym_eigen(a).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("gemm", m), &a, |b, a| b.iter(|| matmul(a, a)));
+        let block = Mat::from_fn(m, 16, |i, j| (i + j) as f64 / m as f64);
+        g.bench_with_input(BenchmarkId::new("taylor_block_k20", m), &a, |b, a| {
+            b.iter(|| apply_exp_taylor_block(a, &block, 20))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E6 wall-clock counterpart: fixed solve at 1 vs 2 threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psdp_core::{decision_psdp, ConstantsMode, DecisionOptions, EngineKind, PackingInstance};
+use psdp_parallel::{available_threads, run_with_threads};
+use psdp_workloads::{random_factorized, RandomFactorized};
+
+fn bench_threads(c: &mut Criterion) {
+    let mats = random_factorized(&RandomFactorized {
+        dim: 96,
+        n: 8,
+        rank: 4,
+        nnz_per_col: 48,
+        width: 1.0,
+        seed: 21,
+    });
+    let inst = PackingInstance::new(mats).unwrap().scaled(0.4);
+    let mut opts = DecisionOptions::practical(0.25).with_engine(EngineKind::Taylor { eps: 0.2 });
+    opts.mode = ConstantsMode::Practical { alpha_boost: 1.0, max_iters: 4 };
+    opts.early_exit = false;
+    opts.primal_matrix_dim_limit = 0;
+
+    let mut g = c.benchmark_group("threads");
+    g.sample_size(10);
+    for threads in [1usize, 2] {
+        if threads > available_threads() {
+            break;
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let inst = &inst;
+            let opts = &opts;
+            b.iter(|| run_with_threads(t, move || decision_psdp(inst, opts).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_threads);
+criterion_main!(benches);

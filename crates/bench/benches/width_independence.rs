@@ -1,0 +1,37 @@
+//! E3 wall-clock counterpart: ours vs the width-dependent baseline as the
+//! instance width grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psdp_baselines::ak_decision;
+use psdp_core::{decision_psdp, DecisionOptions, PackingInstance};
+use psdp_workloads::{random_factorized, RandomFactorized};
+
+fn instance(width: f64) -> PackingInstance {
+    let mats = random_factorized(&RandomFactorized {
+        dim: 10,
+        n: 6,
+        rank: 2,
+        nnz_per_col: 3,
+        width,
+        seed: 11,
+    });
+    PackingInstance::new(mats).unwrap().scaled(0.4)
+}
+
+fn bench_width(c: &mut Criterion) {
+    let mut g = c.benchmark_group("width");
+    g.sample_size(10);
+    for width in [1.0, 8.0] {
+        let inst = instance(width);
+        g.bench_with_input(BenchmarkId::new("ours", width as u64), &inst, |b, inst| {
+            b.iter(|| decision_psdp(inst, &DecisionOptions::practical(0.25)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("width_dep_ak", width as u64), &inst, |b, inst| {
+            b.iter(|| ak_decision(inst, 0.25, 100_000).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_width);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E5 wall-clock counterpart: sketched evaluation time vs factorization
+//! size q on edge-Laplacian instances with normalized ||Phi||.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psdp_expdot::{Engine, EngineKind};
+use psdp_workloads::{edge_packing, gnp};
+
+fn bench_work(c: &mut Criterion) {
+    let mut g = c.benchmark_group("work_scaling");
+    g.sample_size(10);
+    for p in [0.1, 0.4] {
+        let graph = gnp(48, p, 5);
+        let mats = edge_packing(&graph);
+        let q: usize = mats.iter().map(|a| a.storage_nnz()).sum();
+        let mut lap = graph.laplacian();
+        let deg = 2.0
+            * (0..graph.n())
+                .map(|v| lap.row_iter(v).map(|(_, w)| w.abs()).sum::<f64>())
+                .fold(0.0_f64, f64::max);
+        lap.scale(8.0 / deg);
+        let eng = Engine::new(EngineKind::TaylorJl { eps: 0.3, sketch_const: 2.0 }, &mats, 7)
+            .unwrap();
+        g.bench_with_input(BenchmarkId::new("compute_op_q", q), &lap, |b, lap| {
+            b.iter(|| eng.compute_op(lap, 8.0, 1))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_work);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Experiment harness binary.
+//!
+//! ```text
+//! cargo run -p psdp-bench --release --bin experiments            # run all
+//! cargo run -p psdp-bench --release --bin experiments -- e3 e8  # run some
+//! ```
+
+use psdp_bench::experiments::{run, ALL_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() {
+        ALL_IDS.to_vec()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    for id in ids {
+        if !ALL_IDS.contains(&id) {
+            eprintln!("unknown experiment id {id}; known: {ALL_IDS:?}");
+            std::process::exit(2);
+        }
+        let t0 = std::time::Instant::now();
+        for table in run(id) {
+            println!("{}", table.render());
+        }
+        println!("[{id} finished in {:.2}s]\n", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,136 @@
+//! E10 — ablations over the solver's degrees of freedom: engine, update
+//! rule, and step-size boost. All variants run the same instance; outputs
+//! are certificate-checked so speed/quality trade-offs are visible.
+
+use crate::table::{f, Table};
+use psdp_core::{
+    decision_psdp, verify_dual, verify_primal, ConstantsMode, DecisionOptions, EngineKind,
+    Outcome, PackingInstance, UpdateRule,
+};
+use psdp_workloads::{random_factorized, RandomFactorized};
+
+fn instance() -> PackingInstance {
+    let mats = random_factorized(&RandomFactorized {
+        dim: 14,
+        n: 10,
+        rank: 2,
+        nnz_per_col: 4,
+        width: 2.0,
+        seed: 31,
+    });
+    PackingInstance::new(mats).expect("valid").scaled(0.4)
+}
+
+fn run_row(t: &mut Table, label: &str, inst: &PackingInstance, opts: &DecisionOptions) {
+    let res = decision_psdp(inst, opts).expect("solve");
+    let (side, value, certified) = match &res.outcome {
+        Outcome::Dual(d) => {
+            let c = verify_dual(inst, d, 1e-7);
+            ("dual", d.value, c.feasible)
+        }
+        Outcome::Primal(p) => {
+            let c = verify_primal(inst, p, 1e-4);
+            ("primal", p.min_dot, c.feasible)
+        }
+    };
+    t.row(vec![
+        label.into(),
+        res.stats.iterations.to_string(),
+        side.into(),
+        f(value),
+        f(res.stats.wall.as_secs_f64() * 1e3),
+        f(res.stats.avg_selected),
+        certified.to_string(),
+    ]);
+}
+
+/// E10a: engine ablation (exact vs Taylor vs Taylor+JL).
+pub fn e10_engines() -> Table {
+    let inst = instance();
+    let eps = 0.2;
+    let mut t = Table::new(
+        format!("E10a: engine ablation (eps={eps}, m=14, n=10)"),
+        &["engine", "iters", "side", "value", "wall(ms)", "avg |B|", "certified"],
+    );
+    for (label, engine) in [
+        ("exact", EngineKind::Exact),
+        ("taylor", EngineKind::Taylor { eps: 0.1 }),
+        ("taylor+jl", EngineKind::TaylorJl { eps: 0.2, sketch_const: 4.0 }),
+    ] {
+        let opts = DecisionOptions::practical(eps).with_engine(engine).with_seed(5);
+        run_row(&mut t, label, &inst, &opts);
+    }
+    t
+}
+
+/// E10b: update-rule ablation (standard vs bucketed vs top-k vs stale).
+pub fn e10_rules() -> Table {
+    let inst = instance();
+    let eps = 0.2;
+    let mut t = Table::new(
+        format!("E10b: update-rule ablation (eps={eps}, exact engine)"),
+        &["rule", "iters", "side", "value", "wall(ms)", "avg |B|", "certified"],
+    );
+    for (label, rule) in [
+        ("standard", UpdateRule::Standard),
+        ("bucketed(4x)", UpdateRule::Bucketed { boost: 4.0 }),
+        ("top-1", UpdateRule::TopK { k: 1 }),
+        ("top-3", UpdateRule::TopK { k: 3 }),
+        ("stale(8)", UpdateRule::Stale { period: 8 }),
+    ] {
+        let opts = DecisionOptions::practical(eps).with_rule(rule);
+        run_row(&mut t, label, &inst, &opts);
+    }
+    t
+}
+
+/// E10c: step-size (α boost) sensitivity.
+pub fn e10_alpha() -> Table {
+    let inst = instance();
+    let eps = 0.2;
+    let mut t = Table::new(
+        format!("E10c: alpha-boost sensitivity (eps={eps}, exact engine)"),
+        &["alpha boost", "iters", "side", "value", "wall(ms)", "avg |B|", "certified"],
+    );
+    for boost in [1.0, 4.0, 16.0, 64.0] {
+        let mut opts = DecisionOptions::practical(eps);
+        opts.mode = ConstantsMode::Practical { alpha_boost: boost, max_iters: 100_000 };
+        run_row(&mut t, &format!("{boost}x"), &inst, &opts);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_certified(t: &Table) {
+        for line in t.render().lines().skip(3) {
+            assert!(line.trim_end().ends_with("true"), "uncertified ablation row: {line}");
+        }
+    }
+
+    #[test]
+    fn engines_all_certified() {
+        all_certified(&e10_engines());
+    }
+
+    #[test]
+    fn rules_all_certified() {
+        all_certified(&e10_rules());
+    }
+
+    #[test]
+    fn alpha_monotone_iterations() {
+        let t = e10_alpha();
+        all_certified(&t);
+        // Bigger steps ⇒ fewer iterations (on this feasible instance).
+        let iters: Vec<f64> = t
+            .render()
+            .lines()
+            .skip(3)
+            .filter_map(|l| l.split_whitespace().nth(1).and_then(|c| c.parse().ok()))
+            .collect();
+        assert!(iters.first().unwrap() > iters.last().unwrap(), "{iters:?}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Experiment runners — one per row of the DESIGN.md experiment index.
+//!
+//! Each function returns a [`crate::table::Table`]; the `experiments` binary
+//! renders them and EXPERIMENTS.md records the output.
+
+pub mod ablation;
+pub mod expdot;
+pub mod parallel;
+pub mod quality;
+pub mod scaling;
+pub mod theory;
+pub mod width;
+
+use crate::table::Table;
+
+/// All experiment ids understood by [`run`].
+pub const ALL_IDS: &[&str] = &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+
+/// Run one experiment by id and return its table(s).
+///
+/// # Panics
+/// Panics on an unknown id (callers validate against [`ALL_IDS`]).
+pub fn run(id: &str) -> Vec<Table> {
+    match id {
+        "e1" => vec![scaling::e1_iterations_vs_n()],
+        "e2" => vec![scaling::e2_iterations_vs_eps()],
+        "e3" => vec![width::e3_width_independence()],
+        "e4" => vec![expdot::e4_engine_accuracy()],
+        "e5" => vec![expdot::e5_work_scaling()],
+        "e6" => vec![parallel::e6_thread_scaling()],
+        "e7" => vec![theory::e7_bound_comparison()],
+        "e8" => vec![quality::e8_approximation_quality()],
+        "e9" => vec![quality::e9_figure1()],
+        "e10" => vec![ablation::e10_engines(), ablation::e10_rules(), ablation::e10_alpha()],
+        other => panic!("unknown experiment id: {other} (known: {ALL_IDS:?})"),
+    }
+}

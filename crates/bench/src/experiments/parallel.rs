@@ -1,0 +1,80 @@
+//! E6 — thread-scaling of the solver's parallel kernels.
+//!
+//! The paper's claim is an NC depth bound; the practical proxy on a fixed
+//! machine is wall-clock speedup of the identical solve as rayon threads
+//! grow. We fix the iteration count (no early exit, fixed cap) so every
+//! configuration does identical numerical work.
+
+use crate::table::{f, Table};
+use psdp_core::{decision_psdp, ConstantsMode, DecisionOptions, EngineKind, PackingInstance};
+use psdp_parallel::{available_threads, run_with_threads};
+use psdp_workloads::{random_factorized, RandomFactorized};
+use std::time::Instant;
+
+/// Fixed workload: moderately large dense-ish instance, Taylor engine
+/// (GEMM-heavy ⇒ parallelizable), exactly `iters` iterations.
+fn run_once(threads: usize, m: usize, n: usize, iters: usize) -> f64 {
+    let mats = random_factorized(&RandomFactorized {
+        dim: m,
+        n,
+        rank: 4,
+        nnz_per_col: m / 2,
+        width: 1.0,
+        seed: 21,
+    });
+    let inst = PackingInstance::new(mats).expect("valid").scaled(0.4);
+    let mut opts = DecisionOptions::practical(0.25)
+        .with_engine(EngineKind::Taylor { eps: 0.2 });
+    opts.mode = ConstantsMode::Practical { alpha_boost: 1.0, max_iters: iters };
+    opts.early_exit = false;
+    opts.primal_matrix_dim_limit = 0;
+    run_with_threads(threads, move || {
+        let t0 = Instant::now();
+        let _ = decision_psdp(&inst, &opts).expect("solve");
+        t0.elapsed().as_secs_f64()
+    })
+}
+
+/// E6 table: wall time and speedup vs thread count. The sweep stops at the
+/// machine's logical core count (oversubscription only adds noise).
+pub fn e6_thread_scaling() -> Table {
+    let (m, n, iters) = (192, 10, 8);
+    let mut t = Table::new(
+        format!("E6: thread scaling (m={m}, n={n}, {iters} fixed iterations, Taylor engine)"),
+        &["threads", "wall (s)", "speedup", "efficiency"],
+    );
+    let avail = available_threads();
+    let mut base = f64::NAN;
+    for &threads in &[1usize, 2, 4, 8] {
+        if threads > avail.max(1) {
+            break;
+        }
+        // Warm-up + best-of-2 to damp scheduler noise.
+        let _ = run_once(threads, m, n, 2);
+        let w = run_once(threads, m, n, iters).min(run_once(threads, m, n, iters));
+        if threads == 1 {
+            base = w;
+        }
+        let speedup = base / w;
+        t.row(vec![
+            threads.to_string(),
+            f(w),
+            f(speedup),
+            f(speedup / threads as f64),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_is_positive() {
+        // Tiny smoke version: just check the harness runs at 1 and 2 threads.
+        let w1 = run_once(1, 32, 6, 3);
+        let w2 = run_once(2, 32, 6, 3);
+        assert!(w1 > 0.0 && w2 > 0.0);
+    }
+}

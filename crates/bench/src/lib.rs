@@ -1,0 +1,10 @@
+//! # psdp-bench
+//!
+//! The experiment harness: per-claim experiment runners ([`experiments`])
+//! and the plain-text [`table`] formatter. The `experiments` binary drives
+//! these; Criterion benches (in `benches/`) time the same code paths.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;

@@ -1,0 +1,115 @@
+//! Tiny dependency-free flag parser for the `psdp` binary.
+//!
+//! Supports `--key value` flags and bare positional arguments; unknown
+//! flags are errors (typos should not be silently ignored in a numerical
+//! tool).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: positionals in order plus `--key value` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parse a raw argument list (excluding the program name).
+    ///
+    /// # Errors
+    /// Returns a message for a dangling `--flag` with no value.
+    pub fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut it = raw.iter();
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                let val = it.next().ok_or_else(|| format!("flag --{key} needs a value"))?;
+                out.flags.insert(key.to_string(), val.clone());
+            } else {
+                out.positional.push(tok.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Positional argument `i`, if present.
+    pub fn pos(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+
+    /// Number of positional arguments.
+    #[cfg(test)]
+    pub fn pos_len(&self) -> usize {
+        self.positional.len()
+    }
+
+    /// String flag with default.
+    pub fn str_flag(&self, key: &str, default: &str) -> String {
+        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Typed flag with default; error message names the flag on a parse
+    /// failure.
+    ///
+    /// # Errors
+    /// Returns a message when the value does not parse as `T`.
+    pub fn flag<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("flag --{key}: cannot parse `{v}`")),
+        }
+    }
+
+    /// Reject flags outside the allowed set (typo guard).
+    ///
+    /// # Errors
+    /// Returns a message naming the first unknown flag.
+    pub fn ensure_known(&self, allowed: &[&str]) -> Result<(), String> {
+        for k in self.flags.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(format!("unknown flag --{k} (allowed: {allowed:?})"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Args {
+        Args::parse(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn positionals_and_flags() {
+        let a = parse(&["solve", "file.psdp", "--eps", "0.2", "--engine", "taylor"]);
+        assert_eq!(a.pos(0), Some("solve"));
+        assert_eq!(a.pos(1), Some("file.psdp"));
+        assert_eq!(a.pos_len(), 2);
+        assert_eq!(a.flag("eps", 0.1).unwrap(), 0.2);
+        assert_eq!(a.str_flag("engine", "exact"), "taylor");
+        assert_eq!(a.str_flag("missing", "dflt"), "dflt");
+    }
+
+    #[test]
+    fn dangling_flag_is_error() {
+        let r = Args::parse(&["--eps".to_string()]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn bad_typed_value_is_error() {
+        let a = parse(&["--eps", "banana"]);
+        assert!(a.flag("eps", 0.1).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_guard() {
+        let a = parse(&["--epss", "0.2"]);
+        assert!(a.ensure_known(&["eps"]).is_err());
+        let a = parse(&["--eps", "0.2"]);
+        assert!(a.ensure_known(&["eps"]).is_ok());
+    }
+}

@@ -1,0 +1,273 @@
+//! The `psdp` subcommands: generate / info / solve / optimize.
+//!
+//! Kept separate from `main.rs` so the logic is unit-testable without
+//! spawning processes; every command takes parsed [`Args`] and returns the
+//! text it would print.
+
+use crate::args::Args;
+use psdp_core::{
+    decision_psdp, read_instance, solve_packing, verify_dual, verify_primal, write_instance,
+    ApproxOptions, ConstantsMode, DecisionOptions, EngineKind, Outcome, PackingInstance,
+};
+use psdp_workloads::{
+    edge_packing, figure1_instance, gnp, random_factorized, random_lp_diagonal, RandomFactorized,
+};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+psdp — width-independent positive SDP solver (Peng–Tangwongsan–Zhang, SPAA'12)
+
+USAGE:
+  psdp generate --family <random|lp|graph|figure1> [--dim N] [--n N] [--seed S] [--width W] --out FILE
+  psdp info FILE
+  psdp solve FILE [--eps E] [--engine exact|taylor|jl] [--mode practical|strict] [--seed S]
+  psdp optimize FILE [--eps E]
+";
+
+/// Build the engine from its CLI name.
+fn engine_of(name: &str, eps: f64) -> Result<EngineKind, String> {
+    match name {
+        "exact" => Ok(EngineKind::Exact),
+        "taylor" => Ok(EngineKind::Taylor { eps: (eps * 0.5).min(0.2) }),
+        "jl" => Ok(EngineKind::TaylorJl { eps: eps.min(0.3), sketch_const: 4.0 }),
+        other => Err(format!("unknown engine `{other}` (exact|taylor|jl)")),
+    }
+}
+
+/// `psdp generate` — emit an instance file.
+///
+/// # Errors
+/// Flag/validation errors as printable messages.
+pub fn generate(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["family", "dim", "n", "seed", "width", "out", "density", "p"])?;
+    let family = args.str_flag("family", "random");
+    let dim: usize = args.flag("dim", 12)?;
+    let n: usize = args.flag("n", 8)?;
+    let seed: u64 = args.flag("seed", 1)?;
+    let width: f64 = args.flag("width", 1.0)?;
+
+    let inst = match family.as_str() {
+        "random" => PackingInstance::new(random_factorized(&RandomFactorized {
+            dim,
+            n,
+            rank: 2,
+            nnz_per_col: (dim / 3).max(2),
+            width,
+            seed,
+        }))
+        .map_err(|e| e.to_string())?,
+        "lp" => {
+            let density: f64 = args.flag("density", 0.6)?;
+            PackingInstance::new(random_lp_diagonal(dim, n, density, seed))
+                .map_err(|e| e.to_string())?
+        }
+        "graph" => {
+            let p: f64 = args.flag("p", 0.3)?;
+            PackingInstance::new(edge_packing(&gnp(dim, p, seed))).map_err(|e| e.to_string())?
+        }
+        "figure1" => PackingInstance::new(figure1_instance()).map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown family `{other}` (random|lp|graph|figure1)")),
+    };
+
+    let text = write_instance(&inst);
+    let out = args.str_flag("out", "");
+    if out.is_empty() {
+        Ok(text)
+    } else {
+        std::fs::write(&out, &text).map_err(|e| format!("writing {out}: {e}"))?;
+        Ok(format!("wrote {} (m={}, n={}, nnz={})\n", out, inst.dim(), inst.n(), inst.total_nnz()))
+    }
+}
+
+fn load(path: &str) -> Result<PackingInstance, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    read_instance(&text).map_err(|e| e.to_string())
+}
+
+/// `psdp info` — describe an instance file.
+///
+/// # Errors
+/// IO/parse errors as printable messages.
+pub fn info(args: &Args) -> Result<String, String> {
+    let path = args.pos(1).ok_or("info: missing FILE")?;
+    let inst = load(path)?;
+    let mut out = String::new();
+    out.push_str(&format!("dim          {}\n", inst.dim()));
+    out.push_str(&format!("constraints  {}\n", inst.n()));
+    out.push_str(&format!("storage nnz  {}\n", inst.total_nnz()));
+    let traces: Vec<f64> = inst.mats().iter().map(|a| a.trace()).collect();
+    let lams: Vec<f64> = inst.mats().iter().map(|a| a.lambda_max_est()).collect();
+    let fmax = |v: &[f64]| v.iter().fold(0.0_f64, |a, &b| a.max(b));
+    let fmin = |v: &[f64]| v.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+    out.push_str(&format!("trace range  [{:.4}, {:.4}]\n", fmin(&traces), fmax(&traces)));
+    out.push_str(&format!("λmax range   [{:.4}, {:.4}]\n", fmin(&lams), fmax(&lams)));
+    out.push_str(&format!("width (max/min λmax)  {:.3}\n", fmax(&lams) / fmin(&lams).max(1e-300)));
+    Ok(out)
+}
+
+/// `psdp solve` — run the ε-decision procedure and print the certificate.
+///
+/// # Errors
+/// IO/parse/solver errors as printable messages.
+pub fn solve(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["eps", "engine", "mode", "seed"])?;
+    let path = args.pos(1).ok_or("solve: missing FILE")?;
+    let inst = load(path)?;
+    let eps: f64 = args.flag("eps", 0.1)?;
+    let seed: u64 = args.flag("seed", 0)?;
+    let engine = engine_of(&args.str_flag("engine", "exact"), eps)?;
+    let mode = match args.str_flag("mode", "practical").as_str() {
+        "practical" => ConstantsMode::practical_default(),
+        "strict" => ConstantsMode::PaperStrict,
+        other => return Err(format!("unknown mode `{other}` (practical|strict)")),
+    };
+    let mut opts = DecisionOptions::practical(eps).with_engine(engine).with_seed(seed);
+    opts.mode = mode;
+
+    let res = decision_psdp(&inst, &opts).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "iterations {}  (cap {})  exit {:?}  engine {}\n",
+        res.stats.iterations, res.stats.iteration_cap, res.stats.exit, res.stats.engine
+    ));
+    match &res.outcome {
+        Outcome::Dual(d) => {
+            let c = verify_dual(&inst, d, 1e-8);
+            out.push_str(&format!(
+                "DUAL side: value {:.6}, λmax(Σ xᵢAᵢ) = {:.8}, verified feasible: {}\n",
+                d.value, c.lambda_max, c.feasible
+            ));
+        }
+        Outcome::Primal(p) => {
+            let c = verify_primal(&inst, p, 1e-5);
+            out.push_str(&format!(
+                "PRIMAL side: min_i Aᵢ•Y = {:.6} over {} averaged rounds, verified: {}\n",
+                p.min_dot, p.rounds_averaged, c.feasible
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// `psdp optimize` — run approxPSDP and print the certified bracket.
+///
+/// # Errors
+/// IO/parse/solver errors as printable messages.
+pub fn optimize(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["eps"])?;
+    let path = args.pos(1).ok_or("optimize: missing FILE")?;
+    let inst = load(path)?;
+    let eps: f64 = args.flag("eps", 0.1)?;
+    let r = solve_packing(&inst, &ApproxOptions::practical(eps)).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "packing OPT ∈ [{:.6}, {:.6}]   ratio {:.4}   ({} decision calls, {} total iterations, converged: {})\n",
+        r.value_lower,
+        r.value_upper,
+        r.value_upper / r.value_lower,
+        r.decision_calls,
+        r.total_iterations,
+        r.converged
+    ));
+    if let Some(d) = &r.best_dual {
+        let c = verify_dual(&inst, d, 1e-8);
+        out.push_str(&format!(
+            "best dual: value {:.6}, verified feasible: {}\n",
+            d.value, c.feasible
+        ));
+    }
+    Ok(out)
+}
+
+/// Dispatch a full command line (excluding program name).
+///
+/// # Errors
+/// Any subcommand failure, as a printable message.
+pub fn dispatch(raw: &[String]) -> Result<String, String> {
+    let args = Args::parse(raw)?;
+    match args.pos(0) {
+        Some("generate") => generate(&args),
+        Some("info") => info(&args),
+        Some("solve") => solve(&args),
+        Some("optimize") => optimize(&args),
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+        None => Ok(USAGE.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(v: &[&str]) -> Result<String, String> {
+        dispatch(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn usage_on_no_args() {
+        let out = run(&[]).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn generate_to_stdout_parses_back() {
+        let text = run(&["generate", "--family", "lp", "--dim", "4", "--n", "3"]).unwrap();
+        let inst = read_instance(&text).unwrap();
+        assert_eq!(inst.dim(), 4);
+        assert_eq!(inst.n(), 3);
+    }
+
+    #[test]
+    fn full_file_lifecycle() {
+        let dir = std::env::temp_dir().join("psdp-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inst.psdp");
+        let p = path.to_str().unwrap();
+
+        let msg = run(&["generate", "--family", "random", "--dim", "6", "--n", "4", "--out", p])
+            .unwrap();
+        assert!(msg.contains("wrote"));
+
+        let info_out = run(&["info", p]).unwrap();
+        assert!(info_out.contains("constraints  4"), "{info_out}");
+
+        let solve_out = run(&["solve", p, "--eps", "0.2"]).unwrap();
+        assert!(solve_out.contains("verified feasible: true") || solve_out.contains("verified: true"),
+            "{solve_out}");
+
+        let opt_out = run(&["optimize", p, "--eps", "0.15"]).unwrap();
+        assert!(opt_out.contains("converged: true"), "{opt_out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn figure1_generate_and_solve() {
+        let text = run(&["generate", "--family", "figure1"]).unwrap();
+        let inst = read_instance(&text).unwrap();
+        assert_eq!(inst.n(), 3);
+        assert_eq!(inst.dim(), 2);
+    }
+
+    #[test]
+    fn bad_engine_name() {
+        let dir = std::env::temp_dir().join("psdp-cli-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.psdp");
+        let p = path.to_str().unwrap();
+        run(&["generate", "--family", "lp", "--dim", "3", "--n", "2", "--out", p]).unwrap();
+        let err = run(&["solve", p, "--engine", "quantum"]).unwrap_err();
+        assert!(err.contains("unknown engine"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn typo_flag_rejected() {
+        let err = run(&["generate", "--famly", "lp"]).unwrap_err();
+        assert!(err.contains("unknown flag"));
+    }
+}

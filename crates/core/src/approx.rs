@@ -1,0 +1,403 @@
+//! `approxPSDP` — the `(1+ε)`-approximate optimizer (Theorem 1.1).
+//!
+//! Lemma 2.2 reduces optimization to `O(log n)` calls of the ε-decision
+//! problem via scaling + binary search. For the packing program
+//! `OPT = max 1ᵀx` s.t. `Σ xᵢAᵢ ⪯ I`, testing "`OPT ≥ σ`?" is the decision
+//! problem on the scaled matrices `σAᵢ` (substituting `x' = x/σ` maps one
+//! feasible region onto the other).
+//!
+//! Bracketing uses the structural bounds
+//! `maxᵢ 1/λmax(Aᵢ) ≤ OPT ≤ Σᵢ 1/λmax(Aᵢ)` (each `xᵢ ≤ 1/λmax(Aᵢ)` for any
+//! feasible point, and any single coordinate at its cap is feasible), so the
+//! initial bracket ratio is at most `n` and geometric bisection needs
+//! `O(log(n/ε))` decision calls.
+//!
+//! Every bracket move is driven by a *certified* quantity: a dual outcome at
+//! `σ` yields a feasible original-scale `x` with measured value (new lower
+//! bound); a primal outcome yields a covering witness establishing
+//! `OPT ≤ σ/min_dot` (new upper bound). Estimate-based initial brackets are
+//! therefore self-correcting.
+
+use crate::decision::decision_psdp;
+use crate::error::PsdpError;
+use crate::instance::{PackingInstance, PositiveSdp};
+use crate::normalize::{normalize, Normalized};
+use crate::options::DecisionOptions;
+use crate::solution::{DualSolution, Outcome, PrimalSolution};
+use crate::stats::SolveStats;
+use psdp_linalg::Mat;
+
+/// Configuration for the optimizer.
+#[derive(Debug, Clone, Copy)]
+pub struct ApproxOptions {
+    /// Target relative accuracy of the returned value bracket.
+    pub eps: f64,
+    /// Configuration for each decision call (its `eps` is used as-is; pick
+    /// something ≤ `eps/4` for the bracket to close).
+    pub decision: DecisionOptions,
+    /// Cap on decision calls.
+    pub max_calls: usize,
+}
+
+impl ApproxOptions {
+    /// Default practical configuration at accuracy `eps`.
+    pub fn practical(eps: f64) -> Self {
+        ApproxOptions { eps, decision: DecisionOptions::practical(eps / 4.0), max_calls: 60 }
+    }
+}
+
+/// Result of optimizing a packing instance.
+#[derive(Debug, Clone)]
+pub struct PackingReport {
+    /// Certified lower bound on OPT (value of `best_dual`).
+    pub value_lower: f64,
+    /// Certified upper bound on OPT.
+    pub value_upper: f64,
+    /// The best feasible dual found, in original scale.
+    pub best_dual: Option<DualSolution>,
+    /// A primal witness for the upper bound: `(σ, solution)` where the
+    /// covering matrix `Z = σ·Y/min_dot` certifies `OPT ≤ σ/min_dot`.
+    pub upper_witness: Option<(f64, PrimalSolution)>,
+    /// Number of decision calls made.
+    pub decision_calls: usize,
+    /// Total inner iterations across all calls.
+    pub total_iterations: usize,
+    /// Whether the bracket closed to `(1+eps)`.
+    pub converged: bool,
+    /// Largest number of constraints trace-pruned (Lemma 2.2) in any single
+    /// decision call (0 = pruning never triggered).
+    pub pruned_max: usize,
+    /// Per-call solver stats.
+    pub call_stats: Vec<SolveStats>,
+}
+
+impl PackingReport {
+    /// Midpoint estimate of OPT (geometric mean of the bracket).
+    pub fn value_estimate(&self) -> f64 {
+        (self.value_lower * self.value_upper).sqrt()
+    }
+}
+
+/// Optimize a normalized packing instance to `(1+ε)` relative accuracy.
+///
+/// ```
+/// use psdp_core::{solve_packing, ApproxOptions, PackingInstance};
+/// use psdp_sparse::PsdMatrix;
+///
+/// // max x₁+x₂ s.t. x₁·diag(2,0) + x₂·diag(0,4) ⪯ I:  OPT = 1/2 + 1/4.
+/// let inst = PackingInstance::new(vec![
+///     PsdMatrix::Diagonal(vec![2.0, 0.0]),
+///     PsdMatrix::Diagonal(vec![0.0, 4.0]),
+/// ])?;
+/// let r = solve_packing(&inst, &ApproxOptions::practical(0.1))?;
+/// assert!(r.converged);
+/// assert!(r.value_lower <= 0.75 && 0.75 <= r.value_upper);
+/// # Ok::<(), psdp_core::PsdpError>(())
+/// ```
+///
+/// # Errors
+/// Instance/option validation or linear-algebra failures. A bracket that
+/// fails to close within `max_calls` is **not** an error — the report
+/// carries `converged = false` with the certified bracket reached.
+pub fn solve_packing(
+    inst: &PackingInstance,
+    opts: &ApproxOptions,
+) -> Result<PackingReport, PsdpError> {
+    if !(opts.eps > 0.0 && opts.eps < 1.0) {
+        return Err(PsdpError::InvalidInstance(format!("eps {} not in (0,1)", opts.eps)));
+    }
+    opts.decision.validate()?;
+
+    // Structural bracket from λmax estimates (self-correcting later).
+    let caps: Vec<f64> = inst.mats().iter().map(|a| 1.0 / a.lambda_max_est().max(1e-300)).collect();
+    let mut lo = caps.iter().fold(0.0_f64, |m, &v| m.max(v)) * 0.5;
+    let mut hi = caps.iter().sum::<f64>() * 2.0;
+    if !(lo > 0.0) || !hi.is_finite() {
+        return Err(PsdpError::InvalidInstance("degenerate λmax estimates".into()));
+    }
+
+    let mut best_dual: Option<DualSolution> = None;
+    let mut upper_witness: Option<(f64, PrimalSolution)> = None;
+    let mut call_stats = Vec::new();
+    let mut total_iterations = 0;
+    let mut calls = 0;
+
+    let mut pruned_max = 0usize;
+    while hi > lo * (1.0 + opts.eps) && calls < opts.max_calls {
+        calls += 1;
+        let sigma = (lo * hi).sqrt();
+        let scaled = inst.scaled(sigma);
+        // Lemma 2.2 trace pruning with the certified cutoff max(n³, 2nm/ε):
+        // at threshold 1 any feasible x has xᵢ ≤ m/Tr(Aᵢ'), so dropped
+        // coordinates carry ≤ ε/2 total mass (see `trace_prune_with`).
+        let n_f = inst.n() as f64;
+        let cutoff =
+            (n_f * n_f * n_f).max(2.0 * n_f * inst.dim() as f64 / opts.eps);
+        let (keep, dropped) = crate::normalize::trace_prune_with(&scaled, cutoff);
+        pruned_max = pruned_max.max(dropped.len());
+        let (work_inst, keep_map): (PackingInstance, Option<Vec<usize>>) =
+            if dropped.is_empty() || keep.is_empty() {
+                // No pruning, or nothing would remain (fall back to the full
+                // instance rather than reason about an empty program).
+                (scaled, None)
+            } else {
+                (scaled.restrict(&keep)?, Some(keep))
+            };
+        let res = decision_psdp(&work_inst, &opts.decision)?;
+        total_iterations += res.stats.iterations;
+        call_stats.push(res.stats);
+        match res.outcome {
+            Outcome::Dual(d) => {
+                // x' feasible for σAᵢ  ⇒  x = σx' feasible for Aᵢ. Expand
+                // pruned coordinates back as zeros.
+                let x_work: Vec<f64> = d.x.iter().map(|v| v * sigma).collect();
+                let x: Vec<f64> = match &keep_map {
+                    None => x_work,
+                    Some(keep) => {
+                        let mut full = vec![0.0; inst.n()];
+                        for (&idx, &v) in keep.iter().zip(&x_work) {
+                            full[idx] = v;
+                        }
+                        full
+                    }
+                };
+                let value = sigma * d.value;
+                if value > lo {
+                    lo = value;
+                } else {
+                    // Degenerate progress (very weak dual): still move the
+                    // bracket a little to guarantee termination.
+                    lo = (lo * sigma).sqrt().max(lo);
+                }
+                if best_dual.as_ref().is_none_or(|b| value > b.value) {
+                    best_dual =
+                        Some(DualSolution { x, value, feasibility_scale: d.feasibility_scale });
+                }
+            }
+            Outcome::Primal(p) => {
+                let margin = p.min_dot.max(1e-12);
+                // Pruned coordinates are *dual variables*; removing them can
+                // only lower the packing optimum, so the restricted covering
+                // witness under-covers the full instance. Certified repair:
+                // any feasible x of the scaled instance has
+                // xᵢ ≤ m/Tr(Aᵢ') (since xᵢTr(Aᵢ') ≤ Tr(ΣxⱼAⱼ') ≤ m·λmax ≤ m),
+                // so the dropped coordinates contribute at most
+                // Σ_dropped m/Tr(Aᵢ') ≤ |dropped|·m/n³ to the scaled value.
+                let dropped_slack: f64 = if keep_map.is_some() {
+                    dropped
+                        .iter()
+                        .map(|&i| {
+                            inst.dim() as f64 / (sigma * inst.mats()[i].trace()).max(1e-300)
+                        })
+                        .sum()
+                } else {
+                    0.0
+                };
+                let new_hi = sigma * (1.0 / margin + dropped_slack);
+                if new_hi < hi {
+                    hi = new_hi;
+                } else {
+                    hi = (hi * sigma).sqrt().min(hi);
+                }
+                upper_witness = Some((sigma, p));
+            }
+        }
+        if lo > hi {
+            // Certified bounds crossed: numerical noise at convergence;
+            // collapse the bracket.
+            let mid = (lo * hi).sqrt();
+            lo = mid;
+            hi = mid;
+            break;
+        }
+    }
+
+    Ok(PackingReport {
+        value_lower: lo,
+        value_upper: hi,
+        best_dual,
+        upper_witness,
+        decision_calls: calls,
+        total_iterations,
+        converged: hi <= lo * (1.0 + opts.eps) * (1.0 + 1e-12),
+        pruned_max,
+        call_stats,
+    })
+}
+
+/// Result of optimizing a general covering positive SDP (1.1).
+#[derive(Debug, Clone)]
+pub struct CoveringReport {
+    /// Certified bracket on the optimum `C • Y` (equal to the packing
+    /// optimum by strong duality, which the paper assumes).
+    pub value_lower: f64,
+    /// Upper end of the bracket.
+    pub value_upper: f64,
+    /// A feasible primal `Y` achieving `C•Y = value_upper` (when a primal
+    /// witness with a dense matrix was produced).
+    pub y: Option<Mat>,
+    /// Original-scale dual multipliers `λ` (feasible for the dual of (1.1)).
+    pub lambda: Vec<f64>,
+    /// The underlying packing report on the normalized instance.
+    pub packing: PackingReport,
+    /// Normalization bookkeeping (dropped constraints etc.).
+    pub normalized: Normalized,
+}
+
+/// Optimize a general positive SDP via Appendix-A normalization +
+/// [`solve_packing`].
+///
+/// # Errors
+/// Validation, normalization, or solver failures.
+pub fn solve_covering(sdp: &PositiveSdp, opts: &ApproxOptions) -> Result<CoveringReport, PsdpError> {
+    let nz = normalize(sdp)?;
+    let packing = solve_packing(&nz.instance, opts)?;
+
+    // Primal back-map: Z = σ·Y/min_dot is covering-feasible for the
+    // normalized program with Tr Z = σ/min_dot = value_upper.
+    let y = packing.upper_witness.as_ref().and_then(|(sigma, p)| {
+        p.y.as_ref().map(|ymat| {
+            let mut z = ymat.clone();
+            z.scale(sigma / p.min_dot.max(1e-12));
+            nz.primal_back(&z)
+        })
+    });
+
+    // Dual back-map: λ_kept = x/b, zeros elsewhere.
+    let lambda = match &packing.best_dual {
+        Some(d) => nz.dual_back(&d.x, sdp.num_constraints()),
+        None => vec![0.0; sdp.num_constraints()],
+    };
+
+    Ok(CoveringReport {
+        value_lower: packing.value_lower,
+        value_upper: packing.value_upper,
+        y,
+        lambda,
+        packing,
+        normalized: nz,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdp_sparse::PsdMatrix;
+
+    fn diag(d: &[f64]) -> PsdMatrix {
+        PsdMatrix::Diagonal(d.to_vec())
+    }
+
+    /// Single constraint: OPT = 1/λmax(A) exactly.
+    #[test]
+    fn single_constraint_known_optimum() {
+        let inst = PackingInstance::new(vec![diag(&[2.0, 0.5])]).unwrap();
+        let r = solve_packing(&inst, &ApproxOptions::practical(0.1)).unwrap();
+        assert!(r.converged, "bracket [{}, {}]", r.value_lower, r.value_upper);
+        // OPT = 1/2.
+        assert!(r.value_lower <= 0.5 + 1e-9);
+        assert!(r.value_upper >= 0.5 - 1e-9);
+        assert!(r.value_upper / r.value_lower <= 1.11);
+        let d = r.best_dual.expect("dual found");
+        assert!((d.x[0] * 2.0) <= 1.0 + 1e-8, "feasibility");
+    }
+
+    /// Orthogonal diagonal constraints: OPT = Σ 1/λmax(Aᵢ).
+    #[test]
+    fn orthogonal_constraints_sum() {
+        let inst =
+            PackingInstance::new(vec![diag(&[2.0, 0.0]), diag(&[0.0, 4.0])]).unwrap();
+        let r = solve_packing(&inst, &ApproxOptions::practical(0.1)).unwrap();
+        // OPT = 1/2 + 1/4 = 0.75.
+        assert!(r.converged);
+        assert!(r.value_lower <= 0.75 + 1e-9 && r.value_upper >= 0.75 - 1e-9);
+        assert!((r.value_estimate() - 0.75).abs() < 0.08);
+    }
+
+    /// Competing constraints on the same coordinate: OPT set by the sum.
+    /// A₁ = A₂ = diag(1,1): any x with x₁+x₂ ≤ 1 is feasible, OPT = 1.
+    #[test]
+    fn shared_direction_caps_sum() {
+        let inst =
+            PackingInstance::new(vec![diag(&[1.0, 1.0]), diag(&[1.0, 1.0])]).unwrap();
+        let r = solve_packing(&inst, &ApproxOptions::practical(0.1)).unwrap();
+        assert!(r.converged);
+        assert!((r.value_estimate() - 1.0).abs() < 0.1, "estimate {}", r.value_estimate());
+    }
+
+    /// Bracket is always certified: lower by a feasible dual, upper by a
+    /// covering witness.
+    #[test]
+    fn bracket_certificates() {
+        let inst = PackingInstance::new(vec![
+            diag(&[1.0, 0.3, 0.0]),
+            diag(&[0.0, 0.7, 1.0]),
+            diag(&[0.5, 0.5, 0.5]),
+        ])
+        .unwrap();
+        let r = solve_packing(&inst, &ApproxOptions::practical(0.15)).unwrap();
+        let d = r.best_dual.as_ref().expect("dual");
+        let cert = crate::verify::verify_dual(&inst, d, 1e-8);
+        assert!(cert.feasible, "λmax {}", cert.lambda_max);
+        assert!((cert.value - r.value_lower).abs() < 1e-9 || cert.value <= r.value_lower + 1e-9);
+        assert!(r.decision_calls <= 60);
+    }
+
+    /// Covering wrapper on a diagonal SDP with a known optimum.
+    #[test]
+    fn covering_diagonal_known() {
+        // min C•Y s.t. A•Y ≥ b, all diagonal:
+        // C = diag(4,1), A = diag(1,1), b = 2 → OPT = 2 (put mass on j=1).
+        let sdp = PositiveSdp {
+            objective: diag(&[4.0, 1.0]),
+            constraints: vec![diag(&[1.0, 1.0])],
+            rhs: vec![2.0],
+        };
+        let r = solve_covering(&sdp, &ApproxOptions::practical(0.1)).unwrap();
+        assert!(r.value_lower <= 2.0 + 1e-6 && r.value_upper >= 2.0 - 1e-6,
+            "bracket [{}, {}]", r.value_lower, r.value_upper);
+        // The primal witness, if materialized, must be covering-feasible.
+        if let Some(y) = &r.y {
+            let ay = sdp.constraints[0].dot_dense(y);
+            assert!(ay >= 2.0 * (1.0 - 1e-6), "A•Y = {ay}");
+            let cy = sdp.objective.dot_dense(y);
+            assert!((cy - r.value_upper).abs() < 1e-6 * cy.max(1.0));
+        }
+        // Dual multipliers feasible: Σ λᵢAᵢ ⪯ C elementwise on the diagonal.
+        let lam = &r.lambda;
+        assert!(lam[0] * 1.0 <= 4.0 + 1e-9 && lam[0] * 1.0 <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_eps() {
+        let inst = PackingInstance::new(vec![diag(&[1.0])]).unwrap();
+        let mut o = ApproxOptions::practical(0.1);
+        o.eps = 0.0;
+        assert!(solve_packing(&inst, &o).is_err());
+    }
+
+    /// Lemma 2.2 pruning path: an instance with one pathological huge-trace
+    /// constraint still brackets the true optimum. With the pathological
+    /// coordinate essentially unusable (λmax ≈ trace ≫ 1), OPT is set by the
+    /// benign constraints.
+    #[test]
+    fn pruning_keeps_bracket_valid() {
+        let huge = 1e9;
+        let inst = PackingInstance::new(vec![
+            diag(&[1.0, 0.0, 0.0]),
+            diag(&[0.0, 1.0, 0.0]),
+            diag(&[huge, huge, huge]),
+        ])
+        .unwrap();
+        // Exact optimum: x₃ ≤ 1/huge ≈ 0, x₁ = x₂ = 1 ⇒ OPT ≈ 2.
+        let r = solve_packing(&inst, &ApproxOptions::practical(0.1)).unwrap();
+        assert!(r.value_lower <= 2.0 + 1e-6, "lower {}", r.value_lower);
+        assert!(r.value_upper >= 2.0 - 1e-6 - 2.0 / huge, "upper {}", r.value_upper);
+        assert!(r.converged);
+        // The huge constraint must actually have been pruned in some call.
+        assert!(r.pruned_max >= 1, "pruning never triggered");
+        // And the returned dual keeps it at (near) zero.
+        let d = r.best_dual.unwrap();
+        assert!(d.x[2] <= 1.0 / huge * 2.0);
+    }
+}

@@ -1,0 +1,509 @@
+//! `decisionPSDP` — Algorithm 3.1, the paper's core contribution.
+//!
+//! Solves the ε-decision problem for a normalized packing SDP
+//! (`max 1ᵀx` s.t. `Σ xᵢAᵢ ⪯ I`): it returns **either**
+//!
+//! * a dual `x ≥ 0` with `‖x‖₁ ≥ 1 − O(ε)` and `Σ xᵢAᵢ ⪯ I`
+//!   ("the packing optimum is at least 1"), **or**
+//! * a primal `Y ⪰ 0` with `Tr Y = 1` and `Aᵢ • Y ≥ 1` for all `i`
+//!   ("the covering optimum — hence by duality the packing optimum — is at
+//!   most 1").
+//!
+//! ## The loop (pseudocode from the paper)
+//!
+//! ```text
+//! K = (1+ln n)/ε, α = ε/(K(1+10ε)), R = (32/(εα)) ln n
+//! x⁰ᵢ = 1/(n·Tr Aᵢ)
+//! while ‖x‖₁ ≤ K and t < R:
+//!     W ← exp(Σᵢ xᵢAᵢ)
+//!     B ← { i : W • Aᵢ ≤ (1+ε)·Tr W }
+//!     x ← x + α·x_B
+//! if ‖x‖₁ > K: return x/((1+10ε)K) as dual
+//! else:        return Y = avg_τ W(τ)/Tr W(τ) as primal
+//! ```
+//!
+//! ## Notes on the implementation
+//!
+//! * `Ψ(t) = Σ xᵢ(t)Aᵢ` is maintained **incrementally** (dense accumulation
+//!   of `Σ_{i∈B} δᵢAᵢ`), so each iteration costs one engine evaluation plus
+//!   the update — never a from-scratch `Σᵢ xᵢAᵢ`.
+//! * **Empty `B(t)`**: every constraint has `P•Aᵢ > 1+ε`, so the *current*
+//!   `P` is already a feasible primal (`Tr P = 1`, `Aᵢ•P > 1+ε ≥ 1`). With
+//!   exact arithmetic the paper's loop would idle until `R` and return an
+//!   average whose tail is this same `P`; returning it immediately is
+//!   equivalent and we do so (exit reason [`ExitReason::EmptyEligibleSet`]).
+//! * **Certified dual scaling**: in strict mode the dual is scaled by the
+//!   paper's `(1+10ε)K` (sound by Lemma 3.2). In practical mode (boosted α,
+//!   where Lemma 3.2's induction need not apply) the returned dual is scaled
+//!   by the *measured* `λmax(Σ xᵢAᵢ)`, so feasibility is certified
+//!   unconditionally.
+
+use crate::error::PsdpError;
+use crate::instance::PackingInstance;
+use crate::options::{ConstantsMode, DecisionOptions, UpdateRule};
+use crate::solution::{DualSolution, ExitReason, Outcome, PrimalSolution};
+use crate::stats::SolveStats;
+use psdp_expdot::{Engine, ExpDots};
+use psdp_linalg::{lambda_max_upper_bound, sym_eigen, vecops, Mat};
+use psdp_mmw::paper_constants;
+use psdp_parallel::Cost;
+use std::time::Instant;
+
+/// Outcome + telemetry of one decision run.
+#[derive(Debug, Clone)]
+pub struct DecisionResult {
+    /// Which side was certified.
+    pub outcome: Outcome,
+    /// Telemetry.
+    pub stats: SolveStats,
+}
+
+/// Run Algorithm 3.1 on a normalized packing instance.
+///
+/// ```
+/// use psdp_core::{decision_psdp, DecisionOptions, Outcome, PackingInstance};
+/// use psdp_sparse::PsdMatrix;
+///
+/// // Two orthogonal projectors: packing OPT = 2 ≥ 1, so the ε-decision
+/// // procedure certifies the dual side with value ≥ 1−O(ε).
+/// let inst = PackingInstance::new(vec![
+///     PsdMatrix::Diagonal(vec![1.0, 0.0]),
+///     PsdMatrix::Diagonal(vec![0.0, 1.0]),
+/// ])?;
+/// let res = decision_psdp(&inst, &DecisionOptions::practical(0.2))?;
+/// let dual = res.outcome.dual().expect("feasible side");
+/// assert!(dual.value >= 0.8);
+/// # Ok::<(), psdp_core::PsdpError>(())
+/// ```
+///
+/// # Errors
+/// Instance/option validation failures and linear-algebra errors.
+pub fn decision_psdp(
+    inst: &PackingInstance,
+    opts: &DecisionOptions,
+) -> Result<DecisionResult, PsdpError> {
+    opts.validate()?;
+    let start = Instant::now();
+    let n = inst.n();
+    let m = inst.dim();
+    let eps = opts.eps;
+
+    let pc = paper_constants(n, eps);
+    let (k_threshold, alpha, cap) = match opts.mode {
+        ConstantsMode::PaperStrict => {
+            (pc.k_threshold, pc.alpha, pc.r_cap.ceil() as usize)
+        }
+        ConstantsMode::Practical { alpha_boost, max_iters } => {
+            (pc.k_threshold, pc.alpha * alpha_boost, max_iters)
+        }
+    };
+    // Lemma 3.2 spectral bound, used to cap the κ passed to the engines in
+    // strict mode (where the induction guarantees it holds).
+    let lemma_bound = (1.0 + 10.0 * eps) * k_threshold;
+
+    // x⁰ᵢ = 1/(n · Tr Aᵢ)  (Claim 3.3: Σ xᵢ⁰Aᵢ ⪯ I).
+    let traces: Vec<f64> = inst.mats().iter().map(|a| a.trace()).collect();
+    let mut x: Vec<f64> = traces.iter().map(|t| 1.0 / (n as f64 * t)).collect();
+    let mut psi = inst.weighted_sum(&x);
+
+    let engine = Engine::new(opts.engine, inst.mats(), opts.seed)?;
+    let accumulate_y = opts.primal_matrix_dim_limit > 0
+        && m <= opts.primal_matrix_dim_limit
+        && !matches!(opts.engine, psdp_expdot::EngineKind::TaylorJl { .. });
+    let mut y_acc: Option<Mat> = accumulate_y.then(|| Mat::zeros(m, m));
+
+    // Running sums of P(τ)•Aᵢ for the averaged primal.
+    let mut dot_sums = vec![0.0_f64; n];
+    let mut rounds_accumulated = 0usize;
+
+    let mut cost_total = Cost::ZERO;
+    let mut selected_total = 0usize;
+    let mut kappa_max = 0.0_f64;
+    let mut exit = ExitReason::IterationCap;
+    let sample_every = (cap / 200).max(1);
+    let mut trajectory: Vec<(usize, f64)> = Vec::new();
+
+    // State for the Stale update rule.
+    let mut cached: Option<ExpDots> = None;
+
+    let mut t = 0usize;
+    let mut empty_b_snapshot: Option<(Vec<f64>, Option<Mat>)> = None;
+
+    // The paper's while-loop guards on ‖x‖₁ ≤ K *before* the first
+    // iteration: if the starting point already crosses K (possible when
+    // traces are ≪ 1, making x⁰ large), it is returned as the dual answer
+    // directly — Ψ⁰ ⪯ I (Claim 3.3) makes the scaled x⁰ feasible.
+    if vecops::sum(&x) > k_threshold {
+        exit = ExitReason::DualNormCrossed;
+    }
+
+    while t < cap && exit != ExitReason::DualNormCrossed {
+        t += 1;
+
+        // κ for the Taylor degree: certified Gershgorin/Frobenius bound,
+        // additionally clamped by the Lemma 3.2 bound in strict mode.
+        let mut kappa = lambda_max_upper_bound(&psi);
+        if matches!(opts.mode, ConstantsMode::PaperStrict) {
+            kappa = kappa.min(lemma_bound * 1.01);
+        }
+        kappa_max = kappa_max.max(kappa);
+
+        // Engine evaluation (possibly reused under the Stale rule).
+        let refresh = match opts.rule {
+            UpdateRule::Stale { period } => (t - 1).is_multiple_of(period) || cached.is_none(),
+            _ => true,
+        };
+        if refresh {
+            let dots = if accumulate_y {
+                engine.compute_dense(&psi, kappa, inst.mats(), t as u64)?
+            } else {
+                engine.compute(&psi, kappa, inst.mats(), t as u64)?
+            };
+            cost_total = cost_total + dots.cost;
+            cached = Some(dots);
+        }
+        let dots = cached.as_ref().expect("engine output present");
+
+        // Ratios P(t) • Aᵢ = (W•Aᵢ)/Tr W.
+        let inv_tr = 1.0 / dots.tr_w;
+        let ratios: Vec<f64> = dots.dots.iter().map(|d| d * inv_tr).collect();
+
+        // Primal averaging uses the *current* P (i.e. x^{t-1}); only when
+        // the engine output is fresh (stale reuse would double-count one P).
+        if refresh {
+            for (s, &r) in dot_sums.iter_mut().zip(&ratios) {
+                *s += r;
+            }
+            if let (Some(acc), Some(p)) = (y_acc.as_mut(), dots.dense_p.as_ref()) {
+                acc.axpy(1.0, p);
+            }
+            rounds_accumulated += 1;
+        }
+
+        // Eligible set B(t) and per-coordinate steps.
+        let steps = select_steps(&ratios, eps, alpha, opts.rule);
+        let selected = steps.iter().filter(|&&s| s > 0.0).count();
+        if selected == 0 {
+            // Every constraint already has P•Aᵢ > 1+ε: the current P is a
+            // feasible primal. Snapshot it and exit.
+            empty_b_snapshot = Some((ratios.clone(), dots.dense_p.clone()));
+            exit = ExitReason::EmptyEligibleSet;
+            break;
+        }
+        selected_total += selected;
+
+        // x ← x + δ, Ψ ← Ψ + Σ δᵢAᵢ (incremental).
+        for (i, &step) in steps.iter().enumerate() {
+            if step > 0.0 {
+                let delta = step * x[i];
+                x[i] += delta;
+                inst.mats()[i].add_scaled_into(&mut psi, delta);
+            }
+        }
+        psi.symmetrize();
+
+        let norm1 = vecops::sum(&x);
+        if t.is_multiple_of(sample_every) {
+            trajectory.push((t, norm1));
+        }
+        if norm1 > k_threshold {
+            exit = ExitReason::DualNormCrossed;
+            break;
+        }
+        if opts.early_exit && rounds_accumulated > 0 {
+            let min_avg = dot_sums
+                .iter()
+                .fold(f64::INFINITY, |acc, &s| acc.min(s / rounds_accumulated as f64));
+            if min_avg >= 1.0 {
+                exit = ExitReason::PrimalEarly;
+                break;
+            }
+        }
+    }
+
+    let final_norm1 = vecops::sum(&x);
+    let outcome = match exit {
+        ExitReason::DualNormCrossed => {
+            Outcome::Dual(build_dual(&x, &psi, eps, k_threshold, opts.mode)?)
+        }
+        ExitReason::EmptyEligibleSet => {
+            let (ratios, p) = empty_b_snapshot.expect("snapshot recorded");
+            let min_dot = ratios.iter().copied().fold(f64::INFINITY, f64::min);
+            Outcome::Primal(PrimalSolution {
+                constraint_dots: ratios,
+                y: p,
+                min_dot,
+                rounds_averaged: 1,
+            })
+        }
+        ExitReason::IterationCap | ExitReason::PrimalEarly => {
+            let rounds = rounds_accumulated.max(1) as f64;
+            let constraint_dots: Vec<f64> = dot_sums.iter().map(|s| s / rounds).collect();
+            let min_dot = constraint_dots.iter().copied().fold(f64::INFINITY, f64::min);
+            let y = y_acc.map(|mut acc| {
+                acc.scale(1.0 / rounds);
+                // Renormalize trace against numeric drift.
+                let tr = acc.trace();
+                if tr > 0.0 {
+                    acc.scale(1.0 / tr);
+                }
+                acc
+            });
+            Outcome::Primal(PrimalSolution {
+                constraint_dots,
+                y,
+                min_dot,
+                rounds_averaged: rounds_accumulated.max(1),
+            })
+        }
+    };
+
+    let stats = SolveStats {
+        iterations: t,
+        exit,
+        final_norm1,
+        k_threshold,
+        alpha,
+        iteration_cap: cap,
+        cost: cost_total,
+        engine: opts.engine.name(),
+        avg_selected: if t > 0 { selected_total as f64 / t as f64 } else { 0.0 },
+        kappa_max,
+        wall: start.elapsed(),
+        norm_trajectory: trajectory,
+    };
+    Ok(DecisionResult { outcome, stats })
+}
+
+/// Per-coordinate step multipliers (0 = not stepped) under the chosen rule.
+/// The returned value is the multiplicative step: `x_i ← x_i·(1 + stepᵢ)`.
+fn select_steps(ratios: &[f64], eps: f64, alpha: f64, rule: UpdateRule) -> Vec<f64> {
+    let threshold = 1.0 + eps;
+    match rule {
+        UpdateRule::Standard | UpdateRule::Stale { .. } => ratios
+            .iter()
+            .map(|&r| if r <= threshold { alpha } else { 0.0 })
+            .collect(),
+        UpdateRule::Bucketed { boost } => ratios
+            .iter()
+            .map(|&r| {
+                if r <= threshold {
+                    // Slack-proportional boost, floored so near-threshold
+                    // coordinates keep moving, capped at `boost`.
+                    let slack = (threshold - r) / eps;
+                    alpha * slack.clamp(0.25, boost)
+                } else {
+                    0.0
+                }
+            })
+            .collect(),
+        UpdateRule::TopK { k } => {
+            let mut eligible: Vec<(usize, f64)> = ratios
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(_, r)| r <= threshold)
+                .collect();
+            eligible.sort_by(|a, b| a.1.total_cmp(&b.1));
+            let mut steps = vec![0.0; ratios.len()];
+            for &(i, _) in eligible.iter().take(k) {
+                steps[i] = alpha;
+            }
+            steps
+        }
+    }
+}
+
+/// Build a certified dual solution from the raw iterate.
+fn build_dual(
+    x: &[f64],
+    psi: &Mat,
+    eps: f64,
+    k_threshold: f64,
+    mode: ConstantsMode,
+) -> Result<DualSolution, PsdpError> {
+    let scale = match mode {
+        ConstantsMode::PaperStrict => (1.0 + 10.0 * eps) * k_threshold,
+        ConstantsMode::Practical { .. } => {
+            // Certify by measurement: λmax(Σ xᵢAᵢ) from the maintained Ψ.
+            let lam = match sym_eigen(psi) {
+                Ok(eig) => eig.lambda_max(),
+                Err(_) => lambda_max_upper_bound(psi),
+            };
+            (lam * (1.0 + 1e-9)).max(1.0)
+        }
+    };
+    let xs: Vec<f64> = x.iter().map(|v| v / scale).collect();
+    let value = vecops::sum(&xs);
+    Ok(DualSolution { x: xs, value, feasibility_scale: scale })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdp_sparse::PsdMatrix;
+
+    fn diag_instance(rows: &[&[f64]]) -> PackingInstance {
+        PackingInstance::new(rows.iter().map(|r| PsdMatrix::Diagonal(r.to_vec())).collect())
+            .unwrap()
+    }
+
+    /// Feasible case: identity split across 2 diagonal constraints. The
+    /// packing optimum of {diag(1,0), diag(0,1)} is 2 > 1, so the decision
+    /// procedure must find a dual with value ≥ 1−O(ε).
+    #[test]
+    fn dual_side_on_easy_feasible_instance() {
+        let inst = diag_instance(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let res = decision_psdp(&inst, &DecisionOptions::practical(0.2)).unwrap();
+        let d = res.outcome.dual().expect("should certify dual side");
+        assert!(d.value >= 0.8, "dual value {}", d.value);
+        // Feasibility: Σ x_i A_i ⪯ I, i.e. every diag entry ≤ 1.
+        assert!(d.x[0] <= 1.0 + 1e-9 && d.x[1] <= 1.0 + 1e-9);
+        assert_eq!(res.stats.exit, ExitReason::DualNormCrossed);
+    }
+
+    /// Infeasible case: OPT < 1. With A₁ = diag(4,4) the packing optimum is
+    /// 1/4, so the procedure must certify the primal side.
+    #[test]
+    fn primal_side_on_small_optimum() {
+        let inst = diag_instance(&[&[4.0, 4.0]]);
+        let res = decision_psdp(&inst, &DecisionOptions::practical(0.2)).unwrap();
+        let p = res.outcome.primal().expect("should certify primal side");
+        // Y has trace 1 and A•Y = 4 ≥ 1 for any such Y.
+        assert!(p.min_dot >= 1.0 - 1e-9, "min dot {}", p.min_dot);
+    }
+
+    /// Paper-strict constants on a tiny instance: the loop must stay within
+    /// R iterations and produce a certified answer.
+    #[test]
+    fn strict_mode_terminates_with_certificate() {
+        let inst = diag_instance(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let opts = DecisionOptions::strict(0.3);
+        let res = decision_psdp(&inst, &opts).unwrap();
+        assert!(res.stats.iterations <= res.stats.iteration_cap);
+        match res.outcome {
+            Outcome::Dual(d) => {
+                assert!(d.value >= 1.0 - 10.0 * 0.3 - 1e-9, "value {}", d.value);
+            }
+            Outcome::Primal(p) => {
+                assert!(p.min_dot >= 1.0 - 1e-6);
+            }
+        }
+    }
+
+    /// Claim 3.5: ‖x‖₁ ≤ (1+ε)K at exit (strict constants).
+    #[test]
+    fn norm_never_overshoots_much() {
+        let inst = diag_instance(&[&[0.5, 0.0], &[0.0, 0.5], &[0.25, 0.25]]);
+        let opts = DecisionOptions::strict(0.3);
+        let res = decision_psdp(&inst, &opts).unwrap();
+        let k = res.stats.k_threshold;
+        assert!(
+            res.stats.final_norm1 <= (1.0 + 0.3) * k + 1e-9,
+            "‖x‖ = {} exceeds (1+ε)K = {}",
+            res.stats.final_norm1,
+            (1.0 + 0.3) * k
+        );
+    }
+
+    /// The empty-B shortcut: a single constraint with huge eigenvalues makes
+    /// every ratio exceed 1+ε immediately.
+    #[test]
+    fn empty_eligible_set_returns_current_p() {
+        let inst = diag_instance(&[&[100.0, 100.0]]);
+        let res = decision_psdp(&inst, &DecisionOptions::practical(0.1)).unwrap();
+        assert_eq!(res.stats.exit, ExitReason::EmptyEligibleSet);
+        let p = res.outcome.primal().unwrap();
+        assert!(p.min_dot > 1.1);
+        assert_eq!(p.rounds_averaged, 1);
+    }
+
+    /// Non-diagonal instance through the dense path.
+    #[test]
+    fn dense_constraints_work() {
+        let mut a1 = Mat::zeros(3, 3);
+        a1.rank1_update(1.0, &[1.0, 0.0, 0.0]);
+        let mut a2 = Mat::zeros(3, 3);
+        a2.rank1_update(1.0, &[0.0, 1.0, 1.0]);
+        a2.scale(0.5);
+        let inst =
+            PackingInstance::new(vec![PsdMatrix::Dense(a1), PsdMatrix::Dense(a2)]).unwrap();
+        let res = decision_psdp(&inst, &DecisionOptions::practical(0.2)).unwrap();
+        // Both constraints have λmax ≤ 1, so OPT ≥ 2 > 1: dual side.
+        let d = res.outcome.dual().expect("dual expected");
+        assert!(d.value >= 0.75, "value {}", d.value);
+        // Certify feasibility directly.
+        let psi = inst.weighted_sum(&d.x);
+        let lam = sym_eigen(&psi).unwrap().lambda_max();
+        assert!(lam <= 1.0 + 1e-8, "λmax {lam}");
+    }
+
+    /// All update-rule variants return certified outcomes on the same
+    /// instance.
+    #[test]
+    fn update_rule_variants_all_certify() {
+        let inst = diag_instance(&[&[1.0, 0.0, 0.5], &[0.0, 1.0, 0.5], &[0.5, 0.5, 0.0]]);
+        for rule in [
+            UpdateRule::Standard,
+            UpdateRule::Bucketed { boost: 4.0 },
+            UpdateRule::TopK { k: 1 },
+            UpdateRule::Stale { period: 5 },
+        ] {
+            let opts = DecisionOptions::practical(0.2).with_rule(rule);
+            let res = decision_psdp(&inst, &opts).unwrap();
+            match res.outcome {
+                Outcome::Dual(d) => {
+                    let psi = inst.weighted_sum(&d.x);
+                    let lam = sym_eigen(&psi).unwrap().lambda_max();
+                    assert!(lam <= 1.0 + 1e-8, "{rule:?}: λmax {lam}");
+                    assert!(d.value > 0.5, "{rule:?}: value {}", d.value);
+                }
+                Outcome::Primal(p) => {
+                    assert!(p.min_dot >= 0.9, "{rule:?}: min_dot {}", p.min_dot);
+                }
+            }
+        }
+    }
+
+    /// The primal matrix, when accumulated, has trace 1 and matches the
+    /// reported constraint dots.
+    #[test]
+    fn primal_matrix_consistent_with_dots() {
+        let inst = diag_instance(&[&[2.0, 3.0]]);
+        let mut opts = DecisionOptions::practical(0.2);
+        opts.early_exit = false;
+        opts.mode = ConstantsMode::Practical { alpha_boost: 16.0, max_iters: 40 };
+        let res = decision_psdp(&inst, &opts).unwrap();
+        if let Outcome::Primal(p) = res.outcome {
+            if p.rounds_averaged > 1 {
+                let y = p.y.expect("dense Y accumulated");
+                assert!((y.trace() - 1.0).abs() < 1e-9);
+                let want = inst.mats()[0].dot_dense(&y);
+                assert!(
+                    (want - p.constraint_dots[0]).abs() < 1e-6,
+                    "{want} vs {}",
+                    p.constraint_dots[0]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn select_steps_standard_and_topk() {
+        let ratios = vec![0.5, 1.05, 1.3];
+        let s = select_steps(&ratios, 0.1, 0.01, UpdateRule::Standard);
+        assert!(s[0] > 0.0 && s[1] > 0.0 && s[2] == 0.0);
+        let s = select_steps(&ratios, 0.1, 0.01, UpdateRule::TopK { k: 1 });
+        assert!(s[0] > 0.0 && s[1] == 0.0 && s[2] == 0.0);
+    }
+
+    #[test]
+    fn select_steps_bucketed_orders_by_slack() {
+        let ratios = vec![0.1, 1.0, 2.0];
+        let s = select_steps(&ratios, 0.1, 0.01, UpdateRule::Bucketed { boost: 8.0 });
+        assert!(s[0] > s[1], "lower ratio should step more: {s:?}");
+        assert_eq!(s[2], 0.0);
+        // Cap respected.
+        assert!(s[0] <= 0.01 * 8.0 + 1e-15);
+    }
+}

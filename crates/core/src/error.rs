@@ -1,0 +1,64 @@
+//! Error type for the solver crate.
+
+use psdp_linalg::LinalgError;
+use std::fmt;
+
+/// Errors surfaced by instance validation and solving.
+#[derive(Debug, Clone)]
+pub enum PsdpError {
+    /// The instance is malformed (mismatched dims, zero/negative traces,
+    /// empty constraint set, non-PSD inputs…). Carries a human explanation.
+    InvalidInstance(String),
+    /// An underlying dense linear algebra kernel failed.
+    Linalg(LinalgError),
+    /// The bisection in `approxPSDP` exhausted its budget without bracketing
+    /// the optimum to the requested accuracy.
+    BisectionStalled {
+        /// Best certified lower bound at the time of failure.
+        lo: f64,
+        /// Best certified upper bound at the time of failure.
+        hi: f64,
+    },
+}
+
+impl fmt::Display for PsdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PsdpError::InvalidInstance(s) => write!(f, "invalid instance: {s}"),
+            PsdpError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            PsdpError::BisectionStalled { lo, hi } => {
+                write!(f, "bisection stalled with bracket [{lo:.6e}, {hi:.6e}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PsdpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PsdpError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for PsdpError {
+    fn from(e: LinalgError) -> Self {
+        PsdpError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = PsdpError::InvalidInstance("empty".into());
+        assert!(e.to_string().contains("empty"));
+        let e: PsdpError = LinalgError::NotFinite.into();
+        assert!(e.to_string().contains("linear algebra"));
+        let e = PsdpError::BisectionStalled { lo: 1.0, hi: 2.0 };
+        assert!(e.to_string().contains("bracket"));
+    }
+}

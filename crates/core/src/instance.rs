@@ -1,0 +1,306 @@
+//! Problem instances: the general positive SDP (1.1) and the normalized
+//! packing form of Figure 2.
+
+use crate::error::PsdpError;
+use psdp_linalg::Mat;
+use psdp_sparse::PsdMatrix;
+
+/// A general positive SDP in the paper's standard primal form (1.1):
+///
+/// ```text
+///   minimize   C • Y
+///   subject to Aᵢ • Y ≥ bᵢ   (i = 1…n),   Y ⪰ 0,
+/// ```
+///
+/// with `C, Aᵢ ⪰ 0` and `bᵢ ≥ 0`.
+#[derive(Debug, Clone)]
+pub struct PositiveSdp {
+    /// Objective matrix `C` (PSD).
+    pub objective: PsdMatrix,
+    /// Constraint matrices `Aᵢ` (PSD).
+    pub constraints: Vec<PsdMatrix>,
+    /// Right-hand sides `bᵢ ≥ 0`.
+    pub rhs: Vec<f64>,
+}
+
+impl PositiveSdp {
+    /// Validate shapes and sign conditions.
+    ///
+    /// # Errors
+    /// [`PsdpError::InvalidInstance`] with an explanation.
+    pub fn validate(&self) -> Result<(), PsdpError> {
+        let m = self.objective.dim();
+        if self.constraints.is_empty() {
+            return Err(PsdpError::InvalidInstance("no constraints".into()));
+        }
+        if self.constraints.len() != self.rhs.len() {
+            return Err(PsdpError::InvalidInstance(format!(
+                "{} constraints but {} right-hand sides",
+                self.constraints.len(),
+                self.rhs.len()
+            )));
+        }
+        for (i, a) in self.constraints.iter().enumerate() {
+            if a.dim() != m {
+                return Err(PsdpError::InvalidInstance(format!(
+                    "constraint {i} has dim {} != objective dim {m}",
+                    a.dim()
+                )));
+            }
+        }
+        for (i, &b) in self.rhs.iter().enumerate() {
+            if !(b >= 0.0) || !b.is_finite() {
+                return Err(PsdpError::InvalidInstance(format!("rhs b[{i}] = {b} not in [0,∞)")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Matrix dimension `m`.
+    pub fn dim(&self) -> usize {
+        self.objective.dim()
+    }
+
+    /// Number of constraints `n`.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Evaluate the objective `C • Y` for a candidate primal `Y`.
+    pub fn objective_value(&self, y: &Mat) -> f64 {
+        self.objective.dot_dense(y)
+    }
+}
+
+/// A normalized **packing** instance (the dual side of Figure 2):
+///
+/// ```text
+///   maximize 1ᵀx   subject to   Σᵢ xᵢ Aᵢ ⪯ I,   x ≥ 0,
+/// ```
+///
+/// equivalently the covering primal `min Tr Y` s.t. `Aᵢ • Y ≥ 1`. This is
+/// the form `decisionPSDP` (Algorithm 3.1) consumes.
+#[derive(Debug, Clone)]
+pub struct PackingInstance {
+    mats: Vec<PsdMatrix>,
+    dim: usize,
+}
+
+impl PackingInstance {
+    /// Build and validate an instance.
+    ///
+    /// # Errors
+    /// [`PsdpError::InvalidInstance`] on an empty set, dimension mismatches,
+    /// or a constraint with non-positive trace (a zero matrix makes the
+    /// packing value unbounded, so it is rejected rather than silently
+    /// accepted).
+    pub fn new(mats: Vec<PsdMatrix>) -> Result<Self, PsdpError> {
+        if mats.is_empty() {
+            return Err(PsdpError::InvalidInstance("no constraint matrices".into()));
+        }
+        let dim = mats[0].dim();
+        if dim == 0 {
+            return Err(PsdpError::InvalidInstance("zero-dimensional matrices".into()));
+        }
+        for (i, a) in mats.iter().enumerate() {
+            if a.dim() != dim {
+                return Err(PsdpError::InvalidInstance(format!(
+                    "matrix {i} has dim {} != {dim}",
+                    a.dim()
+                )));
+            }
+            if let Err(msg) = a.validate_cheap() {
+                return Err(PsdpError::InvalidInstance(format!("matrix {i}: {msg}")));
+            }
+            let tr = a.trace();
+            if !(tr > 0.0) || !tr.is_finite() {
+                return Err(PsdpError::InvalidInstance(format!(
+                    "matrix {i} has trace {tr}; every Aᵢ must be PSD and nonzero"
+                )));
+            }
+        }
+        Ok(PackingInstance { mats, dim })
+    }
+
+    /// The constraint matrices.
+    pub fn mats(&self) -> &[PsdMatrix] {
+        &self.mats
+    }
+
+    /// Number of constraints `n`.
+    pub fn n(&self) -> usize {
+        self.mats.len()
+    }
+
+    /// Matrix dimension `m`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total storage nonzeros across constraints (the `q` of Theorem 4.1
+    /// when all constraints are factorized).
+    pub fn total_nnz(&self) -> usize {
+        self.mats.iter().map(|a| a.storage_nnz()).sum()
+    }
+
+    /// `Σᵢ xᵢ Aᵢ` as a dense symmetric matrix.
+    pub fn weighted_sum(&self, x: &[f64]) -> Mat {
+        assert_eq!(x.len(), self.n(), "weighted_sum: coefficient length");
+        let mut out = Mat::zeros(self.dim, self.dim);
+        for (a, &xi) in self.mats.iter().zip(x) {
+            if xi != 0.0 {
+                a.add_scaled_into(&mut out, xi);
+            }
+        }
+        out.symmetrize();
+        out
+    }
+
+    /// Return a copy with every matrix scaled by `sigma > 0` (the bisection
+    /// of `approxPSDP` tests "OPT ≥ σ" by scaling and asking the ε-decision
+    /// problem at threshold 1).
+    pub fn scaled(&self, sigma: f64) -> PackingInstance {
+        assert!(sigma > 0.0 && sigma.is_finite(), "scale must be positive");
+        let mats = self
+            .mats
+            .iter()
+            .map(|a| {
+                let mut b = a.clone();
+                b.scale(sigma);
+                b
+            })
+            .collect();
+        PackingInstance { mats, dim: self.dim }
+    }
+
+    /// Restrict to a subset of constraint indices (Lemma 2.2 trace pruning).
+    ///
+    /// # Errors
+    /// [`PsdpError::InvalidInstance`] if `keep` is empty or out of range.
+    pub fn restrict(&self, keep: &[usize]) -> Result<PackingInstance, PsdpError> {
+        if keep.is_empty() {
+            return Err(PsdpError::InvalidInstance("restriction keeps no constraints".into()));
+        }
+        let mut mats = Vec::with_capacity(keep.len());
+        for &i in keep {
+            if i >= self.n() {
+                return Err(PsdpError::InvalidInstance(format!("index {i} out of range")));
+            }
+            mats.push(self.mats[i].clone());
+        }
+        Ok(PackingInstance { mats, dim: self.dim })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(d: &[f64]) -> PsdMatrix {
+        PsdMatrix::Diagonal(d.to_vec())
+    }
+
+    #[test]
+    fn packing_instance_validates() {
+        let inst = PackingInstance::new(vec![diag(&[1.0, 0.0]), diag(&[0.0, 2.0])]).unwrap();
+        assert_eq!(inst.n(), 2);
+        assert_eq!(inst.dim(), 2);
+        assert_eq!(inst.total_nnz(), 2);
+    }
+
+    #[test]
+    fn rejects_empty_and_mismatched() {
+        assert!(PackingInstance::new(vec![]).is_err());
+        let r = PackingInstance::new(vec![diag(&[1.0]), diag(&[1.0, 1.0])]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_zero_trace() {
+        let r = PackingInstance::new(vec![diag(&[0.0, 0.0])]);
+        assert!(matches!(r, Err(PsdpError::InvalidInstance(_))));
+    }
+
+    #[test]
+    fn rejects_structurally_non_psd_input() {
+        // Negative diagonal entry.
+        let r = PackingInstance::new(vec![diag(&[1.0, -0.5])]);
+        assert!(matches!(r, Err(PsdpError::InvalidInstance(_))));
+        // NaN entry.
+        let r = PackingInstance::new(vec![diag(&[f64::NAN, 1.0])]);
+        assert!(matches!(r, Err(PsdpError::InvalidInstance(_))));
+        // Asymmetric dense matrix.
+        let m = Mat::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        let r = PackingInstance::new(vec![PsdMatrix::Dense(m)]);
+        assert!(matches!(r, Err(PsdpError::InvalidInstance(_))));
+        // Negative dense diagonal (necessary-condition check).
+        let m = Mat::from_rows(&[&[-1.0, 0.0], &[0.0, 1.0]]);
+        let r = PackingInstance::new(vec![PsdMatrix::Dense(m)]);
+        assert!(matches!(r, Err(PsdpError::InvalidInstance(_))));
+    }
+
+    #[test]
+    fn weighted_sum_matches_hand_calc() {
+        let inst = PackingInstance::new(vec![diag(&[1.0, 0.0]), diag(&[0.0, 3.0])]).unwrap();
+        let s = inst.weighted_sum(&[2.0, 0.5]);
+        assert_eq!(s[(0, 0)], 2.0);
+        assert_eq!(s[(1, 1)], 1.5);
+        assert_eq!(s[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn scaled_multiplies_matrices() {
+        let inst = PackingInstance::new(vec![diag(&[1.0, 2.0])]).unwrap();
+        let s = inst.scaled(3.0);
+        assert_eq!(s.mats()[0].trace(), 9.0);
+    }
+
+    #[test]
+    fn restrict_picks_subset() {
+        let inst =
+            PackingInstance::new(vec![diag(&[1.0, 0.0]), diag(&[0.0, 1.0]), diag(&[1.0, 1.0])])
+                .unwrap();
+        let sub = inst.restrict(&[0, 2]).unwrap();
+        assert_eq!(sub.n(), 2);
+        assert_eq!(sub.mats()[1].trace(), 2.0);
+        assert!(inst.restrict(&[]).is_err());
+        assert!(inst.restrict(&[7]).is_err());
+    }
+
+    #[test]
+    fn positive_sdp_validation() {
+        let sdp = PositiveSdp {
+            objective: diag(&[1.0, 1.0]),
+            constraints: vec![diag(&[1.0, 0.0])],
+            rhs: vec![1.0],
+        };
+        assert!(sdp.validate().is_ok());
+        assert_eq!(sdp.dim(), 2);
+        assert_eq!(sdp.num_constraints(), 1);
+
+        let bad = PositiveSdp {
+            objective: diag(&[1.0, 1.0]),
+            constraints: vec![diag(&[1.0, 0.0])],
+            rhs: vec![-1.0],
+        };
+        assert!(bad.validate().is_err());
+
+        let mismatch = PositiveSdp {
+            objective: diag(&[1.0, 1.0]),
+            constraints: vec![diag(&[1.0, 0.0]), diag(&[1.0, 0.0])],
+            rhs: vec![1.0],
+        };
+        assert!(mismatch.validate().is_err());
+    }
+
+    #[test]
+    fn objective_value_dot() {
+        let sdp = PositiveSdp {
+            objective: diag(&[2.0, 1.0]),
+            constraints: vec![diag(&[1.0, 1.0])],
+            rhs: vec![1.0],
+        };
+        let y = Mat::from_diag(&[1.0, 4.0]);
+        assert_eq!(sdp.objective_value(&y), 6.0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Plain-text instance format (`psdp v1`) — load/save packing instances.
+//!
+//! A deliberately boring line-based format so instances can be generated,
+//! versioned, and diffed without extra dependencies:
+//!
+//! ```text
+//! psdp 1
+//! # optional comments anywhere
+//! dim 4
+//! constraints 2
+//! constraint 0 diagonal 2      # <index> diagonal <nnz>
+//! 0 1.5                        #   <coord> <value>
+//! 2 0.5
+//! constraint 1 factor 3 2      # <index> factor <nnz> <rank>
+//! 0 0 1.0                      #   <row> <col> <value>
+//! 1 1 2.0
+//! 3 0 -1.0
+//! end
+//! ```
+//!
+//! Dense constraints use `constraint <i> dense` followed by `dim` rows of
+//! `dim` whitespace-separated numbers. Values round-trip through `{:e}`
+//! formatting, so write→read is exact.
+
+use crate::error::PsdpError;
+use crate::instance::PackingInstance;
+use psdp_linalg::Mat;
+use psdp_sparse::{Csr, FactorPsd, PsdMatrix};
+use std::fmt::Write as _;
+
+/// Serialize an instance to the `psdp v1` text format.
+///
+/// ```
+/// use psdp_core::{read_instance, write_instance, PackingInstance};
+/// use psdp_sparse::PsdMatrix;
+///
+/// let inst = PackingInstance::new(vec![PsdMatrix::Diagonal(vec![1.0, 2.0])])?;
+/// let text = write_instance(&inst);
+/// let back = read_instance(&text)?;
+/// assert_eq!(back.dim(), 2);
+/// assert_eq!(back.mats()[0].trace(), 3.0);
+/// # Ok::<(), psdp_core::PsdpError>(())
+/// ```
+pub fn write_instance(inst: &PackingInstance) -> String {
+    let mut out = String::new();
+    let dim = inst.dim();
+    writeln!(out, "psdp 1").unwrap();
+    writeln!(out, "dim {dim}").unwrap();
+    writeln!(out, "constraints {}", inst.n()).unwrap();
+    for (i, a) in inst.mats().iter().enumerate() {
+        match a {
+            PsdMatrix::Diagonal(d) => {
+                let nz: Vec<(usize, f64)> =
+                    d.iter().enumerate().filter(|(_, &v)| v != 0.0).map(|(j, &v)| (j, v)).collect();
+                writeln!(out, "constraint {i} diagonal {}", nz.len()).unwrap();
+                for (j, v) in nz {
+                    writeln!(out, "{j} {v:e}").unwrap();
+                }
+            }
+            PsdMatrix::Factor(fp) => {
+                let q = fp.factor();
+                writeln!(out, "constraint {i} factor {} {}", q.nnz(), q.ncols()).unwrap();
+                for r in 0..q.nrows() {
+                    for (c, v) in q.row_iter(r) {
+                        writeln!(out, "{r} {c} {v:e}").unwrap();
+                    }
+                }
+            }
+            PsdMatrix::Dense(m) => {
+                writeln!(out, "constraint {i} dense").unwrap();
+                for r in 0..dim {
+                    let row: Vec<String> = m.row(r).iter().map(|v| format!("{v:e}")).collect();
+                    writeln!(out, "{}", row.join(" ")).unwrap();
+                }
+            }
+        }
+    }
+    writeln!(out, "end").unwrap();
+    out
+}
+
+/// Parse the `psdp v1` text format.
+///
+/// # Errors
+/// [`PsdpError::InvalidInstance`] with a line-anchored message on any
+/// malformed input.
+pub fn read_instance(text: &str) -> Result<PackingInstance, PsdpError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(no, l)| (no + 1, l.split('#').next().unwrap_or("").trim()))
+        .filter(|(_, l)| !l.is_empty());
+
+    let bad = |no: usize, msg: &str| PsdpError::InvalidInstance(format!("line {no}: {msg}"));
+
+    let (no, header) = lines.next().ok_or_else(|| bad(0, "empty file"))?;
+    if header != "psdp 1" {
+        return Err(bad(no, "expected header `psdp 1`"));
+    }
+
+    let (no, dim_line) = lines.next().ok_or_else(|| bad(no, "missing `dim`"))?;
+    let dim: usize = dim_line
+        .strip_prefix("dim ")
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| bad(no, "expected `dim <n>`"))?;
+
+    let (no, cnt_line) = lines.next().ok_or_else(|| bad(no, "missing `constraints`"))?;
+    let count: usize = cnt_line
+        .strip_prefix("constraints ")
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| bad(no, "expected `constraints <n>`"))?;
+
+    let mut mats: Vec<PsdMatrix> = Vec::with_capacity(count);
+    for expected in 0..count {
+        let (no, head) = lines.next().ok_or_else(|| bad(0, "unexpected end of file"))?;
+        let toks: Vec<&str> = head.split_whitespace().collect();
+        if toks.len() < 3 || toks[0] != "constraint" {
+            return Err(bad(no, "expected `constraint <i> <kind> …`"));
+        }
+        let idx: usize = toks[1].parse().map_err(|_| bad(no, "bad constraint index"))?;
+        if idx != expected {
+            return Err(bad(no, &format!("constraint index {idx}, expected {expected}")));
+        }
+        match toks[2] {
+            "diagonal" => {
+                let nnz: usize =
+                    toks.get(3).and_then(|s| s.parse().ok()).ok_or_else(|| bad(no, "bad nnz"))?;
+                let mut d = vec![0.0; dim];
+                for _ in 0..nnz {
+                    let (no, entry) = lines.next().ok_or_else(|| bad(no, "truncated diagonal"))?;
+                    let parts: Vec<&str> = entry.split_whitespace().collect();
+                    let (j, v) = parse_pair(&parts).ok_or_else(|| bad(no, "bad diagonal entry"))?;
+                    if j >= dim {
+                        return Err(bad(no, "diagonal coordinate out of range"));
+                    }
+                    d[j] = v;
+                }
+                mats.push(PsdMatrix::Diagonal(d));
+            }
+            "factor" => {
+                let nnz: usize =
+                    toks.get(3).and_then(|s| s.parse().ok()).ok_or_else(|| bad(no, "bad nnz"))?;
+                let rank: usize =
+                    toks.get(4).and_then(|s| s.parse().ok()).ok_or_else(|| bad(no, "bad rank"))?;
+                let mut trip = Vec::with_capacity(nnz);
+                for _ in 0..nnz {
+                    let (no, entry) = lines.next().ok_or_else(|| bad(no, "truncated factor"))?;
+                    let parts: Vec<&str> = entry.split_whitespace().collect();
+                    let (r, c, v) =
+                        parse_triplet(&parts).ok_or_else(|| bad(no, "bad factor entry"))?;
+                    if r >= dim || c >= rank {
+                        return Err(bad(no, "factor entry out of range"));
+                    }
+                    trip.push((r, c, v));
+                }
+                mats.push(PsdMatrix::Factor(FactorPsd::new(Csr::from_triplets(
+                    dim,
+                    rank.max(1),
+                    &trip,
+                ))));
+            }
+            "dense" => {
+                let mut m = Mat::zeros(dim, dim);
+                for r in 0..dim {
+                    let (no, row_line) =
+                        lines.next().ok_or_else(|| bad(no, "truncated dense block"))?;
+                    let vals: Result<Vec<f64>, _> =
+                        row_line.split_whitespace().map(str::parse).collect();
+                    let vals = vals.map_err(|_| bad(no, "bad dense row"))?;
+                    if vals.len() != dim {
+                        return Err(bad(no, &format!("dense row has {} values, want {dim}", vals.len())));
+                    }
+                    for (c, v) in vals.into_iter().enumerate() {
+                        m[(r, c)] = v;
+                    }
+                }
+                m.symmetrize();
+                mats.push(PsdMatrix::Dense(m));
+            }
+            other => return Err(bad(no, &format!("unknown constraint kind `{other}`"))),
+        }
+    }
+
+    match lines.next() {
+        Some((_, "end")) => {}
+        Some((no, other)) => return Err(bad(no, &format!("expected `end`, found `{other}`"))),
+        None => return Err(bad(0, "missing trailing `end`")),
+    }
+    PackingInstance::new(mats)
+}
+
+fn parse_pair(parts: &[&str]) -> Option<(usize, f64)> {
+    if parts.len() != 2 {
+        return None;
+    }
+    Some((parts[0].parse().ok()?, parts[1].parse().ok()?))
+}
+
+fn parse_triplet(parts: &[&str]) -> Option<(usize, usize, f64)> {
+    if parts.len() != 3 {
+        return None;
+    }
+    Some((parts[0].parse().ok()?, parts[1].parse().ok()?, parts[2].parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PackingInstance {
+        let diag = PsdMatrix::Diagonal(vec![1.5, 0.0, 0.5]);
+        let factor = PsdMatrix::Factor(FactorPsd::new(Csr::from_triplets(
+            3,
+            2,
+            &[(0, 0, 1.0), (1, 1, 2.0), (2, 0, -1.0)],
+        )));
+        let mut d = Mat::zeros(3, 3);
+        d.rank1_update(0.7, &[1.0, 0.5, 0.0]);
+        d.add_diag(0.1);
+        PackingInstance::new(vec![diag, factor, PsdMatrix::Dense(d)]).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        let inst = sample();
+        let text = write_instance(&inst);
+        let back = read_instance(&text).unwrap();
+        assert_eq!(back.n(), inst.n());
+        assert_eq!(back.dim(), inst.dim());
+        for (a, b) in inst.mats().iter().zip(back.mats()) {
+            assert_eq!(a.to_dense().as_slice(), b.to_dense().as_slice());
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let inst = PackingInstance::new(vec![PsdMatrix::Diagonal(vec![1.0, 2.0])]).unwrap();
+        let mut text = write_instance(&inst);
+        text = text.replace("dim 2", "# a comment\n\ndim 2  # trailing");
+        let back = read_instance(&text).unwrap();
+        assert_eq!(back.dim(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_instance("nope 1\n").is_err());
+        assert!(read_instance("").is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_and_ranges() {
+        let inst = sample();
+        let text = write_instance(&inst);
+        // Drop the trailing `end`.
+        let no_end = text.replace("\nend\n", "\n");
+        assert!(read_instance(&no_end).is_err());
+        // Out-of-range diagonal coordinate.
+        let bad = "psdp 1\ndim 2\nconstraints 1\nconstraint 0 diagonal 1\n5 1.0\nend\n";
+        assert!(read_instance(bad).is_err());
+        // Wrong constraint index.
+        let bad = "psdp 1\ndim 2\nconstraints 1\nconstraint 3 diagonal 1\n0 1.0\nend\n";
+        assert!(read_instance(bad).is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "psdp 1\ndim 2\nconstraints 1\nconstraint 0 wat\nend\n";
+        let err = read_instance(bad).unwrap_err().to_string();
+        assert!(err.contains("line 4"), "{err}");
+    }
+
+    #[test]
+    fn solver_accepts_parsed_instance() {
+        let inst = sample();
+        let text = write_instance(&inst);
+        let back = read_instance(&text).unwrap();
+        let res =
+            crate::decision_psdp(&back, &crate::DecisionOptions::practical(0.3)).unwrap();
+        assert!(res.stats.iterations > 0);
+    }
+}

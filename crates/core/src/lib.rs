@@ -1,0 +1,35 @@
+//! # psdp-core
+//!
+//! Width-independent parallel positive SDP solving — the reproduction of
+//! Peng–Tangwongsan–Zhang (SPAA 2012).
+//!
+//! * [`instance`] — problem types: general positive SDPs (1.1) and
+//!   normalized packing instances (Figure 2),
+//! * [`decision`] — `decisionPSDP` (Algorithm 3.1),
+//! * [`options`] — solver configuration (paper-strict vs practical
+//!   constants, engines, update-rule variants),
+//! * [`solution`] / [`stats`] — certified outcomes and telemetry.
+
+#![warn(missing_docs)]
+
+pub mod approx;
+pub mod decision;
+pub mod error;
+pub mod instance;
+pub mod io;
+pub mod normalize;
+pub mod options;
+pub mod solution;
+pub mod stats;
+pub mod verify;
+
+pub use approx::{solve_covering, solve_packing, ApproxOptions, CoveringReport, PackingReport};
+pub use decision::{decision_psdp, DecisionResult};
+pub use normalize::{normalize, trace_prune, Normalized};
+pub use error::PsdpError;
+pub use instance::{PackingInstance, PositiveSdp};
+pub use io::{read_instance, write_instance};
+pub use options::{ConstantsMode, DecisionOptions, EngineKind, UpdateRule};
+pub use solution::{DualSolution, ExitReason, Outcome, PrimalSolution};
+pub use stats::SolveStats;
+pub use verify::{verify_dual, verify_primal, DualCertificate, PrimalCertificate};

@@ -1,0 +1,104 @@
+//! Solution types returned by the decision procedure.
+
+use psdp_linalg::Mat;
+
+/// A dual (packing) solution: `x ≥ 0` scaled so `Σ xᵢAᵢ ⪯ I` holds.
+#[derive(Debug, Clone)]
+pub struct DualSolution {
+    /// The feasible dual vector.
+    pub x: Vec<f64>,
+    /// Its packing value `1ᵀx` (= `‖x‖₁` since `x ≥ 0`).
+    pub value: f64,
+    /// The scaling that was applied to the raw iterate to certify
+    /// feasibility (`x = x_raw / scale`). In strict mode this is the
+    /// paper's `(1+10ε)K`; in practical mode it is the measured
+    /// `λmax(Σ x_raw Aᵢ)` padded by the certificate tolerance.
+    pub feasibility_scale: f64,
+}
+
+/// A primal (covering) solution `Y = (1/T) Σ_τ P(τ)` with `Tr Y = 1`.
+#[derive(Debug, Clone)]
+pub struct PrimalSolution {
+    /// Per-constraint values `Aᵢ • Y` (running averages of `P(τ) • Aᵢ`).
+    pub constraint_dots: Vec<f64>,
+    /// The dense matrix `Y` itself, if accumulation was enabled and the
+    /// dimension was within the configured limit.
+    pub y: Option<Mat>,
+    /// `minᵢ Aᵢ • Y` — the primal feasibility margin (`≥ 1` means every
+    /// covering constraint holds).
+    pub min_dot: f64,
+    /// Number of probability matrices averaged.
+    pub rounds_averaged: usize,
+}
+
+/// Which side the decision procedure certified.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// Found a near-optimal feasible dual (packing value ≥ 1−O(ε)):
+    /// "the packing optimum is ≥ 1".
+    Dual(DualSolution),
+    /// Found a feasible primal with `Tr Y = 1`:
+    /// "the packing optimum is ≤ 1".
+    Primal(PrimalSolution),
+}
+
+impl Outcome {
+    /// True if this is a dual outcome.
+    pub fn is_dual(&self) -> bool {
+        matches!(self, Outcome::Dual(_))
+    }
+
+    /// Borrow the dual solution, if any.
+    pub fn dual(&self) -> Option<&DualSolution> {
+        match self {
+            Outcome::Dual(d) => Some(d),
+            Outcome::Primal(_) => None,
+        }
+    }
+
+    /// Borrow the primal solution, if any.
+    pub fn primal(&self) -> Option<&PrimalSolution> {
+        match self {
+            Outcome::Primal(p) => Some(p),
+            Outcome::Dual(_) => None,
+        }
+    }
+}
+
+/// Why the main loop stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitReason {
+    /// `‖x‖₁` crossed `K` (the paper's dual exit).
+    DualNormCrossed,
+    /// The iteration cap `R` (or practical `max_iters`) was reached.
+    IterationCap,
+    /// The eligible set `B(t)` was empty: the current `P(t)` already
+    /// certifies the primal side (see `decision.rs` docs).
+    EmptyEligibleSet,
+    /// The running primal average certified feasibility early
+    /// (practical-mode `early_exit`).
+    PrimalEarly,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_accessors() {
+        let d = Outcome::Dual(DualSolution { x: vec![1.0], value: 1.0, feasibility_scale: 1.0 });
+        assert!(d.is_dual());
+        assert!(d.dual().is_some());
+        assert!(d.primal().is_none());
+
+        let p = Outcome::Primal(PrimalSolution {
+            constraint_dots: vec![1.1],
+            y: None,
+            min_dot: 1.1,
+            rounds_averaged: 3,
+        });
+        assert!(!p.is_dual());
+        assert!(p.primal().is_some());
+        assert!(p.dual().is_none());
+    }
+}

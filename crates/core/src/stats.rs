@@ -1,0 +1,74 @@
+//! Per-solve telemetry: iteration counts, analytic work/depth, trajectories.
+//!
+//! Every experiment in EXPERIMENTS.md reads these numbers, so the solver
+//! records them unconditionally (the overhead is a handful of scalars per
+//! iteration).
+
+use crate::solution::ExitReason;
+use psdp_parallel::Cost;
+use std::time::Duration;
+
+/// Telemetry from one `decisionPSDP` run.
+#[derive(Debug, Clone)]
+pub struct SolveStats {
+    /// Iterations executed (the paper's `t` at exit).
+    pub iterations: usize,
+    /// Why the loop stopped.
+    pub exit: ExitReason,
+    /// `‖x‖₁` at exit.
+    pub final_norm1: f64,
+    /// The `K` threshold in force.
+    pub k_threshold: f64,
+    /// The step size `α` in force.
+    pub alpha: f64,
+    /// The iteration cap in force (`R` or practical `max_iters`).
+    pub iteration_cap: usize,
+    /// Sum of analytic engine costs (work–depth model, Corollary 1.2).
+    pub cost: Cost,
+    /// Engine name (`exact` / `taylor` / `taylor+jl`).
+    pub engine: &'static str,
+    /// Mean number of coordinates stepped per iteration.
+    pub avg_selected: f64,
+    /// Largest `κ` (spectral-norm bound for `Ψ`) passed to the engine —
+    /// compare against the Lemma 3.2 bound `(1+10ε)K`.
+    pub kappa_max: f64,
+    /// Wall-clock time of the solve.
+    pub wall: Duration,
+    /// Sampled `‖x(t)‖₁` trajectory (every `sample_every` iterations).
+    pub norm_trajectory: Vec<(usize, f64)>,
+}
+
+impl SolveStats {
+    /// Mean analytic work per iteration.
+    pub fn work_per_iteration(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.cost.work / self.iterations as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_per_iteration_handles_zero() {
+        let s = SolveStats {
+            iterations: 0,
+            exit: ExitReason::IterationCap,
+            final_norm1: 0.0,
+            k_threshold: 1.0,
+            alpha: 0.1,
+            iteration_cap: 10,
+            cost: Cost::ZERO,
+            engine: "exact",
+            avg_selected: 0.0,
+            kappa_max: 0.0,
+            wall: Duration::ZERO,
+            norm_trajectory: vec![],
+        };
+        assert_eq!(s.work_per_iteration(), 0.0);
+    }
+}

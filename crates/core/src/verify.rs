@@ -1,0 +1,183 @@
+//! Numerical certification of solutions.
+//!
+//! Every solution the solver returns can be re-checked against the instance
+//! with exact (eigensolver-backed) linear algebra, independent of which
+//! engine or constants mode produced it. The experiments report these
+//! certificates, so a buggy fast path cannot silently inflate results.
+
+use crate::instance::PackingInstance;
+use crate::solution::{DualSolution, PrimalSolution};
+use psdp_linalg::{sym_eigen, vecops};
+
+/// Result of checking a dual (packing) solution.
+#[derive(Debug, Clone, Copy)]
+pub struct DualCertificate {
+    /// Measured `λmax(Σ xᵢAᵢ)`; feasible iff `≤ 1` (up to `tol`).
+    pub lambda_max: f64,
+    /// The packing value `1ᵀx`.
+    pub value: f64,
+    /// Whether the solution passes at the requested tolerance.
+    pub feasible: bool,
+}
+
+/// Result of checking a primal (covering) solution.
+#[derive(Debug, Clone, Copy)]
+pub struct PrimalCertificate {
+    /// `Tr Y` (should be 1). `NaN` when no dense `Y` was accumulated.
+    pub trace: f64,
+    /// Measured `minᵢ Aᵢ • Y` (from the dense `Y` if present, otherwise the
+    /// solver's reported averages).
+    pub min_dot: f64,
+    /// Smallest eigenvalue of `Y` (PSD check); `NaN` without a dense `Y`.
+    pub lambda_min: f64,
+    /// Whether the matrix itself was checked (vs engine-reported averages).
+    pub matrix_checked: bool,
+    /// Whether the solution passes at the requested tolerance.
+    pub feasible: bool,
+}
+
+/// Certify a dual solution: `x ≥ 0`, `λmax(Σ xᵢAᵢ) ≤ 1 + tol`.
+pub fn verify_dual(inst: &PackingInstance, sol: &DualSolution, tol: f64) -> DualCertificate {
+    let nonneg = sol.x.iter().all(|&v| v >= -tol);
+    let psi = inst.weighted_sum(&sol.x);
+    let lambda_max = match sym_eigen(&psi) {
+        Ok(e) => e.lambda_max(),
+        Err(_) => f64::INFINITY,
+    };
+    let value = vecops::sum(&sol.x);
+    DualCertificate { lambda_max, value, feasible: nonneg && lambda_max <= 1.0 + tol }
+}
+
+/// Certify a primal solution: `Tr Y = 1`, `Y ⪰ 0`, `Aᵢ • Y ≥ 1 − tol`.
+///
+/// When the dense `Y` is available the dots are recomputed from it;
+/// otherwise the solver-reported averages are used and
+/// `matrix_checked = false` records the weaker evidence.
+pub fn verify_primal(inst: &PackingInstance, sol: &PrimalSolution, tol: f64) -> PrimalCertificate {
+    match &sol.y {
+        Some(y) => {
+            let trace = y.trace();
+            let lambda_min = match sym_eigen(y) {
+                Ok(e) => e.lambda_min(),
+                Err(_) => f64::NEG_INFINITY,
+            };
+            let min_dot = inst
+                .mats()
+                .iter()
+                .map(|a| a.dot_dense(y))
+                .fold(f64::INFINITY, f64::min);
+            let feasible = (trace - 1.0).abs() <= tol
+                && lambda_min >= -tol
+                && min_dot >= 1.0 - tol;
+            PrimalCertificate { trace, min_dot, lambda_min, matrix_checked: true, feasible }
+        }
+        None => {
+            let min_dot = sol.min_dot;
+            PrimalCertificate {
+                trace: f64::NAN,
+                min_dot,
+                lambda_min: f64::NAN,
+                matrix_checked: false,
+                feasible: min_dot >= 1.0 - tol,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::decision_psdp;
+    use crate::options::DecisionOptions;
+    use crate::solution::Outcome;
+    use psdp_linalg::Mat;
+    use psdp_sparse::PsdMatrix;
+
+    fn inst2() -> PackingInstance {
+        PackingInstance::new(vec![
+            PsdMatrix::Diagonal(vec![1.0, 0.0]),
+            PsdMatrix::Diagonal(vec![0.0, 1.0]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn verifies_known_feasible_dual() {
+        let inst = inst2();
+        let sol = DualSolution { x: vec![0.9, 0.8], value: 1.7, feasibility_scale: 1.0 };
+        let c = verify_dual(&inst, &sol, 1e-9);
+        assert!(c.feasible);
+        assert!((c.lambda_max - 0.9).abs() < 1e-12);
+        assert!((c.value - 1.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_infeasible_dual() {
+        let inst = inst2();
+        let sol = DualSolution { x: vec![1.5, 0.2], value: 1.7, feasibility_scale: 1.0 };
+        let c = verify_dual(&inst, &sol, 1e-9);
+        assert!(!c.feasible);
+    }
+
+    #[test]
+    fn rejects_negative_dual() {
+        let inst = inst2();
+        let sol = DualSolution { x: vec![-0.5, 0.2], value: -0.3, feasibility_scale: 1.0 };
+        assert!(!verify_dual(&inst, &sol, 1e-9).feasible);
+    }
+
+    #[test]
+    fn verifies_primal_with_matrix() {
+        let inst = PackingInstance::new(vec![PsdMatrix::Diagonal(vec![2.0, 2.0])]).unwrap();
+        let y = Mat::from_diag(&[0.5, 0.5]);
+        let sol = PrimalSolution {
+            constraint_dots: vec![2.0],
+            y: Some(y),
+            min_dot: 2.0,
+            rounds_averaged: 1,
+        };
+        let c = verify_primal(&inst, &sol, 1e-9);
+        assert!(c.feasible);
+        assert!(c.matrix_checked);
+        assert!((c.trace - 1.0).abs() < 1e-12);
+        assert!((c.min_dot - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn primal_without_matrix_uses_reported_dots() {
+        let inst = inst2();
+        let sol = PrimalSolution {
+            constraint_dots: vec![1.2, 1.1],
+            y: None,
+            min_dot: 1.1,
+            rounds_averaged: 5,
+        };
+        let c = verify_primal(&inst, &sol, 1e-6);
+        assert!(c.feasible);
+        assert!(!c.matrix_checked);
+        assert!(c.trace.is_nan());
+    }
+
+    #[test]
+    fn solver_outputs_pass_verification() {
+        // End-to-end: whatever side the solver certifies must verify.
+        let insts = [
+            inst2(),
+            PackingInstance::new(vec![PsdMatrix::Diagonal(vec![3.0, 3.0, 3.0])]).unwrap(),
+        ];
+        for inst in &insts {
+            let res = decision_psdp(inst, &DecisionOptions::practical(0.2)).unwrap();
+            match res.outcome {
+                Outcome::Dual(d) => {
+                    assert!(verify_dual(inst, &d, 1e-8).feasible, "dual failed verify");
+                }
+                Outcome::Primal(p) => {
+                    assert!(
+                        verify_primal(inst, &p, 1e-6).feasible,
+                        "primal failed verify: {p:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests on the solver: every certified outcome verifies, paper
+//! invariants hold, and the bisection brackets the diagonal-exact optimum
+//! on random positive LP instances.
+
+use proptest::prelude::*;
+use psdp_core::{
+    decision_psdp, solve_packing, verify_dual, verify_primal, ApproxOptions, DecisionOptions,
+    Outcome, PackingInstance,
+};
+use psdp_linalg::sym_eigen;
+use psdp_sparse::PsdMatrix;
+
+/// Random diagonal instance: n columns of m nonnegative entries, at least
+/// one positive per column.
+fn diag_instance() -> impl Strategy<Value = PackingInstance> {
+    (1usize..5, 1usize..5).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(proptest::collection::vec(0.0_f64..2.0, m), n).prop_map(
+            move |cols| {
+                let mats: Vec<PsdMatrix> = cols
+                    .into_iter()
+                    .map(|mut d| {
+                        if d.iter().all(|&v| v < 1e-9) {
+                            d[0] = 1.0;
+                        }
+                        PsdMatrix::Diagonal(d)
+                    })
+                    .collect();
+                PackingInstance::new(mats).unwrap()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Whatever the decision procedure returns is feasible for its side.
+    #[test]
+    fn decision_outcomes_always_verify(inst in diag_instance(), eps in 0.1_f64..0.5) {
+        let res = decision_psdp(&inst, &DecisionOptions::practical(eps)).unwrap();
+        match &res.outcome {
+            Outcome::Dual(d) => {
+                let c = verify_dual(&inst, d, 1e-7);
+                prop_assert!(c.feasible, "dual infeasible: λmax = {}", c.lambda_max);
+                prop_assert!(d.x.iter().all(|&v| v >= 0.0));
+            }
+            Outcome::Primal(p) => {
+                let c = verify_primal(&inst, p, 1e-4);
+                prop_assert!(c.feasible, "primal infeasible: {c:?}");
+            }
+        }
+        // ‖x‖₁ never wildly overshoots K (Claim 3.5 direction, practical
+        // constants get a slack factor from the boosted α). When the start
+        // point itself exceeds K — tiny traces make x⁰ large — the solver
+        // exits immediately, so the bound is relative to ‖x⁰‖₁ as well.
+        let x0_norm: f64 =
+            inst.mats().iter().map(|a| 1.0 / (inst.n() as f64 * a.trace())).sum();
+        prop_assert!(
+            res.stats.final_norm1 <= 3.0 * res.stats.k_threshold + x0_norm + 1.0,
+            "final ‖x‖ = {} vs K = {}, ‖x⁰‖ = {x0_norm}",
+            res.stats.final_norm1,
+            res.stats.k_threshold
+        );
+    }
+
+    /// The initial point always satisfies Claim 3.3.
+    #[test]
+    fn initial_point_feasible(inst in diag_instance()) {
+        let x0: Vec<f64> =
+            inst.mats().iter().map(|a| 1.0 / (inst.n() as f64 * a.trace())).collect();
+        let psi0 = inst.weighted_sum(&x0);
+        prop_assert!(sym_eigen(&psi0).unwrap().lambda_max() <= 1.0 + 1e-9);
+    }
+
+    /// The optimization bracket always contains the simplex-exact optimum.
+    #[test]
+    fn bracket_contains_exact(inst in diag_instance()) {
+        let exact = match psdp_baselines::exact_diagonal_opt(&inst) {
+            Ok(v) => v,
+            Err(_) => return Ok(()), // unbounded LP (zero column slipped by scaling)
+        };
+        let r = solve_packing(&inst, &ApproxOptions::practical(0.15)).unwrap();
+        prop_assert!(r.value_lower <= exact * (1.0 + 1e-7),
+            "lower {} exceeds exact {exact}", r.value_lower);
+        prop_assert!(r.value_upper >= exact * (1.0 - 1e-7),
+            "upper {} below exact {exact}", r.value_upper);
+    }
+
+    /// weighted_sum is linear: Ψ(x + y) = Ψ(x) + Ψ(y).
+    #[test]
+    fn weighted_sum_linear(inst in diag_instance()) {
+        let n = inst.n();
+        let x: Vec<f64> = (0..n).map(|i| 0.1 + i as f64 * 0.05).collect();
+        let y: Vec<f64> = (0..n).map(|i| 0.3 - i as f64 * 0.02).collect();
+        let xy: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        let lhs = inst.weighted_sum(&xy);
+        let rhs = inst.weighted_sum(&x).add(&inst.weighted_sum(&y));
+        for i in 0..inst.dim() {
+            for j in 0..inst.dim() {
+                prop_assert!((lhs[(i, j)] - rhs[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    /// Scaling the instance by σ scales the optimum by 1/σ (the bisection's
+    /// core identity).
+    #[test]
+    fn scaling_inverts_optimum(inst in diag_instance(), sigma in 0.5_f64..3.0) {
+        let exact = match psdp_baselines::exact_diagonal_opt(&inst) {
+            Ok(v) => v,
+            Err(_) => return Ok(()),
+        };
+        let scaled = inst.scaled(sigma);
+        let exact_scaled = match psdp_baselines::exact_diagonal_opt(&scaled) {
+            Ok(v) => v,
+            Err(_) => return Ok(()),
+        };
+        prop_assert!((exact_scaled - exact / sigma).abs() < 1e-7 * (1.0 + exact),
+            "OPT(σA) = {exact_scaled} vs OPT(A)/σ = {}", exact / sigma);
+    }
+}

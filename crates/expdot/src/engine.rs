@@ -1,0 +1,535 @@
+//! The `exp(Φ) • Aᵢ` primitive (Theorem 4.1) behind a common interface.
+//!
+//! Every iteration of Algorithm 3.1 needs, for the current `Φ = Ψ(t)`:
+//! `Tr[exp(Φ)]` and `exp(Φ) • Aᵢ` for all `i`. Three engines provide these
+//! values at different cost/accuracy points:
+//!
+//! * [`EngineKind::Exact`] — eigendecompose `Φ` (`O(m³)`), exact up to
+//!   floating point. The reference implementation and the right choice for
+//!   small dense instances.
+//! * [`EngineKind::Taylor`] — Lemma 4.2 truncated Taylor of `exp(Φ/2)`
+//!   applied to the identity; `(1±ε)` sandwich, no eigendecomposition.
+//! * [`EngineKind::TaylorJl`] — Theorem 4.1 proper: Taylor + Gaussian JL
+//!   sketch with `O(ε⁻² log m)` rows; nearly-linear work in the factorization
+//!   size `q`, which is what Corollary 1.2's work bound needs.
+//!
+//! All engines report analytic work–depth [`Cost`]s so experiment E5 can
+//! check the near-linear-work claim without trusting wall clocks.
+
+use crate::gauss::{gaussian_sketch, jl_rows};
+use psdp_linalg::{
+    apply_exp_taylor_block, sym_eigen, taylor_degree, LinalgError, Mat, SymOp,
+};
+use psdp_parallel::Cost;
+use psdp_sparse::{FactorPsd, PsdMatrix};
+use rayon::prelude::*;
+
+/// Result of one `exp(Φ) • ·` evaluation over all constraints.
+///
+/// Values may carry a common scale factor `e^{log_scale}` relative to the
+/// true quantities (the exact engine shifts the spectrum to avoid overflow
+/// when `‖Φ‖₂` is large). Algorithm 3.1 only consumes the *ratios*
+/// `dots[i] / tr_w`, which are scale-invariant; anyone needing absolute
+/// values must multiply by `exp(log_scale)`.
+#[derive(Debug, Clone)]
+pub struct ExpDots {
+    /// `Tr[exp(Φ)] · e^{-log_scale}` (or an `(1±ε)` estimate thereof).
+    pub tr_w: f64,
+    /// `exp(Φ) • Aᵢ · e^{-log_scale}` for each constraint.
+    pub dots: Vec<f64>,
+    /// Common logarithmic scale factor (0 for the Taylor engines).
+    pub log_scale: f64,
+    /// Analytic work–depth cost of this evaluation.
+    pub cost: Cost,
+    /// Taylor degree used (0 for the exact engine) — telemetry for E4/E5.
+    pub degree: usize,
+    /// Sketch rows used (0 when no sketch) — telemetry for E4/E5.
+    pub sketch_rows: usize,
+    /// The normalized probability matrix `P = exp(Φ)/Tr[exp(Φ)]`, when the
+    /// strategy produces it as a byproduct (exact engine always; Taylor only
+    /// via [`Engine::compute_dense`]; never for the sketched engine). The
+    /// solver averages these into the primal solution `Y`.
+    pub dense_p: Option<Mat>,
+}
+
+/// Which evaluation strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EngineKind {
+    /// Eigendecomposition-based exact evaluation.
+    Exact,
+    /// Truncated Taylor (Lemma 4.2) without sketching.
+    Taylor {
+        /// Two-sided relative accuracy of the returned dot products.
+        eps: f64,
+    },
+    /// Truncated Taylor + Gaussian JL sketch (Theorem 4.1).
+    TaylorJl {
+        /// Two-sided relative accuracy target (split between Taylor and JL).
+        eps: f64,
+        /// Multiplier on the JL row count `c·ln(m)/ε²`; 4.0 is a sane default.
+        sketch_const: f64,
+    },
+}
+
+impl EngineKind {
+    /// Short name for tables and telemetry.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineKind::Exact => "exact",
+            EngineKind::Taylor { .. } => "taylor",
+            EngineKind::TaylorJl { .. } => "taylor+jl",
+        }
+    }
+}
+
+/// A prepared evaluator bound to a fixed constraint set.
+///
+/// Construction converts constraints to factorized form once when a vector
+/// engine is selected (the Section 1.2 preprocessing); per-iteration calls
+/// then go through [`Engine::compute`].
+///
+/// ```
+/// use psdp_expdot::{Engine, EngineKind};
+/// use psdp_linalg::Mat;
+/// use psdp_sparse::PsdMatrix;
+///
+/// let mats = vec![PsdMatrix::Diagonal(vec![1.0, 2.0])];
+/// let phi = Mat::from_diag(&[0.0, 0.5]);
+/// // exp(Φ)•A = 1·e⁰ + 2·e^0.5, exactly.
+/// let exact = Engine::new(EngineKind::Exact, &mats, 0)?;
+/// let out = exact.compute(&phi, 0.5, &mats, 0)?;
+/// let want = 1.0 + 2.0 * 0.5f64.exp();
+/// let got = out.dots[0] * out.log_scale.exp();
+/// assert!((got - want).abs() < 1e-10);
+///
+/// // The Taylor engine is a one-sided (1±ε) approximation of the same.
+/// let taylor = Engine::new(EngineKind::Taylor { eps: 0.1 }, &mats, 0)?;
+/// let out = taylor.compute(&phi, 0.5, &mats, 0)?;
+/// assert!(out.dots[0] <= want && out.dots[0] >= 0.9 * want);
+/// # Ok::<(), psdp_linalg::LinalgError>(())
+/// ```
+pub struct Engine {
+    kind: EngineKind,
+    seed: u64,
+    /// Factorized constraints (empty for the exact engine).
+    factors: Vec<FactorPsd>,
+    /// Total factor nonzeros `q` (work accounting).
+    q_nnz: usize,
+    dim: usize,
+}
+
+impl Engine {
+    /// Prepare an engine for the given constraints.
+    ///
+    /// # Errors
+    /// Propagates factorization failures (non-PSD dense constraint).
+    pub fn new(kind: EngineKind, mats: &[PsdMatrix], seed: u64) -> Result<Engine, LinalgError> {
+        assert!(!mats.is_empty(), "Engine::new: empty constraint set");
+        let dim = mats[0].dim();
+        assert!(mats.iter().all(|m| m.dim() == dim), "constraints must share a dimension");
+        let needs_factors = !matches!(kind, EngineKind::Exact);
+        let factors = if needs_factors {
+            mats.iter().map(|m| m.to_factor(1e-12)).collect::<Result<Vec<_>, _>>()?
+        } else {
+            Vec::new()
+        };
+        let q_nnz = factors.iter().map(|f| f.factor_nnz()).sum();
+        Ok(Engine { kind, seed, factors, q_nnz, dim })
+    }
+
+    /// The strategy this engine uses.
+    pub fn kind(&self) -> EngineKind {
+        self.kind
+    }
+
+    /// Total nonzeros `q` across prepared factors (0 for the exact engine).
+    pub fn factor_nnz(&self) -> usize {
+        self.q_nnz
+    }
+
+    /// Evaluate `Tr[exp(Φ)]` and all `exp(Φ) • Aᵢ` for a dense `Φ`.
+    ///
+    /// * `phi` — the current PSD matrix `Ψ(t)` (dense accumulation),
+    /// * `kappa` — an upper bound on `‖Φ‖₂` (the solver passes the Lemma 3.2
+    ///   bound or a power-iteration estimate); used to pick the Taylor degree,
+    /// * `mats` — the constraint set (used by the exact engine; must be the
+    ///   set the engine was prepared with),
+    /// * `stream` — substream index (the iteration counter) so each call
+    ///   draws a fresh deterministic sketch.
+    ///
+    /// # Errors
+    /// Propagates eigensolver failures from the exact path.
+    pub fn compute(
+        &self,
+        phi: &Mat,
+        kappa: f64,
+        mats: &[PsdMatrix],
+        stream: u64,
+    ) -> Result<ExpDots, LinalgError> {
+        assert_eq!(phi.nrows(), self.dim, "phi dimension mismatch");
+        match self.kind {
+            EngineKind::Exact => self.compute_exact(phi, mats),
+            EngineKind::Taylor { eps } => Ok(self.compute_taylor(phi, kappa, eps)),
+            EngineKind::TaylorJl { eps, sketch_const } => {
+                Ok(self.compute_taylor_jl(phi, kappa, eps, sketch_const, stream))
+            }
+        }
+    }
+
+    /// Evaluate through an abstract symmetric operator (sparse `Φ`, or the
+    /// implicit `Σ xᵢAᵢ` operator). This is the form in which the Theorem 4.1
+    /// work bound is nearly linear in `nnz(Φ) + q`; the exact engine cannot
+    /// use it (it needs the dense matrix to eigendecompose).
+    ///
+    /// # Panics
+    /// Panics if called on an [`EngineKind::Exact`] engine.
+    pub fn compute_op(&self, phi: &dyn SymOp, kappa: f64, stream: u64) -> ExpDots {
+        assert_eq!(phi.dim(), self.dim, "phi dimension mismatch");
+        match self.kind {
+            EngineKind::Exact => {
+                panic!("compute_op: exact engine needs a dense Φ; use Engine::compute")
+            }
+            EngineKind::Taylor { eps } => self.taylor_impl(phi, kappa, eps),
+            EngineKind::TaylorJl { eps, sketch_const } => {
+                self.jl_impl(phi, kappa, eps, sketch_const, stream)
+            }
+        }
+    }
+
+    /// Like [`Engine::compute`], but additionally materializes the dense
+    /// probability matrix `P` when the strategy can produce it: the exact
+    /// engine always can; the Taylor engine squares its `p(Φ/2)` block (one
+    /// extra GEMM, `W ≈ p(Φ/2)²` since `p` is symmetric); the sketched engine
+    /// cannot and leaves `dense_p = None`.
+    ///
+    /// # Errors
+    /// Propagates eigensolver failures from the exact path.
+    pub fn compute_dense(
+        &self,
+        phi: &Mat,
+        kappa: f64,
+        mats: &[PsdMatrix],
+        stream: u64,
+    ) -> Result<ExpDots, LinalgError> {
+        let mut out = self.compute(phi, kappa, mats, stream)?;
+        if out.dense_p.is_none() {
+            if let EngineKind::Taylor { eps } = self.kind {
+                let degree = taylor_degree((kappa * 0.5).max(0.0), eps * 0.5);
+                let half = HalfOp { inner: phi };
+                let s = apply_exp_taylor_block(&half, &Mat::identity(self.dim), degree);
+                let mut w = psdp_linalg::matmul(&s, &s);
+                w.symmetrize();
+                let tr = w.trace();
+                if tr > 0.0 {
+                    w.scale(1.0 / tr);
+                    out.dense_p = Some(w);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn compute_exact(&self, phi: &Mat, mats: &[PsdMatrix]) -> Result<ExpDots, LinalgError> {
+        let m = self.dim;
+        let eig = sym_eigen(phi)?;
+        // Spectral shift so exp never overflows: work with exp(λ - λmax).
+        let shift = eig.lambda_max().max(0.0);
+        let w = eig.apply_fn(|lam| (lam - shift).exp());
+        let tr_w = w.trace();
+        let dots: Vec<f64> =
+            mats.par_iter().map(|a| a.dot_dense(&w).max(0.0)).collect();
+        let cost = Cost::seq(8.0 * (m * m * m) as f64)
+            + Cost::reduce(mats.len(), (m * m) as f64);
+        let dense_p = Some(w.scaled(1.0 / tr_w));
+        Ok(ExpDots { tr_w, dots, log_scale: shift, cost, degree: 0, sketch_rows: 0, dense_p })
+    }
+
+    fn compute_taylor(&self, phi: &Mat, kappa: f64, eps: f64) -> ExpDots {
+        self.taylor_impl(phi, kappa, eps)
+    }
+
+    fn compute_taylor_jl(
+        &self,
+        phi: &Mat,
+        kappa: f64,
+        eps: f64,
+        sketch_const: f64,
+        stream: u64,
+    ) -> ExpDots {
+        self.jl_impl(phi, kappa, eps, sketch_const, stream)
+    }
+
+    fn taylor_impl(&self, phi: &dyn SymOp, kappa: f64, eps: f64) -> ExpDots {
+        let m = self.dim;
+        // Split the error budget: p(Φ/2)² ∈ [(1-ε/2)², 1]·exp(Φ) ⊆
+        // [(1-ε), 1]·exp(Φ).
+        let degree = taylor_degree((kappa * 0.5).max(0.0), eps * 0.5);
+        let half = HalfOp { inner: phi };
+        // S = p(Φ/2) materialized against the identity block.
+        let s = apply_exp_taylor_block(&half, &Mat::identity(m), degree);
+        let tr_w: f64 = s.as_slice().iter().map(|v| v * v).sum();
+        let dots = self.dots_from_block(&s);
+        let phi_nnz = phi.nnz();
+        let cost = Cost::new(
+            (2 * phi_nnz * m * degree + 2 * self.q_nnz * m) as f64,
+            degree as f64 * (m.max(2) as f64).log2() + (self.q_nnz.max(2) as f64).log2(),
+        );
+        ExpDots { tr_w, dots, log_scale: 0.0, cost, degree, sketch_rows: 0, dense_p: None }
+    }
+
+    fn jl_impl(
+        &self,
+        phi: &dyn SymOp,
+        kappa: f64,
+        eps: f64,
+        sketch_const: f64,
+        stream: u64,
+    ) -> ExpDots {
+        let m = self.dim;
+        // Budget: ε/2 to the Taylor truncation, ε/2 to the sketch distortion.
+        let degree = taylor_degree((kappa * 0.5).max(0.0), eps * 0.25);
+        let rows = jl_rows(m, eps * 0.5, sketch_const);
+        let pi = gaussian_sketch(rows, m, self.seed, stream);
+        // Y = p(Φ/2) Πᵀ  (m × rows); p is symmetric, so Π p(Φ/2) = Yᵀ.
+        let half = HalfOp { inner: phi };
+        let y = apply_exp_taylor_block(&half, &pi.transpose(), degree);
+        // Tr[exp Φ] = Σ_j ‖exp(Φ/2) e_j‖² ≈ ‖Π p(Φ/2)‖²_F = ‖Y‖²_F.
+        let tr_w: f64 = y.as_slice().iter().map(|v| v * v).sum();
+        // exp(Φ)•QQᵀ ≈ ‖Π p(Φ/2) Q‖²_F = ‖Qᵀ Y‖²_F.
+        let dots: Vec<f64> = self
+            .factors
+            .par_iter()
+            .map(|f| {
+                let qty = f.factor().spmm_transpose(&y);
+                qty.as_slice().iter().map(|v| v * v).sum()
+            })
+            .collect();
+        let phi_nnz = phi.nnz();
+        let apply_work = 2.0 * (phi_nnz * rows * degree) as f64;
+        let dots_work = 2.0 * (self.q_nnz * rows) as f64;
+        let cost = Cost::new(
+            apply_work + dots_work + (rows * m) as f64,
+            degree as f64 * (m.max(2) as f64).log2() + (self.q_nnz.max(2) as f64).log2(),
+        );
+        ExpDots { tr_w, dots, log_scale: 0.0, cost, degree, sketch_rows: rows, dense_p: None }
+    }
+
+    /// Given `S ≈ exp(Φ/2)` (dense `m × m`), return all `‖S Qᵢ‖²_F`.
+    fn dots_from_block(&self, s: &Mat) -> Vec<f64> {
+        self.factors
+            .par_iter()
+            .map(|f| {
+                let sq = f.left_mul(s);
+                FactorPsd::exp_dot_from_block(&sq)
+            })
+            .collect()
+    }
+}
+
+/// Adapter applying `Φ/2` as an operator without materializing the scaled
+/// matrix (the Taylor series is taken of `Φ/2`, Theorem 4.1).
+struct HalfOp<'a> {
+    inner: &'a dyn SymOp,
+}
+
+impl SymOp for HalfOp<'_> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn apply_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = self.inner.apply_vec(x);
+        for v in &mut y {
+            *v *= 0.5;
+        }
+        y
+    }
+
+    fn apply_block(&self, x: &Mat) -> Mat {
+        let mut y = self.inner.apply_block(x);
+        y.scale(0.5);
+        y
+    }
+
+    fn nnz(&self) -> usize {
+        self.inner.nnz()
+    }
+}
+
+/// Reference helper: exact `exp(Φ) • A` for a single pair (tests, examples).
+///
+/// # Errors
+/// Propagates eigensolver failures.
+pub fn exp_dot_exact(phi: &Mat, a: &PsdMatrix) -> Result<f64, LinalgError> {
+    let w = psdp_linalg::expm(phi)?;
+    Ok(a.dot_dense(&w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdp_sparse::Csr;
+
+    /// Small deterministic PSD test fixture: Φ PSD with ‖Φ‖ ≈ kappa_target,
+    /// plus a mixed bag of constraints.
+    fn fixture(m: usize, kappa_target: f64) -> (Mat, Vec<PsdMatrix>) {
+        let mut phi = Mat::from_fn(m, m, |i, j| ((i * 7 + j * 3) % 5) as f64 * 0.1);
+        phi.symmetrize();
+        let eig = sym_eigen(&phi).unwrap();
+        phi.add_diag(-eig.lambda_min().min(0.0) + 0.01);
+        let lmax = sym_eigen(&phi).unwrap().lambda_max();
+        phi.scale(kappa_target / lmax);
+
+        let mut dense = Mat::zeros(m, m);
+        let v: Vec<f64> = (0..m).map(|i| ((i % 3) as f64) - 1.0).collect();
+        dense.rank1_update(0.7, &v);
+        dense.add_diag(0.2);
+
+        let factor = {
+            let trip: Vec<(usize, usize, f64)> =
+                (0..m).map(|i| (i, i % 2, 1.0 + (i % 4) as f64 * 0.25)).collect();
+            FactorPsd::new(Csr::from_triplets(m, 2, &trip))
+        };
+        let diag: Vec<f64> = (0..m).map(|i| 0.1 + (i % 5) as f64 * 0.3).collect();
+
+        (phi, vec![PsdMatrix::Dense(dense), PsdMatrix::Factor(factor), PsdMatrix::Diagonal(diag)])
+    }
+
+    #[test]
+    fn exact_engine_matches_reference() {
+        let (phi, mats) = fixture(8, 2.0);
+        let eng = Engine::new(EngineKind::Exact, &mats, 0).unwrap();
+        let out = eng.compute(&phi, 2.0, &mats, 0).unwrap();
+        let scale = out.log_scale.exp();
+        for (i, a) in mats.iter().enumerate() {
+            let want = exp_dot_exact(&phi, a).unwrap();
+            let got = out.dots[i] * scale;
+            assert!((got - want).abs() < 1e-8 * want.max(1.0), "dot {i}: {got} vs {want}");
+        }
+        let want_tr = psdp_linalg::expm(&phi).unwrap().trace();
+        assert!((out.tr_w * scale - want_tr).abs() < 1e-8 * want_tr);
+    }
+
+    #[test]
+    fn taylor_engine_within_eps() {
+        let (phi, mats) = fixture(8, 3.0);
+        let eps = 0.1;
+        let eng = Engine::new(EngineKind::Taylor { eps }, &mats, 0).unwrap();
+        let out = eng.compute(&phi, 3.1, &mats, 0).unwrap();
+        assert!(out.degree > 0);
+        for (i, a) in mats.iter().enumerate() {
+            let want = exp_dot_exact(&phi, a).unwrap();
+            let got = out.dots[i];
+            assert!(got <= want * (1.0 + 1e-9), "dot {i} over: {got} vs {want}");
+            assert!(got >= want * (1.0 - eps), "dot {i} under: {got} vs {want}");
+        }
+        let want_tr = psdp_linalg::expm(&phi).unwrap().trace();
+        assert!(out.tr_w <= want_tr * (1.0 + 1e-9));
+        assert!(out.tr_w >= want_tr * (1.0 - eps));
+    }
+
+    #[test]
+    fn taylor_jl_engine_statistically_close() {
+        let (phi, mats) = fixture(10, 2.0);
+        let eps = 0.2;
+        let eng = Engine::new(EngineKind::TaylorJl { eps, sketch_const: 8.0 }, &mats, 99).unwrap();
+        let out = eng.compute(&phi, 2.1, &mats, 5).unwrap();
+        assert!(out.sketch_rows > 0);
+        for (i, a) in mats.iter().enumerate() {
+            let want = exp_dot_exact(&phi, a).unwrap();
+            let got = out.dots[i];
+            // JL is randomized: allow a generous 35% band (eps=0.2 target
+            // plus concentration slack at this sketch size).
+            assert!(
+                (got - want).abs() < 0.35 * want.max(1e-9),
+                "dot {i}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn jl_deterministic_per_stream() {
+        let (phi, mats) = fixture(6, 1.0);
+        let kind = EngineKind::TaylorJl { eps: 0.3, sketch_const: 2.0 };
+        let eng = Engine::new(kind, &mats, 7).unwrap();
+        let a = eng.compute(&phi, 1.0, &mats, 3).unwrap();
+        let b = eng.compute(&phi, 1.0, &mats, 3).unwrap();
+        assert_eq!(a.dots, b.dots);
+        let c = eng.compute(&phi, 1.0, &mats, 4).unwrap();
+        assert_ne!(a.dots, c.dots, "different stream should resample the sketch");
+    }
+
+    #[test]
+    fn exact_engine_survives_large_norm() {
+        // ‖Φ‖ = 900 would overflow exp without the spectral shift.
+        let (mut phi, mats) = fixture(6, 1.0);
+        phi.scale(900.0);
+        let eng = Engine::new(EngineKind::Exact, &mats, 0).unwrap();
+        let out = eng.compute(&phi, 900.0, &mats, 0).unwrap();
+        assert!(out.tr_w.is_finite() && out.tr_w > 0.0);
+        assert!(out.dots.iter().all(|d| d.is_finite()));
+        assert!(out.log_scale > 0.0);
+    }
+
+    #[test]
+    fn costs_reflect_sparse_advantage() {
+        // With a sparse Φ (tridiagonal, nnz ≈ 3m) applied through
+        // compute_op, the sketched engine's analytic work is nearly linear
+        // in m and far below the exact engine's 8m³ at moderate m. This is
+        // the crossover the Corollary 1.2 work bound predicts.
+        let m = 96;
+        let mut trip = Vec::new();
+        for i in 0..m {
+            trip.push((i, i, 2.0));
+            if i + 1 < m {
+                trip.push((i, i + 1, -0.5));
+                trip.push((i + 1, i, -0.5));
+            }
+        }
+        let phi_sparse = Csr::from_triplets(m, m, &trip);
+        let phi_dense = phi_sparse.to_dense();
+        let mats: Vec<PsdMatrix> = (0..4)
+            .map(|k| {
+                let mut v = vec![0.0; m];
+                v[k] = 1.0;
+                v[(k * 7 + 3) % m] = -1.0;
+                PsdMatrix::Factor(FactorPsd::from_vector(&v))
+            })
+            .collect();
+        let exact = Engine::new(EngineKind::Exact, &mats, 0).unwrap();
+        let jl = Engine::new(EngineKind::TaylorJl { eps: 0.3, sketch_const: 1.0 }, &mats, 0).unwrap();
+        let ce = exact.compute(&phi_dense, 3.0, &mats, 0).unwrap().cost;
+        let cj = jl.compute_op(&phi_sparse, 3.0, 0).cost;
+        assert!(ce.work > 0.0 && cj.work > 0.0);
+        assert!(ce.work > cj.work, "exact {} vs jl {}", ce.work, cj.work);
+        assert!(cj.depth < ce.depth);
+    }
+
+    #[test]
+    fn compute_op_matches_dense_compute() {
+        let (phi, mats) = fixture(9, 2.0);
+        let kind = EngineKind::TaylorJl { eps: 0.3, sketch_const: 2.0 };
+        let eng = Engine::new(kind, &mats, 11).unwrap();
+        let a = eng.compute(&phi, 2.0, &mats, 7).unwrap();
+        let b = eng.compute_op(&phi, 2.0, 7);
+        for (x, y) in a.dots.iter().zip(&b.dots) {
+            assert!((x - y).abs() < 1e-10 * x.abs().max(1.0));
+        }
+        assert!((a.tr_w - b.tr_w).abs() < 1e-10 * a.tr_w);
+    }
+
+    #[test]
+    #[should_panic(expected = "exact engine needs a dense")]
+    fn compute_op_rejects_exact() {
+        let (phi, mats) = fixture(5, 1.0);
+        let eng = Engine::new(EngineKind::Exact, &mats, 0).unwrap();
+        let _ = eng.compute_op(&phi, 1.0, 0);
+    }
+
+    #[test]
+    fn engine_names() {
+        assert_eq!(EngineKind::Exact.name(), "exact");
+        assert_eq!(EngineKind::Taylor { eps: 0.1 }.name(), "taylor");
+        assert_eq!(EngineKind::TaylorJl { eps: 0.1, sketch_const: 1.0 }.name(), "taylor+jl");
+    }
+}

@@ -1,0 +1,17 @@
+//! # psdp-expdot
+//!
+//! The paper's special primitive: computing `exp(Φ) • Aᵢ` for PSD `Φ` and
+//! PSD constraints `Aᵢ` (Section 4 / Theorem 4.1).
+//!
+//! * [`engine::Engine`] — prepared evaluator with three interchangeable
+//!   strategies ([`engine::EngineKind`]): exact eigendecomposition, Lemma 4.2
+//!   truncated Taylor, and Taylor + Gaussian JL sketch,
+//! * [`gauss`] — Box–Muller normals and JL sketch construction.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod gauss;
+
+pub use engine::{exp_dot_exact, Engine, EngineKind, ExpDots};
+pub use gauss::{gaussian_sketch, jl_rows, standard_normals};

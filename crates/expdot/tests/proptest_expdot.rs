@@ -1,0 +1,101 @@
+//! Property tests: the engines' accuracy contracts on random PSD inputs.
+
+use proptest::prelude::*;
+use psdp_expdot::{exp_dot_exact, jl_rows, Engine, EngineKind};
+use psdp_linalg::{matmul, sym_eigen, Mat};
+use psdp_sparse::PsdMatrix;
+
+/// Random (Φ, constraints) pair: Φ PSD with moderate norm, diagonal +
+/// dense PSD constraints.
+fn setup() -> impl Strategy<Value = (Mat, Vec<PsdMatrix>)> {
+    (2usize..7).prop_flat_map(|m| {
+        (
+            proptest::collection::vec(-1.0_f64..1.0, m * m),
+            proptest::collection::vec(0.05_f64..1.5, m),
+            proptest::collection::vec(-1.0_f64..1.0, m * m),
+        )
+            .prop_map(move |(phi_data, diag, a_data)| {
+                let g = Mat::from_vec(m, m, phi_data);
+                let mut phi = matmul(&g, &g.transpose());
+                phi.scale(1.0 / m as f64);
+                phi.symmetrize();
+
+                let ga = Mat::from_vec(m, m, a_data);
+                let mut a = matmul(&ga, &ga.transpose());
+                a.scale(1.0 / m as f64);
+                a.add_diag(0.01);
+                a.symmetrize();
+
+                (phi, vec![PsdMatrix::Diagonal(diag), PsdMatrix::Dense(a)])
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Exact engine equals the eigendecomposition reference.
+    #[test]
+    fn exact_engine_is_reference((phi, mats) in setup()) {
+        let eng = Engine::new(EngineKind::Exact, &mats, 0).unwrap();
+        let kappa = sym_eigen(&phi).unwrap().lambda_max();
+        let out = eng.compute(&phi, kappa, &mats, 0).unwrap();
+        let scale = out.log_scale.exp();
+        for (i, a) in mats.iter().enumerate() {
+            let want = exp_dot_exact(&phi, a).unwrap();
+            let got = out.dots[i] * scale;
+            prop_assert!((got - want).abs() < 1e-7 * want.max(1.0), "{got} vs {want}");
+        }
+    }
+
+    /// Taylor engine obeys the one-sided sandwich: never above exact, never
+    /// below (1−ε)·exact.
+    #[test]
+    fn taylor_engine_sandwich((phi, mats) in setup(), eps in 0.05_f64..0.4) {
+        let eng = Engine::new(EngineKind::Taylor { eps }, &mats, 0).unwrap();
+        let kappa = sym_eigen(&phi).unwrap().lambda_max().max(1e-9);
+        let out = eng.compute(&phi, kappa, &mats, 0).unwrap();
+        for (i, a) in mats.iter().enumerate() {
+            let want = exp_dot_exact(&phi, a).unwrap();
+            prop_assert!(out.dots[i] <= want * (1.0 + 1e-9),
+                "constraint {i}: taylor {} above exact {want}", out.dots[i]);
+            prop_assert!(out.dots[i] >= want * (1.0 - eps) - 1e-12,
+                "constraint {i}: taylor {} below (1-eps)·{want}", out.dots[i]);
+        }
+        // Trace too.
+        let tr = psdp_linalg::expm(&phi).unwrap().trace();
+        prop_assert!(out.tr_w <= tr * (1.0 + 1e-9) && out.tr_w >= tr * (1.0 - eps) - 1e-12);
+    }
+
+    /// The sketched engine is unbiased enough: averaged over several
+    /// independent sketches, the estimate lands near exact.
+    #[test]
+    fn jl_engine_concentrates((phi, mats) in setup()) {
+        let eng = Engine::new(
+            EngineKind::TaylorJl { eps: 0.2, sketch_const: 4.0 }, &mats, 11,
+        ).unwrap();
+        let kappa = sym_eigen(&phi).unwrap().lambda_max().max(1e-9);
+        let want: Vec<f64> =
+            mats.iter().map(|a| exp_dot_exact(&phi, a).unwrap()).collect();
+        let reps = 5;
+        let mut avg = vec![0.0; mats.len()];
+        for s in 0..reps {
+            let out = eng.compute(&phi, kappa, &mats, s).unwrap();
+            for (acc, d) in avg.iter_mut().zip(&out.dots) {
+                *acc += d / reps as f64;
+            }
+        }
+        for (g, w) in avg.iter().zip(&want) {
+            prop_assert!((g - w).abs() < 0.25 * w.max(1e-9),
+                "averaged sketch {g} too far from {w}");
+        }
+    }
+
+    /// JL row count is monotone in dimension and 1/ε.
+    #[test]
+    fn jl_rows_monotone(d1 in 2usize..100, eps in 0.05_f64..0.5) {
+        let d2 = d1 * 2;
+        prop_assert!(jl_rows(d2, eps, 4.0) >= jl_rows(d1, eps, 4.0));
+        prop_assert!(jl_rows(d1, eps / 2.0, 4.0) >= jl_rows(d1, eps, 4.0));
+    }
+}

@@ -1,0 +1,103 @@
+//! Abstract symmetric linear operators.
+//!
+//! The Taylor engine only ever *applies* `Φ` to blocks of vectors, so it is
+//! written against this trait instead of a concrete matrix type. Dense
+//! matrices implement it here; sparse CSR matrices and the solver's
+//! "sum of factorized constraints" operator implement it in their own crates.
+
+use crate::gemm::{matmul, matvec};
+use crate::mat::Mat;
+
+/// A symmetric linear operator on `R^dim`.
+///
+/// Implementations must be `Sync` so blocks can be applied from rayon tasks.
+pub trait SymOp: Sync {
+    /// Dimension `m` of the (square) operator.
+    fn dim(&self) -> usize;
+
+    /// `y = A x`.
+    fn apply_vec(&self, x: &[f64]) -> Vec<f64>;
+
+    /// `Y = A X` for a block `X` (`dim × r`). Default loops over columns;
+    /// dense implementations override with a single GEMM.
+    fn apply_block(&self, x: &Mat) -> Mat {
+        assert_eq!(x.nrows(), self.dim(), "apply_block: dim mismatch");
+        let mut out = Mat::zeros(self.dim(), x.ncols());
+        for j in 0..x.ncols() {
+            let col = x.col(j);
+            let y = self.apply_vec(&col);
+            out.set_col(j, &y);
+        }
+        out
+    }
+
+    /// Number of nonzero entries used by one application (work accounting).
+    fn nnz(&self) -> usize {
+        self.dim() * self.dim()
+    }
+}
+
+impl SymOp for Mat {
+    fn dim(&self) -> usize {
+        assert!(self.is_square(), "SymOp requires a square matrix");
+        self.nrows()
+    }
+
+    fn apply_vec(&self, x: &[f64]) -> Vec<f64> {
+        matvec(self, x)
+    }
+
+    fn apply_block(&self, x: &Mat) -> Mat {
+        matmul(self, x)
+    }
+
+    fn nnz(&self) -> usize {
+        self.as_slice().iter().filter(|&&v| v != 0.0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_symop_applies() {
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        assert_eq!(a.dim(), 2);
+        assert_eq!(a.apply_vec(&[1.0, 0.0]), vec![2.0, 1.0]);
+        let x = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let y = a.apply_block(&x);
+        assert_eq!(y[(0, 0)], 2.0);
+        assert_eq!(y[(1, 1)], 3.0);
+    }
+
+    #[test]
+    fn default_block_impl_matches_dense() {
+        // Wrap a Mat so the default (column-by-column) path is exercised.
+        struct Wrapper(Mat);
+        impl SymOp for Wrapper {
+            fn dim(&self) -> usize {
+                self.0.nrows()
+            }
+            fn apply_vec(&self, x: &[f64]) -> Vec<f64> {
+                matvec(&self.0, x)
+            }
+        }
+        let mut a = Mat::from_fn(5, 5, |i, j| (i * j) as f64);
+        a.symmetrize();
+        let x = Mat::from_fn(5, 3, |i, j| (i + j) as f64);
+        let via_default = Wrapper(a.clone()).apply_block(&x);
+        let via_gemm = a.apply_block(&x);
+        for i in 0..5 {
+            for j in 0..3 {
+                assert!((via_default[(i, j)] - via_gemm[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn nnz_counts_nonzeros() {
+        let a = Mat::from_diag(&[1.0, 0.0, 2.0]);
+        assert_eq!(SymOp::nnz(&a), 2);
+    }
+}

@@ -1,0 +1,168 @@
+//! Householder QR factorization `A = Q R`.
+//!
+//! The paper's preprocessing remark (Section 1.2) factors constraint matrices
+//! with "standard parallel QR"; we provide the sequential Householder kernel
+//! (the sizes we factor are small) plus helpers used by the workload
+//! generators to produce random orthogonal bases.
+
+use crate::mat::Mat;
+
+/// QR factorization with `Q` orthonormal (`m × n`, thin) and `R` upper
+/// triangular (`n × n`), for `m ≥ n`.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Thin orthonormal factor.
+    pub q: Mat,
+    /// Upper-triangular factor.
+    pub r: Mat,
+}
+
+/// Compute the thin QR factorization of `a` (`m × n`, `m ≥ n`).
+///
+/// # Panics
+/// Panics if `m < n`.
+pub fn qr(a: &Mat) -> Qr {
+    let (m, n) = (a.nrows(), a.ncols());
+    assert!(m >= n, "qr: need nrows >= ncols, got {m}x{n}");
+
+    // Work on a copy; store Householder vectors in-place below the diagonal.
+    let mut r = a.clone();
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(n);
+
+    for k in 0..n {
+        // Build the Householder vector for column k.
+        let mut v: Vec<f64> = (k..m).map(|i| r[(i, k)]).collect();
+        let alpha = -v[0].signum() * crate::vecops::norm2(&v);
+        if alpha == 0.0 {
+            // Column already zero below (and at) the diagonal; identity reflector.
+            vs.push(vec![0.0; m - k]);
+            continue;
+        }
+        v[0] -= alpha;
+        let vnorm = crate::vecops::norm2(&v);
+        if vnorm > 0.0 {
+            crate::vecops::scale(1.0 / vnorm, &mut v);
+        }
+        // Apply H = I - 2vv^T to the trailing submatrix.
+        for j in k..n {
+            let mut s = 0.0;
+            for i in k..m {
+                s += v[i - k] * r[(i, j)];
+            }
+            s *= 2.0;
+            for i in k..m {
+                r[(i, j)] -= s * v[i - k];
+            }
+        }
+        vs.push(v);
+    }
+
+    // Extract R (upper triangular n x n).
+    let mut rr = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            rr[(i, j)] = r[(i, j)];
+        }
+    }
+
+    // Form thin Q by applying reflectors to the first n columns of I.
+    let mut q = Mat::zeros(m, n);
+    for j in 0..n {
+        q[(j, j)] = 1.0;
+    }
+    for k in (0..n).rev() {
+        let v = &vs[k];
+        if v.iter().all(|&x| x == 0.0) {
+            continue;
+        }
+        for j in 0..n {
+            let mut s = 0.0;
+            for i in k..m {
+                s += v[i - k] * q[(i, j)];
+            }
+            s *= 2.0;
+            for i in k..m {
+                q[(i, j)] -= s * v[i - k];
+            }
+        }
+    }
+
+    Qr { q, r: rr }
+}
+
+/// Orthonormalize the columns of `a` (thin Q of its QR factorization).
+pub fn orthonormalize(a: &Mat) -> Mat {
+    qr(a).q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+
+    fn check_qr(a: &Mat, tol: f64) {
+        let f = qr(a);
+        let n = a.ncols();
+        // Q^T Q = I
+        let qtq = matmul(&f.q.transpose(), &f.q);
+        for i in 0..n {
+            for j in 0..n {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((qtq[(i, j)] - want).abs() < tol, "QtQ({i},{j}) = {}", qtq[(i, j)]);
+            }
+        }
+        // R upper triangular
+        for i in 0..n {
+            for j in 0..i {
+                assert_eq!(f.r[(i, j)], 0.0);
+            }
+        }
+        // QR = A
+        let rec = matmul(&f.q, &f.r);
+        for i in 0..a.nrows() {
+            for j in 0..n {
+                assert!(
+                    (rec[(i, j)] - a[(i, j)]).abs() < tol * a.max_abs().max(1.0),
+                    "QR != A at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qr_square() {
+        let a = Mat::from_rows(&[&[12.0, -51.0, 4.0], &[6.0, 167.0, -68.0], &[-4.0, 24.0, -41.0]]);
+        check_qr(&a, 1e-10);
+    }
+
+    #[test]
+    fn qr_tall() {
+        let a = Mat::from_fn(7, 3, |i, j| ((i * 3 + j * 5) % 11) as f64 - 5.0);
+        check_qr(&a, 1e-10);
+    }
+
+    #[test]
+    fn qr_rank_deficient_column() {
+        // Second column is a multiple of the first; R(1,1) should be ~0 and
+        // the factorization should still reconstruct A.
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[1.0, 2.0], &[1.0, 2.0]]);
+        let f = qr(&a);
+        assert!(f.r[(1, 1)].abs() < 1e-12);
+        let rec = matmul(&f.q, &f.r);
+        for i in 0..3 {
+            for j in 0..2 {
+                assert!((rec[(i, j)] - a[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn orthonormalize_gives_unit_columns() {
+        let a = Mat::from_fn(5, 2, |i, j| (i + j + 1) as f64);
+        let q = orthonormalize(&a);
+        for j in 0..2 {
+            let c = q.col(j);
+            assert!((crate::vecops::norm2(&c) - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # psdp-mmw
+//!
+//! The multiplicative-weights layer:
+//!
+//! * [`matrix_mw::MmwGame`] — the Section 2.1 matrix multiplicative weights
+//!   game with the Arora–Kale regret bound (Theorem 2.1) checkable at
+//!   runtime,
+//! * [`scalar_mw::Hedge`] — the diagonal/scalar specialization,
+//! * [`theory`] — closed-form iteration-bound calculators for the
+//!   complexity comparison in Section 1.1 (ours vs Jain–Yao '11 vs
+//!   width-dependent MMW).
+
+#![warn(missing_docs)]
+
+pub mod matrix_mw;
+pub mod scalar_mw;
+pub mod theory;
+
+pub use matrix_mw::MmwGame;
+pub use scalar_mw::Hedge;
+pub use theory::{
+    jain_yao_iterations, ours_decision_iterations, ours_total_iterations, paper_constants,
+    width_dependent_iterations, PaperConstants,
+};

@@ -1,0 +1,134 @@
+//! Scalar multiplicative weights (Hedge), the diagonal special case.
+//!
+//! When every gain matrix is diagonal, the MMW game of Section 2.1 collapses
+//! to the classical Hedge algorithm over `m` experts. The solver's LP
+//! cross-validation path uses this to confirm that the matrix machinery
+//! specializes correctly, and the Young-style positive LP baseline builds on
+//! the same soft-max potential.
+
+/// State of a Hedge game over `m` experts.
+#[derive(Debug, Clone)]
+pub struct Hedge {
+    eps0: f64,
+    /// Cumulative gains per expert.
+    gain_sum: Vec<f64>,
+    /// Σ_t <gain⁽ᵗ⁾, p⁽ᵗ⁾>.
+    observed_gain: f64,
+    rounds: usize,
+}
+
+impl Hedge {
+    /// Start a Hedge game with learning rate `eps0 ∈ (0, 1/2]`.
+    ///
+    /// # Panics
+    /// Panics outside that range.
+    pub fn new(num_experts: usize, eps0: f64) -> Self {
+        assert!(eps0 > 0.0 && eps0 <= 0.5, "Hedge needs 0 < eps0 <= 1/2");
+        assert!(num_experts > 0, "need at least one expert");
+        Hedge { eps0, gain_sum: vec![0.0; num_experts], observed_gain: 0.0, rounds: 0 }
+    }
+
+    /// Current probability distribution `p ∝ exp(ε₀ · gain_sum)`, computed
+    /// with a max-shift to avoid overflow.
+    pub fn probabilities(&self) -> Vec<f64> {
+        let hi = self.gain_sum.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        let weights: Vec<f64> =
+            self.gain_sum.iter().map(|&g| (self.eps0 * (g - hi)).exp()).collect();
+        let z: f64 = weights.iter().sum();
+        weights.into_iter().map(|w| w / z).collect()
+    }
+
+    /// Play one round with per-expert gains in `[0, 1]`; returns `<g, p>`.
+    pub fn play(&mut self, gains: &[f64]) -> f64 {
+        assert_eq!(gains.len(), self.gain_sum.len(), "gain length mismatch");
+        debug_assert!(gains.iter().all(|&g| (-1e-12..=1.0 + 1e-12).contains(&g)));
+        let p = self.probabilities();
+        let g: f64 = gains.iter().zip(&p).map(|(a, b)| a * b).sum();
+        self.observed_gain += g;
+        for (s, &x) in self.gain_sum.iter_mut().zip(gains) {
+            *s += x;
+        }
+        self.rounds += 1;
+        g
+    }
+
+    /// Rounds played.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Scalar regret bound sides `((1+ε₀)·observed, max_i gain_sum_i − ln(m)/ε₀)`.
+    pub fn regret_bound_sides(&self) -> (f64, f64) {
+        let best = self.gain_sum.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        let m = self.gain_sum.len() as f64;
+        ((1.0 + self.eps0) * self.observed_gain, best - m.ln() / self.eps0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_uniform() {
+        let h = Hedge::new(4, 0.5);
+        for p in h.probabilities() {
+            assert!((p - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn concentrates_on_best_expert() {
+        let mut h = Hedge::new(3, 0.5);
+        for _ in 0..40 {
+            h.play(&[1.0, 0.2, 0.0]);
+        }
+        let p = h.probabilities();
+        assert!(p[0] > 0.99);
+    }
+
+    #[test]
+    fn regret_bound_holds() {
+        let mut h = Hedge::new(5, 0.25);
+        // Adversarial-ish rotating gains.
+        for t in 0..100 {
+            let mut g = vec![0.0; 5];
+            g[t % 5] = 1.0;
+            g[(t * 3 + 1) % 5] = 0.6;
+            h.play(&g);
+        }
+        let (lhs, rhs) = h.regret_bound_sides();
+        assert!(lhs >= rhs - 1e-9, "{lhs} < {rhs}");
+    }
+
+    #[test]
+    fn matches_matrix_mw_on_diagonal_gains() {
+        // Hedge and MmwGame must agree when all gains are diagonal.
+        use crate::matrix_mw::MmwGame;
+        let mut h = Hedge::new(3, 0.4);
+        let mut g = MmwGame::new(3, 0.4);
+        let gains = [[1.0, 0.0, 0.5], [0.0, 1.0, 0.5], [0.3, 0.3, 0.3]];
+        for t in 0..12 {
+            let gv = gains[t % 3];
+            let hp = h.probabilities();
+            let mp = g.probability_matrix().unwrap();
+            for i in 0..3 {
+                assert!((hp[i] - mp[(i, i)]).abs() < 1e-9, "round {t} expert {i}");
+            }
+            h.play(&gv);
+            g.play(&psdp_linalg::Mat::from_diag(&gv)).unwrap();
+        }
+    }
+
+    #[test]
+    fn overflow_safe_probabilities() {
+        let mut h = Hedge::new(2, 0.5);
+        // Huge cumulative gains must not produce NaN.
+        for _ in 0..100_000 {
+            h.gain_sum[0] += 1.0;
+        }
+        let p = h.probabilities();
+        assert!(p[0] > 0.999 && p[0].is_finite());
+        assert!((p[0] + p[1] - 1.0).abs() < 1e-12);
+    }
+}

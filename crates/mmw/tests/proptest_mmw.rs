@@ -1,0 +1,80 @@
+//! Property tests: the Theorem 2.1 regret bound holds against randomized
+//! adversaries, and the scalar/matrix games agree on diagonal gains.
+
+use proptest::prelude::*;
+use psdp_linalg::Mat;
+use psdp_mmw::{Hedge, MmwGame};
+
+/// A random PSD gain with ‖M‖ ≤ 1: convex combination of rank-1 projectors.
+fn gain(dim: usize, coords: &[f64]) -> Mat {
+    let mut v: Vec<f64> = coords.iter().take(dim).cloned().collect();
+    while v.len() < dim {
+        v.push(0.1);
+    }
+    let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-9);
+    for x in &mut v {
+        *x /= norm;
+    }
+    let mut g = Mat::zeros(dim, dim);
+    g.rank1_update(1.0, &v); // unit projector: eigenvalues {1, 0…}
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 2.1 against random rank-1 adversaries.
+    #[test]
+    fn regret_bound_random_adversary(
+        dim in 2usize..5,
+        eps0 in 0.05_f64..0.5,
+        seeds in proptest::collection::vec(proptest::collection::vec(-1.0_f64..1.0, 5), 10..40),
+    ) {
+        let mut game = MmwGame::new(dim, eps0);
+        for s in &seeds {
+            game.play(&gain(dim, s)).unwrap();
+        }
+        let (lhs, rhs) = game.regret_bound_sides().unwrap();
+        prop_assert!(lhs >= rhs - 1e-8, "regret violated: {lhs} < {rhs}");
+    }
+
+    /// Hedge regret bound on random [0,1] gain sequences.
+    #[test]
+    fn hedge_regret_random(
+        n in 2usize..6,
+        eps0 in 0.05_f64..0.5,
+        rounds in proptest::collection::vec(proptest::collection::vec(0.0_f64..1.0, 6), 5..50),
+    ) {
+        let mut h = Hedge::new(n, eps0);
+        for r in &rounds {
+            h.play(&r[..n]);
+        }
+        let (lhs, rhs) = h.regret_bound_sides();
+        prop_assert!(lhs >= rhs - 1e-8, "hedge regret violated: {lhs} < {rhs}");
+    }
+
+    /// Diagonal gains: the matrix game's probability diagonal equals Hedge.
+    #[test]
+    fn matrix_game_specializes_to_hedge(
+        n in 2usize..5,
+        rounds in proptest::collection::vec(proptest::collection::vec(0.0_f64..1.0, 5), 3..12),
+    ) {
+        let mut h = Hedge::new(n, 0.4);
+        let mut g = MmwGame::new(n, 0.4);
+        for r in &rounds {
+            let gains = &r[..n];
+            let hp = h.probabilities();
+            let gp = g.probability_matrix().unwrap();
+            for i in 0..n {
+                prop_assert!((hp[i] - gp[(i, i)]).abs() < 1e-8);
+                for j in 0..n {
+                    if i != j {
+                        prop_assert!(gp[(i, j)].abs() < 1e-10, "off-diagonal leakage");
+                    }
+                }
+            }
+            h.play(gains);
+            g.play(&Mat::from_diag(gains)).unwrap();
+        }
+    }
+}

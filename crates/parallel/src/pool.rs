@@ -1,0 +1,77 @@
+//! Scoped rayon thread pools for scaling experiments.
+//!
+//! The parallel-scaling experiment (E6) needs to run the *same* solver at
+//! 1, 2, 4, … threads. Rayon's global pool is process-wide, so we build
+//! dedicated pools and run closures inside them; rayon parallel iterators
+//! invoked within inherit the pool.
+
+use parking_lot::Mutex;
+use rayon::ThreadPool;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache of pools keyed by thread count (pool construction is expensive and
+/// benchmark loops request the same sizes repeatedly).
+static POOLS: Mutex<Option<HashMap<usize, Arc<ThreadPool>>>> = Mutex::new(None);
+
+/// Get (or lazily build) a pool with exactly `threads` workers.
+///
+/// # Panics
+/// Panics if `threads == 0` or pool construction fails (resource limits).
+pub fn pool_with_threads(threads: usize) -> Arc<ThreadPool> {
+    assert!(threads > 0, "thread pool needs at least one thread");
+    let mut guard = POOLS.lock();
+    let map = guard.get_or_insert_with(HashMap::new);
+    map.entry(threads)
+        .or_insert_with(|| {
+            Arc::new(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("failed to build rayon pool"),
+            )
+        })
+        .clone()
+}
+
+/// Run `f` on a pool with `threads` workers and return its result.
+pub fn run_with_threads<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    pool_with_threads(threads).install(f)
+}
+
+/// Number of logical CPUs rayon would use by default.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn pool_respects_thread_count() {
+        let n = run_with_threads(2, rayon::current_num_threads);
+        assert_eq!(n, 2);
+        let n = run_with_threads(1, rayon::current_num_threads);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn parallel_work_runs_in_pool() {
+        let sum: u64 = run_with_threads(3, || (0..1000u64).into_par_iter().sum());
+        assert_eq!(sum, 499_500);
+    }
+
+    #[test]
+    fn pools_are_cached() {
+        let a = pool_with_threads(2);
+        let b = pool_with_threads(2);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn available_threads_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

@@ -1,0 +1,280 @@
+//! Factorized PSD matrices `A = Q Qᵀ` with sparse factors.
+//!
+//! This is the input format Theorem 4.1 assumes ("given a positive SDP in a
+//! factorized form"): each constraint matrix is represented by its `m × rᵢ`
+//! factor `Qᵢ`, and `q = Σᵢ nnz(Qᵢ)` is the instance size the nearly-linear
+//! work bound refers to. The key identities the engines use:
+//!
+//! * `A • S = Tr(S Q Qᵀ) = Σ_cols qᵀ S q` for symmetric `S`,
+//! * `exp(Φ) • A = ‖exp(Φ/2) Q‖²_F` (proof of Theorem 4.1),
+//! * `Tr A = ‖Q‖²_F`,
+//! * `A x = Q (Qᵀ x)` — two sparse products, never a dense `m × m`.
+
+use crate::csr::Csr;
+use psdp_linalg::{Mat, SymOp};
+
+/// A PSD matrix held in factorized form `A = Q Qᵀ` (`Q`: `m × r`, sparse).
+///
+/// ```
+/// use psdp_sparse::FactorPsd;
+///
+/// // A = vvᵀ for v = (1, -2): trace = ‖v‖² = 5, A·(1,0) = (1, -2).
+/// let a = FactorPsd::from_vector(&[1.0, -2.0]);
+/// assert_eq!(a.trace(), 5.0);
+/// assert_eq!(a.apply(&[1.0, 0.0]), vec![1.0, -2.0]);
+/// assert_eq!(a.factor_nnz(), 2); // the “q” of Theorem 4.1
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactorPsd {
+    /// The factor; `A = q_factor · q_factorᵀ`.
+    q: Csr,
+}
+
+impl FactorPsd {
+    /// Wrap a factor `Q` (`m × r`).
+    pub fn new(q: Csr) -> Self {
+        FactorPsd { q }
+    }
+
+    /// Build from a single vector: `A = v vᵀ` (rank-1).
+    pub fn from_vector(v: &[f64]) -> Self {
+        let trip: Vec<(usize, usize, f64)> = v
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x != 0.0)
+            .map(|(i, &x)| (i, 0usize, x))
+            .collect();
+        FactorPsd { q: Csr::from_triplets(v.len(), 1, &trip) }
+    }
+
+    /// The ambient dimension `m`.
+    pub fn dim(&self) -> usize {
+        self.q.nrows()
+    }
+
+    /// Number of factor columns `r` (an upper bound on the rank).
+    pub fn rank_bound(&self) -> usize {
+        self.q.ncols()
+    }
+
+    /// Access the factor `Q`.
+    pub fn factor(&self) -> &Csr {
+        &self.q
+    }
+
+    /// Nonzeros in the factor — the `q` of Theorem 4.1.
+    pub fn factor_nnz(&self) -> usize {
+        self.q.nnz()
+    }
+
+    /// `Tr A = ‖Q‖²_F`.
+    pub fn trace(&self) -> f64 {
+        self.q.fro_norm_sq()
+    }
+
+    /// `A x = Q (Qᵀ x)`.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        self.q.spmv(&self.q.spmv_transpose(x))
+    }
+
+    /// `A • S = Tr(S A)` for symmetric dense `S`, computed column-by-column
+    /// as `Σ_j q_jᵀ S q_j` without densifying `A`.
+    pub fn dot_dense(&self, s: &Mat) -> f64 {
+        assert_eq!(s.nrows(), self.dim(), "dot_dense: dim mismatch");
+        // S Q (m×r), then sum_j <q_j, (SQ)_j> = sum over nnz of Q.
+        let qd = self.q.to_dense();
+        let sq = psdp_linalg::matmul(s, &qd);
+        qd.dot(&sq)
+    }
+
+    /// Given a precomputed sketch/polynomial block product `SQ = S · Q`
+    /// where `S` is (an approximation of) `exp(Φ/2)` possibly composed with
+    /// a JL sketch, return `‖SQ‖²_F` — the Theorem 4.1 estimate of
+    /// `exp(Φ) • A`.
+    pub fn exp_dot_from_block(sq: &Mat) -> f64 {
+        sq.as_slice().iter().map(|v| v * v).sum()
+    }
+
+    /// `S · Q` for dense `S` stored as `Mat` rows (i.e., computes `S Q` via
+    /// the transpose kernel: `(Qᵀ Sᵀ)ᵀ`). `S` is `r_s × m`.
+    pub fn left_mul(&self, s: &Mat) -> Mat {
+        assert_eq!(s.ncols(), self.dim(), "left_mul: dim mismatch");
+        // (S Q) = (Q^T S^T)^T ; Q^T S^T is r × r_s.
+        let st = s.transpose();
+        self.q.spmm_transpose(&st).transpose()
+    }
+
+    /// Densify `A = Q Qᵀ`.
+    pub fn to_dense(&self) -> Mat {
+        let qd = self.q.to_dense();
+        psdp_linalg::matmul(&qd, &qd.transpose())
+    }
+
+    /// Scale the represented matrix by `alpha ≥ 0` (scales the factor by
+    /// `√alpha`).
+    pub fn scale(&mut self, alpha: f64) {
+        assert!(alpha >= 0.0, "FactorPsd::scale needs alpha >= 0, got {alpha}");
+        self.q.scale(alpha.sqrt());
+    }
+
+    /// Accumulate `out += coeff · A` into a dense matrix.
+    pub fn add_scaled_into(&self, out: &mut Mat, coeff: f64) {
+        assert_eq!(out.nrows(), self.dim());
+        // A = Σ_c q_c q_cᵀ over factor columns; accumulate each outer product
+        // on the sparse support only. One pass gathers the column lists.
+        let q = &self.q;
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); q.ncols()];
+        for i in 0..q.nrows() {
+            for (c, v) in q.row_iter(i) {
+                if v != 0.0 {
+                    cols[c].push((i, v));
+                }
+            }
+        }
+        for col in &cols {
+            for &(i, vi) in col {
+                for &(k, vk) in col {
+                    out[(i, k)] += coeff * vi * vk;
+                }
+            }
+        }
+    }
+}
+
+impl SymOp for FactorPsd {
+    fn dim(&self) -> usize {
+        FactorPsd::dim(self)
+    }
+
+    fn apply_vec(&self, x: &[f64]) -> Vec<f64> {
+        self.apply(x)
+    }
+
+    fn apply_block(&self, x: &Mat) -> Mat {
+        self.q.spmm(&self.q.spmm_transpose(x))
+    }
+
+    fn nnz(&self) -> usize {
+        self.factor_nnz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdp_linalg::sym_eigen;
+
+    fn example() -> FactorPsd {
+        // Q = [[1, 0], [2, 1], [0, 3]]  =>  A = QQ^T
+        FactorPsd::new(Csr::from_triplets(
+            3,
+            2,
+            &[(0, 0, 1.0), (1, 0, 2.0), (1, 1, 1.0), (2, 1, 3.0)],
+        ))
+    }
+
+    #[test]
+    fn trace_identity() {
+        let f = example();
+        let a = f.to_dense();
+        assert!((f.trace() - a.trace()).abs() < 1e-14);
+        assert_eq!(f.trace(), 1.0 + 4.0 + 1.0 + 9.0);
+    }
+
+    #[test]
+    fn apply_matches_dense() {
+        let f = example();
+        let a = f.to_dense();
+        let x = [1.0, -2.0, 0.5];
+        let y = f.apply(&x);
+        let yd = psdp_linalg::matvec(&a, &x);
+        for (g, w) in y.iter().zip(&yd) {
+            assert!((g - w).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn dense_form_is_psd() {
+        let f = example();
+        let eig = sym_eigen(&f.to_dense()).unwrap();
+        assert!(eig.lambda_min() > -1e-12);
+    }
+
+    #[test]
+    fn dot_dense_matches_trace_product() {
+        let f = example();
+        let mut s = Mat::from_fn(3, 3, |i, j| ((i + j) % 3) as f64);
+        s.symmetrize();
+        let want = psdp_linalg::matmul(&s, &f.to_dense()).trace();
+        assert!((f.dot_dense(&s) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_dot_frobenius_identity() {
+        // exp(Phi) . A = ||exp(Phi/2) Q||_F^2 — verified with exact expm.
+        let f = example();
+        let mut phi = Mat::from_fn(3, 3, |i, j| ((i * 2 + j) % 3) as f64 * 0.2);
+        phi.symmetrize();
+        // ensure PSD
+        let shift = -sym_eigen(&phi).unwrap().lambda_min().min(0.0) + 0.1;
+        phi.add_diag(shift);
+        let ephi = psdp_linalg::expm(&phi).unwrap();
+        let ehalf = psdp_linalg::expm(&phi.scaled(0.5)).unwrap();
+        let want = ephi.dot(&f.to_dense());
+        let sq = f.left_mul(&ehalf);
+        let got = FactorPsd::exp_dot_from_block(&sq);
+        assert!((got - want).abs() < 1e-9 * want.abs().max(1.0), "{got} vs {want}");
+    }
+
+    #[test]
+    fn left_mul_matches_dense() {
+        let f = example();
+        let s = Mat::from_fn(4, 3, |i, j| (i * 3 + j) as f64 * 0.5);
+        let got = f.left_mul(&s);
+        let want = psdp_linalg::matmul(&s, &f.factor().to_dense());
+        assert_eq!(got.nrows(), 4);
+        assert_eq!(got.ncols(), 2);
+        for i in 0..4 {
+            for j in 0..2 {
+                assert!((got[(i, j)] - want[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn add_scaled_into_matches_dense() {
+        let f = example();
+        let mut out = Mat::zeros(3, 3);
+        f.add_scaled_into(&mut out, 2.0);
+        let want = f.to_dense().scaled(2.0);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((out[(i, j)] - want[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rank1_from_vector() {
+        let f = FactorPsd::from_vector(&[1.0, 0.0, -2.0]);
+        assert_eq!(f.rank_bound(), 1);
+        assert_eq!(f.factor_nnz(), 2);
+        let a = f.to_dense();
+        assert_eq!(a[(0, 0)], 1.0);
+        assert_eq!(a[(0, 2)], -2.0);
+        assert_eq!(a[(2, 2)], 4.0);
+    }
+
+    #[test]
+    fn scale_scales_matrix_linearly() {
+        let mut f = example();
+        let before = f.to_dense();
+        f.scale(3.0);
+        let after = f.to_dense();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((after[(i, j)] - 3.0 * before[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # psdp-sparse
+//!
+//! Sparse substrate for the `positive-sdp` workspace:
+//!
+//! * [`csr::Csr`] — compressed sparse row matrices with rayon-parallel
+//!   SpMV/SpMM,
+//! * [`factor::FactorPsd`] — PSD matrices in the factorized form
+//!   `A = QQᵀ` that Theorem 4.1's nearly-linear-work engine consumes,
+//! * [`graph::Graph`] — undirected weighted graphs and their (edge)
+//!   Laplacians, the canonical source of rank-1 factorized constraints.
+
+#![warn(missing_docs)]
+
+pub mod csr;
+pub mod factor;
+pub mod graph;
+pub mod psd;
+
+pub use csr::Csr;
+pub use factor::FactorPsd;
+pub use graph::Graph;
+pub use psd::PsdMatrix;

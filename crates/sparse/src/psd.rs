@@ -1,0 +1,327 @@
+//! Unified representation of PSD constraint matrices.
+//!
+//! The solver accepts constraint matrices in three forms and treats them
+//! uniformly through this enum:
+//!
+//! * [`PsdMatrix::Dense`] — an explicit symmetric PSD `Mat` (the paper's
+//!   "not given in factorized form" case; converted once by preprocessing
+//!   when a vector engine needs factors),
+//! * [`PsdMatrix::Factor`] — `A = QQᵀ` with sparse `Q` (Theorem 4.1's input
+//!   format),
+//! * [`PsdMatrix::Diagonal`] — nonnegative diagonal matrices; positive
+//!   **LP**s embed into positive SDPs exactly through this case, which the
+//!   cross-validation experiments exploit.
+
+use crate::csr::Csr;
+use crate::factor::FactorPsd;
+use psdp_linalg::{psd_factor, Mat};
+
+/// A positive semidefinite matrix in one of three storage formats.
+#[derive(Debug, Clone)]
+pub enum PsdMatrix {
+    /// Explicit dense symmetric PSD matrix.
+    Dense(Mat),
+    /// Factorized `A = QQᵀ`.
+    Factor(FactorPsd),
+    /// Diagonal with nonnegative entries.
+    Diagonal(Vec<f64>),
+}
+
+impl PsdMatrix {
+    /// Ambient dimension `m`.
+    pub fn dim(&self) -> usize {
+        match self {
+            PsdMatrix::Dense(a) => a.nrows(),
+            PsdMatrix::Factor(f) => f.dim(),
+            PsdMatrix::Diagonal(d) => d.len(),
+        }
+    }
+
+    /// `Tr A`.
+    pub fn trace(&self) -> f64 {
+        match self {
+            PsdMatrix::Dense(a) => a.trace(),
+            PsdMatrix::Factor(f) => f.trace(),
+            PsdMatrix::Diagonal(d) => d.iter().sum(),
+        }
+    }
+
+    /// `A • S = Tr(AS)` against a dense symmetric `S`.
+    pub fn dot_dense(&self, s: &Mat) -> f64 {
+        match self {
+            PsdMatrix::Dense(a) => a.dot(s),
+            PsdMatrix::Factor(f) => f.dot_dense(s),
+            PsdMatrix::Diagonal(d) => d.iter().enumerate().map(|(i, &v)| v * s[(i, i)]).sum(),
+        }
+    }
+
+    /// `out += coeff · A`.
+    pub fn add_scaled_into(&self, out: &mut Mat, coeff: f64) {
+        match self {
+            PsdMatrix::Dense(a) => out.axpy(coeff, a),
+            PsdMatrix::Factor(f) => f.add_scaled_into(out, coeff),
+            PsdMatrix::Diagonal(d) => {
+                for (i, &v) in d.iter().enumerate() {
+                    out[(i, i)] += coeff * v;
+                }
+            }
+        }
+    }
+
+    /// `A x`.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        match self {
+            PsdMatrix::Dense(a) => psdp_linalg::matvec(a, x),
+            PsdMatrix::Factor(f) => f.apply(x),
+            PsdMatrix::Diagonal(d) => d.iter().zip(x).map(|(a, b)| a * b).collect(),
+        }
+    }
+
+    /// Densify.
+    pub fn to_dense(&self) -> Mat {
+        match self {
+            PsdMatrix::Dense(a) => a.clone(),
+            PsdMatrix::Factor(f) => f.to_dense(),
+            PsdMatrix::Diagonal(d) => Mat::from_diag(d),
+        }
+    }
+
+    /// Convert to factorized form `A = QQᵀ`.
+    ///
+    /// * `Factor` is returned as-is (cheap clone of the sparse factor),
+    /// * `Diagonal(d)` becomes the diagonal factor `diag(√dᵢ)`,
+    /// * `Dense` is eigendecomposed (rank-revealing; `rank_tol` relative
+    ///   eigenvalue cutoff) — the preprocessing step of Section 1.2.
+    ///
+    /// # Errors
+    /// Propagates eigensolver failures / non-PSD dense input.
+    pub fn to_factor(&self, rank_tol: f64) -> Result<FactorPsd, psdp_linalg::LinalgError> {
+        match self {
+            PsdMatrix::Factor(f) => Ok(f.clone()),
+            PsdMatrix::Diagonal(d) => {
+                let trip: Vec<(usize, usize, f64)> = d
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v > 0.0)
+                    .map(|(i, &v)| (i, i, v.sqrt()))
+                    .collect();
+                Ok(FactorPsd::new(Csr::from_triplets(d.len(), d.len(), &trip)))
+            }
+            PsdMatrix::Dense(a) => {
+                let q = psd_factor(a, rank_tol)?;
+                Ok(FactorPsd::new(Csr::from_dense(&q, 0.0)))
+            }
+        }
+    }
+
+    /// Scale the matrix by `alpha ≥ 0` in place.
+    pub fn scale(&mut self, alpha: f64) {
+        assert!(alpha >= 0.0, "PsdMatrix::scale needs alpha >= 0");
+        match self {
+            PsdMatrix::Dense(a) => a.scale(alpha),
+            PsdMatrix::Factor(f) => f.scale(alpha),
+            PsdMatrix::Diagonal(d) => {
+                for v in d {
+                    *v *= alpha;
+                }
+            }
+        }
+    }
+
+    /// An estimate of `λmax(A)` (exact for diagonal, power iteration for
+    /// dense, `λmax(QᵀQ)`-based for factors).
+    pub fn lambda_max_est(&self) -> f64 {
+        match self {
+            PsdMatrix::Dense(a) => psdp_linalg::lambda_max_estimate(a),
+            PsdMatrix::Diagonal(d) => d.iter().fold(0.0_f64, |m, &v| m.max(v)),
+            PsdMatrix::Factor(f) => {
+                // lambda_max(QQ^T) = lambda_max(Q^T Q); the Gram matrix is
+                // r × r which is usually tiny.
+                let q = f.factor();
+                let qd = q.to_dense();
+                let gram = psdp_linalg::gemm::gram(&qd);
+                psdp_linalg::lambda_max_estimate(&gram)
+            }
+        }
+    }
+
+    /// Cheap structural validation (no eigendecomposition): finite entries
+    /// everywhere; nonnegative entries for `Diagonal`; symmetry and
+    /// nonnegative diagonal for `Dense` (both necessary for PSD-ness).
+    /// `Factor` is PSD by construction, so only finiteness is checked.
+    ///
+    /// Returns a human-readable description of the first violation.
+    ///
+    /// # Errors
+    /// A message naming the violation, if any.
+    pub fn validate_cheap(&self) -> Result<(), String> {
+        match self {
+            PsdMatrix::Diagonal(d) => {
+                for (i, &v) in d.iter().enumerate() {
+                    if !v.is_finite() {
+                        return Err(format!("diagonal entry {i} is not finite"));
+                    }
+                    if v < 0.0 {
+                        return Err(format!("diagonal entry {i} = {v} is negative (not PSD)"));
+                    }
+                }
+                Ok(())
+            }
+            PsdMatrix::Dense(a) => {
+                if !a.all_finite() {
+                    return Err("dense matrix has non-finite entries".into());
+                }
+                if !a.is_square() {
+                    return Err(format!("dense matrix is {}x{}", a.nrows(), a.ncols()));
+                }
+                let tol = 1e-8 * a.max_abs().max(1.0);
+                let asym = a.asymmetry();
+                if asym > tol {
+                    return Err(format!("dense matrix asymmetric (max |Aij−Aji| = {asym:.3e})"));
+                }
+                for i in 0..a.nrows() {
+                    if a[(i, i)] < -tol {
+                        return Err(format!(
+                            "dense diagonal entry {i} = {} is negative (not PSD)",
+                            a[(i, i)]
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            PsdMatrix::Factor(f) => {
+                let q = f.factor();
+                for i in 0..q.nrows() {
+                    for (c, v) in q.row_iter(i) {
+                        if !v.is_finite() {
+                            return Err(format!("factor entry ({i},{c}) is not finite"));
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Representation size used for work accounting: nnz of the natural
+    /// storage (factor nnz, dense m², or diagonal m).
+    pub fn storage_nnz(&self) -> usize {
+        match self {
+            PsdMatrix::Dense(a) => a.nrows() * a.ncols(),
+            PsdMatrix::Factor(f) => f.factor_nnz(),
+            PsdMatrix::Diagonal(d) => d.iter().filter(|&&v| v != 0.0).count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdp_linalg::sym_eigen;
+
+    fn variants() -> Vec<PsdMatrix> {
+        let mut dense = Mat::zeros(3, 3);
+        dense.rank1_update(1.0, &[1.0, 2.0, 0.0]);
+        dense.rank1_update(0.5, &[0.0, 1.0, 1.0]);
+        let factor = PsdMatrix::Dense(dense.clone()).to_factor(1e-10).unwrap();
+        vec![
+            PsdMatrix::Dense(dense),
+            PsdMatrix::Factor(factor),
+            PsdMatrix::Diagonal(vec![1.0, 0.0, 2.5]),
+        ]
+    }
+
+    #[test]
+    fn dense_and_factor_agree() {
+        let vs = variants();
+        let d = vs[0].to_dense();
+        let f = vs[1].to_dense();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((d[(i, j)] - f[(i, j)]).abs() < 1e-9, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_consistent_across_representations() {
+        for m in variants() {
+            let want = m.to_dense().trace();
+            assert!((m.trace() - want).abs() < 1e-9, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn dot_dense_consistent() {
+        let mut s = Mat::from_fn(3, 3, |i, j| ((i * 2 + j) % 4) as f64);
+        s.symmetrize();
+        for m in variants() {
+            let want = psdp_linalg::matmul(&m.to_dense(), &s).trace();
+            assert!((m.dot_dense(&s) - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn apply_consistent() {
+        let x = [0.5, -1.0, 2.0];
+        for m in variants() {
+            let want = psdp_linalg::matvec(&m.to_dense(), &x);
+            let got = m.apply(&x);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn add_scaled_into_consistent() {
+        for m in variants() {
+            let mut out = Mat::identity(3);
+            m.add_scaled_into(&mut out, 2.0);
+            let mut want = Mat::identity(3);
+            want.axpy(2.0, &m.to_dense());
+            for i in 0..3 {
+                for j in 0..3 {
+                    assert!((out[(i, j)] - want[(i, j)]).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lambda_max_est_close_to_truth() {
+        for m in variants() {
+            let truth = sym_eigen(&m.to_dense()).unwrap().lambda_max();
+            let est = m.lambda_max_est();
+            assert!(
+                (est - truth).abs() <= 0.05 * truth.max(1e-12) + 1e-12,
+                "est {est} truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn diagonal_to_factor_roundtrip() {
+        let d = PsdMatrix::Diagonal(vec![4.0, 0.0, 9.0]);
+        let f = d.to_factor(1e-12).unwrap();
+        let fd = f.to_dense();
+        assert_eq!(fd[(0, 0)], 4.0);
+        assert_eq!(fd[(1, 1)], 0.0);
+        assert_eq!(fd[(2, 2)], 9.0);
+        assert_eq!(f.factor_nnz(), 2);
+    }
+
+    #[test]
+    fn scale_consistent() {
+        for mut m in variants() {
+            let before = m.to_dense();
+            m.scale(2.0);
+            let after = m.to_dense();
+            for i in 0..3 {
+                for j in 0..3 {
+                    assert!((after[(i, j)] - 2.0 * before[(i, j)]).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests: CSR kernels agree with dense references; factorized PSD
+//! identities hold on random factors.
+
+use proptest::prelude::*;
+use psdp_linalg::Mat;
+use psdp_sparse::{Csr, FactorPsd, PsdMatrix};
+
+/// Random triplets over an r×c grid.
+fn triplets(max_r: usize, max_c: usize) -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
+    (1..=max_r, 1..=max_c).prop_flat_map(|(r, c)| {
+        proptest::collection::vec((0..r, 0..c, -2.0_f64..2.0), 0..24)
+            .prop_map(move |t| (r, c, t))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Triplet construction sums duplicates exactly like dense accumulation.
+    #[test]
+    fn triplets_match_dense((r, c, trip) in triplets(8, 8)) {
+        let a = Csr::from_triplets(r, c, &trip);
+        let mut dense = Mat::zeros(r, c);
+        for &(i, j, v) in &trip {
+            dense[(i, j)] += v;
+        }
+        let got = a.to_dense();
+        for i in 0..r {
+            for j in 0..c {
+                prop_assert!((got[(i, j)] - dense[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// SpMV and SpMV-transpose agree with the dense products.
+    #[test]
+    fn spmv_matches_dense((r, c, trip) in triplets(8, 8)) {
+        let a = Csr::from_triplets(r, c, &trip);
+        let d = a.to_dense();
+        let x: Vec<f64> = (0..c).map(|i| (i as f64 * 0.7).sin()).collect();
+        let y = a.spmv(&x);
+        let yd = psdp_linalg::matvec(&d, &x);
+        for (g, w) in y.iter().zip(&yd) {
+            prop_assert!((g - w).abs() < 1e-10);
+        }
+        let z: Vec<f64> = (0..r).map(|i| (i as f64 * 0.3).cos()).collect();
+        let t = a.spmv_transpose(&z);
+        let td = psdp_linalg::matvec(&d.transpose(), &z);
+        for (g, w) in t.iter().zip(&td) {
+            prop_assert!((g - w).abs() < 1e-10);
+        }
+    }
+
+    /// Transpose is an involution and preserves nnz.
+    #[test]
+    fn transpose_involution((r, c, trip) in triplets(8, 8)) {
+        let a = Csr::from_triplets(r, c, &trip);
+        let att = a.transpose().transpose();
+        prop_assert_eq!(&a, &att);
+        prop_assert_eq!(a.nnz(), a.transpose().nnz());
+    }
+
+    /// Factor identities: trace, matvec, dot against dense S.
+    #[test]
+    fn factor_identities((r, c, trip) in triplets(7, 3)) {
+        let q = Csr::from_triplets(r, c, &trip);
+        let f = FactorPsd::new(q);
+        let a = f.to_dense();
+        prop_assert!((f.trace() - a.trace()).abs() < 1e-10 * (1.0 + a.trace().abs()));
+
+        let x: Vec<f64> = (0..r).map(|i| ((i * 3) as f64 * 0.2).sin()).collect();
+        let got = f.apply(&x);
+        let want = psdp_linalg::matvec(&a, &x);
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g - w).abs() < 1e-9 * (1.0 + w.abs()));
+        }
+
+        let mut s = Mat::from_fn(r, r, |i, j| ((i + 2 * j) as f64 * 0.1).cos());
+        s.symmetrize();
+        let want_dot = psdp_linalg::matmul(&s, &a).trace();
+        prop_assert!((f.dot_dense(&s) - want_dot).abs() < 1e-8 * (1.0 + want_dot.abs()));
+    }
+
+    /// PsdMatrix conversions preserve the represented operator.
+    #[test]
+    fn psd_matrix_conversions(diag in proptest::collection::vec(0.0_f64..3.0, 1..8)) {
+        let m = PsdMatrix::Diagonal(diag.clone());
+        let f = m.to_factor(1e-12).unwrap();
+        let got = f.to_dense();
+        for (i, &d) in diag.iter().enumerate() {
+            prop_assert!((got[(i, i)] - d).abs() < 1e-12);
+        }
+        prop_assert!((m.trace() - diag.iter().sum::<f64>()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,140 @@
+//! Synthetic downlink-beamforming covering SDPs.
+//!
+//! The paper's conclusion singles out the beamforming SDP relaxation of
+//! Iyengar–Phillips–Stein (SWAT 2010, §2.2) as the application that falls
+//! *completely* within its packing/covering framework. The real instances
+//! use measured antenna-array channels, which are not available; following
+//! standard practice in that literature we synthesize i.i.d. Gaussian
+//! channels (Rayleigh fading). Each user `i` contributes a covering
+//! constraint
+//!
+//! ```text
+//!   (hᵢhᵢᵀ) • Y ≥ γᵢ·σ²    (required SINR · noise power)
+//! ```
+//!
+//! with objective `min Tr Y` (total transmit power, `C = I`), i.e. exactly
+//! the primal form (1.1) with rank-2 real constraint matrices (a complex
+//! channel `h ∈ ℂᵐ` embeds as two real columns). What matters to the solver
+//! is preserved: low-rank factorized PSD constraints with heterogeneous
+//! norms (users at different distances ⇒ nontrivial width).
+
+use psdp_core::PositiveSdp;
+use psdp_expdot::standard_normals;
+use psdp_parallel::rng_for;
+use psdp_sparse::{Csr, FactorPsd, PsdMatrix};
+
+/// Parameters of the synthetic beamforming instance.
+#[derive(Debug, Clone, Copy)]
+pub struct Beamforming {
+    /// Number of antennas (matrix dimension `m = 2·antennas` after the
+    /// real embedding).
+    pub antennas: usize,
+    /// Number of users (constraints `n`).
+    pub users: usize,
+    /// SINR target (uniform across users).
+    pub sinr_target: f64,
+    /// Noise power `σ²`.
+    pub noise: f64,
+    /// Near–far spread: user `i`'s channel is scaled by
+    /// `spread^(i/(users−1))`, so `spread` controls constraint-norm
+    /// heterogeneity (≈ width).
+    pub spread: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Beamforming {
+    fn default() -> Self {
+        Beamforming { antennas: 8, users: 6, sinr_target: 1.0, noise: 1.0, spread: 4.0, seed: 7 }
+    }
+}
+
+/// Generate the covering SDP.
+pub fn beamforming_sdp(p: &Beamforming) -> PositiveSdp {
+    assert!(p.antennas > 0 && p.users > 0);
+    assert!(p.sinr_target > 0.0 && p.noise > 0.0 && p.spread >= 1.0);
+    let m = 2 * p.antennas;
+    let mut constraints = Vec::with_capacity(p.users);
+    let mut rhs = Vec::with_capacity(p.users);
+    for i in 0..p.users {
+        let mut rng = rng_for(p.seed, i as u64);
+        // Complex Gaussian channel h = hr + i·hi, embedded as the two real
+        // columns [hr; hi] and [-hi; hr] (so hhᴴ becomes a rank-2 real PSD).
+        let hr = standard_normals(&mut rng, p.antennas);
+        let hi = standard_normals(&mut rng, p.antennas);
+        let gain = if p.users > 1 {
+            p.spread.powf(-(i as f64) / (p.users as f64 - 1.0))
+        } else {
+            1.0
+        };
+        let mut trip = Vec::with_capacity(2 * m);
+        for (j, (&a, &b)) in hr.iter().zip(&hi).enumerate() {
+            trip.push((j, 0, gain * a));
+            trip.push((p.antennas + j, 0, gain * b));
+            trip.push((j, 1, -gain * b));
+            trip.push((p.antennas + j, 1, gain * a));
+        }
+        let f = FactorPsd::new(Csr::from_triplets(m, 2, &trip));
+        constraints.push(PsdMatrix::Factor(f));
+        rhs.push(p.sinr_target * p.noise);
+    }
+    PositiveSdp {
+        objective: PsdMatrix::Diagonal(vec![1.0; m]),
+        constraints,
+        rhs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdp_linalg::sym_eigen;
+
+    #[test]
+    fn instance_shape() {
+        let p = Beamforming::default();
+        let sdp = beamforming_sdp(&p);
+        assert_eq!(sdp.dim(), 16);
+        assert_eq!(sdp.num_constraints(), 6);
+        sdp.validate().unwrap();
+    }
+
+    #[test]
+    fn constraints_rank_two_psd() {
+        let sdp = beamforming_sdp(&Beamforming::default());
+        for a in &sdp.constraints {
+            let eig = sym_eigen(&a.to_dense()).unwrap();
+            assert!(eig.lambda_min() > -1e-9);
+            // Rank 2: third-largest eigenvalue ≈ 0.
+            let k = eig.values.len();
+            assert!(eig.values[k - 3] < 1e-9 * eig.lambda_max().max(1.0));
+            // Complex embedding gives a doubled eigenvalue pair.
+            assert!(
+                (eig.values[k - 1] - eig.values[k - 2]).abs()
+                    < 1e-6 * eig.lambda_max().max(1e-12),
+                "expected paired eigenvalues"
+            );
+        }
+    }
+
+    #[test]
+    fn near_far_spread_creates_width() {
+        let p = Beamforming { spread: 16.0, users: 4, ..Default::default() };
+        let sdp = beamforming_sdp(&p);
+        let lams: Vec<f64> = sdp
+            .constraints
+            .iter()
+            .map(|a| sym_eigen(&a.to_dense()).unwrap().lambda_max())
+            .collect();
+        let hi = lams.iter().fold(0.0_f64, |a, &b| a.max(b));
+        let lo = lams.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        assert!(hi / lo > 10.0, "spread ratio {}", hi / lo);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = beamforming_sdp(&Beamforming::default());
+        let b = beamforming_sdp(&Beamforming::default());
+        assert_eq!(a.constraints[0].to_dense().as_slice(), b.constraints[0].to_dense().as_slice());
+    }
+}

@@ -1,0 +1,117 @@
+//! Simultaneously diagonalizable ("commuting") constraint families.
+//!
+//! When all `Aᵢ = U diag(λᵢ) Uᵀ` share an eigenbasis `U`, the packing SDP is
+//! a positive LP over the eigenvalues — so its exact optimum is computable
+//! by simplex, while the instance still *looks* like a general dense SDP to
+//! the solver. This is the ground-truth family for the approximation-quality
+//! experiment (E8).
+
+use psdp_linalg::{matmul, orthonormalize, Mat};
+use psdp_parallel::rng_for;
+use psdp_sparse::PsdMatrix;
+use rand::Rng;
+
+/// A commuting family plus the data needed to compute its exact optimum.
+#[derive(Debug, Clone)]
+pub struct CommutingFamily {
+    /// The constraints as dense matrices (sharing the basis `u`).
+    pub mats: Vec<PsdMatrix>,
+    /// The common orthonormal eigenbasis.
+    pub u: Mat,
+    /// Per-constraint eigenvalues (`spectra[i][j]` pairs with column `j`
+    /// of `u`).
+    pub spectra: Vec<Vec<f64>>,
+}
+
+/// Generate a commuting family of `n` constraints in dimension `m` with
+/// eigenvalues drawn from `(0.05, 1.0)` (some zeroed at the given rate to
+/// create low-rank structure).
+pub fn commuting_family(m: usize, n: usize, zero_rate: f64, seed: u64) -> CommutingFamily {
+    assert!(m > 0 && n > 0);
+    assert!((0.0..1.0).contains(&zero_rate));
+    // Random orthonormal basis from QR of a random matrix.
+    let mut rng = rng_for(seed, 0);
+    let g = Mat::from_fn(m, m, |_, _| rng.gen_range(-1.0_f64..1.0));
+    let u = orthonormalize(&g);
+
+    let mut mats = Vec::with_capacity(n);
+    let mut spectra = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut crng = rng_for(seed, 1 + i as u64);
+        let mut lams: Vec<f64> = (0..m)
+            .map(|_| {
+                if crng.gen_bool(zero_rate.max(1e-12)) {
+                    0.0
+                } else {
+                    crng.gen_range(0.05..1.0)
+                }
+            })
+            .collect();
+        if lams.iter().all(|&v| v == 0.0) {
+            lams[0] = crng.gen_range(0.05..1.0);
+        }
+        let d = Mat::from_diag(&lams);
+        let mut a = matmul(&matmul(&u, &d), &u.transpose());
+        a.symmetrize();
+        mats.push(PsdMatrix::Dense(a));
+        spectra.push(lams);
+    }
+    CommutingFamily { mats, u, spectra }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdp_linalg::sym_eigen;
+
+    #[test]
+    fn family_members_commute() {
+        let fam = commuting_family(5, 3, 0.2, 11);
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                let a = fam.mats[i].to_dense();
+                let b = fam.mats[j].to_dense();
+                let ab = matmul(&a, &b);
+                let ba = matmul(&b, &a);
+                let diff = ab.sub(&ba);
+                assert!(
+                    diff.max_abs() < 1e-9,
+                    "constraints {i},{j} do not commute: {}",
+                    diff.max_abs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spectra_match_eigenvalues() {
+        let fam = commuting_family(4, 2, 0.0, 5);
+        for (a, lams) in fam.mats.iter().zip(&fam.spectra) {
+            let mut want = lams.clone();
+            want.sort_by(f64::total_cmp);
+            let got = sym_eigen(&a.to_dense()).unwrap().values;
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-9, "{g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn basis_is_orthonormal() {
+        let fam = commuting_family(6, 2, 0.3, 9);
+        let utu = matmul(&fam.u.transpose(), &fam.u);
+        for i in 0..6 {
+            for j in 0..6 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((utu[(i, j)] - want).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = commuting_family(4, 2, 0.2, 3);
+        let b = commuting_family(4, 2, 0.2, 3);
+        assert_eq!(a.mats[1].to_dense().as_slice(), b.mats[1].to_dense().as_slice());
+    }
+}

@@ -1,0 +1,108 @@
+//! Graph-derived packing instances.
+//!
+//! Edge Laplacians `w·(e_u−e_v)(e_u−e_v)ᵀ` are the canonical rank-1
+//! factorized PSD constraints: the packing SDP `max 1ᵀx` s.t.
+//! `Σ_e x_e L_e ⪯ I` asks how much each edge can be "loaded" before the
+//! graph's spectral capacity saturates (a fractional spectral orientation /
+//! reweighting question). These instances drive the sparse, large-`n`
+//! experiments: `q = 2·|E|` grows linearly while `m = |V|` stays moderate.
+
+use psdp_parallel::rng_for;
+use psdp_sparse::{Graph, PsdMatrix};
+use rand::Rng;
+
+/// Erdős–Rényi `G(n, p)` with unit weights; isolated vertices allowed,
+/// parallel edges not.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!(n >= 2);
+    assert!((0.0..=1.0).contains(&p));
+    let mut rng = rng_for(seed, 0);
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v, 1.0);
+            }
+        }
+    }
+    g
+}
+
+/// 2-D grid graph of `rows × cols` vertices with unit weights.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 1 && cols >= 1 && rows * cols >= 2);
+    let mut g = Graph::new(rows * cols);
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1), 1.0);
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c), 1.0);
+            }
+        }
+    }
+    g
+}
+
+/// Edge-Laplacian packing instance of a graph: one rank-1 factorized
+/// constraint per edge. Returns an empty vector if the graph has no edges.
+pub fn edge_packing(g: &Graph) -> Vec<PsdMatrix> {
+    g.edge_laplacians().into_iter().map(PsdMatrix::Factor).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdp_linalg::sym_eigen;
+
+    #[test]
+    fn gnp_deterministic_and_simple() {
+        let a = gnp(10, 0.4, 3);
+        let b = gnp(10, 0.4, 3);
+        assert_eq!(a.m(), b.m());
+        // No parallel edges: each unordered pair appears at most once.
+        let mut seen = std::collections::HashSet::new();
+        for &(u, v, _) in a.edges() {
+            assert!(seen.insert((u, v)), "duplicate edge ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(6, 0.0, 1).m(), 0);
+        assert_eq!(gnp(6, 1.0, 1).m(), 15);
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        // rows*(cols-1) + (rows-1)*cols edges.
+        let g = grid(3, 4);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 2 * 4);
+    }
+
+    #[test]
+    fn edge_packing_constraints_are_rank1_psd() {
+        let g = grid(2, 3);
+        let mats = edge_packing(&g);
+        assert_eq!(mats.len(), g.m());
+        for a in &mats {
+            let eig = sym_eigen(&a.to_dense()).unwrap();
+            assert!(eig.lambda_min() > -1e-12);
+            // Rank 1 with eigenvalue 2w (‖e_u − e_v‖² = 2).
+            assert!((eig.lambda_max() - 2.0).abs() < 1e-9);
+            let k = eig.values.len();
+            assert!(eig.values[k - 2].abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn edge_packing_total_nnz_is_2m() {
+        let g = grid(3, 3);
+        let mats = edge_packing(&g);
+        let q: usize = mats.iter().map(|a| a.storage_nnz()).sum();
+        assert_eq!(q, 2 * g.m());
+    }
+}

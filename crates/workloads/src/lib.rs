@@ -1,0 +1,28 @@
+//! # psdp-workloads
+//!
+//! Instance generators for the experiments (all deterministic in a seed):
+//!
+//! * [`beamforming`] — synthetic downlink-beamforming covering SDPs (the
+//!   IPS'10 application the paper names as fully inside its framework),
+//! * [`random`] — random factorized packing instances with a width knob,
+//! * [`diagonal`] — positive-LP (diagonal) instances for cross-validation,
+//! * [`ellipse`] — 2-D ellipse packing incl. the Figure 1 instance,
+//! * [`commuting`] — simultaneously diagonalizable families with exact
+//!   optima,
+//! * [`graphs`] — edge-Laplacian packing over random/grid graphs.
+
+#![warn(missing_docs)]
+
+pub mod beamforming;
+pub mod commuting;
+pub mod diagonal;
+pub mod ellipse;
+pub mod graphs;
+pub mod random;
+
+pub use beamforming::{beamforming_sdp, Beamforming};
+pub use commuting::{commuting_family, CommutingFamily};
+pub use diagonal::{diagonal_columns, random_lp_diagonal, set_cover_packing};
+pub use ellipse::{figure1_instance, rotated_family, Ellipse};
+pub use graphs::{edge_packing, gnp, grid};
+pub use random::{random_dense, random_factorized, RandomFactorized};

@@ -1,0 +1,71 @@
+//! Figure 1 of the paper: packing ellipses into the unit ball.
+//!
+//! Solves the exact three-ellipse instance sketched in the paper's Figure 1
+//! and renders the optimally-weighted sum `Σ xᵢAᵢ` as ASCII art: the level
+//! set `zᵀ(ΣxᵢAᵢ)z = 1` must stay inside the unit circle and touch it where
+//! the packing is tight.
+//!
+//! ```text
+//! cargo run -p psdp-bench --release --example ellipse_packing
+//! ```
+
+use psdp_core::{solve_packing, ApproxOptions, PackingInstance};
+use psdp_workloads::figure1_instance;
+
+fn main() {
+    let mats = figure1_instance();
+    println!("Figure 1 instance: A1, A2 axis-aligned; A3 rotated 45°\n");
+    for (i, a) in mats.iter().enumerate() {
+        let d = a.to_dense();
+        println!(
+            "A{} = [[{:7.4}, {:7.4}], [{:7.4}, {:7.4}]]",
+            i + 1,
+            d[(0, 0)],
+            d[(0, 1)],
+            d[(1, 0)],
+            d[(1, 1)]
+        );
+    }
+
+    let inst = PackingInstance::new(mats).expect("valid");
+    let report = solve_packing(&inst, &ApproxOptions::practical(0.05)).expect("solve");
+    let x = report.best_dual.as_ref().expect("dual found");
+    println!(
+        "\npacking optimum ∈ [{:.4}, {:.4}];  x = ({:.4}, {:.4}, {:.4})\n",
+        report.value_lower, report.value_upper, x.x[0], x.x[1], x.x[2]
+    );
+
+    // Render: '#' = unit circle boundary, '*' = boundary of the packed sum's
+    // ellipse z^T (Σ x_i A_i) z = 1, '.' = interior of the packed ellipse.
+    let psi = inst.weighted_sum(&x.x);
+    let (rows, cols) = (25usize, 50usize);
+    println!("packed ellipse (*/.) inside the unit ball (#):");
+    for r in 0..rows {
+        let mut line = String::with_capacity(cols);
+        for c in 0..cols {
+            // Map grid to [-1.3, 1.3]^2 (y flipped so +y is up).
+            let xx = -1.3 + 2.6 * c as f64 / (cols - 1) as f64;
+            let yy = 1.3 - 2.6 * r as f64 / (rows - 1) as f64;
+            let rad2 = xx * xx + yy * yy;
+            let quad = psi[(0, 0)] * xx * xx + 2.0 * psi[(0, 1)] * xx * yy + psi[(1, 1)] * yy * yy;
+            let ch = if (rad2 - 1.0).abs() < 0.09 {
+                '#'
+            } else if (quad - 1.0).abs() < 0.09 {
+                '*'
+            } else if quad < 1.0 {
+                '.'
+            } else {
+                ' '
+            };
+            line.push(ch);
+        }
+        println!("  {line}");
+    }
+
+    // Tightness: λmax(Σ x_i A_i) should be ≈ 1 (the ellipse touches the ball).
+    let lam = psdp_linalg::sym_eigen(&psi).expect("eigen").lambda_max();
+    println!("\nλmax(Σ xᵢAᵢ) = {lam:.6} (≤ 1 = feasible; ≈ 1 = tight)");
+    assert!(lam <= 1.0 + 1e-8);
+    assert!(lam > 0.9, "optimal packing should be nearly tight");
+    println!("ok");
+}

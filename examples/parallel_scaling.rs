@@ -1,0 +1,71 @@
+//! Thread-scaling demo: the same solve at 1..N rayon threads.
+//!
+//! The paper's result is an NC (polylog-depth) algorithm; on a real machine
+//! the observable proxy is wall-clock speedup of the GEMM-heavy Taylor
+//! engine as threads grow. Fixed iteration count ⇒ identical numerical work
+//! per configuration.
+//!
+//! ```text
+//! cargo run -p psdp-bench --release --example parallel_scaling
+//! ```
+
+use psdp_core::{decision_psdp, ConstantsMode, DecisionOptions, EngineKind, PackingInstance};
+use psdp_parallel::{available_threads, run_with_threads};
+use psdp_workloads::{random_factorized, RandomFactorized};
+use std::time::Instant;
+
+fn main() {
+    let m = 160;
+    let n = 10;
+    let iters = 8;
+    let mats = random_factorized(&RandomFactorized {
+        dim: m,
+        n,
+        rank: 4,
+        nnz_per_col: m / 2,
+        width: 1.0,
+        seed: 21,
+    });
+    let inst = PackingInstance::new(mats).expect("valid").scaled(0.4);
+    let mut opts =
+        DecisionOptions::practical(0.25).with_engine(EngineKind::Taylor { eps: 0.2 });
+    opts.mode = ConstantsMode::Practical { alpha_boost: 1.0, max_iters: iters };
+    opts.early_exit = false;
+    opts.primal_matrix_dim_limit = 0;
+
+    let avail = available_threads();
+    println!("machine has {avail} logical CPUs; m={m}, n={n}, {iters} iterations\n");
+    println!("{:>8} {:>10} {:>9} {:>11}", "threads", "wall (s)", "speedup", "efficiency");
+
+    let mut base = f64::NAN;
+    for threads in [1usize, 2, 4, 8] {
+        if threads > avail {
+            break;
+        }
+        let inst_ref = &inst;
+        let opts_ref = &opts;
+        // Warm-up, then best-of-two to damp scheduler noise.
+        let mut best = f64::INFINITY;
+        for rep in 0..3 {
+            let w = run_with_threads(threads, move || {
+                let t0 = Instant::now();
+                let _ = decision_psdp(inst_ref, opts_ref).expect("solve");
+                t0.elapsed().as_secs_f64()
+            });
+            if rep > 0 {
+                best = best.min(w);
+            }
+        }
+        if threads == 1 {
+            base = best;
+        }
+        println!(
+            "{:>8} {:>10.4} {:>9.3} {:>11.3}",
+            threads,
+            best,
+            base / best,
+            base / best / threads as f64
+        );
+    }
+    println!("\nok");
+}

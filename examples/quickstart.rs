@@ -1,0 +1,63 @@
+//! Quickstart: build a small positive SDP, solve its decision and
+//! optimization versions, and verify the certificates.
+//!
+//! ```text
+//! cargo run -p psdp-bench --release --example quickstart
+//! ```
+
+use psdp_core::{
+    decision_psdp, solve_packing, verify_dual, verify_primal, ApproxOptions, DecisionOptions,
+    Outcome, PackingInstance,
+};
+use psdp_sparse::PsdMatrix;
+
+fn main() {
+    // A packing SDP over 2x2 matrices with three constraints:
+    //   maximize x1 + x2 + x3  s.t.  x1*A1 + x2*A2 + x3*A3 <= I, x >= 0
+    // A1, A2 are axis-aligned (diagonal); A3 is rotated 45 degrees.
+    let a1 = PsdMatrix::Diagonal(vec![1.0, 0.25]);
+    let a2 = PsdMatrix::Diagonal(vec![0.25, 1.0]);
+    let a3 = {
+        let mut m = psdp_linalg::Mat::zeros(2, 2);
+        // 0.5 * (e1+e2)(e1+e2)^T : the rotated ellipse.
+        m.rank1_update(0.5, &[1.0, 1.0]);
+        PsdMatrix::Dense(m)
+    };
+    let inst = PackingInstance::new(vec![a1, a2, a3]).expect("valid instance");
+
+    // --- Decision version (Algorithm 3.1): is the packing optimum >= 1? ---
+    let opts = DecisionOptions::practical(0.1);
+    let res = decision_psdp(&inst, &opts).expect("decision solve");
+    println!("decision: {} iterations, exit = {:?}", res.stats.iterations, res.stats.exit);
+    match &res.outcome {
+        Outcome::Dual(d) => {
+            let cert = verify_dual(&inst, d, 1e-8);
+            println!(
+                "  dual certificate: value = {:.4}, lambda_max(sum x_i A_i) = {:.6} (feasible: {})",
+                d.value, cert.lambda_max, cert.feasible
+            );
+        }
+        Outcome::Primal(p) => {
+            let cert = verify_primal(&inst, p, 1e-6);
+            println!(
+                "  primal certificate: min_i A_i.Y = {:.4} (feasible: {})",
+                p.min_dot, cert.feasible
+            );
+        }
+    }
+
+    // --- Optimization version (approxPSDP): (1+eps)-approximate OPT. ---
+    let report = solve_packing(&inst, &ApproxOptions::practical(0.1)).expect("optimize");
+    println!(
+        "optimization: OPT in [{:.4}, {:.4}] ({} decision calls, converged: {})",
+        report.value_lower, report.value_upper, report.decision_calls, report.converged
+    );
+    let best = report.best_dual.expect("a feasible dual was found");
+    println!(
+        "  best feasible x = {:?}",
+        best.x.iter().map(|v| (v * 1e4).round() / 1e4).collect::<Vec<_>>()
+    );
+
+    assert!(report.converged, "bracket should close at eps = 0.1");
+    println!("ok");
+}

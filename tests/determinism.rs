@@ -1,0 +1,106 @@
+//! Reproducibility guarantees: identical seeds ⇒ identical outputs, and
+//! certificates are thread-count independent (tolerance-based, not bitwise,
+//! across pools — bitwise within one configuration).
+
+use psdp_core::{
+    decision_psdp, solve_packing, verify_dual, ApproxOptions, DecisionOptions, EngineKind,
+    Outcome, PackingInstance,
+};
+use psdp_parallel::run_with_threads;
+use psdp_workloads::{beamforming_sdp, random_factorized, Beamforming, RandomFactorized};
+
+fn instance(seed: u64) -> PackingInstance {
+    PackingInstance::new(random_factorized(&RandomFactorized {
+        dim: 10,
+        n: 6,
+        rank: 2,
+        nnz_per_col: 3,
+        width: 1.0,
+        seed,
+    }))
+    .unwrap()
+    .scaled(0.5)
+}
+
+/// Bitwise-identical solves for identical configuration (exact engine: no
+/// randomness at all; sketched engine: seeded sketches).
+#[test]
+fn identical_runs_identical_outputs() {
+    let inst = instance(17);
+    for kind in [EngineKind::Exact, EngineKind::TaylorJl { eps: 0.2, sketch_const: 4.0 }] {
+        let opts = DecisionOptions::practical(0.2).with_engine(kind).with_seed(9);
+        let a = decision_psdp(&inst, &opts).unwrap();
+        let b = decision_psdp(&inst, &opts).unwrap();
+        assert_eq!(a.stats.iterations, b.stats.iterations, "{kind:?}");
+        match (&a.outcome, &b.outcome) {
+            (Outcome::Dual(x), Outcome::Dual(y)) => assert_eq!(x.x, y.x, "{kind:?}"),
+            (Outcome::Primal(x), Outcome::Primal(y)) => {
+                assert_eq!(x.constraint_dots, y.constraint_dots, "{kind:?}")
+            }
+            _ => panic!("{kind:?}: outcome side differed between identical runs"),
+        }
+    }
+}
+
+/// Different sketch seeds may change the trajectory but never the
+/// certificate validity.
+#[test]
+fn sketch_seed_never_breaks_certificates() {
+    let inst = instance(23);
+    for seed in 0..6u64 {
+        let opts = DecisionOptions::practical(0.2)
+            .with_engine(EngineKind::TaylorJl { eps: 0.2, sketch_const: 4.0 })
+            .with_seed(seed);
+        let res = decision_psdp(&inst, &opts).unwrap();
+        if let Outcome::Dual(d) = &res.outcome {
+            assert!(verify_dual(&inst, d, 1e-7).feasible, "seed {seed}");
+        }
+    }
+}
+
+/// Thread count must not change the certified outcome (the reductions are
+/// deterministic in shape; tiny float reassociation differences stay within
+/// certificate tolerance).
+#[test]
+fn thread_count_invariant_certificates() {
+    let inst = instance(31);
+    let opts = DecisionOptions::practical(0.2);
+    let r1 = run_with_threads(1, || decision_psdp(&inst, &opts).unwrap());
+    let r2 = run_with_threads(2, || decision_psdp(&inst, &opts).unwrap());
+    assert_eq!(r1.stats.iterations, r2.stats.iterations);
+    match (&r1.outcome, &r2.outcome) {
+        (Outcome::Dual(a), Outcome::Dual(b)) => {
+            assert!((a.value - b.value).abs() < 1e-9 * a.value.max(1.0));
+            assert!(verify_dual(&inst, a, 1e-7).feasible);
+            assert!(verify_dual(&inst, b, 1e-7).feasible);
+        }
+        (Outcome::Primal(a), Outcome::Primal(b)) => {
+            assert!((a.min_dot - b.min_dot).abs() < 1e-9 * a.min_dot.max(1.0));
+        }
+        _ => panic!("outcome side changed with thread count"),
+    }
+}
+
+/// Workload generators are stable across calls and processes (fixed
+/// hashing, no global RNG state).
+#[test]
+fn generators_are_stable() {
+    let a = beamforming_sdp(&Beamforming::default());
+    let b = beamforming_sdp(&Beamforming::default());
+    for (x, y) in a.constraints.iter().zip(&b.constraints) {
+        assert_eq!(x.to_dense().as_slice(), y.to_dense().as_slice());
+    }
+    let r1 = solve_packing(
+        &instance(40),
+        &ApproxOptions::practical(0.15),
+    )
+    .unwrap();
+    let r2 = solve_packing(
+        &instance(40),
+        &ApproxOptions::practical(0.15),
+    )
+    .unwrap();
+    assert_eq!(r1.decision_calls, r2.decision_calls);
+    assert!((r1.value_lower - r2.value_lower).abs() < 1e-12);
+    assert!((r1.value_upper - r2.value_upper).abs() < 1e-12);
+}

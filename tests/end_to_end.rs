@@ -1,0 +1,139 @@
+//! End-to-end pipeline tests: workload generator → (normalization →)
+//! solver → certified verification, across every instance family.
+
+use psdp_core::{
+    decision_psdp, solve_covering, solve_packing, verify_dual, verify_primal, ApproxOptions,
+    DecisionOptions, Outcome, PackingInstance,
+};
+use psdp_workloads::{
+    beamforming_sdp, edge_packing, figure1_instance, gnp, grid, random_factorized,
+    set_cover_packing, Beamforming, RandomFactorized,
+};
+
+/// Whatever side the decision procedure certifies must pass independent
+/// verification, across families and epsilon values.
+#[test]
+fn decision_certificates_hold_across_families() {
+    let instances: Vec<(&str, PackingInstance)> = vec![
+        (
+            "random_factorized",
+            PackingInstance::new(random_factorized(&RandomFactorized {
+                dim: 12,
+                n: 8,
+                rank: 2,
+                nnz_per_col: 4,
+                width: 2.0,
+                seed: 1,
+            }))
+            .unwrap(),
+        ),
+        ("figure1", PackingInstance::new(figure1_instance()).unwrap()),
+        ("set_cover", PackingInstance::new(set_cover_packing(10, 6, 3, 2)).unwrap()),
+        ("grid_edges", PackingInstance::new(edge_packing(&grid(3, 4))).unwrap()),
+    ];
+    for (name, inst) in &instances {
+        for eps in [0.3, 0.15] {
+            let res = decision_psdp(inst, &DecisionOptions::practical(eps))
+                .unwrap_or_else(|e| panic!("{name}: solve failed: {e}"));
+            match &res.outcome {
+                Outcome::Dual(d) => {
+                    let c = verify_dual(inst, d, 1e-7);
+                    assert!(c.feasible, "{name} eps={eps}: dual infeasible (λmax {})", c.lambda_max);
+                    assert!(d.value > 0.0, "{name}: trivial dual");
+                }
+                Outcome::Primal(p) => {
+                    let c = verify_primal(inst, p, 1e-4);
+                    assert!(c.feasible, "{name} eps={eps}: primal infeasible ({c:?})");
+                }
+            }
+        }
+    }
+}
+
+/// approxPSDP brackets close and are internally consistent on packing
+/// instances from different generators.
+#[test]
+fn packing_brackets_close() {
+    let instances = vec![
+        PackingInstance::new(random_factorized(&RandomFactorized {
+            dim: 10,
+            n: 6,
+            rank: 2,
+            nnz_per_col: 3,
+            width: 1.0,
+            seed: 9,
+        }))
+        .unwrap(),
+        PackingInstance::new(edge_packing(&gnp(12, 0.4, 3))).unwrap(),
+    ];
+    for inst in &instances {
+        let r = solve_packing(inst, &ApproxOptions::practical(0.15)).unwrap();
+        assert!(r.converged, "bracket [{}, {}]", r.value_lower, r.value_upper);
+        assert!(r.value_lower > 0.0);
+        assert!(r.value_upper >= r.value_lower);
+        let d = r.best_dual.as_ref().expect("dual witness");
+        let c = verify_dual(inst, d, 1e-7);
+        assert!(c.feasible, "best dual infeasible: λmax {}", c.lambda_max);
+        // The certified dual value really is the reported lower bound.
+        assert!((c.value - r.value_lower).abs() <= 1e-6 * r.value_lower.max(1.0));
+    }
+}
+
+/// Full covering pipeline (Appendix A normalization included) on the
+/// beamforming SDP: value bracket, primal feasibility in *original*
+/// coordinates, dual nonnegativity.
+#[test]
+fn covering_pipeline_beamforming() {
+    let sdp = beamforming_sdp(&Beamforming {
+        antennas: 5,
+        users: 4,
+        sinr_target: 1.5,
+        noise: 0.8,
+        spread: 3.0,
+        seed: 13,
+    });
+    let r = solve_covering(&sdp, &ApproxOptions::practical(0.12)).unwrap();
+    assert!(r.packing.converged);
+    assert!(r.value_lower > 0.0 && r.value_upper >= r.value_lower);
+
+    // Primal mapped back: constraint satisfaction and objective match.
+    let y = r.y.as_ref().expect("dense primal witness");
+    for ((a, &b), lam) in sdp.constraints.iter().zip(&sdp.rhs).zip(&r.lambda) {
+        let dot = a.dot_dense(y);
+        assert!(dot >= b * (1.0 - 1e-6), "covering constraint violated: {dot} < {b}");
+        assert!(*lam >= 0.0);
+    }
+    let cy = sdp.objective.dot_dense(y);
+    assert!(
+        (cy - r.value_upper).abs() <= 1e-6 * cy.max(1.0),
+        "objective {cy} vs reported upper {}",
+        r.value_upper
+    );
+
+    // Y itself must be PSD.
+    let eig = psdp_linalg::sym_eigen(y).unwrap();
+    assert!(eig.lambda_min() > -1e-8 * eig.lambda_max().max(1.0));
+}
+
+/// Dropping eps tightens the bracket (monotone accuracy).
+#[test]
+fn tighter_eps_tightens_bracket() {
+    let inst = PackingInstance::new(random_factorized(&RandomFactorized {
+        dim: 8,
+        n: 5,
+        rank: 2,
+        nnz_per_col: 3,
+        width: 1.0,
+        seed: 4,
+    }))
+    .unwrap();
+    let loose = solve_packing(&inst, &ApproxOptions::practical(0.4)).unwrap();
+    let tight = solve_packing(&inst, &ApproxOptions::practical(0.08)).unwrap();
+    let loose_ratio = loose.value_upper / loose.value_lower;
+    let tight_ratio = tight.value_upper / tight.value_lower;
+    assert!(tight_ratio <= loose_ratio + 1e-9, "{tight_ratio} vs {loose_ratio}");
+    assert!(tight_ratio <= 1.0 + 0.16, "tight bracket not within (1+2eps): {tight_ratio}");
+    // Brackets must overlap (they bound the same OPT).
+    assert!(tight.value_lower <= loose.value_upper + 1e-9);
+    assert!(loose.value_lower <= tight.value_upper + 1e-9);
+}

@@ -1,0 +1,113 @@
+//! Engine-consistency tests: the exact, Taylor, and Taylor+JL engines must
+//! drive the solver to the same certified answers (Theorem 4.1 says the
+//! approximate primitive suffices; these tests check that claim end to end).
+
+use psdp_core::{
+    decision_psdp, verify_dual, verify_primal, DecisionOptions, EngineKind, Outcome,
+    PackingInstance,
+};
+use psdp_expdot::{exp_dot_exact, Engine};
+use psdp_linalg::Mat;
+use psdp_workloads::{random_factorized, RandomFactorized};
+
+fn instance(seed: u64) -> PackingInstance {
+    PackingInstance::new(random_factorized(&RandomFactorized {
+        dim: 10,
+        n: 7,
+        rank: 2,
+        nnz_per_col: 3,
+        width: 1.5,
+        seed,
+    }))
+    .unwrap()
+    .scaled(0.5)
+}
+
+const ENGINES: [EngineKind; 3] = [
+    EngineKind::Exact,
+    EngineKind::Taylor { eps: 0.05 },
+    EngineKind::TaylorJl { eps: 0.15, sketch_const: 6.0 },
+];
+
+/// All engines certify the same side with comparable values.
+#[test]
+fn engines_agree_on_outcome_and_value() {
+    for seed in [1u64, 5] {
+        let inst = instance(seed);
+        let mut dual_values = Vec::new();
+        for kind in ENGINES {
+            let opts = DecisionOptions::practical(0.2).with_engine(kind).with_seed(3);
+            let res = decision_psdp(&inst, &opts).unwrap();
+            match &res.outcome {
+                Outcome::Dual(d) => {
+                    assert!(verify_dual(&inst, d, 1e-7).feasible, "{kind:?} dual infeasible");
+                    dual_values.push(d.value);
+                }
+                Outcome::Primal(p) => {
+                    assert!(
+                        verify_primal(&inst, p, 5e-2).feasible,
+                        "{kind:?} primal infeasible: {p:?}"
+                    );
+                }
+            }
+        }
+        // If several engines found duals, their values should be close
+        // (within the combined approximation slack).
+        if dual_values.len() >= 2 {
+            let hi = dual_values.iter().cloned().fold(f64::MIN, f64::max);
+            let lo = dual_values.iter().cloned().fold(f64::MAX, f64::min);
+            assert!(hi / lo < 1.35, "dual values spread too wide: {dual_values:?}");
+        }
+    }
+}
+
+/// Direct primitive-level agreement on a shared Φ: Taylor within its ε,
+/// sketched within a generous statistical band.
+#[test]
+fn primitive_level_agreement() {
+    let inst = instance(2);
+    let mats = inst.mats();
+    let mut phi = Mat::zeros(inst.dim(), inst.dim());
+    for (i, a) in mats.iter().enumerate() {
+        a.add_scaled_into(&mut phi, 0.2 + 0.1 * i as f64);
+    }
+    phi.symmetrize();
+    let kappa = psdp_linalg::lambda_max_upper_bound(&phi);
+
+    let exact: Vec<f64> = mats.iter().map(|a| exp_dot_exact(&phi, a).unwrap()).collect();
+
+    let taylor = Engine::new(EngineKind::Taylor { eps: 0.05 }, mats, 0).unwrap();
+    let t = taylor.compute(&phi, kappa, mats, 1).unwrap();
+    for (g, e) in t.dots.iter().zip(&exact) {
+        assert!(*g <= e * (1.0 + 1e-9) && *g >= e * (1.0 - 0.05), "taylor {g} vs {e}");
+    }
+
+    let jl = Engine::new(EngineKind::TaylorJl { eps: 0.15, sketch_const: 8.0 }, mats, 7).unwrap();
+    let j = jl.compute(&phi, kappa, mats, 1).unwrap();
+    for (g, e) in j.dots.iter().zip(&exact) {
+        assert!((g - e).abs() < 0.3 * e.max(1e-9), "jl {g} vs {e}");
+    }
+}
+
+/// The Taylor engine's reported degree respects the Lemma 4.2 rule and
+/// shrinks when κ shrinks (adaptive degree selection).
+#[test]
+fn taylor_degree_adapts_to_kappa() {
+    let inst = instance(3);
+    let mats = inst.mats();
+    let mut phi = inst.weighted_sum(&vec![0.01; inst.n()]);
+    phi.symmetrize();
+    let small_kappa = psdp_linalg::lambda_max_upper_bound(&phi);
+
+    let engine = Engine::new(EngineKind::Taylor { eps: 0.1 }, mats, 0).unwrap();
+    let small = engine.compute(&phi, small_kappa, mats, 1).unwrap();
+
+    let mut big_phi = phi.clone();
+    big_phi.scale(50.0 / small_kappa.max(1e-12));
+    let big = engine.compute(&big_phi, 50.0, mats, 1).unwrap();
+
+    assert!(small.degree < big.degree, "degree did not adapt: {} vs {}", small.degree, big.degree);
+    // Lemma 4.2 lower bound on the degree: at least ln(2/eps').
+    assert!(small.degree >= 1);
+    assert!(big.degree as f64 >= std::f64::consts::E.powi(2) * 25.0 * 0.99);
+}

