@@ -64,12 +64,7 @@ pub fn ak_decision(
     let n = inst.n();
 
     // Width: the oracle plays single coordinates with unit mass.
-    let width = inst
-        .mats()
-        .iter()
-        .map(|a| a.lambda_max_est())
-        .fold(0.0_f64, f64::max)
-        .max(1e-12);
+    let width = inst.mats().iter().map(|a| a.lambda_max_est()).fold(0.0_f64, f64::max).max(1e-12);
 
     let eps0 = (eps / 4.0).min(0.5);
     let t_sched = (4.0 * width * (m.max(2) as f64).ln() / (eps0 * eps * 0.25)).ceil() as usize;
@@ -91,12 +86,8 @@ pub fn ak_decision(
 
         // Best-response oracle.
         let dots: Vec<f64> = inst.mats().iter().map(|a| a.dot_dense(&p)).collect();
-        let (best, best_dot) = dots
-            .iter()
-            .copied()
-            .enumerate()
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("nonempty");
+        let (best, best_dot) =
+            dots.iter().copied().enumerate().min_by(|a, b| a.1.total_cmp(&b.1)).expect("nonempty");
         if best_dot > 1.0 + eps {
             return Ok(AkResult {
                 outcome: AkOutcome::Primal { dots },
@@ -181,8 +172,7 @@ mod tests {
         a1.rank1_update(1.0, &[1.0, 1.0]); // λmax = 2
         let mut a2 = Mat::zeros(2, 2);
         a2.rank1_update(1.0, &[1.0, -1.0]);
-        let inst =
-            PackingInstance::new(vec![PsdMatrix::Dense(a1), PsdMatrix::Dense(a2)]).unwrap();
+        let inst = PackingInstance::new(vec![PsdMatrix::Dense(a1), PsdMatrix::Dense(a2)]).unwrap();
         let r = ak_decision(&inst, 0.25, 20_000).unwrap();
         if let AkOutcome::Dual { x, .. } = &r.outcome {
             let psi = inst.weighted_sum(x);

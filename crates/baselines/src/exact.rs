@@ -25,11 +25,7 @@ pub fn exact_diagonal_opt(inst: &PackingInstance) -> Result<f64, PsdpError> {
     for (i, a) in inst.mats().iter().enumerate() {
         match a {
             PsdMatrix::Diagonal(d) => cols.push(d.clone()),
-            _ => {
-                return Err(PsdpError::InvalidInstance(format!(
-                    "constraint {i} is not diagonal"
-                )))
-            }
+            _ => return Err(PsdpError::InvalidInstance(format!("constraint {i} is not diagonal"))),
         }
     }
     match packing_lp_opt(&cols) {
@@ -142,8 +138,7 @@ mod tests {
 
     #[test]
     fn diagonal_exact_matches_hand_calc() {
-        let inst =
-            PackingInstance::new(vec![diag(&[2.0, 0.0]), diag(&[0.0, 4.0])]).unwrap();
+        let inst = PackingInstance::new(vec![diag(&[2.0, 0.0]), diag(&[0.0, 4.0])]).unwrap();
         let v = exact_diagonal_opt(&inst).unwrap();
         assert!((v - 0.75).abs() < 1e-9);
     }
@@ -170,8 +165,7 @@ mod tests {
         a1.rank1_update(1.0, &[1.0, 0.0]);
         let mut a2 = Mat::zeros(2, 2);
         a2.rank1_update(1.0, &[0.0, 1.0]);
-        let inst =
-            PackingInstance::new(vec![PsdMatrix::Dense(a1), PsdMatrix::Dense(a2)]).unwrap();
+        let inst = PackingInstance::new(vec![PsdMatrix::Dense(a1), PsdMatrix::Dense(a2)]).unwrap();
         let v = exact_small_opt(&inst).unwrap();
         assert!((v - 2.0).abs() < 1e-4, "got {v}");
     }
@@ -204,10 +198,7 @@ mod tests {
     fn commuting_family_via_rotation() {
         // Build commuting matrices from a shared basis, check against the
         // eigenvalue LP.
-        let u = psdp_linalg::orthonormalize(&Mat::from_rows(&[
-            &[1.0, 1.0],
-            &[1.0, -1.0],
-        ]));
+        let u = psdp_linalg::orthonormalize(&Mat::from_rows(&[&[1.0, 1.0], &[1.0, -1.0]]));
         let lam1 = [2.0, 0.5];
         let lam2 = [0.3, 1.5];
         let mk = |lams: &[f64; 2]| {

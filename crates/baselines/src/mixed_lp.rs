@@ -134,10 +134,8 @@ pub fn mixed_packing_covering(
         // the target (their covering price is then irrelevant noise).
         let mut updates: Vec<(usize, f64)> = Vec::new();
         for k in 0..n {
-            let price_p: f64 =
-                pack_cols[k].iter().zip(&y).map(|(a, w)| a * w).sum::<f64>() / ysum;
-            let price_c: f64 =
-                cover_cols[k].iter().zip(&z).map(|(a, w)| a * w).sum::<f64>() / zsum;
+            let price_p: f64 = pack_cols[k].iter().zip(&y).map(|(a, w)| a * w).sum::<f64>() / ysum;
+            let price_c: f64 = cover_cols[k].iter().zip(&z).map(|(a, w)| a * w).sum::<f64>() / zsum;
             if price_p <= (1.0 + eps) * price_c {
                 updates.push((k, alpha * x[k]));
             }
@@ -172,10 +170,7 @@ pub fn mixed_packing_covering(
     let xs: Vec<f64> = x.iter().map(|v| v / s).collect();
     let pack_max = pack_raw / s;
     let cover_min = cover_raw / s;
-    MixedLpResult {
-        outcome: MixedOutcome::Feasible { x: xs, pack_max, cover_min },
-        iterations,
-    }
+    MixedLpResult { outcome: MixedOutcome::Feasible { x: xs, pack_max, cover_min }, iterations }
 }
 
 #[cfg(test)]
@@ -192,12 +187,12 @@ mod tests {
         // Variables (x_1…x_n, t); rows: P x ≤ 1 and t − (Cx)_i ≤ 0.
         let mut a = Vec::with_capacity(mp + mc);
         for j in 0..mp {
-            let mut row: Vec<f64> = (0..n).map(|k| pack_cols[k][j]).collect();
+            let mut row: Vec<f64> = pack_cols.iter().map(|col| col[j]).collect();
             row.push(0.0);
             a.push(row);
         }
         for i in 0..mc {
-            let mut row: Vec<f64> = (0..n).map(|k| -cover_cols[k][i]).collect();
+            let mut row: Vec<f64> = cover_cols.iter().map(|col| -col[i]).collect();
             row.push(1.0);
             a.push(row);
         }
@@ -236,7 +231,9 @@ mod tests {
             MixedOutcome::Feasible { pack_max, cover_min, .. } => {
                 // Accept only if the measured point actually refutes
                 // infeasibility — it cannot, so fail loudly.
-                panic!("infeasible instance declared feasible (pack {pack_max}, cover {cover_min})");
+                panic!(
+                    "infeasible instance declared feasible (pack {pack_max}, cover {cover_min})"
+                );
             }
         }
     }
@@ -299,10 +296,7 @@ mod tests {
                     }
                 }
                 MixedOutcome::Infeasible { y, z } => {
-                    assert!(
-                        tstar <= 1.4,
-                        "seed {seed}: declared infeasible but t* = {tstar}"
-                    );
+                    assert!(tstar <= 1.4, "seed {seed}: declared infeasible but t* = {tstar}");
                     // Certificate property: price_P(k) > (1+ε) price_C(k) ∀k.
                     for k in 0..n {
                         let pp: f64 = pack[k].iter().zip(&y).map(|(a, w)| a * w).sum();

@@ -58,18 +58,14 @@ pub fn simplex_max(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> LpResult {
 
     // Bland's rule: smallest-index entering column with negative reduced
     // cost; smallest-index leaving row on ties. Guarantees termination.
-    loop {
-        let Some(enter) = (0..n + m).find(|&j| t[m][j] < -TOL) else {
-            break; // optimal
-        };
+    while let Some(enter) = (0..n + m).find(|&j| t[m][j] < -TOL) {
         let mut leave: Option<usize> = None;
         let mut best_ratio = f64::INFINITY;
         for (r, row) in t.iter().enumerate().take(m) {
             if row[enter] > TOL {
                 let ratio = row[width - 1] / row[enter];
                 if ratio < best_ratio - TOL
-                    || (ratio < best_ratio + TOL
-                        && leave.is_some_and(|l| basis[r] < basis[l]))
+                    || (ratio < best_ratio + TOL && leave.is_some_and(|l| basis[r] < basis[l]))
                 {
                     best_ratio = ratio;
                     leave = Some(r);
@@ -85,11 +81,12 @@ pub fn simplex_max(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> LpResult {
         for v in &mut t[lr] {
             *v /= piv;
         }
-        for r in 0..=m {
-            if r != lr && t[r][enter].abs() > TOL {
-                let factor = t[r][enter];
-                for j in 0..width {
-                    t[r][j] -= factor * t[lr][j];
+        let pivot_row = t[lr].clone();
+        for (r, row) in t.iter_mut().enumerate().take(m + 1) {
+            if r != lr && row[enter].abs() > TOL {
+                let factor = row[enter];
+                for (v, &pv) in row.iter_mut().zip(&pivot_row) {
+                    *v -= factor * pv;
                 }
             }
         }
@@ -202,7 +199,7 @@ mod tests {
         assert!(v > 0.0);
         // Check Dx ≤ 1 row-wise.
         for j in 0..3 {
-            let s: f64 = (0..3).map(|i| cols[i][j] * x[i]).sum();
+            let s: f64 = cols.iter().zip(&x).map(|(col, xi)| col[j] * xi).sum();
             assert!(s <= 1.0 + 1e-9, "row {j}: {s}");
         }
     }
@@ -219,8 +216,8 @@ mod tests {
         let b = vec![1.0; m];
         let c = vec![1.0; n];
         let (x, v) = opt(simplex_max(&a, &b, &c));
-        for j in 0..m {
-            let s: f64 = (0..n).map(|i| a[j][i] * x[i]).sum();
+        for row in &a {
+            let s: f64 = row.iter().zip(&x).map(|(aji, xi)| aji * xi).sum();
             assert!(s <= 1.0 + 1e-8);
         }
         // Uniform scaling heuristic is feasible; simplex must beat it.

@@ -154,10 +154,8 @@ pub fn young_packing_lp(cols: &[Vec<f64>], eps: f64, max_iters: usize) -> YoungL
     let n = cols.len();
 
     // Structural bracket: xᵢ ≤ 1/max_j D_ji for any feasible point.
-    let caps: Vec<f64> = cols
-        .iter()
-        .map(|c| 1.0 / c.iter().fold(0.0_f64, |a, &b| a.max(b)).max(1e-300))
-        .collect();
+    let caps: Vec<f64> =
+        cols.iter().map(|c| 1.0 / c.iter().fold(0.0_f64, |a, &b| a.max(b)).max(1e-300)).collect();
     let mut lo = caps.iter().fold(0.0_f64, |a, &b| a.max(b)) * 0.5;
     let mut hi = caps.iter().sum::<f64>() * 2.0;
 
@@ -241,10 +239,7 @@ mod tests {
 
     #[test]
     fn asymmetric_instance() {
-        check_instance(
-            &[vec![1.0, 0.5, 0.0], vec![0.2, 0.9, 0.3], vec![0.0, 0.1, 1.0]],
-            0.1,
-        );
+        check_instance(&[vec![1.0, 0.5, 0.0], vec![0.2, 0.9, 0.3], vec![0.0, 0.1, 1.0]], 0.1);
     }
 
     #[test]

@@ -18,8 +18,8 @@ fn bench_work(c: &mut Criterion) {
                 .map(|v| lap.row_iter(v).map(|(_, w)| w.abs()).sum::<f64>())
                 .fold(0.0_f64, f64::max);
         lap.scale(8.0 / deg);
-        let eng = Engine::new(EngineKind::TaylorJl { eps: 0.3, sketch_const: 2.0 }, &mats, 7)
-            .unwrap();
+        let eng =
+            Engine::new(EngineKind::TaylorJl { eps: 0.3, sketch_const: 2.0 }, &mats, 7).unwrap();
         g.bench_with_input(BenchmarkId::new("compute_op_q", q), &lap, |b, lap| {
             b.iter(|| eng.compute_op(lap, 8.0, 1))
         });

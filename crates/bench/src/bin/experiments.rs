@@ -9,11 +9,8 @@ use psdp_bench::experiments::{run, ALL_IDS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let ids: Vec<&str> = if args.is_empty() {
-        ALL_IDS.to_vec()
-    } else {
-        args.iter().map(|s| s.as_str()).collect()
-    };
+    let ids: Vec<&str> =
+        if args.is_empty() { ALL_IDS.to_vec() } else { args.iter().map(|s| s.as_str()).collect() };
     for id in ids {
         if !ALL_IDS.contains(&id) {
             eprintln!("unknown experiment id {id}; known: {ALL_IDS:?}");

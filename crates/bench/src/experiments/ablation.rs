@@ -4,8 +4,8 @@
 
 use crate::table::{f, Table};
 use psdp_core::{
-    decision_psdp, verify_dual, verify_primal, ConstantsMode, DecisionOptions, EngineKind,
-    Outcome, PackingInstance, UpdateRule,
+    decision_psdp, verify_dual, verify_primal, ConstantsMode, DecisionOptions, EngineKind, Outcome,
+    PackingInstance, UpdateRule,
 };
 use psdp_workloads::{random_factorized, RandomFactorized};
 

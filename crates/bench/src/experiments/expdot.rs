@@ -47,17 +47,12 @@ pub fn e4_engine_accuracy() -> Table {
         seed: 3,
     });
     let taylor = Engine::new(EngineKind::Taylor { eps: eps_taylor }, &mats, 0).expect("engine");
-    let jl = Engine::new(
-        EngineKind::TaylorJl { eps: eps_jl, sketch_const: 4.0 },
-        &mats,
-        99,
-    )
-    .expect("engine");
+    let jl = Engine::new(EngineKind::TaylorJl { eps: eps_jl, sketch_const: 4.0 }, &mats, 99)
+        .expect("engine");
 
     for &kappa in &[1.0, 2.0, 4.0, 8.0, 16.0] {
         let phi = phi_with_norm(m, kappa, 17);
-        let exact: Vec<f64> =
-            mats.iter().map(|a| exp_dot_exact(&phi, a).expect("exact")).collect();
+        let exact: Vec<f64> = mats.iter().map(|a| exp_dot_exact(&phi, a).expect("exact")).collect();
         let ty = taylor.compute(&phi, kappa, &mats, 1).expect("taylor");
         let jy = jl.compute(&phi, kappa, &mats, 1).expect("jl");
         let max_err = |got: &[f64]| -> f64 {
@@ -111,12 +106,8 @@ pub fn e5_work_scaling() -> Table {
                 .map(|v| lap.row_iter(v).map(|(_, w)| w.abs()).sum::<f64>())
                 .fold(0.0_f64, f64::max);
         lap.scale(kappa / deg_bound.max(1e-12));
-        let engine = Engine::new(
-            EngineKind::TaylorJl { eps, sketch_const: 2.0 },
-            &mats,
-            7,
-        )
-        .expect("engine");
+        let engine =
+            Engine::new(EngineKind::TaylorJl { eps, sketch_const: 2.0 }, &mats, 7).expect("engine");
         let out = engine.compute_op(&lap, kappa, 1);
         t.row(vec![
             g.m().to_string(),

@@ -23,8 +23,7 @@ fn run_once(threads: usize, m: usize, n: usize, iters: usize) -> f64 {
         seed: 21,
     });
     let inst = PackingInstance::new(mats).expect("valid").scaled(0.4);
-    let mut opts = DecisionOptions::practical(0.25)
-        .with_engine(EngineKind::Taylor { eps: 0.2 });
+    let mut opts = DecisionOptions::practical(0.25).with_engine(EngineKind::Taylor { eps: 0.2 });
     opts.mode = ConstantsMode::Practical { alpha_boost: 1.0, max_iters: iters };
     opts.early_exit = false;
     opts.primal_matrix_dim_limit = 0;
@@ -56,12 +55,7 @@ pub fn e6_thread_scaling() -> Table {
             base = w;
         }
         let speedup = base / w;
-        t.row(vec![
-            threads.to_string(),
-            f(w),
-            f(speedup),
-            f(speedup / threads as f64),
-        ]);
+        t.row(vec![threads.to_string(), f(w), f(speedup), f(speedup / threads as f64)]);
     }
     t
 }

@@ -72,8 +72,7 @@ pub fn e8_approximation_quality() -> Table {
         let inst = PackingInstance::new(fam.mats.clone()).expect("valid");
         let exact = exact_small_opt(&inst).expect("geometric");
         let r = solve_packing(&inst, &opts).expect("solve");
-        let ok = r.value_lower <= exact * (1.0 + 1e-6)
-            && r.value_upper >= exact * (1.0 - 1e-6);
+        let ok = r.value_lower <= exact * (1.0 + 1e-6) && r.value_upper >= exact * (1.0 - 1e-6);
         t.row(vec![
             "pair(n=2)".into(),
             "2".into(),
@@ -175,10 +174,7 @@ mod tests {
         assert!(t.len() >= 6);
         let rendered = t.render();
         for line in rendered.lines().skip(3) {
-            assert!(
-                line.trim_end().ends_with("true"),
-                "E8 row failed its certificate: {line}"
-            );
+            assert!(line.trim_end().ends_with("true"), "E8 row failed its certificate: {line}");
         }
     }
 

@@ -25,10 +25,8 @@ pub fn e7_bound_comparison() -> Table {
             seed: 13,
         });
         let inst = PackingInstance::new(mats).expect("valid").scaled(0.4);
-        let measured = decision_psdp(&inst, &DecisionOptions::practical(eps))
-            .expect("solve")
-            .stats
-            .iterations;
+        let measured =
+            decision_psdp(&inst, &DecisionOptions::practical(eps)).expect("solve").stats.iterations;
         let ours = ours_decision_iterations(n, eps);
         let jy = jain_yao_iterations(n, n, eps);
         let wd = width_dependent_iterations(8.0, n, eps);

@@ -184,6 +184,11 @@ pub fn optimize(args: &Args) -> Result<String, String> {
 /// # Errors
 /// Any subcommand failure, as a printable message.
 pub fn dispatch(raw: &[String]) -> Result<String, String> {
+    // `--help` is value-less, so intercept it before the `--key value`
+    // parser (which would otherwise demand a value for it).
+    if raw.iter().any(|a| a == "--help" || a == "-h") {
+        return Ok(USAGE.to_string());
+    }
     let args = Args::parse(raw)?;
     match args.pos(0) {
         Some("generate") => generate(&args),
@@ -210,6 +215,14 @@ mod tests {
     }
 
     #[test]
+    fn help_flag_prints_usage() {
+        for v in [&["--help"][..], &["-h"], &["solve", "--help"]] {
+            let out = run(v).unwrap();
+            assert!(out.contains("USAGE"), "{out}");
+        }
+    }
+
+    #[test]
     fn unknown_command_errors() {
         assert!(run(&["frobnicate"]).is_err());
     }
@@ -229,16 +242,18 @@ mod tests {
         let path = dir.join("inst.psdp");
         let p = path.to_str().unwrap();
 
-        let msg = run(&["generate", "--family", "random", "--dim", "6", "--n", "4", "--out", p])
-            .unwrap();
+        let msg =
+            run(&["generate", "--family", "random", "--dim", "6", "--n", "4", "--out", p]).unwrap();
         assert!(msg.contains("wrote"));
 
         let info_out = run(&["info", p]).unwrap();
         assert!(info_out.contains("constraints  4"), "{info_out}");
 
         let solve_out = run(&["solve", p, "--eps", "0.2"]).unwrap();
-        assert!(solve_out.contains("verified feasible: true") || solve_out.contains("verified: true"),
-            "{solve_out}");
+        assert!(
+            solve_out.contains("verified feasible: true") || solve_out.contains("verified: true"),
+            "{solve_out}"
+        );
 
         let opt_out = run(&["optimize", p, "--eps", "0.15"]).unwrap();
         assert!(opt_out.contains("converged: true"), "{opt_out}");

@@ -112,7 +112,7 @@ pub fn solve_packing(
     let caps: Vec<f64> = inst.mats().iter().map(|a| 1.0 / a.lambda_max_est().max(1e-300)).collect();
     let mut lo = caps.iter().fold(0.0_f64, |m, &v| m.max(v)) * 0.5;
     let mut hi = caps.iter().sum::<f64>() * 2.0;
-    if !(lo > 0.0) || !hi.is_finite() {
+    if lo.is_nan() || lo <= 0.0 || !hi.is_finite() {
         return Err(PsdpError::InvalidInstance("degenerate λmax estimates".into()));
     }
 
@@ -131,8 +131,7 @@ pub fn solve_packing(
         // at threshold 1 any feasible x has xᵢ ≤ m/Tr(Aᵢ'), so dropped
         // coordinates carry ≤ ε/2 total mass (see `trace_prune_with`).
         let n_f = inst.n() as f64;
-        let cutoff =
-            (n_f * n_f * n_f).max(2.0 * n_f * inst.dim() as f64 / opts.eps);
+        let cutoff = (n_f * n_f * n_f).max(2.0 * n_f * inst.dim() as f64 / opts.eps);
         let (keep, dropped) = crate::normalize::trace_prune_with(&scaled, cutoff);
         pruned_max = pruned_max.max(dropped.len());
         let (work_inst, keep_map): (PackingInstance, Option<Vec<usize>>) =
@@ -186,9 +185,7 @@ pub fn solve_packing(
                 let dropped_slack: f64 = if keep_map.is_some() {
                     dropped
                         .iter()
-                        .map(|&i| {
-                            inst.dim() as f64 / (sigma * inst.mats()[i].trace()).max(1e-300)
-                        })
+                        .map(|&i| inst.dim() as f64 / (sigma * inst.mats()[i].trace()).max(1e-300))
                         .sum()
                 } else {
                     0.0
@@ -249,7 +246,10 @@ pub struct CoveringReport {
 ///
 /// # Errors
 /// Validation, normalization, or solver failures.
-pub fn solve_covering(sdp: &PositiveSdp, opts: &ApproxOptions) -> Result<CoveringReport, PsdpError> {
+pub fn solve_covering(
+    sdp: &PositiveSdp,
+    opts: &ApproxOptions,
+) -> Result<CoveringReport, PsdpError> {
     let nz = normalize(sdp)?;
     let packing = solve_packing(&nz.instance, opts)?;
 
@@ -305,8 +305,7 @@ mod tests {
     /// Orthogonal diagonal constraints: OPT = Σ 1/λmax(Aᵢ).
     #[test]
     fn orthogonal_constraints_sum() {
-        let inst =
-            PackingInstance::new(vec![diag(&[2.0, 0.0]), diag(&[0.0, 4.0])]).unwrap();
+        let inst = PackingInstance::new(vec![diag(&[2.0, 0.0]), diag(&[0.0, 4.0])]).unwrap();
         let r = solve_packing(&inst, &ApproxOptions::practical(0.1)).unwrap();
         // OPT = 1/2 + 1/4 = 0.75.
         assert!(r.converged);
@@ -318,8 +317,7 @@ mod tests {
     /// A₁ = A₂ = diag(1,1): any x with x₁+x₂ ≤ 1 is feasible, OPT = 1.
     #[test]
     fn shared_direction_caps_sum() {
-        let inst =
-            PackingInstance::new(vec![diag(&[1.0, 1.0]), diag(&[1.0, 1.0])]).unwrap();
+        let inst = PackingInstance::new(vec![diag(&[1.0, 1.0]), diag(&[1.0, 1.0])]).unwrap();
         let r = solve_packing(&inst, &ApproxOptions::practical(0.1)).unwrap();
         assert!(r.converged);
         assert!((r.value_estimate() - 1.0).abs() < 0.1, "estimate {}", r.value_estimate());
@@ -354,8 +352,12 @@ mod tests {
             rhs: vec![2.0],
         };
         let r = solve_covering(&sdp, &ApproxOptions::practical(0.1)).unwrap();
-        assert!(r.value_lower <= 2.0 + 1e-6 && r.value_upper >= 2.0 - 1e-6,
-            "bracket [{}, {}]", r.value_lower, r.value_upper);
+        assert!(
+            r.value_lower <= 2.0 + 1e-6 && r.value_upper >= 2.0 - 1e-6,
+            "bracket [{}, {}]",
+            r.value_lower,
+            r.value_upper
+        );
         // The primal witness, if materialized, must be covering-feasible.
         if let Some(y) = &r.y {
             let ay = sdp.constraints[0].dot_dense(y);
@@ -363,9 +365,11 @@ mod tests {
             let cy = sdp.objective.dot_dense(y);
             assert!((cy - r.value_upper).abs() < 1e-6 * cy.max(1.0));
         }
-        // Dual multipliers feasible: Σ λᵢAᵢ ⪯ C elementwise on the diagonal.
-        let lam = &r.lambda;
-        assert!(lam[0] * 1.0 <= 4.0 + 1e-9 && lam[0] * 1.0 <= 1.0 + 1e-9);
+        // Dual multipliers feasible: Σ λᵢAᵢ ⪯ C elementwise on the diagonal,
+        // i.e. λ₀·1 ≤ C_jj for both j; the binding coordinate is min_j C_jj = 1.
+        let c_diag = [4.0, 1.0];
+        let bound = c_diag.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(r.lambda[0] <= bound + 1e-9, "λ₀ = {} exceeds {bound}", r.lambda[0]);
     }
 
     #[test]

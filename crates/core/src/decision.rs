@@ -90,9 +90,7 @@ pub fn decision_psdp(
 
     let pc = paper_constants(n, eps);
     let (k_threshold, alpha, cap) = match opts.mode {
-        ConstantsMode::PaperStrict => {
-            (pc.k_threshold, pc.alpha, pc.r_cap.ceil() as usize)
-        }
+        ConstantsMode::PaperStrict => (pc.k_threshold, pc.alpha, pc.r_cap.ceil() as usize),
         ConstantsMode::Practical { alpha_boost, max_iters } => {
             (pc.k_threshold, pc.alpha * alpha_boost, max_iters)
         }
@@ -280,10 +278,9 @@ pub fn decision_psdp(
 fn select_steps(ratios: &[f64], eps: f64, alpha: f64, rule: UpdateRule) -> Vec<f64> {
     let threshold = 1.0 + eps;
     match rule {
-        UpdateRule::Standard | UpdateRule::Stale { .. } => ratios
-            .iter()
-            .map(|&r| if r <= threshold { alpha } else { 0.0 })
-            .collect(),
+        UpdateRule::Standard | UpdateRule::Stale { .. } => {
+            ratios.iter().map(|&r| if r <= threshold { alpha } else { 0.0 }).collect()
+        }
         UpdateRule::Bucketed { boost } => ratios
             .iter()
             .map(|&r| {
@@ -298,12 +295,8 @@ fn select_steps(ratios: &[f64], eps: f64, alpha: f64, rule: UpdateRule) -> Vec<f
             })
             .collect(),
         UpdateRule::TopK { k } => {
-            let mut eligible: Vec<(usize, f64)> = ratios
-                .iter()
-                .copied()
-                .enumerate()
-                .filter(|&(_, r)| r <= threshold)
-                .collect();
+            let mut eligible: Vec<(usize, f64)> =
+                ratios.iter().copied().enumerate().filter(|&(_, r)| r <= threshold).collect();
             eligible.sort_by(|a, b| a.1.total_cmp(&b.1));
             let mut steps = vec![0.0; ratios.len()];
             for &(i, _) in eligible.iter().take(k) {
@@ -426,8 +419,7 @@ mod tests {
         let mut a2 = Mat::zeros(3, 3);
         a2.rank1_update(1.0, &[0.0, 1.0, 1.0]);
         a2.scale(0.5);
-        let inst =
-            PackingInstance::new(vec![PsdMatrix::Dense(a1), PsdMatrix::Dense(a2)]).unwrap();
+        let inst = PackingInstance::new(vec![PsdMatrix::Dense(a1), PsdMatrix::Dense(a2)]).unwrap();
         let res = decision_psdp(&inst, &DecisionOptions::practical(0.2)).unwrap();
         // Both constraints have λmax ≤ 1, so OPT ≥ 2 > 1: dual side.
         let d = res.outcome.dual().expect("dual expected");

@@ -49,7 +49,7 @@ impl PositiveSdp {
             }
         }
         for (i, &b) in self.rhs.iter().enumerate() {
-            if !(b >= 0.0) || !b.is_finite() {
+            if !b.is_finite() || b < 0.0 {
                 return Err(PsdpError::InvalidInstance(format!("rhs b[{i}] = {b} not in [0,∞)")));
             }
         }
@@ -113,7 +113,7 @@ impl PackingInstance {
                 return Err(PsdpError::InvalidInstance(format!("matrix {i}: {msg}")));
             }
             let tr = a.trace();
-            if !(tr > 0.0) || !tr.is_finite() {
+            if !tr.is_finite() || tr <= 0.0 {
                 return Err(PsdpError::InvalidInstance(format!(
                     "matrix {i} has trace {tr}; every Aᵢ must be PSD and nonzero"
                 )));

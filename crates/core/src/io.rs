@@ -168,7 +168,10 @@ pub fn read_instance(text: &str) -> Result<PackingInstance, PsdpError> {
                         row_line.split_whitespace().map(str::parse).collect();
                     let vals = vals.map_err(|_| bad(no, "bad dense row"))?;
                     if vals.len() != dim {
-                        return Err(bad(no, &format!("dense row has {} values, want {dim}", vals.len())));
+                        return Err(bad(
+                            no,
+                            &format!("dense row has {} values, want {dim}", vals.len()),
+                        ));
                     }
                     for (c, v) in vals.into_iter().enumerate() {
                         m[(r, c)] = v;
@@ -274,8 +277,7 @@ mod tests {
         let inst = sample();
         let text = write_instance(&inst);
         let back = read_instance(&text).unwrap();
-        let res =
-            crate::decision_psdp(&back, &crate::DecisionOptions::practical(0.3)).unwrap();
+        let res = crate::decision_psdp(&back, &crate::DecisionOptions::practical(0.3)).unwrap();
         assert!(res.stats.iterations > 0);
     }
 }

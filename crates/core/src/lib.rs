@@ -25,10 +25,10 @@ pub mod verify;
 
 pub use approx::{solve_covering, solve_packing, ApproxOptions, CoveringReport, PackingReport};
 pub use decision::{decision_psdp, DecisionResult};
-pub use normalize::{normalize, trace_prune, Normalized};
 pub use error::PsdpError;
 pub use instance::{PackingInstance, PositiveSdp};
 pub use io::{read_instance, write_instance};
+pub use normalize::{normalize, trace_prune, Normalized};
 pub use options::{ConstantsMode, DecisionOptions, EngineKind, UpdateRule};
 pub use solution::{DualSolution, ExitReason, Outcome, PrimalSolution};
 pub use stats::SolveStats;

@@ -93,14 +93,7 @@ pub fn normalize(sdp: &PositiveSdp) -> Result<Normalized, PsdpError> {
         ));
     }
     let instance = PackingInstance::new(mats)?;
-    Ok(Normalized {
-        instance,
-        c_inv_sqrt,
-        kept,
-        dropped_zero_rhs,
-        dropped_off_support,
-        kept_rhs,
-    })
+    Ok(Normalized { instance, c_inv_sqrt, kept, dropped_zero_rhs, dropped_off_support, kept_rhs })
 }
 
 impl Normalized {
@@ -262,8 +255,7 @@ mod tests {
     #[test]
     fn trace_prune_splits_by_cutoff() {
         // n = 2 → cutoff 8.
-        let inst =
-            PackingInstance::new(vec![diag(&[1.0, 1.0]), diag(&[100.0, 100.0])]).unwrap();
+        let inst = PackingInstance::new(vec![diag(&[1.0, 1.0]), diag(&[100.0, 100.0])]).unwrap();
         let (keep, dropped) = trace_prune(&inst);
         assert_eq!(keep, vec![0]);
         assert_eq!(dropped, vec![1]);

@@ -144,20 +144,20 @@ impl DecisionOptions {
             )));
         }
         if let ConstantsMode::Practical { alpha_boost, max_iters } = self.mode {
-            if !(alpha_boost > 0.0) || max_iters == 0 {
+            if alpha_boost.is_nan() || alpha_boost <= 0.0 || max_iters == 0 {
                 return Err(crate::PsdpError::InvalidInstance(
                     "practical mode needs alpha_boost > 0 and max_iters > 0".into(),
                 ));
             }
         }
         match self.rule {
-            UpdateRule::Bucketed { boost } if !(boost >= 1.0) => {
+            UpdateRule::Bucketed { boost } if boost.is_nan() || boost < 1.0 => {
                 Err(crate::PsdpError::InvalidInstance("bucketed boost must be ≥ 1".into()))
             }
-            UpdateRule::TopK { k } if k == 0 => {
+            UpdateRule::TopK { k: 0 } => {
                 Err(crate::PsdpError::InvalidInstance("top-k needs k ≥ 1".into()))
             }
-            UpdateRule::Stale { period } if period == 0 => {
+            UpdateRule::Stale { period: 0 } => {
                 Err(crate::PsdpError::InvalidInstance("stale period must be ≥ 1".into()))
             }
             _ => Ok(()),

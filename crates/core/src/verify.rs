@@ -61,14 +61,8 @@ pub fn verify_primal(inst: &PackingInstance, sol: &PrimalSolution, tol: f64) -> 
                 Ok(e) => e.lambda_min(),
                 Err(_) => f64::NEG_INFINITY,
             };
-            let min_dot = inst
-                .mats()
-                .iter()
-                .map(|a| a.dot_dense(y))
-                .fold(f64::INFINITY, f64::min);
-            let feasible = (trace - 1.0).abs() <= tol
-                && lambda_min >= -tol
-                && min_dot >= 1.0 - tol;
+            let min_dot = inst.mats().iter().map(|a| a.dot_dense(y)).fold(f64::INFINITY, f64::min);
+            let feasible = (trace - 1.0).abs() <= tol && lambda_min >= -tol && min_dot >= 1.0 - tol;
             PrimalCertificate { trace, min_dot, lambda_min, matrix_checked: true, feasible }
         }
         None => {
@@ -172,10 +166,7 @@ mod tests {
                     assert!(verify_dual(inst, &d, 1e-8).feasible, "dual failed verify");
                 }
                 Outcome::Primal(p) => {
-                    assert!(
-                        verify_primal(inst, &p, 1e-6).feasible,
-                        "primal failed verify: {p:?}"
-                    );
+                    assert!(verify_primal(inst, &p, 1e-6).feasible, "primal failed verify: {p:?}");
                 }
             }
         }

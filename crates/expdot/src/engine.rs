@@ -17,9 +17,7 @@
 //! check the near-linear-work claim without trusting wall clocks.
 
 use crate::gauss::{gaussian_sketch, jl_rows};
-use psdp_linalg::{
-    apply_exp_taylor_block, sym_eigen, taylor_degree, LinalgError, Mat, SymOp,
-};
+use psdp_linalg::{apply_exp_taylor_block, sym_eigen, taylor_degree, LinalgError, Mat, SymOp};
 use psdp_parallel::Cost;
 use psdp_sparse::{FactorPsd, PsdMatrix};
 use rayon::prelude::*;
@@ -236,10 +234,8 @@ impl Engine {
         let shift = eig.lambda_max().max(0.0);
         let w = eig.apply_fn(|lam| (lam - shift).exp());
         let tr_w = w.trace();
-        let dots: Vec<f64> =
-            mats.par_iter().map(|a| a.dot_dense(&w).max(0.0)).collect();
-        let cost = Cost::seq(8.0 * (m * m * m) as f64)
-            + Cost::reduce(mats.len(), (m * m) as f64);
+        let dots: Vec<f64> = mats.par_iter().map(|a| a.dot_dense(&w).max(0.0)).collect();
+        let cost = Cost::seq(8.0 * (m * m * m) as f64) + Cost::reduce(mats.len(), (m * m) as f64);
         let dense_p = Some(w.scaled(1.0 / tr_w));
         Ok(ExpDots { tr_w, dots, log_scale: shift, cost, degree: 0, sketch_rows: 0, dense_p })
     }
@@ -440,10 +436,7 @@ mod tests {
             let got = out.dots[i];
             // JL is randomized: allow a generous 35% band (eps=0.2 target
             // plus concentration slack at this sketch size).
-            assert!(
-                (got - want).abs() < 0.35 * want.max(1e-9),
-                "dot {i}: {got} vs {want}"
-            );
+            assert!((got - want).abs() < 0.35 * want.max(1e-9), "dot {i}: {got} vs {want}");
         }
     }
 
@@ -497,7 +490,8 @@ mod tests {
             })
             .collect();
         let exact = Engine::new(EngineKind::Exact, &mats, 0).unwrap();
-        let jl = Engine::new(EngineKind::TaylorJl { eps: 0.3, sketch_const: 1.0 }, &mats, 0).unwrap();
+        let jl =
+            Engine::new(EngineKind::TaylorJl { eps: 0.3, sketch_const: 1.0 }, &mats, 0).unwrap();
         let ce = exact.compute(&phi_dense, 3.0, &mats, 0).unwrap().cost;
         let cj = jl.compute_op(&phi_sparse, 3.0, 0).cost;
         assert!(ce.work > 0.0 && cj.work > 0.0);

@@ -89,10 +89,7 @@ mod tests {
         let pi = gaussian_sketch(4000, dim, 123, 0);
         let px = psdp_linalg::matvec(&pi, &x);
         let got = vecops::dot(&px, &px);
-        assert!(
-            (got - want).abs() < 0.1 * want,
-            "JL estimate {got} too far from {want}"
-        );
+        assert!((got - want).abs() < 0.1 * want, "JL estimate {got} too far from {want}");
     }
 
     #[test]

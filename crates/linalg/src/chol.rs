@@ -26,8 +26,8 @@ impl Cholesky {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut s = b[i];
-            for j in 0..i {
-                s -= self.l[(i, j)] * y[j];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                s -= self.l[(i, j)] * yj;
             }
             y[i] = s / self.l[(i, i)];
         }
@@ -35,8 +35,8 @@ impl Cholesky {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut s = y[i];
-            for j in (i + 1)..n {
-                s -= self.l[(j, i)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                s -= self.l[(j, i)] * xj;
             }
             x[i] = s / self.l[(i, i)];
         }
@@ -107,11 +107,7 @@ mod tests {
     #[test]
     fn cholesky_known_3x3() {
         // Classic SPD example.
-        let a = Mat::from_rows(&[
-            &[4.0, 12.0, -16.0],
-            &[12.0, 37.0, -43.0],
-            &[-16.0, -43.0, 98.0],
-        ]);
+        let a = Mat::from_rows(&[&[4.0, 12.0, -16.0], &[12.0, 37.0, -43.0], &[-16.0, -43.0, 98.0]]);
         let c = cholesky(&a).unwrap();
         let want = Mat::from_rows(&[&[2.0, 0.0, 0.0], &[6.0, 1.0, 0.0], &[-8.0, 5.0, 3.0]]);
         for i in 0..3 {

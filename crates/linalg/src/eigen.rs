@@ -440,10 +440,7 @@ mod tests {
         // Deterministic pseudo-random symmetric matrices across sizes,
         // including ones large enough to stress the QL sweeps.
         for &n in &[1usize, 2, 3, 5, 8, 13, 24, 40] {
-            let mut a = Mat::from_fn(n, n, |i, j| {
-                
-                ((i * 37 + j * 17 + 11) % 29) as f64 / 7.0 - 2.0
-            });
+            let mut a = Mat::from_fn(n, n, |i, j| ((i * 37 + j * 17 + 11) % 29) as f64 / 7.0 - 2.0);
             a.symmetrize();
             check_decomposition(&a, 1e-7);
         }

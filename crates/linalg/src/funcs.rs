@@ -54,8 +54,7 @@ pub fn psd_factor(a: &Mat, rank_tol: f64) -> Result<Mat, LinalgError> {
     let m = a.nrows();
     let lam_max = eig.lambda_max().max(0.0);
     let cut = rank_tol * lam_max.max(1e-300);
-    let keep: Vec<usize> =
-        (0..m).filter(|&j| eig.values[j] > cut && eig.values[j] > 0.0).collect();
+    let keep: Vec<usize> = (0..m).filter(|&j| eig.values[j] > cut && eig.values[j] > 0.0).collect();
     let mut q = Mat::zeros(m, keep.len().max(1));
     for (c, &j) in keep.iter().enumerate() {
         let s = eig.values[j].sqrt();

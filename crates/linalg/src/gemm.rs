@@ -20,7 +20,15 @@ const PAR_ROW_THRESHOLD: usize = 8;
 /// # Panics
 /// Panics on inner-dimension mismatch.
 pub fn matmul(a: &Mat, b: &Mat) -> Mat {
-    assert_eq!(a.ncols(), b.nrows(), "matmul: {}x{} * {}x{}", a.nrows(), a.ncols(), b.nrows(), b.ncols());
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "matmul: {}x{} * {}x{}",
+        a.nrows(),
+        a.ncols(),
+        b.nrows(),
+        b.ncols()
+    );
     let (m, k, n) = (a.nrows(), a.ncols(), b.ncols());
     let mut c = Mat::zeros(m, n);
 
@@ -44,10 +52,7 @@ pub fn matmul(a: &Mat, b: &Mat) -> Mat {
             do_row(i, crow);
         }
     } else {
-        c.as_mut_slice()
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, crow)| do_row(i, crow));
+        c.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(i, crow)| do_row(i, crow));
     }
     c
 }
@@ -62,10 +67,7 @@ pub fn matvec(a: &Mat, x: &[f64]) -> Vec<f64> {
     if m < 64 {
         (0..m).map(|i| crate::vecops::dot(a.row(i), x)).collect()
     } else {
-        (0..m)
-            .into_par_iter()
-            .map(|i| crate::vecops::dot(a.row(i), x))
-            .collect()
+        (0..m).into_par_iter().map(|i| crate::vecops::dot(a.row(i), x)).collect()
     }
 }
 

@@ -47,26 +47,26 @@ pub fn lanczos_extreme(
 ) -> Result<LanczosResult, LinalgError> {
     let n = op.dim();
     if n == 0 {
-        return Ok(LanczosResult { lambda_max: 0.0, lambda_min_ritz: 0.0, steps: 0, residual: 0.0 });
+        return Ok(LanczosResult {
+            lambda_max: 0.0,
+            lambda_min_ritz: 0.0,
+            steps: 0,
+            residual: 0.0,
+        });
     }
     let k_cap = max_steps.clamp(1, n);
 
     // Deterministic start vector (same mixing constant as power iteration).
-    let mut v: Vec<f64> = (0..n)
-        .map(|i| ((i.wrapping_mul(2654435761)) % 1000) as f64 / 1000.0 + 0.5)
-        .collect();
+    let mut v: Vec<f64> =
+        (0..n).map(|i| ((i.wrapping_mul(2654435761)) % 1000) as f64 / 1000.0 + 0.5).collect();
     vecops::normalize(&mut v);
 
     let mut basis: Vec<Vec<f64>> = vec![v.clone()];
     let mut alphas: Vec<f64> = Vec::with_capacity(k_cap);
     let mut betas: Vec<f64> = Vec::with_capacity(k_cap);
 
-    let mut result = LanczosResult {
-        lambda_max: 0.0,
-        lambda_min_ritz: 0.0,
-        steps: 0,
-        residual: f64::INFINITY,
-    };
+    let mut result =
+        LanczosResult { lambda_max: 0.0, lambda_min_ritz: 0.0, steps: 0, residual: f64::INFINITY };
 
     for step in 0..k_cap {
         let vj = basis.last().expect("nonempty basis").clone();
@@ -105,12 +105,7 @@ pub fn lanczos_extreme(
         let top_col = eig.vectors.col(k - 1);
         let residual = (beta * top_col[k - 1]).abs();
 
-        result = LanczosResult {
-            lambda_max: lam_hi,
-            lambda_min_ritz: lam_lo,
-            steps: k,
-            residual,
-        };
+        result = LanczosResult { lambda_max: lam_hi, lambda_min_ritz: lam_lo, steps: k, residual };
         if residual <= tol * lam_hi.abs().max(1e-300) {
             break;
         }

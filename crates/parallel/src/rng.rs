@@ -38,8 +38,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_pair() {
-        let a: Vec<u64> = rng_for(7, 3).sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u64> = rng_for(7, 3).sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u64> =
+            rng_for(7, 3).sample_iter(rand::distributions::Standard).take(8).collect();
+        let b: Vec<u64> =
+            rng_for(7, 3).sample_iter(rand::distributions::Standard).take(8).collect();
         assert_eq!(a, b);
     }
 

@@ -46,10 +46,7 @@ impl Cost {
     /// Cost of a dense `r × c` mat-vec (or one sparse pass over `nnz`
     /// entries with `log` reduction depth): work `2·nnz`, depth `log₂ c`.
     pub fn matvec(nnz: usize, reduce_len: usize) -> Cost {
-        Cost {
-            work: 2.0 * nnz as f64,
-            depth: (reduce_len.max(2) as f64).log2(),
-        }
+        Cost { work: 2.0 * nnz as f64, depth: (reduce_len.max(2) as f64).log2() }
     }
 
     /// Compose in parallel: work adds, depth maxes.

@@ -1,0 +1,227 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors minimal shims for its external dependencies. This one keeps the
+//! bench *targets* compiling and runnable (`cargo bench`) with criterion's
+//! macro and builder surface, but replaces the statistical machinery with a
+//! simple timed loop: each benchmark is warmed up once, then run for a
+//! fixed number of iterations, and the median per-iteration wall time is
+//! printed. Good enough to compare engines and spot order-of-magnitude
+//! regressions; swap in real criterion for publication-quality numbers.
+
+#![warn(missing_docs)]
+
+use std::time::Duration;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark, `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Build an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    /// Median per-iteration time recorded by the last `iter` call.
+    last_median: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, timing each iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, also forces lazy setup
+        let mut samples = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            black_box(f());
+            samples.push(t0.elapsed());
+        }
+        samples.sort();
+        self.last_median = samples[samples.len() / 2];
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    /// Group-scoped sample-count override; groups must not leak their
+    /// configuration into the parent `Criterion` (matching real criterion).
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark sample count for this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2) as u64);
+        self
+    }
+
+    /// Set the target measurement time. Accepted for API compatibility;
+    /// the shim's loop is iteration-count-driven, so this is a no-op.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let iters = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one_with(&full, iters, f);
+        self
+    }
+
+    /// Benchmark a closure that receives `input` by reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let iters = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one_with(&full, iters, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (printing is immediate in the shim; no-op).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Parse command-line configuration. The shim accepts and ignores
+    /// whatever harness flags `cargo bench` passes.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        self.run_one(&id, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        self.run_one_with(id, self.sample_size, f);
+    }
+
+    fn run_one_with<F: FnMut(&mut Bencher)>(&mut self, id: &str, iters: u64, mut f: F) {
+        let mut b = Bencher { iters, last_median: Duration::ZERO };
+        f(&mut b);
+        println!("bench {:60} median {:>12.3?}  ({} iters)", id, b.last_median, b.iters);
+    }
+
+    /// Final reporting hook called by [`criterion_main!`]; the shim prints
+    /// as it goes, so this is a no-op.
+    pub fn final_summary(&self) {}
+}
+
+/// Group benchmark functions under one registration point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("t", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn sample_size_is_group_scoped() {
+        let mut c = Criterion::default();
+        let mut first = 0u64;
+        let mut g1 = c.benchmark_group("g1");
+        g1.sample_size(4);
+        g1.bench_function("a", |b| b.iter(|| first += 1));
+        g1.finish();
+        assert_eq!(first, 5, "4 samples + 1 warm-up");
+
+        // A later group must see the default again, not g1's override.
+        let mut second = 0u64;
+        let mut g2 = c.benchmark_group("g2");
+        g2.bench_function("b", |b| b.iter(|| second += 1));
+        g2.finish();
+        assert_eq!(second, 11, "10 default samples + 1 warm-up");
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(4);
+        let mut total = 0u64;
+        g.bench_with_input(BenchmarkId::new("f", 3), &3u64, |b, &x| b.iter(|| total += x));
+        g.finish();
+        assert!(total > 0);
+    }
+}

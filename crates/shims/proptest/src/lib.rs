@@ -1,0 +1,478 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors minimal shims for its external dependencies. This one is a small
+//! deterministic property-testing harness with proptest's surface syntax:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`,
+//! * range and tuple strategies, [`collection::vec`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * [`test_runner::ProptestConfig`] honoring the `PROPTEST_CASES`
+//!   environment variable.
+//!
+//! Differences from real proptest, deliberately accepted: no shrinking
+//! (failing inputs are printed verbatim instead) and case seeds derived
+//! deterministically from `(file, line, case index)` so every run of the
+//! suite exercises the same inputs — which is what `tests/determinism.rs`
+//! demands of the whole workspace anyway.
+
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Test-runner configuration.
+
+    /// Configuration for a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` cases (capped by `PROPTEST_CASES`).
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+
+        /// The case count to actually run: the configured count, capped by
+        /// the `PROPTEST_CASES` environment variable when it is set (CI uses
+        /// this to bound suite runtime without editing the properties).
+        pub fn effective_cases(&self) -> u32 {
+            match std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse::<u32>().ok()) {
+                Some(env_cap) => self.cases.min(env_cap.max(1)),
+                None => self.cases,
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use std::fmt::Debug;
+    use std::ops::Range;
+    use std::ops::RangeInclusive;
+
+    /// Deterministic RNG handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Build the RNG for one test case, keyed by source location and
+        /// case index so every property gets an independent, reproducible
+        /// stream.
+        pub fn for_case(file: &str, line: u32, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in file.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+            }
+            h = (h ^ line as u64).wrapping_mul(0x1000_0000_01b3);
+            h = (h ^ case as u64).wrapping_mul(0x1000_0000_01b3);
+            TestRng(StdRng::seed_from_u64(h))
+        }
+
+        /// Borrow the underlying generator.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.0
+        }
+    }
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Debug;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> MapStrategy<Self, F>
+        where
+            Self: Sized,
+        {
+            MapStrategy { base: self, f }
+        }
+
+        /// Generate a value, then generate from the strategy `f` builds
+        /// from it (dependent generation).
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(
+            self,
+            f: F,
+        ) -> FlatMapStrategy<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMapStrategy { base: self, f }
+        }
+
+        /// Discard generated values failing `pred`, retrying (bounded).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            pred: F,
+        ) -> FilterStrategy<Self, F>
+        where
+            Self: Sized,
+        {
+            FilterStrategy { base: self, whence, pred }
+        }
+    }
+
+    /// Strategy yielding a fixed value (mirrors `proptest::strategy::Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct MapStrategy<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B: Strategy, O: Debug, F: Fn(B::Value) -> O> Strategy for MapStrategy<B, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMapStrategy<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B: Strategy, S: Strategy, F: Fn(B::Value) -> S> Strategy for FlatMapStrategy<B, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct FilterStrategy<B, F> {
+        base: B,
+        whence: &'static str,
+        pred: F,
+    }
+
+    impl<B: Strategy, F: Fn(&B::Value) -> bool> Strategy for FilterStrategy<B, F> {
+        type Value = B::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> B::Value {
+            for _ in 0..1000 {
+                let v = self.base.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 consecutive values: {}", self.whence);
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.rng().gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.rng().gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(usize, u64, u32, i64, i32);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, G)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::strategy::TestRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: a fixed `usize` or a `usize` range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_exclusive: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_exclusive: r.end }
+        }
+    }
+
+    /// Strategy generating `Vec`s of `element` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.rng().gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::prop_assert;
+    pub use crate::prop_assert_eq;
+    pub use crate::prop_assert_ne;
+    pub use crate::proptest;
+    pub use crate::strategy::Just;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+}
+
+/// Assert a condition inside a property, reporting the failing inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+)
+    };
+}
+
+/// Define property tests.
+///
+/// Accepts an optional `#![proptest_config(expr)]` header followed by test
+/// functions of the form `fn name(pat in strategy, ...) { body }`, each
+/// annotated `#[test]`. Each property is run for the configured number of
+/// cases with inputs drawn from its strategies; on failure the generated
+/// inputs and case index are printed before the panic propagates.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;) => {};
+    (
+        cfg = $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let __cases = __cfg.effective_cases();
+            for __case in 0..__cases {
+                let mut __rng =
+                    $crate::strategy::TestRng::for_case(file!(), line!(), __case);
+                let __vals = (
+                    $($crate::strategy::Strategy::generate(&($strat), &mut __rng),)+
+                );
+                let __repr = format!("{:?}", __vals);
+                // The closure returns `Result` so properties can use
+                // proptest's `return Ok(())` early-discard convention; an
+                // explicit `Err` return is a test failure (use `Ok(())` to
+                // discard a case).
+                let __outcome = std::panic::catch_unwind(
+                    std::panic::AssertUnwindSafe(
+                        move || -> std::result::Result<(), String> {
+                            let ($($arg,)+) = __vals;
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        },
+                    ),
+                );
+                let __payload: Box<dyn std::any::Any + Send> = match __outcome {
+                    Ok(Ok(())) => continue,
+                    Ok(Err(__msg)) => Box::new(format!("property returned Err: {__msg}")),
+                    Err(__panic) => __panic,
+                };
+                eprintln!(
+                    "proptest case {}/{} of `{}` failed; inputs: {}",
+                    __case + 1,
+                    __cases,
+                    stringify!($name),
+                    __repr
+                );
+                std::panic::resume_unwind(__payload);
+            }
+        }
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::strategy::TestRng;
+
+    #[test]
+    fn deterministic_generation() {
+        let strat = crate::collection::vec(-1.0_f64..1.0, 0..10);
+        let a = strat.generate(&mut TestRng::for_case("f", 1, 0));
+        let b = strat.generate(&mut TestRng::for_case("f", 1, 0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flat_map_dependent_lengths() {
+        let strat = (1usize..5).prop_flat_map(|n| crate::collection::vec(0.0_f64..1.0, n * n));
+        for case in 0..32 {
+            let v = strat.generate(&mut TestRng::for_case("g", 2, case));
+            let n = (v.len() as f64).sqrt() as usize;
+            assert_eq!(n * n, v.len());
+        }
+    }
+
+    #[test]
+    fn env_caps_cases() {
+        let cfg = ProptestConfig::with_cases(1000);
+        assert!(cfg.effective_cases() <= 1000);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_roundtrip(x in 0.0_f64..1.0, (a, b) in (0usize..5, 0usize..5)) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!(a < 5 && b < 5);
+        }
+
+        #[test]
+        fn ok_return_discards_case(x in 0usize..10) {
+            if x % 2 == 0 {
+                return Ok(());
+            }
+            prop_assert!(x % 2 == 1);
+        }
+
+        #[test]
+        #[should_panic(expected = "property returned Err")]
+        fn err_return_is_a_failure(x in 0usize..10) {
+            let _ = x;
+            return Err("constructed a bad fixture".to_string());
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Offline stand-in for the `rand` crate (0.8-compatible subset).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors minimal shims for its external dependencies. This shim provides
+//! the pieces the repo actually uses: [`rngs::StdRng`] (seedable,
+//! deterministic), the [`Rng`] extension trait (`gen`, `gen_range`,
+//! `gen_bool`, `sample_iter`), and [`distributions::Standard`].
+//!
+//! Determinism contract: for a fixed seed the generated stream is fixed
+//! forever — `StdRng` here is xoshiro256** seeded via SplitMix64, which is
+//! stable by construction (no dependence on the real `rand`'s
+//! version-to-version stream changes). Deliberately, there is **no**
+//! `thread_rng`: every RNG in this workspace must flow from an explicit
+//! seed (see `tests/determinism.rs`).
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::ops::RangeInclusive;
+
+/// The core trait every generator implements: a source of `u64`s.
+pub trait RngCore {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32-bit output (high bits of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::RngCore;
+    use super::SeedableRng;
+
+    /// The workspace's standard deterministic generator: xoshiro256**
+    /// seeded by SplitMix64 expansion of a 64-bit seed.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Distributions that can be sampled through a generator.
+pub mod distributions {
+    use super::RngCore;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draw one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution for a type: uniform over all values for
+    /// integers, uniform in `[0, 1)` for floats.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<u64> for Standard {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<usize> for Standard {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        /// Uniform in `[0, 1)` with 53 bits of precision, matching the
+        /// real `rand`'s `Standard` for `f64`.
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// A half-open or inclusive range that knows how to sample itself uniformly.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = distributions::Distribution::<f64>::sample(&distributions::Standard, rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        let u = distributions::Distribution::<f64>::sample(&distributions::Standard, rng);
+        lo + u * (hi - lo)
+    }
+}
+
+/// Unbiased uniform integer in `[0, bound)` via Lemire-style rejection.
+#[inline]
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    assert!(bound > 0, "cannot sample empty range");
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let x = rng.next_u64();
+        let hi = ((x as u128 * bound as u128) >> 64) as u64;
+        let lo = x.wrapping_mul(bound);
+        if lo >= threshold {
+            return hi;
+        }
+    }
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range: every value is valid.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(usize, u64, u32, i64, i32);
+
+/// Extension methods for generators, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample a value from the [`distributions::Standard`] distribution.
+    #[inline]
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    /// Sample uniformly from `range`.
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p ≤ 1`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool needs p in [0, 1]");
+        let u: f64 = self.gen();
+        u < p
+    }
+
+    /// Consume the generator into an iterator of samples from `dist`.
+    #[inline]
+    fn sample_iter<T, D>(self, dist: D) -> DistIter<D, Self, T>
+    where
+        D: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        DistIter { dist, rng: self, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Iterator yielding samples from a distribution (see [`Rng::sample_iter`]).
+#[derive(Debug)]
+pub struct DistIter<D, R, T> {
+    dist: D,
+    rng: R,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<D, R, T> Iterator for DistIter<D, R, T>
+where
+    D: distributions::Distribution<T>,
+    R: RngCore,
+{
+    type Item = T;
+
+    #[inline]
+    fn next(&mut self) -> Option<T> {
+        Some(self.dist.sample(&mut self.rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::Standard;
+    use super::rngs::StdRng;
+    use super::Rng;
+    use super::SeedableRng;
+
+    #[test]
+    fn seeded_streams_repeat() {
+        let a: Vec<u64> = StdRng::seed_from_u64(42).sample_iter(Standard).take(16).collect();
+        let b: Vec<u64> = StdRng::seed_from_u64(42).sample_iter(Standard).take(16).collect();
+        assert_eq!(a, b);
+        let c: Vec<u64> = StdRng::seed_from_u64(43).sample_iter(Standard).take(16).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-1.0_f64..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            let i = rng.gen_range(0_usize..7);
+            assert!(i < 7);
+            let j = rng.gen_range(3_usize..=5);
+            assert!((3..=5).contains(&j));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_calibrated() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn integer_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut counts = [0usize; 5];
+        for _ in 0..10_000 {
+            counts[rng.gen_range(0_usize..5)] += 1;
+        }
+        for &c in &counts {
+            assert!((1700..2300).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,492 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors minimal shims for its external dependencies. This shim keeps
+//! rayon's *shape* — `prelude::*` parallel iterators, [`ThreadPool`] +
+//! [`ThreadPoolBuilder`], [`current_num_threads`] — while implementing
+//! execution with `std::thread::scope`:
+//!
+//! * every parallel combinator splits its items into at most
+//!   [`current_num_threads`] contiguous chunks and runs them on scoped OS
+//!   threads, preserving item order in the output;
+//! * [`ThreadPool::install`] scopes the effective thread count via a
+//!   thread-local (no persistent worker threads — pools here are just a
+//!   concurrency budget);
+//! * nested parallel calls inside a worker run sequentially, bounding the
+//!   total thread count by the installed budget (rayon bounds it via work
+//!   stealing; we bound it by disabling nested spawns).
+//!
+//! The result is deterministic for `map`/`collect` pipelines (order is by
+//! index, independent of scheduling) and genuinely parallel for the
+//! kernels that matter (GEMM rows, CSR rows, per-constraint dots).
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Effective concurrency budget for parallel calls on this thread.
+    /// `None` means "not set": use the machine's available parallelism.
+    static BUDGET: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads parallel operations on this thread may use.
+pub fn current_num_threads() -> usize {
+    BUDGET.with(|b| b.get()).unwrap_or_else(default_threads)
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn with_budget<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let prev = BUDGET.with(|b| b.replace(Some(n)));
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            BUDGET.with(|b| b.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// A concurrency budget masquerading as a thread pool.
+///
+/// Unlike real rayon there are no persistent workers; `install` simply
+/// scopes [`current_num_threads`] so parallel combinators invoked inside
+/// split into that many scoped threads.
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread budget and return its result.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        with_budget(self.threads, f)
+    }
+
+    /// The thread budget this pool was built with.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`]; construction never
+/// fails in the shim, the type exists for API compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error (unreachable in shim)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Start a fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the pool's thread count; `0` (or unset) means auto-detect.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Build the pool. Infallible in the shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = match self.threads {
+            Some(0) | None => default_threads(),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// Split `items` into at most [`current_num_threads`] contiguous chunks and
+/// map `f(index, item)` over them on scoped threads, preserving order.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let threads = current_num_threads();
+    let len = items.len();
+    if threads <= 1 || len <= 1 {
+        return items.into_iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let chunk = len.div_ceil(threads);
+    let mut parts: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut rest = items;
+    while rest.len() > chunk {
+        let tail = rest.split_off(chunk);
+        parts.push(std::mem::replace(&mut rest, tail));
+    }
+    parts.push(rest);
+
+    let f = &f;
+    let mut out: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(ci, part)| {
+                scope.spawn(move || {
+                    // Nested parallel calls inside a worker run sequentially so
+                    // the total spawned-thread count stays within the budget.
+                    with_budget(1, || {
+                        part.into_iter()
+                            .enumerate()
+                            .map(|(j, x)| f(ci * chunk + j, x))
+                            .collect::<Vec<R>>()
+                    })
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("shim worker panicked")).collect()
+    });
+    let mut flat = Vec::with_capacity(len);
+    for part in &mut out {
+        flat.append(part);
+    }
+    flat
+}
+
+/// Parallel iterator traits and adapters.
+pub mod iter {
+    use super::par_map_vec;
+    use std::ops::Range;
+
+    /// A parallel iterator: drives `f(index, item)` over all items on a
+    /// bounded set of scoped threads, returning results in item order.
+    pub trait ParallelIterator: Sized {
+        /// The element type.
+        type Item: Send;
+
+        /// Consume the iterator, mapping every `(index, item)` pair through
+        /// `f` in parallel and collecting results in order. All adapters and
+        /// terminal operations are defined on top of this one primitive.
+        fn drive<R, F>(self, f: F) -> Vec<R>
+        where
+            R: Send,
+            F: Fn(usize, Self::Item) -> R + Sync;
+
+        /// Map each item through `f`.
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync,
+        {
+            Map { base: self, f }
+        }
+
+        /// Pair each item with its index.
+        fn enumerate(self) -> Enumerate<Self> {
+            Enumerate { base: self }
+        }
+
+        /// Map each item to a sequential iterator and flatten the results,
+        /// preserving order. The per-item `f` calls run in parallel; the
+        /// produced iterators are drained on the worker that created them.
+        fn flat_map_iter<U, F>(self, f: F) -> FlatMapIter<Self, F>
+        where
+            U: IntoIterator,
+            U::Item: Send,
+            F: Fn(Self::Item) -> U + Sync,
+        {
+            FlatMapIter { base: self, f }
+        }
+
+        /// Run `f` on every item for its side effects.
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync,
+        {
+            self.drive(|_, x| f(x));
+        }
+
+        /// Collect all items, in order.
+        fn collect<C: FromIterator<Self::Item>>(self) -> C {
+            self.drive(|_, x| x).into_iter().collect()
+        }
+
+        /// Sum all items.
+        fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+            self.drive(|_, x| x).into_iter().sum()
+        }
+
+        /// Fold-free reduction: combine all items with `op`, or `identity()`
+        /// if the iterator is empty.
+        fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+        where
+            ID: Fn() -> Self::Item + Sync,
+            OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+        {
+            self.drive(|_, x| x).into_iter().fold(identity(), op)
+        }
+
+        /// Minimum by an `f64` key (used for argmin scans).
+        fn min_by_key_f64<F>(self, key: F) -> Option<Self::Item>
+        where
+            F: Fn(&Self::Item) -> f64 + Sync,
+        {
+            self.drive(|_, x| x)
+                .into_iter()
+                .min_by(|a, b| key(a).partial_cmp(&key(b)).unwrap_or(std::cmp::Ordering::Equal))
+        }
+    }
+
+    /// Map adapter (see [`ParallelIterator::map`]).
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, R, F> ParallelIterator for Map<B, F>
+    where
+        B: ParallelIterator,
+        R: Send,
+        F: Fn(B::Item) -> R + Sync,
+    {
+        type Item = R;
+
+        fn drive<R2, G>(self, g: G) -> Vec<R2>
+        where
+            R2: Send,
+            G: Fn(usize, R) -> R2 + Sync,
+        {
+            let f = self.f;
+            self.base.drive(move |i, x| g(i, f(x)))
+        }
+    }
+
+    /// Enumerate adapter (see [`ParallelIterator::enumerate`]).
+    pub struct Enumerate<B> {
+        base: B,
+    }
+
+    impl<B: ParallelIterator> ParallelIterator for Enumerate<B> {
+        type Item = (usize, B::Item);
+
+        fn drive<R, G>(self, g: G) -> Vec<R>
+        where
+            R: Send,
+            G: Fn(usize, (usize, B::Item)) -> R + Sync,
+        {
+            self.base.drive(move |i, x| g(i, (i, x)))
+        }
+    }
+
+    /// Flat-map adapter (see [`ParallelIterator::flat_map_iter`]).
+    pub struct FlatMapIter<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, U, F> ParallelIterator for FlatMapIter<B, F>
+    where
+        B: ParallelIterator,
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(B::Item) -> U + Sync,
+    {
+        type Item = U::Item;
+
+        fn drive<R, G>(self, g: G) -> Vec<R>
+        where
+            R: Send,
+            G: Fn(usize, U::Item) -> R + Sync,
+        {
+            let f = self.f;
+            let nested: Vec<Vec<U::Item>> = self.base.drive(move |_, x| f(x).into_iter().collect());
+            nested.into_iter().flatten().enumerate().map(|(i, x)| g(i, x)).collect()
+        }
+    }
+
+    /// Conversion into an owning parallel iterator.
+    pub trait IntoParallelIterator {
+        /// The element type.
+        type Item: Send;
+        /// The resulting iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Convert `self`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// Parallel iterator over a materialized list of items.
+    pub struct VecPar<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for VecPar<T> {
+        type Item = T;
+
+        fn drive<R, F>(self, f: F) -> Vec<R>
+        where
+            R: Send,
+            F: Fn(usize, T) -> R + Sync,
+        {
+            par_map_vec(self.items, f)
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = VecPar<T>;
+
+        fn into_par_iter(self) -> VecPar<T> {
+            VecPar { items: self }
+        }
+    }
+
+    macro_rules! impl_range_into_par {
+        ($($t:ty),*) => {$(
+            impl IntoParallelIterator for Range<$t> {
+                type Item = $t;
+                type Iter = VecPar<$t>;
+
+                fn into_par_iter(self) -> VecPar<$t> {
+                    VecPar { items: self.collect() }
+                }
+            }
+        )*};
+    }
+
+    impl_range_into_par!(usize, u64, u32, i64, i32);
+
+    /// `.par_iter()` on slices (and, via deref, `Vec`s).
+    pub trait IntoParallelRefIterator<'data> {
+        /// The element type (a shared reference).
+        type Item: Send + 'data;
+        /// The resulting iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Borrowing conversion.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = VecPar<&'data T>;
+
+        fn par_iter(&'data self) -> VecPar<&'data T> {
+            VecPar { items: self.iter().collect() }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = VecPar<&'data T>;
+
+        fn par_iter(&'data self) -> VecPar<&'data T> {
+            VecPar { items: self.iter().collect() }
+        }
+    }
+
+    /// `.par_iter_mut()` / `.par_chunks_mut()` on mutable slices.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Parallel iterator over non-overlapping mutable chunks of length
+        /// `chunk_size` (last chunk may be shorter).
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> VecPar<&mut [T]>;
+
+        /// Parallel iterator over mutable element references.
+        fn par_iter_mut(&mut self) -> VecPar<&mut T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> VecPar<&mut [T]> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            VecPar { items: self.chunks_mut(chunk_size).collect() }
+        }
+
+        fn par_iter_mut(&mut self) -> VecPar<&mut T> {
+            VecPar { items: self.iter_mut().collect() }
+        }
+    }
+
+    /// `.par_chunks()` on shared slices.
+    pub trait ParallelSlice<T: Sync> {
+        /// Parallel iterator over non-overlapping chunks of length
+        /// `chunk_size` (last chunk may be shorter).
+        fn par_chunks(&self, chunk_size: usize) -> VecPar<&[T]>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> VecPar<&[T]> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            VecPar { items: self.chunks(chunk_size).collect() }
+        }
+    }
+}
+
+/// Glob-import surface mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::IntoParallelIterator;
+    pub use crate::iter::IntoParallelRefIterator;
+    pub use crate::iter::ParallelIterator;
+    pub use crate::iter::ParallelSlice;
+    pub use crate::iter::ParallelSliceMut;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let s: u64 = (0..1000u64).into_par_iter().sum();
+        assert_eq!(s, 499_500);
+    }
+
+    #[test]
+    fn chunks_mut_writes_disjoint() {
+        let mut v = vec![0usize; 10];
+        v.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = i;
+            }
+        });
+        assert_eq!(v, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn install_scopes_thread_budget() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        // Budget restored after install returns.
+        let outer = current_num_threads();
+        assert!(outer >= 1);
+    }
+
+    #[test]
+    fn par_iter_on_refs() {
+        let data = vec![1.0_f64, 2.0, 3.0];
+        let doubled: Vec<f64> = data.par_iter().map(|x| x * 2.0).collect();
+        assert_eq!(doubled, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn workers_run_nested_calls_sequentially() {
+        let nested: Vec<usize> =
+            (0..4usize).into_par_iter().map(|_| current_num_threads()).collect();
+        // Inside a worker the budget is 1 whenever the outer loop actually
+        // split; with a single-thread budget it stays whatever it was.
+        assert!(nested.iter().all(|&n| n >= 1));
+    }
+}

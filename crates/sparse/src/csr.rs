@@ -148,8 +148,7 @@ impl Csr {
     pub fn spmv_transpose(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.nrows, "spmv_transpose: dim mismatch");
         let mut y = vec![0.0; self.ncols];
-        for i in 0..self.nrows {
-            let xi = x[i];
+        for (i, &xi) in x.iter().enumerate() {
             if xi == 0.0 {
                 continue;
             }

@@ -38,12 +38,8 @@ impl FactorPsd {
 
     /// Build from a single vector: `A = v vᵀ` (rank-1).
     pub fn from_vector(v: &[f64]) -> Self {
-        let trip: Vec<(usize, usize, f64)> = v
-            .iter()
-            .enumerate()
-            .filter(|(_, &x)| x != 0.0)
-            .map(|(i, &x)| (i, 0usize, x))
-            .collect();
+        let trip: Vec<(usize, usize, f64)> =
+            v.iter().enumerate().filter(|(_, &x)| x != 0.0).map(|(i, &x)| (i, 0usize, x)).collect();
         FactorPsd { q: Csr::from_triplets(v.len(), 1, &trip) }
     }
 

@@ -6,10 +6,12 @@ use psdp_linalg::Mat;
 use psdp_sparse::{Csr, FactorPsd, PsdMatrix};
 
 /// Random triplets over an r×c grid.
-fn triplets(max_r: usize, max_c: usize) -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
+fn triplets(
+    max_r: usize,
+    max_c: usize,
+) -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
     (1..=max_r, 1..=max_c).prop_flat_map(|(r, c)| {
-        proptest::collection::vec((0..r, 0..c, -2.0_f64..2.0), 0..24)
-            .prop_map(move |t| (r, c, t))
+        proptest::collection::vec((0..r, 0..c, -2.0_f64..2.0), 0..24).prop_map(move |t| (r, c, t))
     })
 }
 

@@ -62,11 +62,8 @@ pub fn beamforming_sdp(p: &Beamforming) -> PositiveSdp {
         // columns [hr; hi] and [-hi; hr] (so hhᴴ becomes a rank-2 real PSD).
         let hr = standard_normals(&mut rng, p.antennas);
         let hi = standard_normals(&mut rng, p.antennas);
-        let gain = if p.users > 1 {
-            p.spread.powf(-(i as f64) / (p.users as f64 - 1.0))
-        } else {
-            1.0
-        };
+        let gain =
+            if p.users > 1 { p.spread.powf(-(i as f64) / (p.users as f64 - 1.0)) } else { 1.0 };
         let mut trip = Vec::with_capacity(2 * m);
         for (j, (&a, &b)) in hr.iter().zip(&hi).enumerate() {
             trip.push((j, 0, gain * a));
@@ -78,11 +75,7 @@ pub fn beamforming_sdp(p: &Beamforming) -> PositiveSdp {
         constraints.push(PsdMatrix::Factor(f));
         rhs.push(p.sinr_target * p.noise);
     }
-    PositiveSdp {
-        objective: PsdMatrix::Diagonal(vec![1.0; m]),
-        constraints,
-        rhs,
-    }
+    PositiveSdp { objective: PsdMatrix::Diagonal(vec![1.0; m]), constraints, rhs }
 }
 
 #[cfg(test)]
@@ -110,8 +103,7 @@ mod tests {
             assert!(eig.values[k - 3] < 1e-9 * eig.lambda_max().max(1.0));
             // Complex embedding gives a doubled eigenvalue pair.
             assert!(
-                (eig.values[k - 1] - eig.values[k - 2]).abs()
-                    < 1e-6 * eig.lambda_max().max(1e-12),
+                (eig.values[k - 1] - eig.values[k - 2]).abs() < 1e-6 * eig.lambda_max().max(1e-12),
                 "expected paired eigenvalues"
             );
         }

@@ -38,15 +38,16 @@ pub fn commuting_family(m: usize, n: usize, zero_rate: f64, seed: u64) -> Commut
     let mut spectra = Vec::with_capacity(n);
     for i in 0..n {
         let mut crng = rng_for(seed, 1 + i as u64);
-        let mut lams: Vec<f64> = (0..m)
-            .map(|_| {
-                if crng.gen_bool(zero_rate.max(1e-12)) {
-                    0.0
-                } else {
-                    crng.gen_range(0.05..1.0)
-                }
-            })
-            .collect();
+        let mut lams: Vec<f64> =
+            (0..m)
+                .map(|_| {
+                    if crng.gen_bool(zero_rate.max(1e-12)) {
+                        0.0
+                    } else {
+                        crng.gen_range(0.05..1.0)
+                    }
+                })
+                .collect();
         if lams.iter().all(|&v| v == 0.0) {
             lams[0] = crng.gen_range(0.05..1.0);
         }

@@ -17,15 +17,16 @@ pub fn random_lp_diagonal(m: usize, n: usize, density: f64, seed: u64) -> Vec<Ps
     (0..n)
         .map(|i| {
             let mut rng = rng_for(seed, i as u64);
-            let mut d: Vec<f64> = (0..m)
-                .map(|_| {
-                    if rng.gen_bool(density.max(1e-9)) {
-                        rng.gen_range(0.1..1.0)
-                    } else {
-                        0.0
-                    }
-                })
-                .collect();
+            let mut d: Vec<f64> =
+                (0..m)
+                    .map(|_| {
+                        if rng.gen_bool(density.max(1e-9)) {
+                            rng.gen_range(0.1..1.0)
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
             // Guarantee a nonzero trace (PackingInstance rejects zero matrices).
             if d.iter().all(|&v| v == 0.0) {
                 let j = rng.gen_range(0..m);

@@ -51,10 +51,7 @@ fn main() {
         if let Some(y) = &report.y {
             for (i, (a, &b)) in sdp.constraints.iter().zip(&sdp.rhs).enumerate() {
                 let got = a.dot_dense(y);
-                assert!(
-                    got >= b * (1.0 - 1e-6),
-                    "user {i} SINR violated: {got} < {b}"
-                );
+                assert!(got >= b * (1.0 - 1e-6), "user {i} SINR violated: {got} < {b}");
             }
         }
     }

@@ -13,6 +13,9 @@
 
 use psdp_baselines::{mixed_packing_covering, simplex_max, LpResult, MixedOutcome};
 
+/// Column-major constraint block: one inner `Vec` per variable.
+type Cols = Vec<Vec<f64>>;
+
 /// Exact feasibility threshold via simplex (max t s.t. Px ≤ 1, Cx ≥ t).
 fn exact_threshold(pack: &[Vec<f64>], cover: &[Vec<f64>]) -> f64 {
     let n = pack.len();
@@ -20,12 +23,12 @@ fn exact_threshold(pack: &[Vec<f64>], cover: &[Vec<f64>]) -> f64 {
     let mc = cover[0].len();
     let mut a = Vec::with_capacity(mp + mc);
     for j in 0..mp {
-        let mut row: Vec<f64> = (0..n).map(|k| pack[k][j]).collect();
+        let mut row: Vec<f64> = pack.iter().map(|col| col[j]).collect();
         row.push(0.0);
         a.push(row);
     }
     for i in 0..mc {
-        let mut row: Vec<f64> = (0..n).map(|k| -cover[k][i]).collect();
+        let mut row: Vec<f64> = cover.iter().map(|col| -col[i]).collect();
         row.push(1.0);
         a.push(row);
     }
@@ -44,17 +47,13 @@ fn main() {
     println!("{:>28} {:>8} {:>12} {:>10}", "instance", "t*", "answer", "iters");
 
     // (name, packing columns, covering columns). t* >= 1 means feasible.
-    let cases: Vec<(&str, Vec<Vec<f64>>, Vec<Vec<f64>>)> = vec![
+    let cases: Vec<(&str, Cols, Cols)> = vec![
         (
             "2 jobs, ample capacity",
             vec![vec![0.4, 0.0], vec![0.0, 0.4]],
             vec![vec![1.0, 0.2], vec![0.2, 1.0]],
         ),
-        (
-            "tight but feasible",
-            vec![vec![1.0], vec![1.0]],
-            vec![vec![2.5, 0.0], vec![0.0, 2.5]],
-        ),
+        ("tight but feasible", vec![vec![1.0], vec![1.0]], vec![vec![2.5, 0.0], vec![0.0, 2.5]]),
         (
             "over-subscribed (infeasible)",
             vec![vec![3.0, 1.0], vec![1.0, 3.0]],

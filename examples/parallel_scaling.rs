@@ -27,8 +27,7 @@ fn main() {
         seed: 21,
     });
     let inst = PackingInstance::new(mats).expect("valid").scaled(0.4);
-    let mut opts =
-        DecisionOptions::practical(0.25).with_engine(EngineKind::Taylor { eps: 0.2 });
+    let mut opts = DecisionOptions::practical(0.25).with_engine(EngineKind::Taylor { eps: 0.2 });
     opts.mode = ConstantsMode::Practical { alpha_boost: 1.0, max_iters: iters };
     opts.early_exit = false;
     opts.primal_matrix_dim_limit = 0;

@@ -3,8 +3,8 @@
 //! across pools — bitwise within one configuration).
 
 use psdp_core::{
-    decision_psdp, solve_packing, verify_dual, ApproxOptions, DecisionOptions, EngineKind,
-    Outcome, PackingInstance,
+    decision_psdp, solve_packing, verify_dual, ApproxOptions, DecisionOptions, EngineKind, Outcome,
+    PackingInstance,
 };
 use psdp_parallel::run_with_threads;
 use psdp_workloads::{beamforming_sdp, random_factorized, Beamforming, RandomFactorized};
@@ -90,16 +90,8 @@ fn generators_are_stable() {
     for (x, y) in a.constraints.iter().zip(&b.constraints) {
         assert_eq!(x.to_dense().as_slice(), y.to_dense().as_slice());
     }
-    let r1 = solve_packing(
-        &instance(40),
-        &ApproxOptions::practical(0.15),
-    )
-    .unwrap();
-    let r2 = solve_packing(
-        &instance(40),
-        &ApproxOptions::practical(0.15),
-    )
-    .unwrap();
+    let r1 = solve_packing(&instance(40), &ApproxOptions::practical(0.15)).unwrap();
+    let r2 = solve_packing(&instance(40), &ApproxOptions::practical(0.15)).unwrap();
     assert_eq!(r1.decision_calls, r2.decision_calls);
     assert!((r1.value_lower - r2.value_lower).abs() < 1e-12);
     assert!((r1.value_upper - r2.value_upper).abs() < 1e-12);

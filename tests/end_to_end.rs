@@ -38,7 +38,11 @@ fn decision_certificates_hold_across_families() {
             match &res.outcome {
                 Outcome::Dual(d) => {
                     let c = verify_dual(inst, d, 1e-7);
-                    assert!(c.feasible, "{name} eps={eps}: dual infeasible (λmax {})", c.lambda_max);
+                    assert!(
+                        c.feasible,
+                        "{name} eps={eps}: dual infeasible (λmax {})",
+                        c.lambda_max
+                    );
                     assert!(d.value > 0.0, "{name}: trivial dual");
                 }
                 Outcome::Primal(p) => {

@@ -8,9 +8,7 @@
 //! * Lemma 4.2 — the Taylor sandwich `(1−ε)exp(B) ⪯ p(B) ⪯ exp(B)`,
 //! * Lemma 2.2 — trace pruning keeps every small-trace constraint.
 
-use psdp_core::{
-    decision_psdp, trace_prune, DecisionOptions, Outcome, PackingInstance,
-};
+use psdp_core::{decision_psdp, trace_prune, DecisionOptions, Outcome, PackingInstance};
 use psdp_linalg::{sym_eigen, Mat};
 use psdp_mmw::{paper_constants, MmwGame};
 use psdp_sparse::PsdMatrix;
@@ -152,10 +150,7 @@ fn lemma_4_2_sandwich_at_solver_kappa() {
 /// pruned instance is still valid.
 #[test]
 fn lemma_2_2_trace_pruning() {
-    let mut mats = vec![
-        PsdMatrix::Diagonal(vec![1.0, 1.0]),
-        PsdMatrix::Diagonal(vec![0.5, 0.5]),
-    ];
+    let mut mats = vec![PsdMatrix::Diagonal(vec![1.0, 1.0]), PsdMatrix::Diagonal(vec![0.5, 0.5])];
     // A pathological constraint with enormous trace.
     mats.push(PsdMatrix::Diagonal(vec![1e6, 1e6]));
     let inst = PackingInstance::new(mats).unwrap();
