@@ -10,7 +10,8 @@ use psdp_core::{
     ApproxOptions, ConstantsMode, DecisionOptions, EngineKind, Outcome, PackingInstance,
 };
 use psdp_workloads::{
-    edge_packing, figure1_instance, gnp, random_factorized, random_lp_diagonal, RandomFactorized,
+    edge_packing, figure1_instance, gnp, random_factorized, random_lp_diagonal,
+    vertex_star_packing, RandomFactorized,
 };
 
 /// Top-level usage text.
@@ -18,19 +19,23 @@ pub const USAGE: &str = "\
 psdp — width-independent positive SDP solver (Peng–Tangwongsan–Zhang, SPAA'12)
 
 USAGE:
-  psdp generate --family <random|lp|graph|figure1> [--dim N] [--n N] [--seed S] [--width W] --out FILE
+  psdp generate --family <random|lp|graph|stars|figure1> [--dim N] [--n N] [--seed S] [--width W] --out FILE
   psdp info FILE
-  psdp solve FILE [--eps E] [--engine exact|taylor|jl] [--mode practical|strict] [--seed S]
+  psdp solve FILE [--eps E] [--engine auto|exact|taylor|jl] [--mode practical|strict] [--seed S]
   psdp optimize FILE [--eps E]
+
+The `auto` engine picks exact vs sketched-Taylor from the instance's
+storage profile (total nonzeros vs m²); `psdp solve` reports which one ran.
 ";
 
 /// Build the engine from its CLI name.
 fn engine_of(name: &str, eps: f64) -> Result<EngineKind, String> {
     match name {
+        "auto" => Ok(EngineKind::Auto { eps: eps.min(0.3) }),
         "exact" => Ok(EngineKind::Exact),
         "taylor" => Ok(EngineKind::Taylor { eps: (eps * 0.5).min(0.2) }),
         "jl" => Ok(EngineKind::TaylorJl { eps: eps.min(0.3), sketch_const: 4.0 }),
-        other => Err(format!("unknown engine `{other}` (exact|taylor|jl)")),
+        other => Err(format!("unknown engine `{other}` (auto|exact|taylor|jl)")),
     }
 }
 
@@ -65,8 +70,13 @@ pub fn generate(args: &Args) -> Result<String, String> {
             let p: f64 = args.flag("p", 0.3)?;
             PackingInstance::new(edge_packing(&gnp(dim, p, seed))).map_err(|e| e.to_string())?
         }
+        "stars" => {
+            let p: f64 = args.flag("p", 0.3)?;
+            PackingInstance::new(vertex_star_packing(&gnp(dim, p, seed)))
+                .map_err(|e| e.to_string())?
+        }
         "figure1" => PackingInstance::new(figure1_instance()).map_err(|e| e.to_string())?,
-        other => return Err(format!("unknown family `{other}` (random|lp|graph|figure1)")),
+        other => return Err(format!("unknown family `{other}` (random|lp|graph|stars|figure1)")),
     };
 
     let text = write_instance(&inst);
@@ -257,6 +267,24 @@ mod tests {
 
         let opt_out = run(&["optimize", p, "--eps", "0.15"]).unwrap();
         assert!(opt_out.contains("converged: true"), "{opt_out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stars_family_and_auto_engine() {
+        let dir = std::env::temp_dir().join("psdp-cli-test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stars.psdp");
+        let p = path.to_str().unwrap();
+        let msg = run(&[
+            "generate", "--family", "stars", "--dim", "10", "--p", "0.4", "--seed", "2", "--out", p,
+        ])
+        .unwrap();
+        assert!(msg.contains("wrote"), "{msg}");
+        // Small dim → auto resolves to exact; the resolved name is reported.
+        let out = run(&["solve", p, "--eps", "0.2", "--engine", "auto"]).unwrap();
+        assert!(out.contains("engine exact"), "{out}");
+        assert!(out.contains("verified feasible: true") || out.contains("verified: true"), "{out}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -24,9 +24,17 @@
 //!
 //! ## Notes on the implementation
 //!
-//! * `Ψ(t) = Σ xᵢ(t)Aᵢ` is maintained **incrementally** (dense accumulation
-//!   of `Σ_{i∈B} δᵢAᵢ`), so each iteration costs one engine evaluation plus
-//!   the update — never a from-scratch `Σᵢ xᵢAᵢ`.
+//! * `Ψ(t) = Σ xᵢ(t)Aᵢ` is maintained **incrementally** through
+//!   [`crate::psi::PsiMaintainer`]: each round scatter-adds only the
+//!   selected coordinates' scaled constraints (work proportional to their
+//!   storage nonzeros — `O(1)` per rank-1 Laplacian factor). A
+//!   from-scratch `Σᵢ xᵢAᵢ` happens only at the drift-check cadence
+//!   ([`DecisionOptions::psi_rebuild_period`], default every 64 rounds),
+//!   so its `Θ(n·m²)` cost is amortized to a `1/period` fraction per
+//!   iteration rather than paid every round.
+//! * [`psdp_expdot::EngineKind::Auto`] resolves against the instance's
+//!   storage profile at engine construction; the *resolved* engine name is
+//!   what [`SolveStats::engine`] reports.
 //! * **Empty `B(t)`**: every constraint has `P•Aᵢ > 1+ε`, so the *current*
 //!   `P` is already a feasible primal (`Tr P = 1`, `Aᵢ•P > 1+ε ≥ 1`). With
 //!   exact arithmetic the paper's loop would idle until `R` and return an
@@ -41,6 +49,7 @@
 use crate::error::PsdpError;
 use crate::instance::PackingInstance;
 use crate::options::{ConstantsMode, DecisionOptions, UpdateRule};
+use crate::psi::PsiMaintainer;
 use crate::solution::{DualSolution, ExitReason, Outcome, PrimalSolution};
 use crate::stats::SolveStats;
 use psdp_expdot::{Engine, ExpDots};
@@ -76,6 +85,25 @@ pub struct DecisionResult {
 /// # Ok::<(), psdp_core::PsdpError>(())
 /// ```
 ///
+/// Constraints can be stored sparse (CSR) or factorized — storage changes
+/// cost, not answers — and [`psdp_expdot::EngineKind::Auto`] picks the
+/// engine from the storage profile; the telemetry reports what actually
+/// ran:
+///
+/// ```
+/// use psdp_core::{decision_psdp, DecisionOptions, EngineKind, PackingInstance};
+/// use psdp_sparse::{Csr, PsdMatrix};
+///
+/// // One sparse edge Laplacian on 3 vertices (λmax = 2, so OPT = 1/2 < 1).
+/// let lap = Csr::from_triplets(3, 3, &[(0, 0, 1.0), (0, 1, -1.0), (1, 0, -1.0), (1, 1, 1.0)]);
+/// let inst = PackingInstance::new(vec![PsdMatrix::Sparse(lap)])?;
+/// let opts = DecisionOptions::practical(0.2).with_engine(EngineKind::Auto { eps: 0.2 });
+/// let res = decision_psdp(&inst, &opts)?;
+/// assert_eq!(res.stats.engine, "exact"); // auto resolved: tiny instance
+/// assert!(res.outcome.primal().is_some()); // OPT < 1 ⇒ covering witness
+/// # Ok::<(), psdp_core::PsdpError>(())
+/// ```
+///
 /// # Errors
 /// Instance/option validation failures and linear-algebra errors.
 pub fn decision_psdp(
@@ -102,12 +130,16 @@ pub fn decision_psdp(
     // x⁰ᵢ = 1/(n · Tr Aᵢ)  (Claim 3.3: Σ xᵢ⁰Aᵢ ⪯ I).
     let traces: Vec<f64> = inst.mats().iter().map(|a| a.trace()).collect();
     let mut x: Vec<f64> = traces.iter().map(|t| 1.0 / (n as f64 * t)).collect();
-    let mut psi = inst.weighted_sum(&x);
+    let mut psi = PsiMaintainer::new(inst, &x, opts.psi_rebuild_period);
 
+    // `EngineKind::Auto` resolves against the storage profile here; all
+    // later decisions (primal accumulation, telemetry) use the resolved
+    // kind, not the requested one.
     let engine = Engine::new(opts.engine, inst.mats(), opts.seed)?;
+    let engine_kind = engine.kind();
     let accumulate_y = opts.primal_matrix_dim_limit > 0
         && m <= opts.primal_matrix_dim_limit
-        && !matches!(opts.engine, psdp_expdot::EngineKind::TaylorJl { .. });
+        && !matches!(engine_kind, psdp_expdot::EngineKind::TaylorJl { .. });
     let mut y_acc: Option<Mat> = accumulate_y.then(|| Mat::zeros(m, m));
 
     // Running sums of P(τ)•Aᵢ for the averaged primal.
@@ -140,7 +172,7 @@ pub fn decision_psdp(
 
         // κ for the Taylor degree: certified Gershgorin/Frobenius bound,
         // additionally clamped by the Lemma 3.2 bound in strict mode.
-        let mut kappa = lambda_max_upper_bound(&psi);
+        let mut kappa = lambda_max_upper_bound(psi.matrix());
         if matches!(opts.mode, ConstantsMode::PaperStrict) {
             kappa = kappa.min(lemma_bound * 1.01);
         }
@@ -153,9 +185,9 @@ pub fn decision_psdp(
         };
         if refresh {
             let dots = if accumulate_y {
-                engine.compute_dense(&psi, kappa, inst.mats(), t as u64)?
+                engine.compute_dense(psi.matrix(), kappa, inst.mats(), t as u64)?
             } else {
-                engine.compute(&psi, kappa, inst.mats(), t as u64)?
+                engine.compute(psi.matrix(), kappa, inst.mats(), t as u64)?
             };
             cost_total = cost_total + dots.cost;
             cached = Some(dots);
@@ -190,15 +222,18 @@ pub fn decision_psdp(
         }
         selected_total += selected;
 
-        // x ← x + δ, Ψ ← Ψ + Σ δᵢAᵢ (incremental).
+        // x ← x + δ, Ψ ← Ψ + Σ δᵢAᵢ (incremental scatter-adds over the
+        // selected coordinates only; periodic drift-checked rebuild).
+        let mut deltas: Vec<(usize, f64)> = Vec::with_capacity(selected);
         for (i, &step) in steps.iter().enumerate() {
             if step > 0.0 {
                 let delta = step * x[i];
                 x[i] += delta;
-                inst.mats()[i].add_scaled_into(&mut psi, delta);
+                deltas.push((i, delta));
             }
         }
-        psi.symmetrize();
+        psi.apply_updates(&deltas);
+        psi.maybe_rebuild(&x);
 
         let norm1 = vecops::sum(&x);
         if t.is_multiple_of(sample_every) {
@@ -222,7 +257,7 @@ pub fn decision_psdp(
     let final_norm1 = vecops::sum(&x);
     let outcome = match exit {
         ExitReason::DualNormCrossed => {
-            Outcome::Dual(build_dual(&x, &psi, eps, k_threshold, opts.mode)?)
+            Outcome::Dual(build_dual(&x, psi.matrix(), eps, k_threshold, opts.mode)?)
         }
         ExitReason::EmptyEligibleSet => {
             let (ratios, p) = empty_b_snapshot.expect("snapshot recorded");
@@ -264,9 +299,11 @@ pub fn decision_psdp(
         alpha,
         iteration_cap: cap,
         cost: cost_total,
-        engine: opts.engine.name(),
+        engine: engine_kind.name(),
         avg_selected: if t > 0 { selected_total as f64 / t as f64 } else { 0.0 },
         kappa_max,
+        psi_rebuilds: psi.rebuilds(),
+        psi_max_drift: psi.max_drift(),
         wall: start.elapsed(),
         norm_trajectory: trajectory,
     };

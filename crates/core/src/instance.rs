@@ -4,6 +4,25 @@
 use crate::error::PsdpError;
 use psdp_linalg::Mat;
 use psdp_sparse::PsdMatrix;
+use rayon::prelude::*;
+
+/// The constraint storage type of the solver: a PSD matrix in one of four
+/// formats — dense `Mat`, sparse symmetric [`psdp_sparse::Csr`], factorized
+/// [`psdp_sparse::FactorPsd`] (`A = QQᵀ`), or nonnegative diagonal. Storage
+/// never changes semantics, only cost: the incremental-Ψ scatter path and
+/// the engines exploit whatever structure the chosen variant exposes.
+pub type Constraint = PsdMatrix;
+
+/// Constraint count below which [`PackingInstance::weighted_sum`] stays
+/// sequential (chunked partial accumulators cost `m²` each to merge).
+const PARALLEL_WEIGHTED_SUM_MIN_N: usize = 128;
+
+/// Fixed constraints-per-chunk of the parallel [`PackingInstance::weighted_sum`]
+/// path. Deliberately **not** derived from the thread count: the
+/// floating-point summation grouping (and therefore the result, bitwise)
+/// must be identical across thread pools, preserving the repo's
+/// thread-count-invariance contract (`tests/determinism.rs`).
+const WEIGHTED_SUM_CHUNK: usize = 64;
 
 /// A general positive SDP in the paper's standard primal form (1.1):
 ///
@@ -82,7 +101,7 @@ impl PositiveSdp {
 /// the form `decisionPSDP` (Algorithm 3.1) consumes.
 #[derive(Debug, Clone)]
 pub struct PackingInstance {
-    mats: Vec<PsdMatrix>,
+    mats: Vec<Constraint>,
     dim: usize,
 }
 
@@ -94,7 +113,7 @@ impl PackingInstance {
     /// or a constraint with non-positive trace (a zero matrix makes the
     /// packing value unbounded, so it is rejected rather than silently
     /// accepted).
-    pub fn new(mats: Vec<PsdMatrix>) -> Result<Self, PsdpError> {
+    pub fn new(mats: Vec<Constraint>) -> Result<Self, PsdpError> {
         if mats.is_empty() {
             return Err(PsdpError::InvalidInstance("no constraint matrices".into()));
         }
@@ -123,7 +142,7 @@ impl PackingInstance {
     }
 
     /// The constraint matrices.
-    pub fn mats(&self) -> &[PsdMatrix] {
+    pub fn mats(&self) -> &[Constraint] {
         &self.mats
     }
 
@@ -144,14 +163,52 @@ impl PackingInstance {
     }
 
     /// `Σᵢ xᵢ Aᵢ` as a dense symmetric matrix.
+    ///
+    /// Large storage-heavy instances accumulate rayon-parallel over
+    /// fixed-size constraint chunks (one partial `m × m` accumulator per
+    /// chunk, summed in chunk order at the end); this is the full-rebuild
+    /// path of the incremental Ψ maintenance in
+    /// [`crate::psi::PsiMaintainer`]. The chunking — and therefore the
+    /// floating-point summation grouping and the bitwise result — depends
+    /// only on the instance, never on the thread count. The parallel path
+    /// engages only when the scatter work (total storage nonzeros)
+    /// dominates the `m²`-per-chunk accumulator merge cost, so sparse
+    /// instances with large `m` stay on the cheap sequential scatter.
     pub fn weighted_sum(&self, x: &[f64]) -> Mat {
         assert_eq!(x.len(), self.n(), "weighted_sum: coefficient length");
-        let mut out = Mat::zeros(self.dim, self.dim);
-        for (a, &xi) in self.mats.iter().zip(x) {
-            if xi != 0.0 {
-                a.add_scaled_into(&mut out, xi);
+        let merge_cost = self.n().div_ceil(WEIGHTED_SUM_CHUNK) * self.dim * self.dim;
+        let parallel_pays =
+            self.n() >= PARALLEL_WEIGHTED_SUM_MIN_N && self.total_nnz() >= 2 * merge_cost;
+        let mut out = if parallel_pays {
+            let partials: Vec<Mat> = self
+                .mats
+                .par_chunks(WEIGHTED_SUM_CHUNK)
+                .enumerate()
+                .map(|(ci, part)| {
+                    let mut acc = Mat::zeros(self.dim, self.dim);
+                    for (j, a) in part.iter().enumerate() {
+                        let xi = x[ci * WEIGHTED_SUM_CHUNK + j];
+                        if xi != 0.0 {
+                            a.add_scaled_into(&mut acc, xi);
+                        }
+                    }
+                    acc
+                })
+                .collect();
+            let mut total = Mat::zeros(self.dim, self.dim);
+            for p in partials {
+                total.axpy(1.0, &p);
             }
-        }
+            total
+        } else {
+            let mut acc = Mat::zeros(self.dim, self.dim);
+            for (a, &xi) in self.mats.iter().zip(x) {
+                if xi != 0.0 {
+                    a.add_scaled_into(&mut acc, xi);
+                }
+            }
+            acc
+        };
         out.symmetrize();
         out
     }
@@ -246,6 +303,37 @@ mod tests {
         assert_eq!(s[(0, 0)], 2.0);
         assert_eq!(s[(1, 1)], 1.5);
         assert_eq!(s[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn weighted_sum_parallel_path_matches_sequential() {
+        // n ≥ 128 dense-stored constraints trigger the chunked rayon path
+        // (total nnz = n·m² dominates the merge cost); compare against a
+        // hand-rolled sequential accumulation.
+        let n = 150;
+        let dim = 6;
+        let mats: Vec<PsdMatrix> = (0..n)
+            .map(|i| {
+                let mut a = Mat::zeros(dim, dim);
+                let mut v = vec![0.0; dim];
+                v[i % dim] = 1.0 + (i % 4) as f64 * 0.5;
+                v[(i + 2) % dim] = 0.5;
+                a.rank1_update(1.0, &v);
+                PsdMatrix::Dense(a)
+            })
+            .collect();
+        let inst = PackingInstance::new(mats).unwrap();
+        assert!(inst.total_nnz() >= 2 * inst.n().div_ceil(64) * dim * dim, "gate must engage");
+        let x: Vec<f64> = (0..n).map(|i| 0.01 * (1 + i % 7) as f64).collect();
+        let got = inst.weighted_sum(&x);
+        let mut want = Mat::zeros(dim, dim);
+        for (a, &xi) in inst.mats().iter().zip(&x) {
+            a.add_scaled_into(&mut want, xi);
+        }
+        want.symmetrize();
+        for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((g - w).abs() < 1e-12, "{g} vs {w}");
+        }
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //! end
 //! ```
 //!
+//! Sparse symmetric constraints use `constraint <i> sparse <nnz>` followed
+//! by `nnz` lines of `<row> <col> <value>` triplets (every stored entry,
+//! both triangles).
+//!
 //! Dense constraints use `constraint <i> dense` followed by `dim` rows of
 //! `dim` whitespace-separated numbers. Values round-trip through `{:e}`
 //! formatting, so write→read is exact.
@@ -62,6 +66,14 @@ pub fn write_instance(inst: &PackingInstance) -> String {
                 writeln!(out, "constraint {i} factor {} {}", q.nnz(), q.ncols()).unwrap();
                 for r in 0..q.nrows() {
                     for (c, v) in q.row_iter(r) {
+                        writeln!(out, "{r} {c} {v:e}").unwrap();
+                    }
+                }
+            }
+            PsdMatrix::Sparse(s) => {
+                writeln!(out, "constraint {i} sparse {}", s.nnz()).unwrap();
+                for r in 0..s.nrows() {
+                    for (c, v) in s.row_iter(r) {
                         writeln!(out, "{r} {c} {v:e}").unwrap();
                     }
                 }
@@ -159,6 +171,22 @@ pub fn read_instance(text: &str) -> Result<PackingInstance, PsdpError> {
                     &trip,
                 ))));
             }
+            "sparse" => {
+                let nnz: usize =
+                    toks.get(3).and_then(|s| s.parse().ok()).ok_or_else(|| bad(no, "bad nnz"))?;
+                let mut trip = Vec::with_capacity(nnz);
+                for _ in 0..nnz {
+                    let (no, entry) = lines.next().ok_or_else(|| bad(no, "truncated sparse"))?;
+                    let parts: Vec<&str> = entry.split_whitespace().collect();
+                    let (r, c, v) =
+                        parse_triplet(&parts).ok_or_else(|| bad(no, "bad sparse entry"))?;
+                    if r >= dim || c >= dim {
+                        return Err(bad(no, "sparse entry out of range"));
+                    }
+                    trip.push((r, c, v));
+                }
+                mats.push(PsdMatrix::Sparse(Csr::from_triplets(dim, dim, &trip)));
+            }
             "dense" => {
                 let mut m = Mat::zeros(dim, dim);
                 for r in 0..dim {
@@ -217,10 +245,15 @@ mod tests {
             2,
             &[(0, 0, 1.0), (1, 1, 2.0), (2, 0, -1.0)],
         )));
+        let sparse = PsdMatrix::Sparse(Csr::from_triplets(
+            3,
+            3,
+            &[(0, 0, 2.0), (0, 2, -1.0), (2, 0, -1.0), (2, 2, 1.0)],
+        ));
         let mut d = Mat::zeros(3, 3);
         d.rank1_update(0.7, &[1.0, 0.5, 0.0]);
         d.add_diag(0.1);
-        PackingInstance::new(vec![diag, factor, PsdMatrix::Dense(d)]).unwrap()
+        PackingInstance::new(vec![diag, factor, sparse, PsdMatrix::Dense(d)]).unwrap()
     }
 
     #[test]

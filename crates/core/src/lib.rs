@@ -4,11 +4,17 @@
 //! Peng–Tangwongsan–Zhang (SPAA 2012).
 //!
 //! * [`instance`] — problem types: general positive SDPs (1.1) and
-//!   normalized packing instances (Figure 2),
+//!   normalized packing instances (Figure 2) over [`Constraint`] storage
+//!   (dense / sparse CSR / factorized / diagonal),
 //! * [`decision`] — `decisionPSDP` (Algorithm 3.1),
+//! * [`psi`] — incremental maintenance of `Ψ = Σ xᵢAᵢ` with periodic
+//!   drift-checked rebuilds,
 //! * [`options`] — solver configuration (paper-strict vs practical
-//!   constants, engines, update-rule variants),
+//!   constants, engines including auto-selection, update-rule variants),
 //! * [`solution`] / [`stats`] — certified outcomes and telemetry.
+//!
+//! Architecture and experiment index: see `DESIGN.md` at the repository
+//! root; recorded experiment outputs live in `EXPERIMENTS.md`.
 
 #![warn(missing_docs)]
 
@@ -19,6 +25,7 @@ pub mod instance;
 pub mod io;
 pub mod normalize;
 pub mod options;
+pub mod psi;
 pub mod solution;
 pub mod stats;
 pub mod verify;
@@ -26,10 +33,11 @@ pub mod verify;
 pub use approx::{solve_covering, solve_packing, ApproxOptions, CoveringReport, PackingReport};
 pub use decision::{decision_psdp, DecisionResult};
 pub use error::PsdpError;
-pub use instance::{PackingInstance, PositiveSdp};
+pub use instance::{Constraint, PackingInstance, PositiveSdp};
 pub use io::{read_instance, write_instance};
 pub use normalize::{normalize, trace_prune, Normalized};
 pub use options::{ConstantsMode, DecisionOptions, EngineKind, UpdateRule};
+pub use psi::PsiMaintainer;
 pub use solution::{DualSolution, ExitReason, Outcome, PrimalSolution};
 pub use stats::SolveStats;
 pub use verify::{verify_dual, verify_primal, DualCertificate, PrimalCertificate};

@@ -18,7 +18,7 @@
 use crate::error::PsdpError;
 use crate::instance::{PackingInstance, PositiveSdp};
 use psdp_linalg::{inv_sqrt_psd, matmul, Mat};
-use psdp_sparse::PsdMatrix;
+use psdp_sparse::{Csr, PsdMatrix};
 
 /// Output of normalization: the packing/covering instance plus the data
 /// needed to map solutions back to the original program.
@@ -82,7 +82,16 @@ pub fn normalize(sdp: &PositiveSdp) -> Result<Normalized, PsdpError> {
         let mut bi = matmul(&matmul(&c_inv_sqrt, &a_dense), &c_inv_sqrt);
         bi.scale(1.0 / b);
         bi.symmetrize();
-        mats.push(PsdMatrix::Dense(bi));
+        // Keep sparsity the conjugation preserved (diagonal C with sparse
+        // Aᵢ is the common case): store entry-sparse results in CSR so the
+        // solver's incremental Ψ path scatter-adds only real nonzeros.
+        // Only exact zeros are dropped — storage never changes values.
+        let nnz = bi.as_slice().iter().filter(|&&v| v != 0.0).count();
+        if nnz * 4 <= m * m {
+            mats.push(PsdMatrix::Sparse(Csr::from_dense(&bi, 0.0)));
+        } else {
+            mats.push(PsdMatrix::Dense(bi));
+        }
         kept.push(i);
         kept_rhs.push(b);
     }

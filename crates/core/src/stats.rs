@@ -32,6 +32,12 @@ pub struct SolveStats {
     /// Largest `κ` (spectral-norm bound for `Ψ`) passed to the engine —
     /// compare against the Lemma 3.2 bound `(1+10ε)K`.
     pub kappa_max: f64,
+    /// Full from-scratch rebuilds the incremental Ψ maintenance performed
+    /// (see [`crate::psi::PsiMaintainer`]).
+    pub psi_rebuilds: usize,
+    /// Largest relative drift between the incrementally maintained Ψ and a
+    /// from-scratch rebuild, across all rebuilds (0 when none happened).
+    pub psi_max_drift: f64,
     /// Wall-clock time of the solve.
     pub wall: Duration,
     /// Sampled `‖x(t)‖₁` trajectory (every `sample_every` iterations).
@@ -66,6 +72,8 @@ mod tests {
             engine: "exact",
             avg_selected: 0.0,
             kappa_max: 0.0,
+            psi_rebuilds: 0,
+            psi_max_drift: 0.0,
             wall: Duration::ZERO,
             norm_trajectory: vec![],
         };

@@ -67,7 +67,21 @@ pub enum EngineKind {
         /// Multiplier on the JL row count `c·ln(m)/ε²`; 4.0 is a sane default.
         sketch_const: f64,
     },
+    /// Pick the engine from the instance's storage profile at
+    /// [`Engine::new`] time: small or storage-dense instances get
+    /// [`EngineKind::Exact`] (one `O(m³)` eigendecomposition beats a
+    /// high-degree Taylor sweep there), while large sparse/factorized
+    /// instances — total storage nonzeros `q` well below `m²` — get
+    /// [`EngineKind::TaylorJl`], whose work is nearly linear in `q`
+    /// (Corollary 1.2's regime). See [`EngineKind::resolve`].
+    Auto {
+        /// Accuracy handed to the approximate engine when one is chosen.
+        eps: f64,
+    },
 }
+
+/// Matrix dimension below which `Auto` always picks the exact engine.
+const AUTO_EXACT_DIM: usize = 64;
 
 impl EngineKind {
     /// Short name for tables and telemetry.
@@ -76,6 +90,30 @@ impl EngineKind {
             EngineKind::Exact => "exact",
             EngineKind::Taylor { .. } => "taylor",
             EngineKind::TaylorJl { .. } => "taylor+jl",
+            EngineKind::Auto { .. } => "auto",
+        }
+    }
+
+    /// Resolve [`EngineKind::Auto`] against an instance's storage profile
+    /// (`dim` = m, `total_storage_nnz` = Σᵢ nnz of each constraint's natural
+    /// storage). Non-`Auto` kinds return themselves unchanged.
+    ///
+    /// Heuristic: exact when `m < 64` (eigendecomposition is cheap and
+    /// exactness buys iteration count) or when the storage is dense-ish
+    /// (`q ≥ m²/4`, so sparsity cannot pay for the Taylor degree); sketched
+    /// Taylor otherwise, where per-iteration work `O(q·degree·log m / ε²)`
+    /// undercuts the `O(n·m² + m³)` dense path.
+    pub fn resolve(self, dim: usize, total_storage_nnz: usize) -> EngineKind {
+        match self {
+            EngineKind::Auto { eps } => {
+                let m2 = dim.saturating_mul(dim);
+                if dim < AUTO_EXACT_DIM || total_storage_nnz.saturating_mul(4) >= m2 {
+                    EngineKind::Exact
+                } else {
+                    EngineKind::TaylorJl { eps, sketch_const: 4.0 }
+                }
+            }
+            other => other,
         }
     }
 }
@@ -125,6 +163,7 @@ impl Engine {
         assert!(!mats.is_empty(), "Engine::new: empty constraint set");
         let dim = mats[0].dim();
         assert!(mats.iter().all(|m| m.dim() == dim), "constraints must share a dimension");
+        let kind = kind.resolve(dim, mats.iter().map(PsdMatrix::storage_nnz).sum());
         let needs_factors = !matches!(kind, EngineKind::Exact);
         let factors = if needs_factors {
             mats.iter().map(|m| m.to_factor(1e-12)).collect::<Result<Vec<_>, _>>()?
@@ -135,7 +174,10 @@ impl Engine {
         Ok(Engine { kind, seed, factors, q_nnz, dim })
     }
 
-    /// The strategy this engine uses.
+    /// The strategy this engine uses. Always a concrete kind: an
+    /// [`EngineKind::Auto`] request is resolved at construction, so callers
+    /// can read the actual choice back from here (the solver records it in
+    /// its telemetry).
     pub fn kind(&self) -> EngineKind {
         self.kind
     }
@@ -171,6 +213,7 @@ impl Engine {
             EngineKind::TaylorJl { eps, sketch_const } => {
                 Ok(self.compute_taylor_jl(phi, kappa, eps, sketch_const, stream))
             }
+            EngineKind::Auto { .. } => unreachable!("Auto resolved in Engine::new"),
         }
     }
 
@@ -191,6 +234,7 @@ impl Engine {
             EngineKind::TaylorJl { eps, sketch_const } => {
                 self.jl_impl(phi, kappa, eps, sketch_const, stream)
             }
+            EngineKind::Auto { .. } => unreachable!("Auto resolved in Engine::new"),
         }
     }
 
@@ -525,5 +569,45 @@ mod tests {
         assert_eq!(EngineKind::Exact.name(), "exact");
         assert_eq!(EngineKind::Taylor { eps: 0.1 }.name(), "taylor");
         assert_eq!(EngineKind::TaylorJl { eps: 0.1, sketch_const: 1.0 }.name(), "taylor+jl");
+        assert_eq!(EngineKind::Auto { eps: 0.1 }.name(), "auto");
+    }
+
+    #[test]
+    fn auto_resolution_keyed_on_nnz_vs_m2() {
+        let auto = EngineKind::Auto { eps: 0.2 };
+        // Small dimension: exact regardless of sparsity.
+        assert_eq!(auto.resolve(8, 2), EngineKind::Exact);
+        // Large and sparse (q ≪ m²): sketched Taylor.
+        assert!(matches!(auto.resolve(128, 512), EngineKind::TaylorJl { .. }));
+        // Large but storage-dense (q ≈ m²): exact.
+        assert_eq!(auto.resolve(128, 128 * 128), EngineKind::Exact);
+        // Concrete kinds pass through untouched.
+        assert_eq!(EngineKind::Exact.resolve(128, 1), EngineKind::Exact);
+        let t = EngineKind::Taylor { eps: 0.1 };
+        assert_eq!(t.resolve(128, 1), t);
+    }
+
+    #[test]
+    fn auto_engine_resolves_and_computes() {
+        // 96 rank-1 factors on m = 96: q ≈ 2m ≪ m²/4 → sketched engine.
+        let m = 96;
+        let mats: Vec<PsdMatrix> = (0..m)
+            .map(|k| {
+                let mut v = vec![0.0; m];
+                v[k] = 1.0;
+                v[(k + 1) % m] = -1.0;
+                PsdMatrix::Factor(FactorPsd::from_vector(&v))
+            })
+            .collect();
+        let eng = Engine::new(EngineKind::Auto { eps: 0.3 }, &mats, 3).unwrap();
+        assert!(matches!(eng.kind(), EngineKind::TaylorJl { .. }), "{:?}", eng.kind());
+        let phi = Mat::identity(m).scaled(0.5);
+        let out = eng.compute(&phi, 0.5, &mats, 1).unwrap();
+        assert!(out.tr_w.is_finite() && out.tr_w > 0.0);
+
+        // A tiny dense instance resolves to exact.
+        let small = vec![PsdMatrix::Diagonal(vec![1.0, 2.0])];
+        let eng = Engine::new(EngineKind::Auto { eps: 0.3 }, &small, 0).unwrap();
+        assert_eq!(eng.kind(), EngineKind::Exact);
     }
 }

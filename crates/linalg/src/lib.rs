@@ -10,7 +10,7 @@
 //! * [`gemm`] — rayon-parallel GEMM / GEMV,
 //! * [`eigen`] — symmetric eigendecomposition (Householder + implicit QL),
 //! * [`chol`] — Cholesky and PSD certification,
-//! * [`qr`] — Householder QR / orthonormalization,
+//! * [`mod@qr`] — Householder QR / orthonormalization,
 //! * [`funcs`] — matrix functions `exp`, `√`, pseudo `⁻¹ᐟ²`, PSD factorization,
 //! * [`poly`] — the Lemma 4.2 truncated-Taylor operator applied to blocks,
 //! * [`norms`] — spectral-norm estimation (power iteration + certified bounds),

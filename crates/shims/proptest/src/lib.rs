@@ -260,7 +260,7 @@ pub mod collection {
     use std::fmt::Debug;
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: a fixed `usize` or a `usize` range.
+    /// Length specification for [`vec()`]: a fixed `usize` or a `usize` range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -285,7 +285,7 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

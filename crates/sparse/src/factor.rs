@@ -113,11 +113,11 @@ impl FactorPsd {
         self.q.scale(alpha.sqrt());
     }
 
-    /// Accumulate `out += coeff · A` into a dense matrix.
-    pub fn add_scaled_into(&self, out: &mut Mat, coeff: f64) {
-        assert_eq!(out.nrows(), self.dim());
-        // A = Σ_c q_c q_cᵀ over factor columns; accumulate each outer product
-        // on the sparse support only. One pass gathers the column lists.
+    /// Visit every entry `(row, col, value)` of the represented matrix
+    /// `A = Σ_c q_c q_cᵀ`, expanding the outer products on the sparse
+    /// support only (one pass gathers the column lists). This is the one
+    /// place the expansion lives; scatter-add paths build on it.
+    pub fn for_each_entry(&self, mut f: impl FnMut(usize, usize, f64)) {
         let q = &self.q;
         let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); q.ncols()];
         for i in 0..q.nrows() {
@@ -130,10 +130,17 @@ impl FactorPsd {
         for col in &cols {
             for &(i, vi) in col {
                 for &(k, vk) in col {
-                    out[(i, k)] += coeff * vi * vk;
+                    f(i, k, vi * vk);
                 }
             }
         }
+    }
+
+    /// Accumulate `out += coeff · A` into a dense matrix (sparse-support
+    /// outer-product expansion via [`FactorPsd::for_each_entry`]).
+    pub fn add_scaled_into(&self, out: &mut Mat, coeff: f64) {
+        assert_eq!(out.nrows(), self.dim());
+        self.for_each_entry(|i, k, v| out[(i, k)] += coeff * v);
     }
 }
 

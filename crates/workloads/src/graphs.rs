@@ -8,7 +8,7 @@
 //! experiments: `q = 2·|E|` grows linearly while `m = |V|` stays moderate.
 
 use psdp_parallel::rng_for;
-use psdp_sparse::{Graph, PsdMatrix};
+use psdp_sparse::{Csr, Graph, PsdMatrix};
 use rand::Rng;
 
 /// Erdős–Rényi `G(n, p)` with unit weights; isolated vertices allowed,
@@ -47,9 +47,46 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
 }
 
 /// Edge-Laplacian packing instance of a graph: one rank-1 factorized
-/// constraint per edge. Returns an empty vector if the graph has no edges.
+/// constraint per edge, emitted natively (never densified) — `q = 2|E|`
+/// total storage nonzeros. Returns an empty vector if the graph has no
+/// edges.
 pub fn edge_packing(g: &Graph) -> Vec<PsdMatrix> {
     g.edge_laplacians().into_iter().map(PsdMatrix::Factor).collect()
+}
+
+/// The same edge Laplacians as [`edge_packing`], but stored as explicit
+/// sparse CSR matrices (4 nonzeros per edge) instead of rank-1 factors.
+/// Semantically identical constraints in a different storage format —
+/// the storage-equivalence tests and the incremental-Ψ bench compare the
+/// two paths on these.
+pub fn edge_packing_sparse(g: &Graph) -> Vec<PsdMatrix> {
+    g.edges()
+        .iter()
+        .map(|&(u, v, w)| {
+            let trip = [(u, u, w), (v, v, w), (u, v, -w), (v, u, -w)];
+            PsdMatrix::Sparse(Csr::from_triplets(g.n(), g.n(), &trip))
+        })
+        .collect()
+}
+
+/// Per-vertex star-Laplacian packing: one sparse CSR constraint per vertex
+/// of positive degree, `L_u = Σ_{uv ∈ E} w·(e_u−e_v)(e_u−e_v)ᵀ`. These are
+/// the canonical sparse-but-not-rank-1 constraints (rank = deg(u)): the
+/// packing SDP asks how much load each vertex neighborhood can carry before
+/// the graph's spectral capacity saturates. Vertices of degree 0 get no
+/// constraint.
+pub fn vertex_star_packing(g: &Graph) -> Vec<PsdMatrix> {
+    let n = g.n();
+    let mut trips: Vec<Vec<(usize, usize, f64)>> = vec![Vec::new(); n];
+    for &(u, v, w) in g.edges() {
+        trips[u].extend_from_slice(&[(u, u, w), (v, v, w), (u, v, -w), (v, u, -w)]);
+        trips[v].extend_from_slice(&[(u, u, w), (v, v, w), (u, v, -w), (v, u, -w)]);
+    }
+    trips
+        .into_iter()
+        .filter(|t| !t.is_empty())
+        .map(|t| PsdMatrix::Sparse(Csr::from_triplets(n, n, &t)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -104,5 +141,54 @@ mod tests {
         let mats = edge_packing(&g);
         let q: usize = mats.iter().map(|a| a.storage_nnz()).sum();
         assert_eq!(q, 2 * g.m());
+    }
+
+    #[test]
+    fn sparse_edge_packing_matches_factorized() {
+        let g = grid(2, 3);
+        let fac = edge_packing(&g);
+        let spa = edge_packing_sparse(&g);
+        assert_eq!(fac.len(), spa.len());
+        for (f, s) in fac.iter().zip(&spa) {
+            assert!(matches!(s, PsdMatrix::Sparse(_)));
+            let fd = f.to_dense();
+            let sd = s.to_dense();
+            for i in 0..g.n() {
+                for j in 0..g.n() {
+                    assert!((fd[(i, j)] - sd[(i, j)]).abs() < 1e-12, "({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vertex_stars_are_sparse_psd_and_sum_to_twice_laplacian() {
+        let g = grid(2, 3);
+        let stars = vertex_star_packing(&g);
+        assert_eq!(stars.len(), g.n(), "grid has no isolated vertices");
+        let mut sum = psdp_linalg::Mat::zeros(g.n(), g.n());
+        for s in &stars {
+            assert!(matches!(s, PsdMatrix::Sparse(_)));
+            assert!(s.validate_cheap().is_ok());
+            let eig = sym_eigen(&s.to_dense()).unwrap();
+            assert!(eig.lambda_min() > -1e-12);
+            s.add_scaled_into(&mut sum, 1.0);
+        }
+        // Each edge Laplacian appears in exactly two stars, so the stars
+        // sum to 2L.
+        let lap = g.laplacian().to_dense();
+        for i in 0..g.n() {
+            for j in 0..g.n() {
+                assert!((sum[(i, j)] - 2.0 * lap[(i, j)]).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_get_no_star() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        let stars = vertex_star_packing(&g);
+        assert_eq!(stars.len(), 2);
     }
 }

@@ -24,5 +24,5 @@ pub use beamforming::{beamforming_sdp, Beamforming};
 pub use commuting::{commuting_family, CommutingFamily};
 pub use diagonal::{diagonal_columns, random_lp_diagonal, set_cover_packing};
 pub use ellipse::{figure1_instance, rotated_family, Ellipse};
-pub use graphs::{edge_packing, gnp, grid};
+pub use graphs::{edge_packing, edge_packing_sparse, gnp, grid, vertex_star_packing};
 pub use random::{random_dense, random_factorized, RandomFactorized};

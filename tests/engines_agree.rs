@@ -1,14 +1,17 @@
-//! Engine-consistency tests: the exact, Taylor, and Taylor+JL engines must
-//! drive the solver to the same certified answers (Theorem 4.1 says the
-//! approximate primitive suffices; these tests check that claim end to end).
+//! Engine- and storage-consistency tests: the exact, Taylor, and Taylor+JL
+//! engines must drive the solver to the same certified answers (Theorem 4.1
+//! says the approximate primitive suffices), and the four constraint
+//! storage formats (dense / sparse CSR / factorized / diagonal) must be
+//! interchangeable — storage affects cost, never results.
 
 use psdp_core::{
     decision_psdp, verify_dual, verify_primal, DecisionOptions, EngineKind, Outcome,
-    PackingInstance,
+    PackingInstance, PsiMaintainer,
 };
 use psdp_expdot::{exp_dot_exact, Engine};
 use psdp_linalg::Mat;
-use psdp_workloads::{random_factorized, RandomFactorized};
+use psdp_sparse::{Csr, PsdMatrix};
+use psdp_workloads::{edge_packing, edge_packing_sparse, gnp, random_factorized, RandomFactorized};
 
 fn instance(seed: u64) -> PackingInstance {
     PackingInstance::new(random_factorized(&RandomFactorized {
@@ -86,6 +89,98 @@ fn primitive_level_agreement() {
     let j = jl.compute(&phi, kappa, mats, 1).unwrap();
     for (g, e) in j.dots.iter().zip(&exact) {
         assert!((g - e).abs() < 0.3 * e.max(1e-9), "jl {g} vs {e}");
+    }
+}
+
+/// Dense, sparse-CSR, and factorized storage of the *same* constraint set
+/// must produce the same `DecisionResult`: same certified side, same
+/// iteration count, and values agreeing to floating-point accuracy.
+#[test]
+fn storage_formats_agree_on_decision_result() {
+    let graph = gnp(12, 0.5, 11);
+    let factorized = edge_packing(&graph);
+    let sparse = edge_packing_sparse(&graph);
+    let dense: Vec<PsdMatrix> = factorized.iter().map(|a| PsdMatrix::Dense(a.to_dense())).collect();
+
+    let opts = DecisionOptions::practical(0.2);
+    let mut results = Vec::new();
+    for mats in [dense, sparse, factorized] {
+        let inst = PackingInstance::new(mats).unwrap().scaled(0.25);
+        results.push((decision_psdp(&inst, &opts).unwrap(), inst));
+    }
+
+    let (r0, _) = &results[0];
+    for (r, inst) in &results[1..] {
+        assert_eq!(r.stats.iterations, r0.stats.iterations, "iteration counts diverged");
+        assert_eq!(r.stats.exit, r0.stats.exit, "exit reasons diverged");
+        match (&r.outcome, &r0.outcome) {
+            (Outcome::Dual(d), Outcome::Dual(d0)) => {
+                assert!(
+                    (d.value - d0.value).abs() <= 1e-6 * d0.value.abs().max(1.0),
+                    "dual values diverged: {} vs {}",
+                    d.value,
+                    d0.value
+                );
+                for (a, b) in d.x.iter().zip(&d0.x) {
+                    assert!((a - b).abs() <= 1e-6 * b.abs().max(1e-12), "{a} vs {b}");
+                }
+                assert!(verify_dual(inst, d, 1e-7).feasible);
+            }
+            (Outcome::Primal(p), Outcome::Primal(p0)) => {
+                assert!(
+                    (p.min_dot - p0.min_dot).abs() <= 1e-6 * p0.min_dot.abs().max(1.0),
+                    "primal min dots diverged: {} vs {}",
+                    p.min_dot,
+                    p0.min_dot
+                );
+            }
+            (a, b) => panic!("outcome sides diverged: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+/// Deterministic multi-round property: however the update schedule mixes
+/// storage kinds, batch sizes, and step magnitudes, the incrementally
+/// maintained Ψ stays within floating-point tolerance of a from-scratch
+/// `weighted_sum` rebuild.
+#[test]
+fn incremental_psi_tracks_rebuild_across_schedules() {
+    for seed in [3u64, 17, 42] {
+        let graph = gnp(10, 0.5, seed);
+        let mut mats = edge_packing_sparse(&graph);
+        // Mix in other storage kinds so every scatter path is exercised.
+        mats.extend(edge_packing(&graph).into_iter().take(4));
+        mats.push(PsdMatrix::Diagonal((0..10).map(|i| 0.1 + (i % 3) as f64).collect()));
+        mats.push(PsdMatrix::Sparse(Csr::from_triplets(
+            10,
+            10,
+            &[(0, 0, 1.0), (0, 9, 0.5), (9, 0, 0.5), (9, 9, 2.0)],
+        )));
+        let inst = PackingInstance::new(mats).unwrap();
+        let n = inst.n();
+
+        let mut x: Vec<f64> = (0..n).map(|i| 0.01 * (1 + (i * seed as usize) % 5) as f64).collect();
+        let mut psi = PsiMaintainer::new(&inst, &x, 0);
+        let mut state = seed;
+        for round in 0..300 {
+            // Deterministic pseudo-random batch of 1..=5 coordinates.
+            let mut deltas = Vec::new();
+            let batch = 1 + (round % 5);
+            for _ in 0..batch {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let i = (state >> 33) as usize % n;
+                let d = 1e-3 * ((state >> 20) % 100) as f64;
+                x[i] += d;
+                deltas.push((i, d));
+            }
+            psi.apply_updates(&deltas);
+        }
+        let fresh = inst.weighted_sum(&x);
+        let scale = fresh.max_abs().max(1e-300);
+        for (a, b) in psi.matrix().as_slice().iter().zip(fresh.as_slice()) {
+            assert!((a - b).abs() <= 1e-11 * scale, "seed {seed}: {a} vs {b}");
+        }
+        assert!(psi.matrix().asymmetry() <= 1e-12 * scale);
     }
 }
 
