@@ -4,8 +4,8 @@
 
 use crate::table::{f, Table};
 use psdp_core::{
-    decision_psdp, verify_dual, verify_primal, ConstantsMode, DecisionOptions, EngineKind, Outcome,
-    PackingInstance, UpdateRule,
+    verify_dual, verify_primal, ConstantsMode, DecisionOptions, EngineKind, Outcome,
+    PackingInstance, Solver, UpdateRule,
 };
 use psdp_workloads::{random_factorized, RandomFactorized};
 
@@ -22,7 +22,8 @@ fn instance() -> PackingInstance {
 }
 
 fn run_row(t: &mut Table, label: &str, inst: &PackingInstance, opts: &DecisionOptions) {
-    let res = decision_psdp(inst, opts).expect("solve");
+    let solver = Solver::builder(inst).options(*opts).build().expect("build");
+    let res = solver.session().solve(1.0).expect("solve");
     let (side, value, certified) = match &res.outcome {
         Outcome::Dual(d) => {
             let c = verify_dual(inst, d, 1e-7);

@@ -9,12 +9,13 @@ pub mod parallel;
 pub mod quality;
 pub mod scaling;
 pub mod theory;
+pub mod warmstart;
 pub mod width;
 
 use crate::table::Table;
 
 /// All experiment ids understood by [`run`].
-pub const ALL_IDS: &[&str] = &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+pub const ALL_IDS: &[&str] = &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"];
 
 /// Run one experiment by id and return its table(s).
 ///
@@ -32,6 +33,7 @@ pub fn run(id: &str) -> Vec<Table> {
         "e8" => vec![quality::e8_approximation_quality()],
         "e9" => vec![quality::e9_figure1()],
         "e10" => vec![ablation::e10_engines(), ablation::e10_rules(), ablation::e10_alpha()],
+        "e11" => vec![warmstart::e11_warmstart()],
         other => panic!("unknown experiment id: {other} (known: {ALL_IDS:?})"),
     }
 }

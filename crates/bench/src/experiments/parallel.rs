@@ -6,7 +6,7 @@
 //! configuration does identical numerical work.
 
 use crate::table::{f, Table};
-use psdp_core::{decision_psdp, ConstantsMode, DecisionOptions, EngineKind, PackingInstance};
+use psdp_core::{ConstantsMode, DecisionOptions, EngineKind, PackingInstance, Solver};
 use psdp_parallel::{available_threads, run_with_threads};
 use psdp_workloads::{random_factorized, RandomFactorized};
 use std::time::Instant;
@@ -29,7 +29,8 @@ fn run_once(threads: usize, m: usize, n: usize, iters: usize) -> f64 {
     opts.primal_matrix_dim_limit = 0;
     run_with_threads(threads, move || {
         let t0 = Instant::now();
-        let _ = decision_psdp(&inst, &opts).expect("solve");
+        let solver = Solver::builder(&inst).options(opts).build().expect("build");
+        let _ = solver.session().solve(1.0).expect("solve");
         t0.elapsed().as_secs_f64()
     })
 }

@@ -5,11 +5,18 @@ use crate::table::{f, Table};
 use psdp_baselines::{
     exact_commuting_opt, exact_diagonal_opt, exact_small_opt, young_packing_lp, LpResult,
 };
-use psdp_core::{solve_covering, solve_packing, ApproxOptions, PackingInstance};
+use psdp_core::{solve_covering, ApproxOptions, PackingInstance, PackingReport, Solver};
 use psdp_workloads::{
     beamforming_sdp, commuting_family, diagonal_columns, figure1_instance, random_lp_diagonal,
     Beamforming,
 };
+
+/// Session-based bisection: engine prepared once, brackets warm-started
+/// (`Session::optimize` consults `opts.warm_start`).
+fn optimize(inst: &PackingInstance, opts: &ApproxOptions) -> PackingReport {
+    let solver = Solver::builder(inst).options(opts.decision).build().expect("build");
+    solver.session().optimize(opts).expect("solve")
+}
 
 /// E8: `approxPSDP` vs exact references across instance families.
 pub fn e8_approximation_quality() -> Table {
@@ -25,7 +32,7 @@ pub fn e8_approximation_quality() -> Table {
         let mats = random_lp_diagonal(8, 6, 0.6, seed);
         let inst = PackingInstance::new(mats).expect("valid");
         let exact = exact_diagonal_opt(&inst).expect("simplex");
-        let r = solve_packing(&inst, &opts).expect("solve");
+        let r = optimize(&inst, &opts);
         let ok = r.value_lower <= exact * (1.0 + 1e-9)
             && r.value_upper >= exact * (1.0 - 1e-9)
             && r.value_upper / r.value_lower <= 1.0 + 2.0 * eps;
@@ -47,7 +54,7 @@ pub fn e8_approximation_quality() -> Table {
         let fam = commuting_family(8, 5, 0.3, seed);
         let inst = PackingInstance::new(fam.mats.clone()).expect("valid");
         let exact = exact_commuting_opt(&inst, &fam.u).expect("rotated LP");
-        let r = solve_packing(&inst, &opts).expect("solve");
+        let r = optimize(&inst, &opts);
         let ok = r.value_lower <= exact * (1.0 + 1e-9)
             && r.value_upper >= exact * (1.0 - 1e-9)
             && r.value_upper / r.value_lower <= 1.0 + 2.0 * eps;
@@ -71,7 +78,7 @@ pub fn e8_approximation_quality() -> Table {
         // geometric n=2 method, which handles any pair.
         let inst = PackingInstance::new(fam.mats.clone()).expect("valid");
         let exact = exact_small_opt(&inst).expect("geometric");
-        let r = solve_packing(&inst, &opts).expect("solve");
+        let r = optimize(&inst, &opts);
         let ok = r.value_lower <= exact * (1.0 + 1e-6) && r.value_upper >= exact * (1.0 - 1e-6);
         t.row(vec![
             "pair(n=2)".into(),
@@ -121,7 +128,7 @@ pub fn e9_figure1() -> Table {
     // Axis-aligned subinstance {A1, A2}: a positive LP three ways.
     let fig = figure1_instance();
     let axis = PackingInstance::new(vec![fig[0].clone(), fig[1].clone()]).expect("valid");
-    let r_axis = solve_packing(&axis, &opts).expect("solve");
+    let r_axis = optimize(&axis, &opts);
     let cols = diagonal_columns(&[fig[0].clone(), fig[1].clone()]);
     let lp_exact = match psdp_baselines::packing_lp_opt(&cols) {
         LpResult::Optimal { value, .. } => value,
@@ -150,7 +157,7 @@ pub fn e9_figure1() -> Table {
 
     // Full three-ellipse instance (the genuinely-SDP case).
     let full = PackingInstance::new(fig).expect("valid");
-    let r_full = solve_packing(&full, &opts).expect("solve");
+    let r_full = optimize(&full, &opts);
     // Sanity reference: adding A3 can only shrink the optimum.
     let agree_full = r_full.value_upper <= r_axis.value_upper * (1.0 + 1e-9);
     t.row(vec![

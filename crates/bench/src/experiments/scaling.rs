@@ -3,9 +3,16 @@
 //! iterations should track the bound's shape).
 
 use crate::table::{f, Table};
-use psdp_core::{decision_psdp, DecisionOptions, Outcome, PackingInstance};
+use psdp_core::{DecisionOptions, Outcome, PackingInstance, Solver};
 use psdp_mmw::ours_decision_iterations;
 use psdp_workloads::{random_factorized, RandomFactorized};
+
+/// One strict-constants decision solve through the session API.
+fn strict_solve(inst: &PackingInstance, eps: f64) -> psdp_core::DecisionResult {
+    let solver =
+        Solver::builder(inst).options(DecisionOptions::strict(eps)).build().expect("build");
+    solver.session().solve(1.0).expect("solve")
+}
 
 /// Build a feasible-side instance (OPT ≈ 2–3) so runs exercise the dual
 /// exit, which is the path whose iteration count Theorem 3.1 bounds.
@@ -32,7 +39,7 @@ pub fn e1_iterations_vs_n() -> Table {
     );
     for &n in &[4usize, 8, 16, 32, 64] {
         let inst = instance(n, m, 42);
-        let res = decision_psdp(&inst, &DecisionOptions::strict(eps)).expect("solve");
+        let res = strict_solve(&inst, eps);
         let bound = ours_decision_iterations(n, eps);
         let ln2 = (n as f64).ln().powi(2).max(1e-9);
         let exit = match res.outcome {
@@ -63,7 +70,7 @@ pub fn e2_iterations_vs_eps() -> Table {
     );
     for &eps in &[0.5, 0.4, 0.3, 0.25, 0.2] {
         let inst = instance(n, m, 7);
-        let res = decision_psdp(&inst, &DecisionOptions::strict(eps)).expect("solve");
+        let res = strict_solve(&inst, eps);
         let bound = ours_decision_iterations(n, eps);
         let exit = match res.outcome {
             Outcome::Dual(_) => "dual",

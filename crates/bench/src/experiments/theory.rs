@@ -5,7 +5,7 @@
 //! the bound formulas side by side with our solver's measured iterations.
 
 use crate::table::{f, Table};
-use psdp_core::{decision_psdp, DecisionOptions, PackingInstance};
+use psdp_core::{DecisionOptions, PackingInstance, Solver};
 use psdp_mmw::{jain_yao_iterations, ours_decision_iterations, width_dependent_iterations};
 use psdp_workloads::{random_factorized, RandomFactorized};
 
@@ -25,8 +25,9 @@ pub fn e7_bound_comparison() -> Table {
             seed: 13,
         });
         let inst = PackingInstance::new(mats).expect("valid").scaled(0.4);
-        let measured =
-            decision_psdp(&inst, &DecisionOptions::practical(eps)).expect("solve").stats.iterations;
+        let solver =
+            Solver::builder(&inst).options(DecisionOptions::practical(eps)).build().expect("build");
+        let measured = solver.session().solve(1.0).expect("solve").stats.iterations;
         let ours = ours_decision_iterations(n, eps);
         let jy = jain_yao_iterations(n, n, eps);
         let wd = width_dependent_iterations(8.0, n, eps);

@@ -6,9 +6,16 @@
 
 use crate::table::{f, Table};
 use psdp_baselines::{ak_decision, AkOutcome};
-use psdp_core::{decision_psdp, DecisionOptions, Outcome, PackingInstance};
+use psdp_core::{DecisionOptions, Outcome, PackingInstance, Solver};
 use psdp_mmw::width_dependent_iterations;
 use psdp_workloads::{random_factorized, RandomFactorized};
+
+/// One practical-constants decision solve through the session API.
+fn practical_solve(inst: &PackingInstance, eps: f64) -> psdp_core::DecisionResult {
+    let solver =
+        Solver::builder(inst).options(DecisionOptions::practical(eps)).build().expect("build");
+    solver.session().solve(1.0).expect("solve")
+}
 
 /// Instance with a dialed width: constraint 0 inflated `width×`.
 fn instance(width: f64, seed: u64) -> PackingInstance {
@@ -32,7 +39,7 @@ pub fn e3_width_independence() -> Table {
     );
     for &w in &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
         let inst = instance(w, 11);
-        let ours = decision_psdp(&inst, &DecisionOptions::practical(eps)).expect("ours");
+        let ours = practical_solve(&inst, eps);
         let ours_val = match &ours.outcome {
             Outcome::Dual(d) => d.value,
             Outcome::Primal(p) => 1.0 / p.min_dot.max(1e-12),
@@ -64,8 +71,8 @@ mod tests {
         let eps = 0.3;
         let narrow = instance(1.0, 5);
         let wide = instance(16.0, 5);
-        let ours_n = decision_psdp(&narrow, &DecisionOptions::practical(eps)).unwrap();
-        let ours_w = decision_psdp(&wide, &DecisionOptions::practical(eps)).unwrap();
+        let ours_n = practical_solve(&narrow, eps);
+        let ours_w = practical_solve(&wide, eps);
         let ak_n = ak_decision(&narrow, eps, usize::MAX).unwrap();
         let ak_w = ak_decision(&wide, eps, usize::MAX).unwrap();
         // Baseline schedule must grow ~linearly with width…

@@ -6,6 +6,10 @@
 
 use std::collections::BTreeMap;
 
+/// Flags that take no value (presence = `true`). Everything else is
+/// `--key value`.
+const VALUELESS: &[&str] = &["json"];
+
 /// Parsed command line: positionals in order plus `--key value` flags.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
@@ -23,6 +27,10 @@ impl Args {
         let mut it = raw.iter();
         while let Some(tok) = it.next() {
             if let Some(key) = tok.strip_prefix("--") {
+                if VALUELESS.contains(&key) {
+                    out.flags.insert(key.to_string(), "true".to_string());
+                    continue;
+                }
                 let val = it.next().ok_or_else(|| format!("flag --{key} needs a value"))?;
                 out.flags.insert(key.to_string(), val.clone());
             } else {
@@ -30,6 +38,11 @@ impl Args {
             }
         }
         Ok(out)
+    }
+
+    /// Presence of a valueless flag like `--json`.
+    pub fn bool_flag(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
     }
 
     /// Positional argument `i`, if present.
@@ -103,6 +116,16 @@ mod tests {
     fn bad_typed_value_is_error() {
         let a = parse(&["--eps", "banana"]);
         assert!(a.flag("eps", 0.1).is_err());
+    }
+
+    #[test]
+    fn valueless_json_flag() {
+        let a = parse(&["solve", "f.psdp", "--json", "--eps", "0.2"]);
+        assert!(a.bool_flag("json"));
+        assert_eq!(a.flag("eps", 0.1).unwrap(), 0.2);
+        assert_eq!(a.pos(1), Some("f.psdp"));
+        let a = parse(&["optimize", "f.psdp"]);
+        assert!(!a.bool_flag("json"));
     }
 
     #[test]

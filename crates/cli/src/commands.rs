@@ -6,8 +6,8 @@
 
 use crate::args::Args;
 use psdp_core::{
-    decision_psdp, read_instance, solve_packing, verify_dual, verify_primal, write_instance,
-    ApproxOptions, ConstantsMode, DecisionOptions, EngineKind, Outcome, PackingInstance,
+    read_instance, verify_dual, verify_primal, write_instance, ApproxOptions, ConstantsMode,
+    DecisionOptions, EngineKind, Outcome, PackingInstance, Solver,
 };
 use psdp_workloads::{
     edge_packing, figure1_instance, gnp, random_factorized, random_lp_diagonal,
@@ -21,11 +21,15 @@ psdp — width-independent positive SDP solver (Peng–Tangwongsan–Zhang, SPAA
 USAGE:
   psdp generate --family <random|lp|graph|stars|figure1> [--dim N] [--n N] [--seed S] [--width W] --out FILE
   psdp info FILE
-  psdp solve FILE [--eps E] [--engine auto|exact|taylor|jl] [--mode practical|strict] [--seed S]
-  psdp optimize FILE [--eps E]
+  psdp solve FILE [--eps E] [--engine auto|exact|taylor|jl] [--mode practical|strict] [--seed S] [--json]
+  psdp optimize FILE [--eps E] [--warm on|off] [--json]
 
 The `auto` engine picks exact vs sketched-Taylor from the instance's
 storage profile (total nonzeros vs m²); `psdp solve` reports which one ran.
+`optimize` runs one prepared solver Session across all bisection brackets
+(engine built once, warm-started trajectory replay unless `--warm off`).
+`--json` emits the outcome, certificate values, and per-bracket SolveStats
+for machine consumption.
 ";
 
 /// Build the engine from its CLI name.
@@ -115,12 +119,63 @@ pub fn info(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// Minimal JSON string escaping (our strings are ASCII identifiers and
+/// paths, but stay correct on quotes/backslashes/control bytes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite floats print as-is; NaN/inf become `null` (JSON has no literals
+/// for them).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// One `SolveStats` as a JSON object (the per-bracket machine-readable
+/// telemetry `--json` emits).
+fn json_stats(s: &psdp_core::SolveStats) -> String {
+    format!(
+        "{{\"threshold\":{},\"iterations\":{},\"engine_evals\":{},\"replayed\":{},\"warm_started\":{},\"exit\":{},\"engine\":{},\"final_norm1\":{},\"k_threshold\":{},\"kappa_max\":{},\"avg_selected\":{},\"psi_rebuilds\":{},\"psi_max_drift\":{},\"wall_ms\":{}}}",
+        json_f64(s.threshold),
+        s.iterations,
+        s.engine_evals,
+        s.replayed,
+        s.warm_started,
+        json_str(&format!("{:?}", s.exit)),
+        json_str(s.engine),
+        json_f64(s.final_norm1),
+        json_f64(s.k_threshold),
+        json_f64(s.kappa_max),
+        json_f64(s.avg_selected),
+        s.psi_rebuilds,
+        json_f64(s.psi_max_drift),
+        json_f64(s.wall.as_secs_f64() * 1e3),
+    )
+}
+
 /// `psdp solve` — run the ε-decision procedure and print the certificate.
 ///
 /// # Errors
 /// IO/parse/solver errors as printable messages.
 pub fn solve(args: &Args) -> Result<String, String> {
-    args.ensure_known(&["eps", "engine", "mode", "seed"])?;
+    args.ensure_known(&["eps", "engine", "mode", "seed", "json"])?;
     let path = args.pos(1).ok_or("solve: missing FILE")?;
     let inst = load(path)?;
     let eps: f64 = args.flag("eps", 0.1)?;
@@ -134,7 +189,46 @@ pub fn solve(args: &Args) -> Result<String, String> {
     let mut opts = DecisionOptions::practical(eps).with_engine(engine).with_seed(seed);
     opts.mode = mode;
 
-    let res = decision_psdp(&inst, &opts).map_err(|e| e.to_string())?;
+    let solver = Solver::builder(&inst).options(opts).build().map_err(|e| e.to_string())?;
+    let mut session = solver.session();
+    let res = session.solve(1.0).map_err(|e| e.to_string())?;
+
+    if args.bool_flag("json") {
+        let (side, cert) = match &res.outcome {
+            Outcome::Dual(d) => {
+                let c = verify_dual(&inst, d, 1e-8);
+                (
+                    "dual",
+                    format!(
+                        "{{\"value\":{},\"lambda_max\":{},\"feasible\":{}}}",
+                        json_f64(d.value),
+                        json_f64(c.lambda_max),
+                        c.feasible
+                    ),
+                )
+            }
+            Outcome::Primal(p) => {
+                let c = verify_primal(&inst, p, 1e-5);
+                (
+                    "primal",
+                    format!(
+                        "{{\"min_dot\":{},\"rounds_averaged\":{},\"feasible\":{}}}",
+                        json_f64(p.min_dot),
+                        p.rounds_averaged,
+                        c.feasible
+                    ),
+                )
+            }
+        };
+        return Ok(format!(
+            "{{\"command\":\"solve\",\"file\":{},\"outcome\":{},\"certificate\":{},\"stats\":{}}}\n",
+            json_str(path),
+            json_str(side),
+            cert,
+            json_stats(&res.stats),
+        ));
+    }
+
     let mut out = String::new();
     out.push_str(&format!(
         "iterations {}  (cap {})  exit {:?}  engine {}\n",
@@ -159,24 +253,77 @@ pub fn solve(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-/// `psdp optimize` — run approxPSDP and print the certified bracket.
+/// `psdp optimize` — run the session-based bisection and print the
+/// certified bracket (with per-bracket warm-start telemetry).
 ///
 /// # Errors
 /// IO/parse/solver errors as printable messages.
 pub fn optimize(args: &Args) -> Result<String, String> {
-    args.ensure_known(&["eps"])?;
+    args.ensure_known(&["eps", "warm", "json"])?;
     let path = args.pos(1).ok_or("optimize: missing FILE")?;
     let inst = load(path)?;
     let eps: f64 = args.flag("eps", 0.1)?;
-    let r = solve_packing(&inst, &ApproxOptions::practical(eps)).map_err(|e| e.to_string())?;
+    let warm = match args.str_flag("warm", "on").as_str() {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("unknown --warm value `{other}` (on|off)")),
+    };
+    let mut approx = ApproxOptions::practical(eps);
+    approx.warm_start = warm;
+
+    let solver =
+        Solver::builder(&inst).options(approx.decision).build().map_err(|e| e.to_string())?;
+    let mut session = solver.session();
+    let r = session.optimize(&approx).map_err(|e| e.to_string())?;
+
+    if args.bool_flag("json") {
+        let dual = match &r.best_dual {
+            Some(d) => {
+                let c = verify_dual(&inst, d, 1e-8);
+                format!("{{\"value\":{},\"feasible\":{}}}", json_f64(d.value), c.feasible)
+            }
+            None => "null".to_string(),
+        };
+        let brackets: Vec<String> = r
+            .brackets
+            .iter()
+            .zip(&r.call_stats)
+            .map(|(b, s)| {
+                format!(
+                    "{{\"sigma\":{},\"dual_side\":{},\"lo\":{},\"hi\":{},\"stats\":{}}}",
+                    json_f64(b.sigma),
+                    b.dual_side,
+                    json_f64(b.lo),
+                    json_f64(b.hi),
+                    json_stats(s),
+                )
+            })
+            .collect();
+        return Ok(format!(
+            "{{\"command\":\"optimize\",\"file\":{},\"value_lower\":{},\"value_upper\":{},\"converged\":{},\"decision_calls\":{},\"total_iterations\":{},\"engine_evals\":{},\"replayed\":{},\"best_dual\":{},\"brackets\":[{}]}}\n",
+            json_str(path),
+            json_f64(r.value_lower),
+            json_f64(r.value_upper),
+            r.converged,
+            r.decision_calls,
+            r.total_iterations,
+            r.total_engine_evals,
+            r.total_replayed,
+            dual,
+            brackets.join(","),
+        ));
+    }
+
     let mut out = String::new();
     out.push_str(&format!(
-        "packing OPT ∈ [{:.6}, {:.6}]   ratio {:.4}   ({} decision calls, {} total iterations, converged: {})\n",
+        "packing OPT ∈ [{:.6}, {:.6}]   ratio {:.4}   ({} decision calls, {} total iterations, {} engine evals, {} replayed, converged: {})\n",
         r.value_lower,
         r.value_upper,
         r.value_upper / r.value_lower,
         r.decision_calls,
         r.total_iterations,
+        r.total_engine_evals,
+        r.total_replayed,
         r.converged
     ));
     if let Some(d) = &r.best_dual {
@@ -285,6 +432,46 @@ mod tests {
         let out = run(&["solve", p, "--eps", "0.2", "--engine", "auto"]).unwrap();
         assert!(out.contains("engine exact"), "{out}");
         assert!(out.contains("verified feasible: true") || out.contains("verified: true"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn json_output_solve_and_optimize() {
+        let dir = std::env::temp_dir().join("psdp-cli-json");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inst.psdp");
+        let p = path.to_str().unwrap();
+        run(&["generate", "--family", "lp", "--dim", "5", "--n", "4", "--out", p]).unwrap();
+
+        let out = run(&["solve", p, "--eps", "0.2", "--json"]).unwrap();
+        assert!(out.starts_with("{\"command\":\"solve\""), "{out}");
+        assert!(out.contains("\"outcome\":"), "{out}");
+        assert!(out.contains("\"certificate\":"), "{out}");
+        assert!(out.contains("\"engine_evals\":"), "{out}");
+        assert!(out.trim_end().ends_with('}'), "{out}");
+
+        let out = run(&["optimize", p, "--eps", "0.15", "--json"]).unwrap();
+        assert!(out.starts_with("{\"command\":\"optimize\""), "{out}");
+        assert!(out.contains("\"brackets\":["), "{out}");
+        assert!(out.contains("\"value_lower\":"), "{out}");
+        assert!(out.contains("\"replayed\":"), "{out}");
+        assert!(out.contains("\"converged\":true"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn optimize_warm_toggle_same_bracket() {
+        let dir = std::env::temp_dir().join("psdp-cli-warm");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inst.psdp");
+        let p = path.to_str().unwrap();
+        run(&["generate", "--family", "lp", "--dim", "5", "--n", "4", "--out", p]).unwrap();
+        // Warm replay is result-neutral: identical printed brackets.
+        let warm = run(&["optimize", p, "--eps", "0.15", "--warm", "on"]).unwrap();
+        let cold = run(&["optimize", p, "--eps", "0.15", "--warm", "off"]).unwrap();
+        let line = |s: &str| s.lines().next().unwrap().split("   ").next().unwrap().to_string();
+        assert_eq!(line(&warm), line(&cold), "warm: {warm}\ncold: {cold}");
+        assert!(run(&["optimize", p, "--warm", "sideways"]).is_err());
         std::fs::remove_file(&path).ok();
     }
 

@@ -17,14 +17,20 @@
 //! bound); a primal outcome yields a covering witness establishing
 //! `OPT ≤ σ/min_dot` (new upper bound). Estimate-based initial brackets are
 //! therefore self-correcting.
+//!
+//! The bisection itself is implemented by
+//! [`crate::solver::Session::optimize`], which prepares the engine once and
+//! warm-starts brackets from the shared trajectory prefix (see
+//! `crate::solver`); [`solve_packing`] and [`solve_covering`] are kept as
+//! one-shot convenience wrappers over that API.
 
-use crate::decision::decision_psdp;
 use crate::error::PsdpError;
 use crate::instance::{PackingInstance, PositiveSdp};
 use crate::normalize::{normalize, Normalized};
 use crate::options::DecisionOptions;
-use crate::solution::{DualSolution, Outcome, PrimalSolution};
-use crate::stats::SolveStats;
+use crate::solution::{DualSolution, PrimalSolution};
+use crate::solver::Solver;
+use crate::stats::{BracketStats, SolveStats};
 use psdp_linalg::Mat;
 
 /// Configuration for the optimizer.
@@ -37,12 +43,33 @@ pub struct ApproxOptions {
     pub decision: DecisionOptions,
     /// Cap on decision calls.
     pub max_calls: usize,
+    /// Reuse the session's trajectory cache across brackets (bitwise
+    /// result-neutral; see `crate::solver`). Replay only engages when the
+    /// dense primal matrix is not being accumulated — set
+    /// [`DecisionOptions::primal_matrix_dim_limit`] to 0 to maximize reuse
+    /// when only values and dual certificates are needed.
+    pub warm_start: bool,
 }
 
 impl ApproxOptions {
     /// Default practical configuration at accuracy `eps`.
     pub fn practical(eps: f64) -> Self {
-        ApproxOptions { eps, decision: DecisionOptions::practical(eps / 4.0), max_calls: 60 }
+        ApproxOptions {
+            eps,
+            decision: DecisionOptions::practical(eps / 4.0),
+            max_calls: 60,
+            warm_start: true,
+        }
+    }
+
+    /// Serving configuration: like [`ApproxOptions::practical`] but with
+    /// dense-`Y` accumulation disabled so cross-bracket trajectory replay
+    /// is fully effective (experiment E11's configuration). Use when only
+    /// the value bracket and the dual certificate are needed.
+    pub fn serving(eps: f64) -> Self {
+        let mut o = ApproxOptions::practical(eps);
+        o.decision.primal_matrix_dim_limit = 0;
+        o
     }
 }
 
@@ -67,8 +94,21 @@ pub struct PackingReport {
     /// Largest number of constraints trace-pruned (Lemma 2.2) in any single
     /// decision call (0 = pruning never triggered).
     pub pruned_max: usize,
-    /// Per-call solver stats.
+    /// Per-call solver stats (the *accepted* solve of each bracket;
+    /// discarded warm/escalation attempts contribute to
+    /// [`PackingReport::total_iterations`], [`PackingReport::total_engine_evals`],
+    /// and the per-bracket [`BracketStats`] totals instead).
     pub call_stats: Vec<SolveStats>,
+    /// Per-bracket breakdown: the tested `σ`, certified side, bracket after
+    /// the move, and the warm-start savings of each call.
+    pub brackets: Vec<BracketStats>,
+    /// Total live engine evaluations across all solves, **including**
+    /// discarded warm attempts and certificate-seeking escalations.
+    pub total_engine_evals: usize,
+    /// Total rounds replayed from the warm-start cache across all solves
+    /// (replayed rounds skip the engine evaluation; results are bitwise
+    /// unchanged).
+    pub total_replayed: usize,
 }
 
 impl PackingReport {
@@ -79,6 +119,10 @@ impl PackingReport {
 }
 
 /// Optimize a normalized packing instance to `(1+ε)` relative accuracy.
+///
+/// One-shot convenience over [`crate::Solver`] / [`crate::Session`]: the
+/// engine is constructed exactly once and every bracket of the bisection
+/// reuses it (plus the warm-start trajectory cache when enabled).
 ///
 /// ```
 /// use psdp_core::{solve_packing, ApproxOptions, PackingInstance};
@@ -103,123 +147,10 @@ pub fn solve_packing(
     inst: &PackingInstance,
     opts: &ApproxOptions,
 ) -> Result<PackingReport, PsdpError> {
-    if !(opts.eps > 0.0 && opts.eps < 1.0) {
-        return Err(PsdpError::InvalidInstance(format!("eps {} not in (0,1)", opts.eps)));
-    }
-    opts.decision.validate()?;
-
-    // Structural bracket from λmax estimates (self-correcting later).
-    let caps: Vec<f64> = inst.mats().iter().map(|a| 1.0 / a.lambda_max_est().max(1e-300)).collect();
-    let mut lo = caps.iter().fold(0.0_f64, |m, &v| m.max(v)) * 0.5;
-    let mut hi = caps.iter().sum::<f64>() * 2.0;
-    if lo.is_nan() || lo <= 0.0 || !hi.is_finite() {
-        return Err(PsdpError::InvalidInstance("degenerate λmax estimates".into()));
-    }
-
-    let mut best_dual: Option<DualSolution> = None;
-    let mut upper_witness: Option<(f64, PrimalSolution)> = None;
-    let mut call_stats = Vec::new();
-    let mut total_iterations = 0;
-    let mut calls = 0;
-
-    let mut pruned_max = 0usize;
-    while hi > lo * (1.0 + opts.eps) && calls < opts.max_calls {
-        calls += 1;
-        let sigma = (lo * hi).sqrt();
-        let scaled = inst.scaled(sigma);
-        // Lemma 2.2 trace pruning with the certified cutoff max(n³, 2nm/ε):
-        // at threshold 1 any feasible x has xᵢ ≤ m/Tr(Aᵢ'), so dropped
-        // coordinates carry ≤ ε/2 total mass (see `trace_prune_with`).
-        let n_f = inst.n() as f64;
-        let cutoff = (n_f * n_f * n_f).max(2.0 * n_f * inst.dim() as f64 / opts.eps);
-        let (keep, dropped) = crate::normalize::trace_prune_with(&scaled, cutoff);
-        pruned_max = pruned_max.max(dropped.len());
-        let (work_inst, keep_map): (PackingInstance, Option<Vec<usize>>) =
-            if dropped.is_empty() || keep.is_empty() {
-                // No pruning, or nothing would remain (fall back to the full
-                // instance rather than reason about an empty program).
-                (scaled, None)
-            } else {
-                (scaled.restrict(&keep)?, Some(keep))
-            };
-        let res = decision_psdp(&work_inst, &opts.decision)?;
-        total_iterations += res.stats.iterations;
-        call_stats.push(res.stats);
-        match res.outcome {
-            Outcome::Dual(d) => {
-                // x' feasible for σAᵢ  ⇒  x = σx' feasible for Aᵢ. Expand
-                // pruned coordinates back as zeros.
-                let x_work: Vec<f64> = d.x.iter().map(|v| v * sigma).collect();
-                let x: Vec<f64> = match &keep_map {
-                    None => x_work,
-                    Some(keep) => {
-                        let mut full = vec![0.0; inst.n()];
-                        for (&idx, &v) in keep.iter().zip(&x_work) {
-                            full[idx] = v;
-                        }
-                        full
-                    }
-                };
-                let value = sigma * d.value;
-                if value > lo {
-                    lo = value;
-                } else {
-                    // Degenerate progress (very weak dual): still move the
-                    // bracket a little to guarantee termination.
-                    lo = (lo * sigma).sqrt().max(lo);
-                }
-                if best_dual.as_ref().is_none_or(|b| value > b.value) {
-                    best_dual =
-                        Some(DualSolution { x, value, feasibility_scale: d.feasibility_scale });
-                }
-            }
-            Outcome::Primal(p) => {
-                let margin = p.min_dot.max(1e-12);
-                // Pruned coordinates are *dual variables*; removing them can
-                // only lower the packing optimum, so the restricted covering
-                // witness under-covers the full instance. Certified repair:
-                // any feasible x of the scaled instance has
-                // xᵢ ≤ m/Tr(Aᵢ') (since xᵢTr(Aᵢ') ≤ Tr(ΣxⱼAⱼ') ≤ m·λmax ≤ m),
-                // so the dropped coordinates contribute at most
-                // Σ_dropped m/Tr(Aᵢ') ≤ |dropped|·m/n³ to the scaled value.
-                let dropped_slack: f64 = if keep_map.is_some() {
-                    dropped
-                        .iter()
-                        .map(|&i| inst.dim() as f64 / (sigma * inst.mats()[i].trace()).max(1e-300))
-                        .sum()
-                } else {
-                    0.0
-                };
-                let new_hi = sigma * (1.0 / margin + dropped_slack);
-                if new_hi < hi {
-                    hi = new_hi;
-                } else {
-                    hi = (hi * sigma).sqrt().min(hi);
-                }
-                upper_witness = Some((sigma, p));
-            }
-        }
-        if lo > hi {
-            // Certified bounds crossed: numerical noise at convergence;
-            // collapse the bracket.
-            let mid = (lo * hi).sqrt();
-            lo = mid;
-            hi = mid;
-            break;
-        }
-    }
-
-    Ok(PackingReport {
-        value_lower: lo,
-        value_upper: hi,
-        best_dual,
-        upper_witness,
-        decision_calls: calls,
-        total_iterations,
-        converged: hi <= lo * (1.0 + opts.eps) * (1.0 + 1e-12),
-        pruned_max,
-        call_stats,
-    })
+    let solver = Solver::builder(inst).options(opts.decision).build()?;
+    // `optimize` consults `opts.warm_start` itself; a fresh session's own
+    // flag defaults to on.
+    solver.session().optimize(opts)
 }
 
 /// Result of optimizing a general covering positive SDP (1.1).
@@ -337,8 +268,13 @@ mod tests {
         let d = r.best_dual.as_ref().expect("dual");
         let cert = crate::verify::verify_dual(&inst, d, 1e-8);
         assert!(cert.feasible, "λmax {}", cert.lambda_max);
-        assert!((cert.value - r.value_lower).abs() < 1e-9 || cert.value <= r.value_lower + 1e-9);
+        // The feasible dual certifies the reported lower bound (its value
+        // is at least value_lower; quantized bracket moves may report a
+        // slightly smaller — still certified — bound than the witness).
+        assert!(cert.value >= r.value_lower - 1e-9, "{} < {}", cert.value, r.value_lower);
         assert!(r.decision_calls <= 60);
+        // Per-bracket breakdown covers every decision call.
+        assert_eq!(r.brackets.len(), r.decision_calls);
     }
 
     /// Covering wrapper on a diagonal SDP with a known optimum.
@@ -358,12 +294,15 @@ mod tests {
             r.value_lower,
             r.value_upper
         );
-        // The primal witness, if materialized, must be covering-feasible.
+        // The primal witness, if materialized, must be covering-feasible
+        // and certify a bound inside the reported bracket (the witness may
+        // be tighter than the quantized value_upper, never looser).
         if let Some(y) = &r.y {
             let ay = sdp.constraints[0].dot_dense(y);
             assert!(ay >= 2.0 * (1.0 - 1e-6), "A•Y = {ay}");
             let cy = sdp.objective.dot_dense(y);
-            assert!((cy - r.value_upper).abs() < 1e-6 * cy.max(1.0));
+            assert!(cy <= r.value_upper * (1.0 + 1e-6), "C•Y = {cy} > {}", r.value_upper);
+            assert!(cy >= r.value_lower * (1.0 - 1e-6), "C•Y = {cy} < {}", r.value_lower);
         }
         // Dual multipliers feasible: Σ λᵢAᵢ ⪯ C elementwise on the diagonal,
         // i.e. λ₀·1 ≤ C_jj for both j; the binding coordinate is min_j C_jj = 1.
@@ -403,5 +342,30 @@ mod tests {
         // And the returned dual keeps it at (near) zero.
         let d = r.best_dual.unwrap();
         assert!(d.x[2] <= 1.0 / huge * 2.0);
+    }
+
+    /// `ApproxOptions::warm_start = false` must actually disable warm
+    /// starts, even on a fresh session whose own flag defaults to on.
+    #[test]
+    fn warm_start_option_is_respected() {
+        let inst = PackingInstance::new(vec![diag(&[2.0, 0.0]), diag(&[0.0, 4.0])]).unwrap();
+        let mut o = ApproxOptions::serving(0.1);
+        o.warm_start = false;
+        let r = solve_packing(&inst, &o).unwrap();
+        assert!(r.call_stats.iter().all(|s| !s.warm_started), "a bracket warm-started");
+        assert_eq!(r.total_replayed, 0);
+    }
+
+    /// The serving preset disables dense-Y accumulation, maximizing replay,
+    /// and returns the same certified bracket as the practical preset.
+    #[test]
+    fn serving_matches_practical_bracket() {
+        let inst = PackingInstance::new(vec![diag(&[2.0, 0.0]), diag(&[0.0, 4.0])]).unwrap();
+        let a = solve_packing(&inst, &ApproxOptions::practical(0.1)).unwrap();
+        let b = solve_packing(&inst, &ApproxOptions::serving(0.1)).unwrap();
+        assert_eq!(a.value_lower.to_bits(), b.value_lower.to_bits());
+        assert_eq!(a.value_upper.to_bits(), b.value_upper.to_bits());
+        assert_eq!(a.decision_calls, b.decision_calls);
+        assert!(b.call_stats.iter().any(|s| s.warm_started), "serving preset never warm-started");
     }
 }

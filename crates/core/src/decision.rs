@@ -22,41 +22,36 @@
 //! else:        return Y = avg_τ W(τ)/Tr W(τ) as primal
 //! ```
 //!
-//! ## Notes on the implementation
+//! ## Where the implementation lives
+//!
+//! The iterate loop itself is implemented by [`crate::solver::Session`]
+//! (see `crate::solver` for the Solver/Session/Observer architecture and
+//! the warm-start trajectory cache); this module keeps the classic
+//! one-shot entry point [`decision_psdp`] as a **convenience wrapper**
+//! that prepares a [`crate::Solver`], opens a session, and answers the
+//! threshold-1 question. Implementation notes that still apply verbatim:
 //!
 //! * `Ψ(t) = Σ xᵢ(t)Aᵢ` is maintained **incrementally** through
 //!   [`crate::psi::PsiMaintainer`]: each round scatter-adds only the
-//!   selected coordinates' scaled constraints (work proportional to their
-//!   storage nonzeros — `O(1)` per rank-1 Laplacian factor). A
-//!   from-scratch `Σᵢ xᵢAᵢ` happens only at the drift-check cadence
-//!   ([`DecisionOptions::psi_rebuild_period`], default every 64 rounds),
-//!   so its `Θ(n·m²)` cost is amortized to a `1/period` fraction per
-//!   iteration rather than paid every round.
+//!   selected coordinates' scaled constraints. A from-scratch `Σᵢ xᵢAᵢ`
+//!   happens only at the drift-check cadence
+//!   ([`DecisionOptions::psi_rebuild_period`], default every 64 rounds).
 //! * [`psdp_expdot::EngineKind::Auto`] resolves against the instance's
 //!   storage profile at engine construction; the *resolved* engine name is
-//!   what [`SolveStats::engine`] reports.
+//!   what [`crate::SolveStats::engine`] reports.
 //! * **Empty `B(t)`**: every constraint has `P•Aᵢ > 1+ε`, so the *current*
-//!   `P` is already a feasible primal (`Tr P = 1`, `Aᵢ•P > 1+ε ≥ 1`). With
-//!   exact arithmetic the paper's loop would idle until `R` and return an
-//!   average whose tail is this same `P`; returning it immediately is
-//!   equivalent and we do so (exit reason [`ExitReason::EmptyEligibleSet`]).
-//! * **Certified dual scaling**: in strict mode the dual is scaled by the
-//!   paper's `(1+10ε)K` (sound by Lemma 3.2). In practical mode (boosted α,
-//!   where Lemma 3.2's induction need not apply) the returned dual is scaled
-//!   by the *measured* `λmax(Σ xᵢAᵢ)`, so feasibility is certified
-//!   unconditionally.
+//!   `P` is already a feasible primal and is returned immediately (exit
+//!   reason [`crate::ExitReason::EmptyEligibleSet`]).
+//! * **Certified dual scaling**: strict mode scales by the paper's
+//!   `(1+10ε)K` (Lemma 3.2); practical mode scales by the *measured*
+//!   `λmax(Σ xᵢAᵢ)`, certifying feasibility unconditionally.
 
 use crate::error::PsdpError;
 use crate::instance::PackingInstance;
-use crate::options::{ConstantsMode, DecisionOptions, UpdateRule};
-use crate::psi::PsiMaintainer;
-use crate::solution::{DualSolution, ExitReason, Outcome, PrimalSolution};
+use crate::options::DecisionOptions;
+use crate::solution::Outcome;
+use crate::solver::Solver;
 use crate::stats::SolveStats;
-use psdp_expdot::{Engine, ExpDots};
-use psdp_linalg::{lambda_max_upper_bound, sym_eigen, vecops, Mat};
-use psdp_mmw::paper_constants;
-use psdp_parallel::Cost;
-use std::time::Instant;
 
 /// Outcome + telemetry of one decision run.
 #[derive(Debug, Clone)]
@@ -68,6 +63,12 @@ pub struct DecisionResult {
 }
 
 /// Run Algorithm 3.1 on a normalized packing instance.
+///
+/// This is a one-shot convenience over the session API — it builds a
+/// [`crate::Solver`] (engine construction and all) for a single threshold-1
+/// solve. Callers making several solves on the same instance (bisection,
+/// serving) should hold a [`crate::Solver`] and reuse a
+/// [`crate::Session`] instead.
 ///
 /// ```
 /// use psdp_core::{decision_psdp, DecisionOptions, Outcome, PackingInstance};
@@ -110,267 +111,17 @@ pub fn decision_psdp(
     inst: &PackingInstance,
     opts: &DecisionOptions,
 ) -> Result<DecisionResult, PsdpError> {
-    opts.validate()?;
-    let start = Instant::now();
-    let n = inst.n();
-    let m = inst.dim();
-    let eps = opts.eps;
-
-    let pc = paper_constants(n, eps);
-    let (k_threshold, alpha, cap) = match opts.mode {
-        ConstantsMode::PaperStrict => (pc.k_threshold, pc.alpha, pc.r_cap.ceil() as usize),
-        ConstantsMode::Practical { alpha_boost, max_iters } => {
-            (pc.k_threshold, pc.alpha * alpha_boost, max_iters)
-        }
-    };
-    // Lemma 3.2 spectral bound, used to cap the κ passed to the engines in
-    // strict mode (where the induction guarantees it holds).
-    let lemma_bound = (1.0 + 10.0 * eps) * k_threshold;
-
-    // x⁰ᵢ = 1/(n · Tr Aᵢ)  (Claim 3.3: Σ xᵢ⁰Aᵢ ⪯ I).
-    let traces: Vec<f64> = inst.mats().iter().map(|a| a.trace()).collect();
-    let mut x: Vec<f64> = traces.iter().map(|t| 1.0 / (n as f64 * t)).collect();
-    let mut psi = PsiMaintainer::new(inst, &x, opts.psi_rebuild_period);
-
-    // `EngineKind::Auto` resolves against the storage profile here; all
-    // later decisions (primal accumulation, telemetry) use the resolved
-    // kind, not the requested one.
-    let engine = Engine::new(opts.engine, inst.mats(), opts.seed)?;
-    let engine_kind = engine.kind();
-    let accumulate_y = opts.primal_matrix_dim_limit > 0
-        && m <= opts.primal_matrix_dim_limit
-        && !matches!(engine_kind, psdp_expdot::EngineKind::TaylorJl { .. });
-    let mut y_acc: Option<Mat> = accumulate_y.then(|| Mat::zeros(m, m));
-
-    // Running sums of P(τ)•Aᵢ for the averaged primal.
-    let mut dot_sums = vec![0.0_f64; n];
-    let mut rounds_accumulated = 0usize;
-
-    let mut cost_total = Cost::ZERO;
-    let mut selected_total = 0usize;
-    let mut kappa_max = 0.0_f64;
-    let mut exit = ExitReason::IterationCap;
-    let sample_every = (cap / 200).max(1);
-    let mut trajectory: Vec<(usize, f64)> = Vec::new();
-
-    // State for the Stale update rule.
-    let mut cached: Option<ExpDots> = None;
-
-    let mut t = 0usize;
-    let mut empty_b_snapshot: Option<(Vec<f64>, Option<Mat>)> = None;
-
-    // The paper's while-loop guards on ‖x‖₁ ≤ K *before* the first
-    // iteration: if the starting point already crosses K (possible when
-    // traces are ≪ 1, making x⁰ large), it is returned as the dual answer
-    // directly — Ψ⁰ ⪯ I (Claim 3.3) makes the scaled x⁰ feasible.
-    if vecops::sum(&x) > k_threshold {
-        exit = ExitReason::DualNormCrossed;
-    }
-
-    while t < cap && exit != ExitReason::DualNormCrossed {
-        t += 1;
-
-        // κ for the Taylor degree: certified Gershgorin/Frobenius bound,
-        // additionally clamped by the Lemma 3.2 bound in strict mode.
-        let mut kappa = lambda_max_upper_bound(psi.matrix());
-        if matches!(opts.mode, ConstantsMode::PaperStrict) {
-            kappa = kappa.min(lemma_bound * 1.01);
-        }
-        kappa_max = kappa_max.max(kappa);
-
-        // Engine evaluation (possibly reused under the Stale rule).
-        let refresh = match opts.rule {
-            UpdateRule::Stale { period } => (t - 1).is_multiple_of(period) || cached.is_none(),
-            _ => true,
-        };
-        if refresh {
-            let dots = if accumulate_y {
-                engine.compute_dense(psi.matrix(), kappa, inst.mats(), t as u64)?
-            } else {
-                engine.compute(psi.matrix(), kappa, inst.mats(), t as u64)?
-            };
-            cost_total = cost_total + dots.cost;
-            cached = Some(dots);
-        }
-        let dots = cached.as_ref().expect("engine output present");
-
-        // Ratios P(t) • Aᵢ = (W•Aᵢ)/Tr W.
-        let inv_tr = 1.0 / dots.tr_w;
-        let ratios: Vec<f64> = dots.dots.iter().map(|d| d * inv_tr).collect();
-
-        // Primal averaging uses the *current* P (i.e. x^{t-1}); only when
-        // the engine output is fresh (stale reuse would double-count one P).
-        if refresh {
-            for (s, &r) in dot_sums.iter_mut().zip(&ratios) {
-                *s += r;
-            }
-            if let (Some(acc), Some(p)) = (y_acc.as_mut(), dots.dense_p.as_ref()) {
-                acc.axpy(1.0, p);
-            }
-            rounds_accumulated += 1;
-        }
-
-        // Eligible set B(t) and per-coordinate steps.
-        let steps = select_steps(&ratios, eps, alpha, opts.rule);
-        let selected = steps.iter().filter(|&&s| s > 0.0).count();
-        if selected == 0 {
-            // Every constraint already has P•Aᵢ > 1+ε: the current P is a
-            // feasible primal. Snapshot it and exit.
-            empty_b_snapshot = Some((ratios.clone(), dots.dense_p.clone()));
-            exit = ExitReason::EmptyEligibleSet;
-            break;
-        }
-        selected_total += selected;
-
-        // x ← x + δ, Ψ ← Ψ + Σ δᵢAᵢ (incremental scatter-adds over the
-        // selected coordinates only; periodic drift-checked rebuild).
-        let mut deltas: Vec<(usize, f64)> = Vec::with_capacity(selected);
-        for (i, &step) in steps.iter().enumerate() {
-            if step > 0.0 {
-                let delta = step * x[i];
-                x[i] += delta;
-                deltas.push((i, delta));
-            }
-        }
-        psi.apply_updates(&deltas);
-        psi.maybe_rebuild(&x);
-
-        let norm1 = vecops::sum(&x);
-        if t.is_multiple_of(sample_every) {
-            trajectory.push((t, norm1));
-        }
-        if norm1 > k_threshold {
-            exit = ExitReason::DualNormCrossed;
-            break;
-        }
-        if opts.early_exit && rounds_accumulated > 0 {
-            let min_avg = dot_sums
-                .iter()
-                .fold(f64::INFINITY, |acc, &s| acc.min(s / rounds_accumulated as f64));
-            if min_avg >= 1.0 {
-                exit = ExitReason::PrimalEarly;
-                break;
-            }
-        }
-    }
-
-    let final_norm1 = vecops::sum(&x);
-    let outcome = match exit {
-        ExitReason::DualNormCrossed => {
-            Outcome::Dual(build_dual(&x, psi.matrix(), eps, k_threshold, opts.mode)?)
-        }
-        ExitReason::EmptyEligibleSet => {
-            let (ratios, p) = empty_b_snapshot.expect("snapshot recorded");
-            let min_dot = ratios.iter().copied().fold(f64::INFINITY, f64::min);
-            Outcome::Primal(PrimalSolution {
-                constraint_dots: ratios,
-                y: p,
-                min_dot,
-                rounds_averaged: 1,
-            })
-        }
-        ExitReason::IterationCap | ExitReason::PrimalEarly => {
-            let rounds = rounds_accumulated.max(1) as f64;
-            let constraint_dots: Vec<f64> = dot_sums.iter().map(|s| s / rounds).collect();
-            let min_dot = constraint_dots.iter().copied().fold(f64::INFINITY, f64::min);
-            let y = y_acc.map(|mut acc| {
-                acc.scale(1.0 / rounds);
-                // Renormalize trace against numeric drift.
-                let tr = acc.trace();
-                if tr > 0.0 {
-                    acc.scale(1.0 / tr);
-                }
-                acc
-            });
-            Outcome::Primal(PrimalSolution {
-                constraint_dots,
-                y,
-                min_dot,
-                rounds_averaged: rounds_accumulated.max(1),
-            })
-        }
-    };
-
-    let stats = SolveStats {
-        iterations: t,
-        exit,
-        final_norm1,
-        k_threshold,
-        alpha,
-        iteration_cap: cap,
-        cost: cost_total,
-        engine: engine_kind.name(),
-        avg_selected: if t > 0 { selected_total as f64 / t as f64 } else { 0.0 },
-        kappa_max,
-        psi_rebuilds: psi.rebuilds(),
-        psi_max_drift: psi.max_drift(),
-        wall: start.elapsed(),
-        norm_trajectory: trajectory,
-    };
-    Ok(DecisionResult { outcome, stats })
-}
-
-/// Per-coordinate step multipliers (0 = not stepped) under the chosen rule.
-/// The returned value is the multiplicative step: `x_i ← x_i·(1 + stepᵢ)`.
-fn select_steps(ratios: &[f64], eps: f64, alpha: f64, rule: UpdateRule) -> Vec<f64> {
-    let threshold = 1.0 + eps;
-    match rule {
-        UpdateRule::Standard | UpdateRule::Stale { .. } => {
-            ratios.iter().map(|&r| if r <= threshold { alpha } else { 0.0 }).collect()
-        }
-        UpdateRule::Bucketed { boost } => ratios
-            .iter()
-            .map(|&r| {
-                if r <= threshold {
-                    // Slack-proportional boost, floored so near-threshold
-                    // coordinates keep moving, capped at `boost`.
-                    let slack = (threshold - r) / eps;
-                    alpha * slack.clamp(0.25, boost)
-                } else {
-                    0.0
-                }
-            })
-            .collect(),
-        UpdateRule::TopK { k } => {
-            let mut eligible: Vec<(usize, f64)> =
-                ratios.iter().copied().enumerate().filter(|&(_, r)| r <= threshold).collect();
-            eligible.sort_by(|a, b| a.1.total_cmp(&b.1));
-            let mut steps = vec![0.0; ratios.len()];
-            for &(i, _) in eligible.iter().take(k) {
-                steps[i] = alpha;
-            }
-            steps
-        }
-    }
-}
-
-/// Build a certified dual solution from the raw iterate.
-fn build_dual(
-    x: &[f64],
-    psi: &Mat,
-    eps: f64,
-    k_threshold: f64,
-    mode: ConstantsMode,
-) -> Result<DualSolution, PsdpError> {
-    let scale = match mode {
-        ConstantsMode::PaperStrict => (1.0 + 10.0 * eps) * k_threshold,
-        ConstantsMode::Practical { .. } => {
-            // Certify by measurement: λmax(Σ xᵢAᵢ) from the maintained Ψ.
-            let lam = match sym_eigen(psi) {
-                Ok(eig) => eig.lambda_max(),
-                Err(_) => lambda_max_upper_bound(psi),
-            };
-            (lam * (1.0 + 1e-9)).max(1.0)
-        }
-    };
-    let xs: Vec<f64> = x.iter().map(|v| v / scale).collect();
-    let value = vecops::sum(&xs);
-    Ok(DualSolution { x: xs, value, feasibility_scale: scale })
+    let solver = Solver::builder(inst).options(*opts).build()?;
+    let mut session = solver.session();
+    session.solve(1.0)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::options::{ConstantsMode, UpdateRule};
+    use crate::solution::ExitReason;
+    use psdp_linalg::{sym_eigen, Mat};
     use psdp_sparse::PsdMatrix;
 
     fn diag_instance(rows: &[&[f64]]) -> PackingInstance {
@@ -515,24 +266,5 @@ mod tests {
                 );
             }
         }
-    }
-
-    #[test]
-    fn select_steps_standard_and_topk() {
-        let ratios = vec![0.5, 1.05, 1.3];
-        let s = select_steps(&ratios, 0.1, 0.01, UpdateRule::Standard);
-        assert!(s[0] > 0.0 && s[1] > 0.0 && s[2] == 0.0);
-        let s = select_steps(&ratios, 0.1, 0.01, UpdateRule::TopK { k: 1 });
-        assert!(s[0] > 0.0 && s[1] == 0.0 && s[2] == 0.0);
-    }
-
-    #[test]
-    fn select_steps_bucketed_orders_by_slack() {
-        let ratios = vec![0.1, 1.0, 2.0];
-        let s = select_steps(&ratios, 0.1, 0.01, UpdateRule::Bucketed { boost: 8.0 });
-        assert!(s[0] > s[1], "lower ratio should step more: {s:?}");
-        assert_eq!(s[2], 0.0);
-        // Cap respected.
-        assert!(s[0] <= 0.01 * 8.0 + 1e-15);
     }
 }

@@ -3,10 +3,16 @@
 //! Width-independent parallel positive SDP solving — the reproduction of
 //! Peng–Tangwongsan–Zhang (SPAA 2012).
 //!
+//! * [`solver`] — the session API and the iterate loop itself:
+//!   [`Solver`] (instance validated, engine resolved and constructed once)
+//!   → [`Session`] (stateful solves with cross-bracket warm starts and
+//!   per-iteration [`Observer`]s). **This is the primary entry point.**
 //! * [`instance`] — problem types: general positive SDPs (1.1) and
 //!   normalized packing instances (Figure 2) over [`Constraint`] storage
 //!   (dense / sparse CSR / factorized / diagonal),
-//! * [`decision`] — `decisionPSDP` (Algorithm 3.1),
+//! * [`decision`] / [`approx`] — the classic one-shot entry points
+//!   ([`decision_psdp`], [`solve_packing`], [`solve_covering`]), kept as
+//!   thin convenience wrappers over the session API,
 //! * [`psi`] — incremental maintenance of `Ψ = Σ xᵢAᵢ` with periodic
 //!   drift-checked rebuilds,
 //! * [`options`] — solver configuration (paper-strict vs practical
@@ -14,7 +20,8 @@
 //! * [`solution`] / [`stats`] — certified outcomes and telemetry.
 //!
 //! Architecture and experiment index: see `DESIGN.md` at the repository
-//! root; recorded experiment outputs live in `EXPERIMENTS.md`.
+//! root (§8 covers the Solver/Session/Observer design); recorded
+//! experiment outputs live in `EXPERIMENTS.md`.
 
 #![warn(missing_docs)]
 
@@ -27,6 +34,7 @@ pub mod normalize;
 pub mod options;
 pub mod psi;
 pub mod solution;
+pub mod solver;
 pub mod stats;
 pub mod verify;
 
@@ -39,5 +47,8 @@ pub use normalize::{normalize, trace_prune, Normalized};
 pub use options::{ConstantsMode, DecisionOptions, EngineKind, UpdateRule};
 pub use psi::PsiMaintainer;
 pub use solution::{DualSolution, ExitReason, Outcome, PrimalSolution};
-pub use stats::SolveStats;
+pub use solver::{
+    IterationEvent, Observer, ObserverControl, PhaseEvent, Session, Solver, SolverBuilder,
+};
+pub use stats::{BracketStats, SolveStats};
 pub use verify::{verify_dual, verify_primal, DualCertificate, PrimalCertificate};

@@ -159,9 +159,12 @@ impl DecisionOptions {
             }
         }
         match self.rule {
-            UpdateRule::Bucketed { boost } if boost.is_nan() || boost < 1.0 => {
-                Err(crate::PsdpError::InvalidInstance("bucketed boost must be ≥ 1".into()))
-            }
+            // `!boost.is_finite()` (not just NaN): an infinite boost would
+            // make the Bucketed step multiplier unbounded, overshooting the
+            // iterate to ±∞ instead of failing fast here.
+            UpdateRule::Bucketed { boost } if !boost.is_finite() || boost < 1.0 => Err(
+                crate::PsdpError::InvalidInstance("bucketed boost must be finite and ≥ 1".into()),
+            ),
             UpdateRule::TopK { k: 0 } => {
                 Err(crate::PsdpError::InvalidInstance("top-k needs k ≥ 1".into()))
             }
@@ -197,6 +200,21 @@ mod tests {
         assert!(o.validate().is_err());
         let o = DecisionOptions::practical(0.1).with_rule(UpdateRule::Stale { period: 0 });
         assert!(o.validate().is_err());
+    }
+
+    /// Non-finite nested rule parameters must be rejected, not looped on:
+    /// an infinite or NaN Bucketed boost (and non-positive/zero nested
+    /// values generally) would otherwise surface as overshoot or panics
+    /// deep inside the iterate loop.
+    #[test]
+    fn rejects_non_finite_rule_parameters() {
+        for boost in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN, 0.0, -3.0] {
+            let o = DecisionOptions::practical(0.1).with_rule(UpdateRule::Bucketed { boost });
+            assert!(o.validate().is_err(), "boost {boost} accepted");
+        }
+        // Valid boundary: boost = 1.0 is the smallest allowed multiplier.
+        let o = DecisionOptions::practical(0.1).with_rule(UpdateRule::Bucketed { boost: 1.0 });
+        assert!(o.validate().is_ok());
     }
 
     #[test]

@@ -78,6 +78,10 @@ pub enum ExitReason {
     /// The running primal average certified feasibility early
     /// (practical-mode `early_exit`).
     PrimalEarly,
+    /// A registered [`crate::solver::Observer`] returned
+    /// [`crate::solver::ObserverControl::Stop`]. The returned primal
+    /// average is telemetry, **not** a certificate.
+    ObserverStopped,
 }
 
 #[cfg(test)]

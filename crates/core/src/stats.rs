@@ -38,6 +38,17 @@ pub struct SolveStats {
     /// Largest relative drift between the incrementally maintained Ψ and a
     /// from-scratch rebuild, across all rebuilds (0 when none happened).
     pub psi_max_drift: f64,
+    /// The decision threshold `σ` this solve tested (1.0 for the classic
+    /// one-shot [`crate::decision_psdp`]).
+    pub threshold: f64,
+    /// Whether any iterations were replayed from the session's warm-start
+    /// trajectory cache (see `crate::solver`).
+    pub warm_started: bool,
+    /// Live engine evaluations performed (excludes replayed rounds).
+    pub engine_evals: usize,
+    /// Iterations replayed from the warm-start cache (engine evaluation
+    /// skipped; results are bitwise-identical to a cold run).
+    pub replayed: usize,
     /// Wall-clock time of the solve.
     pub wall: Duration,
     /// Sampled `‖x(t)‖₁` trajectory (every `sample_every` iterations).
@@ -53,6 +64,36 @@ impl SolveStats {
             self.cost.work / self.iterations as f64
         }
     }
+}
+
+/// Per-bracket breakdown of one [`crate::Session::optimize`] /
+/// [`crate::solve_packing`] run: which threshold was tested, which side was
+/// certified, where the bracket moved, and what the warm start saved.
+#[derive(Debug, Clone)]
+pub struct BracketStats {
+    /// The tested threshold `σ = √(lo·hi)`.
+    pub sigma: f64,
+    /// Whether the call certified the dual (feasible) side.
+    pub dual_side: bool,
+    /// Certified lower bound after this bracket's update.
+    pub lo: f64,
+    /// Certified upper bound after this bracket's update.
+    pub hi: f64,
+    /// Total iterations spent on this bracket, including any discarded
+    /// warm attempts and certificate-seeking escalations.
+    pub iterations: usize,
+    /// Live engine evaluations spent on this bracket, including discarded
+    /// attempts.
+    pub engine_evals: usize,
+    /// Rounds replayed from the warm-start cache, including discarded
+    /// attempts.
+    pub replayed: usize,
+    /// Whether any solve of this bracket used a warm start (replay or
+    /// iterate continuation).
+    pub warm_started: bool,
+    /// Wall-clock time spent on this bracket, including discarded
+    /// attempts.
+    pub wall: Duration,
 }
 
 #[cfg(test)]
@@ -74,6 +115,10 @@ mod tests {
             kappa_max: 0.0,
             psi_rebuilds: 0,
             psi_max_drift: 0.0,
+            threshold: 1.0,
+            warm_started: false,
+            engine_evals: 0,
+            replayed: 0,
             wall: Duration::ZERO,
             norm_trajectory: vec![],
         };

@@ -9,7 +9,7 @@
 //! cargo run -p psdp-bench --release --example ellipse_packing
 //! ```
 
-use psdp_core::{solve_packing, ApproxOptions, PackingInstance};
+use psdp_core::{ApproxOptions, PackingInstance, Solver};
 use psdp_workloads::figure1_instance;
 
 fn main() {
@@ -28,7 +28,9 @@ fn main() {
     }
 
     let inst = PackingInstance::new(mats).expect("valid");
-    let report = solve_packing(&inst, &ApproxOptions::practical(0.05)).expect("solve");
+    let opts = ApproxOptions::practical(0.05);
+    let solver = Solver::builder(&inst).options(opts.decision).build().expect("build");
+    let report = solver.session().optimize(&opts).expect("solve");
     let x = report.best_dual.as_ref().expect("dual found");
     println!(
         "\npacking optimum ∈ [{:.4}, {:.4}];  x = ({:.4}, {:.4}, {:.4})\n",

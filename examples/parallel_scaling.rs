@@ -9,7 +9,7 @@
 //! cargo run -p psdp-bench --release --example parallel_scaling
 //! ```
 
-use psdp_core::{decision_psdp, ConstantsMode, DecisionOptions, EngineKind, PackingInstance};
+use psdp_core::{ConstantsMode, DecisionOptions, EngineKind, PackingInstance, Solver};
 use psdp_parallel::{available_threads, run_with_threads};
 use psdp_workloads::{random_factorized, RandomFactorized};
 use std::time::Instant;
@@ -48,7 +48,8 @@ fn main() {
         for rep in 0..3 {
             let w = run_with_threads(threads, move || {
                 let t0 = Instant::now();
-                let _ = decision_psdp(inst_ref, opts_ref).expect("solve");
+                let solver = Solver::builder(inst_ref).options(*opts_ref).build().expect("build");
+                let _ = solver.session().solve(1.0).expect("solve");
                 t0.elapsed().as_secs_f64()
             });
             if rep > 0 {

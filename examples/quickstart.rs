@@ -1,15 +1,41 @@
-//! Quickstart: build a small positive SDP, solve its decision and
-//! optimization versions, and verify the certificates.
+//! Quickstart: build a small positive SDP, prepare a `Solver` once, then
+//! answer decision questions and run the certified optimizer over one
+//! `Session` — with an observer watching the iterations.
 //!
 //! ```text
 //! cargo run -p psdp-bench --release --example quickstart
 //! ```
 
 use psdp_core::{
-    decision_psdp, solve_packing, verify_dual, verify_primal, ApproxOptions, DecisionOptions,
-    Outcome, PackingInstance,
+    verify_dual, verify_primal, ApproxOptions, DecisionOptions, IterationEvent, Observer,
+    ObserverControl, Outcome, PackingInstance, PhaseEvent, Solver,
 };
 use psdp_sparse::PsdMatrix;
+
+/// A minimal observer: counts iterations and brackets.
+#[derive(Default)]
+struct Progress {
+    iterations: usize,
+    brackets: usize,
+}
+
+impl Observer for Progress {
+    fn on_phase(&mut self, event: &PhaseEvent<'_>) {
+        if let PhaseEvent::BracketUpdated { sigma, lo, hi, dual_side } = event {
+            self.brackets += 1;
+            println!(
+                "  bracket {}: sigma = {sigma:.4} -> [{lo:.4}, {hi:.4}] ({})",
+                self.brackets,
+                if *dual_side { "dual" } else { "primal" }
+            );
+        }
+    }
+
+    fn on_iteration(&mut self, _event: &IterationEvent) -> ObserverControl {
+        self.iterations += 1;
+        ObserverControl::Continue
+    }
+}
 
 fn main() {
     // A packing SDP over 2x2 matrices with three constraints:
@@ -25,9 +51,14 @@ fn main() {
     };
     let inst = PackingInstance::new(vec![a1, a2, a3]).expect("valid instance");
 
+    // Prepare the solver ONCE: validation, engine resolution, constraint
+    // factorization all happen here; every solve below reuses it.
+    let solver =
+        Solver::builder(&inst).options(DecisionOptions::practical(0.1)).build().expect("build");
+    let mut session = solver.session();
+
     // --- Decision version (Algorithm 3.1): is the packing optimum >= 1? ---
-    let opts = DecisionOptions::practical(0.1);
-    let res = decision_psdp(&inst, &opts).expect("decision solve");
+    let res = session.solve(1.0).expect("decision solve");
     println!("decision: {} iterations, exit = {:?}", res.stats.iterations, res.stats.exit);
     match &res.outcome {
         Outcome::Dual(d) => {
@@ -46,17 +77,26 @@ fn main() {
         }
     }
 
-    // --- Optimization version (approxPSDP): (1+eps)-approximate OPT. ---
-    let report = solve_packing(&inst, &ApproxOptions::practical(0.1)).expect("optimize");
+    // --- Optimization (approxPSDP): the same session runs the certified
+    // bisection; brackets warm-start from each other, and an observer
+    // streams progress without touching the solver loop. ---
+    session.add_observer(Box::new(Progress::default()));
+    let report = session.optimize(&ApproxOptions::practical(0.1)).expect("optimize");
     println!(
-        "optimization: OPT in [{:.4}, {:.4}] ({} decision calls, converged: {})",
-        report.value_lower, report.value_upper, report.decision_calls, report.converged
+        "optimization: OPT in [{:.4}, {:.4}] ({} decision calls, {} total iterations, converged: {})",
+        report.value_lower,
+        report.value_upper,
+        report.decision_calls,
+        report.total_iterations,
+        report.converged
     );
     let best = report.best_dual.expect("a feasible dual was found");
     println!(
         "  best feasible x = {:?}",
         best.x.iter().map(|v| (v * 1e4).round() / 1e4).collect::<Vec<_>>()
     );
+    let warm = report.call_stats.iter().filter(|s| s.warm_started).count();
+    println!("  warm-started brackets: {warm}/{}", report.decision_calls);
 
     assert!(report.converged, "bracket should close at eps = 0.1");
     println!("ok");

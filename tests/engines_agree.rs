@@ -5,8 +5,8 @@
 //! interchangeable — storage affects cost, never results.
 
 use psdp_core::{
-    decision_psdp, verify_dual, verify_primal, DecisionOptions, EngineKind, Outcome,
-    PackingInstance, PsiMaintainer,
+    decision_psdp, solve_packing, verify_dual, verify_primal, ApproxOptions, DecisionOptions,
+    EngineKind, Outcome, PackingInstance, PsiMaintainer, Solver,
 };
 use psdp_expdot::{exp_dot_exact, Engine};
 use psdp_linalg::Mat;
@@ -181,6 +181,46 @@ fn incremental_psi_tracks_rebuild_across_schedules() {
             assert!((a - b).abs() <= 1e-11 * scale, "seed {seed}: {a} vs {b}");
         }
         assert!(psi.matrix().asymmetry() <= 1e-12 * scale);
+    }
+}
+
+/// The Solver/Session API and the legacy free functions are the same code
+/// path: `decision_psdp` must equal `Session::solve(1.0)` bitwise, and
+/// `solve_packing` must equal `Session::optimize` bitwise, for every
+/// engine.
+#[test]
+fn solver_api_matches_legacy_free_functions() {
+    for seed in [1u64, 5] {
+        let inst = instance(seed);
+        for kind in ENGINES {
+            let opts = DecisionOptions::practical(0.2).with_engine(kind).with_seed(3);
+            let legacy = decision_psdp(&inst, &opts).unwrap();
+            let solver = Solver::builder(&inst).options(opts).build().unwrap();
+            let direct = solver.session().solve(1.0).unwrap();
+            assert_eq!(legacy.stats.iterations, direct.stats.iterations, "{kind:?}");
+            assert_eq!(legacy.stats.exit, direct.stats.exit, "{kind:?}");
+            match (&legacy.outcome, &direct.outcome) {
+                (Outcome::Dual(a), Outcome::Dual(b)) => {
+                    assert_eq!(a.x, b.x, "{kind:?}: dual iterates diverged");
+                    assert_eq!(a.value.to_bits(), b.value.to_bits(), "{kind:?}");
+                }
+                (Outcome::Primal(a), Outcome::Primal(b)) => {
+                    assert_eq!(a.constraint_dots, b.constraint_dots, "{kind:?}");
+                    assert_eq!(a.min_dot.to_bits(), b.min_dot.to_bits(), "{kind:?}");
+                }
+                _ => panic!("{kind:?}: outcome sides diverged between APIs"),
+            }
+        }
+
+        // Optimization: the wrapper and a hand-held session must agree.
+        let approx = ApproxOptions::practical(0.15);
+        let legacy = solve_packing(&inst, &approx).unwrap();
+        let solver = Solver::builder(&inst).options(approx.decision).build().unwrap();
+        let direct = solver.session().optimize(&approx).unwrap();
+        assert_eq!(legacy.value_lower.to_bits(), direct.value_lower.to_bits());
+        assert_eq!(legacy.value_upper.to_bits(), direct.value_upper.to_bits());
+        assert_eq!(legacy.decision_calls, direct.decision_calls);
+        assert_eq!(legacy.total_iterations, direct.total_iterations);
     }
 }
 

@@ -1,0 +1,113 @@
+//! Warm-start equivalence: the session bisection must return the same
+//! certified bracket `[lo, hi]` — bitwise — whether brackets are
+//! warm-started (iterate continuation + trajectory replay) or run cold.
+//! See `psdp_core::solver` for why this holds by construction: bracket
+//! moves are quantized strong certificates, and every weak-outcome
+//! fallback is cold-deterministic.
+
+use proptest::prelude::*;
+use psdp_core::{ApproxOptions, PackingInstance, Solver};
+use psdp_sparse::PsdMatrix;
+use psdp_workloads::{edge_packing_sparse, gnp, random_factorized, RandomFactorized};
+
+/// Random factorized instance (dense-ish storage, rank-2 constraints).
+fn factorized_instance() -> impl Strategy<Value = PackingInstance> {
+    (4usize..9, 3usize..7, 0u64..1000).prop_map(|(m, n, seed)| {
+        PackingInstance::new(random_factorized(&RandomFactorized {
+            dim: m,
+            n,
+            rank: 2,
+            nnz_per_col: 3,
+            width: 1.5,
+            seed,
+        }))
+        .expect("valid instance")
+    })
+}
+
+/// Random sparse instance: edge Laplacians of a G(n, p) graph in CSR form.
+fn sparse_instance() -> impl Strategy<Value = PackingInstance> {
+    (6usize..12, 0u64..1000).prop_map(|(v, seed)| {
+        let graph = gnp(v, 0.5, seed);
+        let mats: Vec<PsdMatrix> = edge_packing_sparse(&graph);
+        if mats.is_empty() {
+            // Degenerate empty graph: fall back to a diagonal instance.
+            PackingInstance::new(vec![PsdMatrix::Diagonal(vec![1.0; v])]).expect("valid")
+        } else {
+            PackingInstance::new(mats).expect("valid instance")
+        }
+    })
+}
+
+/// Warm and cold bisections over the same prepared solver must report the
+/// same certified bracket, call count, and convergence flag.
+fn assert_warm_equals_cold(inst: &PackingInstance, eps: f64) {
+    let opts = ApproxOptions::serving(eps);
+    let solver = Solver::builder(inst).options(opts.decision).build().expect("build");
+
+    let cold = solver.session().with_warm_start(false).optimize(&opts).expect("cold");
+    let warm = solver.session().with_warm_start(true).optimize(&opts).expect("warm");
+
+    prop_assert_eq!(
+        cold.value_lower.to_bits(),
+        warm.value_lower.to_bits(),
+        "lower bounds diverged: cold {} vs warm {}",
+        cold.value_lower,
+        warm.value_lower
+    );
+    prop_assert_eq!(
+        cold.value_upper.to_bits(),
+        warm.value_upper.to_bits(),
+        "upper bounds diverged: cold {} vs warm {}",
+        cold.value_upper,
+        warm.value_upper
+    );
+    prop_assert_eq!(cold.decision_calls, warm.decision_calls);
+    prop_assert_eq!(cold.converged, warm.converged);
+    // And both brackets are genuinely certified orderings.
+    prop_assert!(warm.value_lower > 0.0 && warm.value_upper >= warm.value_lower);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random factorized instances: warm ≡ cold, bitwise.
+    #[test]
+    fn warm_bisection_matches_cold_on_factorized(inst in factorized_instance()) {
+        assert_warm_equals_cold(&inst, 0.15);
+    }
+
+    /// Random sparse (CSR edge-Laplacian) instances: warm ≡ cold, bitwise.
+    #[test]
+    fn warm_bisection_matches_cold_on_sparse(inst in sparse_instance()) {
+        assert_warm_equals_cold(&inst, 0.15);
+    }
+}
+
+/// The warm run must not just match — it must also do less live work on an
+/// instance where the bisection runs several dual-side brackets.
+#[test]
+fn warm_bisection_saves_iterations() {
+    let inst = PackingInstance::new(random_factorized(&RandomFactorized {
+        dim: 8,
+        n: 6,
+        rank: 2,
+        nnz_per_col: 3,
+        width: 1.0,
+        seed: 9,
+    }))
+    .expect("valid");
+    let opts = ApproxOptions::serving(0.1);
+    let solver = Solver::builder(&inst).options(opts.decision).build().expect("build");
+    let cold = solver.session().with_warm_start(false).optimize(&opts).expect("cold");
+    let warm = solver.session().with_warm_start(true).optimize(&opts).expect("warm");
+    assert_eq!(cold.value_lower.to_bits(), warm.value_lower.to_bits());
+    assert_eq!(cold.value_upper.to_bits(), warm.value_upper.to_bits());
+    assert!(
+        warm.total_iterations < cold.total_iterations,
+        "warm {} vs cold {}",
+        warm.total_iterations,
+        cold.total_iterations
+    );
+    assert!(warm.call_stats.iter().any(|s| s.warm_started), "no bracket warm-started");
+}
