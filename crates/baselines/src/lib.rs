@@ -22,6 +22,6 @@ pub mod young_lp;
 
 pub use ak::{ak_decision, AkOutcome, AkResult};
 pub use exact::{exact_commuting_opt, exact_diagonal_opt, exact_small_opt};
-pub use mixed_lp::{mixed_packing_covering, MixedLpResult, MixedOutcome};
+pub use mixed_lp::{mixed_exact_threshold, mixed_packing_covering, MixedLpResult, MixedOutcome};
 pub use simplex::{packing_lp_opt, simplex_max, LpResult};
 pub use young_lp::{young_decision, young_packing_lp, YoungDecision, YoungLpResult};

@@ -27,6 +27,48 @@
 //! Outputs are certified by measurement (`max Px`, `min Cx` recomputed), so
 //! the guarantee band in the result is unconditional.
 
+use crate::simplex::{simplex_max, LpResult};
+
+/// Exact feasibility threshold of a mixed packing/covering LP via simplex:
+/// `t* = max t` s.t. `Px ≤ 1`, `Cx ≥ t·1`, `x ≥ 0`. The normalized
+/// problem is feasible at threshold 1 iff `t* ≥ 1`. `pack_cols[k]` /
+/// `cover_cols[k]` are the `k`-th columns of `P` / `C`. Returns
+/// `f64::INFINITY` when the coverage direction is unbounded (some
+/// coordinate covers without packing cost).
+///
+/// This is the ground-truth oracle the mixed differential tests compare
+/// both the scalar solver ([`mixed_packing_covering`]) and the mixed SDP
+/// solver (on diagonal embeddings) against.
+///
+/// # Panics
+/// Panics on empty or ragged column sets.
+pub fn mixed_exact_threshold(pack_cols: &[Vec<f64>], cover_cols: &[Vec<f64>]) -> f64 {
+    let n = pack_cols.len();
+    assert!(n > 0 && cover_cols.len() == n, "need matching, nonempty column sets");
+    let mp = pack_cols[0].len();
+    let mc = cover_cols[0].len();
+    // Variables (x_1…x_n, t); rows: P x ≤ 1 and t − (Cx)_i ≤ 0.
+    let mut a = Vec::with_capacity(mp + mc);
+    for j in 0..mp {
+        let mut row: Vec<f64> = pack_cols.iter().map(|col| col[j]).collect();
+        row.push(0.0);
+        a.push(row);
+    }
+    for i in 0..mc {
+        let mut row: Vec<f64> = cover_cols.iter().map(|col| -col[i]).collect();
+        row.push(1.0);
+        a.push(row);
+    }
+    let mut b = vec![1.0; mp];
+    b.extend(vec![0.0; mc]);
+    let mut c = vec![0.0; n];
+    c.push(1.0);
+    match simplex_max(&a, &b, &c) {
+        LpResult::Optimal { value, .. } => value,
+        LpResult::Unbounded => f64::INFINITY,
+    }
+}
+
 /// Outcome of the mixed packing/covering solver.
 #[derive(Debug, Clone)]
 pub enum MixedOutcome {
@@ -176,34 +218,11 @@ pub fn mixed_packing_covering(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::simplex::{simplex_max, LpResult};
 
-    /// Exact feasibility threshold via simplex: `t* = max t` s.t. `Px ≤ 1`,
-    /// `Cx ≥ t`. Feasible at threshold 1 iff `t* ≥ 1`.
+    /// Alias kept so the test bodies read like the paper: the public
+    /// simplex oracle.
     fn exact_threshold(pack_cols: &[Vec<f64>], cover_cols: &[Vec<f64>]) -> f64 {
-        let n = pack_cols.len();
-        let mp = pack_cols[0].len();
-        let mc = cover_cols[0].len();
-        // Variables (x_1…x_n, t); rows: P x ≤ 1 and t − (Cx)_i ≤ 0.
-        let mut a = Vec::with_capacity(mp + mc);
-        for j in 0..mp {
-            let mut row: Vec<f64> = pack_cols.iter().map(|col| col[j]).collect();
-            row.push(0.0);
-            a.push(row);
-        }
-        for i in 0..mc {
-            let mut row: Vec<f64> = cover_cols.iter().map(|col| -col[i]).collect();
-            row.push(1.0);
-            a.push(row);
-        }
-        let mut b = vec![1.0; mp];
-        b.extend(vec![0.0; mc]);
-        let mut c = vec![0.0; n];
-        c.push(1.0);
-        match simplex_max(&a, &b, &c) {
-            LpResult::Optimal { value, .. } => value,
-            LpResult::Unbounded => f64::INFINITY,
-        }
+        mixed_exact_threshold(pack_cols, cover_cols)
     }
 
     #[test]

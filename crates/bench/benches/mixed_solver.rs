@@ -1,0 +1,51 @@
+//! Mixed packing–covering solver timings.
+//!
+//! Two shapes:
+//!
+//! * one full certified bisection (`solve_mixed`) per family — the
+//!   end-to-end cost a `psdp mixed` invocation pays, and
+//! * one decision call at a fixed threshold over a *prepared*
+//!   `MixedSolver` — the marginal cost once engines and factorizations
+//!   are built, which is what a serving loop would pay per query.
+//!
+//! The covering side always runs the exact engine (`O(m³)` per
+//! iteration, see `psdp_core::mixed`), so the graph family's wall clock
+//! is dominated by `|V|³ · iterations`; the diagonal family measures the
+//! loop overhead floor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psdp_core::{solve_mixed, MixedApproxOptions, MixedInstance, MixedSolver};
+use psdp_workloads::{gnp, mixed_edge_cover, mixed_lp_diagonal};
+
+fn families() -> Vec<(String, MixedInstance)> {
+    vec![
+        ("mixed-lp/6x4/n8".into(), mixed_lp_diagonal(6, 4, 8, 0.6, 3)),
+        ("edge-cover/v12".into(), mixed_edge_cover(&gnp(12, 0.5, 2), 0.5)),
+    ]
+}
+
+fn bench_mixed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mixed_solver");
+    g.sample_size(10);
+    let opts = MixedApproxOptions::practical(0.15);
+
+    for (name, inst) in families() {
+        g.bench_with_input(BenchmarkId::new("optimize", &name), &inst, |b, inst| {
+            b.iter(|| solve_mixed(inst, &opts).expect("solve"))
+        });
+
+        // Marginal decision cost over a prepared solver: σ in the middle
+        // of the typical bracket so neither exit fires instantly.
+        let solver = MixedSolver::builder(&inst).options(opts.decision).build().expect("build");
+        g.bench_with_input(BenchmarkId::new("decision", &name), &solver, |b, solver| {
+            b.iter(|| {
+                let mut s = solver.session();
+                s.solve(0.5).expect("decision")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mixed);
+criterion_main!(benches);

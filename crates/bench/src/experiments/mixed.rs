@@ -1,0 +1,83 @@
+//! E12 — mixed packing–covering solver (Jain–Yao on the Session core).
+//!
+//! Two claims, one table:
+//!
+//! * **Agreement** — on diagonal-embedded mixed LPs the mixed SDP solver's
+//!   certified threshold bracket must contain the exact simplex threshold
+//!   `t* = max{t : Px ≤ 1, Cx ≥ t·1}` (`psdp_baselines::mixed_exact_threshold`),
+//!   and its σ=1 feasibility verdict must agree with the scalar Young
+//!   solver wherever `t*` is comfortably away from 1.
+//! * **Certification** — every bracket end is backed by a re-verified
+//!   witness: a measured feasible point for the lower end, a pricing
+//!   certificate for the upper end (`psdp_core::verify`).
+//!
+//! The graph rows run the sparse edge-cover family (no scalar oracle
+//! there; the certificates carry the evidence).
+
+use crate::table::{f, Table};
+use psdp_baselines::mixed_exact_threshold;
+use psdp_core::{
+    solve_mixed, verify_mixed_feasible, verify_mixed_infeasible, MixedApproxOptions, MixedInstance,
+};
+use psdp_workloads::{diagonal_columns, gnp, mixed_edge_cover, mixed_lp_diagonal};
+
+/// The instance families E12 sweeps.
+pub fn e12_instances() -> Vec<(String, MixedInstance, Option<f64>)> {
+    let mut out = Vec::new();
+    for seed in [1u64, 2, 3, 4] {
+        let inst = mixed_lp_diagonal(6, 4, 5, 0.6, seed);
+        let tstar = mixed_exact_threshold(
+            &diagonal_columns(inst.pack().mats()),
+            &diagonal_columns(inst.cover().mats()),
+        );
+        out.push((format!("mixed-lp(s{seed})"), inst, Some(tstar)));
+    }
+    for (seed, ridge) in [(2u64, 0.5), (7, 0.25)] {
+        let g = gnp(10, 0.5, seed);
+        out.push((format!("edge-cover(s{seed},r{ridge})"), mixed_edge_cover(&g, ridge), None));
+    }
+    out
+}
+
+/// E12 table: certified bracket vs the exact threshold, with verification
+/// flags.
+pub fn e12_mixed() -> Table {
+    let eps = 0.1;
+    let opts = MixedApproxOptions::practical(eps);
+    let mut t = Table::new(
+        format!("E12: mixed packing-covering solver (eps={eps}, diagonal rows vs simplex t*)"),
+        &["family", "n", "t*", "lo", "hi", "calls", "iters", "lo cert", "hi cert"],
+    );
+    for (name, inst, tstar) in e12_instances() {
+        let r = solve_mixed(&inst, &opts).expect("solve");
+        if let Some(ts) = tstar {
+            assert!(
+                r.threshold_lower <= ts * (1.0 + 1e-6) + 1e-9,
+                "{name}: certified lower bound {} exceeds exact t* {ts}",
+                r.threshold_lower
+            );
+            assert!(
+                r.threshold_upper >= ts * (1.0 - 1e-6) - 1e-9,
+                "{name}: certified upper bound {} undercuts exact t* {ts}",
+                r.threshold_upper
+            );
+        }
+        let lo_ok = r.best_point.as_ref().map(|p| {
+            verify_mixed_feasible(&inst, p, r.threshold_lower * (1.0 - 1e-9), 1e-7).feasible
+        });
+        let hi_ok =
+            r.infeasibility_witness.as_ref().map(|c| verify_mixed_infeasible(&inst, c, 1e-7).valid);
+        t.row(vec![
+            name,
+            format!("{}", inst.n()),
+            tstar.map_or_else(|| "-".into(), f),
+            f(r.threshold_lower),
+            f(r.threshold_upper),
+            format!("{}", r.decision_calls),
+            format!("{}", r.total_iterations),
+            lo_ok.map_or_else(|| "-".into(), |b| b.to_string()),
+            hi_ok.map_or_else(|| "-".into(), |b| b.to_string()),
+        ]);
+    }
+    t
+}

@@ -5,6 +5,7 @@
 
 pub mod ablation;
 pub mod expdot;
+pub mod mixed;
 pub mod parallel;
 pub mod quality;
 pub mod scaling;
@@ -15,7 +16,8 @@ pub mod width;
 use crate::table::Table;
 
 /// All experiment ids understood by [`run`].
-pub const ALL_IDS: &[&str] = &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"];
+pub const ALL_IDS: &[&str] =
+    &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"];
 
 /// Run one experiment by id and return its table(s).
 ///
@@ -34,6 +36,7 @@ pub fn run(id: &str) -> Vec<Table> {
         "e9" => vec![quality::e9_figure1()],
         "e10" => vec![ablation::e10_engines(), ablation::e10_rules(), ablation::e10_alpha()],
         "e11" => vec![warmstart::e11_warmstart()],
+        "e12" => vec![mixed::e12_mixed()],
         other => panic!("unknown experiment id: {other} (known: {ALL_IDS:?})"),
     }
 }

@@ -6,12 +6,14 @@
 
 use crate::args::Args;
 use psdp_core::{
-    read_instance, verify_dual, verify_primal, write_instance, ApproxOptions, ConstantsMode,
-    DecisionOptions, EngineKind, Outcome, PackingInstance, Solver,
+    read_instance, read_mixed_instance, verify_dual, verify_mixed_feasible,
+    verify_mixed_infeasible, verify_primal, write_instance, write_mixed_instance, ApproxOptions,
+    ConstantsMode, DecisionOptions, EngineKind, MixedApproxOptions, MixedSolver, Outcome,
+    PackingInstance, Solver,
 };
 use psdp_workloads::{
-    edge_packing, figure1_instance, gnp, random_factorized, random_lp_diagonal,
-    vertex_star_packing, RandomFactorized,
+    edge_packing, figure1_instance, gnp, mixed_edge_cover, mixed_lp_diagonal, random_factorized,
+    random_lp_diagonal, vertex_star_packing, RandomFactorized,
 };
 
 /// Top-level usage text.
@@ -19,17 +21,22 @@ pub const USAGE: &str = "\
 psdp — width-independent positive SDP solver (Peng–Tangwongsan–Zhang, SPAA'12)
 
 USAGE:
-  psdp generate --family <random|lp|graph|stars|figure1> [--dim N] [--n N] [--seed S] [--width W] --out FILE
+  psdp generate --family <random|lp|graph|stars|figure1|mixed-lp|mixed-graph>
+                [--dim N] [--n N] [--seed S] [--width W] [--p P] [--ridge R] --out FILE
   psdp info FILE
   psdp solve FILE [--eps E] [--engine auto|exact|taylor|jl] [--mode practical|strict] [--seed S] [--json]
   psdp optimize FILE [--eps E] [--warm on|off] [--json]
+  psdp mixed FILE [--eps E] [--engine auto|exact|taylor|jl] [--seed S] [--warm on|off] [--json]
 
 The `auto` engine picks exact vs sketched-Taylor from the instance's
 storage profile (total nonzeros vs m²); `psdp solve` reports which one ran.
 `optimize` runs one prepared solver Session across all bisection brackets
 (engine built once, warm-started trajectory replay unless `--warm off`).
-`--json` emits the outcome, certificate values, and per-bracket SolveStats
-for machine consumption.
+`mixed` solves a mixed packing–covering instance (`psdp mixed 1` format,
+families mixed-lp / mixed-graph): it bisects the largest coverage
+threshold σ* with find x ≥ 0, Σx·Pᵢ ⪯ I, Σx·Cᵢ ⪰ σI, and re-verifies the
+certificates it prints. `--json` emits outcomes, certificate values, and
+per-bracket SolveStats for machine consumption.
 ";
 
 /// Build the engine from its CLI name.
@@ -48,12 +55,48 @@ fn engine_of(name: &str, eps: f64) -> Result<EngineKind, String> {
 /// # Errors
 /// Flag/validation errors as printable messages.
 pub fn generate(args: &Args) -> Result<String, String> {
-    args.ensure_known(&["family", "dim", "n", "seed", "width", "out", "density", "p"])?;
+    args.ensure_known(&["family", "dim", "n", "seed", "width", "out", "density", "p", "ridge"])?;
     let family = args.str_flag("family", "random");
     let dim: usize = args.flag("dim", 12)?;
     let n: usize = args.flag("n", 8)?;
     let seed: u64 = args.flag("seed", 1)?;
     let width: f64 = args.flag("width", 1.0)?;
+
+    // Mixed families write the `psdp mixed 1` format and return early.
+    if family == "mixed-lp" || family == "mixed-graph" {
+        let inst = match family.as_str() {
+            "mixed-lp" => {
+                let density: f64 = args.flag("density", 0.6)?;
+                mixed_lp_diagonal(dim, dim.div_ceil(2).max(1), n, density, seed)
+            }
+            _ => {
+                let p: f64 = args.flag("p", 0.5)?;
+                let ridge: f64 = args.flag("ridge", 0.5)?;
+                let g = gnp(dim, p, seed);
+                if g.m() == 0 {
+                    return Err("mixed-graph: generated graph has no edges (raise --p)".into());
+                }
+                mixed_edge_cover(&g, ridge)
+            }
+        };
+        let text = write_mixed_instance(&inst);
+        let out = args.str_flag("out", "");
+        return if out.is_empty() {
+            Ok(text)
+        } else {
+            std::fs::write(&out, &text).map_err(|e| format!("writing {out}: {e}"))?;
+            Ok(format!(
+                "wrote {} (pack {}x{}, cover {}x{}, n={}, nnz={})\n",
+                out,
+                inst.pack_dim(),
+                inst.pack_dim(),
+                inst.cover_dim(),
+                inst.cover_dim(),
+                inst.n(),
+                inst.total_nnz()
+            ))
+        };
+    }
 
     let inst = match family.as_str() {
         "random" => PackingInstance::new(random_factorized(&RandomFactorized {
@@ -80,7 +123,11 @@ pub fn generate(args: &Args) -> Result<String, String> {
                 .map_err(|e| e.to_string())?
         }
         "figure1" => PackingInstance::new(figure1_instance()).map_err(|e| e.to_string())?,
-        other => return Err(format!("unknown family `{other}` (random|lp|graph|stars|figure1)")),
+        other => {
+            return Err(format!(
+                "unknown family `{other}` (random|lp|graph|stars|figure1|mixed-lp|mixed-graph)"
+            ))
+        }
     };
 
     let text = write_instance(&inst);
@@ -336,6 +383,122 @@ pub fn optimize(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// `psdp mixed` — solve a mixed packing–covering instance: bisect the
+/// largest coverage threshold and print the certified bracket, re-verifying
+/// every certificate through `psdp_core::verify`.
+///
+/// # Errors
+/// IO/parse/solver errors as printable messages.
+pub fn mixed(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["eps", "engine", "seed", "warm", "json"])?;
+    let path = args.pos(1).ok_or("mixed: missing FILE")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let inst = read_mixed_instance(&text).map_err(|e| e.to_string())?;
+    let eps: f64 = args.flag("eps", 0.1)?;
+    let seed: u64 = args.flag("seed", 0)?;
+    let warm = match args.str_flag("warm", "on").as_str() {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("unknown --warm value `{other}` (on|off)")),
+    };
+    let mut approx = MixedApproxOptions::practical(eps);
+    approx.warm_start = warm;
+    approx.decision = approx
+        .decision
+        .with_engine(engine_of(&args.str_flag("engine", "exact"), eps)?)
+        .with_seed(seed);
+
+    let solver =
+        MixedSolver::builder(&inst).options(approx.decision).build().map_err(|e| e.to_string())?;
+    let mut session = solver.session();
+    session.set_warm_start(warm);
+    let r = session.optimize(&approx).map_err(|e| e.to_string())?;
+
+    let point_cert = r
+        .best_point
+        .as_ref()
+        .map(|p| (p, verify_mixed_feasible(&inst, p, r.threshold_lower * (1.0 - 1e-9), 1e-7)));
+    let witness_cert =
+        r.infeasibility_witness.as_ref().map(|c| (c, verify_mixed_infeasible(&inst, c, 1e-7)));
+
+    if args.bool_flag("json") {
+        let point = match &point_cert {
+            Some((p, c)) => format!(
+                "{{\"pack_lambda_max\":{},\"cover_lambda_min\":{},\"verified\":{}}}",
+                json_f64(p.pack_lambda_max),
+                json_f64(p.cover_lambda_min),
+                c.feasible
+            ),
+            None => "null".to_string(),
+        };
+        let witness = match &witness_cert {
+            Some((w, c)) => format!(
+                "{{\"sigma\":{},\"margin\":{},\"refuted_threshold\":{},\"matrix_checked\":{},\"verified\":{}}}",
+                json_f64(w.sigma),
+                json_f64(c.margin),
+                json_f64(c.refuted_threshold),
+                c.matrix_checked,
+                c.valid
+            ),
+            None => "null".to_string(),
+        };
+        let brackets: Vec<String> = r
+            .brackets
+            .iter()
+            .zip(&r.call_stats)
+            .map(|(b, s)| {
+                format!(
+                    "{{\"sigma\":{},\"feasible_side\":{},\"lo\":{},\"hi\":{},\"stats\":{}}}",
+                    json_f64(b.sigma),
+                    b.dual_side,
+                    json_f64(b.lo),
+                    json_f64(b.hi),
+                    json_stats(s),
+                )
+            })
+            .collect();
+        return Ok(format!(
+            "{{\"command\":\"mixed\",\"file\":{},\"threshold_lower\":{},\"threshold_upper\":{},\"converged\":{},\"decision_calls\":{},\"total_iterations\":{},\"engine_evals\":{},\"pruned_max\":{},\"best_point\":{},\"infeasibility\":{},\"brackets\":[{}]}}\n",
+            json_str(path),
+            json_f64(r.threshold_lower),
+            json_f64(r.threshold_upper),
+            r.converged,
+            r.decision_calls,
+            r.total_iterations,
+            r.total_engine_evals,
+            r.pruned_max,
+            point,
+            witness,
+            brackets.join(","),
+        ));
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "coverage threshold σ* ∈ [{:.6}, {:.6}]   ratio {:.4}   ({} decision calls, {} total iterations, {} engine evals, converged: {})\n",
+        r.threshold_lower,
+        r.threshold_upper,
+        if r.threshold_lower > 0.0 { r.threshold_upper / r.threshold_lower } else { f64::INFINITY },
+        r.decision_calls,
+        r.total_iterations,
+        r.total_engine_evals,
+        r.converged
+    ));
+    if let Some((p, c)) = &point_cert {
+        out.push_str(&format!(
+            "best point: pack λmax {:.6}, cover λmin {:.6}, verified feasible: {}\n",
+            p.pack_lambda_max, p.cover_lambda_min, c.feasible
+        ));
+    }
+    if let Some((w, c)) = &witness_cert {
+        out.push_str(&format!(
+            "infeasibility witness at σ = {:.6}: margin {:.4}, refutes σ* > {:.6}, verified: {}\n",
+            w.sigma, c.margin, c.refuted_threshold, c.valid
+        ));
+    }
+    Ok(out)
+}
+
 /// Dispatch a full command line (excluding program name).
 ///
 /// # Errors
@@ -352,6 +515,7 @@ pub fn dispatch(raw: &[String]) -> Result<String, String> {
         Some("info") => info(&args),
         Some("solve") => solve(&args),
         Some("optimize") => optimize(&args),
+        Some("mixed") => mixed(&args),
         Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
         None => Ok(USAGE.to_string()),
     }
@@ -472,6 +636,63 @@ mod tests {
         let line = |s: &str| s.lines().next().unwrap().split("   ").next().unwrap().to_string();
         assert_eq!(line(&warm), line(&cold), "warm: {warm}\ncold: {cold}");
         assert!(run(&["optimize", p, "--warm", "sideways"]).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mixed_graph_end_to_end_with_json() {
+        let dir = std::env::temp_dir().join("psdp-cli-mixed");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mixed.psdp");
+        let p = path.to_str().unwrap();
+        // Sparse graph-based mixed instance (edge Laplacians + ridge).
+        let msg = run(&[
+            "generate",
+            "--family",
+            "mixed-graph",
+            "--dim",
+            "8",
+            "--p",
+            "0.6",
+            "--seed",
+            "3",
+            "--ridge",
+            "0.5",
+            "--out",
+            p,
+        ])
+        .unwrap();
+        assert!(msg.contains("wrote"), "{msg}");
+
+        let out = run(&["mixed", p, "--eps", "0.2"]).unwrap();
+        assert!(out.contains("coverage threshold"), "{out}");
+        assert!(out.contains("verified feasible: true"), "{out}");
+
+        let out = run(&["mixed", p, "--eps", "0.2", "--json"]).unwrap();
+        assert!(out.starts_with("{\"command\":\"mixed\""), "{out}");
+        assert!(out.contains("\"threshold_lower\":"), "{out}");
+        assert!(out.contains("\"best_point\":{"), "{out}");
+        assert!(out.contains("\"verified\":true"), "{out}");
+        assert!(out.contains("\"brackets\":["), "{out}");
+        assert!(out.trim_end().ends_with('}'), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mixed_lp_generate_roundtrip_and_solve() {
+        let text = run(&["generate", "--family", "mixed-lp", "--dim", "4", "--n", "3"]).unwrap();
+        let inst = read_mixed_instance(&text).unwrap();
+        assert_eq!(inst.n(), 3);
+        assert_eq!(inst.pack_dim(), 4);
+
+        let dir = std::env::temp_dir().join("psdp-cli-mixed-lp");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mlp.psdp");
+        let p = path.to_str().unwrap();
+        std::fs::write(p, &text).unwrap();
+        let out = run(&["mixed", p, "--eps", "0.2", "--warm", "off"]).unwrap();
+        assert!(out.contains("coverage threshold"), "{out}");
+        assert!(run(&["mixed", p, "--warm", "sideways"]).is_err());
         std::fs::remove_file(&path).ok();
     }
 

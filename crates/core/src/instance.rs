@@ -249,6 +249,89 @@ impl PackingInstance {
     }
 }
 
+/// A normalized **mixed packing–covering** instance (Jain–Yao):
+///
+/// ```text
+///   find x ≥ 0   with   Σᵢ xᵢ Pᵢ ⪯ I   and   Σᵢ xᵢ Cᵢ ⪰ σ·I,
+/// ```
+///
+/// one packing matrix `Pᵢ` and one covering matrix `Cᵢ` per coordinate.
+/// The two sides live in independent spaces: `Pᵢ` are `pack_dim × pack_dim`
+/// and `Cᵢ` are `cover_dim × cover_dim`, and the dimensions need not match.
+/// [`crate::mixed::solve_mixed`] answers the feasibility question for a
+/// given `σ` and optimizes the largest feasible `σ*` by certified
+/// bisection.
+///
+/// Internally each side is a [`PackingInstance`] so the mixed solver
+/// reuses the packing stack wholesale: the same storage formats, the same
+/// incremental [`crate::psi::PsiMaintainer`] on both aggregates
+/// `Ψ_P = Σ xᵢPᵢ` and `Ψ_C = Σ xᵢCᵢ`, and the same engines. Every `Pᵢ`
+/// and `Cᵢ` must therefore be PSD with positive trace (a coordinate with a
+/// zero matrix on either side is rejected; scale a tiny multiple of the
+/// identity in if a side is genuinely unconstrained).
+#[derive(Debug, Clone)]
+pub struct MixedInstance {
+    pack: PackingInstance,
+    cover: PackingInstance,
+}
+
+impl MixedInstance {
+    /// Build and validate a mixed instance from per-coordinate packing and
+    /// covering matrices (`pack[k]` and `cover[k]` belong to coordinate
+    /// `k`).
+    ///
+    /// # Errors
+    /// [`PsdpError::InvalidInstance`] when the two sides disagree on the
+    /// coordinate count, or either side fails [`PackingInstance::new`]
+    /// validation (empty set, dimension mismatch, non-PSD storage,
+    /// non-positive trace).
+    pub fn new(pack: Vec<Constraint>, cover: Vec<Constraint>) -> Result<Self, PsdpError> {
+        if pack.len() != cover.len() {
+            return Err(PsdpError::InvalidInstance(format!(
+                "mixed instance needs one packing and one covering matrix per coordinate, got \
+                 {} packing vs {} covering",
+                pack.len(),
+                cover.len()
+            )));
+        }
+        let pack = PackingInstance::new(pack)
+            .map_err(|e| PsdpError::InvalidInstance(format!("packing side: {e}")))?;
+        let cover = PackingInstance::new(cover)
+            .map_err(|e| PsdpError::InvalidInstance(format!("covering side: {e}")))?;
+        Ok(MixedInstance { pack, cover })
+    }
+
+    /// The packing side `P₁ … Pₙ` as a packing instance.
+    pub fn pack(&self) -> &PackingInstance {
+        &self.pack
+    }
+
+    /// The covering side `C₁ … Cₙ` as a packing instance.
+    pub fn cover(&self) -> &PackingInstance {
+        &self.cover
+    }
+
+    /// Number of coordinates `n` (shared by both sides).
+    pub fn n(&self) -> usize {
+        self.pack.n()
+    }
+
+    /// Packing-side matrix dimension.
+    pub fn pack_dim(&self) -> usize {
+        self.pack.dim()
+    }
+
+    /// Covering-side matrix dimension.
+    pub fn cover_dim(&self) -> usize {
+        self.cover.dim()
+    }
+
+    /// Total storage nonzeros across both sides.
+    pub fn total_nnz(&self) -> usize {
+        self.pack.total_nnz() + self.cover.total_nnz()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,6 +436,31 @@ mod tests {
         assert_eq!(sub.mats()[1].trace(), 2.0);
         assert!(inst.restrict(&[]).is_err());
         assert!(inst.restrict(&[7]).is_err());
+    }
+
+    #[test]
+    fn mixed_instance_validates_and_exposes_sides() {
+        let inst = MixedInstance::new(
+            vec![diag(&[1.0, 0.0]), diag(&[0.0, 2.0])],
+            vec![diag(&[0.5, 0.5, 0.0]), diag(&[0.0, 0.0, 1.0])],
+        )
+        .unwrap();
+        assert_eq!(inst.n(), 2);
+        assert_eq!(inst.pack_dim(), 2);
+        assert_eq!(inst.cover_dim(), 3);
+        assert_eq!(inst.total_nnz(), 2 + 3);
+        assert_eq!(inst.pack().n(), inst.cover().n());
+    }
+
+    #[test]
+    fn mixed_instance_rejects_mismatch_and_zero_sides() {
+        // Coordinate counts must match.
+        assert!(MixedInstance::new(vec![diag(&[1.0])], vec![]).is_err());
+        // A zero matrix on either side is rejected (positive trace).
+        let r = MixedInstance::new(vec![diag(&[0.0, 0.0])], vec![diag(&[1.0, 0.0])]);
+        assert!(matches!(r, Err(PsdpError::InvalidInstance(msg)) if msg.contains("packing side")));
+        let r = MixedInstance::new(vec![diag(&[1.0, 0.0])], vec![diag(&[0.0, 0.0])]);
+        assert!(matches!(r, Err(PsdpError::InvalidInstance(msg)) if msg.contains("covering side")));
     }
 
     #[test]

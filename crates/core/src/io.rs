@@ -1,4 +1,5 @@
-//! Plain-text instance format (`psdp v1`) — load/save packing instances.
+//! Plain-text instance formats (`psdp v1` / `psdp mixed v1`) — load/save
+//! packing and mixed packing–covering instances.
 //!
 //! A deliberately boring line-based format so instances can be generated,
 //! versioned, and diffed without extra dependencies:
@@ -20,17 +21,73 @@
 //!
 //! Sparse symmetric constraints use `constraint <i> sparse <nnz>` followed
 //! by `nnz` lines of `<row> <col> <value>` triplets (every stored entry,
-//! both triangles).
+//! both triangles). Dense constraints use `constraint <i> dense` followed
+//! by `dim` rows of `dim` whitespace-separated numbers. Values round-trip
+//! through `{:e}` formatting, so write→read is exact.
 //!
-//! Dense constraints use `constraint <i> dense` followed by `dim` rows of
-//! `dim` whitespace-separated numbers. Values round-trip through `{:e}`
-//! formatting, so write→read is exact.
+//! The mixed format shares the constraint-block grammar with per-side
+//! dimensions and one packing + one covering block per coordinate:
+//!
+//! ```text
+//! psdp mixed 1
+//! pack-dim 3
+//! cover-dim 2
+//! coordinates 2
+//! pack 0 diagonal 1
+//! 0 2.0
+//! pack 1 sparse 1
+//! 1 1 1.0
+//! cover 0 diagonal 1
+//! 0 1.0
+//! cover 1 diagonal 1
+//! 1 1.0
+//! end
+//! ```
 
 use crate::error::PsdpError;
-use crate::instance::PackingInstance;
+use crate::instance::{MixedInstance, PackingInstance};
 use psdp_linalg::Mat;
 use psdp_sparse::{Csr, FactorPsd, PsdMatrix};
 use std::fmt::Write as _;
+
+/// Write one constraint block with the given line label (`constraint` in
+/// the packing format, `pack`/`cover` in the mixed format).
+fn write_constraint(out: &mut String, label: &str, i: usize, a: &PsdMatrix, dim: usize) {
+    match a {
+        PsdMatrix::Diagonal(d) => {
+            let nz: Vec<(usize, f64)> =
+                d.iter().enumerate().filter(|(_, &v)| v != 0.0).map(|(j, &v)| (j, v)).collect();
+            writeln!(out, "{label} {i} diagonal {}", nz.len()).unwrap();
+            for (j, v) in nz {
+                writeln!(out, "{j} {v:e}").unwrap();
+            }
+        }
+        PsdMatrix::Factor(fp) => {
+            let q = fp.factor();
+            writeln!(out, "{label} {i} factor {} {}", q.nnz(), q.ncols()).unwrap();
+            for r in 0..q.nrows() {
+                for (c, v) in q.row_iter(r) {
+                    writeln!(out, "{r} {c} {v:e}").unwrap();
+                }
+            }
+        }
+        PsdMatrix::Sparse(s) => {
+            writeln!(out, "{label} {i} sparse {}", s.nnz()).unwrap();
+            for r in 0..s.nrows() {
+                for (c, v) in s.row_iter(r) {
+                    writeln!(out, "{r} {c} {v:e}").unwrap();
+                }
+            }
+        }
+        PsdMatrix::Dense(m) => {
+            writeln!(out, "{label} {i} dense").unwrap();
+            for r in 0..dim {
+                let row: Vec<String> = m.row(r).iter().map(|v| format!("{v:e}")).collect();
+                writeln!(out, "{}", row.join(" ")).unwrap();
+            }
+        }
+    }
+}
 
 /// Serialize an instance to the `psdp v1` text format.
 ///
@@ -52,43 +109,199 @@ pub fn write_instance(inst: &PackingInstance) -> String {
     writeln!(out, "dim {dim}").unwrap();
     writeln!(out, "constraints {}", inst.n()).unwrap();
     for (i, a) in inst.mats().iter().enumerate() {
-        match a {
-            PsdMatrix::Diagonal(d) => {
-                let nz: Vec<(usize, f64)> =
-                    d.iter().enumerate().filter(|(_, &v)| v != 0.0).map(|(j, &v)| (j, v)).collect();
-                writeln!(out, "constraint {i} diagonal {}", nz.len()).unwrap();
-                for (j, v) in nz {
-                    writeln!(out, "{j} {v:e}").unwrap();
-                }
-            }
-            PsdMatrix::Factor(fp) => {
-                let q = fp.factor();
-                writeln!(out, "constraint {i} factor {} {}", q.nnz(), q.ncols()).unwrap();
-                for r in 0..q.nrows() {
-                    for (c, v) in q.row_iter(r) {
-                        writeln!(out, "{r} {c} {v:e}").unwrap();
-                    }
-                }
-            }
-            PsdMatrix::Sparse(s) => {
-                writeln!(out, "constraint {i} sparse {}", s.nnz()).unwrap();
-                for r in 0..s.nrows() {
-                    for (c, v) in s.row_iter(r) {
-                        writeln!(out, "{r} {c} {v:e}").unwrap();
-                    }
-                }
-            }
-            PsdMatrix::Dense(m) => {
-                writeln!(out, "constraint {i} dense").unwrap();
-                for r in 0..dim {
-                    let row: Vec<String> = m.row(r).iter().map(|v| format!("{v:e}")).collect();
-                    writeln!(out, "{}", row.join(" ")).unwrap();
-                }
-            }
-        }
+        write_constraint(&mut out, "constraint", i, a, dim);
     }
     writeln!(out, "end").unwrap();
     out
+}
+
+/// Serialize a mixed instance to the `psdp mixed v1` text format.
+///
+/// ```
+/// use psdp_core::{read_mixed_instance, write_mixed_instance, MixedInstance};
+/// use psdp_sparse::PsdMatrix;
+///
+/// let inst = MixedInstance::new(
+///     vec![PsdMatrix::Diagonal(vec![2.0])],
+///     vec![PsdMatrix::Diagonal(vec![1.0])],
+/// )?;
+/// let back = read_mixed_instance(&write_mixed_instance(&inst))?;
+/// assert_eq!(back.n(), 1);
+/// assert_eq!(back.pack().mats()[0].trace(), 2.0);
+/// # Ok::<(), psdp_core::PsdpError>(())
+/// ```
+pub fn write_mixed_instance(inst: &MixedInstance) -> String {
+    let mut out = String::new();
+    writeln!(out, "psdp mixed 1").unwrap();
+    writeln!(out, "pack-dim {}", inst.pack_dim()).unwrap();
+    writeln!(out, "cover-dim {}", inst.cover_dim()).unwrap();
+    writeln!(out, "coordinates {}", inst.n()).unwrap();
+    for (i, a) in inst.pack().mats().iter().enumerate() {
+        write_constraint(&mut out, "pack", i, a, inst.pack_dim());
+    }
+    for (i, a) in inst.cover().mats().iter().enumerate() {
+        write_constraint(&mut out, "cover", i, a, inst.cover_dim());
+    }
+    writeln!(out, "end").unwrap();
+    out
+}
+
+/// Comment-stripped, blank-skipping line cursor shared by both readers.
+struct Lines<'a> {
+    items: Vec<(usize, &'a str)>,
+    pos: usize,
+}
+
+impl<'a> Lines<'a> {
+    fn new(text: &'a str) -> Self {
+        let items = text
+            .lines()
+            .enumerate()
+            .map(|(no, l)| (no + 1, l.split('#').next().unwrap_or("").trim()))
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        Lines { items, pos: 0 }
+    }
+
+    fn next(&mut self) -> Option<(usize, &'a str)> {
+        let item = self.items.get(self.pos).copied();
+        self.pos += 1;
+        item
+    }
+
+    /// Line number of the most recently consumed line (0 if none).
+    fn here(&self) -> usize {
+        if self.pos == 0 {
+            0
+        } else {
+            self.items.get(self.pos - 1).map_or(0, |&(no, _)| no)
+        }
+    }
+}
+
+fn bad(no: usize, msg: &str) -> PsdpError {
+    PsdpError::InvalidInstance(format!("line {no}: {msg}"))
+}
+
+/// Parse a `<prefix> <value>` header line.
+fn header_usize(lines: &mut Lines<'_>, prefix: &str) -> Result<usize, PsdpError> {
+    let (no, line) =
+        lines.next().ok_or_else(|| bad(lines.here(), &format!("missing `{prefix}`")))?;
+    line.strip_prefix(prefix)
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| bad(no, &format!("expected `{prefix} <n>`")))
+}
+
+/// Parse one constraint block: a head line `<label> <i> <kind> …` (already
+/// split into `toks`) followed by its entry lines.
+fn read_constraint(
+    lines: &mut Lines<'_>,
+    head_no: usize,
+    toks: &[&str],
+    dim: usize,
+) -> Result<PsdMatrix, PsdpError> {
+    match toks[2] {
+        "diagonal" => {
+            let nnz: usize =
+                toks.get(3).and_then(|s| s.parse().ok()).ok_or_else(|| bad(head_no, "bad nnz"))?;
+            let mut d = vec![0.0; dim];
+            for _ in 0..nnz {
+                let (no, entry) = lines.next().ok_or_else(|| bad(head_no, "truncated diagonal"))?;
+                let parts: Vec<&str> = entry.split_whitespace().collect();
+                let (j, v) = parse_pair(&parts).ok_or_else(|| bad(no, "bad diagonal entry"))?;
+                if j >= dim {
+                    return Err(bad(no, "diagonal coordinate out of range"));
+                }
+                d[j] = v;
+            }
+            Ok(PsdMatrix::Diagonal(d))
+        }
+        "factor" => {
+            let nnz: usize =
+                toks.get(3).and_then(|s| s.parse().ok()).ok_or_else(|| bad(head_no, "bad nnz"))?;
+            let rank: usize =
+                toks.get(4).and_then(|s| s.parse().ok()).ok_or_else(|| bad(head_no, "bad rank"))?;
+            let mut trip = Vec::with_capacity(nnz);
+            for _ in 0..nnz {
+                let (no, entry) = lines.next().ok_or_else(|| bad(head_no, "truncated factor"))?;
+                let parts: Vec<&str> = entry.split_whitespace().collect();
+                let (r, c, v) = parse_triplet(&parts).ok_or_else(|| bad(no, "bad factor entry"))?;
+                if r >= dim || c >= rank {
+                    return Err(bad(no, "factor entry out of range"));
+                }
+                trip.push((r, c, v));
+            }
+            Ok(PsdMatrix::Factor(FactorPsd::new(Csr::from_triplets(dim, rank.max(1), &trip))))
+        }
+        "sparse" => {
+            let nnz: usize =
+                toks.get(3).and_then(|s| s.parse().ok()).ok_or_else(|| bad(head_no, "bad nnz"))?;
+            let mut trip = Vec::with_capacity(nnz);
+            for _ in 0..nnz {
+                let (no, entry) = lines.next().ok_or_else(|| bad(head_no, "truncated sparse"))?;
+                let parts: Vec<&str> = entry.split_whitespace().collect();
+                let (r, c, v) = parse_triplet(&parts).ok_or_else(|| bad(no, "bad sparse entry"))?;
+                if r >= dim || c >= dim {
+                    return Err(bad(no, "sparse entry out of range"));
+                }
+                trip.push((r, c, v));
+            }
+            Ok(PsdMatrix::Sparse(Csr::from_triplets(dim, dim, &trip)))
+        }
+        "dense" => {
+            let mut m = Mat::zeros(dim, dim);
+            for r in 0..dim {
+                let (no, row_line) =
+                    lines.next().ok_or_else(|| bad(head_no, "truncated dense block"))?;
+                let vals: Result<Vec<f64>, _> =
+                    row_line.split_whitespace().map(str::parse).collect();
+                let vals = vals.map_err(|_| bad(no, "bad dense row"))?;
+                if vals.len() != dim {
+                    return Err(bad(
+                        no,
+                        &format!("dense row has {} values, want {dim}", vals.len()),
+                    ));
+                }
+                for (c, v) in vals.into_iter().enumerate() {
+                    m[(r, c)] = v;
+                }
+            }
+            m.symmetrize();
+            Ok(PsdMatrix::Dense(m))
+        }
+        other => Err(bad(head_no, &format!("unknown constraint kind `{other}`"))),
+    }
+}
+
+/// Read `count` constraint blocks whose head lines are labelled `label`.
+fn read_block_list(
+    lines: &mut Lines<'_>,
+    label: &str,
+    count: usize,
+    dim: usize,
+) -> Result<Vec<PsdMatrix>, PsdpError> {
+    let mut mats = Vec::with_capacity(count);
+    for expected in 0..count {
+        let (no, head) = lines.next().ok_or_else(|| bad(0, "unexpected end of file"))?;
+        let toks: Vec<&str> = head.split_whitespace().collect();
+        if toks.len() < 3 || toks[0] != label {
+            return Err(bad(no, &format!("expected `{label} <i> <kind> …`")));
+        }
+        let idx: usize = toks[1].parse().map_err(|_| bad(no, "bad constraint index"))?;
+        if idx != expected {
+            return Err(bad(no, &format!("{label} index {idx}, expected {expected}")));
+        }
+        mats.push(read_constraint(lines, no, &toks, dim)?);
+    }
+    Ok(mats)
+}
+
+fn expect_end(lines: &mut Lines<'_>) -> Result<(), PsdpError> {
+    match lines.next() {
+        Some((_, "end")) => Ok(()),
+        Some((no, other)) => Err(bad(no, &format!("expected `end`, found `{other}`"))),
+        None => Err(bad(0, "missing trailing `end`")),
+    }
 }
 
 /// Parse the `psdp v1` text format.
@@ -97,127 +310,36 @@ pub fn write_instance(inst: &PackingInstance) -> String {
 /// [`PsdpError::InvalidInstance`] with a line-anchored message on any
 /// malformed input.
 pub fn read_instance(text: &str) -> Result<PackingInstance, PsdpError> {
-    let mut lines = text
-        .lines()
-        .enumerate()
-        .map(|(no, l)| (no + 1, l.split('#').next().unwrap_or("").trim()))
-        .filter(|(_, l)| !l.is_empty());
-
-    let bad = |no: usize, msg: &str| PsdpError::InvalidInstance(format!("line {no}: {msg}"));
-
+    let mut lines = Lines::new(text);
     let (no, header) = lines.next().ok_or_else(|| bad(0, "empty file"))?;
     if header != "psdp 1" {
         return Err(bad(no, "expected header `psdp 1`"));
     }
-
-    let (no, dim_line) = lines.next().ok_or_else(|| bad(no, "missing `dim`"))?;
-    let dim: usize = dim_line
-        .strip_prefix("dim ")
-        .and_then(|s| s.trim().parse().ok())
-        .ok_or_else(|| bad(no, "expected `dim <n>`"))?;
-
-    let (no, cnt_line) = lines.next().ok_or_else(|| bad(no, "missing `constraints`"))?;
-    let count: usize = cnt_line
-        .strip_prefix("constraints ")
-        .and_then(|s| s.trim().parse().ok())
-        .ok_or_else(|| bad(no, "expected `constraints <n>`"))?;
-
-    let mut mats: Vec<PsdMatrix> = Vec::with_capacity(count);
-    for expected in 0..count {
-        let (no, head) = lines.next().ok_or_else(|| bad(0, "unexpected end of file"))?;
-        let toks: Vec<&str> = head.split_whitespace().collect();
-        if toks.len() < 3 || toks[0] != "constraint" {
-            return Err(bad(no, "expected `constraint <i> <kind> …`"));
-        }
-        let idx: usize = toks[1].parse().map_err(|_| bad(no, "bad constraint index"))?;
-        if idx != expected {
-            return Err(bad(no, &format!("constraint index {idx}, expected {expected}")));
-        }
-        match toks[2] {
-            "diagonal" => {
-                let nnz: usize =
-                    toks.get(3).and_then(|s| s.parse().ok()).ok_or_else(|| bad(no, "bad nnz"))?;
-                let mut d = vec![0.0; dim];
-                for _ in 0..nnz {
-                    let (no, entry) = lines.next().ok_or_else(|| bad(no, "truncated diagonal"))?;
-                    let parts: Vec<&str> = entry.split_whitespace().collect();
-                    let (j, v) = parse_pair(&parts).ok_or_else(|| bad(no, "bad diagonal entry"))?;
-                    if j >= dim {
-                        return Err(bad(no, "diagonal coordinate out of range"));
-                    }
-                    d[j] = v;
-                }
-                mats.push(PsdMatrix::Diagonal(d));
-            }
-            "factor" => {
-                let nnz: usize =
-                    toks.get(3).and_then(|s| s.parse().ok()).ok_or_else(|| bad(no, "bad nnz"))?;
-                let rank: usize =
-                    toks.get(4).and_then(|s| s.parse().ok()).ok_or_else(|| bad(no, "bad rank"))?;
-                let mut trip = Vec::with_capacity(nnz);
-                for _ in 0..nnz {
-                    let (no, entry) = lines.next().ok_or_else(|| bad(no, "truncated factor"))?;
-                    let parts: Vec<&str> = entry.split_whitespace().collect();
-                    let (r, c, v) =
-                        parse_triplet(&parts).ok_or_else(|| bad(no, "bad factor entry"))?;
-                    if r >= dim || c >= rank {
-                        return Err(bad(no, "factor entry out of range"));
-                    }
-                    trip.push((r, c, v));
-                }
-                mats.push(PsdMatrix::Factor(FactorPsd::new(Csr::from_triplets(
-                    dim,
-                    rank.max(1),
-                    &trip,
-                ))));
-            }
-            "sparse" => {
-                let nnz: usize =
-                    toks.get(3).and_then(|s| s.parse().ok()).ok_or_else(|| bad(no, "bad nnz"))?;
-                let mut trip = Vec::with_capacity(nnz);
-                for _ in 0..nnz {
-                    let (no, entry) = lines.next().ok_or_else(|| bad(no, "truncated sparse"))?;
-                    let parts: Vec<&str> = entry.split_whitespace().collect();
-                    let (r, c, v) =
-                        parse_triplet(&parts).ok_or_else(|| bad(no, "bad sparse entry"))?;
-                    if r >= dim || c >= dim {
-                        return Err(bad(no, "sparse entry out of range"));
-                    }
-                    trip.push((r, c, v));
-                }
-                mats.push(PsdMatrix::Sparse(Csr::from_triplets(dim, dim, &trip)));
-            }
-            "dense" => {
-                let mut m = Mat::zeros(dim, dim);
-                for r in 0..dim {
-                    let (no, row_line) =
-                        lines.next().ok_or_else(|| bad(no, "truncated dense block"))?;
-                    let vals: Result<Vec<f64>, _> =
-                        row_line.split_whitespace().map(str::parse).collect();
-                    let vals = vals.map_err(|_| bad(no, "bad dense row"))?;
-                    if vals.len() != dim {
-                        return Err(bad(
-                            no,
-                            &format!("dense row has {} values, want {dim}", vals.len()),
-                        ));
-                    }
-                    for (c, v) in vals.into_iter().enumerate() {
-                        m[(r, c)] = v;
-                    }
-                }
-                m.symmetrize();
-                mats.push(PsdMatrix::Dense(m));
-            }
-            other => return Err(bad(no, &format!("unknown constraint kind `{other}`"))),
-        }
-    }
-
-    match lines.next() {
-        Some((_, "end")) => {}
-        Some((no, other)) => return Err(bad(no, &format!("expected `end`, found `{other}`"))),
-        None => return Err(bad(0, "missing trailing `end`")),
-    }
+    let dim = header_usize(&mut lines, "dim ")?;
+    let count = header_usize(&mut lines, "constraints ")?;
+    let mats = read_block_list(&mut lines, "constraint", count, dim)?;
+    expect_end(&mut lines)?;
     PackingInstance::new(mats)
+}
+
+/// Parse the `psdp mixed v1` text format.
+///
+/// # Errors
+/// [`PsdpError::InvalidInstance`] with a line-anchored message on any
+/// malformed input.
+pub fn read_mixed_instance(text: &str) -> Result<MixedInstance, PsdpError> {
+    let mut lines = Lines::new(text);
+    let (no, header) = lines.next().ok_or_else(|| bad(0, "empty file"))?;
+    if header != "psdp mixed 1" {
+        return Err(bad(no, "expected header `psdp mixed 1`"));
+    }
+    let pack_dim = header_usize(&mut lines, "pack-dim ")?;
+    let cover_dim = header_usize(&mut lines, "cover-dim ")?;
+    let count = header_usize(&mut lines, "coordinates ")?;
+    let pack = read_block_list(&mut lines, "pack", count, pack_dim)?;
+    let cover = read_block_list(&mut lines, "cover", count, cover_dim)?;
+    expect_end(&mut lines)?;
+    MixedInstance::new(pack, cover)
 }
 
 fn parse_pair(parts: &[&str]) -> Option<(usize, f64)> {
@@ -266,6 +388,48 @@ mod tests {
         for (a, b) in inst.mats().iter().zip(back.mats()) {
             assert_eq!(a.to_dense().as_slice(), b.to_dense().as_slice());
         }
+    }
+
+    #[test]
+    fn mixed_roundtrip_exact_all_storage_kinds() {
+        // Mixed-dimension sides with every storage kind represented.
+        let pack = sample().mats().to_vec();
+        let cover = vec![
+            PsdMatrix::Diagonal(vec![1.0, 0.5]),
+            PsdMatrix::Sparse(Csr::from_triplets(
+                2,
+                2,
+                &[(0, 0, 1.0), (0, 1, -0.5), (1, 0, -0.5), (1, 1, 1.0)],
+            )),
+            PsdMatrix::Diagonal(vec![0.0, 2.0]),
+            PsdMatrix::Diagonal(vec![0.25, 0.25]),
+        ];
+        let inst = MixedInstance::new(pack, cover).unwrap();
+        let text = write_mixed_instance(&inst);
+        let back = read_mixed_instance(&text).unwrap();
+        assert_eq!(back.n(), inst.n());
+        assert_eq!(back.pack_dim(), 3);
+        assert_eq!(back.cover_dim(), 2);
+        for (a, b) in inst.pack().mats().iter().zip(back.pack().mats()) {
+            assert_eq!(a.to_dense().as_slice(), b.to_dense().as_slice());
+        }
+        for (a, b) in inst.cover().mats().iter().zip(back.cover().mats()) {
+            assert_eq!(a.to_dense().as_slice(), b.to_dense().as_slice());
+        }
+    }
+
+    #[test]
+    fn mixed_rejects_malformed() {
+        // Wrong header.
+        assert!(read_mixed_instance("psdp 1\n").is_err());
+        // Packing block labelled wrong.
+        let bad = "psdp mixed 1\npack-dim 1\ncover-dim 1\ncoordinates 1\nconstraint 0 diagonal 1\n0 1.0\ncover 0 diagonal 1\n0 1.0\nend\n";
+        let err = read_mixed_instance(bad).unwrap_err().to_string();
+        assert!(err.contains("pack"), "{err}");
+        // Missing cover side.
+        let bad =
+            "psdp mixed 1\npack-dim 1\ncover-dim 1\ncoordinates 1\npack 0 diagonal 1\n0 1.0\nend\n";
+        assert!(read_mixed_instance(bad).is_err());
     }
 
     #[test]

@@ -7,9 +7,13 @@
 //!   [`Solver`] (instance validated, engine resolved and constructed once)
 //!   → [`Session`] (stateful solves with cross-bracket warm starts and
 //!   per-iteration [`Observer`]s). **This is the primary entry point.**
-//! * [`instance`] — problem types: general positive SDPs (1.1) and
-//!   normalized packing instances (Figure 2) over [`Constraint`] storage
-//!   (dense / sparse CSR / factorized / diagonal),
+//! * [`instance`] — problem types: general positive SDPs (1.1),
+//!   normalized packing instances (Figure 2), and mixed packing–covering
+//!   instances, all over [`Constraint`] storage (dense / sparse CSR /
+//!   factorized / diagonal),
+//! * [`mixed`] — the Jain–Yao mixed packing–covering solver on the same
+//!   session core: [`MixedSolver`] → [`MixedSession`] with certified
+//!   feasibility answers and threshold bisection ([`solve_mixed`]),
 //! * [`decision`] / [`approx`] — the classic one-shot entry points
 //!   ([`decision_psdp`], [`solve_packing`], [`solve_covering`]), kept as
 //!   thin convenience wrappers over the session API,
@@ -30,6 +34,7 @@ pub mod decision;
 pub mod error;
 pub mod instance;
 pub mod io;
+pub mod mixed;
 pub mod normalize;
 pub mod options;
 pub mod psi;
@@ -41,14 +46,24 @@ pub mod verify;
 pub use approx::{solve_covering, solve_packing, ApproxOptions, CoveringReport, PackingReport};
 pub use decision::{decision_psdp, DecisionResult};
 pub use error::PsdpError;
-pub use instance::{Constraint, PackingInstance, PositiveSdp};
-pub use io::{read_instance, write_instance};
-pub use normalize::{normalize, trace_prune, Normalized};
+pub use instance::{Constraint, MixedInstance, PackingInstance, PositiveSdp};
+pub use io::{read_instance, read_mixed_instance, write_instance, write_mixed_instance};
+pub use mixed::{
+    coverage_target, solve_mixed, MixedApproxOptions, MixedDecision, MixedOptions, MixedReport,
+    MixedSession, MixedSolver, MixedSolverBuilder,
+};
+pub use normalize::{normalize, normalize_mixed, trace_prune, MixedNormalized, Normalized};
 pub use options::{ConstantsMode, DecisionOptions, EngineKind, UpdateRule};
 pub use psi::PsiMaintainer;
-pub use solution::{DualSolution, ExitReason, Outcome, PrimalSolution};
+pub use solution::{
+    DualSolution, ExitReason, MixedCertificate, MixedFeasible, MixedOutcome, Outcome,
+    PrimalSolution,
+};
 pub use solver::{
     IterationEvent, Observer, ObserverControl, PhaseEvent, Session, Solver, SolverBuilder,
 };
 pub use stats::{BracketStats, SolveStats};
-pub use verify::{verify_dual, verify_primal, DualCertificate, PrimalCertificate};
+pub use verify::{
+    verify_dual, verify_mixed_feasible, verify_mixed_infeasible, verify_primal, DualCertificate,
+    MixedFeasibleCertificate, MixedInfeasibleCertificate, PrimalCertificate,
+};

@@ -73,20 +73,150 @@ pub enum ExitReason {
     /// The iteration cap `R` (or practical `max_iters`) was reached.
     IterationCap,
     /// The eligible set `B(t)` was empty: the current `P(t)` already
-    /// certifies the primal side (see `decision.rs` docs).
+    /// certifies the primal side (see `decision.rs` docs). For the mixed
+    /// solver this is the **infeasibility** exit (the weight pair
+    /// `(Y_P, Y_C)` prices every coordinate out; see
+    /// [`MixedCertificate`]).
     EmptyEligibleSet,
     /// The running primal average certified feasibility early
     /// (practical-mode `early_exit`).
     PrimalEarly,
+    /// The mixed solver's soft-min coverage bound reached its target
+    /// `T = Θ(log(m)/ε)`: the rescaled iterate is approximately feasible
+    /// (see [`crate::mixed`]). Never produced by the packing loop.
+    CoverageReached,
     /// A registered [`crate::solver::Observer`] returned
     /// [`crate::solver::ObserverControl::Stop`]. The returned primal
     /// average is telemetry, **not** a certificate.
     ObserverStopped,
 }
 
+/// An approximately feasible point for a [`crate::MixedInstance`]: mixed
+/// packing–covering feasibility certified **by measurement** (exact
+/// eigensolver on both aggregates), independent of the engine that found
+/// it.
+#[derive(Debug, Clone)]
+pub struct MixedFeasible {
+    /// The point, rescaled so `λmax(Σ xᵢPᵢ) ≤ 1` holds exactly (up to the
+    /// measurement).
+    pub x: Vec<f64>,
+    /// Measured `λmax(Σ xᵢPᵢ)` after rescaling (≤ 1).
+    pub pack_lambda_max: f64,
+    /// Measured `λmin(Σ xᵢCᵢ)` after rescaling — the coverage level this
+    /// point certifies. "Feasible at threshold σ" means this is
+    /// `≥ σ·(1 − O(ε))`.
+    pub cover_lambda_min: f64,
+}
+
+/// A mixed-infeasibility certificate: a pair of trace-1 PSD weight
+/// matrices `(Y_P, Y_C)` under which every coordinate's packing price
+/// strictly exceeds its covering price. Concretely, with
+/// `margin = minₖ σ·(Pₖ•Y_P)/(Cₖ•Y_C) > 1`:
+///
+/// ```text
+///   any x ≥ 0 with Σ xᵢPᵢ ⪯ I has   1 ≥ Σ xₖ (Pₖ•Y_P)
+///                                     ≥ (margin/σ)·Σ xₖ (Cₖ•Y_C)
+///                                     ≥ (margin/σ)·λmin(Σ xₖCₖ),
+/// ```
+///
+/// so `λmin(Σ xₖCₖ) ≤ σ/margin < σ`: no feasible point exists at coverage
+/// threshold `σ` — or any threshold above `σ/margin`.
+#[derive(Debug, Clone)]
+pub struct MixedCertificate {
+    /// The coverage threshold `σ` the certificate refutes.
+    pub sigma: f64,
+    /// Packing weight matrix `Y_P = exp(Ψ_P)/Tr exp(Ψ_P)` when the
+    /// packing engine materializes it (exact engine); `None` otherwise.
+    pub y_pack: Option<Mat>,
+    /// Covering weight matrix `Y_C = exp(−Ψ_C/σ)/Tr exp(−Ψ_C/σ)`
+    /// (always materialized — the covering side runs the exact engine).
+    pub y_cover: Option<Mat>,
+    /// Engine-reported packing prices `Pₖ•Y_P`.
+    pub pack_dots: Vec<f64>,
+    /// Engine-reported covering values `Cₖ•Y_C` (original covering scale,
+    /// not divided by `σ`).
+    pub cover_dots: Vec<f64>,
+    /// Active-coordinate mask the certificate quantifies over (Lemma-2.2
+    /// style pruning freezes the rest at 0; an all-`true` mask certifies
+    /// the full instance). The bisection accounts for pruned coordinates
+    /// separately via their certified coverage slack.
+    pub active: Vec<bool>,
+    /// `minₖ σ·pack_dots[k]/cover_dots[k]` over the active coordinates
+    /// (> 1 + ε by construction). Certifies the coverage optimum is at
+    /// most `σ/margin`.
+    pub margin: f64,
+}
+
+impl MixedCertificate {
+    /// The coverage threshold this certificate proves unreachable:
+    /// `σ*` ≤ [`MixedCertificate::refuted_threshold`] `= σ/margin`.
+    pub fn refuted_threshold(&self) -> f64 {
+        self.sigma / self.margin.max(1e-300)
+    }
+}
+
+/// Which side the mixed decision procedure certified.
+#[derive(Debug, Clone)]
+pub enum MixedOutcome {
+    /// An approximately feasible point was found (certified by
+    /// measurement; check [`MixedFeasible::cover_lambda_min`] against the
+    /// threshold asked for).
+    Feasible(MixedFeasible),
+    /// A pricing certificate of infeasibility at the tested threshold.
+    Infeasible(MixedCertificate),
+}
+
+impl MixedOutcome {
+    /// True if this is a feasible-point outcome.
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, MixedOutcome::Feasible(_))
+    }
+
+    /// Borrow the feasible point, if any.
+    pub fn feasible(&self) -> Option<&MixedFeasible> {
+        match self {
+            MixedOutcome::Feasible(f) => Some(f),
+            MixedOutcome::Infeasible(_) => None,
+        }
+    }
+
+    /// Borrow the infeasibility certificate, if any.
+    pub fn infeasible(&self) -> Option<&MixedCertificate> {
+        match self {
+            MixedOutcome::Infeasible(c) => Some(c),
+            MixedOutcome::Feasible(_) => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn mixed_outcome_accessors() {
+        let f = MixedOutcome::Feasible(MixedFeasible {
+            x: vec![0.5],
+            pack_lambda_max: 0.9,
+            cover_lambda_min: 1.1,
+        });
+        assert!(f.is_feasible());
+        assert!(f.feasible().is_some());
+        assert!(f.infeasible().is_none());
+
+        let c = MixedOutcome::Infeasible(MixedCertificate {
+            sigma: 2.0,
+            y_pack: None,
+            y_cover: None,
+            pack_dots: vec![1.0],
+            cover_dots: vec![0.5],
+            active: vec![true],
+            margin: 4.0,
+        });
+        assert!(!c.is_feasible());
+        let cert = c.infeasible().unwrap();
+        assert!((cert.refuted_threshold() - 0.5).abs() < 1e-15);
+    }
 
     #[test]
     fn outcome_accessors() {

@@ -757,7 +757,13 @@ impl<'i, 's> Session<'i, 's> {
                     rounds_averaged: 1,
                 })
             }
-            ExitReason::IterationCap | ExitReason::PrimalEarly | ExitReason::ObserverStopped => {
+            // `CoverageReached` belongs to the mixed loop (`crate::mixed`)
+            // and is never produced here; it falls through to the averaged
+            // primal like the other soft exits.
+            ExitReason::IterationCap
+            | ExitReason::PrimalEarly
+            | ExitReason::ObserverStopped
+            | ExitReason::CoverageReached => {
                 let rounds = rounds_accumulated.max(1) as f64;
                 let constraint_dots: Vec<f64> = dot_sums.iter().map(|s| s / rounds).collect();
                 let min_dot = active_min(&constraint_dots);

@@ -36,6 +36,16 @@ pub fn current_num_threads() -> usize {
 }
 
 fn default_threads() -> usize {
+    // Real rayon sizes its global pool from RAYON_NUM_THREADS; honor it so
+    // CI can run the suite under an explicit thread matrix (invalid or
+    // zero values fall back to the machine's parallelism, as rayon does).
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 

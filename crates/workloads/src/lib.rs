@@ -9,7 +9,9 @@
 //! * [`ellipse`] — 2-D ellipse packing incl. the Figure 1 instance,
 //! * [`commuting`] — simultaneously diagonalizable families with exact
 //!   optima,
-//! * [`graphs`] — edge-Laplacian packing over random/grid graphs.
+//! * [`graphs`] — edge-Laplacian packing over random/grid graphs,
+//! * [`mixed`] — mixed packing–covering instances (diagonal-embedded LPs
+//!   and graph edge-cover families) for the Jain–Yao solver.
 
 #![warn(missing_docs)]
 
@@ -18,6 +20,7 @@ pub mod commuting;
 pub mod diagonal;
 pub mod ellipse;
 pub mod graphs;
+pub mod mixed;
 pub mod random;
 
 pub use beamforming::{beamforming_sdp, Beamforming};
@@ -25,4 +28,5 @@ pub use commuting::{commuting_family, CommutingFamily};
 pub use diagonal::{diagonal_columns, random_lp_diagonal, set_cover_packing};
 pub use ellipse::{figure1_instance, rotated_family, Ellipse};
 pub use graphs::{edge_packing, edge_packing_sparse, gnp, grid, vertex_star_packing};
+pub use mixed::{mixed_edge_cover, mixed_lp_diagonal};
 pub use random::{random_dense, random_factorized, RandomFactorized};

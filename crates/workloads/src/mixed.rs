@@ -1,0 +1,169 @@
+//! Mixed packing–covering instance generators.
+//!
+//! Two families drive the mixed-solver experiments (E12) and the
+//! differential tests:
+//!
+//! * [`mixed_lp_diagonal`] — diagonal-embedded random mixed LPs. Positive
+//!   mixed LPs (`Px ≤ 1`, `Cx ≥ σ·1`) embed into mixed SDPs as diagonal
+//!   matrices, where the exact simplex threshold and the scalar Young
+//!   solver (`psdp_baselines::mixed_lp`) are independent oracles — the
+//!   differential-testing workload.
+//! * [`mixed_edge_cover`] — a graph family: packing side = edge
+//!   Laplacians (spectral capacity, exactly the packing experiments'
+//!   constraints), covering side = the same Laplacians plus a ridge on
+//!   the two endpoint diagonals (per-edge service demand). The mixed
+//!   question "load edges under spectral capacity while covering every
+//!   vertex's ridge demand" is feasible at a positive threshold whenever
+//!   the graph has no isolated vertex.
+
+use psdp_core::MixedInstance;
+use psdp_parallel::rng_for;
+use psdp_sparse::{Csr, Graph, PsdMatrix};
+use rand::Rng;
+
+/// Random diagonal-embedded mixed LP: `n` coordinates, `mp` packing rows,
+/// `mc` covering rows, entries drawn in `(0.1, 1.0]` at the given density
+/// (deterministic in `seed`). Every coordinate is guaranteed a nonzero
+/// column on *both* sides ([`MixedInstance`] requires positive traces).
+///
+/// # Panics
+/// Panics on zero sizes or a density outside `[0, 1]`.
+pub fn mixed_lp_diagonal(mp: usize, mc: usize, n: usize, density: f64, seed: u64) -> MixedInstance {
+    assert!(mp > 0 && mc > 0 && n > 0);
+    assert!((0.0..=1.0).contains(&density));
+    fn column(rng: &mut rand::rngs::StdRng, rows: usize, density: f64) -> Vec<f64> {
+        let mut d: Vec<f64> = (0..rows)
+            .map(|_| if rng.gen_bool(density.max(1e-9)) { rng.gen_range(0.1..1.0) } else { 0.0 })
+            .collect();
+        if d.iter().all(|&v| v == 0.0) {
+            let j = rng.gen_range(0..rows);
+            d[j] = rng.gen_range(0.1..1.0);
+        }
+        d
+    }
+    let mut pack = Vec::with_capacity(n);
+    let mut cover = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut rng = rng_for(seed, 20_000 + k as u64);
+        pack.push(PsdMatrix::Diagonal(column(&mut rng, mp, density)));
+        cover.push(PsdMatrix::Diagonal(column(&mut rng, mc, density)));
+    }
+    MixedInstance::new(pack, cover).expect("generator emits valid mixed instances")
+}
+
+/// Graph-based mixed family: per edge `e = (u, v)` with weight `w`,
+///
+/// * packing matrix `Pₑ = Lₑ` (the edge Laplacian, sparse CSR — spectral
+///   capacity, identical to [`crate::edge_packing_sparse`]),
+/// * covering matrix `Cₑ = Lₑ + ridge·(e_u e_uᵀ + e_v e_vᵀ)` (sparse CSR —
+///   the edge serves a ridge demand at both endpoints).
+///
+/// With `ridge > 0`, `Σₑ xₑCₑ ⪰ ridge·diag(weighted degrees)`, so the
+/// coverage optimum is strictly positive exactly when the graph has no
+/// isolated vertex (an isolated vertex is a common null direction of
+/// every `Cₑ`, which [`psdp_core::solve_mixed`] detects and reports as
+/// `σ* = 0`).
+///
+/// # Panics
+/// Panics if the graph has no edges or `ridge` is not positive and finite.
+pub fn mixed_edge_cover(g: &Graph, ridge: f64) -> MixedInstance {
+    assert!(g.m() > 0, "mixed_edge_cover: graph has no edges");
+    assert!(ridge > 0.0 && ridge.is_finite(), "ridge must be positive and finite");
+    let n = g.n();
+    let mut pack = Vec::with_capacity(g.m());
+    let mut cover = Vec::with_capacity(g.m());
+    for &(u, v, w) in g.edges() {
+        let lap = [(u, u, w), (v, v, w), (u, v, -w), (v, u, -w)];
+        pack.push(PsdMatrix::Sparse(Csr::from_triplets(n, n, &lap)));
+        let cov = [(u, u, w + ridge), (v, v, w + ridge), (u, v, -w), (v, u, -w)];
+        cover.push(PsdMatrix::Sparse(Csr::from_triplets(n, n, &cov)));
+    }
+    MixedInstance::new(pack, cover).expect("generator emits valid mixed instances")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagonal::diagonal_columns;
+    use crate::graphs::{gnp, grid};
+    use psdp_linalg::sym_eigen;
+
+    #[test]
+    fn mixed_lp_deterministic_and_nonzero_both_sides() {
+        let a = mixed_lp_diagonal(4, 3, 5, 0.5, 7);
+        let b = mixed_lp_diagonal(4, 3, 5, 0.5, 7);
+        assert_eq!(a.n(), 5);
+        assert_eq!(a.pack_dim(), 4);
+        assert_eq!(a.cover_dim(), 3);
+        for (x, y) in a.pack().mats().iter().zip(b.pack().mats()) {
+            assert!(x.trace() > 0.0);
+            assert_eq!(x.to_dense().as_slice(), y.to_dense().as_slice());
+        }
+        for (x, y) in a.cover().mats().iter().zip(b.cover().mats()) {
+            assert!(x.trace() > 0.0);
+            assert_eq!(x.to_dense().as_slice(), y.to_dense().as_slice());
+        }
+    }
+
+    #[test]
+    fn mixed_lp_zero_density_fallback() {
+        let inst = mixed_lp_diagonal(3, 2, 4, 0.0, 1);
+        for m in inst.pack().mats().iter().chain(inst.cover().mats()) {
+            assert!(m.trace() > 0.0);
+        }
+    }
+
+    #[test]
+    fn mixed_lp_columns_extractable() {
+        let inst = mixed_lp_diagonal(4, 3, 5, 0.6, 3);
+        let pack_cols = diagonal_columns(inst.pack().mats());
+        let cover_cols = diagonal_columns(inst.cover().mats());
+        assert_eq!(pack_cols.len(), 5);
+        assert_eq!(pack_cols[0].len(), 4);
+        assert_eq!(cover_cols[0].len(), 3);
+    }
+
+    #[test]
+    fn edge_cover_matrices_are_psd_and_sparse() {
+        let g = grid(2, 3);
+        let inst = mixed_edge_cover(&g, 0.5);
+        assert_eq!(inst.n(), g.m());
+        assert_eq!(inst.pack_dim(), g.n());
+        for (p, c) in inst.pack().mats().iter().zip(inst.cover().mats()) {
+            assert!(matches!(p, PsdMatrix::Sparse(_)));
+            assert!(matches!(c, PsdMatrix::Sparse(_)));
+            let pe = sym_eigen(&p.to_dense()).unwrap();
+            assert!(pe.lambda_min() > -1e-12);
+            let ce = sym_eigen(&c.to_dense()).unwrap();
+            // Cₑ = Lₑ + ridge·diag: λmin over the edge's 2-dim support is
+            // ridge; over the whole space it is 0 (untouched vertices).
+            assert!(ce.lambda_min() > -1e-12);
+            assert!((c.trace() - p.trace() - 1.0).abs() < 1e-12, "ridge adds 2·0.5 to the trace");
+        }
+    }
+
+    #[test]
+    fn edge_cover_aggregate_dominates_ridge_degrees() {
+        // Σₑ Cₑ = 2L + ridge·diag(deg): with unit x the aggregate's λmin
+        // is ≥ ridge·min_deg > 0 on a graph without isolated vertices.
+        let g = gnp(8, 0.9, 3);
+        let ridge = 0.25;
+        let inst = mixed_edge_cover(&g, ridge);
+        let ones = vec![1.0; inst.n()];
+        let agg = inst.cover().weighted_sum(&ones);
+        let min_deg = (0..g.n())
+            .map(|u| g.edges().iter().filter(|&&(a, b, _)| a == u || b == u).count())
+            .min()
+            .unwrap();
+        assert!(min_deg >= 1, "seed produced an isolated vertex");
+        let lam = sym_eigen(&agg).unwrap().lambda_min();
+        assert!(lam >= ridge * min_deg as f64 - 1e-9, "λmin {lam} vs ridge·deg");
+    }
+
+    #[test]
+    #[should_panic(expected = "no edges")]
+    fn edge_cover_rejects_empty_graph() {
+        let g = Graph::new(3);
+        let _ = mixed_edge_cover(&g, 0.5);
+    }
+}

@@ -11,36 +11,10 @@
 //! cargo run -p psdp-bench --release --example mixed_packing_covering
 //! ```
 
-use psdp_baselines::{mixed_packing_covering, simplex_max, LpResult, MixedOutcome};
+use psdp_baselines::{mixed_exact_threshold, mixed_packing_covering, MixedOutcome};
 
 /// Column-major constraint block: one inner `Vec` per variable.
 type Cols = Vec<Vec<f64>>;
-
-/// Exact feasibility threshold via simplex (max t s.t. Px ≤ 1, Cx ≥ t).
-fn exact_threshold(pack: &[Vec<f64>], cover: &[Vec<f64>]) -> f64 {
-    let n = pack.len();
-    let mp = pack[0].len();
-    let mc = cover[0].len();
-    let mut a = Vec::with_capacity(mp + mc);
-    for j in 0..mp {
-        let mut row: Vec<f64> = pack.iter().map(|col| col[j]).collect();
-        row.push(0.0);
-        a.push(row);
-    }
-    for i in 0..mc {
-        let mut row: Vec<f64> = cover.iter().map(|col| -col[i]).collect();
-        row.push(1.0);
-        a.push(row);
-    }
-    let mut b = vec![1.0; mp];
-    b.extend(vec![0.0; mc]);
-    let mut c = vec![0.0; n];
-    c.push(1.0);
-    match simplex_max(&a, &b, &c) {
-        LpResult::Optimal { value, .. } => value,
-        LpResult::Unbounded => f64::INFINITY,
-    }
-}
 
 fn main() {
     println!("mixed packing/covering LP (Young'01), eps = 0.1\n");
@@ -62,7 +36,7 @@ fn main() {
     ];
 
     for (name, pack, cover) in &cases {
-        let tstar = exact_threshold(pack, cover);
+        let tstar = mixed_exact_threshold(pack, cover);
         let r = mixed_packing_covering(pack, cover, 0.1, 400_000);
         let answer = match &r.outcome {
             MixedOutcome::Feasible { pack_max, cover_min, .. } => {

@@ -10,15 +10,14 @@ use psdp_baselines::{
 use psdp_core::{
     decision_psdp, solve_packing, ApproxOptions, DecisionOptions, Outcome, PackingInstance,
 };
-use psdp_workloads::{commuting_family, diagonal_columns, random_lp_diagonal};
+use psdp_test_support::diag_lp_with_columns;
+use psdp_workloads::commuting_family;
 
 /// SDP solver vs simplex vs Young LP on random diagonal instances.
 #[test]
 fn diagonal_three_way_agreement() {
     for seed in 1..=5u64 {
-        let mats = random_lp_diagonal(8, 6, 0.6, seed);
-        let cols = diagonal_columns(&mats);
-        let inst = PackingInstance::new(mats).unwrap();
+        let (inst, cols) = diag_lp_with_columns(8, 6, 0.6, seed);
 
         let exact = exact_diagonal_opt(&inst).unwrap();
         let eps = 0.1;
@@ -102,9 +101,7 @@ fn ours_and_width_dependent_agree_on_side() {
 /// (both are instances of the identical update rule).
 #[test]
 fn diagonal_iteration_counts_comparable() {
-    let mats = random_lp_diagonal(6, 5, 0.7, 42);
-    let cols = diagonal_columns(&mats);
-    let inst = PackingInstance::new(mats).unwrap();
+    let (inst, cols) = diag_lp_with_columns(6, 5, 0.7, 42);
     let eps = 0.2;
 
     // Run both *decision* procedures on the same (unscaled) instance.

@@ -1,25 +1,20 @@
 //! Reproducibility guarantees: identical seeds ⇒ identical outputs, and
-//! certificates are thread-count independent (tolerance-based, not bitwise,
-//! across pools — bitwise within one configuration).
+//! results are thread-count independent. The reductions everywhere in the
+//! workspace are deterministic in *shape* (fixed chunking, order-preserving
+//! buffer concatenation, per-item independent work), so full reports are
+//! asserted **bitwise** identical across rayon pool sizes {1, 4} — the
+//! same two-entry matrix CI runs via `RAYON_NUM_THREADS`.
 
 use psdp_core::{
-    decision_psdp, solve_packing, verify_dual, ApproxOptions, DecisionOptions, EngineKind, Outcome,
-    PackingInstance,
+    decision_psdp, solve_mixed, solve_packing, verify_dual, ApproxOptions, DecisionOptions,
+    EngineKind, MixedApproxOptions, Outcome, PackingInstance,
 };
 use psdp_parallel::run_with_threads;
-use psdp_workloads::{beamforming_sdp, random_factorized, Beamforming, RandomFactorized};
+use psdp_test_support::{factorized_instance, FactorizedSpec};
+use psdp_workloads::{beamforming_sdp, gnp, mixed_edge_cover, mixed_lp_diagonal, Beamforming};
 
 fn instance(seed: u64) -> PackingInstance {
-    PackingInstance::new(random_factorized(&RandomFactorized {
-        dim: 10,
-        n: 6,
-        rank: 2,
-        nnz_per_col: 3,
-        width: 1.0,
-        seed,
-    }))
-    .unwrap()
-    .scaled(0.5)
+    factorized_instance(&FactorizedSpec::new(10, 6, seed))
 }
 
 /// Bitwise-identical solves for identical configuration (exact engine: no
@@ -78,6 +73,71 @@ fn thread_count_invariant_certificates() {
             assert!((a.min_dot - b.min_dot).abs() < 1e-9 * a.min_dot.max(1.0));
         }
         _ => panic!("outcome side changed with thread count"),
+    }
+}
+
+/// `Session::optimize` must be **bitwise** thread-count invariant: every
+/// parallel reduction in the stack (chunked `weighted_sum`, order-preserving
+/// Ψ scatter buffers, per-constraint engine dots) is deterministic in shape,
+/// so pool size {1, 4} must reproduce the entire report bit for bit —
+/// bracket, certificates, and per-call stats.
+#[test]
+fn session_optimize_bitwise_across_thread_counts() {
+    for seed in [5u64, 31] {
+        let inst = instance(seed);
+        let opts = ApproxOptions::practical(0.15);
+        let r1 = run_with_threads(1, || solve_packing(&inst, &opts).unwrap());
+        let r4 = run_with_threads(4, || solve_packing(&inst, &opts).unwrap());
+        assert_eq!(r1.value_lower.to_bits(), r4.value_lower.to_bits(), "seed {seed}");
+        assert_eq!(r1.value_upper.to_bits(), r4.value_upper.to_bits(), "seed {seed}");
+        assert_eq!(r1.decision_calls, r4.decision_calls, "seed {seed}");
+        assert_eq!(r1.total_iterations, r4.total_iterations, "seed {seed}");
+        assert_eq!(r1.total_engine_evals, r4.total_engine_evals, "seed {seed}");
+        match (&r1.best_dual, &r4.best_dual) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.value.to_bits(), b.value.to_bits(), "seed {seed}");
+                assert_eq!(a.x, b.x, "seed {seed}: dual vectors diverged across pools");
+            }
+            (None, None) => {}
+            _ => panic!("seed {seed}: dual presence changed with thread count"),
+        }
+        for (a, b) in r1.call_stats.iter().zip(&r4.call_stats) {
+            assert_eq!(a.iterations, b.iterations, "seed {seed}");
+            assert_eq!(a.final_norm1.to_bits(), b.final_norm1.to_bits(), "seed {seed}");
+        }
+    }
+}
+
+/// The mixed solver gets the same bitwise guarantee across pools, on both
+/// the diagonal-embedded LP family and the sparse graph family (the latter
+/// exercises the CSR scatter and sparse `weighted_sum` paths).
+#[test]
+fn mixed_solver_bitwise_across_thread_counts() {
+    let instances = [mixed_lp_diagonal(5, 4, 6, 0.6, 3), mixed_edge_cover(&gnp(8, 0.6, 2), 0.5)];
+    let opts = MixedApproxOptions::practical(0.15);
+    for (i, inst) in instances.iter().enumerate() {
+        let r1 = run_with_threads(1, || solve_mixed(inst, &opts).unwrap());
+        let r4 = run_with_threads(4, || solve_mixed(inst, &opts).unwrap());
+        assert_eq!(r1.threshold_lower.to_bits(), r4.threshold_lower.to_bits(), "inst {i}");
+        assert_eq!(r1.threshold_upper.to_bits(), r4.threshold_upper.to_bits(), "inst {i}");
+        assert_eq!(r1.decision_calls, r4.decision_calls, "inst {i}");
+        assert_eq!(r1.total_iterations, r4.total_iterations, "inst {i}");
+        match (&r1.best_point, &r4.best_point) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.cover_lambda_min.to_bits(), b.cover_lambda_min.to_bits(), "inst {i}");
+                assert_eq!(a.x, b.x, "inst {i}: witness diverged across pools");
+            }
+            (None, None) => {}
+            _ => panic!("inst {i}: witness presence changed with thread count"),
+        }
+        match (&r1.infeasibility_witness, &r4.infeasibility_witness) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.margin.to_bits(), b.margin.to_bits(), "inst {i}");
+                assert_eq!(a.sigma.to_bits(), b.sigma.to_bits(), "inst {i}");
+            }
+            (None, None) => {}
+            _ => panic!("inst {i}: infeasibility witness presence changed with thread count"),
+        }
     }
 }
 

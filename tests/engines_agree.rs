@@ -11,19 +11,11 @@ use psdp_core::{
 use psdp_expdot::{exp_dot_exact, Engine};
 use psdp_linalg::Mat;
 use psdp_sparse::{Csr, PsdMatrix};
-use psdp_workloads::{edge_packing, edge_packing_sparse, gnp, random_factorized, RandomFactorized};
+use psdp_test_support::{det_stream, factorized_instance, FactorizedSpec};
+use psdp_workloads::{edge_packing, edge_packing_sparse, gnp};
 
 fn instance(seed: u64) -> PackingInstance {
-    PackingInstance::new(random_factorized(&RandomFactorized {
-        dim: 10,
-        n: 7,
-        rank: 2,
-        nnz_per_col: 3,
-        width: 1.5,
-        seed,
-    }))
-    .unwrap()
-    .scaled(0.5)
+    factorized_instance(&FactorizedSpec::new(10, 7, seed).with_width(1.5))
 }
 
 const ENGINES: [EngineKind; 3] = [
@@ -161,13 +153,13 @@ fn incremental_psi_tracks_rebuild_across_schedules() {
 
         let mut x: Vec<f64> = (0..n).map(|i| 0.01 * (1 + (i * seed as usize) % 5) as f64).collect();
         let mut psi = PsiMaintainer::new(&inst, &x, 0);
-        let mut state = seed;
+        let mut next = det_stream(seed);
         for round in 0..300 {
             // Deterministic pseudo-random batch of 1..=5 coordinates.
             let mut deltas = Vec::new();
             let batch = 1 + (round % 5);
             for _ in 0..batch {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let state = next();
                 let i = (state >> 33) as usize % n;
                 let d = 1e-3 * ((state >> 20) % 100) as f64;
                 x[i] += d;

@@ -6,25 +6,24 @@
 //! * Lemma 3.6 — primal exits satisfy every covering constraint,
 //! * Theorem 2.1 — the MMW regret bound on adversarial gain sequences,
 //! * Lemma 4.2 — the Taylor sandwich `(1−ε)exp(B) ⪯ p(B) ⪯ exp(B)`,
-//! * Lemma 2.2 — trace pruning keeps every small-trace constraint.
+//! * Lemma 2.2 — trace pruning keeps every small-trace constraint,
+//! * witness directions — every certificate a report carries certifies
+//!   *at least* the bound the report states, re-verified through
+//!   `psdp_core::verify` (packing, covering, and mixed sides alike).
 
-use psdp_core::{decision_psdp, trace_prune, DecisionOptions, Outcome, PackingInstance};
+use psdp_core::{
+    decision_psdp, solve_covering, solve_mixed, trace_prune, verify_dual, verify_mixed_feasible,
+    verify_mixed_infeasible, verify_primal, ApproxOptions, DecisionOptions, MixedApproxOptions,
+    Outcome, PackingInstance, PositiveSdp,
+};
 use psdp_linalg::{sym_eigen, Mat};
 use psdp_mmw::{paper_constants, MmwGame};
 use psdp_sparse::PsdMatrix;
-use psdp_workloads::{random_factorized, RandomFactorized};
+use psdp_test_support::{factorized_instance, FactorizedSpec};
+use psdp_workloads::{gnp, mixed_edge_cover, mixed_lp_diagonal};
 
 fn instance(n: usize, seed: u64) -> PackingInstance {
-    PackingInstance::new(random_factorized(&RandomFactorized {
-        dim: 8,
-        n,
-        rank: 2,
-        nnz_per_col: 3,
-        width: 1.0,
-        seed,
-    }))
-    .unwrap()
-    .scaled(0.5)
+    factorized_instance(&FactorizedSpec::new(8, n, seed))
 }
 
 /// Claim 3.3: the starting point respects the packing constraint.
@@ -144,6 +143,103 @@ fn lemma_4_2_sandwich_at_solver_kappa() {
         sym_eigen(&d).unwrap().lambda_min()
     };
     assert!(lower > -1e-7 * e.max_abs(), "(1−ε)exp(B) ⪯ p(B) violated: {lower}");
+}
+
+/// Witness direction, covering side: a `CoveringReport`'s certificates
+/// must certify at least the bounds the report states, re-checked through
+/// `verify.rs` — the dual multipliers re-verify on the normalized packing
+/// instance at (at least) `value_lower`, and the primal witness re-verifies
+/// at (at least) the strength backing `value_upper`. Mirrors the
+/// packing-side checks in `tests/end_to_end.rs`.
+#[test]
+fn covering_report_certificates_certify_reported_bounds() {
+    // Diagonal covering SDP with a known optimum (see approx.rs tests):
+    // min C•Y s.t. A•Y ≥ 2 with C = diag(4,1), A = diag(1,1) ⇒ OPT = 2.
+    let sdp = PositiveSdp {
+        objective: PsdMatrix::Diagonal(vec![4.0, 1.0]),
+        constraints: vec![PsdMatrix::Diagonal(vec![1.0, 1.0])],
+        rhs: vec![2.0],
+    };
+    let r = solve_covering(&sdp, &ApproxOptions::practical(0.1)).unwrap();
+    assert!(r.value_lower <= 2.0 + 1e-6 && r.value_upper >= 2.0 - 1e-6);
+
+    // Lower bound: the packing report's best dual is a feasible packing
+    // vector whose value is at least the reported lower bound.
+    let d = r.packing.best_dual.as_ref().expect("dual witness");
+    let nz = psdp_core::normalize(&sdp).unwrap();
+    let cert = verify_dual(&nz.instance, d, 1e-8);
+    assert!(cert.feasible, "covering dual failed verify: λmax {}", cert.lambda_max);
+    assert!(
+        cert.value >= r.value_lower - 1e-9,
+        "dual witness value {} certifies less than reported lower bound {}",
+        cert.value,
+        r.value_lower
+    );
+
+    // Upper bound: the primal witness at (σ, p) certifies OPT ≤ σ/min_dot
+    // (it is the *latest* witness, not necessarily the tightest, so the
+    // invariant linking it to the report is bracket consistency: the
+    // certified lower bound can never exceed any certified upper bound).
+    // (`feasible` would demand min_dot ≥ 1 — feasibility at threshold 1 of
+    // the σ-scaled instance — but a weak witness with min_dot < 1 still
+    // certifies OPT ≤ σ/min_dot; check the matrix structure and the bound
+    // direction instead.)
+    let (sigma, p) = r.packing.upper_witness.as_ref().expect("primal witness");
+    let cert = verify_primal(&nz.instance, p, 1e-6);
+    if cert.matrix_checked {
+        assert!((cert.trace - 1.0).abs() <= 1e-6, "witness trace {} ≠ 1", cert.trace);
+        assert!(cert.lambda_min >= -1e-6, "witness not PSD: λmin {}", cert.lambda_min);
+    }
+    assert!(cert.min_dot > 0.0, "degenerate witness: min_dot {}", cert.min_dot);
+    let witness_bound = sigma / cert.min_dot.max(1e-12);
+    assert!(
+        r.value_lower <= witness_bound * (1.0 + 1e-9),
+        "certified lower bound {} exceeds what the covering witness allows ({witness_bound})",
+        r.value_lower
+    );
+}
+
+/// Witness direction, mixed side: a `MixedReport`'s feasible point must
+/// re-verify at the reported `threshold_lower`, and its infeasibility
+/// witness must refute no more than the reported `threshold_upper` —
+/// i.e. each certificate certifies *at least* the bound the report
+/// states, on both the diagonal and the sparse graph families.
+#[test]
+fn mixed_report_certificates_certify_reported_bounds() {
+    let instances = [
+        ("mixed-lp", mixed_lp_diagonal(5, 4, 6, 0.6, 2)),
+        ("edge-cover", mixed_edge_cover(&gnp(8, 0.6, 4), 0.5)),
+    ];
+    for (name, inst) in &instances {
+        let r = solve_mixed(inst, &MixedApproxOptions::practical(0.12)).unwrap();
+        assert!(r.threshold_lower > 0.0, "{name}: degenerate bracket");
+
+        let p = r.best_point.as_ref().expect("feasible witness");
+        let cert = verify_mixed_feasible(inst, p, r.threshold_lower * (1.0 - 1e-9), 1e-7);
+        assert!(cert.feasible, "{name}: feasible point failed verify: {cert:?}");
+        assert!(
+            cert.cover_lambda_min >= r.threshold_lower * (1.0 - 1e-9),
+            "{name}: witness coverage {} certifies less than reported lower bound {}",
+            cert.cover_lambda_min,
+            r.threshold_lower
+        );
+        assert!(cert.pack_lambda_max <= 1.0 + 1e-7, "{name}: packing side violated");
+
+        if let Some(w) = &r.infeasibility_witness {
+            let cert = verify_mixed_infeasible(inst, w, 1e-7);
+            assert!(cert.valid, "{name}: infeasibility witness failed verify: {cert:?}");
+            // The report keeps the *tightest* witness, and every hi update
+            // adds nonnegative pruning slack on top of its certificate, so
+            // the reported upper bound is never tighter than the
+            // re-measured witness supports.
+            assert!(
+                r.threshold_upper >= cert.refuted_threshold * (1.0 - 1e-6) - 1e-9,
+                "{name}: reported upper bound {} tighter than witness supports ({})",
+                r.threshold_upper,
+                cert.refuted_threshold
+            );
+        }
+    }
 }
 
 /// Lemma 2.2: pruning never drops a constraint with trace ≤ n³, and the

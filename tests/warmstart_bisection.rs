@@ -7,37 +7,9 @@
 
 use proptest::prelude::*;
 use psdp_core::{ApproxOptions, PackingInstance, Solver};
-use psdp_sparse::PsdMatrix;
-use psdp_workloads::{edge_packing_sparse, gnp, random_factorized, RandomFactorized};
-
-/// Random factorized instance (dense-ish storage, rank-2 constraints).
-fn factorized_instance() -> impl Strategy<Value = PackingInstance> {
-    (4usize..9, 3usize..7, 0u64..1000).prop_map(|(m, n, seed)| {
-        PackingInstance::new(random_factorized(&RandomFactorized {
-            dim: m,
-            n,
-            rank: 2,
-            nnz_per_col: 3,
-            width: 1.5,
-            seed,
-        }))
-        .expect("valid instance")
-    })
-}
-
-/// Random sparse instance: edge Laplacians of a G(n, p) graph in CSR form.
-fn sparse_instance() -> impl Strategy<Value = PackingInstance> {
-    (6usize..12, 0u64..1000).prop_map(|(v, seed)| {
-        let graph = gnp(v, 0.5, seed);
-        let mats: Vec<PsdMatrix> = edge_packing_sparse(&graph);
-        if mats.is_empty() {
-            // Degenerate empty graph: fall back to a diagonal instance.
-            PackingInstance::new(vec![PsdMatrix::Diagonal(vec![1.0; v])]).expect("valid")
-        } else {
-            PackingInstance::new(mats).expect("valid instance")
-        }
-    })
-}
+use psdp_test_support::{
+    arb_factorized_instance, arb_sparse_graph_instance, factorized_instance, FactorizedSpec,
+};
 
 /// Warm and cold bisections over the same prepared solver must report the
 /// same certified bracket, call count, and convergence flag.
@@ -73,13 +45,13 @@ proptest! {
 
     /// Random factorized instances: warm ≡ cold, bitwise.
     #[test]
-    fn warm_bisection_matches_cold_on_factorized(inst in factorized_instance()) {
+    fn warm_bisection_matches_cold_on_factorized(inst in arb_factorized_instance()) {
         assert_warm_equals_cold(&inst, 0.15);
     }
 
     /// Random sparse (CSR edge-Laplacian) instances: warm ≡ cold, bitwise.
     #[test]
-    fn warm_bisection_matches_cold_on_sparse(inst in sparse_instance()) {
+    fn warm_bisection_matches_cold_on_sparse(inst in arb_sparse_graph_instance()) {
         assert_warm_equals_cold(&inst, 0.15);
     }
 }
@@ -88,15 +60,7 @@ proptest! {
 /// instance where the bisection runs several dual-side brackets.
 #[test]
 fn warm_bisection_saves_iterations() {
-    let inst = PackingInstance::new(random_factorized(&RandomFactorized {
-        dim: 8,
-        n: 6,
-        rank: 2,
-        nnz_per_col: 3,
-        width: 1.0,
-        seed: 9,
-    }))
-    .expect("valid");
+    let inst = factorized_instance(&FactorizedSpec::new(8, 6, 9).with_scale(1.0));
     let opts = ApproxOptions::serving(0.1);
     let solver = Solver::builder(&inst).options(opts.decision).build().expect("build");
     let cold = solver.session().with_warm_start(false).optimize(&opts).expect("cold");
