@@ -5,6 +5,7 @@
 //! text it would print.
 
 use crate::args::Args;
+use crate::jsonfmt::{json_str, mixed_payload, optimize_payload, solve_payload};
 use psdp_core::{
     read_instance, read_mixed_instance, verify_dual, verify_mixed_feasible,
     verify_mixed_infeasible, verify_primal, write_instance, write_mixed_instance, ApproxOptions,
@@ -27,6 +28,7 @@ USAGE:
   psdp solve FILE [--eps E] [--engine auto|exact|taylor|jl] [--mode practical|strict] [--seed S] [--json]
   psdp optimize FILE [--eps E] [--warm on|off] [--json]
   psdp mixed FILE [--eps E] [--engine auto|exact|taylor|jl] [--seed S] [--warm on|off] [--json]
+  psdp serve [--max-in-flight N] [--cache on|off]   (JSONL requests on stdin)
 
 The `auto` engine picks exact vs sketched-Taylor from the instance's
 storage profile (total nonzeros vs m²); `psdp solve` reports which one ran.
@@ -37,10 +39,19 @@ families mixed-lp / mixed-graph): it bisects the largest coverage
 threshold σ* with find x ≥ 0, Σx·Pᵢ ⪯ I, Σx·Cᵢ ⪰ σI, and re-verifies the
 certificates it prints. `--json` emits outcomes, certificate values, and
 per-bracket SolveStats for machine consumption.
+
+`serve` reads one JSON request per stdin line —
+  {\"id\":\"r1\",\"command\":\"solve\",\"file\":\"inst.psdp\",\"threshold\":1.0,\"eps\":0.2}
+  {\"id\":\"r2\",\"command\":\"optimize\",\"instance\":\"psdp 1\\n…\",\"eps\":0.1}
+— batches them through the fingerprint-cached scheduler (repeat instances
+share prepared solvers, identical requests are memoized), and emits one
+JSON response per request on stdout (submission order, same schemas as
+`--json` plus `id` and a `serve` reuse-telemetry object; `wall_ms` is null
+so response bytes are deterministic). The batch report goes to stderr.
 ";
 
 /// Build the engine from its CLI name.
-fn engine_of(name: &str, eps: f64) -> Result<EngineKind, String> {
+pub(crate) fn engine_of(name: &str, eps: f64) -> Result<EngineKind, String> {
     match name {
         "auto" => Ok(EngineKind::Auto { eps: eps.min(0.3) }),
         "exact" => Ok(EngineKind::Exact),
@@ -166,57 +177,6 @@ pub fn info(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-/// Minimal JSON string escaping (our strings are ASCII identifiers and
-/// paths, but stay correct on quotes/backslashes/control bytes).
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Finite floats print as-is; NaN/inf become `null` (JSON has no literals
-/// for them).
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
-}
-
-/// One `SolveStats` as a JSON object (the per-bracket machine-readable
-/// telemetry `--json` emits).
-fn json_stats(s: &psdp_core::SolveStats) -> String {
-    format!(
-        "{{\"threshold\":{},\"iterations\":{},\"engine_evals\":{},\"replayed\":{},\"warm_started\":{},\"exit\":{},\"engine\":{},\"final_norm1\":{},\"k_threshold\":{},\"kappa_max\":{},\"avg_selected\":{},\"psi_rebuilds\":{},\"psi_max_drift\":{},\"wall_ms\":{}}}",
-        json_f64(s.threshold),
-        s.iterations,
-        s.engine_evals,
-        s.replayed,
-        s.warm_started,
-        json_str(&format!("{:?}", s.exit)),
-        json_str(s.engine),
-        json_f64(s.final_norm1),
-        json_f64(s.k_threshold),
-        json_f64(s.kappa_max),
-        json_f64(s.avg_selected),
-        s.psi_rebuilds,
-        json_f64(s.psi_max_drift),
-        json_f64(s.wall.as_secs_f64() * 1e3),
-    )
-}
-
 /// `psdp solve` — run the ε-decision procedure and print the certificate.
 ///
 /// # Errors
@@ -241,38 +201,9 @@ pub fn solve(args: &Args) -> Result<String, String> {
     let res = session.solve(1.0).map_err(|e| e.to_string())?;
 
     if args.bool_flag("json") {
-        let (side, cert) = match &res.outcome {
-            Outcome::Dual(d) => {
-                let c = verify_dual(&inst, d, 1e-8);
-                (
-                    "dual",
-                    format!(
-                        "{{\"value\":{},\"lambda_max\":{},\"feasible\":{}}}",
-                        json_f64(d.value),
-                        json_f64(c.lambda_max),
-                        c.feasible
-                    ),
-                )
-            }
-            Outcome::Primal(p) => {
-                let c = verify_primal(&inst, p, 1e-5);
-                (
-                    "primal",
-                    format!(
-                        "{{\"min_dot\":{},\"rounds_averaged\":{},\"feasible\":{}}}",
-                        json_f64(p.min_dot),
-                        p.rounds_averaged,
-                        c.feasible
-                    ),
-                )
-            }
-        };
         return Ok(format!(
-            "{{\"command\":\"solve\",\"file\":{},\"outcome\":{},\"certificate\":{},\"stats\":{}}}\n",
-            json_str(path),
-            json_str(side),
-            cert,
-            json_stats(&res.stats),
+            "{{\"command\":\"solve\",{}}}\n",
+            solve_payload(&json_str(path), &inst, &res, true),
         ));
     }
 
@@ -324,40 +255,9 @@ pub fn optimize(args: &Args) -> Result<String, String> {
     let r = session.optimize(&approx).map_err(|e| e.to_string())?;
 
     if args.bool_flag("json") {
-        let dual = match &r.best_dual {
-            Some(d) => {
-                let c = verify_dual(&inst, d, 1e-8);
-                format!("{{\"value\":{},\"feasible\":{}}}", json_f64(d.value), c.feasible)
-            }
-            None => "null".to_string(),
-        };
-        let brackets: Vec<String> = r
-            .brackets
-            .iter()
-            .zip(&r.call_stats)
-            .map(|(b, s)| {
-                format!(
-                    "{{\"sigma\":{},\"dual_side\":{},\"lo\":{},\"hi\":{},\"stats\":{}}}",
-                    json_f64(b.sigma),
-                    b.dual_side,
-                    json_f64(b.lo),
-                    json_f64(b.hi),
-                    json_stats(s),
-                )
-            })
-            .collect();
         return Ok(format!(
-            "{{\"command\":\"optimize\",\"file\":{},\"value_lower\":{},\"value_upper\":{},\"converged\":{},\"decision_calls\":{},\"total_iterations\":{},\"engine_evals\":{},\"replayed\":{},\"best_dual\":{},\"brackets\":[{}]}}\n",
-            json_str(path),
-            json_f64(r.value_lower),
-            json_f64(r.value_upper),
-            r.converged,
-            r.decision_calls,
-            r.total_iterations,
-            r.total_engine_evals,
-            r.total_replayed,
-            dual,
-            brackets.join(","),
+            "{{\"command\":\"optimize\",{}}}\n",
+            optimize_payload(&json_str(path), &inst, &r, true),
         ));
     }
 
@@ -414,64 +314,20 @@ pub fn mixed(args: &Args) -> Result<String, String> {
     session.set_warm_start(warm);
     let r = session.optimize(&approx).map_err(|e| e.to_string())?;
 
+    if args.bool_flag("json") {
+        // `mixed_payload` performs the certificate re-verification itself.
+        return Ok(format!(
+            "{{\"command\":\"mixed\",{}}}\n",
+            mixed_payload(&json_str(path), &inst, &r, true),
+        ));
+    }
+
     let point_cert = r
         .best_point
         .as_ref()
         .map(|p| (p, verify_mixed_feasible(&inst, p, r.threshold_lower * (1.0 - 1e-9), 1e-7)));
     let witness_cert =
         r.infeasibility_witness.as_ref().map(|c| (c, verify_mixed_infeasible(&inst, c, 1e-7)));
-
-    if args.bool_flag("json") {
-        let point = match &point_cert {
-            Some((p, c)) => format!(
-                "{{\"pack_lambda_max\":{},\"cover_lambda_min\":{},\"verified\":{}}}",
-                json_f64(p.pack_lambda_max),
-                json_f64(p.cover_lambda_min),
-                c.feasible
-            ),
-            None => "null".to_string(),
-        };
-        let witness = match &witness_cert {
-            Some((w, c)) => format!(
-                "{{\"sigma\":{},\"margin\":{},\"refuted_threshold\":{},\"matrix_checked\":{},\"verified\":{}}}",
-                json_f64(w.sigma),
-                json_f64(c.margin),
-                json_f64(c.refuted_threshold),
-                c.matrix_checked,
-                c.valid
-            ),
-            None => "null".to_string(),
-        };
-        let brackets: Vec<String> = r
-            .brackets
-            .iter()
-            .zip(&r.call_stats)
-            .map(|(b, s)| {
-                format!(
-                    "{{\"sigma\":{},\"feasible_side\":{},\"lo\":{},\"hi\":{},\"stats\":{}}}",
-                    json_f64(b.sigma),
-                    b.dual_side,
-                    json_f64(b.lo),
-                    json_f64(b.hi),
-                    json_stats(s),
-                )
-            })
-            .collect();
-        return Ok(format!(
-            "{{\"command\":\"mixed\",\"file\":{},\"threshold_lower\":{},\"threshold_upper\":{},\"converged\":{},\"decision_calls\":{},\"total_iterations\":{},\"engine_evals\":{},\"pruned_max\":{},\"best_point\":{},\"infeasibility\":{},\"brackets\":[{}]}}\n",
-            json_str(path),
-            json_f64(r.threshold_lower),
-            json_f64(r.threshold_upper),
-            r.converged,
-            r.decision_calls,
-            r.total_iterations,
-            r.total_engine_evals,
-            r.pruned_max,
-            point,
-            witness,
-            brackets.join(","),
-        ));
-    }
 
     let mut out = String::new();
     out.push_str(&format!(
@@ -516,6 +372,7 @@ pub fn dispatch(raw: &[String]) -> Result<String, String> {
         Some("solve") => solve(&args),
         Some("optimize") => optimize(&args),
         Some("mixed") => mixed(&args),
+        Some("serve") => crate::serve::serve(&args),
         Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
         None => Ok(USAGE.to_string()),
     }

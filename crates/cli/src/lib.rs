@@ -1,0 +1,16 @@
+//! # psdp-cli
+//!
+//! The `psdp` command-line interface as a library: [`commands::dispatch`]
+//! drives every subcommand (`generate` / `info` / `solve` / `optimize` /
+//! `mixed` / `serve`), [`serve::serve_on_input`] is the testable core of
+//! the JSONL serving front door, and [`jsonfmt`] renders the shared
+//! `--json` schemas. The `psdp` binary in `main.rs` is a thin wrapper so
+//! integration tests (JSON schema snapshots, serve determinism) can run
+//! everything in-process.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod jsonfmt;
+pub mod serve;

@@ -1,11 +1,8 @@
 //! `psdp` — command-line front end for the positive SDP solver.
 
-mod args;
-mod commands;
-
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    match commands::dispatch(&raw) {
+    match psdp_cli::commands::dispatch(&raw) {
         Ok(out) => print!("{out}"),
         Err(msg) => {
             eprintln!("error: {msg}");

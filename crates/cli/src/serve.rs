@@ -1,0 +1,482 @@
+//! The `psdp serve` subcommand: a JSONL front door over the
+//! `psdp-serve` scheduler.
+//!
+//! One JSON request per stdin line; one JSON response per stdout line, in
+//! submission order, reusing the `--json` schemas of `solve` / `optimize`
+//! / `mixed` with two additions: the request's `id` and a `serve` object
+//! carrying deterministic reuse telemetry. Response bytes are a pure
+//! function of the request stream (`wall_ms` is emitted as `null`;
+//! wall-clock telemetry goes to the stderr batch report instead), which is
+//! what lets `tests/determinism.rs` compare serve output bitwise across
+//! thread counts and submission orders.
+//!
+//! Malformed lines never abort the batch: each produces an error response
+//! line in place (`{"id":…,"error":…}`, with `"id":null` when the line was
+//! too broken to name itself).
+
+use crate::args::Args;
+use crate::jsonfmt::{json_str, mixed_payload, optimize_payload, solve_payload};
+use psdp_core::{
+    read_instance, read_mixed_instance, ApproxOptions, ConstantsMode, DecisionOptions,
+    MixedApproxOptions, MixedInstance, PackingInstance,
+};
+use psdp_serve::json::{parse, JsonValue};
+use psdp_serve::{
+    BatchReport, RequestKind, Scheduler, SchedulerOptions, ServeRequest, ServeResponse,
+    ServeResult, ServeStats,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Outcome of one `psdp serve` run: the stdout JSONL stream and the human
+/// batch report for stderr.
+pub struct ServeRun {
+    /// One JSON response line per request, submission order.
+    pub stdout: String,
+    /// Human-readable batch report.
+    pub summary: String,
+}
+
+/// What a successfully parsed line contributes: the request plus the
+/// rendering context its response needs.
+struct ParsedLine {
+    request: ServeRequest,
+    /// `"path"` (JSON-escaped) or `null` for inline instances.
+    file_json: String,
+}
+
+/// Per-line parse state: a scheduled request (by index into the batch) or
+/// an immediate error line.
+enum Line {
+    Request(usize),
+    Error { id: Option<String>, msg: String },
+}
+
+/// `psdp serve` — read JSONL requests from stdin, print the batch report
+/// to stderr, and return the response stream for stdout.
+///
+/// # Errors
+/// Flag errors and stdin read failures as printable messages (per-request
+/// failures become response lines instead).
+pub fn serve(args: &Args) -> Result<String, String> {
+    let mut input = String::new();
+    std::io::Read::read_to_string(&mut std::io::stdin(), &mut input)
+        .map_err(|e| format!("reading stdin: {e}"))?;
+    let run = serve_on_input(args, &input)?;
+    eprint!("{}", run.summary);
+    Ok(run.stdout)
+}
+
+/// The testable core of [`serve`]: everything except stdin/stderr wiring.
+///
+/// # Errors
+/// Flag errors as printable messages.
+pub fn serve_on_input(args: &Args, input: &str) -> Result<ServeRun, String> {
+    args.ensure_known(&["max-in-flight", "cache"])?;
+    let max_in_flight: usize = args.flag("max-in-flight", 0)?;
+    let cache_enabled = match args.str_flag("cache", "on").as_str() {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("unknown --cache value `{other}` (on|off)")),
+    };
+
+    let mut pack_sources: BTreeMap<String, Arc<PackingInstance>> = BTreeMap::new();
+    let mut mixed_sources: BTreeMap<String, Arc<MixedInstance>> = BTreeMap::new();
+    let mut seen_ids: BTreeSet<String> = BTreeSet::new();
+    let mut lines: Vec<Line> = Vec::new();
+    let mut parsed: Vec<ParsedLine> = Vec::new();
+
+    for raw in input.lines() {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        match parse_request_line(raw, &mut pack_sources, &mut mixed_sources) {
+            Ok(p) => {
+                if !seen_ids.insert(p.request.id.clone()) {
+                    lines.push(Line::Error {
+                        id: Some(p.request.id.clone()),
+                        msg: format!("duplicate request id `{}`", p.request.id),
+                    });
+                } else {
+                    lines.push(Line::Request(parsed.len()));
+                    parsed.push(p);
+                }
+            }
+            Err((id, msg)) => lines.push(Line::Error { id, msg }),
+        }
+    }
+
+    let requests: Vec<ServeRequest> = parsed.iter().map(|p| p.request.clone()).collect();
+    let mut scheduler = Scheduler::new(SchedulerOptions {
+        max_in_flight,
+        cache_enabled,
+        ..SchedulerOptions::default()
+    });
+    let output = scheduler.run_batch(&requests).map_err(|e| e.to_string())?;
+
+    let mut stdout = String::new();
+    for line in &lines {
+        match line {
+            Line::Error { id, msg } => {
+                let id_json = match id {
+                    Some(s) => json_str(s),
+                    None => "null".to_string(),
+                };
+                stdout.push_str(&format!("{{\"id\":{id_json},\"error\":{}}}\n", json_str(msg)));
+            }
+            Line::Request(i) => {
+                stdout.push_str(&render_response(&parsed[*i], &output.responses[*i]));
+            }
+        }
+    }
+    Ok(ServeRun { stdout, summary: summarize(&output.report) })
+}
+
+fn summarize(r: &BatchReport) -> String {
+    let ms = |d: std::time::Duration| format!("{:.2}", d.as_secs_f64() * 1e3);
+    format!(
+        "serve: {} requests in {} groups, {} errors\n\
+         reuse: {} prep builds, {} prep reuses, {} memo hits, {} bracket injections\n\
+         work:  {} engine evals, {} replayed rounds\n\
+         time:  wall {} ms, queue wait total {} ms (max {} ms), service total {} ms\n",
+        r.requests,
+        r.groups,
+        r.errors,
+        r.prep_builds,
+        r.prep_reuses,
+        r.memo_hits,
+        r.bracket_injections,
+        r.engine_evals,
+        r.replayed,
+        ms(r.wall),
+        ms(r.total_queue_wait),
+        ms(r.max_queue_wait),
+        ms(r.total_service),
+    )
+}
+
+fn serve_stats_json(s: &ServeStats) -> String {
+    format!(
+        "{{\"prep_reused\":{},\"memoized\":{},\"bracket_injected\":{},\"engine_evals\":{},\"replayed\":{}}}",
+        s.prep_reused, s.memoized, s.bracket_injected, s.engine_evals, s.replayed,
+    )
+}
+
+/// Render one response line (reusing the one-shot `--json` schemas; see
+/// the module docs for the determinism contract).
+fn render_response(p: &ParsedLine, resp: &ServeResponse) -> String {
+    let id_json = json_str(&resp.id);
+    match &resp.result {
+        Err(msg) => format!("{{\"id\":{id_json},\"error\":{}}}\n", json_str(msg)),
+        Ok(ServeResult::Decision(d)) => {
+            let inst = match &p.request.payload {
+                psdp_serve::InstancePayload::Packing(i) => i,
+                psdp_serve::InstancePayload::Mixed(_) => unreachable!("decision is packing-only"),
+            };
+            format!(
+                "{{\"id\":{id_json},\"command\":\"solve\",{},\"serve\":{}}}\n",
+                solve_payload(&p.file_json, inst, d, false),
+                serve_stats_json(&resp.stats),
+            )
+        }
+        Ok(ServeResult::Optimize(r)) => {
+            let inst = match &p.request.payload {
+                psdp_serve::InstancePayload::Packing(i) => i,
+                psdp_serve::InstancePayload::Mixed(_) => unreachable!("optimize is packing-only"),
+            };
+            format!(
+                "{{\"id\":{id_json},\"command\":\"optimize\",{},\"serve\":{}}}\n",
+                optimize_payload(&p.file_json, inst, r, false),
+                serve_stats_json(&resp.stats),
+            )
+        }
+        Ok(ServeResult::Mixed(r)) => {
+            let inst = match &p.request.payload {
+                psdp_serve::InstancePayload::Mixed(i) => i,
+                psdp_serve::InstancePayload::Packing(_) => unreachable!("mixed payload checked"),
+            };
+            format!(
+                "{{\"id\":{id_json},\"command\":\"mixed\",{},\"serve\":{}}}\n",
+                mixed_payload(&p.file_json, inst, r, false),
+                serve_stats_json(&resp.stats),
+            )
+        }
+    }
+}
+
+/// Keys accepted per command (typo guard, mirroring `Args::ensure_known`).
+fn allowed_keys(command: &str) -> &'static [&'static str] {
+    match command {
+        "solve" => {
+            &["id", "command", "file", "instance", "threshold", "eps", "engine", "mode", "seed"]
+        }
+        "optimize" => &["id", "command", "file", "instance", "eps", "warm"],
+        "mixed" => &["id", "command", "file", "instance", "eps", "engine", "seed", "warm"],
+        _ => &[],
+    }
+}
+
+fn get_f64(obj: &JsonValue, key: &str, default: f64) -> Result<f64, String> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_f64().ok_or_else(|| format!("field `{key}` must be a number")),
+    }
+}
+
+fn get_u64(obj: &JsonValue, key: &str, default: u64) -> Result<u64, String> {
+    let v = get_f64(obj, key, default as f64)?;
+    if v < 0.0 || v.fract() != 0.0 {
+        return Err(format!("field `{key}` must be a non-negative integer"));
+    }
+    Ok(v as u64)
+}
+
+fn get_bool(obj: &JsonValue, key: &str, default: bool) -> Result<bool, String> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_bool().ok_or_else(|| format!("field `{key}` must be a boolean")),
+    }
+}
+
+fn get_str<'v>(obj: &'v JsonValue, key: &str, default: &'static str) -> Result<&'v str, String> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_str().ok_or_else(|| format!("field `{key}` must be a string")),
+    }
+}
+
+/// Parse one request line. On failure returns `(best-effort id, message)`
+/// so the error response can still be keyed.
+fn parse_request_line(
+    raw: &str,
+    pack_sources: &mut BTreeMap<String, Arc<PackingInstance>>,
+    mixed_sources: &mut BTreeMap<String, Arc<MixedInstance>>,
+) -> Result<ParsedLine, (Option<String>, String)> {
+    let obj = parse(raw).map_err(|e| (None, e.to_string()))?;
+    let id = obj
+        .get("id")
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or((None, "missing string field `id`".to_string()))?;
+    let fail = |msg: String| (Some(id.clone()), msg);
+
+    let command = obj
+        .get("command")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| fail("missing string field `command`".to_string()))?
+        .to_string();
+    let allowed = allowed_keys(&command);
+    if allowed.is_empty() {
+        return Err(fail(format!("unknown command `{command}` (solve|optimize|mixed)")));
+    }
+    if let JsonValue::Obj(pairs) = &obj {
+        for (k, _) in pairs {
+            if !allowed.contains(&k.as_str()) {
+                return Err(fail(format!("unknown field `{k}` for command `{command}`")));
+            }
+        }
+    }
+
+    // Instance source: exactly one of `file` / `instance` (inline text).
+    // Loading is deferred so repeat sources (the common zipf case) hit the
+    // parsed-instance cache without re-reading the file; a source repeated
+    // within one batch therefore also consistently uses the first parse.
+    let file = obj.get("file").and_then(JsonValue::as_str);
+    let inline = obj.get("instance").and_then(JsonValue::as_str);
+    type LoadFn = Box<dyn Fn() -> Result<String, String>>;
+    let (source_key, file_json, load): (String, String, LoadFn) = match (file, inline) {
+        (Some(path), None) => {
+            let p = path.to_string();
+            (
+                format!("file:{path}"),
+                json_str(path),
+                Box::new(move || {
+                    std::fs::read_to_string(&p).map_err(|e| format!("reading {p}: {e}"))
+                }),
+            )
+        }
+        (None, Some(text)) => {
+            let t = text.to_string();
+            (format!("inline:{text}"), "null".to_string(), Box::new(move || Ok(t.clone())))
+        }
+        (Some(_), Some(_)) => {
+            return Err(fail("give either `file` or `instance`, not both".to_string()))
+        }
+        (None, None) => return Err(fail("missing `file` or `instance`".to_string())),
+    };
+
+    let eps = get_f64(&obj, "eps", 0.1).map_err(&fail)?;
+    match command.as_str() {
+        "solve" => {
+            let inst = match pack_sources.get(&source_key) {
+                Some(i) => Arc::clone(i),
+                None => {
+                    let text = load().map_err(&fail)?;
+                    let i = Arc::new(read_instance(&text).map_err(|e| fail(e.to_string()))?);
+                    pack_sources.insert(source_key.clone(), Arc::clone(&i));
+                    i
+                }
+            };
+            let threshold = get_f64(&obj, "threshold", 1.0).map_err(&fail)?;
+            let seed = get_u64(&obj, "seed", 0).map_err(&fail)?;
+            let engine =
+                crate::commands::engine_of(get_str(&obj, "engine", "exact").map_err(&fail)?, eps)
+                    .map_err(&fail)?;
+            let mode = match get_str(&obj, "mode", "practical").map_err(&fail)? {
+                "practical" => ConstantsMode::practical_default(),
+                "strict" => ConstantsMode::PaperStrict,
+                other => return Err(fail(format!("unknown mode `{other}` (practical|strict)"))),
+            };
+            let mut opts = DecisionOptions::practical(eps).with_engine(engine).with_seed(seed);
+            opts.mode = mode;
+            Ok(ParsedLine { request: ServeRequest::decision(id, inst, threshold, opts), file_json })
+        }
+        "optimize" => {
+            let inst = match pack_sources.get(&source_key) {
+                Some(i) => Arc::clone(i),
+                None => {
+                    let text = load().map_err(&fail)?;
+                    let i = Arc::new(read_instance(&text).map_err(|e| fail(e.to_string()))?);
+                    pack_sources.insert(source_key.clone(), Arc::clone(&i));
+                    i
+                }
+            };
+            let mut opts = ApproxOptions::practical(eps);
+            opts.warm_start = get_bool(&obj, "warm", true).map_err(&fail)?;
+            Ok(ParsedLine { request: ServeRequest::optimize(id, inst, opts), file_json })
+        }
+        "mixed" => {
+            let inst = match mixed_sources.get(&source_key) {
+                Some(i) => Arc::clone(i),
+                None => {
+                    let text = load().map_err(&fail)?;
+                    let i = Arc::new(read_mixed_instance(&text).map_err(|e| fail(e.to_string()))?);
+                    mixed_sources.insert(source_key.clone(), Arc::clone(&i));
+                    i
+                }
+            };
+            let seed = get_u64(&obj, "seed", 0).map_err(&fail)?;
+            let engine =
+                crate::commands::engine_of(get_str(&obj, "engine", "exact").map_err(&fail)?, eps)
+                    .map_err(&fail)?;
+            let mut opts = MixedApproxOptions::practical(eps);
+            opts.warm_start = get_bool(&obj, "warm", true).map_err(&fail)?;
+            opts.decision = opts.decision.with_engine(engine).with_seed(seed);
+            Ok(ParsedLine {
+                request: ServeRequest {
+                    id,
+                    payload: psdp_serve::InstancePayload::Mixed(inst),
+                    kind: RequestKind::Mixed { opts },
+                },
+                file_json,
+            })
+        }
+        _ => unreachable!("command validated above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdp_core::write_instance;
+    use psdp_sparse::PsdMatrix;
+
+    fn args(v: &[&str]) -> Args {
+        Args::parse(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn inline_packing() -> String {
+        let inst = PackingInstance::new(vec![
+            PsdMatrix::Diagonal(vec![2.0, 0.0]),
+            PsdMatrix::Diagonal(vec![0.0, 4.0]),
+        ])
+        .unwrap();
+        write_instance(&inst).replace('\n', "\\n")
+    }
+
+    #[test]
+    fn serve_answers_inline_requests_in_order() {
+        let text = inline_packing();
+        let input = format!(
+            "{{\"id\":\"b\",\"command\":\"optimize\",\"instance\":\"{text}\",\"eps\":0.15}}\n\
+             {{\"id\":\"a\",\"command\":\"solve\",\"instance\":\"{text}\",\"threshold\":0.5,\"eps\":0.2}}\n"
+        );
+        let run = serve_on_input(&args(&["serve"]), &input).unwrap();
+        let lines: Vec<&str> = run.stdout.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // Submission order preserved; ids attached.
+        assert!(lines[0].starts_with("{\"id\":\"b\",\"command\":\"optimize\""), "{}", lines[0]);
+        assert!(lines[1].starts_with("{\"id\":\"a\",\"command\":\"solve\""), "{}", lines[1]);
+        assert!(lines[0].contains("\"converged\":true"), "{}", lines[0]);
+        assert!(lines[0].contains("\"wall_ms\":null"), "{}", lines[0]);
+        assert!(lines[1].contains("\"serve\":{"), "{}", lines[1]);
+        assert!(run.summary.contains("2 requests"), "{}", run.summary);
+    }
+
+    #[test]
+    fn malformed_lines_become_error_responses() {
+        let text = inline_packing();
+        let input = format!(
+            "not json at all\n\
+             {{\"id\":\"x\",\"command\":\"warp\",\"instance\":\"{text}\"}}\n\
+             {{\"id\":\"ok\",\"command\":\"solve\",\"instance\":\"{text}\"}}\n\
+             {{\"id\":\"ok\",\"command\":\"solve\",\"instance\":\"{text}\"}}\n\
+             {{\"id\":\"y\",\"command\":\"solve\",\"instance\":\"psdp 1 garbage\"}}\n\
+             {{\"id\":\"z\",\"command\":\"solve\",\"instance\":\"{text}\",\"epz\":0.1}}\n"
+        );
+        let run = serve_on_input(&args(&["serve"]), &input).unwrap();
+        let lines: Vec<&str> = run.stdout.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert!(lines[0].starts_with("{\"id\":null,\"error\":"), "{}", lines[0]);
+        assert!(lines[1].contains("unknown command"), "{}", lines[1]);
+        assert!(lines[2].contains("\"command\":\"solve\""), "{}", lines[2]);
+        assert!(lines[3].contains("duplicate request id"), "{}", lines[3]);
+        assert!(lines[4].contains("\"error\":"), "{}", lines[4]);
+        assert!(lines[5].contains("unknown field `epz`"), "{}", lines[5]);
+    }
+
+    #[test]
+    fn serve_output_is_deterministic_and_cache_value_neutral() {
+        let text = inline_packing();
+        let input = format!(
+            "{{\"id\":\"r1\",\"command\":\"optimize\",\"instance\":\"{text}\",\"eps\":0.15}}\n\
+             {{\"id\":\"r2\",\"command\":\"optimize\",\"instance\":\"{text}\",\"eps\":0.15}}\n\
+             {{\"id\":\"r3\",\"command\":\"solve\",\"instance\":\"{text}\",\"threshold\":0.7}}\n"
+        );
+        let a = serve_on_input(&args(&["serve"]), &input).unwrap();
+        let b = serve_on_input(&args(&["serve"]), &input).unwrap();
+        assert_eq!(a.stdout, b.stdout, "serve stdout must be deterministic");
+        // Cached vs cold: the `serve` telemetry differs (that is the
+        // point), but the result payloads must be byte-identical.
+        let cold = serve_on_input(&args(&["serve", "--cache", "off"]), &input).unwrap();
+        let strip = |s: &str| -> Vec<String> {
+            s.lines().map(|l| l.split(",\"serve\":{").next().unwrap().to_string()).collect()
+        };
+        assert_eq!(strip(&a.stdout), strip(&cold.stdout));
+        assert!(a.stdout.contains("\"memoized\":true"), "{}", a.stdout);
+        assert!(!cold.stdout.contains("\"memoized\":true"), "{}", cold.stdout);
+    }
+
+    #[test]
+    fn mixed_requests_serve_end_to_end() {
+        let inst = psdp_core::MixedInstance::new(
+            vec![PsdMatrix::Diagonal(vec![2.0, 0.0]), PsdMatrix::Diagonal(vec![0.0, 2.0])],
+            vec![PsdMatrix::Diagonal(vec![1.0, 0.0]), PsdMatrix::Diagonal(vec![0.0, 1.0])],
+        )
+        .unwrap();
+        let text = psdp_core::write_mixed_instance(&inst).replace('\n', "\\n");
+        let input =
+            format!("{{\"id\":\"m\",\"command\":\"mixed\",\"instance\":\"{text}\",\"eps\":0.1}}\n");
+        let run = serve_on_input(&args(&["serve"]), &input).unwrap();
+        let line = run.stdout.lines().next().unwrap();
+        assert!(line.starts_with("{\"id\":\"m\",\"command\":\"mixed\""), "{line}");
+        assert!(line.contains("\"threshold_lower\":"), "{line}");
+        assert!(line.contains("\"best_point\":{"), "{line}");
+    }
+
+    #[test]
+    fn bad_flags_rejected() {
+        assert!(serve_on_input(&args(&["serve", "--cache", "sideways"]), "").is_err());
+        assert!(serve_on_input(&args(&["serve", "--max-inflight", "2"]), "").is_err());
+    }
+}

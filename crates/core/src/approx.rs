@@ -49,6 +49,19 @@ pub struct ApproxOptions {
     /// [`DecisionOptions::primal_matrix_dim_limit`] to 0 to maximize reuse
     /// when only values and dual certificates are needed.
     pub warm_start: bool,
+    /// An externally supplied *certified* bracket `(lo, hi)` on OPT for
+    /// this exact instance, intersected with the structural bounds before
+    /// bisection starts. The caller asserts certification: the serving
+    /// layer (`psdp-serve`) passes the bracket a previous `optimize` run on
+    /// the same fingerprint certified, so repeat or tightened-accuracy
+    /// submissions skip the brackets already resolved. An inconsistent
+    /// bracket (empty intersection with the structural bounds) is ignored
+    /// rather than trusted. `None` (the default) bisects from the
+    /// structural bounds alone. Note: when the injected bracket already
+    /// satisfies the accuracy target, the report's bounds come from the
+    /// bracket and `best_dual` may be `None` — witnesses live with whoever
+    /// certified the bracket.
+    pub initial_bracket: Option<(f64, f64)>,
 }
 
 impl ApproxOptions {
@@ -59,6 +72,7 @@ impl ApproxOptions {
             decision: DecisionOptions::practical(eps / 4.0),
             max_calls: 60,
             warm_start: true,
+            initial_bracket: None,
         }
     }
 

@@ -177,11 +177,35 @@ impl<'a> Lines<'a> {
             self.items.get(self.pos - 1).map_or(0, |&(no, _)| no)
         }
     }
+
+    /// Content lines not yet consumed. Used to reject declared sizes the
+    /// input cannot possibly satisfy *before* allocating for them.
+    fn remaining(&self) -> usize {
+        self.items.len().saturating_sub(self.pos)
+    }
 }
 
 fn bad(no: usize, msg: &str) -> PsdpError {
     PsdpError::InvalidInstance(format!("line {no}: {msg}"))
 }
+
+/// Largest accepted matrix dimension. The readers allocate `O(dim)` for a
+/// diagonal block and `O(dim²)` for a dense block *before* seeing the
+/// entries, so an absurd `dim` header in a malformed file must fail fast
+/// here instead of aborting the process inside an allocator call. Real
+/// instances are bounded far below this by the dense exponential engine.
+const MAX_DIM: usize = 1 << 20;
+
+/// Clamp used for `Vec::with_capacity` on declared entry counts: the count
+/// is untrusted input, so pre-reserve at most this many slots and let the
+/// vector grow normally if a (valid) file really has more.
+const MAX_PREALLOC: usize = 1 << 20;
+
+/// Largest accepted dimension for a *dense* block, which allocates
+/// `O(dim²)` up front (128 MiB of `f64` at this cap — far above anything
+/// the `O(m³)` dense engines can use, far below an allocator abort).
+/// Sparse/diagonal/factor storage is the format for larger dimensions.
+const MAX_DENSE_DIM: usize = 1 << 12;
 
 /// Parse a `<prefix> <value>` header line.
 fn header_usize(lines: &mut Lines<'_>, prefix: &str) -> Result<usize, PsdpError> {
@@ -190,6 +214,15 @@ fn header_usize(lines: &mut Lines<'_>, prefix: &str) -> Result<usize, PsdpError>
     line.strip_prefix(prefix)
         .and_then(|s| s.trim().parse().ok())
         .ok_or_else(|| bad(no, &format!("expected `{prefix} <n>`")))
+}
+
+/// Parse a dimension header and enforce the [`MAX_DIM`] allocation guard.
+fn checked_dim(lines: &mut Lines<'_>, prefix: &str) -> Result<usize, PsdpError> {
+    let dim = header_usize(lines, prefix)?;
+    if dim > MAX_DIM {
+        return Err(bad(lines.here(), &format!("{prefix}{dim} exceeds limit {MAX_DIM}")));
+    }
+    Ok(dim)
 }
 
 /// Parse one constraint block: a head line `<label> <i> <kind> …` (already
@@ -221,7 +254,10 @@ fn read_constraint(
                 toks.get(3).and_then(|s| s.parse().ok()).ok_or_else(|| bad(head_no, "bad nnz"))?;
             let rank: usize =
                 toks.get(4).and_then(|s| s.parse().ok()).ok_or_else(|| bad(head_no, "bad rank"))?;
-            let mut trip = Vec::with_capacity(nnz);
+            if rank > MAX_DIM {
+                return Err(bad(head_no, &format!("factor rank {rank} exceeds limit {MAX_DIM}")));
+            }
+            let mut trip = Vec::with_capacity(nnz.min(MAX_PREALLOC));
             for _ in 0..nnz {
                 let (no, entry) = lines.next().ok_or_else(|| bad(head_no, "truncated factor"))?;
                 let parts: Vec<&str> = entry.split_whitespace().collect();
@@ -236,7 +272,7 @@ fn read_constraint(
         "sparse" => {
             let nnz: usize =
                 toks.get(3).and_then(|s| s.parse().ok()).ok_or_else(|| bad(head_no, "bad nnz"))?;
-            let mut trip = Vec::with_capacity(nnz);
+            let mut trip = Vec::with_capacity(nnz.min(MAX_PREALLOC));
             for _ in 0..nnz {
                 let (no, entry) = lines.next().ok_or_else(|| bad(head_no, "truncated sparse"))?;
                 let parts: Vec<&str> = entry.split_whitespace().collect();
@@ -249,6 +285,19 @@ fn read_constraint(
             Ok(PsdMatrix::Sparse(Csr::from_triplets(dim, dim, &trip)))
         }
         "dense" => {
+            // A dense block allocates O(dim²) before reading a single row,
+            // so an absurd header must fail here, not in the allocator:
+            // cap the dimension outright and require the input to actually
+            // contain `dim` more lines.
+            if dim > MAX_DENSE_DIM {
+                return Err(bad(
+                    head_no,
+                    &format!("dense block dim {dim} exceeds limit {MAX_DENSE_DIM}"),
+                ));
+            }
+            if lines.remaining() < dim {
+                return Err(bad(head_no, "truncated dense block"));
+            }
             let mut m = Mat::zeros(dim, dim);
             for r in 0..dim {
                 let (no, row_line) =
@@ -280,7 +329,7 @@ fn read_block_list(
     count: usize,
     dim: usize,
 ) -> Result<Vec<PsdMatrix>, PsdpError> {
-    let mut mats = Vec::with_capacity(count);
+    let mut mats = Vec::with_capacity(count.min(MAX_PREALLOC));
     for expected in 0..count {
         let (no, head) = lines.next().ok_or_else(|| bad(0, "unexpected end of file"))?;
         let toks: Vec<&str> = head.split_whitespace().collect();
@@ -298,7 +347,10 @@ fn read_block_list(
 
 fn expect_end(lines: &mut Lines<'_>) -> Result<(), PsdpError> {
     match lines.next() {
-        Some((_, "end")) => Ok(()),
+        Some((_, "end")) => match lines.next() {
+            None => Ok(()),
+            Some((no, extra)) => Err(bad(no, &format!("trailing content after `end`: `{extra}`"))),
+        },
         Some((no, other)) => Err(bad(no, &format!("expected `end`, found `{other}`"))),
         None => Err(bad(0, "missing trailing `end`")),
     }
@@ -315,7 +367,7 @@ pub fn read_instance(text: &str) -> Result<PackingInstance, PsdpError> {
     if header != "psdp 1" {
         return Err(bad(no, "expected header `psdp 1`"));
     }
-    let dim = header_usize(&mut lines, "dim ")?;
+    let dim = checked_dim(&mut lines, "dim ")?;
     let count = header_usize(&mut lines, "constraints ")?;
     let mats = read_block_list(&mut lines, "constraint", count, dim)?;
     expect_end(&mut lines)?;
@@ -333,8 +385,8 @@ pub fn read_mixed_instance(text: &str) -> Result<MixedInstance, PsdpError> {
     if header != "psdp mixed 1" {
         return Err(bad(no, "expected header `psdp mixed 1`"));
     }
-    let pack_dim = header_usize(&mut lines, "pack-dim ")?;
-    let cover_dim = header_usize(&mut lines, "cover-dim ")?;
+    let pack_dim = checked_dim(&mut lines, "pack-dim ")?;
+    let cover_dim = checked_dim(&mut lines, "cover-dim ")?;
     let count = header_usize(&mut lines, "coordinates ")?;
     let pack = read_block_list(&mut lines, "pack", count, pack_dim)?;
     let cover = read_block_list(&mut lines, "cover", count, cover_dim)?;

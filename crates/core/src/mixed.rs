@@ -100,6 +100,7 @@ use crate::stats::{BracketStats, SolveStats};
 use psdp_expdot::{Engine, EngineKind};
 use psdp_linalg::{lambda_max_upper_bound, sym_eigen};
 use psdp_parallel::Cost;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Fraction of the coverage target a warm-started bracket iterate is
@@ -301,21 +302,78 @@ impl<'i> MixedSolverBuilder<'i> {
     /// Option validation and constraint factorization failures.
     pub fn build(self) -> Result<MixedSolver<'i>, PsdpError> {
         self.opts.validate()?;
-        let pack_engine = Engine::new(self.opts.engine, self.inst.pack().mats(), self.opts.seed)?;
+        let pack_engine =
+            Arc::new(Engine::new(self.opts.engine, self.inst.pack().mats(), self.opts.seed)?);
         // Covering side: always exact (see the module docs — the Taylor
         // sandwich does not hold for the NSD argument −Ψ_C/σ).
         let cover_engine =
-            Engine::new(EngineKind::Exact, self.inst.cover().mats(), self.opts.seed)?;
-        let pack_traces: Vec<f64> = self.inst.pack().mats().iter().map(|a| a.trace()).collect();
-        let cover_traces: Vec<f64> = self.inst.cover().mats().iter().map(|a| a.trace()).collect();
-        Ok(MixedSolver {
-            inst: self.inst,
-            opts: self.opts,
-            pack_engine,
-            cover_engine,
-            pack_traces,
-            cover_traces,
-        })
+            Arc::new(Engine::new(EngineKind::Exact, self.inst.cover().mats(), self.opts.seed)?);
+        Self::assemble(self.inst, self.opts, pack_engine, cover_engine)
+    }
+
+    /// Like [`MixedSolverBuilder::build`], but reuse already-prepared
+    /// engines (obtained from [`MixedSolver::engine_handles`] of an
+    /// earlier solver for the same instance) — the serving layer's
+    /// amortization hook, mirroring
+    /// [`crate::SolverBuilder::build_with_engine`]. Dimensions, seeds, and
+    /// resolved kinds are re-checked; full instance identity is the
+    /// caller's cache-key responsibility (see `DESIGN.md` §10).
+    ///
+    /// # Errors
+    /// Option validation failures, or engines inconsistent with this
+    /// instance/options pair.
+    pub fn build_with_engines(
+        self,
+        pack_engine: Arc<Engine>,
+        cover_engine: Arc<Engine>,
+    ) -> Result<MixedSolver<'i>, PsdpError> {
+        self.opts.validate()?;
+        let checks = [
+            (&pack_engine, self.inst.pack_dim(), "packing"),
+            (&cover_engine, self.inst.cover_dim(), "covering"),
+        ];
+        for (engine, dim, side) in checks {
+            if engine.dim() != dim {
+                return Err(PsdpError::InvalidInstance(format!(
+                    "prepared {side} engine has dim {}, instance side has dim {dim}",
+                    engine.dim()
+                )));
+            }
+            if engine.seed() != self.opts.seed {
+                return Err(PsdpError::InvalidInstance(format!(
+                    "prepared {side} engine was built with seed {}, options ask for seed {}",
+                    engine.seed(),
+                    self.opts.seed
+                )));
+            }
+        }
+        let want_pack =
+            self.opts.engine.resolve(self.inst.pack_dim(), self.inst.pack().total_nnz());
+        if pack_engine.kind() != want_pack {
+            return Err(PsdpError::InvalidInstance(format!(
+                "prepared packing engine kind {:?} does not match requested kind {:?}",
+                pack_engine.kind(),
+                want_pack
+            )));
+        }
+        if cover_engine.kind() != EngineKind::Exact {
+            return Err(PsdpError::InvalidInstance(format!(
+                "prepared covering engine must be exact, got {:?}",
+                cover_engine.kind()
+            )));
+        }
+        Self::assemble(self.inst, self.opts, pack_engine, cover_engine)
+    }
+
+    fn assemble(
+        inst: &'i MixedInstance,
+        opts: MixedOptions,
+        pack_engine: Arc<Engine>,
+        cover_engine: Arc<Engine>,
+    ) -> Result<MixedSolver<'i>, PsdpError> {
+        let pack_traces: Vec<f64> = inst.pack().mats().iter().map(|a| a.trace()).collect();
+        let cover_traces: Vec<f64> = inst.cover().mats().iter().map(|a| a.trace()).collect();
+        Ok(MixedSolver { inst, opts, pack_engine, cover_engine, pack_traces, cover_traces })
     }
 }
 
@@ -346,8 +404,8 @@ impl<'i> MixedSolverBuilder<'i> {
 pub struct MixedSolver<'i> {
     inst: &'i MixedInstance,
     opts: MixedOptions,
-    pack_engine: Engine,
-    cover_engine: Engine,
+    pack_engine: Arc<Engine>,
+    cover_engine: Arc<Engine>,
     pack_traces: Vec<f64>,
     cover_traces: Vec<f64>,
 }
@@ -373,6 +431,13 @@ impl<'i> MixedSolver<'i> {
     /// [`EngineKind::Exact`].
     pub fn pack_engine_kind(&self) -> EngineKind {
         self.pack_engine.kind()
+    }
+
+    /// Shareable handles to the prepared `(packing, covering)` engines, for
+    /// [`MixedSolverBuilder::build_with_engines`] reuse on the same
+    /// instance.
+    pub fn engine_handles(&self) -> (Arc<Engine>, Arc<Engine>) {
+        (Arc::clone(&self.pack_engine), Arc::clone(&self.cover_engine))
     }
 
     /// Open a fresh session (no observers, warm starts armed).

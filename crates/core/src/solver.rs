@@ -112,6 +112,7 @@ use psdp_expdot::{Engine, EngineKind, ExpDots};
 use psdp_linalg::{lambda_max_upper_bound, sym_eigen, vecops, Mat};
 use psdp_mmw::paper_constants;
 use psdp_parallel::Cost;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Upper bound on the floats retained by the warm-start trajectory cache.
@@ -153,11 +154,64 @@ impl<'i> SolverBuilder<'i> {
     /// Option validation failures and constraint factorization failures.
     pub fn build(self) -> Result<Solver<'i>, PsdpError> {
         self.opts.validate()?;
-        let engine = Engine::new(self.opts.engine, self.inst.mats(), self.opts.seed)?;
-        let traces: Vec<f64> = self.inst.mats().iter().map(|a| a.trace()).collect();
+        let engine = Arc::new(Engine::new(self.opts.engine, self.inst.mats(), self.opts.seed)?);
+        Self::assemble(self.inst, self.opts, engine)
+    }
+
+    /// Like [`SolverBuilder::build`], but reuse an already-prepared engine
+    /// instead of constructing one — the amortization hook the serving
+    /// layer's fingerprint cache relies on (`psdp-serve`): factorizations
+    /// and `Auto` resolution are paid once per distinct instance, not once
+    /// per request.
+    ///
+    /// The engine **must** have been built (via [`SolverBuilder::build`] on
+    /// an earlier solver, read back with [`Solver::engine_handle`]) from
+    /// the same constraint set. That cannot be fully re-verified here, so
+    /// this checks everything observable — dimension, seed, and that the
+    /// engine's concrete kind equals what resolving the requested kind
+    /// against this instance would produce — and the caller is responsible
+    /// for keying its cache on the full instance identity (see
+    /// `DESIGN.md` §10 on cache-key soundness).
+    ///
+    /// # Errors
+    /// Option validation failures, or an engine inconsistent with this
+    /// instance/options pair.
+    pub fn build_with_engine(self, engine: Arc<Engine>) -> Result<Solver<'i>, PsdpError> {
+        self.opts.validate()?;
+        if engine.dim() != self.inst.dim() {
+            return Err(PsdpError::InvalidInstance(format!(
+                "prepared engine has dim {}, instance has dim {}",
+                engine.dim(),
+                self.inst.dim()
+            )));
+        }
+        if engine.seed() != self.opts.seed {
+            return Err(PsdpError::InvalidInstance(format!(
+                "prepared engine was built with seed {}, options ask for seed {}",
+                engine.seed(),
+                self.opts.seed
+            )));
+        }
+        let want = self.opts.engine.resolve(self.inst.dim(), self.inst.total_nnz());
+        if engine.kind() != want {
+            return Err(PsdpError::InvalidInstance(format!(
+                "prepared engine kind {:?} does not match requested kind {:?}",
+                engine.kind(),
+                want
+            )));
+        }
+        Self::assemble(self.inst, self.opts, engine)
+    }
+
+    fn assemble(
+        inst: &'i PackingInstance,
+        opts: DecisionOptions,
+        engine: Arc<Engine>,
+    ) -> Result<Solver<'i>, PsdpError> {
+        let traces: Vec<f64> = inst.mats().iter().map(|a| a.trace()).collect();
         let lambda_caps: Vec<f64> =
-            self.inst.mats().iter().map(|a| 1.0 / a.lambda_max_est().max(1e-300)).collect();
-        Ok(Solver { inst: self.inst, opts: self.opts, engine, traces, lambda_caps })
+            inst.mats().iter().map(|a| 1.0 / a.lambda_max_est().max(1e-300)).collect();
+        Ok(Solver { inst, opts, engine, traces, lambda_caps })
     }
 }
 
@@ -188,7 +242,7 @@ impl<'i> SolverBuilder<'i> {
 pub struct Solver<'i> {
     inst: &'i PackingInstance,
     opts: DecisionOptions,
-    engine: Engine,
+    engine: Arc<Engine>,
     traces: Vec<f64>,
     lambda_caps: Vec<f64>,
 }
@@ -213,6 +267,13 @@ impl<'i> Solver<'i> {
     /// build time).
     pub fn engine_kind(&self) -> EngineKind {
         self.engine.kind()
+    }
+
+    /// A shareable handle to the prepared engine (factorizations included).
+    /// Hand this to [`SolverBuilder::build_with_engine`] to prepare another
+    /// solver for the *same* constraint set without redoing the work.
+    pub fn engine_handle(&self) -> Arc<Engine> {
+        Arc::clone(&self.engine)
     }
 
     /// Open a fresh session (empty warm-start cache, no observers).
@@ -853,6 +914,21 @@ impl<'i, 's> Session<'i, 's> {
         let mut hi = self.solver.lambda_caps.iter().sum::<f64>() * 2.0;
         if lo.is_nan() || lo <= 0.0 || !hi.is_finite() {
             return Err(PsdpError::InvalidInstance("degenerate λmax estimates".into()));
+        }
+        // Externally certified bracket (serving-layer reuse): intersect with
+        // the structural bounds — both are certified, so the intersection is
+        // certified and at least as tight. An inconsistent injection (empty
+        // intersection, non-finite, or non-positive) is dropped, not
+        // trusted.
+        if let Some((inj_lo, inj_hi)) = opts.initial_bracket {
+            if inj_lo > 0.0 && inj_lo.is_finite() && inj_hi.is_finite() && inj_lo <= inj_hi {
+                let cand_lo = lo.max(inj_lo);
+                let cand_hi = hi.min(inj_hi);
+                if cand_lo <= cand_hi {
+                    lo = cand_lo;
+                    hi = cand_hi;
+                }
+            }
         }
 
         let mut best_dual: Option<DualSolution> = None;

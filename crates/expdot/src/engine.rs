@@ -187,6 +187,19 @@ impl Engine {
         self.q_nnz
     }
 
+    /// The matrix dimension `m` this engine was prepared for. Callers that
+    /// cache prepared engines (the serving layer) use this to sanity-check
+    /// an engine against the instance it is about to be reused with.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The root sketch seed the engine was prepared with (relevant to the
+    /// sketched engines; the exact engine ignores it).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Evaluate `Tr[exp(Φ)]` and all `exp(Φ) • Aᵢ` for a dense `Φ`.
     ///
     /// * `phi` — the current PSD matrix `Ψ(t)` (dense accumulation),

@@ -1,0 +1,247 @@
+//! The fingerprint-keyed solver cache.
+//!
+//! A fingerprint identifies everything fixed at *preparation* time: the
+//! request family (packing vs mixed), the exact normalized instance (its
+//! canonical `psdp v1` / `psdp mixed v1` text — write→read is exact, so
+//! the text is a faithful canonical form), the requested engine kind, and
+//! the sketch seed. Per-solve options (eps, constants mode, update rule,
+//! bisection accuracy, …) deliberately are **not** part of it: the session
+//! API re-validates them per call, and its internal warm-start caches
+//! carry their own option keys and refuse stale reuse, so requests that
+//! differ only in solve options can safely share one prepared solver.
+//! `DESIGN.md` §10 walks through why this key is sound — i.e. why a cache
+//! hit can never change a verdict.
+//!
+//! Lookups hash the canonical key (FNV-1a 64) but **verify the full key on
+//! every hit**: a 64-bit collision between two distinct instances must
+//! fall back to a miss, never reuse the wrong prepared state.
+
+use crate::request::{InstancePayload, RequestKind, ServeRequest};
+use psdp_core::{write_instance, write_mixed_instance, MixedInstance, PackingInstance};
+use psdp_expdot::{Engine, EngineKind};
+use std::sync::Arc;
+
+/// Prepared, immutable solver state for one fingerprint.
+#[derive(Clone)]
+pub enum Prepared {
+    /// Packing family: the shared instance and its prepared engine.
+    Packing {
+        /// The instance the engine was prepared for.
+        inst: Arc<PackingInstance>,
+        /// The prepared engine (factorizations, resolved `Auto`).
+        engine: Arc<Engine>,
+    },
+    /// Mixed family: the shared instance and both prepared engines.
+    Mixed {
+        /// The instance the engines were prepared for.
+        inst: Arc<MixedInstance>,
+        /// Packing-side engine.
+        pack_engine: Arc<Engine>,
+        /// Covering-side engine (always exact).
+        cover_engine: Arc<Engine>,
+    },
+}
+
+/// A memoized result, stored verbatim. The whole pipeline is
+/// deterministic, so replaying the stored result for a byte-identical
+/// request is byte-identical to recomputing it.
+#[derive(Clone)]
+pub struct MemoEntry {
+    /// Canonical request-parameters key (see [`params_key`]).
+    pub params: String,
+    /// The stored result.
+    pub result: crate::scheduler::ServeResult,
+}
+
+/// One cache slot: the verified canonical key, prepared state, memoized
+/// results, and the last certified optimize bracket (for warm-starting
+/// perturbed resubmissions).
+pub struct CacheEntry {
+    pub(crate) hash: u64,
+    pub(crate) key: String,
+    pub(crate) prepared: Prepared,
+    pub(crate) memo: Vec<MemoEntry>,
+    /// `(params_key, lo, hi)` of the most recent certified packing
+    /// bisection on this fingerprint.
+    pub(crate) bracket: Option<(String, f64, f64)>,
+    pub(crate) last_used: u64,
+}
+
+/// 64-bit FNV-1a over a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The engine kind and seed a request's prepared solver is keyed on.
+pub fn prep_engine_of(kind: &RequestKind) -> (EngineKind, u64) {
+    match kind {
+        RequestKind::Decision { opts, .. } => (opts.engine, opts.seed),
+        RequestKind::Optimize { opts } => (opts.decision.engine, opts.decision.seed),
+        RequestKind::Mixed { opts } => (opts.decision.engine, opts.decision.seed),
+    }
+}
+
+/// The full canonical preparation key of a request: family, engine kind,
+/// seed, and the instance's canonical text. Everything the prepared state
+/// depends on is in here; nothing else is.
+pub fn prep_key(req: &ServeRequest) -> String {
+    let (engine, seed) = prep_engine_of(&req.kind);
+    match &req.payload {
+        InstancePayload::Packing(inst) => {
+            format!("packing\nengine {engine:?}\nseed {seed}\n{}", write_instance(inst))
+        }
+        InstancePayload::Mixed(inst) => {
+            format!("mixed\nengine {engine:?}\nseed {seed}\n{}", write_mixed_instance(inst))
+        }
+    }
+}
+
+/// The canonical request-parameters key: the request kind with every
+/// option field, via its (stable within one build) `Debug` rendering.
+/// Memoization compares these exactly, so any new option field is
+/// automatically part of the key.
+pub fn params_key(kind: &RequestKind) -> String {
+    format!("{kind:?}")
+}
+
+/// The fingerprint-keyed store. Entries are found by hash and verified by
+/// full key; eviction is deterministic (least-recently-used by a logical
+/// clock, ties impossible since the clock is strictly increasing).
+pub struct SolverCache {
+    entries: Vec<CacheEntry>,
+    max_entries: usize,
+    clock: u64,
+}
+
+impl SolverCache {
+    /// An empty cache holding at most `max_entries` fingerprints
+    /// (`0` is treated as 1).
+    pub fn new(max_entries: usize) -> Self {
+        SolverCache { entries: Vec::new(), max_entries: max_entries.max(1), clock: 0 }
+    }
+
+    /// Number of cached fingerprints.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Remove and return the entry for `key`, if present. The scheduler
+    /// takes entries out, hands them to the (parallel) group workers, and
+    /// re-inserts them afterwards — no locking needed.
+    pub(crate) fn take(&mut self, key: &str) -> Option<CacheEntry> {
+        let hash = fnv1a(key.as_bytes());
+        let idx = self.entries.iter().position(|e| e.hash == hash && e.key == key)?;
+        Some(self.entries.swap_remove(idx))
+    }
+
+    /// Insert (or re-insert) an entry, stamping its use clock and evicting
+    /// the least-recently-used entry if over capacity.
+    pub(crate) fn insert(&mut self, mut entry: CacheEntry) {
+        self.clock += 1;
+        entry.last_used = self.clock;
+        self.entries.push(entry);
+        while self.entries.len() > self.max_entries {
+            let oldest = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.entries.swap_remove(oldest);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdp_core::DecisionOptions;
+    use psdp_sparse::PsdMatrix;
+
+    fn inst(d: &[f64]) -> Arc<PackingInstance> {
+        Arc::new(PackingInstance::new(vec![PsdMatrix::Diagonal(d.to_vec())]).unwrap())
+    }
+
+    fn entry(key: &str) -> CacheEntry {
+        CacheEntry {
+            hash: fnv1a(key.as_bytes()),
+            key: key.to_string(),
+            prepared: Prepared::Packing {
+                inst: inst(&[1.0]),
+                engine: Arc::new(
+                    Engine::new(
+                        psdp_expdot::EngineKind::Exact,
+                        &[PsdMatrix::Diagonal(vec![1.0])],
+                        0,
+                    )
+                    .unwrap(),
+                ),
+            },
+            memo: Vec::new(),
+            bracket: None,
+            last_used: 0,
+        }
+    }
+
+    #[test]
+    fn prep_key_separates_instances_engines_and_seeds() {
+        let a =
+            ServeRequest::decision("a", inst(&[1.0, 2.0]), 1.0, DecisionOptions::practical(0.1));
+        let b =
+            ServeRequest::decision("b", inst(&[1.0, 3.0]), 1.0, DecisionOptions::practical(0.1));
+        assert_ne!(prep_key(&a), prep_key(&b), "different instances must key apart");
+
+        let c = ServeRequest::decision(
+            "c",
+            inst(&[1.0, 2.0]),
+            1.0,
+            DecisionOptions::practical(0.1).with_seed(7),
+        );
+        assert_ne!(prep_key(&a), prep_key(&c), "different seeds must key apart");
+
+        // Same instance + engine + seed but different eps/threshold: same
+        // prepared state (per-solve options are not prep inputs).
+        let d =
+            ServeRequest::decision("d", inst(&[1.0, 2.0]), 2.0, DecisionOptions::practical(0.3));
+        assert_eq!(prep_key(&a), prep_key(&d));
+        // …but different request parameters, so memoization keys apart.
+        assert_ne!(params_key(&a.kind), params_key(&d.kind));
+    }
+
+    #[test]
+    fn take_verifies_full_key_not_just_hash() {
+        let mut cache = SolverCache::new(8);
+        cache.insert(entry("key-a"));
+        // Same hash is impossible to force here, but a different key with
+        // whatever hash must miss even though an entry exists.
+        assert!(cache.take("key-b").is_none());
+        assert!(cache.take("key-a").is_some());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn eviction_is_lru_and_bounded() {
+        let mut cache = SolverCache::new(2);
+        cache.insert(entry("k1"));
+        cache.insert(entry("k2"));
+        // Touch k1 so k2 becomes the LRU.
+        let e = cache.take("k1").unwrap();
+        cache.insert(e);
+        cache.insert(entry("k3"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.take("k2").is_none(), "k2 should have been evicted");
+        assert!(cache.take("k1").is_some());
+        assert!(cache.take("k3").is_some());
+    }
+}

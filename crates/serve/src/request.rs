@@ -1,0 +1,123 @@
+//! The serving request model: heterogeneous solve requests over shared,
+//! immutable instances.
+//!
+//! Instances travel as `Arc`s so a zipf-repeated batch (many requests,
+//! few distinct instances) does not clone constraint data per request, and
+//! so cached prepared state can keep the instance alive across batches.
+
+use psdp_core::{
+    ApproxOptions, DecisionOptions, MixedApproxOptions, MixedInstance, PackingInstance,
+};
+use std::sync::Arc;
+
+/// What a request asks the solver to do. Every variant carries its own
+/// options — heterogeneous batches are the point of the scheduler.
+#[derive(Debug, Clone)]
+pub enum RequestKind {
+    /// The ε-decision question "is the packing optimum ≥ `threshold`?"
+    /// (a single [`psdp_core::Session::solve_with`] call).
+    Decision {
+        /// The threshold `σ` to test.
+        threshold: f64,
+        /// Per-request decision options (the engine kind and seed also
+        /// select which prepared solver the request shares).
+        opts: DecisionOptions,
+    },
+    /// Full certified bisection ([`psdp_core::Session::optimize`]).
+    Optimize {
+        /// Per-request optimizer options.
+        opts: ApproxOptions,
+    },
+    /// Mixed packing–covering threshold optimization
+    /// ([`psdp_core::MixedSession::optimize`]).
+    Mixed {
+        /// Per-request mixed optimizer options.
+        opts: MixedApproxOptions,
+    },
+}
+
+impl RequestKind {
+    /// Short label for telemetry and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RequestKind::Decision { .. } => "decision",
+            RequestKind::Optimize { .. } => "optimize",
+            RequestKind::Mixed { .. } => "mixed",
+        }
+    }
+}
+
+/// The instance a request runs against.
+#[derive(Debug, Clone)]
+pub enum InstancePayload {
+    /// A packing instance (decision / optimize requests).
+    Packing(Arc<PackingInstance>),
+    /// A mixed packing–covering instance (mixed requests).
+    Mixed(Arc<MixedInstance>),
+}
+
+/// One serve request: a unique id, an instance, and what to do with it.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// Caller-chosen identifier, unique within a batch. Responses are
+    /// keyed by it, and the scheduler orders same-fingerprint requests by
+    /// id so results do not depend on submission order.
+    pub id: String,
+    /// The instance to solve.
+    pub payload: InstancePayload,
+    /// The work to perform.
+    pub kind: RequestKind,
+}
+
+impl ServeRequest {
+    /// A decision request.
+    pub fn decision(
+        id: impl Into<String>,
+        inst: Arc<PackingInstance>,
+        threshold: f64,
+        opts: DecisionOptions,
+    ) -> Self {
+        ServeRequest {
+            id: id.into(),
+            payload: InstancePayload::Packing(inst),
+            kind: RequestKind::Decision { threshold, opts },
+        }
+    }
+
+    /// An optimize request.
+    pub fn optimize(
+        id: impl Into<String>,
+        inst: Arc<PackingInstance>,
+        opts: ApproxOptions,
+    ) -> Self {
+        ServeRequest {
+            id: id.into(),
+            payload: InstancePayload::Packing(inst),
+            kind: RequestKind::Optimize { opts },
+        }
+    }
+
+    /// A mixed request.
+    pub fn mixed(
+        id: impl Into<String>,
+        inst: Arc<MixedInstance>,
+        opts: MixedApproxOptions,
+    ) -> Self {
+        ServeRequest {
+            id: id.into(),
+            payload: InstancePayload::Mixed(inst),
+            kind: RequestKind::Mixed { opts },
+        }
+    }
+
+    /// Whether the payload matches what the request kind needs (decision /
+    /// optimize run on packing instances, mixed on mixed instances).
+    pub fn payload_matches_kind(&self) -> bool {
+        matches!(
+            (&self.payload, &self.kind),
+            (InstancePayload::Packing(_), RequestKind::Decision { .. })
+                | (InstancePayload::Packing(_), RequestKind::Optimize { .. })
+                | (InstancePayload::Mixed(_), RequestKind::Mixed { .. })
+        )
+    }
+}

@@ -1,0 +1,578 @@
+//! The batch scheduler: heterogeneous requests in, deterministic
+//! responses out, preparation amortized through the fingerprint cache.
+//!
+//! ## Execution model
+//!
+//! A batch is partitioned into **groups** by preparation fingerprint
+//! ([`crate::cache::prep_key`]): requests over the same instance with the
+//! same engine kind and seed share one prepared solver and one session.
+//! Groups run concurrently over the shared rayon pool, bounded by
+//! [`SchedulerOptions::max_in_flight`]; within a group requests run
+//! sequentially **in request-id order**, so which request pays the cold
+//! costs — and every response byte — is a function of the batch's
+//! *contents*, never of submission order or pool width. Responses are
+//! returned in submission order (each carries its id).
+//!
+//! ## Reuse tiers
+//!
+//! 1. **Result memoization** — a request byte-identical to one already
+//!    served on this fingerprint returns the stored result. The whole
+//!    pipeline is deterministic, so this is exact, not approximate.
+//! 2. **Prepared-state reuse** — constraint factorizations, `Auto` engine
+//!    resolution, and per-constraint scalars are built once per
+//!    fingerprint and shared via [`psdp_core::SolverBuilder::build_with_engine`].
+//!    Preparation never affects results, only wall clock.
+//! 3. **Warm session / bracket continuation** — requests in one group
+//!    share a session (trajectory replay is bitwise result-neutral), and
+//!    a repeated-but-perturbed `optimize` request starts from the prior
+//!    certified bracket via [`psdp_core::ApproxOptions::initial_bracket`].
+//!
+//! See `DESIGN.md` §10 for the soundness argument (what the fingerprint
+//! must cover so a cache hit can never change a verdict).
+
+use crate::cache::{fnv1a, params_key, prep_engine_of, prep_key, CacheEntry, MemoEntry, Prepared};
+use crate::request::{InstancePayload, RequestKind, ServeRequest};
+use psdp_core::{
+    DecisionOptions, DecisionResult, MixedInstance, MixedOptions, MixedReport, MixedSolver,
+    PackingReport, Solver,
+};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerOptions {
+    /// Upper bound on groups solved concurrently (`0` = the rayon pool
+    /// width). Concurrency never changes results, only wall clock.
+    pub max_in_flight: usize,
+    /// Master switch for the fingerprint cache. Off = every request is its
+    /// own cold group (the baseline the `serve_throughput` bench compares
+    /// against).
+    pub cache_enabled: bool,
+    /// Cache capacity in fingerprints (deterministic LRU eviction).
+    pub max_entries: usize,
+    /// Memoized results kept per fingerprint.
+    pub memo_per_entry: usize,
+}
+
+impl Default for SchedulerOptions {
+    fn default() -> Self {
+        SchedulerOptions {
+            max_in_flight: 0,
+            cache_enabled: true,
+            max_entries: 256,
+            memo_per_entry: 64,
+        }
+    }
+}
+
+/// Batch-level failures (per-request failures are reported per response).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Two requests in one batch share an id; responses are keyed by id,
+    /// so this is rejected up front.
+    DuplicateId(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::DuplicateId(id) => write!(f, "duplicate request id `{id}` in batch"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A successful request result.
+#[derive(Debug, Clone)]
+pub enum ServeResult {
+    /// Result of a [`RequestKind::Decision`] request.
+    Decision(DecisionResult),
+    /// Result of a [`RequestKind::Optimize`] request.
+    Optimize(PackingReport),
+    /// Result of a [`RequestKind::Mixed`] request.
+    Mixed(MixedReport),
+}
+
+/// Per-request serving telemetry. Only the wall-clock fields
+/// ([`ServeStats::queue_wait`], [`ServeStats::service`]) are
+/// non-deterministic; everything else is a pure function of the batch
+/// contents (and prior batches on this scheduler), which is what lets the
+/// determinism suite compare response streams bitwise.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Time from batch start until this request began executing (queue
+    /// wait behind its group predecessors and pool scheduling).
+    pub queue_wait: Duration,
+    /// Execution time of this request alone.
+    pub service: Duration,
+    /// The request did not pay for solver preparation (engine build) —
+    /// prepared state came from the cache or from an earlier request in
+    /// its group.
+    pub prep_reused: bool,
+    /// The response was replayed from the memo store (no solve ran).
+    pub memoized: bool,
+    /// The request's `optimize` started from a prior certified bracket.
+    pub bracket_injected: bool,
+    /// Live engine evaluations this request caused.
+    pub engine_evals: usize,
+    /// Rounds replayed from the shared session's trajectory cache.
+    pub replayed: usize,
+}
+
+/// One response: the request's id, its result (or a printable error), and
+/// serving telemetry.
+#[derive(Debug, Clone)]
+pub struct ServeResponse {
+    /// The request id this response answers.
+    pub id: String,
+    /// The result, or a printable per-request error.
+    pub result: Result<ServeResult, String>,
+    /// Serving telemetry.
+    pub stats: ServeStats,
+}
+
+/// Aggregate report over one [`Scheduler::run_batch`] call.
+#[derive(Debug, Clone, Default)]
+pub struct BatchReport {
+    /// Requests in the batch.
+    pub requests: usize,
+    /// Distinct fingerprint groups executed.
+    pub groups: usize,
+    /// Requests that ended in an error response.
+    pub errors: usize,
+    /// Solver preparations performed (engine builds).
+    pub prep_builds: usize,
+    /// Requests served without paying preparation.
+    pub prep_reuses: usize,
+    /// Requests answered from the memo store.
+    pub memo_hits: usize,
+    /// Optimize requests that started from a prior certified bracket.
+    pub bracket_injections: usize,
+    /// Total live engine evaluations across the batch.
+    pub engine_evals: usize,
+    /// Total trajectory-cache rounds replayed across the batch.
+    pub replayed: usize,
+    /// Sum of per-request queue waits.
+    pub total_queue_wait: Duration,
+    /// Largest single queue wait.
+    pub max_queue_wait: Duration,
+    /// Sum of per-request service times.
+    pub total_service: Duration,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+}
+
+/// Responses (submission order) plus the aggregate report.
+pub struct BatchOutput {
+    /// One response per request, in submission order.
+    pub responses: Vec<ServeResponse>,
+    /// Aggregate batch telemetry.
+    pub report: BatchReport,
+}
+
+/// The serving scheduler: owns the fingerprint cache and executes request
+/// batches. Create once and feed it batches; cached preparation (and
+/// memoized results) carry across batches.
+pub struct Scheduler {
+    opts: SchedulerOptions,
+    cache: crate::cache::SolverCache,
+}
+
+/// Work unit handed to a group worker.
+struct GroupWork<'r> {
+    key: String,
+    entry: Option<CacheEntry>,
+    /// `(submission index, request, params key)`, sorted by request id.
+    items: Vec<(usize, &'r ServeRequest, String)>,
+}
+
+/// What a group worker hands back.
+struct GroupOutcome {
+    responses: Vec<(usize, ServeResponse)>,
+    entry: Option<CacheEntry>,
+    prep_built: bool,
+}
+
+impl Scheduler {
+    /// A scheduler with the given options.
+    pub fn new(opts: SchedulerOptions) -> Self {
+        Scheduler { opts, cache: crate::cache::SolverCache::new(opts.max_entries) }
+    }
+
+    /// Number of fingerprints currently cached.
+    pub fn cached_fingerprints(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Execute one batch. Responses come back in submission order; see the
+    /// module docs for the determinism and reuse contracts.
+    ///
+    /// # Errors
+    /// [`ServeError::DuplicateId`] when two requests share an id.
+    /// Per-request failures (bad options, mismatched payload, solver
+    /// errors) are reported inside the affected [`ServeResponse`], not as
+    /// batch errors.
+    pub fn run_batch(&mut self, requests: &[ServeRequest]) -> Result<BatchOutput, ServeError> {
+        let batch_start = Instant::now();
+        {
+            let mut seen = std::collections::BTreeSet::new();
+            for r in requests {
+                if !seen.insert(r.id.as_str()) {
+                    return Err(ServeError::DuplicateId(r.id.clone()));
+                }
+            }
+        }
+
+        // Partition into fingerprint groups (BTreeMap ⇒ canonical group
+        // order, independent of submission order).
+        let mut mismatched: Vec<usize> = Vec::new();
+        let mut groups: BTreeMap<String, Vec<(usize, &ServeRequest, String)>> = BTreeMap::new();
+        for (idx, req) in requests.iter().enumerate() {
+            if !req.payload_matches_kind() {
+                mismatched.push(idx);
+                continue;
+            }
+            let key = if self.opts.cache_enabled {
+                prep_key(req)
+            } else {
+                // Cold mode: every request is its own group and nothing is
+                // kept, giving the uncached per-request baseline.
+                format!("cold-{idx:08}")
+            };
+            groups.entry(key).or_default().push((idx, req, params_key(&req.kind)));
+        }
+        let mut work: Vec<GroupWork<'_>> = groups
+            .into_iter()
+            .map(|(key, mut items)| {
+                items.sort_by(|a, b| a.1.id.cmp(&b.1.id));
+                let entry = if self.opts.cache_enabled { self.cache.take(&key) } else { None };
+                GroupWork { key, entry, items }
+            })
+            .collect();
+
+        // Bounded in-flight concurrency over the shared pool.
+        let width = rayon::current_num_threads();
+        let budget = if self.opts.max_in_flight == 0 {
+            width
+        } else {
+            self.opts.max_in_flight.min(width).max(1)
+        };
+        let memo_cap = self.opts.memo_per_entry;
+        let keep_entries = self.opts.cache_enabled;
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(budget)
+            .build()
+            .expect("pool construction is infallible in the shim");
+        let work_now: Vec<GroupWork<'_>> = std::mem::take(&mut work);
+        let group_count = work_now.len();
+        let outcomes: Vec<GroupOutcome> = pool.install(|| {
+            use rayon::prelude::*;
+            work_now
+                .into_par_iter()
+                .map(|w| process_group(w, memo_cap, keep_entries, batch_start))
+                .collect()
+        });
+
+        // Re-insert surviving entries in canonical group order.
+        let mut prep_builds = 0usize;
+        for outcome in &outcomes {
+            if outcome.prep_built {
+                prep_builds += 1;
+            }
+        }
+        let mut responses: Vec<Option<ServeResponse>> = requests.iter().map(|_| None).collect();
+        for outcome in outcomes {
+            if let Some(entry) = outcome.entry {
+                self.cache.insert(entry);
+            }
+            for (idx, resp) in outcome.responses {
+                responses[idx] = Some(resp);
+            }
+        }
+        for &idx in &mismatched {
+            responses[idx] = Some(ServeResponse {
+                id: requests[idx].id.clone(),
+                result: Err(format!(
+                    "request kind `{}` does not match its instance payload",
+                    requests[idx].kind.name()
+                )),
+                stats: ServeStats::default(),
+            });
+        }
+        let responses: Vec<ServeResponse> =
+            responses.into_iter().map(|r| r.expect("every request answered")).collect();
+
+        let mut report = BatchReport {
+            requests: requests.len(),
+            groups: group_count,
+            prep_builds,
+            wall: batch_start.elapsed(),
+            ..BatchReport::default()
+        };
+        for resp in &responses {
+            if resp.result.is_err() {
+                report.errors += 1;
+            }
+            let s = &resp.stats;
+            report.prep_reuses += usize::from(s.prep_reused);
+            report.memo_hits += usize::from(s.memoized);
+            report.bracket_injections += usize::from(s.bracket_injected);
+            report.engine_evals += s.engine_evals;
+            report.replayed += s.replayed;
+            report.total_queue_wait += s.queue_wait;
+            report.max_queue_wait = report.max_queue_wait.max(s.queue_wait);
+            report.total_service += s.service;
+        }
+        Ok(BatchOutput { responses, report })
+    }
+}
+
+/// Execute one fingerprint group sequentially (id order).
+fn process_group(
+    w: GroupWork<'_>,
+    memo_cap: usize,
+    keep_entry: bool,
+    batch_start: Instant,
+) -> GroupOutcome {
+    match &w.items.first().expect("groups are non-empty").1.payload {
+        InstancePayload::Packing(_) => process_packing_group(w, memo_cap, keep_entry, batch_start),
+        InstancePayload::Mixed(_) => process_mixed_group(w, memo_cap, keep_entry, batch_start),
+    }
+}
+
+/// Respond to every item with the same (preparation-stage) error.
+fn error_group(items: Vec<(usize, &ServeRequest, String)>, msg: &str) -> GroupOutcome {
+    let responses = items
+        .into_iter()
+        .map(|(idx, req, _)| {
+            (
+                idx,
+                ServeResponse {
+                    id: req.id.clone(),
+                    result: Err(msg.to_string()),
+                    stats: ServeStats::default(),
+                },
+            )
+        })
+        .collect();
+    GroupOutcome { responses, entry: None, prep_built: false }
+}
+
+fn process_packing_group(
+    w: GroupWork<'_>,
+    memo_cap: usize,
+    keep_entry: bool,
+    batch_start: Instant,
+) -> GroupOutcome {
+    let GroupWork { key, entry, items } = w;
+    let (engine_kind, seed) = prep_engine_of(&items[0].1.kind);
+    let build_opts = DecisionOptions::practical(0.1).with_engine(engine_kind).with_seed(seed);
+
+    // Reuse or build the prepared state.
+    let (inst, prior_engine, mut memo, mut bracket, prep_built) = match entry {
+        Some(e) => match e.prepared {
+            Prepared::Packing { inst, engine } => (inst, Some(engine), e.memo, e.bracket, false),
+            Prepared::Mixed { .. } => {
+                return error_group(items, "cache entry family mismatch (internal)");
+            }
+        },
+        None => {
+            let inst = match &items[0].1.payload {
+                InstancePayload::Packing(i) => Arc::clone(i),
+                InstancePayload::Mixed(_) => unreachable!("family checked by caller"),
+            };
+            (inst, None, Vec::new(), None, true)
+        }
+    };
+    let inst_ref = Arc::clone(&inst);
+    let solver = {
+        let builder = Solver::builder(&inst_ref).options(build_opts);
+        let built = match prior_engine {
+            Some(engine) => builder.build_with_engine(engine),
+            None => builder.build(),
+        };
+        match built {
+            Ok(s) => s,
+            Err(e) => return error_group(items, &format!("solver preparation failed: {e}")),
+        }
+    };
+    let mut session = solver.session();
+
+    let mut responses = Vec::with_capacity(items.len());
+    for (pos, (idx, req, params)) in items.iter().enumerate() {
+        let started = Instant::now();
+        let mut stats = ServeStats {
+            queue_wait: started.duration_since(batch_start),
+            prep_reused: !(prep_built && pos == 0),
+            ..ServeStats::default()
+        };
+        let result: Result<ServeResult, String> =
+            if let Some(hit) = memo.iter().find(|m| m.params == *params) {
+                stats.memoized = true;
+                Ok(hit.result.clone())
+            } else {
+                let run = match &req.kind {
+                    RequestKind::Decision { threshold, opts } => session
+                        .solve_with(*threshold, opts)
+                        .map(ServeResult::Decision)
+                        .map_err(|e| e.to_string()),
+                    RequestKind::Optimize { opts } => {
+                        let mut o = *opts;
+                        if let Some((prior_params, lo, hi)) = &bracket {
+                            if prior_params != params {
+                                // Perturbed resubmission: continue from the
+                                // prior certified bracket (tier 3).
+                                o.initial_bracket = Some(match o.initial_bracket {
+                                    Some((l, h)) => (l.max(*lo), h.min(*hi)),
+                                    None => (*lo, *hi),
+                                });
+                                stats.bracket_injected = true;
+                            }
+                        }
+                        session
+                            .optimize(&o)
+                            .map(|r| {
+                                bracket = Some((params.clone(), r.value_lower, r.value_upper));
+                                ServeResult::Optimize(r)
+                            })
+                            .map_err(|e| e.to_string())
+                    }
+                    RequestKind::Mixed { .. } => {
+                        Err("mixed request routed to a packing group (internal)".to_string())
+                    }
+                };
+                if let Ok(res) = &run {
+                    if memo.len() < memo_cap {
+                        memo.push(MemoEntry { params: params.clone(), result: res.clone() });
+                    }
+                }
+                run
+            };
+        if let Ok(res) = &result {
+            let (evals, replayed) = match res {
+                ServeResult::Decision(d) if !stats.memoized => {
+                    (d.stats.engine_evals, d.stats.replayed)
+                }
+                ServeResult::Optimize(r) if !stats.memoized => {
+                    (r.total_engine_evals, r.total_replayed)
+                }
+                _ => (0, 0),
+            };
+            stats.engine_evals = evals;
+            stats.replayed = replayed;
+        }
+        stats.service = started.elapsed();
+        responses.push((*idx, ServeResponse { id: req.id.clone(), result, stats }));
+    }
+
+    let engine = solver.engine_handle();
+    drop(session);
+    let entry = keep_entry.then(|| CacheEntry {
+        hash: fnv1a(key.as_bytes()),
+        key,
+        prepared: Prepared::Packing { inst, engine },
+        memo,
+        bracket,
+        last_used: 0,
+    });
+    GroupOutcome { responses, entry, prep_built }
+}
+
+fn process_mixed_group(
+    w: GroupWork<'_>,
+    memo_cap: usize,
+    keep_entry: bool,
+    batch_start: Instant,
+) -> GroupOutcome {
+    let GroupWork { key, entry, items } = w;
+    let (engine_kind, seed) = prep_engine_of(&items[0].1.kind);
+    let build_opts = MixedOptions::practical(0.1).with_engine(engine_kind).with_seed(seed);
+
+    type EnginePair = (Arc<psdp_expdot::Engine>, Arc<psdp_expdot::Engine>);
+    let (inst, prior_engines, mut memo, prep_built): (
+        Arc<MixedInstance>,
+        Option<EnginePair>,
+        Vec<MemoEntry>,
+        bool,
+    ) = match entry {
+        Some(e) => match e.prepared {
+            Prepared::Mixed { inst, pack_engine, cover_engine } => {
+                (inst, Some((pack_engine, cover_engine)), e.memo, false)
+            }
+            Prepared::Packing { .. } => {
+                return error_group(items, "cache entry family mismatch (internal)");
+            }
+        },
+        None => {
+            let inst = match &items[0].1.payload {
+                InstancePayload::Mixed(i) => Arc::clone(i),
+                InstancePayload::Packing(_) => unreachable!("family checked by caller"),
+            };
+            (inst, None, Vec::new(), true)
+        }
+    };
+    let inst_ref = Arc::clone(&inst);
+    let solver = {
+        let builder = MixedSolver::builder(&inst_ref).options(build_opts);
+        let built = match prior_engines {
+            Some((pack, cover)) => builder.build_with_engines(pack, cover),
+            None => builder.build(),
+        };
+        match built {
+            Ok(s) => s,
+            Err(e) => return error_group(items, &format!("solver preparation failed: {e}")),
+        }
+    };
+    let mut session = solver.session();
+
+    let mut responses = Vec::with_capacity(items.len());
+    for (pos, (idx, req, params)) in items.iter().enumerate() {
+        let started = Instant::now();
+        let mut stats = ServeStats {
+            queue_wait: started.duration_since(batch_start),
+            prep_reused: !(prep_built && pos == 0),
+            ..ServeStats::default()
+        };
+        let result: Result<ServeResult, String> =
+            if let Some(hit) = memo.iter().find(|m| m.params == *params) {
+                stats.memoized = true;
+                Ok(hit.result.clone())
+            } else {
+                let run = match &req.kind {
+                    RequestKind::Mixed { opts } => {
+                        session.optimize(opts).map(ServeResult::Mixed).map_err(|e| e.to_string())
+                    }
+                    _ => Err("packing request routed to a mixed group (internal)".to_string()),
+                };
+                if let Ok(res) = &run {
+                    if memo.len() < memo_cap {
+                        memo.push(MemoEntry { params: params.clone(), result: res.clone() });
+                    }
+                }
+                run
+            };
+        if let Ok(ServeResult::Mixed(r)) = &result {
+            if !stats.memoized {
+                stats.engine_evals = r.total_engine_evals;
+            }
+        }
+        stats.service = started.elapsed();
+        responses.push((*idx, ServeResponse { id: req.id.clone(), result, stats }));
+    }
+
+    let (pack_engine, cover_engine) = solver.engine_handles();
+    drop(session);
+    let entry = keep_entry.then(|| CacheEntry {
+        hash: fnv1a(key.as_bytes()),
+        key,
+        prepared: Prepared::Mixed { inst, pack_engine, cover_engine },
+        memo,
+        bracket: None,
+        last_used: 0,
+    });
+    GroupOutcome { responses, entry, prep_built }
+}

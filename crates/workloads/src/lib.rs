@@ -11,7 +11,9 @@
 //!   optima,
 //! * [`graphs`] — edge-Laplacian packing over random/grid graphs,
 //! * [`mixed`] — mixed packing–covering instances (diagonal-embedded LPs
-//!   and graph edge-cover families) for the Jain–Yao solver.
+//!   and graph edge-cover families) for the Jain–Yao solver,
+//! * [`stream`] — zipf-repeated serving request streams for the
+//!   `psdp-serve` scheduler and the `serve_throughput` bench.
 
 #![warn(missing_docs)]
 
@@ -22,6 +24,7 @@ pub mod ellipse;
 pub mod graphs;
 pub mod mixed;
 pub mod random;
+pub mod stream;
 
 pub use beamforming::{beamforming_sdp, Beamforming};
 pub use commuting::{commuting_family, CommutingFamily};
@@ -30,3 +33,4 @@ pub use ellipse::{figure1_instance, rotated_family, Ellipse};
 pub use graphs::{edge_packing, edge_packing_sparse, gnp, grid, vertex_star_packing};
 pub use mixed::{mixed_edge_cover, mixed_lp_diagonal};
 pub use random::{random_dense, random_factorized, RandomFactorized};
+pub use stream::{request_stream, RequestStreamSpec, StreamRequest};

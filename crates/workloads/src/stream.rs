@@ -1,0 +1,178 @@
+//! Serving request streams: zipf-repeated instance traffic for the
+//! `psdp-serve` scheduler and the `serve_throughput` bench.
+//!
+//! Real serving traffic is heavy-tailed — a few popular instances receive
+//! most of the requests (repeat dashboards, retried jobs, parameter
+//! sweeps) while a long tail appears once. The generator models that with
+//! a zipf law over a pool of distinct instances: request `t` draws
+//! instance rank `k` with probability `∝ 1/(k+1)^s`. This is exactly the
+//! shape a fingerprint-keyed cache should be measured on: amortization
+//! wins on the head, the tail stays cold.
+
+use crate::random::{random_factorized, RandomFactorized};
+use psdp_core::PackingInstance;
+use psdp_parallel::splitmix64;
+
+/// Parameters of the zipf request stream (all deterministic in `seed`).
+#[derive(Debug, Clone, Copy)]
+pub struct RequestStreamSpec {
+    /// Distinct instances in the pool.
+    pub pool: usize,
+    /// Total requests to emit.
+    pub requests: usize,
+    /// Matrix dimension of each pooled instance.
+    pub dim: usize,
+    /// Constraint count of each pooled instance.
+    pub n: usize,
+    /// Zipf exponent `s` (`0` = uniform; `~1` = classic heavy head).
+    pub zipf_s: f64,
+    /// Distinct decision thresholds cycled per instance. `1` makes
+    /// repeats byte-identical (pure memoization traffic); larger values
+    /// emit perturbed repeats that exercise prepared-state reuse and
+    /// trajectory replay instead.
+    pub thresholds: usize,
+    /// Stream seed.
+    pub seed: u64,
+}
+
+impl Default for RequestStreamSpec {
+    fn default() -> Self {
+        RequestStreamSpec {
+            pool: 4,
+            requests: 32,
+            dim: 10,
+            n: 6,
+            zipf_s: 1.1,
+            thresholds: 3,
+            seed: 1,
+        }
+    }
+}
+
+/// One emitted request: which pooled instance to solve and at what
+/// decision threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamRequest {
+    /// Unique, zero-padded id (`r000007`), sortable in emission order.
+    pub id: String,
+    /// Index into the returned instance pool.
+    pub instance: usize,
+    /// Decision threshold for this request.
+    pub threshold: f64,
+}
+
+/// Generate the instance pool and the zipf-ordered request list.
+///
+/// Instance `k` of the pool is the shared random-factorized family at
+/// seed `seed + k`; thresholds cycle through `thresholds` geometrically
+/// spaced values per instance, keyed by that instance's request counter
+/// (so the `j`-th request for an instance is identical across shuffles of
+/// everything else).
+///
+/// # Panics
+/// Panics on zero `pool`, `requests`, `dim`, or `n` (forwarded from the
+/// instance generator), or a non-finite/negative `zipf_s`.
+pub fn request_stream(spec: &RequestStreamSpec) -> (Vec<PackingInstance>, Vec<StreamRequest>) {
+    assert!(spec.pool > 0 && spec.requests > 0, "pool and requests must be positive");
+    assert!(
+        spec.zipf_s.is_finite() && spec.zipf_s >= 0.0,
+        "zipf exponent must be finite and non-negative"
+    );
+    let instances: Vec<PackingInstance> = (0..spec.pool)
+        .map(|k| {
+            PackingInstance::new(random_factorized(&RandomFactorized {
+                dim: spec.dim,
+                n: spec.n,
+                rank: 2,
+                nnz_per_col: (spec.dim / 3).max(2),
+                width: 1.0,
+                seed: spec.seed.wrapping_add(k as u64),
+            }))
+            .expect("random_factorized emits valid instances")
+        })
+        .collect();
+
+    // Zipf CDF over ranks 0..pool.
+    let weights: Vec<f64> =
+        (0..spec.pool).map(|k| 1.0 / ((k + 1) as f64).powf(spec.zipf_s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(spec.pool);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+
+    let thresholds = spec.thresholds.max(1);
+    let mut per_instance_count = vec![0usize; spec.pool];
+    let requests = (0..spec.requests)
+        .map(|t| {
+            // splitmix64 over the request index → u ∈ [0, 1).
+            let bits =
+                splitmix64(spec.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(t as u64));
+            let u = (bits >> 11) as f64 / (1u64 << 53) as f64;
+            let instance = cdf.iter().position(|&c| u < c).unwrap_or(spec.pool - 1);
+            // Geometric threshold ladder around 1: repeats of one instance
+            // cycle deterministically through it.
+            let j = per_instance_count[instance] % thresholds;
+            per_instance_count[instance] += 1;
+            let threshold = 0.9 * 1.07f64.powi(j as i32);
+            StreamRequest { id: format!("r{t:06}"), instance, threshold }
+        })
+        .collect();
+    (instances, requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic() {
+        let spec = RequestStreamSpec::default();
+        let (ia, ra) = request_stream(&spec);
+        let (ib, rb) = request_stream(&spec);
+        assert_eq!(ra, rb);
+        assert_eq!(ia.len(), ib.len());
+        for (a, b) in ia.iter().zip(&ib) {
+            for (x, y) in a.mats().iter().zip(b.mats()) {
+                assert_eq!(x.to_dense().as_slice(), y.to_dense().as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_head_dominates() {
+        let spec = RequestStreamSpec { pool: 5, requests: 200, zipf_s: 1.2, ..Default::default() };
+        let (_, reqs) = request_stream(&spec);
+        let mut counts = vec![0usize; spec.pool];
+        for r in &reqs {
+            counts[r.instance] += 1;
+        }
+        assert!(counts[0] > counts[4], "head rank must outdraw the tail: {counts:?}");
+        assert_eq!(counts.iter().sum::<usize>(), 200);
+    }
+
+    #[test]
+    fn ids_unique_and_thresholds_cycle() {
+        let spec = RequestStreamSpec { thresholds: 3, requests: 40, ..Default::default() };
+        let (_, reqs) = request_stream(&spec);
+        let ids: std::collections::BTreeSet<_> = reqs.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids.len(), reqs.len());
+        // Per instance, at most `thresholds` distinct thresholds.
+        for k in 0..spec.pool {
+            let distinct: std::collections::BTreeSet<u64> =
+                reqs.iter().filter(|r| r.instance == k).map(|r| r.threshold.to_bits()).collect();
+            assert!(distinct.len() <= 3, "instance {k} saw {} thresholds", distinct.len());
+        }
+    }
+
+    #[test]
+    fn single_threshold_mode_repeats_exactly() {
+        let spec = RequestStreamSpec { thresholds: 1, requests: 20, ..Default::default() };
+        let (_, reqs) = request_stream(&spec);
+        let distinct: std::collections::BTreeSet<u64> =
+            reqs.iter().map(|r| r.threshold.to_bits()).collect();
+        assert_eq!(distinct.len(), 1);
+    }
+}

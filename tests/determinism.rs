@@ -141,6 +141,118 @@ fn mixed_solver_bitwise_across_thread_counts() {
     }
 }
 
+/// Build the serving suite's JSONL batch: a zipf-repeated decision/
+/// optimize stream over inline packing instances plus one mixed request.
+fn serve_batch_jsonl() -> String {
+    use psdp_cli::jsonfmt::json_str;
+    let (instances, stream) = psdp_workloads::request_stream(&psdp_workloads::RequestStreamSpec {
+        pool: 3,
+        requests: 8,
+        dim: 8,
+        n: 5,
+        zipf_s: 1.1,
+        thresholds: 2,
+        seed: 7,
+    });
+    let texts: Vec<String> = instances.iter().map(psdp_core::write_instance).collect();
+    let mut lines = Vec::new();
+    for (i, r) in stream.iter().enumerate() {
+        if i % 4 == 3 {
+            lines.push(format!(
+                "{{\"id\":{},\"command\":\"optimize\",\"instance\":{},\"eps\":0.2}}",
+                json_str(&r.id),
+                json_str(&texts[r.instance]),
+            ));
+        } else {
+            lines.push(format!(
+                "{{\"id\":{},\"command\":\"solve\",\"instance\":{},\"threshold\":{},\"eps\":0.2}}",
+                json_str(&r.id),
+                json_str(&texts[r.instance]),
+                r.threshold,
+            ));
+        }
+    }
+    let mixed = mixed_lp_diagonal(4, 3, 5, 0.6, 3);
+    lines.push(format!(
+        "{{\"id\":\"mix001\",\"command\":\"mixed\",\"instance\":{},\"eps\":0.2}}",
+        json_str(&psdp_core::write_mixed_instance(&mixed)),
+    ));
+    lines.join("\n") + "\n"
+}
+
+fn run_serve(input: &str) -> String {
+    let args = psdp_cli::args::Args::parse(&["serve".to_string()]).unwrap();
+    psdp_cli::serve::serve_on_input(&args, input).expect("serve runs").stdout
+}
+
+/// The scheduler's full JSONL response stream must be **bitwise** identical
+/// across rayon pool sizes {1, 4} — same CI thread matrix as the solver
+/// suites. Response lines carry no wall-clock fields (`wall_ms` is null in
+/// serve mode), so the comparison is over every byte the server emits.
+#[test]
+fn serve_responses_bitwise_across_thread_counts() {
+    let input = serve_batch_jsonl();
+    let out1 = run_with_threads(1, || run_serve(&input));
+    let out4 = run_with_threads(4, || run_serve(&input));
+    assert_eq!(out1, out4, "serve stream changed with pool size");
+    // Sanity: the batch actually exercised the cache.
+    assert!(out1.contains("\"memoized\":true") || out1.contains("\"prep_reused\":true"), "{out1}");
+}
+
+/// Shuffling submission order must not change any response keyed by its
+/// id: same-fingerprint requests execute in id order regardless of where
+/// they sit in the stream, so per-request stats (engine evals, memo hits)
+/// cannot leak submission order.
+#[test]
+fn serve_responses_bitwise_across_submission_orders() {
+    let input = serve_batch_jsonl();
+    let mut lines: Vec<&str> = input.lines().collect();
+    let forward = run_serve(&input);
+
+    // Deterministic shuffles: reverse, and an interleave.
+    lines.reverse();
+    let reversed = run_serve(&(lines.join("\n") + "\n"));
+    let mut interleaved: Vec<&str> = Vec::new();
+    let half = lines.len() / 2;
+    for i in 0..half {
+        interleaved.push(lines[i]);
+        if half + i < lines.len() {
+            interleaved.push(lines[half + i]);
+        }
+    }
+    if lines.len() % 2 == 1 {
+        interleaved.push(lines[lines.len() - 1]);
+    }
+    let inter = run_serve(&(interleaved.join("\n") + "\n"));
+
+    let keyed = |out: &str| -> Vec<String> {
+        let mut v: Vec<String> = out.lines().map(str::to_string).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(keyed(&forward), keyed(&reversed), "reversal changed a response");
+    assert_eq!(keyed(&forward), keyed(&inter), "interleave changed a response");
+}
+
+/// The scheduler's bounded concurrency knob is wall-clock-only: any
+/// `max_in_flight` must reproduce the stream bitwise.
+#[test]
+fn serve_responses_bitwise_across_in_flight_bounds() {
+    let input = serve_batch_jsonl();
+    let run_bounded = |n: usize| {
+        let args = psdp_cli::args::Args::parse(&[
+            "serve".to_string(),
+            "--max-in-flight".to_string(),
+            n.to_string(),
+        ])
+        .unwrap();
+        psdp_cli::serve::serve_on_input(&args, &input).expect("serve runs").stdout
+    };
+    let one = run_bounded(1);
+    let four = run_bounded(4);
+    assert_eq!(one, four, "max-in-flight changed the stream");
+}
+
 /// Workload generators are stable across calls and processes (fixed
 /// hashing, no global RNG state).
 #[test]

@@ -1,0 +1,182 @@
+//! Text-format round-trip properties and the malformed-input corpus.
+//!
+//! Two guarantees for `psdp_core::io`:
+//!
+//! 1. **Write→read→write is a fixpoint.** Values serialize through `{:e}`
+//!    (exact round-trip), so parsing a written instance and writing it
+//!    again must reproduce the bytes — and the parsed instance must match
+//!    the original matrix-for-matrix. Property-tested over the shared
+//!    `psdp-test-support` families plus a hand-built instance covering
+//!    all four storage kinds.
+//! 2. **Malformed input errors, never panics.** Every parser error path
+//!    has a checked-in fixture under `tests/fixtures/io_corpus/`; both
+//!    readers must return `Err` on every one of them (a packing file is
+//!    malformed for the mixed reader by header and vice versa, so the
+//!    assertion is symmetric).
+
+use proptest::prelude::*;
+use psdp_core::{
+    read_instance, read_mixed_instance, write_instance, write_mixed_instance, MixedInstance,
+    PackingInstance,
+};
+use psdp_sparse::{Csr, FactorPsd, PsdMatrix};
+use psdp_test_support::{arb_factorized_instance, arb_mixed_diagonal, arb_sparse_graph_instance};
+
+fn assert_packing_fixpoint(inst: &PackingInstance) {
+    let text1 = write_instance(inst);
+    let back = read_instance(&text1).expect("written instance must parse");
+    assert_eq!(back.n(), inst.n());
+    assert_eq!(back.dim(), inst.dim());
+    for (a, b) in inst.mats().iter().zip(back.mats()) {
+        assert_eq!(a.to_dense().as_slice(), b.to_dense().as_slice(), "matrix drift");
+    }
+    let text2 = write_instance(&back);
+    assert_eq!(text1, text2, "write→read→write is not a fixpoint");
+}
+
+fn assert_mixed_fixpoint(inst: &MixedInstance) {
+    let text1 = write_mixed_instance(inst);
+    let back = read_mixed_instance(&text1).expect("written instance must parse");
+    assert_eq!(back.n(), inst.n());
+    assert_eq!(back.pack_dim(), inst.pack_dim());
+    assert_eq!(back.cover_dim(), inst.cover_dim());
+    for (a, b) in inst.pack().mats().iter().zip(back.pack().mats()) {
+        assert_eq!(a.to_dense().as_slice(), b.to_dense().as_slice(), "pack matrix drift");
+    }
+    for (a, b) in inst.cover().mats().iter().zip(back.cover().mats()) {
+        assert_eq!(a.to_dense().as_slice(), b.to_dense().as_slice(), "cover matrix drift");
+    }
+    let text2 = write_mixed_instance(&back);
+    assert_eq!(text1, text2, "mixed write→read→write is not a fixpoint");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Factorized instances: write→read→write fixpoint.
+    #[test]
+    fn packing_fixpoint_on_factorized(inst in arb_factorized_instance()) {
+        assert_packing_fixpoint(&inst);
+    }
+
+    /// Sparse CSR edge-Laplacian instances: fixpoint.
+    #[test]
+    fn packing_fixpoint_on_sparse(inst in arb_sparse_graph_instance()) {
+        assert_packing_fixpoint(&inst);
+    }
+
+    /// Diagonal-embedded mixed instances: fixpoint.
+    #[test]
+    fn mixed_fixpoint_on_diagonal(case in arb_mixed_diagonal()) {
+        assert_mixed_fixpoint(&case.inst);
+    }
+}
+
+/// One instance exercising all four storage kinds (the proptest families
+/// cover diagonal/factor/sparse; dense blocks are rare in generators).
+#[test]
+fn fixpoint_covers_every_storage_kind() {
+    let diag = PsdMatrix::Diagonal(vec![1.5, 0.0, 0.5]);
+    let factor = PsdMatrix::Factor(FactorPsd::new(Csr::from_triplets(
+        3,
+        2,
+        &[(0, 0, 1.0), (1, 1, 2.0), (2, 0, -1.0)],
+    )));
+    let sparse = PsdMatrix::Sparse(Csr::from_triplets(
+        3,
+        3,
+        &[(0, 0, 2.0), (0, 2, -1.0), (2, 0, -1.0), (2, 2, 1.0)],
+    ));
+    let mut d = psdp_linalg::Mat::zeros(3, 3);
+    d.rank1_update(0.7, &[1.0, 0.5, 0.25]);
+    d.add_diag(0.125);
+    let inst =
+        PackingInstance::new(vec![diag, factor, sparse, PsdMatrix::Dense(d.clone())]).unwrap();
+    assert_packing_fixpoint(&inst);
+
+    let mixed = MixedInstance::new(
+        inst.mats().to_vec(),
+        vec![
+            PsdMatrix::Diagonal(vec![1.0, 0.5]),
+            PsdMatrix::Sparse(Csr::from_triplets(
+                2,
+                2,
+                &[(0, 0, 1.0), (0, 1, -0.5), (1, 0, -0.5), (1, 1, 1.0)],
+            )),
+            PsdMatrix::Diagonal(vec![0.25, 0.25]),
+            PsdMatrix::Diagonal(vec![2.0, 0.0]),
+        ],
+    )
+    .unwrap();
+    assert_mixed_fixpoint(&mixed);
+}
+
+/// Every checked-in malformed fixture must make BOTH readers return `Err`
+/// without panicking — packing fixtures fail the mixed reader on the
+/// header and vice versa, so the corpus is one pool.
+#[test]
+fn malformed_corpus_errors_never_panics() {
+    let dir = format!("{}/../../tests/fixtures/io_corpus", env!("CARGO_MANIFEST_DIR"));
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {dir}: {e}"))
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "psdp"))
+        .collect();
+    paths.sort();
+    assert!(paths.len() >= 30, "corpus suspiciously small: {} files", paths.len());
+    for path in paths {
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let text = std::fs::read_to_string(&path).expect("fixture readable");
+        let as_packing = std::panic::catch_unwind(|| read_instance(&text));
+        let as_mixed = std::panic::catch_unwind(|| read_mixed_instance(&text));
+        match as_packing {
+            Ok(result) => assert!(result.is_err(), "{name}: packing reader accepted it"),
+            Err(_) => panic!("{name}: packing reader panicked"),
+        }
+        match as_mixed {
+            Ok(result) => assert!(result.is_err(), "{name}: mixed reader accepted it"),
+            Err(_) => panic!("{name}: mixed reader panicked"),
+        }
+    }
+}
+
+/// The corpus names its cases; spot-check that representative fixtures
+/// fail for the *intended* reason (line-anchored messages).
+#[test]
+fn corpus_errors_are_line_anchored_and_specific() {
+    let dir = format!("{}/../../tests/fixtures/io_corpus", env!("CARGO_MANIFEST_DIR"));
+    let read = |name: &str| std::fs::read_to_string(format!("{dir}/{name}")).expect("fixture");
+    let cases = [
+        ("05_dim_exceeds_limit.psdp", "exceeds limit"),
+        ("09_wrong_constraint_index.psdp", "expected 0"),
+        ("10_unknown_kind.psdp", "unknown constraint kind"),
+        ("14_diagonal_out_of_range.psdp", "out of range"),
+        ("21_huge_sparse_nnz_truncated.psdp", "truncated sparse"),
+        ("24_dense_row_wrong_length.psdp", "dense row has"),
+        ("26_wrong_end_token.psdp", "expected `end`"),
+        ("37_mixed_trailing_garbage.psdp", "trailing content"),
+    ];
+    for (name, needle) in cases {
+        let text = read(name);
+        let err = if name.starts_with("3") && name.contains("mixed") {
+            read_mixed_instance(&text).unwrap_err().to_string()
+        } else {
+            read_instance(&text).unwrap_err().to_string()
+        };
+        assert!(err.contains(needle), "{name}: error `{err}` missing `{needle}`");
+        assert!(err.contains("line"), "{name}: error `{err}` not line-anchored");
+    }
+}
+
+/// Absurd declared sizes must fail fast on validation, not inside an
+/// allocator (the `MAX_DIM` / preallocation guards).
+#[test]
+fn absurd_headers_fail_fast() {
+    let t0 = std::time::Instant::now();
+    let bad_dim = "psdp 1\ndim 888888888888888\nconstraints 1\nconstraint 0 dense\nend\n";
+    assert!(read_instance(bad_dim).is_err());
+    let bad_nnz =
+        "psdp 1\ndim 4\nconstraints 1\nconstraint 0 sparse 98765432109876\n0 0 1.0\nend\n";
+    assert!(read_instance(bad_nnz).is_err());
+    assert!(t0.elapsed() < std::time::Duration::from_secs(5), "guards did not fail fast");
+}

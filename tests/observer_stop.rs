@@ -1,0 +1,209 @@
+//! Observer stop paths: `ExitReason::ObserverStopped` must surface
+//! cleanly from every loop an observer can halt — a bare decision solve,
+//! `Session::optimize` mid-bisection, and `MixedSession::optimize`
+//! mid-bisection — with telemetry (engine_evals, replayed, bracket
+//! accounting) still consistent after the early stop.
+
+use psdp_core::{
+    ApproxOptions, ExitReason, IterationEvent, MixedApproxOptions, MixedInstance, MixedSolver,
+    Observer, ObserverControl, PackingInstance, PhaseEvent, Solver,
+};
+use psdp_sparse::PsdMatrix;
+use psdp_test_support::{factorized_instance, FactorizedSpec};
+
+/// Stops after `stop_after_iters` iteration events, counting everything
+/// it sees on the way.
+struct StopAfter {
+    stop_after_iters: usize,
+    iters: usize,
+    brackets_seen: usize,
+    solves_started: usize,
+}
+
+impl StopAfter {
+    fn new(stop_after_iters: usize) -> Self {
+        StopAfter { stop_after_iters, iters: 0, brackets_seen: 0, solves_started: 0 }
+    }
+}
+
+impl Observer for StopAfter {
+    fn on_phase(&mut self, event: &PhaseEvent<'_>) {
+        match event {
+            PhaseEvent::BracketUpdated { .. } => self.brackets_seen += 1,
+            PhaseEvent::SolveStarted { .. } => self.solves_started += 1,
+            PhaseEvent::SolveFinished { .. } => {}
+        }
+    }
+
+    fn on_iteration(&mut self, _: &IterationEvent) -> ObserverControl {
+        self.iters += 1;
+        if self.iters >= self.stop_after_iters {
+            ObserverControl::Stop
+        } else {
+            ObserverControl::Continue
+        }
+    }
+}
+
+/// A stop during a plain decision solve: uncertified primal telemetry,
+/// consistent stats.
+#[test]
+fn decision_solve_stop_surfaces_exit_reason() {
+    let inst = factorized_instance(&FactorizedSpec::new(8, 5, 11));
+    let solver = Solver::builder(&inst).build().expect("build");
+    let mut session = solver.session();
+    session.add_observer(Box::new(StopAfter::new(4)));
+    let res = session.solve(1.0).expect("solve");
+    assert_eq!(res.stats.exit, ExitReason::ObserverStopped);
+    assert_eq!(res.stats.iterations, 4);
+    assert!(res.stats.engine_evals <= res.stats.iterations);
+    assert!(res.outcome.primal().is_some(), "stopped solve reports the averaged primal");
+}
+
+/// Mid-bisection stop in `Session::optimize`: the report must stay
+/// internally consistent — every call recorded, bracket rows covering
+/// every call, totals ≥ accepted-call sums, converged = false.
+#[test]
+fn session_optimize_stop_mid_bisection() {
+    let inst = factorized_instance(&FactorizedSpec::new(8, 6, 9).with_scale(1.0));
+    let opts = ApproxOptions::serving(0.05);
+    let solver = Solver::builder(&inst).options(opts.decision).build().expect("build");
+
+    // Find how many iterations the full run needs, then stop mid-way
+    // through (after at least one completed bracket).
+    let full = solver.session().optimize(&opts).expect("full run");
+    assert!(full.converged && full.decision_calls >= 2, "fixture too easy: {full:?}");
+    let first_bracket_iters = full.brackets[0].iterations;
+    let stop_at = first_bracket_iters + 2;
+
+    let mut session = solver.session();
+    session.add_observer(Box::new(StopAfter::new(stop_at)));
+    let r = session.optimize(&opts).expect("stopped run");
+
+    assert!(!r.converged, "stopped bisection must not claim convergence");
+    assert!(r.decision_calls >= 2, "stop must land mid-bisection, not before it");
+    assert!(r.decision_calls < full.decision_calls, "stop did not shorten the bisection");
+    assert_eq!(r.brackets.len(), r.decision_calls, "every call needs a bracket row");
+    assert_eq!(r.call_stats.len(), r.decision_calls);
+    assert_eq!(
+        r.call_stats.last().map(|s| s.exit),
+        Some(ExitReason::ObserverStopped),
+        "last recorded call must carry the stop"
+    );
+    // The aborted call leaves the bracket where it was.
+    let last = r.brackets.last().unwrap();
+    if r.brackets.len() >= 2 {
+        let prev = &r.brackets[r.brackets.len() - 2];
+        assert_eq!(last.lo.to_bits(), prev.lo.to_bits());
+        assert_eq!(last.hi.to_bits(), prev.hi.to_bits());
+    }
+    // Work accounting still adds up: bracket totals equal report totals,
+    // accepted-call sums never exceed them.
+    let bracket_iters: usize = r.brackets.iter().map(|b| b.iterations).sum();
+    let bracket_evals: usize = r.brackets.iter().map(|b| b.engine_evals).sum();
+    let bracket_replayed: usize = r.brackets.iter().map(|b| b.replayed).sum();
+    assert_eq!(bracket_iters, r.total_iterations);
+    assert_eq!(bracket_evals, r.total_engine_evals);
+    assert_eq!(bracket_replayed, r.total_replayed);
+    let accepted_iters: usize = r.call_stats.iter().map(|s| s.iterations).sum();
+    let accepted_evals: usize = r.call_stats.iter().map(|s| s.engine_evals).sum();
+    let accepted_replayed: usize = r.call_stats.iter().map(|s| s.replayed).sum();
+    assert!(accepted_iters <= r.total_iterations);
+    assert!(accepted_evals <= r.total_engine_evals);
+    assert!(accepted_replayed <= r.total_replayed);
+    // The certified bounds that were established before the stop survive.
+    assert!(r.value_lower > 0.0 && r.value_upper >= r.value_lower);
+}
+
+/// Mid-bisection stop in `MixedSession::optimize`: same consistency
+/// contract on the mixed report.
+#[test]
+fn mixed_optimize_stop_mid_bisection() {
+    let inst = MixedInstance::new(
+        vec![
+            PsdMatrix::Diagonal(vec![2.0, 0.0, 1.0]),
+            PsdMatrix::Diagonal(vec![0.0, 2.0, 0.5]),
+            PsdMatrix::Diagonal(vec![1.0, 1.0, 0.0]),
+        ],
+        vec![
+            PsdMatrix::Diagonal(vec![1.0, 0.0, 0.5]),
+            PsdMatrix::Diagonal(vec![0.0, 1.0, 0.0]),
+            PsdMatrix::Diagonal(vec![0.5, 0.0, 1.0]),
+        ],
+    )
+    .expect("valid mixed instance");
+    let opts = MixedApproxOptions::practical(0.05);
+    let solver = MixedSolver::builder(&inst).options(opts.decision).build().expect("build");
+
+    let full = solver.session().optimize(&opts).expect("full run");
+    assert!(full.decision_calls >= 2, "fixture too easy: {full:?}");
+    let stop_at = full.brackets[0].iterations + 1;
+
+    let mut session = solver.session();
+    session.add_observer(Box::new(StopAfter::new(stop_at)));
+    let r = session.optimize(&opts).expect("stopped run");
+
+    assert!(!r.converged);
+    assert!(r.decision_calls >= 2 && r.decision_calls <= full.decision_calls);
+    assert_eq!(r.brackets.len(), r.decision_calls);
+    assert_eq!(r.call_stats.len(), r.decision_calls);
+    assert_eq!(r.call_stats.last().map(|s| s.exit), Some(ExitReason::ObserverStopped));
+    let bracket_iters: usize = r.brackets.iter().map(|b| b.iterations).sum();
+    let bracket_evals: usize = r.brackets.iter().map(|b| b.engine_evals).sum();
+    assert_eq!(bracket_iters, r.total_iterations);
+    assert_eq!(bracket_evals, r.total_engine_evals);
+    // The pre-stop certified bracket survives (witness lower bound is
+    // always established structurally).
+    assert!(r.threshold_lower > 0.0 && r.threshold_upper >= r.threshold_lower);
+}
+
+/// Observers see the phase stream in a consistent order during a stopped
+/// bisection: every solve start has a finish (the stopped one included),
+/// and `BracketUpdated` fires for exactly the calls that completed.
+#[test]
+fn observer_event_stream_is_consistent_after_stop() {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Recorder {
+        inner: StopAfter,
+        log: Rc<RefCell<Vec<&'static str>>>,
+    }
+    impl Observer for Recorder {
+        fn on_phase(&mut self, event: &PhaseEvent<'_>) {
+            self.inner.on_phase(event);
+            self.log.borrow_mut().push(match event {
+                PhaseEvent::SolveStarted { .. } => "start",
+                PhaseEvent::SolveFinished { .. } => "finish",
+                PhaseEvent::BracketUpdated { .. } => "bracket",
+            });
+        }
+        fn on_iteration(&mut self, ev: &IterationEvent) -> ObserverControl {
+            self.inner.on_iteration(ev)
+        }
+    }
+
+    let inst = PackingInstance::new(vec![
+        PsdMatrix::Diagonal(vec![2.0, 0.0]),
+        PsdMatrix::Diagonal(vec![0.0, 4.0]),
+    ])
+    .expect("valid");
+    let opts = ApproxOptions::serving(0.1);
+    let solver = Solver::builder(&inst).options(opts.decision).build().expect("build");
+    let mut session = solver.session();
+    let log = Rc::new(RefCell::new(Vec::new()));
+    session.add_observer(Box::new(Recorder { inner: StopAfter::new(6), log: Rc::clone(&log) }));
+    let r = session.optimize(&opts).expect("run");
+    assert!(!r.converged);
+    assert!(r.total_iterations >= 6, "observer stop fired before 6 live iterations");
+
+    let log = log.borrow();
+    let count = |k: &str| log.iter().filter(|&&e| e == k).count();
+    assert_eq!(log.first(), Some(&"start"), "stream must open with a solve start");
+    assert_eq!(count("start"), count("finish"), "every solve start needs a finish: {log:?}");
+    assert_eq!(
+        count("bracket"),
+        r.decision_calls - 1,
+        "brackets fire for completed calls only: {log:?}"
+    );
+}
