@@ -1,0 +1,199 @@
+//! `audit.toml`: committed, path-scoped allowlists.
+//!
+//! Inline suppressions are for single sites; when a whole file is exempt
+//! from one rule by design (wall-clock *telemetry* in the solver, say),
+//! the exemption belongs in a reviewed, committed config instead of
+//! being repeated at every use site. The format is a minimal TOML subset
+//! — `[[allow]]` tables with `rule` / `path` / `reason` string keys:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "D3"
+//! path = "crates/core/src/solver.rs"
+//! reason = "wall-clock telemetry only; never read by iteration logic"
+//! ```
+//!
+//! `path` matches the workspace-relative file path exactly or as a
+//! directory prefix. Every entry must justify itself (`reason`
+//! mandatory) and must match at least one finding — stale entries are
+//! flagged (`S3`) so the allowlist cannot rot.
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule id this entry exempts.
+    pub rule: String,
+    /// Workspace-relative path (file, or directory prefix).
+    pub path: String,
+    /// Mandatory justification.
+    pub reason: String,
+    /// Line of the `[[allow]]` header (for S3 spans).
+    pub line: usize,
+    /// Matched at least one finding.
+    pub used: bool,
+}
+
+/// Parsed `audit.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Path-scoped exemptions.
+    pub allows: Vec<AllowEntry>,
+}
+
+impl Config {
+    /// Does an entry exempt `rule` at `file`? Marks every matching entry
+    /// used (overlapping entries are all legitimate).
+    pub fn allows_finding(&mut self, rule: &str, file: &str) -> bool {
+        let mut hit = false;
+        for e in &mut self.allows {
+            if e.rule == rule && path_matches(&e.path, file) {
+                e.used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+}
+
+/// `pattern` matches `file` exactly or as a directory prefix.
+fn path_matches(pattern: &str, file: &str) -> bool {
+    let pattern = pattern.trim_end_matches('/');
+    file == pattern || file.strip_prefix(pattern).is_some_and(|rest| rest.starts_with('/'))
+}
+
+/// Parse the config text.
+///
+/// # Errors
+/// A `line: message` string on any malformed entry (unknown keys, missing
+/// `rule`/`path`/`reason`, non-string values).
+pub fn parse_config(text: &str) -> Result<Config, String> {
+    /// A partially-parsed entry: header line, then `rule`/`path`/`reason`.
+    type PartialEntry = (usize, Option<String>, Option<String>, Option<String>);
+    let mut allows: Vec<AllowEntry> = Vec::new();
+    let mut current: Option<PartialEntry> = None;
+
+    let mut finish = |cur: &mut Option<PartialEntry>| -> Result<(), String> {
+        if let Some((line, rule, path, reason)) = cur.take() {
+            let missing = |k: &str| format!("line {line}: `[[allow]]` entry is missing `{k}`");
+            allows.push(AllowEntry {
+                rule: rule.ok_or_else(|| missing("rule"))?,
+                path: path.ok_or_else(|| missing("path"))?,
+                reason: reason.ok_or_else(|| missing("reason"))?,
+                line,
+                used: false,
+            });
+        }
+        Ok(())
+    };
+
+    for (no, raw) in text.lines().enumerate() {
+        let no = no + 1;
+        let line = strip_toml_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finish(&mut current)?;
+            current = Some((no, None, None, None));
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!("line {no}: unknown section `{line}` (only `[[allow]]`)"));
+        }
+        let (key, value) = line
+            .split_once('=')
+            .map(|(k, v)| (k.trim(), v.trim()))
+            .ok_or_else(|| format!("line {no}: expected `key = \"value\"`"))?;
+        let value = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("line {no}: value of `{key}` must be a double-quoted string"))?;
+        if value.is_empty() {
+            return Err(format!("line {no}: value of `{key}` must not be empty"));
+        }
+        let Some((_, rule, path, reason)) = current.as_mut() else {
+            return Err(format!("line {no}: `{key}` outside an `[[allow]]` entry"));
+        };
+        let slot = match key {
+            "rule" => rule,
+            "path" => path,
+            "reason" => reason,
+            other => return Err(format!("line {no}: unknown key `{other}`")),
+        };
+        if slot.is_some() {
+            return Err(format!("line {no}: duplicate key `{key}`"));
+        }
+        *slot = Some(value.to_string());
+    }
+    finish(&mut current)?;
+    Ok(Config { allows })
+}
+
+/// Strip a `#` comment, respecting double-quoted strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_matches_paths() {
+        let text = "
+# telemetry exemptions
+[[allow]]
+rule = \"D3\"
+path = \"crates/core/src/solver.rs\"  # file-scoped
+reason = \"telemetry only\"
+
+[[allow]]
+rule = \"D1\"
+path = \"crates/serve\"
+reason = \"dir prefix\"
+";
+        let mut cfg = parse_config(text).unwrap();
+        assert_eq!(cfg.allows.len(), 2);
+        assert!(cfg.allows_finding("D3", "crates/core/src/solver.rs"));
+        assert!(!cfg.allows_finding("D3", "crates/core/src/solver_extra.rs"));
+        assert!(cfg.allows_finding("D1", "crates/serve/src/cache.rs"));
+        assert!(!cfg.allows_finding("D1", "crates/serve2/src/cache.rs"));
+        assert!(cfg.allows[0].used);
+        assert!(cfg.allows[1].used);
+    }
+
+    #[test]
+    fn missing_keys_are_errors() {
+        for text in [
+            "[[allow]]\nrule = \"D1\"\npath = \"x\"\n",
+            "[[allow]]\nrule = \"D1\"\nreason = \"r\"\n",
+            "[[allow]]\npath = \"x\"\nreason = \"r\"\n",
+        ] {
+            assert!(parse_config(text).is_err(), "{text}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(parse_config("rule = \"D1\"\n").is_err(), "key outside entry");
+        assert!(parse_config("[allow]\n").is_err(), "wrong section form");
+        assert!(parse_config("[[allow]]\nrule = D1\n").is_err(), "unquoted value");
+        assert!(parse_config("[[allow]]\nwat = \"x\"\n").is_err(), "unknown key");
+        assert!(parse_config("[[allow]]\nrule = \"a\"\nrule = \"b\"\n").is_err(), "dup key");
+        assert!(parse_config("[[allow]]\nrule = \"\"\n").is_err(), "empty value");
+    }
+
+    #[test]
+    fn empty_config_is_fine() {
+        let cfg = parse_config("# nothing here\n").unwrap();
+        assert!(cfg.allows.is_empty());
+    }
+}

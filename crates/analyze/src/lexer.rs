@@ -1,0 +1,428 @@
+//! A hand-rolled Rust lexer, just deep enough for source-level auditing.
+//!
+//! The rules in [`crate::rules`] only need a faithful *token stream*: they
+//! must never mistake `"HashMap"` inside a string literal, a comment, or a
+//! raw string for the identifier `HashMap`. So the lexer's job is exact
+//! skipping of every literal form Rust has — line and (nested) block
+//! comments, string/byte-string literals with escapes, raw strings with
+//! arbitrary `#` fences, char and byte literals (disambiguated from
+//! lifetimes) — while tagging every surviving token with its 1-based line.
+//!
+//! Comments are not discarded: they come back in a separate list, because
+//! inline suppressions (`// psdp-audit: allow(...)`) and `// SAFETY:`
+//! justifications live in comments.
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, `r#type`).
+    Ident,
+    /// Numeric literal.
+    Num,
+    /// String or byte-string literal (escapes *not* resolved — the rules
+    /// never look inside).
+    Str,
+    /// Char or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Any single punctuation byte (`.`, `[`, `!`, …).
+    Punct,
+}
+
+/// One token: kind, verbatim text, and the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Verbatim source text (for `Str`, includes the quotes/fences).
+    pub text: String,
+    /// 1-based line number of the token's first byte.
+    pub line: usize,
+}
+
+/// A comment, kept separately from the token stream.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment body *without* the `//` / `/*` markers, trimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// True for `//…` comments (suppressions are line-comment-only).
+    pub is_line: bool,
+}
+
+/// Lexed file: tokens plus comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, literals opaque, comments removed.
+    pub tokens: Vec<Tok>,
+    /// Every comment with its starting line.
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src`. Invalid input never panics: unterminated literals swallow
+/// the rest of the file (the compiler will reject such a file anyway; the
+/// audit's job is merely to not misfire on it).
+pub fn lex(src: &str) -> Lexed {
+    Lexer { b: src.as_bytes(), pos: 0, line: 1, out: Lexed::default() }.run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    pos: usize,
+    line: usize,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, off: usize) -> Option<u8> {
+        self.b.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    let line = self.line;
+                    self.bump();
+                    self.bump();
+                    self.char_body(line, "b'");
+                }
+                b'b' if self.peek(1) == Some(b'"') => {
+                    let line = self.line;
+                    self.bump();
+                    self.quoted_string(line);
+                }
+                b'r' | b'b' if self.is_raw_string_start() => self.raw_string(),
+                c if c.is_ascii_alphabetic() || c == b'_' => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => {
+                    let line = self.line;
+                    let c = self.bump().unwrap_or(b' ');
+                    self.push(TokKind::Punct, (c as char).to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: usize) {
+        self.out.tokens.push(Tok { kind, text, line });
+    }
+
+    /// At `r`/`b`: does a raw (byte) string start here (`r"`, `r#`, `br"`,
+    /// `br#`)? `r#ident` (raw identifiers) must *not* match.
+    fn is_raw_string_start(&self) -> bool {
+        let mut i = 0;
+        if self.peek(i) == Some(b'b') {
+            i += 1;
+        }
+        if self.peek(i) != Some(b'r') {
+            return false;
+        }
+        i += 1;
+        while self.peek(i) == Some(b'#') {
+            i += 1;
+        }
+        // `r#foo` (raw identifier) has ident chars here, not a quote.
+        self.peek(i) == Some(b'"')
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        // Strip any further `/` (doc comments) and `!`.
+        while matches!(self.peek(0), Some(b'/' | b'!')) {
+            self.bump();
+        }
+        let start = self.pos;
+        while self.peek(0).is_some_and(|c| c != b'\n') {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.pos]).trim().to_string();
+        self.out.comments.push(Comment { text, line, is_line: true });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let start = self.pos;
+        let mut depth = 1usize;
+        let mut end = self.pos;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    end = self.pos;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => {
+                    end = self.pos;
+                    break;
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&self.b[start..end]).trim().to_string();
+        self.out.comments.push(Comment { text, line, is_line: false });
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        self.quoted_string(line);
+    }
+
+    /// Consume a `"`-delimited string starting at the current `"`.
+    fn quoted_string(&mut self, line: usize) {
+        let start = self.pos;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.pos]).into_owned();
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn raw_string(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        if self.peek(0) == Some(b'b') {
+            self.bump();
+        }
+        self.bump(); // r
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            self.bump();
+            hashes += 1;
+        }
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                None => break,
+                Some(b'"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some(b'#') {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.pos]).into_owned();
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// At a `'`: either a lifetime (`'a`, `'static`) or a char literal
+    /// (`'a'`, `'\u{1f600}'`). A lifetime is `'` + ident with *no* closing
+    /// quote; anything else with a closing quote is a char.
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // Escape ⇒ definitely a char literal.
+        if self.peek(1) == Some(b'\\') {
+            self.bump();
+            self.char_body(line, "'");
+            return;
+        }
+        // `'X'` (any single char then quote) ⇒ char literal.
+        let second = self.peek(1);
+        if second.is_some() && self.peek(2) == Some(b'\'') {
+            self.bump();
+            self.char_body(line, "'");
+            return;
+        }
+        // Multi-byte UTF-8 char literal: scan to the quote if it comes
+        // before anything that can't be inside a char.
+        if second.is_some_and(|c| c >= 0x80) {
+            self.bump();
+            self.char_body(line, "'");
+            return;
+        }
+        // Otherwise: lifetime. Consume `'` + ident chars.
+        self.bump();
+        let start = self.pos;
+        while self.peek(0).is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+            self.bump();
+        }
+        let name = String::from_utf8_lossy(&self.b[start..self.pos]).into_owned();
+        self.push(TokKind::Lifetime, format!("'{name}"), line);
+    }
+
+    /// Consume a char/byte literal body after the opening quote.
+    fn char_body(&mut self, line: usize, prefix: &str) {
+        let start = self.pos;
+        while let Some(c) = self.bump() {
+            match c {
+                b'\\' => {
+                    self.bump();
+                }
+                b'\'' => break,
+                _ => {}
+            }
+        }
+        let body = String::from_utf8_lossy(&self.b[start..self.pos]).into_owned();
+        self.push(TokKind::Char, format!("{prefix}{body}"), line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        // Raw identifier prefix `r#`.
+        if self.peek(0) == Some(b'r') && self.peek(1) == Some(b'#') {
+            self.bump();
+            self.bump();
+        }
+        while self.peek(0).is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.pos]).into_owned();
+        let text = text.strip_prefix("r#").unwrap_or(&text).to_string();
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        // Good enough for auditing: consume digits, `_`, hex/oct/bin
+        // prefixes, exponents, type suffixes, and a fractional part — but
+        // never a `..` (range) after the integer part.
+        while let Some(c) = self.peek(0) {
+            let frac = c == b'.' && self.peek(1) != Some(b'.');
+            if c.is_ascii_alphanumeric() || c == b'_' || frac {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.pos]).into_owned();
+        self.push(TokKind::Num, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            let a = "HashMap in a string";
+            // HashMap in a line comment
+            /* HashMap in a /* nested */ block comment */
+            let b = r#"HashMap in a raw "string" with fences"#;
+            let c = b"HashMap bytes";
+            let real = HashMap::new();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|i| *i == "HashMap").count(), 1);
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("HashMap in a line comment"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\n'; let e = 'ψ'; }";
+        let l = lex(src);
+        let lifetimes: Vec<_> =
+            l.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).map(|t| &t.text).collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        assert_eq!(l.tokens.iter().filter(|t| t.kind == TokKind::Char).count(), 3);
+    }
+
+    #[test]
+    fn byte_literals_do_not_eat_code() {
+        // The byte literal `b'"'` once confused naive lexers into string
+        // mode — everything after it must still tokenize.
+        let src = "self.expect(b'\"')?; let h = HashSet::new();";
+        let ids = idents(src);
+        assert!(ids.contains(&"HashSet".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let ids = idents("let r#type = 1; let x = r\"raw\";");
+        assert!(ids.contains(&"type".to_string()));
+        assert_eq!(
+            lex("let x = r\"raw\";").tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let src = "a\nb\n  c";
+        let l = lex(src);
+        let lines: Vec<usize> = l.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 3]);
+    }
+
+    #[test]
+    fn doc_comments_collected() {
+        let l = lex("/// doc line\n//! inner\nfn x() {}");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].text, "doc line");
+    }
+
+    #[test]
+    fn numbers_do_not_absorb_ranges() {
+        let l = lex("for i in 0..10 { a[1..] }");
+        let texts: Vec<&str> = l.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"0"));
+        assert!(texts.contains(&"10"));
+        assert_eq!(texts.iter().filter(|t| **t == ".").count(), 4);
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        lex("let s = \"unterminated");
+        lex("let s = r#\"unterminated");
+        lex("/* unterminated");
+        lex("let c = '");
+    }
+}

@@ -1,0 +1,237 @@
+//! Findings and report rendering (human and `--json`).
+
+use std::fmt::Write as _;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the audit unconditionally.
+    Error,
+    /// Fails only under `--deny-warnings` (unused suppressions and
+    /// allowlist entries).
+    Warning,
+}
+
+/// One audit finding, anchored to a `file:line` span.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id (`D1`, `R1`, `S2`, …).
+    pub rule: &'static str,
+    /// Severity (see [`Severity`]).
+    pub severity: Severity,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// What was found and what to do instead.
+    pub message: String,
+}
+
+/// One `unsafe` occurrence (H1 inventory — emitted even when justified).
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the `unsafe` keyword.
+    pub line: usize,
+    /// True when a `// SAFETY:` comment covers it.
+    pub justified: bool,
+}
+
+/// Everything one audit run produced.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations and warnings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Every `unsafe` site in the walked source (H1 inventory).
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// Files audited.
+    pub files_scanned: usize,
+    /// Inline suppressions that matched a finding.
+    pub suppressions_used: usize,
+}
+
+impl Report {
+    /// Errors (always fatal).
+    pub fn errors(&self) -> usize {
+        self.findings.iter().filter(|f| f.severity == Severity::Error).count()
+    }
+
+    /// Warnings (fatal under `--deny-warnings`).
+    pub fn warnings(&self) -> usize {
+        self.findings.iter().filter(|f| f.severity == Severity::Warning).count()
+    }
+
+    /// Exit status the CLI should use.
+    pub fn is_clean(&self, deny_warnings: bool) -> bool {
+        self.errors() == 0 && (!deny_warnings || self.warnings() == 0)
+    }
+
+    /// Canonical ordering: file, then line, then rule.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+        });
+        self.unsafe_sites.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    }
+
+    /// Human-readable rendering.
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let tag = match f.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            };
+            let _ = writeln!(out, "{tag}[{}] {}:{}: {}", f.rule, f.file, f.line, f.message);
+        }
+        if !self.unsafe_sites.is_empty() {
+            let _ = writeln!(out, "unsafe inventory ({} sites):", self.unsafe_sites.len());
+            for s in &self.unsafe_sites {
+                let mark = if s.justified { "SAFETY ok" } else { "missing SAFETY" };
+                let _ = writeln!(out, "  {}:{} ({mark})", s.file, s.line);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "psdp-audit: {} files, {} errors, {} warnings, {} suppressions used, {} unsafe sites",
+            self.files_scanned,
+            self.errors(),
+            self.warnings(),
+            self.suppressions_used,
+            self.unsafe_sites.len(),
+        );
+        out
+    }
+
+    /// Machine-readable rendering (stable key order, one object).
+    pub fn json(&self) -> String {
+        let mut out = String::from("{\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let sev = match f.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            };
+            let _ = write!(
+                out,
+                "{{\"rule\":{},\"severity\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+                json_str(f.rule),
+                json_str(sev),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message),
+            );
+        }
+        out.push_str("],\"unsafe_inventory\":[");
+        for (i, s) in self.unsafe_sites.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"file\":{},\"line\":{},\"justified\":{}}}",
+                json_str(&s.file),
+                s.line,
+                s.justified,
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"files_scanned\":{},\"errors\":{},\"warnings\":{},\"suppressions_used\":{}}}",
+            self.files_scanned,
+            self.errors(),
+            self.warnings(),
+            self.suppressions_used,
+        );
+        out.push('\n');
+        out
+    }
+}
+
+/// Minimal JSON string escaping (paths and rule messages are near-ASCII,
+/// but stay correct on quotes/backslashes/control bytes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report {
+            findings: vec![
+                Finding {
+                    rule: "S2",
+                    severity: Severity::Warning,
+                    file: "b.rs".into(),
+                    line: 3,
+                    message: "unused suppression".into(),
+                },
+                Finding {
+                    rule: "D1",
+                    severity: Severity::Error,
+                    file: "a.rs".into(),
+                    line: 10,
+                    message: "HashMap in deterministic module".into(),
+                },
+            ],
+            unsafe_sites: vec![UnsafeSite { file: "c.rs".into(), line: 7, justified: true }],
+            files_scanned: 3,
+            suppressions_used: 1,
+        };
+        r.sort();
+        r
+    }
+
+    #[test]
+    fn ordering_and_counts() {
+        let r = sample();
+        assert_eq!(r.findings[0].rule, "D1");
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+        assert!(!r.is_clean(false));
+        let clean = Report::default();
+        assert!(clean.is_clean(true));
+    }
+
+    #[test]
+    fn deny_warnings_gates_warnings() {
+        let mut r = sample();
+        r.findings.retain(|f| f.severity == Severity::Warning);
+        assert!(r.is_clean(false));
+        assert!(!r.is_clean(true));
+    }
+
+    #[test]
+    fn renderings_contain_spans() {
+        let r = sample();
+        let h = r.human();
+        assert!(h.contains("error[D1] a.rs:10"), "{h}");
+        assert!(h.contains("warning[S2] b.rs:3"), "{h}");
+        assert!(h.contains("unsafe inventory (1 sites)"), "{h}");
+        let j = r.json();
+        assert!(j.contains("\"rule\":\"D1\""), "{j}");
+        assert!(j.contains("\"line\":10"), "{j}");
+        assert!(j.contains("\"justified\":true"), "{j}");
+        assert!(j.ends_with("}\n"), "{j}");
+    }
+}

@@ -1,0 +1,195 @@
+//! Test-scope detection over the token stream.
+//!
+//! The determinism and robustness rules apply to *shipping* code only:
+//! `#[cfg(test)]` modules, `#[test]` functions, and files under `tests/`,
+//! `benches/`, or `examples/` are exempt. File-level classification is
+//! path-based (see [`crate::rules`]); this module handles the in-file
+//! part — marking every token that lives inside a test-gated item.
+//!
+//! The tracker is a brace matcher, not a parser: when it sees an
+//! attribute whose tokens contain `cfg ( test` or a bare `test`/`tokio
+//! ::test`-style test marker, it marks everything from the end of the
+//! attribute through the end of the annotated item (the matching `}` of
+//! the first `{` it opens, or the first `;` before any brace for
+//! declaration items).
+
+use crate::lexer::{Tok, TokKind};
+
+/// For each token, `true` when it is inside test-gated code.
+pub fn test_mask(tokens: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].text == "#" && tokens.get(i + 1).map(|t| t.text.as_str()) == Some("[") {
+            let (attr_end, is_test_attr) = scan_attribute(tokens, i + 1);
+            if is_test_attr {
+                let item_end = item_extent(tokens, attr_end);
+                for m in mask.iter_mut().take(item_end).skip(i) {
+                    *m = true;
+                }
+                i = item_end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Scan `#[…]` starting at the `[`; returns (index past `]`, is-test).
+/// Test attributes: `#[test]`, `#[cfg(test)]`, `#[cfg(any(test, …))]`,
+/// and dotted paths ending in `::test` (`#[tokio::test]`).
+fn scan_attribute(tokens: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut j = open;
+    let mut is_test = false;
+    let mut saw_cfg = false;
+    let mut saw_not = false;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        match t.text.as_str() {
+            "[" | "(" | "{" => depth += 1,
+            "]" | ")" | "}" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return (j + 1, is_test && !saw_not);
+                }
+            }
+            "cfg" if t.kind == TokKind::Ident => saw_cfg = true,
+            // `#[cfg(not(test))]` is live code, not test code.
+            "not" if t.kind == TokKind::Ident && saw_cfg => saw_not = true,
+            "test" if t.kind == TokKind::Ident => {
+                // `#[test]` (depth 1, right after `[`) or `test` anywhere
+                // inside a `cfg(...)` argument list.
+                if depth == 1 || saw_cfg {
+                    is_test = true;
+                }
+                // `#[foo::test]` style markers.
+                if j >= 2 && tokens[j - 1].text == ":" && tokens[j - 2].text == ":" {
+                    is_test = true;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (j, is_test && !saw_not)
+}
+
+/// The extent of the item starting at `start` (just past its attributes):
+/// index one past the matching `}` of its first brace block, or one past
+/// the first top-level `;` (declaration items), whichever comes first.
+/// Skips over any further attributes on the item itself.
+fn item_extent(tokens: &[Tok], start: usize) -> usize {
+    let mut j = start;
+    // Further attributes (`#[cfg(test)] #[allow(…)] mod t { … }`).
+    while j < tokens.len()
+        && tokens[j].text == "#"
+        && tokens.get(j + 1).map(|t| t.text.as_str()) == Some("[")
+    {
+        let (end, _) = scan_attribute(tokens, j + 1);
+        j = end;
+    }
+    let mut depth = 0usize;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            ";" if depth == 0 => return j + 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn masked_idents(src: &str) -> Vec<(String, bool)> {
+        let l = lex(src);
+        let mask = test_mask(&l.tokens);
+        l.tokens
+            .iter()
+            .zip(&mask)
+            .filter(|(t, _)| t.kind == TokKind::Ident)
+            .map(|(t, m)| (t.text.clone(), *m))
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_module_is_masked() {
+        let src = "
+            fn live() { HashMap::new(); }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { HashSet::new(); }
+            }
+            fn also_live() {}
+        ";
+        let ids = masked_idents(src);
+        let get = |name: &str| ids.iter().find(|(n, _)| n == name).map(|(_, m)| *m);
+        assert_eq!(get("HashMap"), Some(false));
+        assert_eq!(get("HashSet"), Some(true));
+        assert_eq!(get("also_live"), Some(false));
+    }
+
+    #[test]
+    fn test_fn_is_masked() {
+        let src = "
+            #[test]
+            fn check() { thread_rng(); }
+            fn live() { Instant::now(); }
+        ";
+        let ids = masked_idents(src);
+        let get = |name: &str| ids.iter().find(|(n, _)| n == name).map(|(_, m)| *m);
+        assert_eq!(get("thread_rng"), Some(true));
+        assert_eq!(get("Instant"), Some(false));
+    }
+
+    #[test]
+    fn non_test_attributes_do_not_mask() {
+        let src = "#[derive(Debug)] struct S { m: HashMap<u8, u8> }";
+        let ids = masked_idents(src);
+        assert!(ids.iter().any(|(n, m)| n == "HashMap" && !m), "{ids:?}");
+    }
+
+    #[test]
+    fn stacked_attributes_after_cfg_test() {
+        let src = "
+            #[cfg(test)]
+            #[allow(dead_code)]
+            mod t { fn f() { HashMap::new(); } }
+            fn live() { HashSet::new(); }
+        ";
+        let ids = masked_idents(src);
+        let get = |name: &str| ids.iter().find(|(n, _)| n == name).map(|(_, m)| *m);
+        assert_eq!(get("HashMap"), Some(true));
+        assert_eq!(get("HashSet"), Some(false));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let src = "#[cfg(feature = \"x\")] fn f() { HashMap::new(); }";
+        let ids = masked_idents(src);
+        assert!(ids.iter().any(|(n, m)| n == "HashMap" && !m), "{ids:?}");
+    }
+
+    #[test]
+    fn declaration_item_ends_at_semicolon() {
+        let src = "#[cfg(test)] use std::collections::HashMap; fn live() { HashSet::new(); }";
+        let ids = masked_idents(src);
+        let get = |name: &str| ids.iter().find(|(n, _)| n == name).map(|(_, m)| *m);
+        assert_eq!(get("HashMap"), Some(true));
+        assert_eq!(get("HashSet"), Some(false));
+    }
+}

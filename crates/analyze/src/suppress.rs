@@ -1,0 +1,188 @@
+//! Inline suppressions: `// psdp-audit: allow(D1, reason = "…")`.
+//!
+//! A suppression lives in a line comment and covers findings of the named
+//! rule(s) on its own line (trailing comment) or on the next source line
+//! (standalone comment line). The `reason` is mandatory — a suppression
+//! that does not say *why* the invariant holds anyway is itself a
+//! violation (`S1`) — and a suppression that matches no finding is dead
+//! weight that would silently keep future violations invisible, so it is
+//! flagged too (`S2`, a warning so `--deny-warnings` gates it in CI).
+
+use crate::lexer::Comment;
+
+/// One parsed inline suppression.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rules this suppression covers (`allow(D1)` or `allow(D1, R1, …)`).
+    pub rules: Vec<String>,
+    /// Mandatory justification.
+    pub reason: String,
+    /// Line the comment starts on.
+    pub line: usize,
+    /// Matched at least one finding.
+    pub used: bool,
+}
+
+/// A malformed suppression (missing reason / unparsable rule list).
+#[derive(Debug, Clone)]
+pub struct BadSuppression {
+    /// Line of the comment.
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+}
+
+/// The marker that introduces a suppression inside a line comment.
+pub const MARKER: &str = "psdp-audit:";
+
+/// Extract all suppressions (and malformed ones) from a file's comments.
+pub fn parse_suppressions(comments: &[Comment]) -> (Vec<Suppression>, Vec<BadSuppression>) {
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        // The marker must open the comment: prose that merely *mentions*
+        // `psdp-audit:` mid-sentence (docs, this file) is not a
+        // suppression.
+        let Some(rest) = c.text.strip_prefix(MARKER) else { continue };
+        if !c.is_line {
+            bad.push(BadSuppression {
+                line: c.line,
+                message: "suppressions must be line comments (`// psdp-audit: …`)".to_string(),
+            });
+            continue;
+        }
+        match parse_allow(rest.trim()) {
+            Ok((rules, reason)) => {
+                ok.push(Suppression { rules, reason, line: c.line, used: false })
+            }
+            Err(msg) => bad.push(BadSuppression { line: c.line, message: msg }),
+        }
+    }
+    (ok, bad)
+}
+
+/// Parse `allow(RULE[, RULE…], reason = "…")`.
+fn parse_allow(s: &str) -> Result<(Vec<String>, String), String> {
+    let body = s
+        .strip_prefix("allow")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('('))
+        .ok_or_else(|| "expected `allow(RULE, reason = \"…\")`".to_string())?;
+    let body = body.trim_end();
+    let body = body
+        .strip_suffix(')')
+        .ok_or_else(|| "unterminated `allow(…)` (missing `)`)".to_string())?;
+
+    let (rules_part, reason_part) = match body.find("reason") {
+        Some(i) => (&body[..i], &body[i..]),
+        None => return Err("suppression is missing the mandatory `reason = \"…\"`".to_string()),
+    };
+    let reason = reason_part
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('='))
+        .map(str::trim)
+        .ok_or_else(|| "malformed `reason = \"…\"`".to_string())?;
+    let reason = reason
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| "`reason` must be a double-quoted string".to_string())?;
+    if reason.trim().is_empty() {
+        return Err("`reason` must not be empty".to_string());
+    }
+
+    let rules: Vec<String> = rules_part
+        .split(',')
+        .map(str::trim)
+        .filter(|r| !r.is_empty())
+        .map(str::to_string)
+        .collect();
+    if rules.is_empty() {
+        return Err("suppression names no rule (e.g. `allow(D1, reason = \"…\")`)".to_string());
+    }
+    for r in &rules {
+        if !r.chars().all(|c| c.is_ascii_alphanumeric()) {
+            return Err(format!("malformed rule id `{r}`"));
+        }
+    }
+    Ok((rules, reason.to_string()))
+}
+
+/// Does any suppression cover `rule` at `line`? Marks the first match
+/// used. A suppression on line `l` covers lines `l` and `l + 1`.
+pub fn covered(supps: &mut [Suppression], rule: &str, line: usize) -> bool {
+    for s in supps.iter_mut() {
+        if (s.line == line || s.line + 1 == line) && s.rules.iter().any(|r| r == rule) {
+            s.used = true;
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn supps(src: &str) -> (Vec<Suppression>, Vec<BadSuppression>) {
+        parse_suppressions(&lex(src).comments)
+    }
+
+    #[test]
+    fn parses_single_and_multi_rule() {
+        let (ok, bad) = supps(
+            "// psdp-audit: allow(D1, reason = \"keyed access only\")\n\
+             // psdp-audit: allow(R1, D3, reason = \"bounds checked above\")\n",
+        );
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(ok.len(), 2);
+        assert_eq!(ok[0].rules, ["D1"]);
+        assert_eq!(ok[0].reason, "keyed access only");
+        assert_eq!(ok[1].rules, ["R1", "D3"]);
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let (ok, bad) = supps("// psdp-audit: allow(D1)\n");
+        assert!(ok.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("reason"), "{}", bad[0].message);
+
+        let (ok, bad) = supps("// psdp-audit: allow(D1, reason = \"\")\n");
+        assert!(ok.is_empty());
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn malformed_forms_are_flagged() {
+        for src in [
+            "// psdp-audit: allow D1\n",
+            "// psdp-audit: allow(, reason = \"x\")\n",
+            "// psdp-audit: allow(D1, reason = x)\n",
+            "// psdp-audit: allow(D-1, reason = \"x\")\n",
+            "/* psdp-audit: allow(D1, reason = \"x\") */\n",
+        ] {
+            let (ok, bad) = supps(src);
+            assert!(ok.is_empty(), "{src}");
+            assert_eq!(bad.len(), 1, "{src}");
+        }
+    }
+
+    #[test]
+    fn coverage_is_same_or_next_line_and_marks_used() {
+        let (mut ok, _) = supps("let x = 1; // psdp-audit: allow(D1, reason = \"why\")\n");
+        assert!(covered(&mut ok, "D1", 1));
+        assert!(ok[0].used);
+        assert!(covered(&mut ok, "D1", 2));
+        assert!(!covered(&mut ok, "D1", 3));
+        assert!(!covered(&mut ok, "R1", 1));
+    }
+
+    #[test]
+    fn unrelated_comments_ignored() {
+        let (ok, bad) = supps("// plain comment mentioning allow(D1)\n");
+        assert!(ok.is_empty());
+        assert!(bad.is_empty());
+    }
+}

@@ -8,7 +8,7 @@ use std::collections::BTreeMap;
 
 /// Flags that take no value (presence = `true`). Everything else is
 /// `--key value`.
-const VALUELESS: &[&str] = &["json"];
+const VALUELESS: &[&str] = &["json", "deny-warnings"];
 
 /// Parsed command line: positionals in order plus `--key value` flags.
 #[derive(Debug, Clone, Default)]
@@ -54,6 +54,11 @@ impl Args {
     #[cfg(test)]
     pub fn pos_len(&self) -> usize {
         self.positional.len()
+    }
+
+    /// Optional string flag: `Some` only when the flag was given.
+    pub fn opt_flag(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
     }
 
     /// String flag with default.

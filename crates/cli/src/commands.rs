@@ -29,6 +29,7 @@ USAGE:
   psdp optimize FILE [--eps E] [--warm on|off] [--json]
   psdp mixed FILE [--eps E] [--engine auto|exact|taylor|jl] [--seed S] [--warm on|off] [--json]
   psdp serve [--max-in-flight N] [--cache on|off]   (JSONL requests on stdin)
+  psdp audit [--root PATH] [--config FILE] [--json] [--deny-warnings]
 
 The `auto` engine picks exact vs sketched-Taylor from the instance's
 storage profile (total nonzeros vs m²); `psdp solve` reports which one ran.
@@ -48,6 +49,13 @@ share prepared solvers, identical requests are memoized), and emits one
 JSON response per request on stdout (submission order, same schemas as
 `--json` plus `id` and a `serve` reuse-telemetry object; `wall_ms` is null
 so response bytes are deterministic). The batch report goes to stderr.
+
+`audit` runs the psdp-audit determinism & robustness lint (DESIGN.md §11)
+over the workspace sources: rules D1-D3 (hash-order iteration, parallel
+float reductions, ambient clocks/randomness), R1 (panics and unchecked
+indexing on request paths), H1 (unjustified `unsafe`). Exemptions need a
+reasoned inline suppression or an audit.toml entry; CI runs it with
+--deny-warnings so stale exemptions fail too.
 ";
 
 /// Build the engine from its CLI name.
@@ -355,6 +363,29 @@ pub fn mixed(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// `psdp audit` — run the workspace determinism & robustness lint
+/// (crates/analyze, DESIGN.md §11). Clean runs return the summary line;
+/// findings (or, under `--deny-warnings`, warnings) come back as `Err` so
+/// the process exits non-zero and CI fails.
+///
+/// # Errors
+/// The rendered report when the audit is not clean, or a config/walk error.
+pub fn audit(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["root", "config", "json", "deny-warnings"])?;
+    let root = std::path::PathBuf::from(args.str_flag("root", "."));
+    let opts = psdp_analyze::Options {
+        config_path: args.opt_flag("config").map(std::path::PathBuf::from),
+    };
+    let report = psdp_analyze::run_audit(&root, &opts)?;
+    let deny = args.bool_flag("deny-warnings");
+    let rendered = if args.bool_flag("json") { report.json() } else { report.human() };
+    if report.is_clean(deny) {
+        Ok(rendered)
+    } else {
+        Err(rendered)
+    }
+}
+
 /// Dispatch a full command line (excluding program name).
 ///
 /// # Errors
@@ -373,6 +404,7 @@ pub fn dispatch(raw: &[String]) -> Result<String, String> {
         Some("optimize") => optimize(&args),
         Some("mixed") => mixed(&args),
         Some("serve") => crate::serve::serve(&args),
+        Some("audit") => audit(&args),
         Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
         None => Ok(USAGE.to_string()),
     }

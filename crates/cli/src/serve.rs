@@ -124,9 +124,15 @@ pub fn serve_on_input(args: &Args, input: &str) -> Result<ServeRun, String> {
                 };
                 stdout.push_str(&format!("{{\"id\":{id_json},\"error\":{}}}\n", json_str(msg)));
             }
-            Line::Request(i) => {
-                stdout.push_str(&render_response(&parsed[*i], &output.responses[*i]));
-            }
+            Line::Request(i) => match (parsed.get(*i), output.responses.get(*i)) {
+                (Some(p), Some(resp)) => stdout.push_str(&render_response(p, resp)),
+                // Indices are constructed in lockstep with the batch; if
+                // that invariant ever breaks, emit an error line in place
+                // rather than panicking mid-stream.
+                _ => stdout.push_str(
+                    "{\"id\":null,\"error\":\"response missing for request (internal)\"}\n",
+                ),
+            },
         }
     }
     Ok(ServeRun { stdout, summary: summarize(&output.report) })
@@ -162,16 +168,23 @@ fn serve_stats_json(s: &ServeStats) -> String {
     )
 }
 
+/// In-place error line for invariant breaches while rendering: the stream
+/// keeps flowing, the line says what went wrong.
+fn internal_error_line(id_json: &str, msg: &str) -> String {
+    format!("{{\"id\":{id_json},\"error\":{}}}\n", json_str(&format!("{msg} (internal)")))
+}
+
 /// Render one response line (reusing the one-shot `--json` schemas; see
-/// the module docs for the determinism contract).
+/// the module docs for the determinism contract). Family mismatches
+/// between result and payload cannot happen by construction, but render as
+/// in-place error lines rather than panics if they ever do.
 fn render_response(p: &ParsedLine, resp: &ServeResponse) -> String {
     let id_json = json_str(&resp.id);
     match &resp.result {
         Err(msg) => format!("{{\"id\":{id_json},\"error\":{}}}\n", json_str(msg)),
         Ok(ServeResult::Decision(d)) => {
-            let inst = match &p.request.payload {
-                psdp_serve::InstancePayload::Packing(i) => i,
-                psdp_serve::InstancePayload::Mixed(_) => unreachable!("decision is packing-only"),
+            let psdp_serve::InstancePayload::Packing(inst) = &p.request.payload else {
+                return internal_error_line(&id_json, "decision result with mixed payload");
             };
             format!(
                 "{{\"id\":{id_json},\"command\":\"solve\",{},\"serve\":{}}}\n",
@@ -180,9 +193,8 @@ fn render_response(p: &ParsedLine, resp: &ServeResponse) -> String {
             )
         }
         Ok(ServeResult::Optimize(r)) => {
-            let inst = match &p.request.payload {
-                psdp_serve::InstancePayload::Packing(i) => i,
-                psdp_serve::InstancePayload::Mixed(_) => unreachable!("optimize is packing-only"),
+            let psdp_serve::InstancePayload::Packing(inst) = &p.request.payload else {
+                return internal_error_line(&id_json, "optimize result with mixed payload");
             };
             format!(
                 "{{\"id\":{id_json},\"command\":\"optimize\",{},\"serve\":{}}}\n",
@@ -191,9 +203,8 @@ fn render_response(p: &ParsedLine, resp: &ServeResponse) -> String {
             )
         }
         Ok(ServeResult::Mixed(r)) => {
-            let inst = match &p.request.payload {
-                psdp_serve::InstancePayload::Mixed(i) => i,
-                psdp_serve::InstancePayload::Packing(_) => unreachable!("mixed payload checked"),
+            let psdp_serve::InstancePayload::Mixed(inst) = &p.request.payload else {
+                return internal_error_line(&id_json, "mixed result with packing payload");
             };
             format!(
                 "{{\"id\":{id_json},\"command\":\"mixed\",{},\"serve\":{}}}\n",
@@ -371,7 +382,9 @@ fn parse_request_line(
                 file_json,
             })
         }
-        _ => unreachable!("command validated above"),
+        // Already rejected by the `allowed_keys` check; keep the typed
+        // error anyway so this match can never panic as commands evolve.
+        other => Err(fail(format!("unknown command `{other}` (solve|optimize|mixed)"))),
     }
 }
 

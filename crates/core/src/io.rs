@@ -52,38 +52,42 @@ use std::fmt::Write as _;
 
 /// Write one constraint block with the given line label (`constraint` in
 /// the packing format, `pack`/`cover` in the mixed format).
+///
+/// `fmt::Write` into a `String` is infallible, so the `writeln!` results
+/// here are deliberately discarded rather than unwrapped (audit rule R1:
+/// no panic sites on request paths).
 fn write_constraint(out: &mut String, label: &str, i: usize, a: &PsdMatrix, dim: usize) {
     match a {
         PsdMatrix::Diagonal(d) => {
             let nz: Vec<(usize, f64)> =
                 d.iter().enumerate().filter(|(_, &v)| v != 0.0).map(|(j, &v)| (j, v)).collect();
-            writeln!(out, "{label} {i} diagonal {}", nz.len()).unwrap();
+            let _ = writeln!(out, "{label} {i} diagonal {}", nz.len());
             for (j, v) in nz {
-                writeln!(out, "{j} {v:e}").unwrap();
+                let _ = writeln!(out, "{j} {v:e}");
             }
         }
         PsdMatrix::Factor(fp) => {
             let q = fp.factor();
-            writeln!(out, "{label} {i} factor {} {}", q.nnz(), q.ncols()).unwrap();
+            let _ = writeln!(out, "{label} {i} factor {} {}", q.nnz(), q.ncols());
             for r in 0..q.nrows() {
                 for (c, v) in q.row_iter(r) {
-                    writeln!(out, "{r} {c} {v:e}").unwrap();
+                    let _ = writeln!(out, "{r} {c} {v:e}");
                 }
             }
         }
         PsdMatrix::Sparse(s) => {
-            writeln!(out, "{label} {i} sparse {}", s.nnz()).unwrap();
+            let _ = writeln!(out, "{label} {i} sparse {}", s.nnz());
             for r in 0..s.nrows() {
                 for (c, v) in s.row_iter(r) {
-                    writeln!(out, "{r} {c} {v:e}").unwrap();
+                    let _ = writeln!(out, "{r} {c} {v:e}");
                 }
             }
         }
         PsdMatrix::Dense(m) => {
-            writeln!(out, "{label} {i} dense").unwrap();
+            let _ = writeln!(out, "{label} {i} dense");
             for r in 0..dim {
                 let row: Vec<String> = m.row(r).iter().map(|v| format!("{v:e}")).collect();
-                writeln!(out, "{}", row.join(" ")).unwrap();
+                let _ = writeln!(out, "{}", row.join(" "));
             }
         }
     }
@@ -105,13 +109,13 @@ fn write_constraint(out: &mut String, label: &str, i: usize, a: &PsdMatrix, dim:
 pub fn write_instance(inst: &PackingInstance) -> String {
     let mut out = String::new();
     let dim = inst.dim();
-    writeln!(out, "psdp 1").unwrap();
-    writeln!(out, "dim {dim}").unwrap();
-    writeln!(out, "constraints {}", inst.n()).unwrap();
+    let _ = writeln!(out, "psdp 1");
+    let _ = writeln!(out, "dim {dim}");
+    let _ = writeln!(out, "constraints {}", inst.n());
     for (i, a) in inst.mats().iter().enumerate() {
         write_constraint(&mut out, "constraint", i, a, dim);
     }
-    writeln!(out, "end").unwrap();
+    let _ = writeln!(out, "end");
     out
 }
 
@@ -132,17 +136,17 @@ pub fn write_instance(inst: &PackingInstance) -> String {
 /// ```
 pub fn write_mixed_instance(inst: &MixedInstance) -> String {
     let mut out = String::new();
-    writeln!(out, "psdp mixed 1").unwrap();
-    writeln!(out, "pack-dim {}", inst.pack_dim()).unwrap();
-    writeln!(out, "cover-dim {}", inst.cover_dim()).unwrap();
-    writeln!(out, "coordinates {}", inst.n()).unwrap();
+    let _ = writeln!(out, "psdp mixed 1");
+    let _ = writeln!(out, "pack-dim {}", inst.pack_dim());
+    let _ = writeln!(out, "cover-dim {}", inst.cover_dim());
+    let _ = writeln!(out, "coordinates {}", inst.n());
     for (i, a) in inst.pack().mats().iter().enumerate() {
         write_constraint(&mut out, "pack", i, a, inst.pack_dim());
     }
     for (i, a) in inst.cover().mats().iter().enumerate() {
         write_constraint(&mut out, "cover", i, a, inst.cover_dim());
     }
-    writeln!(out, "end").unwrap();
+    let _ = writeln!(out, "end");
     out
 }
 
@@ -233,7 +237,8 @@ fn read_constraint(
     toks: &[&str],
     dim: usize,
 ) -> Result<PsdMatrix, PsdpError> {
-    match toks[2] {
+    let kind = *toks.get(2).ok_or_else(|| bad(head_no, "missing constraint kind"))?;
+    match kind {
         "diagonal" => {
             let nnz: usize =
                 toks.get(3).and_then(|s| s.parse().ok()).ok_or_else(|| bad(head_no, "bad nnz"))?;
@@ -242,10 +247,7 @@ fn read_constraint(
                 let (no, entry) = lines.next().ok_or_else(|| bad(head_no, "truncated diagonal"))?;
                 let parts: Vec<&str> = entry.split_whitespace().collect();
                 let (j, v) = parse_pair(&parts).ok_or_else(|| bad(no, "bad diagonal entry"))?;
-                if j >= dim {
-                    return Err(bad(no, "diagonal coordinate out of range"));
-                }
-                d[j] = v;
+                *d.get_mut(j).ok_or_else(|| bad(no, "diagonal coordinate out of range"))? = v;
             }
             Ok(PsdMatrix::Diagonal(d))
         }
@@ -312,6 +314,7 @@ fn read_constraint(
                     ));
                 }
                 for (c, v) in vals.into_iter().enumerate() {
+                    // psdp-audit: allow(R1, reason = "r < dim by the loop bound, c < dim by the row-length check above; Mat is dim x dim")
                     m[(r, c)] = v;
                 }
             }
@@ -333,10 +336,13 @@ fn read_block_list(
     for expected in 0..count {
         let (no, head) = lines.next().ok_or_else(|| bad(0, "unexpected end of file"))?;
         let toks: Vec<&str> = head.split_whitespace().collect();
-        if toks.len() < 3 || toks[0] != label {
+        let [lbl, idx_tok, _kind, ..] = toks.as_slice() else {
+            return Err(bad(no, &format!("expected `{label} <i> <kind> …`")));
+        };
+        if *lbl != label {
             return Err(bad(no, &format!("expected `{label} <i> <kind> …`")));
         }
-        let idx: usize = toks[1].parse().map_err(|_| bad(no, "bad constraint index"))?;
+        let idx: usize = idx_tok.parse().map_err(|_| bad(no, "bad constraint index"))?;
         if idx != expected {
             return Err(bad(no, &format!("{label} index {idx}, expected {expected}")));
         }
@@ -395,17 +401,13 @@ pub fn read_mixed_instance(text: &str) -> Result<MixedInstance, PsdpError> {
 }
 
 fn parse_pair(parts: &[&str]) -> Option<(usize, f64)> {
-    if parts.len() != 2 {
-        return None;
-    }
-    Some((parts[0].parse().ok()?, parts[1].parse().ok()?))
+    let [a, b] = parts else { return None };
+    Some((a.parse().ok()?, b.parse().ok()?))
 }
 
 fn parse_triplet(parts: &[&str]) -> Option<(usize, usize, f64)> {
-    if parts.len() != 3 {
-        return None;
-    }
-    Some((parts[0].parse().ok()?, parts[1].parse().ok()?, parts[2].parse().ok()?))
+    let [a, b, c] = parts else { return None };
+    Some((a.parse().ok()?, b.parse().ok()?, c.parse().ok()?))
 }
 
 #[cfg(test)]

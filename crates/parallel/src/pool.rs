@@ -7,12 +7,14 @@
 
 use parking_lot::Mutex;
 use rayon::ThreadPool;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Cache of pools keyed by thread count (pool construction is expensive and
-/// benchmark loops request the same sizes repeatedly).
-static POOLS: Mutex<Option<HashMap<usize, Arc<ThreadPool>>>> = Mutex::new(None);
+/// benchmark loops request the same sizes repeatedly). A `BTreeMap` so any
+/// future iteration over the registry is in sorted key order (audit rule
+/// D1: no hash-order iteration in deterministic modules).
+static POOLS: Mutex<Option<BTreeMap<usize, Arc<ThreadPool>>>> = Mutex::new(None);
 
 /// Get (or lazily build) a pool with exactly `threads` workers.
 ///
@@ -21,7 +23,7 @@ static POOLS: Mutex<Option<HashMap<usize, Arc<ThreadPool>>>> = Mutex::new(None);
 pub fn pool_with_threads(threads: usize) -> Arc<ThreadPool> {
     assert!(threads > 0, "thread pool needs at least one thread");
     let mut guard = POOLS.lock();
-    let map = guard.get_or_insert_with(HashMap::new);
+    let map = guard.get_or_insert_with(BTreeMap::new);
     map.entry(threads)
         .or_insert_with(|| {
             Arc::new(

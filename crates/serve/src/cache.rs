@@ -151,13 +151,13 @@ impl SolverCache {
         entry.last_used = self.clock;
         self.entries.push(entry);
         while self.entries.len() > self.max_entries {
-            let oldest = self
-                .entries
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(i, _)| i)
-                .expect("non-empty");
+            // `len > max_entries >= 1` keeps the scan non-empty; if that
+            // ever changes, stop evicting rather than panic.
+            let Some(oldest) =
+                self.entries.iter().enumerate().min_by_key(|(_, e)| e.last_used).map(|(i, _)| i)
+            else {
+                break;
+            };
             self.entries.swap_remove(oldest);
         }
     }

@@ -187,8 +187,11 @@ impl<'a> Parser<'a> {
         }
         // JSON forbids leading zeros like `042`.
         let int_part = &self.bytes[start..self.pos];
-        let unsigned = if int_part[0] == b'-' { &int_part[1..] } else { int_part };
-        if unsigned.len() > 1 && unsigned[0] == b'0' {
+        let unsigned = match int_part {
+            [b'-', rest @ ..] => rest,
+            _ => int_part,
+        };
+        if unsigned.len() > 1 && unsigned.first() == Some(&b'0') {
             return Err(self.err("leading zeros are not allowed"));
         }
         if self.peek() == Some(b'.') {

@@ -263,19 +263,25 @@ impl Scheduler {
         };
         let memo_cap = self.opts.memo_per_entry;
         let keep_entries = self.opts.cache_enabled;
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(budget)
-            .build()
-            .expect("pool construction is infallible in the shim");
         let work_now: Vec<GroupWork<'_>> = std::mem::take(&mut work);
         let group_count = work_now.len();
-        let outcomes: Vec<GroupOutcome> = pool.install(|| {
-            use rayon::prelude::*;
-            work_now
-                .into_par_iter()
-                .map(|w| process_group(w, memo_cap, keep_entries, batch_start))
-                .collect()
-        });
+        // Concurrency never changes results, so if pool construction fails
+        // (resource exhaustion), degrade to sequential execution instead of
+        // panicking mid-batch.
+        let outcomes: Vec<GroupOutcome> =
+            match rayon::ThreadPoolBuilder::new().num_threads(budget).build() {
+                Ok(pool) => pool.install(|| {
+                    use rayon::prelude::*;
+                    work_now
+                        .into_par_iter()
+                        .map(|w| process_group(w, memo_cap, keep_entries, batch_start))
+                        .collect()
+                }),
+                Err(_) => work_now
+                    .into_iter()
+                    .map(|w| process_group(w, memo_cap, keep_entries, batch_start))
+                    .collect(),
+            };
 
         // Re-insert surviving entries in canonical group order.
         let mut prep_builds = 0usize;
@@ -290,21 +296,38 @@ impl Scheduler {
                 self.cache.insert(entry);
             }
             for (idx, resp) in outcome.responses {
-                responses[idx] = Some(resp);
+                if let Some(slot) = responses.get_mut(idx) {
+                    *slot = Some(resp);
+                }
             }
         }
         for &idx in &mismatched {
-            responses[idx] = Some(ServeResponse {
-                id: requests[idx].id.clone(),
+            let (Some(slot), Some(req)) = (responses.get_mut(idx), requests.get(idx)) else {
+                continue;
+            };
+            *slot = Some(ServeResponse {
+                id: req.id.clone(),
                 result: Err(format!(
                     "request kind `{}` does not match its instance payload",
-                    requests[idx].kind.name()
+                    req.kind.name()
                 )),
                 stats: ServeStats::default(),
             });
         }
-        let responses: Vec<ServeResponse> =
-            responses.into_iter().map(|r| r.expect("every request answered")).collect();
+        // Every request gets an answer even if a group worker dropped one
+        // on the floor (a bug, but one that must surface as an error
+        // response, not a panic mid-batch).
+        let responses: Vec<ServeResponse> = responses
+            .into_iter()
+            .zip(requests)
+            .map(|(slot, req)| {
+                slot.unwrap_or_else(|| ServeResponse {
+                    id: req.id.clone(),
+                    result: Err("request was not answered by any group (internal)".to_string()),
+                    stats: ServeStats::default(),
+                })
+            })
+            .collect();
 
         let mut report = BatchReport {
             requests: requests.len(),
@@ -338,9 +361,16 @@ fn process_group(
     keep_entry: bool,
     batch_start: Instant,
 ) -> GroupOutcome {
-    match &w.items.first().expect("groups are non-empty").1.payload {
-        InstancePayload::Packing(_) => process_packing_group(w, memo_cap, keep_entry, batch_start),
-        InstancePayload::Mixed(_) => process_mixed_group(w, memo_cap, keep_entry, batch_start),
+    match w.items.first().map(|(_, req, _)| &req.payload) {
+        Some(InstancePayload::Packing(_)) => {
+            process_packing_group(w, memo_cap, keep_entry, batch_start)
+        }
+        Some(InstancePayload::Mixed(_)) => {
+            process_mixed_group(w, memo_cap, keep_entry, batch_start)
+        }
+        // An empty group produces no responses; the batch assembler backfills
+        // any unanswered request with an internal-error response.
+        None => GroupOutcome { responses: Vec::new(), entry: None, prep_built: false },
     }
 }
 
@@ -369,10 +399,14 @@ fn process_packing_group(
     batch_start: Instant,
 ) -> GroupOutcome {
     let GroupWork { key, entry, items } = w;
-    let (engine_kind, seed) = prep_engine_of(&items[0].1.kind);
+    let Some((_, first_req, _)) = items.first() else {
+        return GroupOutcome { responses: Vec::new(), entry: None, prep_built: false };
+    };
+    let (engine_kind, seed) = prep_engine_of(&first_req.kind);
     let build_opts = DecisionOptions::practical(0.1).with_engine(engine_kind).with_seed(seed);
 
     // Reuse or build the prepared state.
+    let first_payload = &first_req.payload;
     let (inst, prior_engine, mut memo, mut bracket, prep_built) = match entry {
         Some(e) => match e.prepared {
             Prepared::Packing { inst, engine } => (inst, Some(engine), e.memo, e.bracket, false),
@@ -380,13 +414,12 @@ fn process_packing_group(
                 return error_group(items, "cache entry family mismatch (internal)");
             }
         },
-        None => {
-            let inst = match &items[0].1.payload {
-                InstancePayload::Packing(i) => Arc::clone(i),
-                InstancePayload::Mixed(_) => unreachable!("family checked by caller"),
-            };
-            (inst, None, Vec::new(), None, true)
-        }
+        None => match first_payload {
+            InstancePayload::Packing(i) => (Arc::clone(i), None, Vec::new(), None, true),
+            InstancePayload::Mixed(_) => {
+                return error_group(items, "mixed payload routed to a packing group (internal)");
+            }
+        },
     };
     let inst_ref = Arc::clone(&inst);
     let solver = {
@@ -489,10 +522,14 @@ fn process_mixed_group(
     batch_start: Instant,
 ) -> GroupOutcome {
     let GroupWork { key, entry, items } = w;
-    let (engine_kind, seed) = prep_engine_of(&items[0].1.kind);
+    let Some((_, first_req, _)) = items.first() else {
+        return GroupOutcome { responses: Vec::new(), entry: None, prep_built: false };
+    };
+    let (engine_kind, seed) = prep_engine_of(&first_req.kind);
     let build_opts = MixedOptions::practical(0.1).with_engine(engine_kind).with_seed(seed);
 
     type EnginePair = (Arc<psdp_expdot::Engine>, Arc<psdp_expdot::Engine>);
+    let first_payload = &first_req.payload;
     let (inst, prior_engines, mut memo, prep_built): (
         Arc<MixedInstance>,
         Option<EnginePair>,
@@ -507,13 +544,12 @@ fn process_mixed_group(
                 return error_group(items, "cache entry family mismatch (internal)");
             }
         },
-        None => {
-            let inst = match &items[0].1.payload {
-                InstancePayload::Mixed(i) => Arc::clone(i),
-                InstancePayload::Packing(_) => unreachable!("family checked by caller"),
-            };
-            (inst, None, Vec::new(), true)
-        }
+        None => match first_payload {
+            InstancePayload::Mixed(i) => (Arc::clone(i), None, Vec::new(), true),
+            InstancePayload::Packing(_) => {
+                return error_group(items, "packing payload routed to a mixed group (internal)");
+            }
+        },
     };
     let inst_ref = Arc::clone(&inst);
     let solver = {

@@ -253,6 +253,28 @@ fn serve_responses_bitwise_across_in_flight_bounds() {
     assert_eq!(one, four, "max-in-flight changed the stream");
 }
 
+/// The pool registry is a `BTreeMap` keyed by thread count (audit rule D1:
+/// no hash-order containers in deterministic modules), so the order in
+/// which experiment code first requests pool sizes cannot perturb the
+/// registry or any solve that runs afterwards. Scrambled acquisition must
+/// hand back the identical cached pools and leave output bitwise unchanged.
+#[test]
+fn pool_registry_is_acquisition_order_invariant() {
+    use psdp_parallel::pool_with_threads;
+    let inst = instance(13);
+    let opts = ApproxOptions::practical(0.15);
+    let before = run_with_threads(2, || solve_packing(&inst, &opts).unwrap());
+    for t in [4usize, 1, 3, 2, 4, 1] {
+        let a = pool_with_threads(t);
+        let b = pool_with_threads(t);
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "pool of size {t} was rebuilt, not cached");
+    }
+    let after = run_with_threads(2, || solve_packing(&inst, &opts).unwrap());
+    assert_eq!(before.value_lower.to_bits(), after.value_lower.to_bits());
+    assert_eq!(before.value_upper.to_bits(), after.value_upper.to_bits());
+    assert_eq!(before.decision_calls, after.decision_calls);
+}
+
 /// Workload generators are stable across calls and processes (fixed
 /// hashing, no global RNG state).
 #[test]

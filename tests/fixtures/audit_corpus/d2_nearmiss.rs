@@ -1,0 +1,19 @@
+use rayon::prelude::*;
+
+/// Sequential reduction: associates left-to-right, always.
+pub fn norm1_seq(xs: &[f64]) -> f64 {
+    xs.iter().map(|x| x.abs()).sum()
+}
+
+/// The `.sum()` is *inside* the per-item closure (each row reduced
+/// sequentially); the parallel chain itself ends in an order-preserving
+/// `collect`.
+pub fn row_norms(rows: &[Vec<f64>]) -> Vec<f64> {
+    rows.par_iter().map(|r| r.iter().map(|x| x.abs()).sum()).collect()
+}
+
+/// A reducer in the *next statement* is not part of the parallel chain.
+pub fn two_step(xs: &[f64]) -> f64 {
+    let mapped: Vec<f64> = xs.par_iter().map(|x| x * 2.0).collect();
+    mapped.iter().sum()
+}

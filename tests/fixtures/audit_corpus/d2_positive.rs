@@ -1,0 +1,9 @@
+use rayon::prelude::*;
+
+pub fn norm1(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x.abs()).sum()
+}
+
+pub fn dot(xs: &[f64], ys: &[f64]) -> f64 {
+    xs.par_iter().zip(ys).map(|(a, b)| a * b).reduce(|| 0.0, |a, b| a + b)
+}

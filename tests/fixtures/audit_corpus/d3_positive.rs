@@ -1,0 +1,18 @@
+use std::time::Instant;
+
+pub fn timed_step(budget_ms: u64) -> bool {
+    let start = Instant::now();
+    work();
+    start.elapsed().as_millis() as u64 <= budget_ms
+}
+
+pub fn ambient_seed() -> u64 {
+    let mut rng = rand::thread_rng();
+    rand::Rng::gen(&mut rng)
+}
+
+pub fn ambient_config() -> Option<String> {
+    std::env::var("PSDP_EPS").ok()
+}
+
+fn work() {}

@@ -1,0 +1,12 @@
+pub struct Stats {
+    pub wall_ms: f64,
+}
+
+pub fn solve_with_telemetry() -> Stats {
+    // psdp-audit: allow(D3, reason = "wall_ms is write-only telemetry; iteration logic never reads it")
+    let start = std::time::Instant::now();
+    work();
+    Stats { wall_ms: start.elapsed().as_secs_f64() * 1e3 }
+}
+
+fn work() {}

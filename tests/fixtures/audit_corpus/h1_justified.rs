@@ -1,0 +1,7 @@
+pub fn first_checked_then_unchecked(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    // SAFETY: the emptiness check above guarantees index 0 is in bounds.
+    Some(unsafe { *xs.get_unchecked(0) })
+}

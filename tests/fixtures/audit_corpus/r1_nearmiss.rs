@@ -1,0 +1,47 @@
+//! Request-path look-alikes that must not fire R1: slice patterns, range
+//! slicing, checked access, a parser method named `expect`, attributes,
+//! and panics confined to test code.
+
+pub struct Parser {
+    pos: usize,
+}
+
+impl Parser {
+    /// Same name as `Option::expect`, but a byte argument — a parser
+    /// primitive that returns a typed error.
+    pub fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.pos += 1;
+        if b == b'"' {
+            Ok(())
+        } else {
+            Err("expected quote".to_string())
+        }
+    }
+}
+
+pub fn pair(parts: &[&str]) -> Option<(String, String)> {
+    let [a, b] = parts else { return None };
+    Some((a.to_string(), b.to_string()))
+}
+
+pub fn window(bytes: &[u8], pos: usize) -> &[u8] {
+    &bytes[pos..pos + 4]
+}
+
+pub fn third(toks: &[&str]) -> Result<&str, String> {
+    toks.get(2).copied().ok_or_else(|| "missing token".to_string())
+}
+
+#[derive(Debug, Clone)]
+pub struct Header {
+    pub dims: [u32; 3],
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u8> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -1,0 +1,15 @@
+pub fn parse_header(toks: &[&str]) -> u32 {
+    let dim = toks[1];
+    dim.parse().unwrap()
+}
+
+pub fn dispatch(cmd: &str) -> &'static str {
+    match cmd {
+        "solve" => "ok",
+        other => unreachable!("command {other} was validated upstream"),
+    }
+}
+
+pub fn field(v: Option<&str>) -> String {
+    v.expect("field present").to_string()
+}

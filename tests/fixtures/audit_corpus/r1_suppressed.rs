@@ -1,0 +1,7 @@
+pub fn checked_write(row: &mut [f64], c: usize, v: f64) {
+    if c >= row.len() {
+        return;
+    }
+    // psdp-audit: allow(R1, reason = "c < row.len() by the guard two lines above")
+    row[c] = v;
+}

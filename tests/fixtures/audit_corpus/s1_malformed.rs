@@ -1,0 +1,7 @@
+// psdp-audit: allow(D1)
+use std::collections::HashMap;
+
+pub fn m() -> HashMap<u8, u8> {
+    // psdp-audit: allow(D1, reason = "")
+    HashMap::new()
+}
