@@ -1,10 +1,11 @@
-//! E4 wall-clock counterpart: the three exp(Phi).A engines on a fixed
-//! constraint set.
+//! E4/E14 wall-clock counterpart: the exp(Phi).A engines on fixed
+//! constraint sets, including the large-m regime where the expm-action
+//! (expv) path is expected to dominate (EXPERIMENTS.md E14).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use psdp_expdot::{Engine, EngineKind};
 use psdp_linalg::{sym_eigen, Mat};
-use psdp_sparse::PsdMatrix;
+use psdp_sparse::{Csr, PsdMatrix};
 use psdp_workloads::{random_factorized, RandomFactorized};
 
 fn fixture(m: usize) -> (Mat, Vec<PsdMatrix>) {
@@ -45,5 +46,55 @@ fn bench_engines(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_engines);
+/// E14: the m = 512 regime. The dense-eigendecomposition engine is O(m^3)
+/// per call; the Taylor+JL engine is O(k * m^2) dense GEMMs; the expv
+/// engine works through matvecs only, so on a sparse `Phi` (CSR operator,
+/// `compute_op`) its cost is nearly linear in nnz.
+fn bench_engines_large(c: &mut Criterion) {
+    let m = 512;
+    let mats = random_factorized(&RandomFactorized {
+        dim: m,
+        n: 8,
+        rank: 1,
+        nnz_per_col: 3,
+        width: 1.0,
+        seed: 5,
+    });
+    let mut phi = Mat::zeros(m, m);
+    for a in &mats {
+        a.add_scaled_into(&mut phi, 0.3);
+    }
+    phi.symmetrize();
+    let lam = sym_eigen(&phi).unwrap().lambda_max();
+    phi.scale(16.0 / lam); // kappa = 16: the solver's mid-bisection regime
+    let kappa = 16.0;
+    let sparse = Csr::from_dense(&phi, 0.0);
+
+    {
+        let mut g = c.benchmark_group("expdot_large");
+        g.sample_size(2); // one exact call eigendecomposes a 512x512 matrix
+        let eng = Engine::new(EngineKind::Exact, &mats, 0).unwrap();
+        g.bench_function(format!("exact_m{m}"), |b| {
+            b.iter(|| eng.compute(&phi, kappa, &mats, 1).unwrap())
+        });
+        g.finish();
+    }
+
+    let mut g = c.benchmark_group("expdot_large");
+    g.sample_size(10);
+    for kind in
+        [EngineKind::TaylorJl { eps: 0.25, sketch_const: 2.0 }, EngineKind::Expv { eps: 0.25 }]
+    {
+        let eng = Engine::new(kind, &mats, 0).unwrap();
+        g.bench_function(format!("{}_m{m}_dense", kind.name()), |b| {
+            b.iter(|| eng.compute(&phi, kappa, &mats, 1).unwrap())
+        });
+        g.bench_function(format!("{}_m{m}_sparse_op", kind.name()), |b| {
+            b.iter(|| eng.compute_op(&sparse, kappa, 1))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_engines_large);
 criterion_main!(benches);

@@ -25,14 +25,16 @@ USAGE:
   psdp generate --family <random|lp|graph|stars|figure1|mixed-lp|mixed-graph>
                 [--dim N] [--n N] [--seed S] [--width W] [--p P] [--ridge R] --out FILE
   psdp info FILE
-  psdp solve FILE [--eps E] [--engine auto|exact|taylor|jl] [--mode practical|strict] [--seed S] [--json]
+  psdp solve FILE [--eps E] [--engine auto|exact|taylor|jl|expv] [--mode practical|strict] [--seed S] [--json]
   psdp optimize FILE [--eps E] [--warm on|off] [--json]
-  psdp mixed FILE [--eps E] [--engine auto|exact|taylor|jl] [--seed S] [--warm on|off] [--json]
+  psdp mixed FILE [--eps E] [--engine auto|exact|taylor|jl|expv] [--seed S] [--warm on|off] [--json]
   psdp serve [--max-in-flight N] [--cache on|off]   (JSONL requests on stdin)
   psdp audit [--root PATH] [--config FILE] [--json] [--deny-warnings]
 
-The `auto` engine picks exact vs sketched-Taylor from the instance's
-storage profile (total nonzeros vs m²); `psdp solve` reports which one ran.
+The `auto` engine picks exact, sketched-Taylor, or the Krylov/Chebyshev
+expm-action engine (`expv`, alias `lanczos`) from the instance's storage
+profile (total nonzeros vs m², then dimension); `psdp solve` reports
+which one ran.
 `optimize` runs one prepared solver Session across all bisection brackets
 (engine built once, warm-started trajectory replay unless `--warm off`).
 `mixed` solves a mixed packing–covering instance (`psdp mixed 1` format,
@@ -65,7 +67,8 @@ pub(crate) fn engine_of(name: &str, eps: f64) -> Result<EngineKind, String> {
         "exact" => Ok(EngineKind::Exact),
         "taylor" => Ok(EngineKind::Taylor { eps: (eps * 0.5).min(0.2) }),
         "jl" => Ok(EngineKind::TaylorJl { eps: eps.min(0.3), sketch_const: 4.0 }),
-        other => Err(format!("unknown engine `{other}` (auto|exact|taylor|jl)")),
+        "expv" | "lanczos" => Ok(EngineKind::Expv { eps: eps.min(0.3) }),
+        other => Err(format!("unknown engine `{other}` (auto|exact|taylor|jl|expv)")),
     }
 }
 
@@ -602,6 +605,20 @@ mod tests {
         run(&["generate", "--family", "lp", "--dim", "3", "--n", "2", "--out", p]).unwrap();
         let err = run(&["solve", p, "--engine", "quantum"]).unwrap_err();
         assert!(err.contains("unknown engine"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn expv_engine_name_parses_and_solves() {
+        assert!(matches!(engine_of("expv", 0.2), Ok(EngineKind::Expv { .. })));
+        assert!(matches!(engine_of("lanczos", 0.2), Ok(EngineKind::Expv { .. })));
+        let dir = std::env::temp_dir().join("psdp-cli-test-expv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.psdp");
+        let p = path.to_str().unwrap();
+        run(&["generate", "--family", "lp", "--dim", "6", "--n", "4", "--out", p]).unwrap();
+        let out = run(&["solve", p, "--engine", "expv", "--json"]).unwrap();
+        assert!(out.contains("\"engine\":\"expv\""), "{out}");
         std::fs::remove_file(&path).ok();
     }
 

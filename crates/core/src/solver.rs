@@ -580,9 +580,12 @@ impl<'i, 's> Session<'i, 's> {
         let mut psi = PsiMaintainer::new(inst, &x, opts.psi_rebuild_period);
 
         let engine_kind = engine.kind();
+        // Only the engines that can materialize a dense P (exact always,
+        // Taylor via one extra symmetric square) feed the primal average;
+        // the sketched and expm-action engines never form exp(Φ).
         let accumulate_y = opts.primal_matrix_dim_limit > 0
             && m <= opts.primal_matrix_dim_limit
-            && !matches!(engine_kind, EngineKind::TaylorJl { .. });
+            && matches!(engine_kind, EngineKind::Exact | EngineKind::Taylor { .. });
         let mut y_acc: Option<Mat> = accumulate_y.then(|| Mat::zeros(m, m));
 
         // Replay arming: needs a cold start, a compatible cached

@@ -12,12 +12,22 @@
 //! * [`EngineKind::TaylorJl`] — Theorem 4.1 proper: Taylor + Gaussian JL
 //!   sketch with `O(ε⁻² log m)` rows; nearly-linear work in the factorization
 //!   size `q`, which is what Corollary 1.2's work bound needs.
+//! * [`EngineKind::Expv`] — Krylov/Chebyshev expm-action (no Taylor series,
+//!   no materialized `exp`): the trace comes from a Chebyshev expansion of
+//!   `exp(Φ/2)` applied to JL probes, the dots from deterministic per-column
+//!   restarted Lanczos on the constraint factors. Roughly 14× fewer operator
+//!   applications than Lemma 4.2 at the same `κ` (degree `≈ κ/4 + O(√κ)`
+//!   versus `e²κ/2`), with *no* sketch distortion on the dots. See DESIGN.md
+//!   §12 for the kernel-layer contract.
 //!
 //! All engines report analytic work–depth [`Cost`]s so experiment E5 can
 //! check the near-linear-work claim without trusting wall clocks.
 
 use crate::gauss::{gaussian_sketch, jl_rows};
-use psdp_linalg::{apply_exp_taylor_block, sym_eigen, taylor_degree, LinalgError, Mat, SymOp};
+use psdp_linalg::{
+    apply_exp_taylor_block, expm_action_chebyshev, expm_action_lanczos, sym_eigen, taylor_degree,
+    vecops, LinalgError, Mat, SymOp,
+};
 use psdp_parallel::Cost;
 use psdp_sparse::{FactorPsd, PsdMatrix};
 use rayon::prelude::*;
@@ -67,6 +77,18 @@ pub enum EngineKind {
         /// Multiplier on the JL row count `c·ln(m)/ε²`; 4.0 is a sane default.
         sketch_const: f64,
     },
+    /// Krylov/Chebyshev expm-action: `Tr[exp Φ]` from a Chebyshev expansion
+    /// applied to JL probes, `exp(Φ)•Aᵢ` from restarted Lanczos on each
+    /// factor column (deterministic — the sketch only touches the trace).
+    /// All internal values live in the log-scale frame `e^{−κ}`, so any
+    /// `‖Φ‖₂` is safe. The polynomial/Krylov truncation error is held at
+    /// `≈1e-9` relative (drift-checked a posteriori), so `eps` only governs
+    /// the trace's JL distortion.
+    Expv {
+        /// Two-sided relative accuracy of the trace estimate (JL rows scale
+        /// as `ln(m)/ε²`); the dots are exact up to the `1e-9` kernel floor.
+        eps: f64,
+    },
     /// Pick the engine from the instance's storage profile at
     /// [`Engine::new`] time: small or storage-dense instances get
     /// [`EngineKind::Exact`] (one `O(m³)` eigendecomposition beats a
@@ -83,6 +105,20 @@ pub enum EngineKind {
 /// Matrix dimension below which `Auto` always picks the exact engine.
 const AUTO_EXACT_DIM: usize = 64;
 
+/// Matrix dimension at which `Auto` upgrades a sparse instance from the
+/// sketched-Taylor engine to the Krylov/Chebyshev expm-action engine: above
+/// here the Lemma 4.2 degree (`≈ 7.4κ`) dominates the iteration cost and
+/// the `≈ κ/4` Chebyshev/Lanczos paths win decisively (experiment E14).
+const AUTO_EXPV_DIM: usize = 256;
+
+/// JL row multiplier used by the expv engine's trace probes.
+const EXPV_SKETCH_CONST: f64 = 4.0;
+
+/// Relative truncation target for the expv engine's Chebyshev tails and
+/// Lanczos substep convergence — far below any solver `eps`, so the
+/// engine's end-to-end error is dominated by the trace's JL distortion.
+const EXPV_POLY_TOL: f64 = 1e-9;
+
 impl EngineKind {
     /// Short name for tables and telemetry.
     pub fn name(&self) -> &'static str {
@@ -90,6 +126,7 @@ impl EngineKind {
             EngineKind::Exact => "exact",
             EngineKind::Taylor { .. } => "taylor",
             EngineKind::TaylorJl { .. } => "taylor+jl",
+            EngineKind::Expv { .. } => "expv",
             EngineKind::Auto { .. } => "auto",
         }
     }
@@ -100,15 +137,19 @@ impl EngineKind {
     ///
     /// Heuristic: exact when `m < 64` (eigendecomposition is cheap and
     /// exactness buys iteration count) or when the storage is dense-ish
-    /// (`q ≥ m²/4`, so sparsity cannot pay for the Taylor degree); sketched
-    /// Taylor otherwise, where per-iteration work `O(q·degree·log m / ε²)`
-    /// undercuts the `O(n·m² + m³)` dense path.
+    /// (`q ≥ m²/4`, so sparsity cannot pay for the Taylor degree); for the
+    /// remaining sparse instances, sketched Taylor up to `m < 256` and the
+    /// Krylov/Chebyshev expm-action engine at `m ≥ 256`, where its
+    /// `O(κ)`-smaller polynomial degree dominates every other term in the
+    /// per-iteration work (E14).
     pub fn resolve(self, dim: usize, total_storage_nnz: usize) -> EngineKind {
         match self {
             EngineKind::Auto { eps } => {
                 let m2 = dim.saturating_mul(dim);
                 if dim < AUTO_EXACT_DIM || total_storage_nnz.saturating_mul(4) >= m2 {
                     EngineKind::Exact
+                } else if dim >= AUTO_EXPV_DIM {
+                    EngineKind::Expv { eps }
                 } else {
                     EngineKind::TaylorJl { eps, sketch_const: 4.0 }
                 }
@@ -149,6 +190,9 @@ pub struct Engine {
     seed: u64,
     /// Factorized constraints (empty for the exact engine).
     factors: Vec<FactorPsd>,
+    /// Dense factor columns, precomputed for the expv engine's per-column
+    /// Lanczos sweeps (empty for every other kind).
+    expv_cols: Vec<Vec<Vec<f64>>>,
     /// Total factor nonzeros `q` (work accounting).
     q_nnz: usize,
     dim: usize,
@@ -171,7 +215,18 @@ impl Engine {
             Vec::new()
         };
         let q_nnz = factors.iter().map(|f| f.factor_nnz()).sum();
-        Ok(Engine { kind, seed, factors, q_nnz, dim })
+        let expv_cols = if matches!(kind, EngineKind::Expv { .. }) {
+            factors
+                .iter()
+                .map(|f| {
+                    let dense = f.factor().to_dense();
+                    (0..dense.ncols()).map(|j| dense.col(j)).collect()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Ok(Engine { kind, seed, factors, expv_cols, q_nnz, dim })
     }
 
     /// The strategy this engine uses. Always a concrete kind: an
@@ -226,6 +281,7 @@ impl Engine {
             EngineKind::TaylorJl { eps, sketch_const } => {
                 Ok(self.compute_taylor_jl(phi, kappa, eps, sketch_const, stream))
             }
+            EngineKind::Expv { eps } => Ok(self.expv_impl(phi, kappa, eps, stream)),
             EngineKind::Auto { .. } => unreachable!("Auto resolved in Engine::new"),
         }
     }
@@ -247,6 +303,7 @@ impl Engine {
             EngineKind::TaylorJl { eps, sketch_const } => {
                 self.jl_impl(phi, kappa, eps, sketch_const, stream)
             }
+            EngineKind::Expv { eps } => self.expv_impl(phi, kappa, eps, stream),
             EngineKind::Auto { .. } => unreachable!("Auto resolved in Engine::new"),
         }
     }
@@ -272,7 +329,11 @@ impl Engine {
                 let degree = taylor_degree((kappa * 0.5).max(0.0), eps * 0.5);
                 let half = HalfOp { inner: phi };
                 let s = apply_exp_taylor_block(&half, &Mat::identity(self.dim), degree);
-                let mut w = psdp_linalg::matmul(&s, &s);
+                // W = S·Sᵀ via the half-flops symmetric-square kernel; S is
+                // symmetric up to rounding, so this equals S² and is exactly
+                // symmetric by construction (tr W = ‖S‖²_F = the taylor_impl
+                // trace).
+                let mut w = psdp_linalg::symmul(&s);
                 w.symmetrize();
                 let tr = w.trace();
                 if tr > 0.0 {
@@ -367,6 +428,101 @@ impl Engine {
         ExpDots { tr_w, dots, log_scale: 0.0, cost, degree, sketch_rows: rows, dense_p: None }
     }
 
+    /// Krylov/Chebyshev expm-action evaluation (the `Expv` engine).
+    ///
+    /// Frame: everything is reported at `log_scale = κ` (the caller's `‖Φ‖₂`
+    /// bound), i.e. `tr_w ≈ e^{−κ}·Tr[exp Φ]` and
+    /// `dots[i] ≈ e^{−κ}·exp(Φ)•Aᵢ`, so no intermediate can overflow at any
+    /// `κ`. The trace uses `jl_rows(m, ε/2)` Gaussian probes through a
+    /// Chebyshev expansion of `exp(Φ/2)`; the dots run restarted Lanczos on
+    /// each dense factor column (deterministic — a Lanczos failure of the
+    /// tiny tridiagonal eigensolve falls back to the infallible Chebyshev
+    /// path for that column).
+    fn expv_impl(&self, phi: &dyn SymOp, kappa: f64, eps: f64, stream: u64) -> ExpDots {
+        let m = self.dim;
+        let kappa_half = (kappa * 0.5).max(0.0);
+        let log_scale = 2.0 * kappa_half;
+        let half = HalfOp { inner: phi };
+
+        // Tr[exp Φ]·e^{−κ} ≈ Σ_probes e^{2·ln‖exp(Φ/2)p‖ − κ}, each probe
+        // through the same log-domain Lanczos as the dots below. Running
+        // the trace in log scale is essential, not cosmetic: κ is only an
+        // *upper bound* on ‖Φ‖ (Gershgorin overshoots λmax by up to 2× on
+        // Laplacian-like Φ), and a fixed-frame polynomial apply has
+        // absolute accuracy ~tol, so once κ − λmax ≳ 40 the true
+        // e^{λ−κ}-sized trace drowns in approximation noise while the
+        // log-domain dots stay relatively accurate — inconsistent ratios
+        // that can fabricate solver certificates. Per-probe log norms keep
+        // trace and dots in the same relative-accuracy regime at any κ.
+        //
+        // When the JL row count reaches the dimension, the sketch is
+        // pointless: m identity probes give Tr[exp Φ] exactly (up to the
+        // Krylov tolerance) for no more work — so cap at m and drop the
+        // sketch distortion entirely.
+        let jl = jl_rows(m, eps * 0.5, EXPV_SKETCH_CONST);
+        let (probes, rows) = if jl >= m {
+            let eye: Vec<Vec<f64>> = (0..m)
+                .map(|j| {
+                    let mut e = vec![0.0; m];
+                    e[j] = 1.0;
+                    e
+                })
+                .collect();
+            (eye, m)
+        } else {
+            let pi = gaussian_sketch(jl, m, self.seed, stream);
+            ((0..jl).map(|r| pi.row(r).to_vec()).collect(), jl)
+        };
+        let probe_terms: Vec<(f64, usize)> = probes
+            .par_iter()
+            .map(|p| {
+                let (log_norm, mv) = expv_column_log_norm(&half, p, kappa_half);
+                ((2.0 * log_norm - log_scale).exp(), mv)
+            })
+            .collect();
+        // Sequential sum in probe order: no parallel float reduction.
+        let tr_w: f64 = probe_terms.iter().map(|&(v, _)| v).sum();
+        let probe_matvecs: usize = probe_terms.iter().map(|&(_, mv)| mv).sum();
+
+        // exp(Φ)•Aᵢ·e^{−κ} = Σ_cols e^{2·ln‖exp(Φ/2)c‖ − κ}, per-column
+        // Lanczos in log-scale. Parallel over factors; the per-factor sum is
+        // sequential (fixed order, no parallel float reduction).
+        let per_factor: Vec<(f64, usize)> = self
+            .expv_cols
+            .par_iter()
+            .map(|cols| {
+                let mut dot = 0.0;
+                let mut matvecs = 0usize;
+                for c in cols {
+                    let (log_norm, mv) = expv_column_log_norm(&half, c, kappa_half);
+                    matvecs += mv;
+                    dot += (2.0 * log_norm - log_scale).exp();
+                }
+                (dot, matvecs)
+            })
+            .collect();
+        let dots: Vec<f64> = per_factor.iter().map(|&(d, _)| d).collect();
+        let col_matvecs: usize = per_factor.iter().map(|&(_, mv)| mv).sum();
+
+        let phi_nnz = phi.nnz();
+        // `degree` reports the largest matvec count any one probe (or
+        // factor) evaluation needed — the serial depth of the evaluation.
+        let degree = probe_terms
+            .iter()
+            .map(|&(_, mv)| mv)
+            .chain(per_factor.iter().map(|&(_, mv)| mv))
+            .max()
+            .unwrap_or(0);
+        let apply_work = 2.0 * (phi_nnz * probe_matvecs) as f64;
+        let dots_work = 2.0 * (phi_nnz * col_matvecs) as f64;
+        let krylov_depth = col_matvecs as f64 / self.expv_cols.len().max(1) as f64;
+        let cost = Cost::new(
+            apply_work + dots_work + (rows * m) as f64,
+            (degree as f64 + krylov_depth) * (m.max(2) as f64).log2(),
+        );
+        ExpDots { tr_w, dots, log_scale, cost, degree, sketch_rows: rows, dense_p: None }
+    }
+
     /// Given `S ≈ exp(Φ/2)` (dense `m × m`), return all `‖S Qᵢ‖²_F`.
     fn dots_from_block(&self, s: &Mat) -> Vec<f64> {
         self.factors
@@ -376,6 +532,21 @@ impl Engine {
                 FactorPsd::exp_dot_from_block(&sq)
             })
             .collect()
+    }
+}
+
+/// `ln‖exp(Φ/2)·c‖` for one factor column, plus the operator applications
+/// spent. Restarted Lanczos with a Chebyshev fallback if the tridiagonal
+/// eigensolve fails (both deterministic, so the fallback is too).
+fn expv_column_log_norm(half: &HalfOp, c: &[f64], kappa_half: f64) -> (f64, usize) {
+    match expm_action_lanczos(half, c, kappa_half, EXPV_POLY_TOL) {
+        Ok(r) => (r.log_norm, r.matvecs),
+        Err(_) => {
+            let (y, ls) = expm_action_chebyshev(half, c, kappa_half, EXPV_POLY_TOL);
+            let n = vecops::norm2(&y);
+            let log_norm = if n == 0.0 { f64::NEG_INFINITY } else { n.ln() + ls };
+            (log_norm, 0)
+        }
     }
 }
 
@@ -582,6 +753,7 @@ mod tests {
         assert_eq!(EngineKind::Exact.name(), "exact");
         assert_eq!(EngineKind::Taylor { eps: 0.1 }.name(), "taylor");
         assert_eq!(EngineKind::TaylorJl { eps: 0.1, sketch_const: 1.0 }.name(), "taylor+jl");
+        assert_eq!(EngineKind::Expv { eps: 0.1 }.name(), "expv");
         assert_eq!(EngineKind::Auto { eps: 0.1 }.name(), "auto");
     }
 
@@ -592,12 +764,110 @@ mod tests {
         assert_eq!(auto.resolve(8, 2), EngineKind::Exact);
         // Large and sparse (q ≪ m²): sketched Taylor.
         assert!(matches!(auto.resolve(128, 512), EngineKind::TaylorJl { .. }));
-        // Large but storage-dense (q ≈ m²): exact.
+        // Very large and sparse: the Krylov/Chebyshev expm-action engine.
+        assert!(matches!(auto.resolve(512, 4096), EngineKind::Expv { .. }));
+        assert!(matches!(auto.resolve(256, 1024), EngineKind::Expv { .. }));
+        // Large but storage-dense (q ≈ m²): exact, regardless of size.
         assert_eq!(auto.resolve(128, 128 * 128), EngineKind::Exact);
+        assert_eq!(auto.resolve(512, 512 * 512), EngineKind::Exact);
         // Concrete kinds pass through untouched.
         assert_eq!(EngineKind::Exact.resolve(128, 1), EngineKind::Exact);
         let t = EngineKind::Taylor { eps: 0.1 };
         assert_eq!(t.resolve(128, 1), t);
+    }
+
+    #[test]
+    fn expv_engine_dots_match_exact_trace_within_jl_band() {
+        let (phi, mats) = fixture(10, 3.0);
+        let eng = Engine::new(EngineKind::Expv { eps: 0.2 }, &mats, 42).unwrap();
+        let out = eng.compute(&phi, 3.0, &mats, 1).unwrap();
+        assert_eq!(out.log_scale, 3.0);
+        assert!(out.sketch_rows > 0);
+        let scale = out.log_scale.exp();
+        // Dots carry no sketch distortion: they match the exact reference up
+        // to the 1e-9 kernel floor plus the factorization tolerance.
+        for (i, a) in mats.iter().enumerate() {
+            let want = exp_dot_exact(&phi, a).unwrap();
+            let got = out.dots[i] * scale;
+            assert!((got - want).abs() < 1e-5 * want.max(1.0), "dot {i}: {got} vs {want}");
+        }
+        // The trace is a JL estimate: generous band like the taylor+jl test.
+        let want_tr = psdp_linalg::expm(&phi).unwrap().trace();
+        assert!((out.tr_w * scale - want_tr).abs() < 0.35 * want_tr);
+    }
+
+    #[test]
+    fn expv_engine_survives_large_norm() {
+        // ‖Φ‖ = 900 would overflow exp(κ); the log-scale frame must not.
+        let (mut phi, mats) = fixture(6, 1.0);
+        phi.scale(900.0);
+        let eng = Engine::new(EngineKind::Expv { eps: 0.3 }, &mats, 5).unwrap();
+        let out = eng.compute(&phi, 900.0, &mats, 0).unwrap();
+        assert!(out.tr_w.is_finite() && out.tr_w > 0.0);
+        assert!(out.dots.iter().all(|d| d.is_finite()));
+        assert_eq!(out.log_scale, 900.0);
+    }
+
+    #[test]
+    fn expv_deterministic_dots_independent_of_stream() {
+        let (phi, mats) = fixture(8, 2.0);
+        let eng = Engine::new(EngineKind::Expv { eps: 0.3 }, &mats, 7).unwrap();
+        let a = eng.compute(&phi, 2.0, &mats, 3).unwrap();
+        let b = eng.compute(&phi, 2.0, &mats, 3).unwrap();
+        assert_eq!(a.dots, b.dots);
+        assert_eq!(a.tr_w.to_bits(), b.tr_w.to_bits());
+        // At this size the JL row bound exceeds m, so the trace block is
+        // the m identity probes (exact trace): a different stream has
+        // nothing left to resample and the whole result is stream-free.
+        let c = eng.compute(&phi, 2.0, &mats, 4).unwrap();
+        assert_eq!(a.dots, c.dots);
+        assert_eq!(a.sketch_rows, 8);
+        assert_eq!(a.tr_w.to_bits(), c.tr_w.to_bits());
+    }
+
+    #[test]
+    fn expv_sketched_trace_regime_at_large_m() {
+        // m large enough (and eps loose enough) that the JL bound is below
+        // m: the trace goes through real Gaussian probes. Dots stay
+        // sketch-free, so a stream change moves tr_w and nothing else.
+        let m = 128;
+        let mats: Vec<PsdMatrix> = (0..4usize)
+            .map(|k| {
+                let trip = [(9 * k, 0, 1.0), (9 * k + 5, 0, 0.5)];
+                PsdMatrix::Factor(FactorPsd::new(Csr::from_triplets(m, 1, &trip)))
+            })
+            .collect();
+        let mut phi = Mat::zeros(m, m);
+        for a in &mats {
+            a.add_scaled_into(&mut phi, 0.4);
+        }
+        phi.symmetrize();
+        let eng = Engine::new(EngineKind::Expv { eps: 0.9 }, &mats, 5).unwrap();
+        let a = eng.compute(&phi, 2.0, &mats, 1).unwrap();
+        assert!(a.sketch_rows < m, "expected sketched regime, got {} rows", a.sketch_rows);
+        let c = eng.compute(&phi, 2.0, &mats, 2).unwrap();
+        assert_eq!(a.dots, c.dots, "dots are sketch-free");
+        assert_ne!(a.tr_w.to_bits(), c.tr_w.to_bits(), "trace probes must resample");
+        // Both estimates stay inside the (loose) JL band around the truth.
+        let exact =
+            Engine::new(EngineKind::Exact, &mats, 0).unwrap().compute(&phi, 2.0, &mats, 0).unwrap();
+        for t in [
+            a.tr_w * (a.log_scale - exact.log_scale).exp(),
+            c.tr_w * (c.log_scale - exact.log_scale).exp(),
+        ] {
+            assert!((t - exact.tr_w).abs() <= 0.9 * exact.tr_w, "trace {t} vs {}", exact.tr_w);
+        }
+    }
+
+    #[test]
+    fn expv_compute_op_matches_dense_compute() {
+        let (phi, mats) = fixture(9, 2.0);
+        let eng = Engine::new(EngineKind::Expv { eps: 0.3 }, &mats, 11).unwrap();
+        let a = eng.compute(&phi, 2.0, &mats, 7).unwrap();
+        let b = eng.compute_op(&phi, 2.0, 7);
+        assert_eq!(a.dots, b.dots);
+        assert_eq!(a.tr_w.to_bits(), b.tr_w.to_bits());
+        assert!(a.dense_p.is_none() && b.dense_p.is_none());
     }
 
     #[test]

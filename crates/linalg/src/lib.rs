@@ -13,6 +13,7 @@
 //! * [`mod@qr`] — Householder QR / orthonormalization,
 //! * [`funcs`] — matrix functions `exp`, `√`, pseudo `⁻¹ᐟ²`, PSD factorization,
 //! * [`poly`] — the Lemma 4.2 truncated-Taylor operator applied to blocks,
+//! * [`expmv`] — restarted-Lanczos / Chebyshev `exp(B)·x` without forming `exp(B)`,
 //! * [`norms`] — spectral-norm estimation (power iteration + certified bounds),
 //! * [`lanczos`] — Krylov extreme-eigenvalue estimation for large operators,
 //! * [`op`] — the [`op::SymOp`] abstraction the engines are written against.
@@ -25,6 +26,7 @@
 pub mod chol;
 pub mod eigen;
 pub mod error;
+pub mod expmv;
 pub mod funcs;
 pub mod gemm;
 pub mod lanczos;
@@ -38,8 +40,9 @@ pub mod vecops;
 pub use chol::{cholesky, is_positive_semidefinite, Cholesky};
 pub use eigen::{sym_eigen, SymEigen};
 pub use error::LinalgError;
+pub use expmv::{chebyshev_exp_block, expm_action_chebyshev, expm_action_lanczos, ExpmAction};
 pub use funcs::{expm, inv_sqrt_psd, psd_factor, sqrt_psd};
-pub use gemm::{matmul, matvec, matvec_transpose, quad_form};
+pub use gemm::{matmul, matvec, matvec_transpose, quad_form, symmul};
 pub use lanczos::{lambda_max_lanczos, lanczos_extreme, LanczosResult};
 pub use mat::Mat;
 pub use norms::{lambda_max_estimate, lambda_max_power, lambda_max_upper_bound};

@@ -220,6 +220,40 @@ mod tests {
     }
 
     #[test]
+    fn prep_key_separates_engine_kinds_including_expv() {
+        use psdp_expdot::EngineKind;
+        let mk = |engine| {
+            ServeRequest::decision(
+                "r",
+                inst(&[1.0, 2.0]),
+                1.0,
+                DecisionOptions::practical(0.1).with_engine(engine),
+            )
+        };
+        let kinds = [
+            EngineKind::Exact,
+            EngineKind::Taylor { eps: 0.1 },
+            EngineKind::TaylorJl { eps: 0.1, sketch_const: 4.0 },
+            EngineKind::Expv { eps: 0.1 },
+        ];
+        let keys: Vec<String> = kinds.iter().map(|&k| prep_key(&mk(k))).collect();
+        for i in 0..keys.len() {
+            for j in (i + 1)..keys.len() {
+                assert_ne!(
+                    keys[i],
+                    keys[j],
+                    "{} and {} must not share a prepared-solver fingerprint",
+                    kinds[i].name(),
+                    kinds[j].name()
+                );
+            }
+        }
+        // Same Expv eps → same fingerprint; different eps keys apart.
+        assert_eq!(prep_key(&mk(EngineKind::Expv { eps: 0.1 })), keys[3]);
+        assert_ne!(prep_key(&mk(EngineKind::Expv { eps: 0.2 })), keys[3]);
+    }
+
+    #[test]
     fn take_verifies_full_key_not_just_hash() {
         let mut cache = SolverCache::new(8);
         cache.insert(entry("key-a"));

@@ -118,18 +118,26 @@ impl BenchmarkGroup<'_> {
 /// Benchmark driver mirroring `criterion::Criterion`.
 pub struct Criterion {
     sample_size: u64,
+    /// `--test` mode (real criterion's smoke mode): run every benchmark
+    /// body exactly once to prove it executes, skip the timing loop.
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion { sample_size: 10, test_mode: false }
     }
 }
 
 impl Criterion {
-    /// Parse command-line configuration. The shim accepts and ignores
-    /// whatever harness flags `cargo bench` passes.
-    pub fn configure_from_args(self) -> Self {
+    /// Parse command-line configuration. Like real criterion, `--test`
+    /// switches to smoke mode (each benchmark runs once, untimed — CI uses
+    /// this to keep bench targets from rotting); every other harness flag
+    /// `cargo bench` passes is accepted and ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().skip(1).any(|a| a == "--test") {
+            self.test_mode = true;
+        }
         self
     }
 
@@ -153,6 +161,13 @@ impl Criterion {
     }
 
     fn run_one_with<F: FnMut(&mut Bencher)>(&mut self, id: &str, iters: u64, mut f: F) {
+        if self.test_mode {
+            // One untimed execution; a panic fails the smoke run.
+            let mut b = Bencher { iters: 1, last_median: Duration::ZERO };
+            f(&mut b);
+            println!("test bench {id} ... ok");
+            return;
+        }
         let mut b = Bencher { iters, last_median: Duration::ZERO };
         f(&mut b);
         println!("bench {:60} median {:>12.3?}  ({} iters)", id, b.last_median, b.iters);
@@ -212,6 +227,17 @@ mod tests {
         g2.bench_function("b", |b| b.iter(|| second += 1));
         g2.finish();
         assert_eq!(second, 11, "10 default samples + 1 warm-up");
+    }
+
+    #[test]
+    fn test_mode_runs_each_benchmark_once() {
+        let mut c = Criterion { test_mode: true, ..Default::default() };
+        let mut runs = 0u64;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(50);
+        g.bench_function("a", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 2, "warm-up + exactly one smoke iteration");
     }
 
     #[test]

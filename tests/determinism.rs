@@ -22,7 +22,11 @@ fn instance(seed: u64) -> PackingInstance {
 #[test]
 fn identical_runs_identical_outputs() {
     let inst = instance(17);
-    for kind in [EngineKind::Exact, EngineKind::TaylorJl { eps: 0.2, sketch_const: 4.0 }] {
+    for kind in [
+        EngineKind::Exact,
+        EngineKind::TaylorJl { eps: 0.2, sketch_const: 4.0 },
+        EngineKind::Expv { eps: 0.2 },
+    ] {
         let opts = DecisionOptions::practical(0.2).with_engine(kind).with_seed(9);
         let a = decision_psdp(&inst, &opts).unwrap();
         let b = decision_psdp(&inst, &opts).unwrap();
@@ -108,35 +112,71 @@ fn session_optimize_bitwise_across_thread_counts() {
     }
 }
 
+/// The same bitwise pool-width guarantee for `Session::optimize` under the
+/// Krylov/Chebyshev expm-action engine: its blocked-GEMM block applies,
+/// per-column Lanczos sweeps, and trace probes all decompose work in fixed
+/// shapes, so the whole bisection must reproduce bit for bit.
+#[test]
+fn session_optimize_bitwise_across_thread_counts_expv() {
+    for seed in [5u64, 31] {
+        let inst = instance(seed);
+        let mut opts = ApproxOptions::practical(0.15);
+        opts.decision = opts.decision.with_engine(EngineKind::Expv { eps: 0.2 }).with_seed(9);
+        let r1 = run_with_threads(1, || solve_packing(&inst, &opts).unwrap());
+        let r4 = run_with_threads(4, || solve_packing(&inst, &opts).unwrap());
+        assert_eq!(r1.value_lower.to_bits(), r4.value_lower.to_bits(), "seed {seed}");
+        assert_eq!(r1.value_upper.to_bits(), r4.value_upper.to_bits(), "seed {seed}");
+        assert_eq!(r1.decision_calls, r4.decision_calls, "seed {seed}");
+        assert_eq!(r1.total_iterations, r4.total_iterations, "seed {seed}");
+        match (&r1.best_dual, &r4.best_dual) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.value.to_bits(), b.value.to_bits(), "seed {seed}");
+                assert_eq!(a.x, b.x, "seed {seed}: dual vectors diverged across pools");
+            }
+            (None, None) => {}
+            _ => panic!("seed {seed}: dual presence changed with thread count"),
+        }
+    }
+}
+
 /// The mixed solver gets the same bitwise guarantee across pools, on both
 /// the diagonal-embedded LP family and the sparse graph family (the latter
 /// exercises the CSR scatter and sparse `weighted_sum` paths).
 #[test]
 fn mixed_solver_bitwise_across_thread_counts() {
     let instances = [mixed_lp_diagonal(5, 4, 6, 0.6, 3), mixed_edge_cover(&gnp(8, 0.6, 2), 0.5)];
-    let opts = MixedApproxOptions::practical(0.15);
-    for (i, inst) in instances.iter().enumerate() {
-        let r1 = run_with_threads(1, || solve_mixed(inst, &opts).unwrap());
-        let r4 = run_with_threads(4, || solve_mixed(inst, &opts).unwrap());
-        assert_eq!(r1.threshold_lower.to_bits(), r4.threshold_lower.to_bits(), "inst {i}");
-        assert_eq!(r1.threshold_upper.to_bits(), r4.threshold_upper.to_bits(), "inst {i}");
-        assert_eq!(r1.decision_calls, r4.decision_calls, "inst {i}");
-        assert_eq!(r1.total_iterations, r4.total_iterations, "inst {i}");
-        match (&r1.best_point, &r4.best_point) {
-            (Some(a), Some(b)) => {
-                assert_eq!(a.cover_lambda_min.to_bits(), b.cover_lambda_min.to_bits(), "inst {i}");
-                assert_eq!(a.x, b.x, "inst {i}: witness diverged across pools");
+    // Default (exact) packing engine on the first pass, the expm-action
+    // engine on the second: both must be pool-width invariant.
+    let mut expv = MixedApproxOptions::practical(0.15);
+    expv.decision = expv.decision.with_engine(EngineKind::Expv { eps: 0.2 });
+    for opts in [MixedApproxOptions::practical(0.15), expv] {
+        for (i, inst) in instances.iter().enumerate() {
+            let r1 = run_with_threads(1, || solve_mixed(inst, &opts).unwrap());
+            let r4 = run_with_threads(4, || solve_mixed(inst, &opts).unwrap());
+            assert_eq!(r1.threshold_lower.to_bits(), r4.threshold_lower.to_bits(), "inst {i}");
+            assert_eq!(r1.threshold_upper.to_bits(), r4.threshold_upper.to_bits(), "inst {i}");
+            assert_eq!(r1.decision_calls, r4.decision_calls, "inst {i}");
+            assert_eq!(r1.total_iterations, r4.total_iterations, "inst {i}");
+            match (&r1.best_point, &r4.best_point) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(
+                        a.cover_lambda_min.to_bits(),
+                        b.cover_lambda_min.to_bits(),
+                        "inst {i}"
+                    );
+                    assert_eq!(a.x, b.x, "inst {i}: witness diverged across pools");
+                }
+                (None, None) => {}
+                _ => panic!("inst {i}: witness presence changed with thread count"),
             }
-            (None, None) => {}
-            _ => panic!("inst {i}: witness presence changed with thread count"),
-        }
-        match (&r1.infeasibility_witness, &r4.infeasibility_witness) {
-            (Some(a), Some(b)) => {
-                assert_eq!(a.margin.to_bits(), b.margin.to_bits(), "inst {i}");
-                assert_eq!(a.sigma.to_bits(), b.sigma.to_bits(), "inst {i}");
+            match (&r1.infeasibility_witness, &r4.infeasibility_witness) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.margin.to_bits(), b.margin.to_bits(), "inst {i}");
+                    assert_eq!(a.sigma.to_bits(), b.sigma.to_bits(), "inst {i}");
+                }
+                (None, None) => {}
+                _ => panic!("inst {i}: infeasibility witness presence changed with thread count"),
             }
-            (None, None) => {}
-            _ => panic!("inst {i}: infeasibility witness presence changed with thread count"),
         }
     }
 }

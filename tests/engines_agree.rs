@@ -18,10 +18,11 @@ fn instance(seed: u64) -> PackingInstance {
     factorized_instance(&FactorizedSpec::new(10, 7, seed).with_width(1.5))
 }
 
-const ENGINES: [EngineKind; 3] = [
+const ENGINES: [EngineKind; 4] = [
     EngineKind::Exact,
     EngineKind::Taylor { eps: 0.05 },
     EngineKind::TaylorJl { eps: 0.15, sketch_const: 6.0 },
+    EngineKind::Expv { eps: 0.15 },
 ];
 
 /// All engines certify the same side with comparable values.
@@ -81,6 +82,16 @@ fn primitive_level_agreement() {
     let j = jl.compute(&phi, kappa, mats, 1).unwrap();
     for (g, e) in j.dots.iter().zip(&exact) {
         assert!((g - e).abs() < 0.3 * e.max(1e-9), "jl {g} vs {e}");
+    }
+
+    // The expm-action engine's dots are sketch-free: they must land on the
+    // exact values up to the kernel's 1e-9 floor (plus factorization slack),
+    // an order tighter than either Taylor band.
+    let expv = Engine::new(EngineKind::Expv { eps: 0.15 }, mats, 7).unwrap();
+    let v = expv.compute(&phi, kappa, mats, 1).unwrap();
+    let scale = v.log_scale.exp();
+    for (g, e) in v.dots.iter().zip(&exact) {
+        assert!((g * scale - e).abs() < 1e-6 * e.max(1.0), "expv {} vs {e}", g * scale);
     }
 }
 
@@ -213,6 +224,62 @@ fn solver_api_matches_legacy_free_functions() {
         assert_eq!(legacy.value_upper.to_bits(), direct.value_upper.to_bits());
         assert_eq!(legacy.decision_calls, direct.decision_calls);
         assert_eq!(legacy.total_iterations, direct.total_iterations);
+    }
+}
+
+/// Verdict agreement on the E8/E9 experiment workloads: bisection under the
+/// expm-action engine must certify the same bracket as the exact engine —
+/// overlapping certified intervals of the same relative width — on the
+/// diagonal-LP family (E8) and the paper's Figure 1 ellipse-packing
+/// instance (E9).
+#[test]
+fn expv_certifies_same_brackets_as_exact_on_e8_e9_workloads() {
+    let mut instances: Vec<(String, PackingInstance)> = Vec::new();
+    for seed in [1u64, 2] {
+        let mats = psdp_workloads::random_lp_diagonal(8, 6, 0.6, seed);
+        instances.push((format!("diagonal(s{seed})"), PackingInstance::new(mats).unwrap()));
+    }
+    instances.push((
+        "figure1".into(),
+        PackingInstance::new(psdp_workloads::figure1_instance()).unwrap(),
+    ));
+    instances.push((
+        "edge_packing".into(),
+        PackingInstance::new(edge_packing(&gnp(8, 0.4, 7))).unwrap(),
+    ));
+
+    let eps = 0.1;
+    for (name, inst) in &instances {
+        let exact_opts = ApproxOptions::practical(eps);
+        let mut expv_opts = ApproxOptions::practical(eps);
+        expv_opts.decision =
+            expv_opts.decision.with_engine(EngineKind::Expv { eps: 0.05 }).with_seed(3);
+
+        let re = solve_packing(inst, &exact_opts).unwrap();
+        let rv = solve_packing(inst, &expv_opts).unwrap();
+        assert!(re.converged && rv.converged, "{name}: a bisection failed to converge");
+        // Both brackets are *certified* (every bound comes from a verified
+        // certificate), so they must overlap…
+        assert!(
+            rv.value_lower <= re.value_upper && re.value_lower <= rv.value_upper,
+            "{name}: disjoint certified brackets: exact [{}, {}] vs expv [{}, {}]",
+            re.value_lower,
+            re.value_upper,
+            rv.value_lower,
+            rv.value_upper
+        );
+        // …and agree on the optimum to the combined bisection accuracy.
+        let mid_e = 0.5 * (re.value_lower + re.value_upper);
+        let mid_v = 0.5 * (rv.value_lower + rv.value_upper);
+        assert!(
+            (mid_e - mid_v).abs() <= 2.0 * eps * mid_e.max(1e-12),
+            "{name}: bracket centers diverged: {mid_e} vs {mid_v}"
+        );
+        // The duals each engine certifies must verify on the instance.
+        if let (Some(de), Some(dv)) = (&re.best_dual, &rv.best_dual) {
+            assert!(verify_dual(inst, de, 1e-7).feasible, "{name}: exact dual");
+            assert!(verify_dual(inst, dv, 1e-7).feasible, "{name}: expv dual");
+        }
     }
 }
 

@@ -1,0 +1,235 @@
+//! Kernel-equivalence gate for the expm stack (DESIGN.md §12).
+//!
+//! The PR-7 kernel layer replaced the naive GEMM with a blocked/panelized
+//! kernel and added Krylov/Chebyshev expm-action paths. This suite is the
+//! differential gate that lets those kernels evolve safely:
+//!
+//! * the blocked GEMM must be **bitwise** equal to the textbook i-k-j
+//!   reference, for every shape and every rayon pool width — the
+//!   determinism contract every verdict-certification test leans on;
+//! * `symmul` must be bitwise equal to `matmul(S, S)` on symmetric input;
+//! * the Lanczos and Chebyshev expm-action paths must agree with the dense
+//!   `exp_dot_exact` reference within their documented tolerance (the
+//!   `1e-9` kernel floor plus factorization slack — we assert `1e-5`
+//!   relative) on random factorized and sparse instances, and be bitwise
+//!   pool-width invariant.
+//!
+//! CI runs this file in the fail-fast tier under both entries of the
+//! `RAYON_NUM_THREADS ∈ {1, 4}` matrix; the explicit `run_with_threads`
+//! comparisons below additionally pin the two pool widths against each
+//! other inside one process.
+
+use proptest::prelude::*;
+use psdp_expdot::{exp_dot_exact, Engine, EngineKind};
+use psdp_linalg::{
+    chebyshev_exp_block, expm_action_lanczos, lambda_max_upper_bound, matmul, symmul, Mat,
+};
+use psdp_parallel::run_with_threads;
+use psdp_test_support::{arb_factorized_instance, arb_sparse_graph_instance};
+
+/// Textbook i-k-j scalar reference kernel: per output element, terms are
+/// added one at a time in increasing `k` order — the exact accumulation
+/// order the blocked kernel contracts to preserve.
+fn reference_matmul(a: &Mat, b: &Mat) -> Mat {
+    let (m, k, n) = (a.nrows(), a.ncols(), b.ncols());
+    let mut c = Mat::zeros(m, n);
+    for i in 0..m {
+        for kk in 0..k {
+            let aik = a[(i, kk)];
+            for j in 0..n {
+                c[(i, j)] += aik * b[(kk, j)];
+            }
+        }
+    }
+    c
+}
+
+/// Deterministic pseudo-random matrix (no RNG: pure hash of indices+salt).
+fn pseudo(m: usize, n: usize, salt: u64) -> Mat {
+    Mat::from_fn(m, n, |i, j| {
+        let h = (i as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add((j as u64).wrapping_mul(1442695040888963407))
+            .wrapping_add(salt.wrapping_mul(2654435761));
+        ((h >> 11) % 4000) as f64 / 1999.0 - 1.0
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Blocked GEMM ≡ reference, bitwise, across pool widths {1, 4}, over
+    /// random shapes spanning every dispatch boundary (serial/parallel
+    /// cutover, row-chunk size, k-panel size, unroll remainder).
+    #[test]
+    fn blocked_gemm_bitwise_equals_reference(
+        m in 1usize..40,
+        k in 1usize..80,
+        n in 1usize..24,
+        salt in 0u64..1000,
+    ) {
+        let a = pseudo(m, k, salt);
+        let b = pseudo(k, n, salt.wrapping_add(1));
+        let want = reference_matmul(&a, &b);
+        let c1 = run_with_threads(1, || matmul(&a, &b));
+        let c4 = run_with_threads(4, || matmul(&a, &b));
+        prop_assert_eq!(c1.as_slice(), want.as_slice(), "pool=1 diverged from reference");
+        prop_assert_eq!(c4.as_slice(), want.as_slice(), "pool=4 diverged from reference");
+    }
+
+    /// Symmetric-square kernel ≡ general GEMM, bitwise, on symmetric input,
+    /// across pool widths.
+    #[test]
+    fn symmul_bitwise_equals_matmul(m in 1usize..48, salt in 0u64..1000) {
+        let mut s = pseudo(m, m, salt);
+        s.symmetrize();
+        let want = matmul(&s, &s);
+        let c1 = run_with_threads(1, || symmul(&s));
+        let c4 = run_with_threads(4, || symmul(&s));
+        prop_assert_eq!(c1.as_slice(), want.as_slice(), "pool=1 symmul diverged");
+        prop_assert_eq!(c4.as_slice(), want.as_slice(), "pool=4 symmul diverged");
+    }
+
+    /// The expv engine vs the dense reference on random factorized
+    /// instances: dots within the documented 1e-5 relative band (kernel
+    /// floor 1e-9 + factorization slack), bitwise pool-width invariant.
+    #[test]
+    fn expv_engine_matches_exact_on_factorized(inst in arb_factorized_instance()) {
+        assert_expv_matches_exact(&inst);
+    }
+
+    /// Same gate on random sparse (CSR edge-Laplacian) instances.
+    #[test]
+    fn expv_engine_matches_exact_on_sparse(inst in arb_sparse_graph_instance()) {
+        assert_expv_matches_exact(&inst);
+    }
+}
+
+fn assert_expv_matches_exact(inst: &psdp_core::PackingInstance) {
+    let n = inst.n();
+    // Deterministic dual point with spread-out weights.
+    let x: Vec<f64> = (0..n).map(|i| 0.05 + 0.03 * (i % 5) as f64).collect();
+    let mut phi = inst.weighted_sum(&x);
+    phi.symmetrize();
+    let kappa = lambda_max_upper_bound(&phi);
+
+    let eng = Engine::new(EngineKind::Expv { eps: 0.2 }, inst.mats(), 7).unwrap();
+    let out1 = run_with_threads(1, || eng.compute(&phi, kappa, inst.mats(), 3).unwrap());
+    let out4 = run_with_threads(4, || eng.compute(&phi, kappa, inst.mats(), 3).unwrap());
+
+    // Bitwise pool-width invariance of the full evaluation.
+    assert_eq!(out1.tr_w.to_bits(), out4.tr_w.to_bits(), "trace diverged across pools");
+    for (a, b) in out1.dots.iter().zip(&out4.dots) {
+        assert_eq!(a.to_bits(), b.to_bits(), "a dot diverged across pools");
+    }
+
+    // Accuracy against the dense reference (documented tolerance).
+    let scale = out1.log_scale.exp();
+    for (i, a) in inst.mats().iter().enumerate() {
+        let want = exp_dot_exact(&phi, a).unwrap();
+        let got = out1.dots[i] * scale;
+        assert!(
+            (got - want).abs() <= 1e-5 * want.abs().max(1e-8),
+            "dot {i}: expv {got} vs exact {want} (m={}, kappa={kappa})",
+            inst.dim()
+        );
+    }
+}
+
+/// The two expm-action paths against the dense `expm` reference and each
+/// other on a moderately conditioned PSD matrix, including the
+/// time-stepping regime (κ > 16 forces multiple Lanczos substeps).
+#[test]
+fn lanczos_and_chebyshev_match_dense_expm() {
+    for (m, kappa) in [(9usize, 2.0f64), (14, 8.0), (11, 24.0)] {
+        let mut b = pseudo(m, m, m as u64);
+        b.symmetrize();
+        let eig = psdp_linalg::sym_eigen(&b).unwrap();
+        b.add_diag(-eig.lambda_min().min(0.0) + 0.01);
+        let lmax = psdp_linalg::sym_eigen(&b).unwrap().lambda_max();
+        b.scale(kappa / lmax);
+
+        let truth = psdp_linalg::expm(&b).unwrap();
+        let x: Vec<f64> = (0..m).map(|i| ((i * 3 + 1) % 7) as f64 * 0.2 - 0.5).collect();
+        let want = psdp_linalg::matvec(&truth, &x);
+        let wnorm = psdp_linalg::vecops::norm2(&want);
+
+        // Lanczos path.
+        let lan = expm_action_lanczos(&b, &x, kappa, 1e-11).unwrap();
+        assert!(lan.residual <= 1e-10, "m={m} kappa={kappa}: residual {}", lan.residual);
+        for (i, &wi) in want.iter().enumerate() {
+            let got = lan.log_norm.exp() * lan.v[i];
+            assert!(
+                (got - wi).abs() <= 1e-7 * wnorm,
+                "lanczos m={m} kappa={kappa} entry {i}: {got} vs {wi}"
+            );
+        }
+
+        // Chebyshev path (block of one column).
+        let mut block = Mat::zeros(m, 1);
+        block.set_col(0, &x);
+        let applied = chebyshev_exp_block(&b, &block, kappa, 1e-11);
+        assert!(applied.coeff_tail <= 1e-11, "tail {}", applied.coeff_tail);
+        let cheb_scale = applied.log_scale.exp();
+        for (i, &wi) in want.iter().enumerate() {
+            let got = applied.y[(i, 0)] * cheb_scale;
+            assert!(
+                (got - wi).abs() <= 1e-6 * wnorm,
+                "chebyshev m={m} kappa={kappa} entry {i}: {got} vs {wi}"
+            );
+        }
+    }
+}
+
+/// Expm-action kernels are bitwise pool-width invariant (their only
+/// parallelism is the operator application, which is).
+#[test]
+fn expm_action_bitwise_across_thread_counts() {
+    let m = 72; // big enough that matvec/matmul take their parallel paths
+    let mut b = pseudo(m, m, 5);
+    b.symmetrize();
+    b.add_diag(2.5);
+    let x: Vec<f64> = (0..m).map(|i| ((i * 5 + 2) % 11) as f64 * 0.1 - 0.5).collect();
+    let kappa = lambda_max_upper_bound(&b);
+
+    let l1 = run_with_threads(1, || expm_action_lanczos(&b, &x, kappa, 1e-10).unwrap());
+    let l4 = run_with_threads(4, || expm_action_lanczos(&b, &x, kappa, 1e-10).unwrap());
+    assert_eq!(l1.log_norm.to_bits(), l4.log_norm.to_bits());
+    assert_eq!(l1.matvecs, l4.matvecs);
+    for (a, c) in l1.v.iter().zip(&l4.v) {
+        assert_eq!(a.to_bits(), c.to_bits(), "lanczos vector diverged across pools");
+    }
+
+    let block = pseudo(m, 3, 9);
+    let c1 = run_with_threads(1, || chebyshev_exp_block(&b, &block, kappa, 1e-10));
+    let c4 = run_with_threads(4, || chebyshev_exp_block(&b, &block, kappa, 1e-10));
+    assert_eq!(c1.degree, c4.degree);
+    for (a, c) in c1.y.as_slice().iter().zip(c4.y.as_slice()) {
+        assert_eq!(a.to_bits(), c.to_bits(), "chebyshev block diverged across pools");
+    }
+}
+
+/// The Taylor engine's dense primal path squares `p(Φ/2)` through `symmul`;
+/// this pins the squared block against the general GEMM on the engine's
+/// actual (nearly-symmetric) input so the half-flops kernel cannot drift
+/// from the semantics it replaced: `symmul(S) = S·Sᵀ`, which for the
+/// engine's symmetrized usage equals `S·S` to working precision.
+#[test]
+fn symmul_tracks_general_gemm_on_taylor_blocks() {
+    let m = 24;
+    let mut phi = pseudo(m, m, 11);
+    phi.symmetrize();
+    phi.add_diag(1.5);
+    let degree = psdp_linalg::taylor_degree(lambda_max_upper_bound(&phi) * 0.5, 0.05);
+    let s = psdp_linalg::apply_exp_taylor_block(&phi.scaled(0.5), &Mat::identity(m), degree);
+    let via_symmul = symmul(&s);
+    let via_gemm = {
+        let mut c = matmul(&s, &s.transpose());
+        c.symmetrize();
+        c
+    };
+    let scale = via_gemm.max_abs();
+    for (a, b) in via_symmul.as_slice().iter().zip(via_gemm.as_slice()) {
+        assert!((a - b).abs() <= 1e-12 * scale, "{a} vs {b}");
+    }
+}
