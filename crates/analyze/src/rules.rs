@@ -432,6 +432,30 @@ mod tests {
         assert!(run(CORE, "let v = toks[2];\n").is_empty());
     }
 
+    /// The `crates/serve/src/` prefix keeps every service file — present
+    /// and future — on the R1 request path; pin the files the persistent
+    /// streaming service added (DESIGN.md §13) so a path refactor cannot
+    /// silently drop them out of coverage.
+    #[test]
+    fn r1_covers_the_streaming_service_files() {
+        for path in [
+            "crates/serve/src/service.rs",
+            "crates/serve/src/shard.rs",
+            "crates/serve/src/snapshot.rs",
+            "crates/serve/src/telemetry.rs",
+            "crates/cli/src/serve.rs",
+        ] {
+            assert_eq!(run(path, "let v = x.unwrap();\n"), [("R1".into(), 1)], "{path}");
+            assert_eq!(run(path, "let v = toks[2];\n"), [("R1".into(), 1)], "{path}");
+        }
+        // The serve crate is also a determinism crate: hash-order
+        // containers in the service are D1 findings, not just style.
+        assert_eq!(
+            run("crates/serve/src/service.rs", "use std::collections::HashMap;\n"),
+            [("D1".into(), 1)]
+        );
+    }
+
     #[test]
     fn h1_requires_safety_comment_and_inventories() {
         let src = "// SAFETY: len checked above\nlet p = unsafe { x.get_unchecked(0) };\n";

@@ -1,0 +1,118 @@
+//! Streaming-service throughput: `psdp serve --listen` vs the one-shot
+//! batch scheduler on the full-protocol zipf workload (backs experiment
+//! E15).
+//!
+//! Both modes consume the identical JSONL bytes from
+//! `psdp_workloads::stream_jsonl` — a heavy-tailed solve/optimize/mixed
+//! command mix over shared instance pools — and both are value-neutral
+//! (`tests/determinism.rs` pins the response streams byte-identical), so
+//! the timings isolate pure orchestration cost: batch-barrier admission
+//! against streaming admission with sharded cache and sequencer.
+//!
+//! After the criterion rows, the bench prints the E15 sustained-load
+//! report at `PSDP_E15_REQUESTS` requests (default 2000 so CI's `--test`
+//! smoke stays cheap; the recorded run uses 100k): wall clock, req/s,
+//! p50/p99 service latency, per-tier hit counters, and queue high-water
+//! marks from the service's stderr summary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psdp_cli::args::Args;
+use psdp_workloads::{mixed_request_stream, stream_jsonl, MixedStreamSpec, RequestStreamSpec};
+
+fn workload(requests: usize, pool: usize) -> String {
+    stream_jsonl(&mixed_request_stream(&MixedStreamSpec {
+        base: RequestStreamSpec {
+            pool,
+            requests,
+            dim: 10,
+            n: 6,
+            zipf_s: 1.1,
+            thresholds: 3,
+            seed: 15,
+        },
+        mixed_pool: 2,
+        optimize_share: 0.1,
+        mixed_share: 0.05,
+        eps: 0.2,
+    }))
+}
+
+fn args(argv: &[&str]) -> Args {
+    Args::parse(&argv.iter().map(|s| s.to_string()).collect::<Vec<_>>()).expect("argv parses")
+}
+
+fn run_one_shot(input: &str) -> psdp_cli::serve::ServeRun {
+    psdp_cli::serve::serve_on_input(&args(&["serve"]), input).expect("serve runs")
+}
+
+fn run_listen(input: &str, shards: usize) -> psdp_cli::serve::ServeRun {
+    let shards = shards.to_string();
+    psdp_cli::serve::serve_listen_on_input(
+        &args(&["serve", "--listen", "--shards", &shards]),
+        input,
+    )
+    .expect("listen runs")
+}
+
+fn bench_stream(c: &mut Criterion) {
+    let input = workload(48, 4);
+    let mut g = c.benchmark_group("serve_stream");
+    g.sample_size(10);
+
+    g.bench_function("one_shot_batch", |b| {
+        b.iter(|| {
+            let run = run_one_shot(&input);
+            assert!(!run.stdout.is_empty());
+            run.stdout.len()
+        })
+    });
+
+    for shards in [1usize, 4] {
+        g.bench_function(format!("listen_{shards}_shards"), |b| {
+            b.iter(|| {
+                let run = run_listen(&input, shards);
+                assert!(!run.stdout.is_empty());
+                run.stdout.len()
+            })
+        });
+    }
+    g.finish();
+
+    // E15 sustained-load report: one timed pass per mode over a scaled
+    // stream, summaries straight from the modes' own telemetry.
+    let requests: usize =
+        std::env::var("PSDP_E15_REQUESTS").ok().and_then(|v| v.parse().ok()).unwrap_or(2_000);
+    let input = workload(requests, 16);
+    println!(
+        "serve_stream/e15: {} requests ({} MiB of JSONL), pool 16 packing + 2 mixed",
+        requests,
+        input.len() / (1024 * 1024),
+    );
+    let t = std::time::Instant::now();
+    let batch = run_one_shot(&input);
+    let batch_wall = t.elapsed();
+    let t = std::time::Instant::now();
+    let listen = run_listen(&input, 4);
+    let listen_wall = t.elapsed();
+    assert_eq!(
+        batch.stdout.lines().count(),
+        listen.stdout.lines().count(),
+        "modes answered different request counts"
+    );
+    let rps = |n: usize, w: std::time::Duration| n as f64 / w.as_secs_f64();
+    println!(
+        "serve_stream/e15: one-shot {:.2} s ({:.0} req/s) | listen(4 shards) {:.2} s ({:.0} req/s)",
+        batch_wall.as_secs_f64(),
+        rps(requests, batch_wall),
+        listen_wall.as_secs_f64(),
+        rps(requests, listen_wall),
+    );
+    for (mode, summary) in [("one-shot", &batch.summary), ("listen", &listen.summary)] {
+        for line in summary.lines() {
+            println!("serve_stream/e15 [{mode}] {line}");
+        }
+    }
+}
+
+criterion_group!(benches, bench_stream);
+criterion_main!(benches);

@@ -80,10 +80,10 @@ fn bench_serve(c: &mut Criterion) {
         cold_out.report.prep_builds,
         first.report.engine_evals,
         first.report.prep_builds,
-        first.report.prep_reuses,
-        first.report.memo_hits,
+        first.report.tiers.prep_reuses,
+        first.report.tiers.memo_hits,
         steady.report.engine_evals,
-        steady.report.memo_hits,
+        steady.report.tiers.memo_hits,
     );
 }
 

@@ -8,7 +8,7 @@ use std::collections::BTreeMap;
 
 /// Flags that take no value (presence = `true`). Everything else is
 /// `--key value`.
-const VALUELESS: &[&str] = &["json", "deny-warnings"];
+const VALUELESS: &[&str] = &["json", "deny-warnings", "listen"];
 
 /// Parsed command line: positionals in order plus `--key value` flags.
 #[derive(Debug, Clone, Default)]

@@ -28,7 +28,8 @@ USAGE:
   psdp solve FILE [--eps E] [--engine auto|exact|taylor|jl|expv] [--mode practical|strict] [--seed S] [--json]
   psdp optimize FILE [--eps E] [--warm on|off] [--json]
   psdp mixed FILE [--eps E] [--engine auto|exact|taylor|jl|expv] [--seed S] [--warm on|off] [--json]
-  psdp serve [--max-in-flight N] [--cache on|off]   (JSONL requests on stdin)
+  psdp serve [--max-in-flight N] [--cache on|off] [--max-line-bytes N]   (JSONL requests on stdin)
+  psdp serve --listen [--shards N] [--queue-cap N] [--snapshot FILE] [--cache on|off] [--max-line-bytes N]
   psdp audit [--root PATH] [--config FILE] [--json] [--deny-warnings]
 
 The `auto` engine picks exact, sketched-Taylor, or the Krylov/Chebyshev
@@ -51,6 +52,16 @@ share prepared solvers, identical requests are memoized), and emits one
 JSON response per request on stdout (submission order, same schemas as
 `--json` plus `id` and a `serve` reuse-telemetry object; `wall_ms` is null
 so response bytes are deterministic). The batch report goes to stderr.
+With `--listen` the same protocol runs through the persistent streaming
+service (DESIGN.md §13): requests are admitted as they arrive into
+bounded per-shard queues (a full queue answers a typed `overloaded` line
+instead of buffering without bound), the fingerprint-sharded cache
+carries reuse across the whole session, and `--snapshot FILE` persists
+the prepared-solver cache across restarts (a missing or corrupted
+snapshot means a cold start, never a refusal to serve). Lines longer
+than `--max-line-bytes` (default 4 MiB) are rejected in place in both
+modes. The service report — throughput, p50/p99 latency, per-tier hit
+counters, queue high-water marks — goes to stderr.
 
 `audit` runs the psdp-audit determinism & robustness lint (DESIGN.md §11)
 over the workspace sources: rules D1-D3 (hash-order iteration, parallel

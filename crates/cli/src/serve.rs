@@ -12,7 +12,17 @@
 //!
 //! Malformed lines never abort the batch: each produces an error response
 //! line in place (`{"id":…,"error":…}`, with `"id":null` when the line was
-//! too broken to name itself).
+//! too broken to name itself). Lines are bounded (`--max-line-bytes`,
+//! default 4 MiB): an oversized line becomes a typed in-place error, never
+//! unbounded `String` growth.
+//!
+//! `--listen` switches from the one-shot batch scheduler to the
+//! persistent streaming service ([`psdp_serve::service`]): requests are
+//! dispatched to shard workers as lines arrive and responses stream out
+//! in submission order; a full shard queue answers with a typed
+//! `overloaded` error line. `--snapshot <path>` warm-loads the prepared
+//! cache at startup (corrupted snapshot → clean cold start) and saves it
+//! back on shutdown.
 
 use crate::args::Args;
 use crate::jsonfmt::{json_str, mixed_payload, optimize_payload, solve_payload};
@@ -23,10 +33,14 @@ use psdp_core::{
 use psdp_serve::json::{parse, JsonValue};
 use psdp_serve::{
     BatchReport, RequestKind, Scheduler, SchedulerOptions, ServeRequest, ServeResponse,
-    ServeResult, ServeStats,
+    ServeResult, ServeStats, Service, ServiceOptions, ServiceReport, StreamItem, StreamOutcome,
 };
 use std::collections::{BTreeMap, BTreeSet};
+use std::io::{BufRead, Write};
 use std::sync::Arc;
+
+/// Default per-line byte bound for the JSONL readers.
+const DEFAULT_MAX_LINE_BYTES: usize = 4 * 1024 * 1024;
 
 /// Outcome of one `psdp serve` run: the stdout JSONL stream and the human
 /// batch report for stderr.
@@ -59,6 +73,15 @@ enum Line {
 /// Flag errors and stdin read failures as printable messages (per-request
 /// failures become response lines instead).
 pub fn serve(args: &Args) -> Result<String, String> {
+    if args.bool_flag("listen") {
+        let stdin = std::io::stdin();
+        let mut stdout = std::io::stdout();
+        let summary = serve_listen_on(args, &mut stdin.lock(), &mut stdout)?;
+        eprint!("{summary}");
+        // Responses were streamed to stdout as they were sequenced;
+        // nothing is left to print at exit.
+        return Ok(String::new());
+    }
     let mut input = String::new();
     std::io::Read::read_to_string(&mut std::io::stdin(), &mut input)
         .map_err(|e| format!("reading stdin: {e}"))?;
@@ -72,8 +95,9 @@ pub fn serve(args: &Args) -> Result<String, String> {
 /// # Errors
 /// Flag errors as printable messages.
 pub fn serve_on_input(args: &Args, input: &str) -> Result<ServeRun, String> {
-    args.ensure_known(&["max-in-flight", "cache"])?;
+    args.ensure_known(&["max-in-flight", "cache", "max-line-bytes"])?;
     let max_in_flight: usize = args.flag("max-in-flight", 0)?;
+    let max_line_bytes: usize = args.flag("max-line-bytes", DEFAULT_MAX_LINE_BYTES)?;
     let cache_enabled = match args.str_flag("cache", "on").as_str() {
         "on" => true,
         "off" => false,
@@ -88,6 +112,11 @@ pub fn serve_on_input(args: &Args, input: &str) -> Result<ServeRun, String> {
 
     for raw in input.lines() {
         if raw.trim().is_empty() {
+            continue;
+        }
+        if raw.len() > max_line_bytes {
+            lines
+                .push(Line::Error { id: None, msg: oversized_line_msg(raw.len(), max_line_bytes) });
             continue;
         }
         match parse_request_line(raw, &mut pack_sources, &mut mixed_sources) {
@@ -138,32 +167,308 @@ pub fn serve_on_input(args: &Args, input: &str) -> Result<ServeRun, String> {
     Ok(ServeRun { stdout, summary: summarize(&output.report) })
 }
 
+/// Caller context carried through the streaming service pipeline for each
+/// admitted line: what the sequenced outcome needs to render itself.
+enum LineCtx {
+    /// A parsed request (rendering needs its payload and `file` field).
+    Request(ParsedLine),
+    /// An admission-stage error; the id (already JSON-rendered) keys the
+    /// error line.
+    Error { id_json: String },
+}
+
+/// One line from the bounded JSONL reader.
+enum BoundedLine {
+    /// End of the stream.
+    Eof,
+    /// A complete line within the byte bound (without its newline).
+    Line(String),
+    /// A line over the bound: its bytes were discarded as they streamed
+    /// past (never accumulated), `bytes` is how long it was.
+    Oversized { bytes: usize },
+}
+
+/// Read one newline-terminated line, never buffering more than
+/// `max_bytes` of it: once a line exceeds the bound, the remainder is
+/// consumed and dropped chunk-by-chunk until the newline resyncs the
+/// stream.
+fn read_bounded_line(r: &mut impl BufRead, max_bytes: usize) -> Result<BoundedLine, String> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut dropped = false;
+    let mut total = 0usize;
+    let mut saw_any = false;
+    loop {
+        let chunk = r.fill_buf().map_err(|e| format!("reading request stream: {e}"))?;
+        if chunk.is_empty() {
+            if !saw_any {
+                return Ok(BoundedLine::Eof);
+            }
+            break;
+        }
+        saw_any = true;
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            total += pos;
+            if !dropped && total > max_bytes {
+                dropped = true;
+                buf.clear();
+            }
+            if !dropped {
+                buf.extend_from_slice(chunk.get(..pos).unwrap_or(&[]));
+            }
+            r.consume(pos + 1);
+            break;
+        }
+        let len = chunk.len();
+        total += len;
+        if !dropped && total > max_bytes {
+            dropped = true;
+            buf.clear();
+        }
+        if !dropped {
+            buf.extend_from_slice(chunk);
+        }
+        r.consume(len);
+    }
+    if dropped {
+        return Ok(BoundedLine::Oversized { bytes: total });
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    // Invalid UTF-8 flows on as a (lossy) line so the JSON parser can
+    // reject it with a typed in-place error instead of aborting the loop.
+    Ok(BoundedLine::Line(String::from_utf8_lossy(&buf).into_owned()))
+}
+
+/// `psdp serve --listen` — the persistent streaming service over an
+/// arbitrary reader/writer pair (stdin/stdout in production, buffers in
+/// tests). Responses stream to `writer` in submission order as the
+/// sequencer emits them; the returned string is the stderr summary.
+///
+/// # Errors
+/// Flag errors, stream read failures, and response write failures as
+/// printable messages. Per-request failures become response lines;
+/// snapshot load/save problems degrade to notes in the summary (a
+/// corrupted snapshot means a cold start, never a refusal to serve).
+pub fn serve_listen_on(
+    args: &Args,
+    reader: &mut impl BufRead,
+    writer: &mut (impl Write + Send),
+) -> Result<String, String> {
+    args.ensure_known(&["listen", "cache", "shards", "queue-cap", "snapshot", "max-line-bytes"])?;
+    let shards: usize = args.flag("shards", 4)?;
+    let queue_cap: usize = args.flag("queue-cap", 1024)?;
+    let max_line_bytes: usize = args.flag("max-line-bytes", DEFAULT_MAX_LINE_BYTES)?;
+    let cache_enabled = match args.str_flag("cache", "on").as_str() {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("unknown --cache value `{other}` (on|off)")),
+    };
+    let snapshot_path = args.opt_flag("snapshot").map(str::to_string);
+
+    let mut service = Service::new(ServiceOptions {
+        shards,
+        queue_capacity: queue_cap,
+        cache_enabled,
+        ..ServiceOptions::default()
+    });
+
+    let mut notes = String::new();
+    if let Some(path) = &snapshot_path {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match service.load_snapshot(&text) {
+                Ok(n) => {
+                    notes
+                        .push_str(&format!("snapshot: warm-loaded {n} fingerprints from {path}\n"));
+                }
+                Err(e) => notes.push_str(&format!("snapshot: {e}; starting cold\n")),
+            },
+            Err(_) => notes.push_str(&format!("snapshot: {path} not readable; starting cold\n")),
+        }
+    }
+
+    let mut pack_sources: BTreeMap<String, Arc<PackingInstance>> = BTreeMap::new();
+    let mut mixed_sources: BTreeMap<String, Arc<MixedInstance>> = BTreeMap::new();
+    let mut seen_ids: BTreeSet<String> = BTreeSet::new();
+    let mut read_err: Option<String> = None;
+
+    let items = std::iter::from_fn(|| loop {
+        match read_bounded_line(reader, max_line_bytes) {
+            Err(e) => {
+                read_err = Some(e);
+                return None;
+            }
+            Ok(BoundedLine::Eof) => return None,
+            Ok(BoundedLine::Oversized { bytes }) => {
+                return Some(StreamItem::Reject {
+                    error: oversized_line_msg(bytes, max_line_bytes),
+                    ctx: LineCtx::Error { id_json: "null".to_string() },
+                });
+            }
+            Ok(BoundedLine::Line(raw)) => {
+                if raw.trim().is_empty() {
+                    continue;
+                }
+                match parse_request_line(&raw, &mut pack_sources, &mut mixed_sources) {
+                    Ok(p) => {
+                        if !seen_ids.insert(p.request.id.clone()) {
+                            return Some(StreamItem::Reject {
+                                error: format!("duplicate request id `{}`", p.request.id),
+                                ctx: LineCtx::Error { id_json: json_str(&p.request.id) },
+                            });
+                        }
+                        let request = p.request.clone();
+                        return Some(StreamItem::Execute { request, ctx: LineCtx::Request(p) });
+                    }
+                    Err((id, msg)) => {
+                        let id_json = match id {
+                            Some(s) => json_str(&s),
+                            None => "null".to_string(),
+                        };
+                        return Some(StreamItem::Reject {
+                            error: msg,
+                            ctx: LineCtx::Error { id_json },
+                        });
+                    }
+                }
+            }
+        }
+    });
+
+    let mut write_err: Option<std::io::Error> = None;
+    let report = service.run_stream(items, |ctx, outcome| {
+        if write_err.is_some() {
+            return;
+        }
+        let line = render_outcome(&ctx, &outcome);
+        // Flush per line: a streaming client must see each response as it
+        // is sequenced, not when a block buffer happens to fill.
+        if let Err(e) = writer.write_all(line.as_bytes()).and_then(|()| writer.flush()) {
+            write_err = Some(e);
+        }
+    });
+
+    if let Some(e) = read_err {
+        return Err(e);
+    }
+    if let Some(e) = write_err {
+        return Err(format!("writing response stream: {e}"));
+    }
+    if let Some(path) = &snapshot_path {
+        if cache_enabled {
+            match std::fs::write(path, service.snapshot_string()) {
+                Ok(()) => notes.push_str(&format!(
+                    "snapshot: saved {} fingerprints to {path}\n",
+                    service.cached_fingerprints()
+                )),
+                Err(e) => notes.push_str(&format!("snapshot: save to {path} failed: {e}\n")),
+            }
+        }
+    }
+    Ok(format!("{notes}{}", summarize_service(&report)))
+}
+
+/// The testable core of `--listen`: run the streaming service over an
+/// input string and capture the response stream.
+///
+/// # Errors
+/// Same contract as [`serve_listen_on`].
+pub fn serve_listen_on_input(args: &Args, input: &str) -> Result<ServeRun, String> {
+    let mut reader = input.as_bytes();
+    let mut out: Vec<u8> = Vec::new();
+    let summary = serve_listen_on(args, &mut reader, &mut out)?;
+    Ok(ServeRun { stdout: String::from_utf8_lossy(&out).into_owned(), summary })
+}
+
+/// Render one sequenced stream outcome as its JSONL line.
+fn render_outcome(ctx: &LineCtx, outcome: &StreamOutcome) -> String {
+    match outcome {
+        StreamOutcome::Rejected { error } => {
+            let id_json = match ctx {
+                LineCtx::Error { id_json } => id_json.as_str(),
+                LineCtx::Request(_) => "null",
+            };
+            format!("{{\"id\":{id_json},\"error\":{}}}\n", json_str(error))
+        }
+        StreamOutcome::Overloaded { id, shard } => format!(
+            "{{\"id\":{},\"error\":\"overloaded\",\"overloaded\":true,\"shard\":{shard}}}\n",
+            json_str(id)
+        ),
+        StreamOutcome::Response(resp) => match ctx {
+            LineCtx::Request(p) => render_response(p, resp),
+            LineCtx::Error { id_json } => {
+                internal_error_line(id_json, "response without request context")
+            }
+        },
+    }
+}
+
+fn summarize_service(r: &ServiceReport) -> String {
+    let ms = |d: std::time::Duration| format!("{:.2}", d.as_secs_f64() * 1e3);
+    let secs = r.wall.as_secs_f64();
+    let rps = if secs > 0.0 { r.executed as f64 / secs } else { 0.0 };
+    format!(
+        "listen: {} requests ({} executed, {} rejected, {} overloaded), {} errors\n\
+         reuse: {} prep builds, {} prep reuses, {} memo hits, {} bracket injections\n\
+         work:  {} engine evals, {} replayed rounds\n\
+         time:  wall {} ms ({rps:.0} req/s), latency service {}; queue {}\n\
+         queues: high-water {:?}\n",
+        r.requests,
+        r.executed,
+        r.rejected,
+        r.overloaded,
+        r.errors,
+        r.prep_builds,
+        r.tiers.prep_reuses,
+        r.tiers.memo_hits,
+        r.tiers.bracket_injections,
+        r.engine_evals,
+        r.replayed,
+        ms(r.wall),
+        r.service_hist.stats().render_ms(),
+        r.queue_hist.stats().render_ms(),
+        r.queue_high_water,
+    )
+}
+
+/// Typed message for a line over the `--max-line-bytes` bound.
+fn oversized_line_msg(len: usize, max: usize) -> String {
+    format!("line exceeds --max-line-bytes ({len} > {max} bytes)")
+}
+
 fn summarize(r: &BatchReport) -> String {
     let ms = |d: std::time::Duration| format!("{:.2}", d.as_secs_f64() * 1e3);
     format!(
         "serve: {} requests in {} groups, {} errors\n\
          reuse: {} prep builds, {} prep reuses, {} memo hits, {} bracket injections\n\
          work:  {} engine evals, {} replayed rounds\n\
-         time:  wall {} ms, queue wait total {} ms (max {} ms), service total {} ms\n",
+         time:  wall {} ms, queue wait total {} ms (max {} ms), service total {} ms\n\
+         latency: service {}; queue {}\n",
         r.requests,
         r.groups,
         r.errors,
         r.prep_builds,
-        r.prep_reuses,
-        r.memo_hits,
-        r.bracket_injections,
+        r.tiers.prep_reuses,
+        r.tiers.memo_hits,
+        r.tiers.bracket_injections,
         r.engine_evals,
         r.replayed,
         ms(r.wall),
         ms(r.total_queue_wait),
         ms(r.max_queue_wait),
         ms(r.total_service),
+        r.service_hist.stats().render_ms(),
+        r.queue_hist.stats().render_ms(),
     )
 }
 
 fn serve_stats_json(s: &ServeStats) -> String {
+    let tier = match s.hit_tier() {
+        Some(t) => json_str(t),
+        None => "null".to_string(),
+    };
     format!(
-        "{{\"prep_reused\":{},\"memoized\":{},\"bracket_injected\":{},\"engine_evals\":{},\"replayed\":{}}}",
+        "{{\"prep_reused\":{},\"memoized\":{},\"bracket_injected\":{},\"tier\":{tier},\"engine_evals\":{},\"replayed\":{}}}",
         s.prep_reused, s.memoized, s.bracket_injected, s.engine_evals, s.replayed,
     )
 }
@@ -491,5 +796,114 @@ mod tests {
     fn bad_flags_rejected() {
         assert!(serve_on_input(&args(&["serve", "--cache", "sideways"]), "").is_err());
         assert!(serve_on_input(&args(&["serve", "--max-inflight", "2"]), "").is_err());
+        assert!(
+            serve_listen_on_input(&args(&["serve", "--listen", "--cache", "maybe"]), "").is_err()
+        );
+        assert!(serve_listen_on_input(&args(&["serve", "--listen", "--max-in-flight", "2"]), "")
+            .is_err());
+    }
+
+    #[test]
+    fn oversized_lines_error_in_place_without_buffering() {
+        let text = inline_packing();
+        let big = "x".repeat(512);
+        let input = format!(
+            "{{\"id\":\"pad\",\"junk\":\"{big}\"}}\n\
+             {{\"id\":\"ok\",\"command\":\"solve\",\"instance\":\"{text}\"}}\n"
+        );
+        for run in [
+            serve_on_input(&args(&["serve", "--max-line-bytes", "256"]), &input).unwrap(),
+            serve_listen_on_input(&args(&["serve", "--listen", "--max-line-bytes", "256"]), &input)
+                .unwrap(),
+        ] {
+            let lines: Vec<&str> = run.stdout.lines().collect();
+            assert_eq!(lines.len(), 2);
+            assert!(lines[0].contains("exceeds --max-line-bytes"), "{}", lines[0]);
+            assert!(lines[1].contains("\"id\":\"ok\",\"command\":\"solve\""), "{}", lines[1]);
+        }
+        // The stream resyncs at the newline: the request after the huge
+        // line is untouched even when the bound is far below the line.
+        let run =
+            serve_listen_on_input(&args(&["serve", "--listen", "--max-line-bytes", "64"]), &input)
+                .unwrap();
+        assert!(run.stdout.lines().count() == 2, "{}", run.stdout);
+    }
+
+    #[test]
+    fn listen_streams_in_submission_order_with_in_place_errors() {
+        let text = inline_packing();
+        let input = format!(
+            "{{\"id\":\"b\",\"command\":\"optimize\",\"instance\":\"{text}\",\"eps\":0.15}}\n\
+             not json at all\n\
+             {{\"id\":\"b\",\"command\":\"solve\",\"instance\":\"{text}\"}}\n\
+             \n\
+             {{\"id\":\"a\",\"command\":\"solve\",\"instance\":\"{text}\",\"threshold\":0.5,\"eps\":0.2}}\n"
+        );
+        let run = serve_listen_on_input(&args(&["serve", "--listen"]), &input).unwrap();
+        let lines: Vec<&str> = run.stdout.lines().collect();
+        assert_eq!(lines.len(), 4, "{}", run.stdout);
+        assert!(lines[0].starts_with("{\"id\":\"b\",\"command\":\"optimize\""), "{}", lines[0]);
+        assert!(lines[1].starts_with("{\"id\":null,\"error\":"), "{}", lines[1]);
+        assert!(lines[2].contains("duplicate request id"), "{}", lines[2]);
+        assert!(lines[3].starts_with("{\"id\":\"a\",\"command\":\"solve\""), "{}", lines[3]);
+        assert!(run.summary.contains("listen: 4 requests"), "{}", run.summary);
+        assert!(run.summary.contains("latency service"), "{}", run.summary);
+    }
+
+    #[test]
+    fn listen_matches_one_shot_payloads_and_shard_count_is_invisible() {
+        let text = inline_packing();
+        let input = format!(
+            "{{\"id\":\"r1\",\"command\":\"optimize\",\"instance\":\"{text}\",\"eps\":0.15}}\n\
+             {{\"id\":\"r2\",\"command\":\"optimize\",\"instance\":\"{text}\",\"eps\":0.15}}\n\
+             {{\"id\":\"r3\",\"command\":\"solve\",\"instance\":\"{text}\",\"threshold\":0.7}}\n"
+        );
+        let one_shot = serve_on_input(&args(&["serve"]), &input).unwrap();
+        let listen = serve_listen_on_input(&args(&["serve", "--listen"]), &input).unwrap();
+        // Same cache tiers in both modes: the whole response lines match,
+        // `serve` telemetry included.
+        assert_eq!(one_shot.stdout, listen.stdout);
+        for shards in ["1", "3", "8"] {
+            let other =
+                serve_listen_on_input(&args(&["serve", "--listen", "--shards", shards]), &input)
+                    .unwrap();
+            assert_eq!(listen.stdout, other.stdout, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn listen_snapshot_roundtrip_warms_the_cache() {
+        let text = inline_packing();
+        let input = format!(
+            "{{\"id\":\"r1\",\"command\":\"optimize\",\"instance\":\"{text}\",\"eps\":0.15}}\n"
+        );
+        let path =
+            std::env::temp_dir().join(format!("psdp-listen-snap-{}.txt", std::process::id()));
+        let path_s = path.to_string_lossy().into_owned();
+        let cold =
+            serve_listen_on_input(&args(&["serve", "--listen", "--snapshot", &path_s]), &input)
+                .unwrap();
+        assert!(cold.summary.contains("not readable; starting cold"), "{}", cold.summary);
+        assert!(cold.summary.contains("snapshot: saved 1 fingerprints"), "{}", cold.summary);
+        let warm =
+            serve_listen_on_input(&args(&["serve", "--listen", "--snapshot", &path_s]), &input)
+                .unwrap();
+        assert!(warm.summary.contains("warm-loaded 1 fingerprints"), "{}", warm.summary);
+        assert!(warm.summary.contains("1 prep reuses"), "{}", warm.summary);
+        assert!(warm.summary.contains("0 prep builds"), "{}", warm.summary);
+        // Warm start changes only the telemetry, never the payload.
+        let strip = |s: &str| -> Vec<String> {
+            s.lines().map(|l| l.split(",\"serve\":{").next().unwrap().to_string()).collect()
+        };
+        assert_eq!(strip(&cold.stdout), strip(&warm.stdout));
+        assert!(warm.stdout.contains("\"tier\":\"prepared\""), "{}", warm.stdout);
+        // A corrupted snapshot degrades to a cold start, never a failure.
+        std::fs::write(&path, "psdp snapshot v1\nentries 1\ngarbage\n").unwrap();
+        let recovered =
+            serve_listen_on_input(&args(&["serve", "--listen", "--snapshot", &path_s]), &input)
+                .unwrap();
+        assert!(recovered.summary.contains("starting cold"), "{}", recovered.summary);
+        assert_eq!(recovered.stdout, cold.stdout);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -59,6 +59,11 @@ pub struct MemoEntry {
 pub struct CacheEntry {
     pub(crate) hash: u64,
     pub(crate) key: String,
+    /// Engine kind the prepared state was built with (snapshot rebuild
+    /// input; also embedded textually in `key`).
+    pub(crate) engine_kind: EngineKind,
+    /// Sketch seed the prepared state was built with.
+    pub(crate) seed: u64,
     pub(crate) prepared: Prepared,
     pub(crate) memo: Vec<MemoEntry>,
     /// `(params_key, lo, hi)` of the most recent certified packing
@@ -144,12 +149,30 @@ impl SolverCache {
         Some(self.entries.swap_remove(idx))
     }
 
+    /// Canonical keys of all cached entries, in insertion order.
+    pub(crate) fn keys(&self) -> Vec<String> {
+        self.entries.iter().map(|e| e.key.clone()).collect()
+    }
+
+    /// Re-insert an entry without advancing the LRU clock — used by
+    /// read-only iteration ([`crate::shard::ShardedCache::for_each_sorted`])
+    /// so that *observing* the cache (snapshotting) never perturbs which
+    /// entry the next eviction picks.
+    pub(crate) fn insert_preserving_clock(&mut self, entry: CacheEntry) {
+        self.entries.push(entry);
+        self.evict_over_capacity();
+    }
+
     /// Insert (or re-insert) an entry, stamping its use clock and evicting
     /// the least-recently-used entry if over capacity.
     pub(crate) fn insert(&mut self, mut entry: CacheEntry) {
         self.clock += 1;
         entry.last_used = self.clock;
         self.entries.push(entry);
+        self.evict_over_capacity();
+    }
+
+    fn evict_over_capacity(&mut self) {
         while self.entries.len() > self.max_entries {
             // `len > max_entries >= 1` keeps the scan non-empty; if that
             // ever changes, stop evicting rather than panic.
@@ -177,6 +200,8 @@ mod tests {
         CacheEntry {
             hash: fnv1a(key.as_bytes()),
             key: key.to_string(),
+            engine_kind: psdp_expdot::EngineKind::Exact,
+            seed: 0,
             prepared: Prepared::Packing {
                 inst: inst(&[1.0]),
                 engine: Arc::new(

@@ -18,13 +18,22 @@
 //!   repeat results, and carrying certified brackets into perturbed
 //!   resubmissions,
 //! * [`json`] — the minimal JSON reader behind the `psdp serve` JSONL
-//!   front door and the schema-snapshot tests.
+//!   front door and the schema-snapshot tests,
+//! * [`service`] — the persistent streaming service behind
+//!   `psdp serve --listen`: streaming admission (no batch barrier),
+//!   bounded per-shard queues with typed backpressure, a
+//!   fingerprint-prefix [`shard::ShardedCache`], snapshot persistence
+//!   ([`snapshot`]), and a submission-order sequencer,
+//! * [`telemetry`] — per-tier hit counters and latency histograms shared
+//!   by the one-shot and streaming reports.
 //!
 //! Determinism contract: responses are a function of the batch contents
 //! (plus prior batches on the same scheduler), never of submission order,
-//! pool width, or `max_in_flight`. `tests/determinism.rs` at the
-//! workspace root pins this down bitwise. `DESIGN.md` §10 documents the
-//! cache-key soundness argument.
+//! pool width, or `max_in_flight`; the streaming service extends the same
+//! contract across shard counts and worker interleavings (see
+//! [`service`]). `tests/determinism.rs` at the workspace root pins this
+//! down bitwise. `DESIGN.md` §10 documents the cache-key soundness
+//! argument and §13 the service architecture.
 
 #![warn(missing_docs)]
 
@@ -32,6 +41,10 @@ pub mod cache;
 pub mod json;
 pub mod request;
 pub mod scheduler;
+pub mod service;
+pub mod shard;
+pub mod snapshot;
+pub mod telemetry;
 
 pub use cache::SolverCache;
 pub use request::{InstancePayload, RequestKind, ServeRequest};
@@ -39,6 +52,10 @@ pub use scheduler::{
     BatchOutput, BatchReport, Scheduler, SchedulerOptions, ServeError, ServeResponse, ServeResult,
     ServeStats,
 };
+pub use service::{Service, ServiceOptions, ServiceReport, StreamItem, StreamOutcome};
+pub use shard::ShardedCache;
+pub use snapshot::SnapshotError;
+pub use telemetry::{LatencyHistogram, LatencyStats, TierCounters};
 
 #[cfg(test)]
 mod tests {
@@ -234,7 +251,7 @@ mod tests {
         let out = cold.run_batch(&requests).unwrap();
         assert_eq!(out.report.groups, 3);
         assert_eq!(out.report.prep_builds, 3);
-        assert_eq!(out.report.memo_hits, 0);
+        assert_eq!(out.report.tiers.memo_hits, 0);
         assert_eq!(cold.cached_fingerprints(), 0);
         // Every response is value-identical anyway (determinism).
         let digests: Vec<String> = out
@@ -248,7 +265,7 @@ mod tests {
         let mut warm = Scheduler::new(SchedulerOptions::default());
         let warm_out = warm.run_batch(&requests).unwrap();
         assert_eq!(warm_out.report.prep_builds, 1);
-        assert_eq!(warm_out.report.memo_hits, 2);
+        assert_eq!(warm_out.report.tiers.memo_hits, 2);
         assert!(
             warm_out.report.engine_evals < out.report.engine_evals,
             "cache must reduce live engine work: warm {} vs cold {}",

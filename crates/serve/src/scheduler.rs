@@ -123,6 +123,23 @@ pub struct ServeStats {
     pub replayed: usize,
 }
 
+impl ServeStats {
+    /// The deepest cache tier that served this request, for telemetry:
+    /// `"memo"` (tier 1), `"bracket"` (tier 3 continuation), `"prepared"`
+    /// (tier 2 only), or `None` for a fully cold request.
+    pub fn hit_tier(&self) -> Option<&'static str> {
+        if self.memoized {
+            Some("memo")
+        } else if self.bracket_injected {
+            Some("bracket")
+        } else if self.prep_reused {
+            Some("prepared")
+        } else {
+            None
+        }
+    }
+}
+
 /// One response: the request's id, its result (or a printable error), and
 /// serving telemetry.
 #[derive(Debug, Clone)]
@@ -146,12 +163,10 @@ pub struct BatchReport {
     pub errors: usize,
     /// Solver preparations performed (engine builds).
     pub prep_builds: usize,
-    /// Requests served without paying preparation.
-    pub prep_reuses: usize,
-    /// Requests answered from the memo store.
-    pub memo_hits: usize,
-    /// Optimize requests that started from a prior certified bracket.
-    pub bracket_injections: usize,
+    /// Per-tier cache hit counters (same schema as the streaming
+    /// [`crate::service::ServiceReport`], so E13 and E15 compare
+    /// row-for-row).
+    pub tiers: crate::telemetry::TierCounters,
     /// Total live engine evaluations across the batch.
     pub engine_evals: usize,
     /// Total trajectory-cache rounds replayed across the batch.
@@ -162,6 +177,10 @@ pub struct BatchReport {
     pub max_queue_wait: Duration,
     /// Sum of per-request service times.
     pub total_service: Duration,
+    /// Service-time (execution only) latency histogram.
+    pub service_hist: crate::telemetry::LatencyHistogram,
+    /// Queue-wait (batch start → execution start) latency histogram.
+    pub queue_hist: crate::telemetry::LatencyHistogram,
     /// Wall-clock time of the whole batch.
     pub wall: Duration,
 }
@@ -341,14 +360,14 @@ impl Scheduler {
                 report.errors += 1;
             }
             let s = &resp.stats;
-            report.prep_reuses += usize::from(s.prep_reused);
-            report.memo_hits += usize::from(s.memoized);
-            report.bracket_injections += usize::from(s.bracket_injected);
+            report.tiers.record(s);
             report.engine_evals += s.engine_evals;
             report.replayed += s.replayed;
             report.total_queue_wait += s.queue_wait;
             report.max_queue_wait = report.max_queue_wait.max(s.queue_wait);
             report.total_service += s.service;
+            report.service_hist.record(s.service);
+            report.queue_hist.record(s.queue_wait);
         }
         Ok(BatchOutput { responses, report })
     }
@@ -507,6 +526,8 @@ fn process_packing_group(
     let entry = keep_entry.then(|| CacheEntry {
         hash: fnv1a(key.as_bytes()),
         key,
+        engine_kind,
+        seed,
         prepared: Prepared::Packing { inst, engine },
         memo,
         bracket,
@@ -605,6 +626,8 @@ fn process_mixed_group(
     let entry = keep_entry.then(|| CacheEntry {
         hash: fnv1a(key.as_bytes()),
         key,
+        engine_kind,
+        seed,
         prepared: Prepared::Mixed { inst, pack_engine, cover_engine },
         memo,
         bracket: None,

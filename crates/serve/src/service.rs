@@ -1,0 +1,999 @@
+//! The persistent streaming service: long-lived admission → sharded
+//! workers → submission-order sequencer.
+//!
+//! ## Execution model
+//!
+//! The one-shot [`crate::Scheduler`] is barrier-y: it reads a whole
+//! batch, partitions it, answers, and exits — sustained traffic is
+//! bounded by the slowest group per batch and by the single cache lock.
+//! The service replaces the barrier with a pipeline:
+//!
+//! 1. **Admission** (the caller's thread) pulls [`StreamItem`]s as they
+//!    arrive — no batch boundary — stamps each with a submission sequence
+//!    number, and dispatches it to the shard its preparation fingerprint
+//!    routes to ([`crate::shard::shard_of`]).
+//! 2. **Shard workers** (one OS thread per shard) drain their bounded
+//!    queue in arrival order and execute requests against their shard of
+//!    the [`crate::shard::ShardedCache`] (same three reuse tiers as the
+//!    one-shot scheduler: result memo, prepared-engine reuse, certified
+//!    bracket continuation).
+//! 3. The **sequencer** (one thread) re-orders completed responses by
+//!    sequence number and hands them to the caller's sink strictly in
+//!    submission order, regardless of how workers interleave.
+//!
+//! ## Backpressure
+//!
+//! Every queue is bounded. A request whose shard queue is full is
+//! answered immediately with a typed [`StreamOutcome::Overloaded`] —
+//! never buffered without bound. Total in-flight work (dispatched but not
+//! yet emitted) is capped by an admission credit semaphore, so a slow
+//! request cannot make the sequencer's reorder buffer grow with the
+//! stream length: once the cap is reached, admission itself blocks and
+//! stops consuming input (the OS pipe applies backpressure to the
+//! producer).
+//!
+//! ## Determinism contract
+//!
+//! A fingerprint lives on exactly one shard and its shard's worker
+//! processes the queue FIFO, so the cache-state sequence any fingerprint
+//! moves through — and therefore every deterministic response field — is
+//! a function of the submission-ordered request stream alone: not of the
+//! shard count, the rayon pool width, or worker interleaving. Overload
+//! responses are the one timing-dependent outcome (they depend on queue
+//! occupancy); streams served within the queue bounds are bitwise
+//! reproducible, which `tests/determinism.rs` pins across pools {1, 4} ×
+//! shard counts {1, 4} and snapshot cold/warm starts.
+
+use crate::cache::{fnv1a, params_key, prep_engine_of, prep_key, CacheEntry, MemoEntry, Prepared};
+use crate::request::{InstancePayload, RequestKind, ServeRequest};
+use crate::scheduler::{ServeResponse, ServeResult, ServeStats};
+use crate::shard::ShardedCache;
+use crate::telemetry::{LatencyHistogram, TierCounters};
+use psdp_core::{DecisionOptions, MixedOptions, MixedSolver, Solver};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Service configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceOptions {
+    /// Cache shards (and shard worker threads). `0` is treated as 1.
+    pub shards: usize,
+    /// Bounded work-queue capacity per shard; a request arriving at a
+    /// full queue is answered with [`StreamOutcome::Overloaded`].
+    pub queue_capacity: usize,
+    /// Cap on items dispatched but not yet emitted by the sequencer
+    /// (bounds the reorder buffer). `0` = `shards · queue_capacity + 64`.
+    pub max_outstanding: usize,
+    /// Master switch for the fingerprint cache (off = every request is
+    /// cold, the uncached baseline).
+    pub cache_enabled: bool,
+    /// Fingerprint capacity per shard (deterministic per-shard LRU).
+    pub max_entries_per_shard: usize,
+    /// Memoized results kept per fingerprint.
+    pub memo_per_entry: usize,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions {
+            shards: 4,
+            queue_capacity: 1024,
+            max_outstanding: 0,
+            cache_enabled: true,
+            max_entries_per_shard: 256,
+            memo_per_entry: 64,
+        }
+    }
+}
+
+/// One admitted stream item: either a request to execute, or a line the
+/// caller already rejected (parse failure) that still needs its error
+/// emitted in submission order. `C` is caller context carried through the
+/// pipeline and handed back with the outcome (e.g. rendering state).
+pub enum StreamItem<C> {
+    /// Execute this request.
+    Execute {
+        /// The request.
+        request: ServeRequest,
+        /// Caller context returned with the outcome.
+        ctx: C,
+    },
+    /// Pass this admission-stage error through the sequencer.
+    Reject {
+        /// The admission error (e.g. a parse failure).
+        error: String,
+        /// Caller context returned with the outcome.
+        ctx: C,
+    },
+}
+
+/// What the sequencer emits for one stream item, in submission order.
+pub enum StreamOutcome {
+    /// The request executed (the result inside may still be a
+    /// per-request error). Boxed: a full response dwarfs the other
+    /// variants and the sequencer buffers many outcomes at once.
+    Response(Box<ServeResponse>),
+    /// Admission rejected the item before execution.
+    Rejected {
+        /// The admission error.
+        error: String,
+    },
+    /// The request's shard queue was full: typed backpressure, the
+    /// request was **not** executed and its cache state is untouched.
+    Overloaded {
+        /// The request id.
+        id: String,
+        /// The shard whose queue was full.
+        shard: usize,
+    },
+}
+
+/// Aggregate report over one [`Service::run_stream`] call. Same tier and
+/// latency schema as the one-shot [`crate::BatchReport`] (E13 vs E15 are
+/// comparable row-for-row); all wall-clock fields are stderr-report-only.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceReport {
+    /// Stream items admitted (executed + rejected + overloaded).
+    pub requests: usize,
+    /// Requests that reached a worker and executed.
+    pub executed: usize,
+    /// Items rejected at admission (parse failures).
+    pub rejected: usize,
+    /// Requests shed by backpressure (full shard queue).
+    pub overloaded: usize,
+    /// Executed requests that ended in an error response.
+    pub errors: usize,
+    /// Per-tier cache hit counters.
+    pub tiers: TierCounters,
+    /// Solver preparations performed (engine builds).
+    pub prep_builds: usize,
+    /// Total live engine evaluations.
+    pub engine_evals: usize,
+    /// Total trajectory-cache rounds replayed.
+    pub replayed: usize,
+    /// Per-shard queue-depth high-water marks.
+    pub queue_high_water: Vec<usize>,
+    /// Service-time (execution only) latency histogram.
+    pub service_hist: LatencyHistogram,
+    /// Queue-wait (admission → execution start) latency histogram.
+    pub queue_hist: LatencyHistogram,
+    /// Wall-clock time of the whole stream.
+    pub wall: Duration,
+}
+
+/// A job on a shard queue.
+struct ShardJob<C> {
+    seq: u64,
+    admitted_at: Instant,
+    request: ServeRequest,
+    ctx: C,
+}
+
+/// What workers/admission hand the sequencer.
+struct Sequenced<C> {
+    seq: u64,
+    ctx: C,
+    outcome: StreamOutcome,
+    prep_built: bool,
+}
+
+/// The long-lived streaming service. Owns the sharded cache, so reuse
+/// state (and snapshot warm loads) persists across [`Service::run_stream`]
+/// calls.
+pub struct Service {
+    opts: ServiceOptions,
+    cache: ShardedCache,
+}
+
+impl Service {
+    /// A service with the given options (cache starts cold; see
+    /// [`Service::load_snapshot`] for warm starts).
+    pub fn new(opts: ServiceOptions) -> Self {
+        let shards = opts.shards.max(1);
+        Service { opts, cache: ShardedCache::new(shards, opts.max_entries_per_shard) }
+    }
+
+    /// Number of fingerprints currently cached across all shards.
+    pub fn cached_fingerprints(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Number of cache shards (= shard worker threads).
+    pub fn shard_count(&self) -> usize {
+        self.cache.shard_count()
+    }
+
+    /// Serialize the cache's prepared fingerprints (and certified
+    /// brackets) into the versioned snapshot format. See
+    /// [`crate::snapshot`] for the format and soundness contract.
+    pub fn snapshot_string(&self) -> String {
+        crate::snapshot::write_snapshot(&self.cache)
+    }
+
+    /// Warm-load a snapshot produced by [`Service::snapshot_string`]:
+    /// every entry is fully re-verified and its engines are rebuilt
+    /// through the ordinary preparation path before insertion. Returns
+    /// the number of entries loaded.
+    ///
+    /// # Errors
+    /// [`crate::snapshot::SnapshotError`] on any malformed, corrupted, or
+    /// unverifiable content; the cache is left exactly as it was (callers
+    /// fall back to a cold start — never a panic).
+    pub fn load_snapshot(&mut self, text: &str) -> Result<usize, crate::snapshot::SnapshotError> {
+        let entries = crate::snapshot::load_snapshot(text)?;
+        let n = entries.len();
+        for entry in entries {
+            self.cache.insert(entry);
+        }
+        Ok(n)
+    }
+
+    /// Run one request stream to completion: admit `items` as the
+    /// iterator yields them, execute across the shard workers, and hand
+    /// every outcome to `sink` strictly in submission order. The cache
+    /// persists across calls.
+    pub fn run_stream<C, I, F>(&mut self, items: I, sink: F) -> ServiceReport
+    where
+        C: Send,
+        I: Iterator<Item = StreamItem<C>>,
+        F: FnMut(C, StreamOutcome) + Send,
+    {
+        let started = Instant::now();
+        let shards = self.cache.shard_count();
+        let queue_cap = self.opts.queue_capacity.max(1);
+        let outstanding = if self.opts.max_outstanding == 0 {
+            shards * queue_cap + 64
+        } else {
+            self.opts.max_outstanding.max(1)
+        };
+        // Capture the caller's rayon budget so shard workers run solver
+        // parallelism at the same width (worker threads do not inherit
+        // the caller's pool; tests vary this via `run_with_threads`).
+        let pool_width = rayon::current_num_threads();
+        let cache_enabled = self.opts.cache_enabled;
+        let memo_cap = self.opts.memo_per_entry;
+        let cache = &self.cache;
+
+        let depths: Vec<AtomicUsize> = (0..shards).map(|_| AtomicUsize::new(0)).collect();
+        let high_water: Vec<AtomicUsize> = (0..shards).map(|_| AtomicUsize::new(0)).collect();
+
+        let mut report = std::thread::scope(|scope| {
+            let (results_tx, results_rx) = mpsc::channel::<Sequenced<C>>();
+            // Admission credits: one token per in-flight item. `send`
+            // blocks when `outstanding` items are unemitted, which stalls
+            // admission (bounded memory) without ever deadlocking: items
+            // already dispatched complete without admission's help.
+            let (credits_tx, credits_rx) = mpsc::sync_channel::<()>(outstanding);
+
+            let mut shard_txs: Vec<mpsc::SyncSender<ShardJob<C>>> = Vec::with_capacity(shards);
+            for (shard_idx, (depth, _)) in depths.iter().zip(high_water.iter()).enumerate() {
+                let (tx, rx) = mpsc::sync_channel::<ShardJob<C>>(queue_cap);
+                shard_txs.push(tx);
+                let results_tx = results_tx.clone();
+                let _ = shard_idx;
+                scope.spawn(move || {
+                    worker_loop(rx, results_tx, cache, cache_enabled, memo_cap, pool_width, depth);
+                });
+            }
+
+            let sequencer = scope.spawn(move || sequencer_loop(results_rx, credits_rx, sink));
+
+            // Admission: the caller's thread.
+            for (seq, item) in (0_u64..).zip(items) {
+                // Acquire an in-flight credit (blocks at the cap; the
+                // receiver is only dropped after this loop ends, so a
+                // send failure can only mean the sequencer died — stop
+                // admitting).
+                if credits_tx.send(()).is_err() {
+                    break;
+                }
+                match item {
+                    StreamItem::Reject { error, ctx } => {
+                        let _ = results_tx.send(Sequenced {
+                            seq,
+                            ctx,
+                            outcome: StreamOutcome::Rejected { error },
+                            prep_built: false,
+                        });
+                    }
+                    StreamItem::Execute { request, ctx } => {
+                        let key = prep_key(&request);
+                        let shard = crate::shard::shard_of(fnv1a(key.as_bytes()), shards);
+                        let job = ShardJob { seq, admitted_at: Instant::now(), request, ctx };
+                        match shard_txs.get(shard) {
+                            Some(tx) => {
+                                // Count the item before handing it over: the
+                                // worker decrements on receipt, and a
+                                // decrement must never be able to run before
+                                // its increment (unsigned counter).
+                                let d = depths
+                                    .get(shard)
+                                    .map(|a| a.fetch_add(1, Ordering::SeqCst).saturating_add(1))
+                                    .unwrap_or(0);
+                                match tx.try_send(job) {
+                                    Ok(()) => {
+                                        if let Some(hw) = high_water.get(shard) {
+                                            hw.fetch_max(d, Ordering::SeqCst);
+                                        }
+                                    }
+                                    Err(mpsc::TrySendError::Full(job))
+                                    | Err(mpsc::TrySendError::Disconnected(job)) => {
+                                        if let Some(a) = depths.get(shard) {
+                                            a.fetch_sub(1, Ordering::SeqCst);
+                                        }
+                                        let _ = results_tx.send(Sequenced {
+                                            seq,
+                                            ctx: job.ctx,
+                                            outcome: StreamOutcome::Overloaded {
+                                                id: job.request.id.clone(),
+                                                shard,
+                                            },
+                                            prep_built: false,
+                                        });
+                                    }
+                                }
+                            }
+                            None => {
+                                let _ = results_tx.send(Sequenced {
+                                    seq,
+                                    ctx: job.ctx,
+                                    outcome: StreamOutcome::Rejected {
+                                        error: "shard routing out of range (internal)".to_string(),
+                                    },
+                                    prep_built: false,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            // Close the pipeline: workers drain and exit, then the
+            // results channel closes and the sequencer flushes.
+            drop(shard_txs);
+            drop(results_tx);
+            sequencer.join().unwrap_or_default()
+        });
+
+        report.queue_high_water = high_water.iter().map(|a| a.load(Ordering::SeqCst)).collect();
+        report.wall = started.elapsed();
+        report
+    }
+}
+
+/// One shard worker: drain the queue in arrival order, execute each
+/// request against the shared sharded cache, send sequenced outcomes.
+fn worker_loop<C: Send>(
+    rx: mpsc::Receiver<ShardJob<C>>,
+    results_tx: mpsc::Sender<Sequenced<C>>,
+    cache: &ShardedCache,
+    cache_enabled: bool,
+    memo_cap: usize,
+    pool_width: usize,
+    depth: &AtomicUsize,
+) {
+    // Propagate the caller's rayon width into this worker thread. Pool
+    // construction is infallible in the shim and cheap either way; on
+    // failure run unpooled (concurrency never changes results).
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(pool_width.max(1)).build().ok();
+    while let Ok(job) = rx.recv() {
+        depth.fetch_sub(1, Ordering::SeqCst);
+        let started = Instant::now();
+        let queue_wait = started.duration_since(job.admitted_at);
+        let exec = || execute_request(cache, cache_enabled, memo_cap, &job.request);
+        // A panic inside one request (a solver-internal bug) must not
+        // kill the worker and starve the whole shard: answer with a
+        // typed internal error and keep serving.
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &pool {
+            Some(p) => p.install(exec),
+            None => exec(),
+        }));
+        let (result, mut stats, prep_built) = match run {
+            Ok(out) => out,
+            Err(_) => (
+                Err("request execution panicked (internal)".to_string()),
+                ServeStats::default(),
+                false,
+            ),
+        };
+        stats.queue_wait = queue_wait;
+        stats.service = started.elapsed();
+        let response = ServeResponse { id: job.request.id.clone(), result, stats };
+        let _ = results_tx.send(Sequenced {
+            seq: job.seq,
+            ctx: job.ctx,
+            outcome: StreamOutcome::Response(Box::new(response)),
+            prep_built,
+        });
+    }
+}
+
+/// The sequencer: buffer out-of-order completions, emit strictly by
+/// sequence number, aggregate the report.
+fn sequencer_loop<C, F>(
+    results_rx: mpsc::Receiver<Sequenced<C>>,
+    credits_rx: mpsc::Receiver<()>,
+    mut sink: F,
+) -> ServiceReport
+where
+    F: FnMut(C, StreamOutcome),
+{
+    let mut report = ServiceReport::default();
+    let mut next: u64 = 0;
+    let mut pending: BTreeMap<u64, Sequenced<C>> = BTreeMap::new();
+    let mut emit = |s: Sequenced<C>, report: &mut ServiceReport| {
+        report.requests += 1;
+        if s.prep_built {
+            report.prep_builds += 1;
+        }
+        match &s.outcome {
+            StreamOutcome::Rejected { .. } => report.rejected += 1,
+            StreamOutcome::Overloaded { .. } => report.overloaded += 1,
+            StreamOutcome::Response(resp) => {
+                report.executed += 1;
+                if resp.result.is_err() {
+                    report.errors += 1;
+                }
+                report.tiers.record(&resp.stats);
+                report.engine_evals += resp.stats.engine_evals;
+                report.replayed += resp.stats.replayed;
+                report.service_hist.record(resp.stats.service);
+                report.queue_hist.record(resp.stats.queue_wait);
+            }
+        }
+        sink(s.ctx, s.outcome);
+        // Free one admission credit per emitted item.
+        let _ = credits_rx.try_recv();
+    };
+    while let Ok(s) = results_rx.recv() {
+        pending.insert(s.seq, s);
+        while let Some(s) = pending.remove(&next) {
+            emit(s, &mut report);
+            next += 1;
+        }
+    }
+    // Channel closed: flush whatever remains in order. Gaps can only
+    // appear if a worker died mid-request; emitting the survivors keeps
+    // every delivered outcome in submission order.
+    for (_, s) in std::mem::take(&mut pending) {
+        emit(s, &mut report);
+    }
+    report
+}
+
+/// Execute one request against the sharded cache: the per-request
+/// analogue of the one-shot scheduler's group execution, with the same
+/// three reuse tiers. Returns `(result, stats, prep_built)`.
+fn execute_request(
+    cache: &ShardedCache,
+    cache_enabled: bool,
+    memo_cap: usize,
+    req: &ServeRequest,
+) -> (Result<ServeResult, String>, ServeStats, bool) {
+    if !req.payload_matches_kind() {
+        return (
+            Err(format!("request kind `{}` does not match its instance payload", req.kind.name())),
+            ServeStats::default(),
+            false,
+        );
+    }
+    let key = prep_key(req);
+    let params = params_key(&req.kind);
+    let entry = if cache_enabled { cache.take(&key) } else { None };
+    let (result, stats, entry, prep_built) = match &req.payload {
+        InstancePayload::Packing(_) => run_packing_request(req, key, &params, entry, memo_cap),
+        InstancePayload::Mixed(_) => run_mixed_request(req, key, &params, entry, memo_cap),
+    };
+    if cache_enabled {
+        if let Some(entry) = entry {
+            cache.insert(entry);
+        }
+    }
+    (result, stats, prep_built)
+}
+
+/// Memo lookup shared by both families.
+fn memo_hit(memo: &[MemoEntry], params: &str) -> Option<ServeResult> {
+    memo.iter().find(|m| m.params == params).map(|m| m.result.clone())
+}
+
+#[allow(clippy::type_complexity)]
+fn run_packing_request(
+    req: &ServeRequest,
+    key: String,
+    params: &str,
+    entry: Option<CacheEntry>,
+    memo_cap: usize,
+) -> (Result<ServeResult, String>, ServeStats, Option<CacheEntry>, bool) {
+    let (engine_kind, seed) = prep_engine_of(&req.kind);
+    let build_opts = DecisionOptions::practical(0.1).with_engine(engine_kind).with_seed(seed);
+    let (inst, prior_engine, mut memo, mut bracket) = match entry {
+        Some(e) => match e.prepared {
+            Prepared::Packing { inst, engine } => (inst, Some(engine), e.memo, e.bracket),
+            Prepared::Mixed { .. } => {
+                return (
+                    Err("cache entry family mismatch (internal)".to_string()),
+                    ServeStats::default(),
+                    None,
+                    false,
+                );
+            }
+        },
+        None => match &req.payload {
+            InstancePayload::Packing(i) => (Arc::clone(i), None, Vec::new(), None),
+            InstancePayload::Mixed(_) => {
+                return (
+                    Err("mixed payload routed to a packing run (internal)".to_string()),
+                    ServeStats::default(),
+                    None,
+                    false,
+                );
+            }
+        },
+    };
+    let prep_built = prior_engine.is_none();
+    let mut stats = ServeStats { prep_reused: !prep_built, ..ServeStats::default() };
+
+    // Tier 1 first: a memo hit pays neither solver assembly nor a solve.
+    if let Some(hit) = memo_hit(&memo, params) {
+        stats.memoized = true;
+        let entry = CacheEntry {
+            hash: fnv1a(key.as_bytes()),
+            key,
+            engine_kind,
+            seed,
+            prepared: Prepared::Packing {
+                inst,
+                engine: match prior_engine {
+                    Some(e) => e,
+                    // A memo hit without prepared state cannot happen (the
+                    // memo lives inside the entry), but rebuild if it does.
+                    None => {
+                        return (Ok(hit), stats, None, false);
+                    }
+                },
+            },
+            memo,
+            bracket,
+            last_used: 0,
+        };
+        return (Ok(hit), stats, Some(entry), false);
+    }
+
+    let inst_ref = Arc::clone(&inst);
+    let builder = Solver::builder(&inst_ref).options(build_opts);
+    let solver = match match prior_engine {
+        Some(engine) => builder.build_with_engine(engine),
+        None => builder.build(),
+    } {
+        Ok(s) => s,
+        Err(e) => {
+            return (
+                Err(format!("solver preparation failed: {e}")),
+                ServeStats::default(),
+                None,
+                false,
+            );
+        }
+    };
+    let mut session = solver.session();
+    let result: Result<ServeResult, String> = match &req.kind {
+        RequestKind::Decision { threshold, opts } => session
+            .solve_with(*threshold, opts)
+            .map(ServeResult::Decision)
+            .map_err(|e| e.to_string()),
+        RequestKind::Optimize { opts } => {
+            let mut o = *opts;
+            if let Some((prior_params, lo, hi)) = &bracket {
+                if prior_params != params {
+                    // Tier 3: continue from the prior certified bracket.
+                    o.initial_bracket = Some(match o.initial_bracket {
+                        Some((l, h)) => (l.max(*lo), h.min(*hi)),
+                        None => (*lo, *hi),
+                    });
+                    stats.bracket_injected = true;
+                }
+            }
+            session
+                .optimize(&o)
+                .map(|r| {
+                    bracket = Some((params.to_string(), r.value_lower, r.value_upper));
+                    ServeResult::Optimize(r)
+                })
+                .map_err(|e| e.to_string())
+        }
+        RequestKind::Mixed { .. } => {
+            Err("mixed request routed to a packing run (internal)".to_string())
+        }
+    };
+    if let Ok(res) = &result {
+        let (evals, replayed) = match res {
+            ServeResult::Decision(d) => (d.stats.engine_evals, d.stats.replayed),
+            ServeResult::Optimize(r) => (r.total_engine_evals, r.total_replayed),
+            ServeResult::Mixed(_) => (0, 0),
+        };
+        stats.engine_evals = evals;
+        stats.replayed = replayed;
+        if memo.len() < memo_cap {
+            memo.push(MemoEntry { params: params.to_string(), result: res.clone() });
+        }
+    }
+    let engine = solver.engine_handle();
+    drop(session);
+    let entry = CacheEntry {
+        hash: fnv1a(key.as_bytes()),
+        key,
+        engine_kind,
+        seed,
+        prepared: Prepared::Packing { inst, engine },
+        memo,
+        bracket,
+        last_used: 0,
+    };
+    (result, stats, Some(entry), prep_built)
+}
+
+#[allow(clippy::type_complexity)]
+fn run_mixed_request(
+    req: &ServeRequest,
+    key: String,
+    params: &str,
+    entry: Option<CacheEntry>,
+    memo_cap: usize,
+) -> (Result<ServeResult, String>, ServeStats, Option<CacheEntry>, bool) {
+    let (engine_kind, seed) = prep_engine_of(&req.kind);
+    let build_opts = MixedOptions::practical(0.1).with_engine(engine_kind).with_seed(seed);
+    let (inst, prior_engines, mut memo) = match entry {
+        Some(e) => match e.prepared {
+            Prepared::Mixed { inst, pack_engine, cover_engine } => {
+                (inst, Some((pack_engine, cover_engine)), e.memo)
+            }
+            Prepared::Packing { .. } => {
+                return (
+                    Err("cache entry family mismatch (internal)".to_string()),
+                    ServeStats::default(),
+                    None,
+                    false,
+                );
+            }
+        },
+        None => match &req.payload {
+            InstancePayload::Mixed(i) => (Arc::clone(i), None, Vec::new()),
+            InstancePayload::Packing(_) => {
+                return (
+                    Err("packing payload routed to a mixed run (internal)".to_string()),
+                    ServeStats::default(),
+                    None,
+                    false,
+                );
+            }
+        },
+    };
+    let prep_built = prior_engines.is_none();
+    let mut stats = ServeStats { prep_reused: !prep_built, ..ServeStats::default() };
+
+    if let Some(hit) = memo_hit(&memo, params) {
+        stats.memoized = true;
+        let entry = prior_engines.map(|(pack_engine, cover_engine)| CacheEntry {
+            hash: fnv1a(key.as_bytes()),
+            key,
+            engine_kind,
+            seed,
+            prepared: Prepared::Mixed { inst, pack_engine, cover_engine },
+            memo,
+            bracket: None,
+            last_used: 0,
+        });
+        return (Ok(hit), stats, entry, false);
+    }
+
+    let inst_ref = Arc::clone(&inst);
+    let builder = MixedSolver::builder(&inst_ref).options(build_opts);
+    let solver = match match prior_engines {
+        Some((pack, cover)) => builder.build_with_engines(pack, cover),
+        None => builder.build(),
+    } {
+        Ok(s) => s,
+        Err(e) => {
+            return (
+                Err(format!("solver preparation failed: {e}")),
+                ServeStats::default(),
+                None,
+                false,
+            );
+        }
+    };
+    let mut session = solver.session();
+    let result: Result<ServeResult, String> = match &req.kind {
+        RequestKind::Mixed { opts } => {
+            session.optimize(opts).map(ServeResult::Mixed).map_err(|e| e.to_string())
+        }
+        _ => Err("packing request routed to a mixed run (internal)".to_string()),
+    };
+    if let Ok(res) = &result {
+        if let ServeResult::Mixed(r) = res {
+            stats.engine_evals = r.total_engine_evals;
+        }
+        if memo.len() < memo_cap {
+            memo.push(MemoEntry { params: params.to_string(), result: res.clone() });
+        }
+    }
+    let (pack_engine, cover_engine) = solver.engine_handles();
+    drop(session);
+    let entry = CacheEntry {
+        hash: fnv1a(key.as_bytes()),
+        key,
+        engine_kind,
+        seed,
+        prepared: Prepared::Mixed { inst, pack_engine, cover_engine },
+        memo,
+        bracket: None,
+        last_used: 0,
+    };
+    (result, stats, Some(entry), prep_built)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdp_core::{
+        ApproxOptions, DecisionOptions, MixedApproxOptions, MixedInstance, PackingInstance,
+    };
+    use psdp_sparse::PsdMatrix;
+    use std::sync::Arc;
+
+    fn diag_inst(rows: &[&[f64]]) -> Arc<PackingInstance> {
+        Arc::new(
+            PackingInstance::new(rows.iter().map(|r| PsdMatrix::Diagonal(r.to_vec())).collect())
+                .unwrap(),
+        )
+    }
+
+    fn mixed_inst() -> Arc<MixedInstance> {
+        Arc::new(
+            MixedInstance::new(
+                vec![PsdMatrix::Diagonal(vec![2.0, 0.0]), PsdMatrix::Diagonal(vec![0.0, 2.0])],
+                vec![PsdMatrix::Diagonal(vec![1.0, 0.0]), PsdMatrix::Diagonal(vec![0.0, 1.0])],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn run_service(
+        opts: ServiceOptions,
+        requests: Vec<ServeRequest>,
+    ) -> (Vec<(usize, StreamOutcome)>, ServiceReport, Service) {
+        let mut service = Service::new(opts);
+        let items = requests
+            .into_iter()
+            .enumerate()
+            .map(|(i, request)| StreamItem::Execute { request, ctx: i });
+        let mut got: Vec<(usize, StreamOutcome)> = Vec::new();
+        let report = service.run_stream(items, |ctx, out| got.push((ctx, out)));
+        (got, report, service)
+    }
+
+    #[test]
+    fn heterogeneous_stream_serves_all_kinds_in_order() {
+        let pack = diag_inst(&[&[2.0, 0.0], &[0.0, 4.0]]);
+        let requests = vec![
+            ServeRequest::decision("d1", Arc::clone(&pack), 0.5, DecisionOptions::practical(0.2)),
+            ServeRequest::optimize("o1", Arc::clone(&pack), ApproxOptions::serving(0.1)),
+            ServeRequest::mixed("m1", mixed_inst(), MixedApproxOptions::practical(0.1)),
+        ];
+        let (got, report, service) = run_service(ServiceOptions::default(), requests);
+        assert_eq!(got.len(), 3);
+        // Submission order regardless of which worker finished first.
+        assert_eq!(got.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(report.requests, 3);
+        assert_eq!(report.executed, 3);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.overloaded, 0);
+        match &got[1].1 {
+            StreamOutcome::Response(r) => match &r.result {
+                Ok(ServeResult::Optimize(o)) => {
+                    assert!(o.converged);
+                    assert!(o.value_lower <= 0.75 + 1e-9 && o.value_upper >= 0.75 - 1e-9);
+                }
+                other => panic!("bad optimize response: {other:?}"),
+            },
+            _ => panic!("expected a response"),
+        }
+        // decision+optimize share one fingerprint, mixed has its own.
+        assert_eq!(service.cached_fingerprints(), 2);
+        assert_eq!(report.prep_builds, 2);
+    }
+
+    #[test]
+    fn streaming_memoization_matches_one_shot_semantics() {
+        let pack = diag_inst(&[&[1.0, 0.0, 0.5], &[0.0, 1.0, 0.5], &[0.5, 0.5, 0.0]]);
+        let opts = ApproxOptions::serving(0.1);
+        let requests = vec![
+            ServeRequest::optimize("a", Arc::clone(&pack), opts),
+            ServeRequest::optimize("b", Arc::clone(&pack), opts),
+        ];
+        let (got, report, _) = run_service(ServiceOptions::default(), requests);
+        let stats = |i: usize| match &got[i].1 {
+            StreamOutcome::Response(r) => r.stats.clone(),
+            _ => panic!("expected response"),
+        };
+        assert!(!stats(0).memoized && stats(1).memoized);
+        assert_eq!(stats(1).engine_evals, 0);
+        assert_eq!(report.tiers.memo_hits, 1);
+        assert_eq!(report.prep_builds, 1);
+    }
+
+    #[test]
+    fn rejects_flow_through_in_submission_order() {
+        let pack = diag_inst(&[&[1.0]]);
+        let mut service = Service::new(ServiceOptions::default());
+        let items = vec![
+            StreamItem::Execute {
+                request: ServeRequest::decision(
+                    "ok",
+                    Arc::clone(&pack),
+                    1.0,
+                    DecisionOptions::practical(0.2),
+                ),
+                ctx: 0usize,
+            },
+            StreamItem::Reject { error: "bad json".to_string(), ctx: 1usize },
+            StreamItem::Execute {
+                request: ServeRequest::decision(
+                    "ok2",
+                    Arc::clone(&pack),
+                    1.0,
+                    DecisionOptions::practical(0.2),
+                ),
+                ctx: 2usize,
+            },
+        ];
+        let mut got = Vec::new();
+        let report = service.run_stream(items.into_iter(), |ctx, out| got.push((ctx, out)));
+        assert_eq!(got.len(), 3);
+        assert!(matches!(got[0].1, StreamOutcome::Response(_)));
+        assert!(matches!(&got[1].1, StreamOutcome::Rejected { error } if error == "bad json"));
+        assert!(matches!(got[2].1, StreamOutcome::Response(_)));
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.executed, 2);
+    }
+
+    #[test]
+    fn mismatched_payload_is_a_per_request_error() {
+        let pack = diag_inst(&[&[1.0]]);
+        let bad = ServeRequest {
+            id: "bad".into(),
+            payload: InstancePayload::Packing(Arc::clone(&pack)),
+            kind: RequestKind::Mixed { opts: MixedApproxOptions::practical(0.1) },
+        };
+        let (got, report, _) = run_service(ServiceOptions::default(), vec![bad]);
+        match &got[0].1 {
+            StreamOutcome::Response(r) => assert!(r.result.is_err()),
+            _ => panic!("expected response"),
+        }
+        assert_eq!(report.errors, 1);
+    }
+
+    #[test]
+    fn tiny_queue_backpressure_sheds_typed_overloads() {
+        // One shard, capacity 1, and max_outstanding large enough that
+        // admission itself never blocks: flooding the queue must produce
+        // typed overload outcomes, not hangs or panics, and every request
+        // must still be answered in submission order.
+        let pack = diag_inst(&[&[2.0, 0.0], &[0.0, 4.0]]);
+        let n = 24usize;
+        let requests: Vec<ServeRequest> = (0..n)
+            .map(|i| {
+                ServeRequest::optimize(
+                    format!("r{i:03}"),
+                    Arc::clone(&pack),
+                    ApproxOptions::serving(0.1 + 0.001 * i as f64),
+                )
+            })
+            .collect();
+        let opts = ServiceOptions {
+            shards: 1,
+            queue_capacity: 1,
+            max_outstanding: 4 * n,
+            ..ServiceOptions::default()
+        };
+        let (got, report, _) = run_service(opts, requests);
+        assert_eq!(got.len(), n);
+        assert_eq!(got.iter().map(|(i, _)| *i).collect::<Vec<_>>(), (0..n).collect::<Vec<_>>());
+        assert_eq!(report.executed + report.overloaded, n);
+        for (_, out) in &got {
+            match out {
+                StreamOutcome::Response(r) => assert!(r.result.is_ok()),
+                StreamOutcome::Overloaded { id, shard } => {
+                    assert!(id.starts_with('r'));
+                    assert_eq!(*shard, 0);
+                }
+                StreamOutcome::Rejected { .. } => panic!("no rejects in this stream"),
+            }
+        }
+        // Depth counts queued items plus at most one being handed to the
+        // worker, so the high-water mark is bounded by capacity + 1.
+        assert!(report.queue_high_water.iter().all(|&h| h <= 2), "{:?}", report.queue_high_water);
+    }
+
+    #[test]
+    fn shard_count_does_not_change_deterministic_response_fields() {
+        let insts: Vec<Arc<PackingInstance>> =
+            (0..6).map(|i| diag_inst(&[&[1.0 + i as f64, 0.0], &[0.0, 2.0 + i as f64]])).collect();
+        let mk = || -> Vec<ServeRequest> {
+            (0..24)
+                .map(|t| {
+                    let inst = &insts[t % insts.len()];
+                    ServeRequest::optimize(
+                        format!("r{t:03}"),
+                        Arc::clone(inst),
+                        ApproxOptions::serving(0.1),
+                    )
+                })
+                .collect()
+        };
+        let digest = |shards: usize| -> Vec<String> {
+            let opts = ServiceOptions { shards, ..ServiceOptions::default() };
+            let (got, _, _) = run_service(opts, mk());
+            got.iter()
+                .map(|(i, out)| match out {
+                    StreamOutcome::Response(r) => match &r.result {
+                        Ok(ServeResult::Optimize(o)) => format!(
+                            "{i}:{}:{:x}:{:x}:memo={}:prep={}",
+                            r.id,
+                            o.value_lower.to_bits(),
+                            o.value_upper.to_bits(),
+                            r.stats.memoized,
+                            r.stats.prep_reused
+                        ),
+                        other => format!("{i}:{other:?}"),
+                    },
+                    _ => format!("{i}:non-response"),
+                })
+                .collect()
+        };
+        assert_eq!(digest(1), digest(4), "shard count must not change response values");
+    }
+
+    #[test]
+    fn cache_disabled_is_cold_every_time() {
+        let pack = diag_inst(&[&[2.0, 0.0], &[0.0, 4.0]]);
+        let opts = ApproxOptions::serving(0.15);
+        let requests: Vec<ServeRequest> = (0..3)
+            .map(|i| ServeRequest::optimize(format!("r{i}"), Arc::clone(&pack), opts))
+            .collect();
+        let (_, report, service) = run_service(
+            ServiceOptions { cache_enabled: false, ..ServiceOptions::default() },
+            requests,
+        );
+        assert_eq!(report.prep_builds, 3);
+        assert_eq!(report.tiers.memo_hits, 0);
+        assert_eq!(service.cached_fingerprints(), 0);
+    }
+
+    #[test]
+    fn cache_persists_across_streams() {
+        let pack = diag_inst(&[&[2.0, 0.0], &[0.0, 4.0]]);
+        let mut service = Service::new(ServiceOptions::default());
+        let mk = |id: &str| StreamItem::Execute {
+            request: ServeRequest::optimize(
+                id.to_string(),
+                Arc::clone(&pack),
+                ApproxOptions::serving(0.2),
+            ),
+            ctx: (),
+        };
+        let r1 = service.run_stream(vec![mk("a")].into_iter(), |_, _| {});
+        assert_eq!(r1.prep_builds, 1);
+        let mut memoized = false;
+        let r2 = service.run_stream(vec![mk("b")].into_iter(), |_, out| {
+            if let StreamOutcome::Response(r) = out {
+                memoized = r.stats.memoized;
+            }
+        });
+        assert_eq!(r2.prep_builds, 0);
+        assert!(memoized, "identical request across streams must memo-hit");
+    }
+}

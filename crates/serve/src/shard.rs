@@ -1,0 +1,201 @@
+//! The sharded solver cache behind the persistent service.
+//!
+//! One global [`crate::cache::SolverCache`] behind one lock serializes
+//! every cache touch — fine for the one-shot scheduler (which takes
+//! entries out before going parallel) but a contention wall for a
+//! long-lived service where workers hit the cache on every request. The
+//! sharded cache splits the fingerprint space into independent shards,
+//! each behind its own lock, routed by a **prefix of the 64-bit
+//! fingerprint hash** (the top byte, folded modulo the shard count).
+//!
+//! Routing by fingerprint prefix gives the service its determinism lever:
+//! a fingerprint lives on exactly one shard regardless of the shard
+//! count, so with one worker draining each shard queue in arrival order,
+//! the sequence of cache states any single fingerprint moves through is a
+//! function of the request stream alone — never of the shard count or of
+//! how workers interleave across shards. `tests/determinism.rs` pins the
+//! resulting response streams bitwise across shard counts {1, 4}.
+//!
+//! Capacity is per shard (deterministic per-shard LRU, same logical-clock
+//! scheme as the unsharded cache), so eviction behavior for one
+//! fingerprint depends only on the traffic that shares its shard.
+
+use crate::cache::CacheEntry;
+use crate::cache::SolverCache;
+use parking_lot::Mutex;
+
+/// A fingerprint-sharded [`SolverCache`]: `shards` independent caches,
+/// each behind its own lock, routed by fingerprint-hash prefix.
+pub struct ShardedCache {
+    shards: Vec<Mutex<SolverCache>>,
+}
+
+/// Which shard a fingerprint hash routes to: the hash's top byte (its
+/// prefix), folded modulo the shard count. Using the high bits keeps the
+/// route independent of the low-bit patterns FNV mixes last.
+pub fn shard_of(hash: u64, shards: usize) -> usize {
+    ((hash >> 56) as usize) % shards.max(1)
+}
+
+impl ShardedCache {
+    /// A sharded cache with `shards` shards (`0` is treated as 1), each
+    /// holding at most `max_entries_per_shard` fingerprints.
+    pub fn new(shards: usize, max_entries_per_shard: usize) -> Self {
+        let n = shards.max(1);
+        ShardedCache {
+            shards: (0..n).map(|_| Mutex::new(SolverCache::new(max_entries_per_shard))).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total fingerprints cached across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Remove and return the entry for `key` from its shard, if present.
+    /// Workers take the entry out, run without holding the lock, and
+    /// re-insert afterwards — the shard lock is only held for the lookup.
+    pub(crate) fn take(&self, key: &str) -> Option<CacheEntry> {
+        let hash = crate::cache::fnv1a(key.as_bytes());
+        let shard = self.shards.get(shard_of(hash, self.shards.len()))?;
+        shard.lock().take(key)
+    }
+
+    /// Insert (or re-insert) an entry into its shard, stamping the
+    /// shard-local LRU clock and evicting that shard's LRU entry if over
+    /// capacity.
+    pub(crate) fn insert(&self, entry: CacheEntry) {
+        let idx = shard_of(entry.hash, self.shards.len());
+        if let Some(shard) = self.shards.get(idx) {
+            shard.lock().insert(entry);
+        }
+    }
+
+    /// Run `f` over every entry (key-sorted across all shards) without
+    /// removing them. Used by the snapshot writer.
+    pub(crate) fn for_each_sorted(&self, mut f: impl FnMut(&CacheEntry)) {
+        let mut keys: Vec<(usize, String)> = Vec::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            for key in shard.lock().keys() {
+                keys.push((i, key));
+            }
+        }
+        keys.sort_by(|a, b| a.1.cmp(&b.1));
+        for (i, key) in keys {
+            if let Some(shard) = self.shards.get(i) {
+                let mut guard = shard.lock();
+                if let Some(entry) = guard.take(&key) {
+                    f(&entry);
+                    guard.insert_preserving_clock(entry);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{fnv1a, Prepared};
+    use psdp_core::PackingInstance;
+    use psdp_expdot::{Engine, EngineKind};
+    use psdp_sparse::PsdMatrix;
+    use std::sync::Arc;
+
+    fn entry(key: &str) -> CacheEntry {
+        let mats = vec![PsdMatrix::Diagonal(vec![1.0])];
+        CacheEntry {
+            hash: fnv1a(key.as_bytes()),
+            key: key.to_string(),
+            engine_kind: EngineKind::Exact,
+            seed: 0,
+            prepared: Prepared::Packing {
+                inst: Arc::new(PackingInstance::new(mats.clone()).unwrap()),
+                engine: Arc::new(Engine::new(EngineKind::Exact, &mats, 0).unwrap()),
+            },
+            memo: Vec::new(),
+            bracket: None,
+            last_used: 0,
+        }
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for shards in [1usize, 2, 4, 7] {
+            for key in ["a", "b", "packing\nengine Exact\nseed 0\npsdp 1"] {
+                let h = fnv1a(key.as_bytes());
+                let s = shard_of(h, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(h, shards), "routing must be a pure function");
+            }
+        }
+        assert_eq!(shard_of(u64::MAX, 0), 0, "zero shards treated as one");
+    }
+
+    #[test]
+    fn take_insert_roundtrip_across_shards() {
+        let cache = ShardedCache::new(4, 8);
+        for key in ["k1", "k2", "k3", "k4", "k5"] {
+            cache.insert(entry(key));
+        }
+        assert_eq!(cache.len(), 5);
+        assert!(!cache.is_empty());
+        for key in ["k1", "k2", "k3", "k4", "k5"] {
+            let e = cache.take(key).expect("entry present");
+            assert_eq!(e.key, key);
+            cache.insert(e);
+        }
+        assert!(cache.take("missing").is_none());
+        assert_eq!(cache.len(), 5);
+    }
+
+    #[test]
+    fn eviction_is_shard_local() {
+        // Capacity 1 per shard: keys that share a shard evict each other,
+        // keys on other shards are untouched.
+        let cache = ShardedCache::new(2, 1);
+        let keys = ["a", "b", "c", "d", "e", "f"];
+        for key in keys {
+            cache.insert(entry(key));
+        }
+        // At most one survivor per shard.
+        assert!(cache.len() <= 2);
+        let survivors: Vec<&str> =
+            keys.iter().copied().filter(|k| cache.take(k).is_some()).collect();
+        assert!(!survivors.is_empty());
+        // Each survivor must be the most recent key routed to its shard.
+        for s in survivors {
+            let sh = shard_of(fnv1a(s.as_bytes()), 2);
+            let later: Vec<&str> = keys
+                .iter()
+                .copied()
+                .skip_while(|k| *k != s)
+                .skip(1)
+                .filter(|k| shard_of(fnv1a(k.as_bytes()), 2) == sh)
+                .collect();
+            assert!(later.is_empty(), "{s} should have been evicted by {later:?}");
+        }
+    }
+
+    #[test]
+    fn for_each_sorted_visits_all_without_removing() {
+        let cache = ShardedCache::new(3, 8);
+        for key in ["zz", "aa", "mm"] {
+            cache.insert(entry(key));
+        }
+        let mut seen = Vec::new();
+        cache.for_each_sorted(|e| seen.push(e.key.clone()));
+        assert_eq!(seen, ["aa", "mm", "zz"]);
+        assert_eq!(cache.len(), 3, "iteration must not consume entries");
+    }
+}

@@ -1,0 +1,563 @@
+//! Cache snapshot persistence: write the service's prepared fingerprints
+//! to a versioned text format and warm-reload them at startup.
+//!
+//! ## What is (and is not) persisted
+//!
+//! Prepared engines hold factorizations and resolved strategies — state
+//! that is expensive to serialize and riskier still to trust from disk.
+//! The snapshot therefore stores the *rebuild inputs* instead: the
+//! request family, the engine kind (float parameters as exact IEEE-754
+//! bit patterns), the sketch seed, the instance's canonical text, and the
+//! last certified optimize bracket. Loading replays the ordinary solver
+//! preparation path over those inputs, so a warm-started service holds
+//! engines bit-identical to ones it would have built cold — the snapshot
+//! moves preparation cost off the serving path without introducing a new
+//! trust boundary. The memo tier is deliberately **not** persisted:
+//! results are only replayed within one process lifetime, where "the
+//! pipeline is deterministic" is an invariant the binary itself enforces.
+//!
+//! ## Verification on load
+//!
+//! Every entry is fully verified before insertion, mirroring the cache's
+//! full-key-on-hit discipline:
+//!
+//! 1. the instance text must be *canonical* (read→write is a byte
+//!    fixpoint), so a snapshot edited into a non-canonical spelling of
+//!    the same instance cannot alias a different fingerprint;
+//! 2. the canonical preparation key recomputed from the rebuilt inputs
+//!    must hash to the stored fingerprint hash;
+//! 3. duplicate keys are rejected.
+//!
+//! Any failure yields a typed [`SnapshotError`] — callers fall back to a
+//! cold start; a corrupted snapshot can never panic the service or
+//! poison its cache.
+
+use crate::cache::{fnv1a, CacheEntry, Prepared};
+use crate::shard::ShardedCache;
+use psdp_core::{
+    read_instance, read_mixed_instance, write_instance, write_mixed_instance, DecisionOptions,
+    MixedOptions, MixedSolver, Solver,
+};
+use psdp_expdot::EngineKind;
+use std::fmt;
+use std::sync::Arc;
+
+/// Snapshot format version header (line 1 of every snapshot).
+const HEADER: &str = "psdp snapshot v1";
+
+/// Why a snapshot failed to load. All variants are recoverable: the
+/// caller's cache is untouched and a cold start is always safe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The text does not parse as the versioned snapshot format.
+    Format {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong.
+        msg: String,
+    },
+    /// An entry parsed but failed full verification (non-canonical
+    /// instance text, fingerprint hash mismatch, duplicate key).
+    Verify {
+        /// What failed to verify.
+        msg: String,
+    },
+    /// Solver preparation over the stored inputs failed.
+    Rebuild {
+        /// The preparation error.
+        msg: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Format { line, msg } => {
+                write!(f, "snapshot format error at line {line}: {msg}")
+            }
+            SnapshotError::Verify { msg } => write!(f, "snapshot verification failed: {msg}"),
+            SnapshotError::Rebuild { msg } => {
+                write!(f, "snapshot engine rebuild failed: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Exact, locale-free f64 rendering: the IEEE-754 bit pattern in hex.
+fn f64_bits(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Inverse of [`f64_bits`].
+fn parse_f64_bits(s: &str, line: usize) -> Result<f64, SnapshotError> {
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| SnapshotError::Format { line, msg: format!("bad f64 bit pattern `{s}`") })
+}
+
+/// Render an engine kind as a `engine <tag> [params…]` line body.
+fn render_engine(kind: EngineKind) -> String {
+    match kind {
+        EngineKind::Exact => "exact".to_string(),
+        EngineKind::Taylor { eps } => format!("taylor {}", f64_bits(eps)),
+        EngineKind::TaylorJl { eps, sketch_const } => {
+            format!("taylor_jl {} {}", f64_bits(eps), f64_bits(sketch_const))
+        }
+        EngineKind::Expv { eps } => format!("expv {}", f64_bits(eps)),
+        EngineKind::Auto { eps } => format!("auto {}", f64_bits(eps)),
+    }
+}
+
+/// Parse the body of an `engine` line.
+fn parse_engine(body: &str, line: usize) -> Result<EngineKind, SnapshotError> {
+    let mut parts = body.split(' ');
+    let tag = parts.next().unwrap_or("");
+    let kind = match (tag, parts.next(), parts.next(), parts.next()) {
+        ("exact", None, _, _) => EngineKind::Exact,
+        ("taylor", Some(eps), None, _) => EngineKind::Taylor { eps: parse_f64_bits(eps, line)? },
+        ("taylor_jl", Some(eps), Some(c), None) => EngineKind::TaylorJl {
+            eps: parse_f64_bits(eps, line)?,
+            sketch_const: parse_f64_bits(c, line)?,
+        },
+        ("expv", Some(eps), None, _) => EngineKind::Expv { eps: parse_f64_bits(eps, line)? },
+        ("auto", Some(eps), None, _) => EngineKind::Auto { eps: parse_f64_bits(eps, line)? },
+        _ => {
+            return Err(SnapshotError::Format { line, msg: format!("bad engine spec `{body}`") });
+        }
+    };
+    Ok(kind)
+}
+
+/// Serialize every cached fingerprint (key-sorted, so write→load→write is
+/// a byte fixpoint) into the versioned snapshot text.
+pub(crate) fn write_snapshot(cache: &ShardedCache) -> String {
+    let mut blocks: Vec<String> = Vec::new();
+    cache.for_each_sorted(|e| blocks.push(render_entry(e)));
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    out.push_str(&format!("entries {}\n", blocks.len()));
+    for b in blocks {
+        out.push_str(&b);
+    }
+    out
+}
+
+fn render_entry(e: &CacheEntry) -> String {
+    let (family, inst_text) = match &e.prepared {
+        Prepared::Packing { inst, .. } => ("packing", write_instance(inst)),
+        Prepared::Mixed { inst, .. } => ("mixed", write_mixed_instance(inst)),
+    };
+    let bracket = match &e.bracket {
+        Some((params, lo, hi)) => {
+            format!("bracket {} {} {params}", f64_bits(*lo), f64_bits(*hi))
+        }
+        None => "bracket none".to_string(),
+    };
+    let n_lines = inst_text.lines().count();
+    let mut out = String::new();
+    out.push_str("entry\n");
+    out.push_str(&format!("family {family}\n"));
+    out.push_str(&format!("engine {}\n", render_engine(e.engine_kind)));
+    out.push_str(&format!("seed {}\n", e.seed));
+    out.push_str(&format!("hash {:016x}\n", e.hash));
+    out.push_str(&bracket);
+    out.push('\n');
+    out.push_str(&format!("instance {n_lines}\n"));
+    for line in inst_text.lines() {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Cursor over snapshot lines with 1-based numbering for errors.
+struct Cursor<'a> {
+    lines: Vec<&'a str>,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn next(&mut self) -> Option<(usize, &'a str)> {
+        let line = self.lines.get(self.pos).copied()?;
+        self.pos += 1;
+        Some((self.pos, line))
+    }
+
+    fn expect_field(&mut self, name: &str) -> Result<(usize, &'a str), SnapshotError> {
+        let Some((no, line)) = self.next() else {
+            return Err(SnapshotError::Format {
+                line: self.pos,
+                msg: format!("unexpected end of snapshot, wanted `{name} …`"),
+            });
+        };
+        match line.strip_prefix(name).and_then(|r| r.strip_prefix(' ')) {
+            Some(rest) => Ok((no, rest)),
+            None => Err(SnapshotError::Format {
+                line: no,
+                msg: format!("expected `{name} …`, found `{line}`"),
+            }),
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str) -> Result<(), SnapshotError> {
+        let Some((no, line)) = self.next() else {
+            return Err(SnapshotError::Format {
+                line: self.pos,
+                msg: format!("unexpected end of snapshot, wanted `{lit}`"),
+            });
+        };
+        if line == lit {
+            Ok(())
+        } else {
+            Err(SnapshotError::Format {
+                line: no,
+                msg: format!("expected `{lit}`, found `{line}`"),
+            })
+        }
+    }
+}
+
+/// Parse, verify, and rebuild every entry of a snapshot. On success the
+/// entries are ready for [`ShardedCache::insert`]; on any failure nothing
+/// is returned and the caller's cache is untouched.
+pub(crate) fn load_snapshot(text: &str) -> Result<Vec<CacheEntry>, SnapshotError> {
+    let mut cur = Cursor { lines: text.lines().collect(), pos: 0 };
+    cur.expect_literal(HEADER)?;
+    let (no, count_body) = cur.expect_field("entries")?;
+    let count: usize = count_body.parse().map_err(|_| SnapshotError::Format {
+        line: no,
+        msg: format!("bad entry count `{count_body}`"),
+    })?;
+
+    let mut entries: Vec<CacheEntry> = Vec::with_capacity(count);
+    let mut seen_keys: Vec<String> = Vec::new();
+    for _ in 0..count {
+        let entry = load_entry(&mut cur)?;
+        if seen_keys.contains(&entry.key) {
+            return Err(SnapshotError::Verify {
+                msg: format!("duplicate fingerprint (hash {:016x})", entry.hash),
+            });
+        }
+        seen_keys.push(entry.key.clone());
+        entries.push(entry);
+    }
+    if let Some((no, line)) = cur.next() {
+        return Err(SnapshotError::Format {
+            line: no,
+            msg: format!("trailing content after last entry: `{line}`"),
+        });
+    }
+    Ok(entries)
+}
+
+fn load_entry(cur: &mut Cursor<'_>) -> Result<CacheEntry, SnapshotError> {
+    cur.expect_literal("entry")?;
+    let (fam_no, family) = cur.expect_field("family")?;
+    let (eng_no, engine_body) = cur.expect_field("engine")?;
+    let engine_kind = parse_engine(engine_body, eng_no)?;
+    let (seed_no, seed_body) = cur.expect_field("seed")?;
+    let seed: u64 = seed_body.parse().map_err(|_| SnapshotError::Format {
+        line: seed_no,
+        msg: format!("bad seed `{seed_body}`"),
+    })?;
+    let (hash_no, hash_body) = cur.expect_field("hash")?;
+    let hash = u64::from_str_radix(hash_body, 16).map_err(|_| SnapshotError::Format {
+        line: hash_no,
+        msg: format!("bad fingerprint hash `{hash_body}`"),
+    })?;
+    let (br_no, bracket_body) = cur.expect_field("bracket")?;
+    let bracket: Option<(String, f64, f64)> = if bracket_body == "none" {
+        None
+    } else {
+        let mut parts = bracket_body.splitn(3, ' ');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(lo), Some(hi), Some(params)) if !params.is_empty() => {
+                Some((params.to_string(), parse_f64_bits(lo, br_no)?, parse_f64_bits(hi, br_no)?))
+            }
+            _ => {
+                return Err(SnapshotError::Format {
+                    line: br_no,
+                    msg: format!("bad bracket spec `{bracket_body}`"),
+                });
+            }
+        }
+    };
+    let (inst_no, n_body) = cur.expect_field("instance")?;
+    let n_lines: usize = n_body.parse().map_err(|_| SnapshotError::Format {
+        line: inst_no,
+        msg: format!("bad instance line count `{n_body}`"),
+    })?;
+    let mut inst_text = String::new();
+    for _ in 0..n_lines {
+        let Some((_, line)) = cur.next() else {
+            return Err(SnapshotError::Format {
+                line: cur.pos,
+                msg: "unexpected end of snapshot inside instance text".to_string(),
+            });
+        };
+        inst_text.push_str(line);
+        inst_text.push('\n');
+    }
+    cur.expect_literal("end")?;
+
+    // Rebuild + verify. The key is recomputed from the rebuilt inputs in
+    // exactly the `prep_key` format, then checked against the stored
+    // fingerprint hash — a tampered or bit-rotted entry cannot alias a
+    // different fingerprint.
+    let (prepared, key) = match family {
+        "packing" => {
+            let inst = read_instance(&inst_text)
+                .map_err(|e| SnapshotError::Verify { msg: format!("instance rejected: {e}") })?;
+            if write_instance(&inst) != inst_text {
+                return Err(SnapshotError::Verify {
+                    msg: "instance text is not canonical (read→write is not a fixpoint)"
+                        .to_string(),
+                });
+            }
+            let inst = Arc::new(inst);
+            let key =
+                format!("packing\nengine {engine_kind:?}\nseed {seed}\n{}", write_instance(&inst));
+            let opts = DecisionOptions::practical(0.1).with_engine(engine_kind).with_seed(seed);
+            let solver = Solver::builder(&inst)
+                .options(opts)
+                .build()
+                .map_err(|e| SnapshotError::Rebuild { msg: e.to_string() })?;
+            let engine = solver.engine_handle();
+            (Prepared::Packing { inst: Arc::clone(&inst), engine }, key)
+        }
+        "mixed" => {
+            let inst = read_mixed_instance(&inst_text)
+                .map_err(|e| SnapshotError::Verify { msg: format!("instance rejected: {e}") })?;
+            if write_mixed_instance(&inst) != inst_text {
+                return Err(SnapshotError::Verify {
+                    msg: "instance text is not canonical (read→write is not a fixpoint)"
+                        .to_string(),
+                });
+            }
+            let inst = Arc::new(inst);
+            let key = format!(
+                "mixed\nengine {engine_kind:?}\nseed {seed}\n{}",
+                write_mixed_instance(&inst)
+            );
+            let opts = MixedOptions::practical(0.1).with_engine(engine_kind).with_seed(seed);
+            let solver = MixedSolver::builder(&inst)
+                .options(opts)
+                .build()
+                .map_err(|e| SnapshotError::Rebuild { msg: e.to_string() })?;
+            let (pack_engine, cover_engine) = solver.engine_handles();
+            (Prepared::Mixed { inst: Arc::clone(&inst), pack_engine, cover_engine }, key)
+        }
+        other => {
+            return Err(SnapshotError::Format {
+                line: fam_no,
+                msg: format!("unknown family `{other}`"),
+            });
+        }
+    };
+    if fnv1a(key.as_bytes()) != hash {
+        return Err(SnapshotError::Verify {
+            msg: format!("fingerprint hash mismatch (stored {hash:016x})"),
+        });
+    }
+    if bracket.is_some() && matches!(prepared, Prepared::Mixed { .. }) {
+        return Err(SnapshotError::Verify {
+            msg: "mixed entries cannot carry a packing bracket".to_string(),
+        });
+    }
+    Ok(CacheEntry {
+        hash,
+        key,
+        engine_kind,
+        seed,
+        prepared,
+        memo: Vec::new(),
+        bracket,
+        last_used: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{Service, ServiceOptions, StreamItem, StreamOutcome};
+    use crate::ServeRequest;
+    use psdp_core::{ApproxOptions, MixedApproxOptions, MixedInstance, PackingInstance};
+    use psdp_sparse::PsdMatrix;
+
+    fn warm_service() -> Service {
+        let pack = Arc::new(
+            PackingInstance::new(vec![
+                PsdMatrix::Diagonal(vec![2.0, 0.0]),
+                PsdMatrix::Diagonal(vec![0.0, 4.0]),
+            ])
+            .unwrap(),
+        );
+        let mixed = Arc::new(
+            MixedInstance::new(
+                vec![PsdMatrix::Diagonal(vec![2.0, 0.0]), PsdMatrix::Diagonal(vec![0.0, 2.0])],
+                vec![PsdMatrix::Diagonal(vec![1.0, 0.0]), PsdMatrix::Diagonal(vec![0.0, 1.0])],
+            )
+            .unwrap(),
+        );
+        let mut service = Service::new(ServiceOptions::default());
+        let items = vec![
+            StreamItem::Execute {
+                request: ServeRequest::optimize("a", pack, ApproxOptions::serving(0.1)),
+                ctx: (),
+            },
+            StreamItem::Execute {
+                request: ServeRequest::mixed("b", mixed, MixedApproxOptions::practical(0.1)),
+                ctx: (),
+            },
+        ];
+        let report = service.run_stream(items.into_iter(), |_, out| {
+            if let StreamOutcome::Response(r) = out {
+                assert!(r.result.is_ok());
+            }
+        });
+        assert_eq!(report.errors, 0);
+        service
+    }
+
+    #[test]
+    fn write_load_write_is_a_byte_fixpoint() {
+        let service = warm_service();
+        let snap1 = service.snapshot_string();
+        assert!(snap1.starts_with(HEADER));
+        let mut fresh = Service::new(ServiceOptions::default());
+        let loaded = fresh.load_snapshot(&snap1).expect("snapshot loads");
+        assert_eq!(loaded, 2);
+        assert_eq!(fresh.cached_fingerprints(), 2);
+        let snap2 = fresh.snapshot_string();
+        assert_eq!(snap1, snap2, "write→load→write must be byte-identical");
+    }
+
+    #[test]
+    fn load_into_different_shard_count_keeps_all_entries() {
+        let service = warm_service();
+        let snap = service.snapshot_string();
+        for shards in [1usize, 3, 8] {
+            let mut s = Service::new(ServiceOptions { shards, ..ServiceOptions::default() });
+            assert_eq!(s.load_snapshot(&snap).expect("loads"), 2);
+            assert_eq!(s.snapshot_string(), snap, "shard count must not change snapshot bytes");
+        }
+    }
+
+    #[test]
+    fn corrupted_snapshots_error_cleanly() {
+        let service = warm_service();
+        let snap = service.snapshot_string();
+        let cases: Vec<String> = vec![
+            String::new(),
+            "garbage\n".to_string(),
+            snap.replace("psdp snapshot v1", "psdp snapshot v2"),
+            snap.replace("entries 2", "entries 3"),
+            snap.replace("family packing", "family quantum"),
+            snap.replace("seed 0", "seed banana"),
+            // Flip a fingerprint hash digit.
+            {
+                let mut s = String::new();
+                for line in snap.lines() {
+                    if let Some(rest) = line.strip_prefix("hash ") {
+                        let flipped: String =
+                            rest.chars().map(|c| if c == '0' { '1' } else { '0' }).collect();
+                        s.push_str(&format!("hash {flipped}\n"));
+                    } else {
+                        s.push_str(line);
+                        s.push('\n');
+                    }
+                }
+                s
+            },
+            // Truncate mid-entry.
+            snap.lines().take(5).map(|l| format!("{l}\n")).collect(),
+            // Perturb the first instance body line (breaks canonicality
+            // or the fingerprint hash, whichever trips first).
+            {
+                let mut out = String::new();
+                let mut poison_next = false;
+                let mut poisoned = false;
+                for line in snap.lines() {
+                    if poison_next && !poisoned {
+                        out.push_str(&format!("{line} junk\n"));
+                        poisoned = true;
+                    } else {
+                        out.push_str(line);
+                        out.push('\n');
+                    }
+                    poison_next = line.starts_with("instance ");
+                }
+                assert!(poisoned, "snapshot must contain an instance body");
+                out
+            },
+        ];
+        for (i, bad) in cases.iter().enumerate() {
+            let mut s = Service::new(ServiceOptions::default());
+            let res = s.load_snapshot(bad);
+            assert!(res.is_err(), "case {i} should fail to load");
+            assert_eq!(s.cached_fingerprints(), 0, "case {i} must leave the cache cold");
+        }
+    }
+
+    #[test]
+    fn duplicate_entries_are_rejected() {
+        let service = warm_service();
+        let snap = service.snapshot_string();
+        // Duplicate the whole entry list: entries 4 with each entry twice.
+        let mut lines = snap.lines();
+        let header = lines.next().unwrap();
+        let _count = lines.next().unwrap();
+        let body: Vec<&str> = lines.collect();
+        let doubled = format!("{header}\nentries 4\n{}\n{}\n", body.join("\n"), body.join("\n"));
+        let mut s = Service::new(ServiceOptions::default());
+        match s.load_snapshot(&doubled) {
+            Err(SnapshotError::Verify { msg }) => assert!(msg.contains("duplicate")),
+            other => panic!("expected duplicate-key verify error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn engine_kinds_roundtrip_exactly() {
+        let kinds = [
+            EngineKind::Exact,
+            EngineKind::Taylor { eps: 0.1 },
+            EngineKind::TaylorJl { eps: 0.05, sketch_const: 4.0 },
+            EngineKind::Expv { eps: 0.1 },
+            EngineKind::Auto { eps: 0.3 },
+        ];
+        for kind in kinds {
+            let body = render_engine(kind);
+            let parsed = parse_engine(&body, 1).expect("parses");
+            assert_eq!(parsed, kind);
+        }
+        assert!(parse_engine("taylor", 1).is_err());
+        assert!(parse_engine("exact 3ff0000000000000", 1).is_err());
+        assert!(parse_engine("warp 3ff0000000000000", 1).is_err());
+    }
+
+    #[test]
+    fn warm_start_serves_without_prep_builds() {
+        let service = warm_service();
+        let snap = service.snapshot_string();
+        let pack = Arc::new(
+            PackingInstance::new(vec![
+                PsdMatrix::Diagonal(vec![2.0, 0.0]),
+                PsdMatrix::Diagonal(vec![0.0, 4.0]),
+            ])
+            .unwrap(),
+        );
+        let mut warm = Service::new(ServiceOptions::default());
+        warm.load_snapshot(&snap).expect("loads");
+        let items = vec![StreamItem::Execute {
+            request: ServeRequest::optimize("c", pack, ApproxOptions::serving(0.1)),
+            ctx: (),
+        }];
+        let report = warm.run_stream(items.into_iter(), |_, _| {});
+        assert_eq!(report.prep_builds, 0, "warm-started fingerprint must not rebuild");
+        assert_eq!(report.tiers.prep_reuses, 1);
+    }
+}

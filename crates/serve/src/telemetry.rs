@@ -1,0 +1,232 @@
+//! Serving telemetry shared by the one-shot scheduler and the persistent
+//! service: per-tier cache hit counters and log-bucketed latency
+//! histograms.
+//!
+//! Both [`crate::scheduler::BatchReport`] and
+//! [`crate::service::ServiceReport`] embed the same [`TierCounters`] and
+//! [`LatencyStats`] shapes so E13 (one-shot throughput) and E15 (sustained
+//! streaming throughput) report the same schema and can be compared
+//! row-for-row.
+//!
+//! Latency numbers are wall-clock and therefore non-deterministic; they
+//! are only ever rendered into the stderr batch report, never into
+//! response bytes (the determinism suite compares response streams
+//! bitwise).
+
+use std::time::Duration;
+
+/// Per-tier cache hit counters (see `DESIGN.md` §10 for the tiers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierCounters {
+    /// Tier 1: requests answered verbatim from the memo store.
+    pub memo_hits: usize,
+    /// Tier 2: requests served without paying solver preparation.
+    pub prep_reuses: usize,
+    /// Tier 3: optimize requests that started from a prior certified
+    /// bracket.
+    pub bracket_injections: usize,
+}
+
+impl TierCounters {
+    /// Fold one request's reuse telemetry into the counters.
+    pub fn record(&mut self, stats: &crate::scheduler::ServeStats) {
+        self.memo_hits += usize::from(stats.memoized);
+        self.prep_reuses += usize::from(stats.prep_reused);
+        self.bracket_injections += usize::from(stats.bracket_injected);
+    }
+
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &TierCounters) {
+        self.memo_hits += other.memo_hits;
+        self.prep_reuses += other.prep_reuses;
+        self.bracket_injections += other.bracket_injections;
+    }
+}
+
+/// Number of geometric buckets in a [`LatencyHistogram`]. Bucket `i`
+/// covers `(upper(i-1), 1µs·2^i]`, so the range spans 1 µs … ~1100 s.
+const BUCKETS: usize = 31;
+
+/// A log-bucketed latency histogram: fixed µs-anchored power-of-two
+/// buckets, so recording is allocation-free and quantiles are stable
+/// regardless of sample count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    max: Duration,
+    sum: Duration,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; BUCKETS],
+            total: 0,
+            max: Duration::ZERO,
+            sum: Duration::ZERO,
+        }
+    }
+}
+
+/// Upper bound of bucket `i` in microseconds.
+fn bucket_upper_us(i: usize) -> u64 {
+    1u64 << i
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, d: Duration) {
+        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = (0..BUCKETS).find(|&i| us <= bucket_upper_us(i)).unwrap_or(BUCKETS - 1);
+        if let Some(slot) = self.counts.get_mut(idx) {
+            *slot += 1;
+        }
+        self.total += 1;
+        self.max = self.max.max(d);
+        self.sum += d;
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> Duration {
+        self.max
+    }
+
+    /// Sum of all recorded samples (exact, not bucketed).
+    pub fn sum(&self) -> Duration {
+        self.sum
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) as the upper bound of the bucket
+    /// holding the `ceil(q·total)`-th sample; `None` when empty. The true
+    /// sample sits within a factor of 2 below the returned value.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        if self.total == 0 || !q.is_finite() || q <= 0.0 {
+            return None;
+        }
+        let rank = ((q.min(1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Duration::from_micros(bucket_upper_us(i)).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// The p50/p99/max summary used by the batch reports.
+    pub fn stats(&self) -> LatencyStats {
+        LatencyStats {
+            p50: self.quantile(0.50).unwrap_or(Duration::ZERO),
+            p99: self.quantile(0.99).unwrap_or(Duration::ZERO),
+            max: self.max,
+            count: self.total,
+        }
+    }
+}
+
+/// The p50/p99/max summary of one latency dimension, as printed in the
+/// stderr batch reports (one-shot and streaming alike).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Median latency (bucket upper bound).
+    pub p50: Duration,
+    /// 99th-percentile latency (bucket upper bound).
+    pub p99: Duration,
+    /// Largest sample (exact).
+    pub max: Duration,
+    /// Sample count.
+    pub count: u64,
+}
+
+impl LatencyStats {
+    /// Render as `p50 X ms, p99 Y ms, max Z ms` for the stderr reports.
+    pub fn render_ms(&self) -> String {
+        let ms = |d: Duration| format!("{:.2}", d.as_secs_f64() * 1e3);
+        format!("p50 {} ms, p99 {} ms, max {} ms", ms(self.p50), ms(self.p99), ms(self.max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.stats().p99, Duration::ZERO);
+    }
+
+    #[test]
+    fn quantiles_bracket_samples_within_a_factor_of_two() {
+        let mut h = LatencyHistogram::new();
+        for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 1000] {
+            h.record(Duration::from_micros(us));
+        }
+        let p50 = h.quantile(0.5).expect("non-empty");
+        // The 5th sample is 50µs; its bucket upper bound is 64µs.
+        assert_eq!(p50, Duration::from_micros(64));
+        let p99 = h.quantile(0.99).expect("non-empty");
+        // The 10th sample is 1000µs, bucket upper bound 1024µs, but max
+        // caps the answer at the exact largest sample.
+        assert_eq!(p99, Duration::from_micros(1000));
+        assert_eq!(h.max(), Duration::from_micros(1000));
+        assert_eq!(h.count(), 10);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_keeps_max() {
+        let mut a = LatencyHistogram::new();
+        a.record(Duration::from_micros(5));
+        let mut b = LatencyHistogram::new();
+        b.record(Duration::from_millis(3));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), Duration::from_millis(3));
+        assert_eq!(a.sum(), Duration::from_micros(3005));
+    }
+
+    #[test]
+    fn oversized_samples_clamp_to_last_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_secs(60 * 60));
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(1.0).is_some());
+    }
+
+    #[test]
+    fn tier_counters_record_and_merge() {
+        use crate::scheduler::ServeStats;
+        let mut t = TierCounters::default();
+        t.record(&ServeStats { memoized: true, prep_reused: true, ..ServeStats::default() });
+        t.record(&ServeStats { bracket_injected: true, ..ServeStats::default() });
+        assert_eq!(t, TierCounters { memo_hits: 1, prep_reuses: 1, bracket_injections: 1 });
+        let mut u = TierCounters::default();
+        u.merge(&t);
+        u.merge(&t);
+        assert_eq!(u.memo_hits, 2);
+    }
+}

@@ -33,4 +33,7 @@ pub use ellipse::{figure1_instance, rotated_family, Ellipse};
 pub use graphs::{edge_packing, edge_packing_sparse, gnp, grid, vertex_star_packing};
 pub use mixed::{mixed_edge_cover, mixed_lp_diagonal};
 pub use random::{random_dense, random_factorized, RandomFactorized};
-pub use stream::{request_stream, RequestStreamSpec, StreamRequest};
+pub use stream::{
+    mixed_request_stream, request_stream, stream_jsonl, KindedRequest, MixedStreamSpec,
+    RequestStreamSpec, StreamBatch, StreamKind, StreamRequest,
+};

@@ -9,8 +9,9 @@
 //! shape a fingerprint-keyed cache should be measured on: amortization
 //! wins on the head, the tail stays cold.
 
+use crate::mixed::mixed_lp_diagonal;
 use crate::random::{random_factorized, RandomFactorized};
-use psdp_core::PackingInstance;
+use psdp_core::{MixedInstance, PackingInstance};
 use psdp_parallel::splitmix64;
 
 /// Parameters of the zipf request stream (all deterministic in `seed`).
@@ -92,16 +93,7 @@ pub fn request_stream(spec: &RequestStreamSpec) -> (Vec<PackingInstance>, Vec<St
         })
         .collect();
 
-    // Zipf CDF over ranks 0..pool.
-    let weights: Vec<f64> =
-        (0..spec.pool).map(|k| 1.0 / ((k + 1) as f64).powf(spec.zipf_s)).collect();
-    let total: f64 = weights.iter().sum();
-    let mut cdf = Vec::with_capacity(spec.pool);
-    let mut acc = 0.0;
-    for w in &weights {
-        acc += w / total;
-        cdf.push(acc);
-    }
+    let cdf = zipf_cdf(spec.pool, spec.zipf_s);
 
     let thresholds = spec.thresholds.max(1);
     let mut per_instance_count = vec![0usize; spec.pool];
@@ -121,6 +113,215 @@ pub fn request_stream(spec: &RequestStreamSpec) -> (Vec<PackingInstance>, Vec<St
         })
         .collect();
     (instances, requests)
+}
+
+/// Zipf CDF over ranks `0..pool` with exponent `s`.
+fn zipf_cdf(pool: usize, s: f64) -> Vec<f64> {
+    let weights: Vec<f64> = (0..pool).map(|k| 1.0 / ((k + 1) as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(pool);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    cdf
+}
+
+/// Which serve command a [`KindedRequest`] carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamKind {
+    /// A decision request (`command: solve`) against the packing pool.
+    Solve,
+    /// A bisection request (`command: optimize`) against the packing pool.
+    Optimize,
+    /// A mixed packing–covering request against the mixed pool.
+    Mixed,
+}
+
+/// Parameters of the full-protocol stream: the packing zipf stream of
+/// [`RequestStreamSpec`] plus a share of optimize and mixed traffic. This
+/// is the E15 service workload — scale `base.requests` to 100k–1M; cost
+/// is linear in `requests` and instance construction is per *pool* entry.
+#[derive(Debug, Clone, Copy)]
+pub struct MixedStreamSpec {
+    /// The underlying packing pool and zipf request schedule.
+    pub base: RequestStreamSpec,
+    /// Distinct mixed packing–covering instances in their own zipf pool
+    /// (`0` disables mixed traffic regardless of `mixed_share`).
+    pub mixed_pool: usize,
+    /// Fraction of requests emitted as `optimize` instead of `solve`.
+    pub optimize_share: f64,
+    /// Fraction of requests routed to the mixed pool.
+    pub mixed_share: f64,
+    /// Accuracy passed on every emitted JSONL request.
+    pub eps: f64,
+}
+
+impl Default for MixedStreamSpec {
+    fn default() -> Self {
+        MixedStreamSpec {
+            base: RequestStreamSpec::default(),
+            mixed_pool: 2,
+            optimize_share: 0.15,
+            mixed_share: 0.1,
+            eps: 0.2,
+        }
+    }
+}
+
+/// One request of the full-protocol stream: a command kind plus an index
+/// into the pool that kind draws from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KindedRequest {
+    /// Unique, zero-padded id, sortable in emission order.
+    pub id: String,
+    /// Which serve command to emit.
+    pub kind: StreamKind,
+    /// Index into the packing pool ([`StreamKind::Solve`] /
+    /// [`StreamKind::Optimize`]) or the mixed pool
+    /// ([`StreamKind::Mixed`]).
+    pub instance: usize,
+    /// Decision threshold (meaningful for [`StreamKind::Solve`] only).
+    pub threshold: f64,
+}
+
+/// The generated service workload: both instance pools plus the ordered
+/// request list.
+#[derive(Debug, Clone)]
+pub struct StreamBatch {
+    /// Packing pool (indexed by solve/optimize requests).
+    pub packing: Vec<PackingInstance>,
+    /// Mixed packing–covering pool (indexed by mixed requests).
+    pub mixed: Vec<MixedInstance>,
+    /// Requests in emission order.
+    pub requests: Vec<KindedRequest>,
+    /// Accuracy carried onto every emitted JSONL line.
+    pub eps: f64,
+}
+
+/// Generate the full-protocol stream: the packing schedule of
+/// [`request_stream`], with a deterministic share of requests rewritten
+/// to `optimize` and a share rerouted to a zipf-ordered mixed pool.
+///
+/// # Panics
+/// Forwards the panics of [`request_stream`]; additionally panics on
+/// non-finite or out-of-range shares (`optimize_share + mixed_share`
+/// must stay within `[0, 1]`).
+pub fn mixed_request_stream(spec: &MixedStreamSpec) -> StreamBatch {
+    assert!(
+        spec.optimize_share.is_finite()
+            && spec.mixed_share.is_finite()
+            && spec.optimize_share >= 0.0
+            && spec.mixed_share >= 0.0
+            && spec.optimize_share + spec.mixed_share <= 1.0,
+        "optimize/mixed shares must be finite, non-negative, and sum to at most 1"
+    );
+    let (packing, base_requests) = request_stream(&spec.base);
+    let mixed: Vec<MixedInstance> = (0..spec.mixed_pool)
+        .map(|k| {
+            let n = spec.base.n.max(2);
+            mixed_lp_diagonal(
+                n,
+                n.saturating_sub(1).max(2),
+                spec.base.dim.max(2),
+                0.6,
+                spec.base.seed.wrapping_add(1000 + k as u64),
+            )
+        })
+        .collect();
+    let mixed_cdf = zipf_cdf(spec.mixed_pool, spec.base.zipf_s);
+    let mixed_share = if spec.mixed_pool == 0 { 0.0 } else { spec.mixed_share };
+
+    let mut mixed_count = 0u64;
+    let requests = base_requests
+        .into_iter()
+        .enumerate()
+        .map(|(t, r)| {
+            // A second, independently-keyed splitmix64 stream decides the
+            // command kind so the packing schedule stays untouched.
+            let bits = splitmix64(
+                spec.base.seed.wrapping_mul(0xD605_BBB5_8C8A_5E15).wrapping_add(t as u64),
+            );
+            let u = (bits >> 11) as f64 / (1u64 << 53) as f64;
+            if u < mixed_share {
+                // Zipf rank over the mixed pool, keyed by the running
+                // mixed-request counter.
+                let mb =
+                    splitmix64(spec.base.seed.wrapping_add(0xA076_1D64_78BD_642F ^ mixed_count));
+                mixed_count += 1;
+                let mu = (mb >> 11) as f64 / (1u64 << 53) as f64;
+                let instance =
+                    mixed_cdf.iter().position(|&c| mu < c).unwrap_or(spec.mixed_pool - 1);
+                KindedRequest { id: r.id, kind: StreamKind::Mixed, instance, threshold: 0.0 }
+            } else if u < mixed_share + spec.optimize_share {
+                KindedRequest {
+                    id: r.id,
+                    kind: StreamKind::Optimize,
+                    instance: r.instance,
+                    threshold: r.threshold,
+                }
+            } else {
+                KindedRequest {
+                    id: r.id,
+                    kind: StreamKind::Solve,
+                    instance: r.instance,
+                    threshold: r.threshold,
+                }
+            }
+        })
+        .collect();
+    StreamBatch { packing, mixed, requests, eps: spec.eps }
+}
+
+/// Minimal JSON string escaper for canonical instance text (quotes,
+/// backslashes, and control characters; everything else passes through).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a [`StreamBatch`] as the `psdp serve` JSONL protocol, one
+/// request per line with inline canonical instance text. The bytes are a
+/// pure function of the batch — the determinism suite and the
+/// `serve_stream` bench feed the same string to every configuration they
+/// compare.
+pub fn stream_jsonl(batch: &StreamBatch) -> String {
+    let pack_texts: Vec<String> =
+        batch.packing.iter().map(|i| json_escape(&psdp_core::write_instance(i))).collect();
+    let mixed_texts: Vec<String> =
+        batch.mixed.iter().map(|i| json_escape(&psdp_core::write_mixed_instance(i))).collect();
+    let mut out = String::new();
+    for r in &batch.requests {
+        match r.kind {
+            StreamKind::Solve => out.push_str(&format!(
+                "{{\"id\":\"{}\",\"command\":\"solve\",\"instance\":\"{}\",\"threshold\":{},\"eps\":{}}}\n",
+                r.id, pack_texts[r.instance], r.threshold, batch.eps,
+            )),
+            StreamKind::Optimize => out.push_str(&format!(
+                "{{\"id\":\"{}\",\"command\":\"optimize\",\"instance\":\"{}\",\"eps\":{}}}\n",
+                r.id, pack_texts[r.instance], batch.eps,
+            )),
+            StreamKind::Mixed => out.push_str(&format!(
+                "{{\"id\":\"{}\",\"command\":\"mixed\",\"instance\":\"{}\",\"eps\":{}}}\n",
+                r.id, mixed_texts[r.instance], batch.eps,
+            )),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -174,5 +375,75 @@ mod tests {
         let distinct: std::collections::BTreeSet<u64> =
             reqs.iter().map(|r| r.threshold.to_bits()).collect();
         assert_eq!(distinct.len(), 1);
+    }
+
+    #[test]
+    fn mixed_stream_emits_all_kinds_deterministically() {
+        let spec = MixedStreamSpec {
+            base: RequestStreamSpec { requests: 300, ..Default::default() },
+            ..Default::default()
+        };
+        let a = mixed_request_stream(&spec);
+        let b = mixed_request_stream(&spec);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(stream_jsonl(&a), stream_jsonl(&b));
+        let count = |k: StreamKind| a.requests.iter().filter(|r| r.kind == k).count();
+        let (s, o, m) =
+            (count(StreamKind::Solve), count(StreamKind::Optimize), count(StreamKind::Mixed));
+        assert_eq!(s + o + m, 300);
+        assert!(s > o && o > 0 && m > 0, "kind mix: solve={s} optimize={o} mixed={m}");
+        for r in &a.requests {
+            let pool = if r.kind == StreamKind::Mixed { a.mixed.len() } else { a.packing.len() };
+            assert!(r.instance < pool, "{r:?} out of pool");
+        }
+    }
+
+    #[test]
+    fn zero_mixed_pool_disables_mixed_traffic() {
+        let spec = MixedStreamSpec {
+            mixed_pool: 0,
+            mixed_share: 0.5,
+            base: RequestStreamSpec { requests: 100, ..Default::default() },
+            ..Default::default()
+        };
+        let batch = mixed_request_stream(&spec);
+        assert!(batch.requests.iter().all(|r| r.kind != StreamKind::Mixed));
+        assert!(batch.mixed.is_empty());
+    }
+
+    #[test]
+    fn jsonl_lines_match_requests_and_escape_newlines() {
+        let batch = mixed_request_stream(&MixedStreamSpec {
+            base: RequestStreamSpec { requests: 40, ..Default::default() },
+            ..Default::default()
+        });
+        let text = stream_jsonl(&batch);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), batch.requests.len());
+        for (line, r) in lines.iter().zip(&batch.requests) {
+            assert!(line.starts_with(&format!("{{\"id\":\"{}\",\"command\":", r.id)), "{line}");
+            assert!(!line.contains('\n'));
+            assert!(line.contains("\\n"), "instance text must be inline-escaped: {line}");
+        }
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd\te\u{1}"), "a\\\"b\\\\c\\nd\\te\\u0001");
+    }
+
+    #[test]
+    fn stream_scales_to_e15_sizes() {
+        // 100k requests over a small pool: generation is linear in the
+        // request count and must stay cheap (instances are per pool).
+        let spec = MixedStreamSpec {
+            base: RequestStreamSpec { requests: 100_000, pool: 8, ..Default::default() },
+            ..Default::default()
+        };
+        let batch = mixed_request_stream(&spec);
+        assert_eq!(batch.requests.len(), 100_000);
+        let ids: std::collections::BTreeSet<&str> =
+            batch.requests.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids.len(), 100_000, "ids must be unique at scale");
     }
 }

@@ -293,6 +293,49 @@ fn serve_responses_bitwise_across_in_flight_bounds() {
     assert_eq!(one, four, "max-in-flight changed the stream");
 }
 
+fn run_listen(extra: &[&str], input: &str) -> String {
+    let mut argv = vec!["serve".to_string(), "--listen".to_string()];
+    argv.extend(extra.iter().map(|s| s.to_string()));
+    let args = psdp_cli::args::Args::parse(&argv).unwrap();
+    psdp_cli::serve::serve_listen_on_input(&args, input).expect("listen runs").stdout
+}
+
+/// The persistent service's response stream must be **bitwise** identical
+/// across rayon pool sizes {1, 4} × shard counts {1, 4}, and must match
+/// the one-shot scheduler byte-for-byte: a fingerprint routes to exactly
+/// one shard whose single worker drains in arrival order, so neither the
+/// shard count nor worker interleaving can reach the bytes.
+#[test]
+fn listen_responses_bitwise_across_threads_and_shards() {
+    let input = serve_batch_jsonl();
+    let base = run_with_threads(1, || run_listen(&[], &input));
+    for threads in [1usize, 4] {
+        for shards in ["1", "4"] {
+            let out = run_with_threads(threads, || run_listen(&["--shards", shards], &input));
+            assert_eq!(base, out, "stream changed at threads={threads} shards={shards}");
+        }
+    }
+    assert_eq!(base, run_serve(&input), "listen and one-shot serve disagree");
+}
+
+/// Warm-starting from a snapshot flips reuse telemetry but must leave
+/// every result payload bitwise unchanged — the snapshot stores rebuild
+/// inputs, and rebuilt solvers are the solvers.
+#[test]
+fn listen_snapshot_warm_start_is_payload_neutral() {
+    let input = serve_batch_jsonl();
+    let path = std::env::temp_dir().join(format!("psdp-det-snapshot-{}.txt", std::process::id()));
+    let p = path.to_string_lossy().into_owned();
+    let cold = run_listen(&["--snapshot", &p], &input);
+    let warm = run_listen(&["--snapshot", &p], &input);
+    let _ = std::fs::remove_file(&path);
+    let strip = |s: &str| -> Vec<String> {
+        s.lines().map(|l| l.split(",\"serve\":{").next().unwrap().to_string()).collect()
+    };
+    assert_eq!(strip(&cold), strip(&warm), "snapshot warm start changed a payload");
+    assert!(warm.contains("\"tier\":\"prepared\""), "warm start never reused a solver: {warm}");
+}
+
 /// The pool registry is a `BTreeMap` keyed by thread count (audit rule D1:
 /// no hash-order containers in deterministic modules), so the order in
 /// which experiment code first requests pool sizes cannot perturb the
