@@ -25,6 +25,7 @@ const DET_CRATES: &[&str] = &["core", "expdot", "linalg", "sparse", "mmw", "para
 const REQUEST_PATHS: &[&str] = &[
     "crates/serve/src/",
     "crates/core/src/io.rs",
+    "crates/core/src/bin_io.rs",
     "crates/cli/src/serve.rs",
     "crates/cli/src/jsonfmt.rs",
 ];

@@ -1,0 +1,118 @@
+//! Ingest-path throughput: canonical text vs `psdp-bin-1` binary decode
+//! (backs experiment E16).
+//!
+//! The serving stack admits every request through one of two decoders:
+//! the text reader (tokenize, parse floats, validate) or the binary
+//! reader (header guards, checksum, bit-pattern slices). Both paths end
+//! in the same validated [`psdp_core::PackingInstance`] — the corpus and
+//! fixpoint suites pin that — so the timings here isolate pure decode
+//! cost. The third and fourth rows measure the *fingerprint* path: what
+//! a cache admission costs before any solver runs (text: full parse +
+//! structural hash; binary: sniff the hash straight off the header).
+//!
+//! After the criterion rows the bench prints the E16 report at
+//! `PSDP_E16_NNZ` nonzeros (default 200k so CI's `--test` smoke stays
+//! cheap; the recorded run uses 1M): decoded bytes/s per format and the
+//! binary-over-text speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psdp_core::{
+    packing_content_hash, peek_content_hash, read_instance, read_instance_bin, write_instance,
+    write_instance_bin, PackingInstance,
+};
+use psdp_sparse::{Csr, PsdMatrix};
+
+/// Symmetric banded sparse instance with ~`nnz` total nonzeros spread
+/// over `n` CSR constraints (diagonally dominant, so it passes the same
+/// structural validation both decoders apply).
+fn banded_instance(nnz: usize, n: usize) -> PackingInstance {
+    let band = 12usize;
+    // nnz per constraint ≈ dim * (1 + 2*band) ⇒ dim from the target.
+    let dim = (nnz / n / (1 + 2 * band)).max(band + 2);
+    let mats: Vec<PsdMatrix> = (0..n)
+        .map(|c| {
+            let mut trip: Vec<(usize, usize, f64)> = Vec::new();
+            for i in 0..dim {
+                trip.push((i, i, 2.0 + band as f64 + (c as f64) * 0.25));
+                for d in 1..=band {
+                    if i + d < dim {
+                        let v = -0.5 / d as f64;
+                        trip.push((i, i + d, v));
+                        trip.push((i + d, i, v));
+                    }
+                }
+            }
+            PsdMatrix::Sparse(Csr::from_triplets(dim, dim, &trip))
+        })
+        .collect();
+    PackingInstance::new(mats).expect("banded family is valid")
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    // Criterion rows at a modest size: the relative shape is scale-stable
+    // and this keeps `--test` smoke cheap in CI.
+    let inst = banded_instance(100_000, 8);
+    let text = write_instance(&inst);
+    let bytes = write_instance_bin(&inst);
+
+    let mut g = c.benchmark_group("ingest");
+    g.sample_size(10);
+    g.bench_function("text_read_100k", |b| {
+        b.iter(|| read_instance(&text).expect("text parses").n())
+    });
+    g.bench_function("bin_read_100k", |b| {
+        b.iter(|| read_instance_bin(&bytes).expect("binary parses").0.n())
+    });
+    // Fingerprint cost at admission: text must parse before it can hash;
+    // binary reads the hash off the header (verification is deferred to
+    // the one decode a cache miss pays anyway).
+    g.bench_function("text_fingerprint_100k", |b| {
+        b.iter(|| packing_content_hash(&read_instance(&text).expect("text parses")))
+    });
+    g.bench_function("bin_peek_fingerprint_100k", |b| {
+        b.iter(|| peek_content_hash(&bytes).expect("header carries the hash"))
+    });
+    g.finish();
+
+    // E16 report: one best-of-3 timed decode per format at the scaled
+    // size, plus the cross-format identity check the claim rests on.
+    let nnz: usize =
+        std::env::var("PSDP_E16_NNZ").ok().and_then(|v| v.parse().ok()).unwrap_or(200_000);
+    let inst = banded_instance(nnz, 8);
+    let text = write_instance(&inst);
+    let bytes = write_instance_bin(&inst);
+    println!(
+        "ingest/e16: target {} nnz | text {:.1} MiB | binary {:.1} MiB",
+        nnz,
+        text.len() as f64 / (1024.0 * 1024.0),
+        bytes.len() as f64 / (1024.0 * 1024.0),
+    );
+    let best_of = |f: &dyn Fn() -> usize| -> std::time::Duration {
+        (0..3)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                assert_eq!(f(), inst.n());
+                t.elapsed()
+            })
+            .min()
+            .expect("three reps")
+    };
+    let t_text = best_of(&|| read_instance(&text).expect("text parses").n());
+    let t_bin = best_of(&|| read_instance_bin(&bytes).expect("binary parses").0.n());
+    let (decoded, hash) = read_instance_bin(&bytes).expect("binary parses");
+    assert!(psdp_core::packing_structural_eq(&decoded, &inst), "decode drifted");
+    assert_eq!(hash, packing_content_hash(&inst), "hash drifted");
+    let mibs =
+        |len: usize, d: std::time::Duration| len as f64 / (1024.0 * 1024.0) / d.as_secs_f64();
+    println!(
+        "ingest/e16: text {:.1} ms ({:.0} MiB/s) | binary {:.1} ms ({:.0} MiB/s) | speedup {:.1}x",
+        t_text.as_secs_f64() * 1e3,
+        mibs(text.len(), t_text),
+        t_bin.as_secs_f64() * 1e3,
+        mibs(bytes.len(), t_bin),
+        t_text.as_secs_f64() / t_bin.as_secs_f64(),
+    );
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

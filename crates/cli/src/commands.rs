@@ -7,10 +7,12 @@
 use crate::args::Args;
 use crate::jsonfmt::{json_str, mixed_payload, optimize_payload, solve_payload};
 use psdp_core::{
-    read_instance, read_mixed_instance, verify_dual, verify_mixed_feasible,
-    verify_mixed_infeasible, verify_primal, write_instance, write_mixed_instance, ApproxOptions,
-    ConstantsMode, DecisionOptions, EngineKind, MixedApproxOptions, MixedSolver, Outcome,
-    PackingInstance, Solver,
+    binary_family, is_binary_instance, read_instance, read_instance_bin, read_mixed_instance,
+    read_mixed_instance_bin, verify_dual, verify_mixed_feasible, verify_mixed_infeasible,
+    verify_primal, write_instance, write_instance_bin, write_mixed_instance,
+    write_mixed_instance_bin, ApproxOptions, ConstantsMode, DecisionOptions, EngineKind,
+    MixedApproxOptions, MixedInstance, MixedSolver, Outcome, PackingInstance, Solver,
+    BIN_FAMILY_MIXED,
 };
 use psdp_workloads::{
     edge_packing, figure1_instance, gnp, mixed_edge_cover, mixed_lp_diagonal, random_factorized,
@@ -25,11 +27,12 @@ USAGE:
   psdp generate --family <random|lp|graph|stars|figure1|mixed-lp|mixed-graph>
                 [--dim N] [--n N] [--seed S] [--width W] [--p P] [--ridge R] --out FILE
   psdp info FILE
-  psdp solve FILE [--eps E] [--engine auto|exact|taylor|jl|expv] [--mode practical|strict] [--seed S] [--json]
+  psdp convert FILE --to bin|text --out FILE
+  psdp solve FILE [--eps E] [--engine auto|exact|taylor|jl|expv] [--mode practical|strict] [--seed S] [--format auto|text|bin] [--json]
   psdp optimize FILE [--eps E] [--warm on|off] [--json]
   psdp mixed FILE [--eps E] [--engine auto|exact|taylor|jl|expv] [--seed S] [--warm on|off] [--json]
-  psdp serve [--max-in-flight N] [--cache on|off] [--max-line-bytes N]   (JSONL requests on stdin)
-  psdp serve --listen [--shards N] [--queue-cap N] [--snapshot FILE] [--cache on|off] [--max-line-bytes N]
+  psdp serve [--max-in-flight N] [--cache on|off] [--max-line-bytes N] [--format auto|text|bin]   (JSONL requests on stdin)
+  psdp serve --listen [--shards N] [--queue-cap N] [--snapshot FILE] [--cache on|off] [--max-line-bytes N] [--format auto|text|bin]
   psdp audit [--root PATH] [--config FILE] [--json] [--deny-warnings]
 
 The `auto` engine picks exact, sketched-Taylor, or the Krylov/Chebyshev
@@ -43,6 +46,13 @@ families mixed-lp / mixed-graph): it bisects the largest coverage
 threshold σ* with find x ≥ 0, Σx·Pᵢ ⪯ I, Σx·Cᵢ ⪰ σI, and re-verifies the
 certificates it prints. `--json` emits outcomes, certificate values, and
 per-bracket SolveStats for machine consumption.
+
+Instance files are canonical text (`psdp 1` / `psdp mixed 1`) or the
+`psdp-bin-1` binary format; readers sniff the encoding by magic
+(`--format text|bin` forces one). `convert` translates losslessly in
+either direction — both encodings are canonical, so a double conversion
+is a byte fixpoint. Binary files carry a verified content hash in the
+header, which `serve` uses directly as its cache fingerprint.
 
 `serve` reads one JSON request per stdin line —
   {\"id\":\"r1\",\"command\":\"solve\",\"file\":\"inst.psdp\",\"threshold\":1.0,\"eps\":0.2}
@@ -70,6 +80,49 @@ indexing on request paths), H1 (unjustified `unsafe`). Exemptions need a
 reasoned inline suppression or an audit.toml entry; CI runs it with
 --deny-warnings so stale exemptions fail too.
 ";
+
+/// `--format` selector: how instance bytes are interpreted.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Format {
+    /// Sniff by magic: `psdp-bin-1` bytes decode binary, anything else
+    /// parses as canonical text.
+    Auto,
+    /// Force the text parser.
+    Text,
+    /// Require `psdp-bin-1` (a typed error otherwise, never a text parse
+    /// of binary bytes).
+    Bin,
+}
+
+impl Format {
+    /// Whether `bytes` should decode through the binary reader.
+    ///
+    /// # Errors
+    /// `--format bin` with non-`psdp-bin-1` input.
+    pub(crate) fn wants_binary(self, bytes: &[u8]) -> Result<bool, String> {
+        match self {
+            Format::Auto => Ok(is_binary_instance(bytes)),
+            Format::Text => Ok(false),
+            Format::Bin => {
+                if is_binary_instance(bytes) {
+                    Ok(true)
+                } else {
+                    Err("--format bin: input is not psdp-bin-1 (bad magic or version)".to_string())
+                }
+            }
+        }
+    }
+}
+
+/// Build the [`Format`] from its CLI name.
+pub(crate) fn format_of(name: &str) -> Result<Format, String> {
+    match name {
+        "auto" => Ok(Format::Auto),
+        "text" => Ok(Format::Text),
+        "bin" => Ok(Format::Bin),
+        other => Err(format!("unknown --format value `{other}` (auto|text|bin)")),
+    }
+}
 
 /// Build the engine from its CLI name.
 pub(crate) fn engine_of(name: &str, eps: f64) -> Result<EngineKind, String> {
@@ -173,9 +226,22 @@ pub fn generate(args: &Args) -> Result<String, String> {
     }
 }
 
-fn load(path: &str) -> Result<PackingInstance, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    read_instance(&text).map_err(|e| e.to_string())
+fn load(path: &str, fmt: Format) -> Result<PackingInstance, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if fmt.wants_binary(&bytes)? {
+        Ok(read_instance_bin(&bytes).map_err(|e| e.to_string())?.0)
+    } else {
+        read_instance(&String::from_utf8_lossy(&bytes)).map_err(|e| e.to_string())
+    }
+}
+
+fn load_mixed(path: &str, fmt: Format) -> Result<MixedInstance, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if fmt.wants_binary(&bytes)? {
+        Ok(read_mixed_instance_bin(&bytes).map_err(|e| e.to_string())?.0)
+    } else {
+        read_mixed_instance(&String::from_utf8_lossy(&bytes)).map_err(|e| e.to_string())
+    }
 }
 
 /// `psdp info` — describe an instance file.
@@ -184,7 +250,7 @@ fn load(path: &str) -> Result<PackingInstance, String> {
 /// IO/parse errors as printable messages.
 pub fn info(args: &Args) -> Result<String, String> {
     let path = args.pos(1).ok_or("info: missing FILE")?;
-    let inst = load(path)?;
+    let inst = load(path, Format::Auto)?;
     let mut out = String::new();
     out.push_str(&format!("dim          {}\n", inst.dim()));
     out.push_str(&format!("constraints  {}\n", inst.n()));
@@ -204,9 +270,10 @@ pub fn info(args: &Args) -> Result<String, String> {
 /// # Errors
 /// IO/parse/solver errors as printable messages.
 pub fn solve(args: &Args) -> Result<String, String> {
-    args.ensure_known(&["eps", "engine", "mode", "seed", "json"])?;
+    args.ensure_known(&["eps", "engine", "mode", "seed", "json", "format"])?;
     let path = args.pos(1).ok_or("solve: missing FILE")?;
-    let inst = load(path)?;
+    let fmt = format_of(&args.str_flag("format", "auto"))?;
+    let inst = load(path, fmt)?;
     let eps: f64 = args.flag("eps", 0.1)?;
     let seed: u64 = args.flag("seed", 0)?;
     let engine = engine_of(&args.str_flag("engine", "exact"), eps)?;
@@ -261,7 +328,7 @@ pub fn solve(args: &Args) -> Result<String, String> {
 pub fn optimize(args: &Args) -> Result<String, String> {
     args.ensure_known(&["eps", "warm", "json"])?;
     let path = args.pos(1).ok_or("optimize: missing FILE")?;
-    let inst = load(path)?;
+    let inst = load(path, Format::Auto)?;
     let eps: f64 = args.flag("eps", 0.1)?;
     let warm = match args.str_flag("warm", "on").as_str() {
         "on" => true,
@@ -314,8 +381,7 @@ pub fn optimize(args: &Args) -> Result<String, String> {
 pub fn mixed(args: &Args) -> Result<String, String> {
     args.ensure_known(&["eps", "engine", "seed", "warm", "json"])?;
     let path = args.pos(1).ok_or("mixed: missing FILE")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let inst = read_mixed_instance(&text).map_err(|e| e.to_string())?;
+    let inst = load_mixed(path, Format::Auto)?;
     let eps: f64 = args.flag("eps", 0.1)?;
     let seed: u64 = args.flag("seed", 0)?;
     let warm = match args.str_flag("warm", "on").as_str() {
@@ -377,6 +443,75 @@ pub fn mixed(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// `psdp convert` — lossless text↔binary instance conversion. The input
+/// encoding and family are sniffed (magic byte for `psdp-bin-1`, the
+/// `psdp mixed 1` header for mixed text); `--to` picks the output
+/// encoding. Both encodings are canonical, so convert∘convert is a byte
+/// fixpoint in either direction.
+///
+/// # Errors
+/// IO/parse/flag errors as printable messages.
+pub fn convert(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["to", "out"])?;
+    let path = args.pos(1).ok_or("convert: missing FILE")?;
+    let out = args.str_flag("out", "");
+    if out.is_empty() {
+        return Err("convert: missing --out FILE".to_string());
+    }
+    let to = args.str_flag("to", "bin");
+    if to != "bin" && to != "text" {
+        return Err(format!("unknown --to value `{to}` (bin|text)"));
+    }
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+
+    let mixed_family = if is_binary_instance(&bytes) {
+        binary_family(&bytes) == Some(BIN_FAMILY_MIXED)
+    } else {
+        String::from_utf8_lossy(&bytes).lines().next() == Some("psdp mixed 1")
+    };
+
+    let (encoded, summary) = if mixed_family {
+        let inst = if is_binary_instance(&bytes) {
+            read_mixed_instance_bin(&bytes).map_err(|e| e.to_string())?.0
+        } else {
+            read_mixed_instance(&String::from_utf8_lossy(&bytes)).map_err(|e| e.to_string())?
+        };
+        let encoded = if to == "bin" {
+            write_mixed_instance_bin(&inst)
+        } else {
+            write_mixed_instance(&inst).into_bytes()
+        };
+        let summary = format!(
+            "wrote {out} ({to}, mixed, pack {0}x{0}, cover {1}x{1}, n={2}, nnz={3})\n",
+            inst.pack_dim(),
+            inst.cover_dim(),
+            inst.n(),
+            inst.total_nnz()
+        );
+        (encoded, summary)
+    } else {
+        let inst = if is_binary_instance(&bytes) {
+            read_instance_bin(&bytes).map_err(|e| e.to_string())?.0
+        } else {
+            read_instance(&String::from_utf8_lossy(&bytes)).map_err(|e| e.to_string())?
+        };
+        let encoded = if to == "bin" {
+            write_instance_bin(&inst)
+        } else {
+            write_instance(&inst).into_bytes()
+        };
+        let summary = format!(
+            "wrote {out} ({to}, packing, m={}, n={}, nnz={})\n",
+            inst.dim(),
+            inst.n(),
+            inst.total_nnz()
+        );
+        (encoded, summary)
+    };
+    std::fs::write(&out, &encoded).map_err(|e| format!("writing {out}: {e}"))?;
+    Ok(summary)
+}
+
 /// `psdp audit` — run the workspace determinism & robustness lint
 /// (crates/analyze, DESIGN.md §11). Clean runs return the summary line;
 /// findings (or, under `--deny-warnings`, warnings) come back as `Err` so
@@ -417,6 +552,7 @@ pub fn dispatch(raw: &[String]) -> Result<String, String> {
         Some("solve") => solve(&args),
         Some("optimize") => optimize(&args),
         Some("mixed") => mixed(&args),
+        Some("convert") => convert(&args),
         Some("serve") => crate::serve::serve(&args),
         Some("audit") => audit(&args),
         Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
@@ -482,6 +618,68 @@ mod tests {
         let opt_out = run(&["optimize", p, "--eps", "0.15"]).unwrap();
         assert!(opt_out.contains("converged: true"), "{opt_out}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn convert_roundtrips_both_families_and_solves_binary() {
+        let dir = std::env::temp_dir().join("psdp-cli-convert");
+        std::fs::create_dir_all(&dir).unwrap();
+        let text_p = dir.join("inst.psdp");
+        let bin_p = dir.join("inst.psdpb");
+        let back_p = dir.join("back.psdp");
+        let (t, b, k) =
+            (text_p.to_str().unwrap(), bin_p.to_str().unwrap(), back_p.to_str().unwrap());
+        run(&["generate", "--family", "lp", "--dim", "6", "--n", "5", "--out", t]).unwrap();
+
+        // text → bin → text is a byte fixpoint (both encodings canonical).
+        let msg = run(&["convert", t, "--to", "bin", "--out", b]).unwrap();
+        assert!(msg.contains("bin, packing"), "{msg}");
+        let msg = run(&["convert", b, "--to", "text", "--out", k]).unwrap();
+        assert!(msg.contains("text, packing"), "{msg}");
+        assert_eq!(std::fs::read(&text_p).unwrap(), std::fs::read(&back_p).unwrap());
+        // bin → bin re-encode is also a fixpoint.
+        let bin_bytes = std::fs::read(&bin_p).unwrap();
+        run(&["convert", b, "--to", "bin", "--out", b]).unwrap();
+        assert_eq!(bin_bytes, std::fs::read(&bin_p).unwrap());
+
+        // Binary files solve identically to their text source (sniffed by
+        // magic; `--format bin` forces, and rejects text input).
+        let from_text = run(&["solve", t, "--eps", "0.2", "--json"]).unwrap();
+        let from_bin = run(&["solve", b, "--eps", "0.2", "--format", "bin", "--json"]).unwrap();
+        // `wall_ms` is real wall clock in one-shot mode; everything before
+        // it (the whole certificate and stats payload) must match.
+        let strip = |s: &str| {
+            let s = s.replace(&json_str(t), "F").replace(&json_str(b), "F");
+            s.split("\"wall_ms\":").next().unwrap().to_string()
+        };
+        assert_eq!(strip(&from_text), strip(&from_bin));
+        assert!(run(&["solve", t, "--format", "bin"]).is_err());
+        assert!(run(&["solve", b, "--format", "text"]).is_err());
+        assert!(run(&["solve", b, "--format", "sideways"]).is_err());
+
+        // info/optimize sniff binary files too.
+        assert!(run(&["info", b]).unwrap().contains("constraints  5"));
+        assert!(run(&["optimize", b, "--eps", "0.15"]).unwrap().contains("converged: true"));
+
+        // Mixed family: same lossless loop through the mixed encoders.
+        let mt = dir.join("mixed.psdp");
+        let mb = dir.join("mixed.psdpb");
+        let mk = dir.join("mixed-back.psdp");
+        let (mt_s, mb_s, mk_s) = (mt.to_str().unwrap(), mb.to_str().unwrap(), mk.to_str().unwrap());
+        run(&["generate", "--family", "mixed-lp", "--dim", "6", "--n", "5", "--out", mt_s])
+            .unwrap();
+        let msg = run(&["convert", mt_s, "--to", "bin", "--out", mb_s]).unwrap();
+        assert!(msg.contains("bin, mixed"), "{msg}");
+        run(&["convert", mb_s, "--to", "text", "--out", mk_s]).unwrap();
+        assert_eq!(std::fs::read(&mt).unwrap(), std::fs::read(&mk).unwrap());
+        assert!(run(&["mixed", mb_s, "--eps", "0.2"]).unwrap().contains("converged: true"));
+
+        // Flag validation.
+        assert!(run(&["convert", t, "--to", "braille", "--out", b]).is_err());
+        assert!(run(&["convert", t, "--to", "bin"]).is_err());
+        for f in [text_p, bin_p, back_p, mt, mb, mk] {
+            std::fs::remove_file(f).ok();
+        }
     }
 
     #[test]

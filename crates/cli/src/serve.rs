@@ -16,6 +16,19 @@
 //! default 4 MiB): an oversized line becomes a typed in-place error, never
 //! unbounded `String` growth.
 //!
+//! Instances arrive as canonical text or as `psdp-bin-1` binary
+//! (`file` paths are sniffed by magic). Under `--listen` a request may
+//! also be a **binary frame**: a `0x00` marker byte (JSON never starts
+//! with NUL), a `u32` LE payload length, then the payload — itself a
+//! `u32` LE JSON-header length, the JSON header (same schema as a text
+//! request, minus `file`/`instance`), and the instance as `psdp-bin-1`
+//! bytes. Frames over `--max-line-bytes` are consumed to their declared
+//! length and dropped (typed in-place error, stream resyncs at the next
+//! request); a repeated frame body skips decoding entirely via a raw-byte
+//! fingerprint cache, and the serve-cache fingerprint comes from the
+//! binary header's content hash — byte-identical responses to the
+//! equivalent text submission.
+//!
 //! `--listen` switches from the one-shot batch scheduler to the
 //! persistent streaming service ([`psdp_serve::service`]): requests are
 //! dispatched to shard workers as lines arrive and responses stream out
@@ -25,15 +38,17 @@
 //! back on shutdown.
 
 use crate::args::Args;
+use crate::commands::{format_of, Format};
 use crate::jsonfmt::{json_str, mixed_payload, optimize_payload, solve_payload};
 use psdp_core::{
-    read_instance, read_mixed_instance, ApproxOptions, ConstantsMode, DecisionOptions,
-    MixedApproxOptions, MixedInstance, PackingInstance,
+    fnv1a, is_binary_instance, mixed_content_hash, packing_content_hash, read_instance,
+    read_instance_bin, read_mixed_instance, read_mixed_instance_bin, ApproxOptions, ConstantsMode,
+    DecisionOptions, MixedApproxOptions, MixedInstance, PackingInstance,
 };
 use psdp_serve::json::{parse, JsonValue};
 use psdp_serve::{
-    BatchReport, RequestKind, Scheduler, SchedulerOptions, ServeRequest, ServeResponse,
-    ServeResult, ServeStats, Service, ServiceOptions, ServiceReport, StreamItem, StreamOutcome,
+    BatchReport, Scheduler, SchedulerOptions, ServeRequest, ServeResponse, ServeResult, ServeStats,
+    Service, ServiceOptions, ServiceReport, StreamItem, StreamOutcome,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::{BufRead, Write};
@@ -41,6 +56,17 @@ use std::sync::Arc;
 
 /// Default per-line byte bound for the JSONL readers.
 const DEFAULT_MAX_LINE_BYTES: usize = 4 * 1024 * 1024;
+
+/// First byte of a binary frame. JSON text never starts with NUL, so one
+/// peeked byte disambiguates frames from JSONL lines.
+const FRAME_MARKER: u8 = 0x00;
+
+/// Parsed-instance cache: source key → (instance, parse-once content
+/// hash). Carrying the hash means repeat sources never re-read, re-parse,
+/// or re-hash, and requests are built with their fingerprint attached.
+type PackSources = BTreeMap<String, (Arc<PackingInstance>, u64)>;
+/// Mixed-family counterpart of [`PackSources`].
+type MixedSources = BTreeMap<String, (Arc<MixedInstance>, u64)>;
 
 /// Outcome of one `psdp serve` run: the stdout JSONL stream and the human
 /// batch report for stderr.
@@ -95,17 +121,18 @@ pub fn serve(args: &Args) -> Result<String, String> {
 /// # Errors
 /// Flag errors as printable messages.
 pub fn serve_on_input(args: &Args, input: &str) -> Result<ServeRun, String> {
-    args.ensure_known(&["max-in-flight", "cache", "max-line-bytes"])?;
+    args.ensure_known(&["max-in-flight", "cache", "max-line-bytes", "format"])?;
     let max_in_flight: usize = args.flag("max-in-flight", 0)?;
     let max_line_bytes: usize = args.flag("max-line-bytes", DEFAULT_MAX_LINE_BYTES)?;
+    let fmt = format_of(&args.str_flag("format", "auto"))?;
     let cache_enabled = match args.str_flag("cache", "on").as_str() {
         "on" => true,
         "off" => false,
         other => return Err(format!("unknown --cache value `{other}` (on|off)")),
     };
 
-    let mut pack_sources: BTreeMap<String, Arc<PackingInstance>> = BTreeMap::new();
-    let mut mixed_sources: BTreeMap<String, Arc<MixedInstance>> = BTreeMap::new();
+    let mut pack_sources: PackSources = BTreeMap::new();
+    let mut mixed_sources: MixedSources = BTreeMap::new();
     let mut seen_ids: BTreeSet<String> = BTreeSet::new();
     let mut lines: Vec<Line> = Vec::new();
     let mut parsed: Vec<ParsedLine> = Vec::new();
@@ -119,7 +146,7 @@ pub fn serve_on_input(args: &Args, input: &str) -> Result<ServeRun, String> {
                 .push(Line::Error { id: None, msg: oversized_line_msg(raw.len(), max_line_bytes) });
             continue;
         }
-        match parse_request_line(raw, &mut pack_sources, &mut mixed_sources) {
+        match parse_request_line(raw, fmt, &mut pack_sources, &mut mixed_sources) {
             Ok(p) => {
                 if !seen_ids.insert(p.request.id.clone()) {
                     lines.push(Line::Error {
@@ -177,7 +204,8 @@ enum LineCtx {
     Error { id_json: String },
 }
 
-/// One line from the bounded JSONL reader.
+/// One item from the bounded request reader: a JSONL line or a
+/// `0x00`-marked binary frame.
 enum BoundedLine {
     /// End of the stream.
     Eof,
@@ -186,13 +214,31 @@ enum BoundedLine {
     /// A line over the bound: its bytes were discarded as they streamed
     /// past (never accumulated), `bytes` is how long it was.
     Oversized { bytes: usize },
+    /// A complete binary frame payload within the byte bound.
+    Frame(Vec<u8>),
+    /// A frame whose declared length exceeds the bound: exactly that many
+    /// bytes were consumed and dropped (never buffered), resyncing the
+    /// stream at the next request. `bytes` is the declared length.
+    OversizedFrame { bytes: usize },
+    /// A frame cut off by EOF before its declared length arrived. The
+    /// partial payload is dropped, never handed to a parser.
+    TruncatedFrame,
 }
 
-/// Read one newline-terminated line, never buffering more than
-/// `max_bytes` of it: once a line exceeds the bound, the remainder is
-/// consumed and dropped chunk-by-chunk until the newline resyncs the
-/// stream.
+/// Read one request item. A leading [`FRAME_MARKER`] byte switches to the
+/// length-prefixed binary frame path; otherwise this reads one
+/// newline-terminated line, never buffering more than `max_bytes` of it —
+/// once a line exceeds the bound, the remainder is consumed and dropped
+/// chunk-by-chunk until the newline resyncs the stream.
 fn read_bounded_line(r: &mut impl BufRead, max_bytes: usize) -> Result<BoundedLine, String> {
+    let head = r.fill_buf().map_err(|e| format!("reading request stream: {e}"))?;
+    if head.is_empty() {
+        return Ok(BoundedLine::Eof);
+    }
+    if head.first() == Some(&FRAME_MARKER) {
+        r.consume(1);
+        return read_frame(r, max_bytes);
+    }
     let mut buf: Vec<u8> = Vec::new();
     let mut dropped = false;
     let mut total = 0usize;
@@ -240,6 +286,54 @@ fn read_bounded_line(r: &mut impl BufRead, max_bytes: usize) -> Result<BoundedLi
     Ok(BoundedLine::Line(String::from_utf8_lossy(&buf).into_owned()))
 }
 
+/// Read one binary frame body (the marker byte is already consumed): a
+/// `u32` LE payload length, then the payload. A declared length over
+/// `max_bytes` is discarded in place — exactly that many bytes are
+/// consumed without ever being buffered — so the stream resyncs on the
+/// next request instead of handing a partial buffer to a parser.
+fn read_frame(r: &mut impl BufRead, max_bytes: usize) -> Result<BoundedLine, String> {
+    let mut len_bytes = [0u8; 4];
+    if !read_exact_or_eof(r, &mut len_bytes)? {
+        return Ok(BoundedLine::TruncatedFrame);
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > max_bytes {
+        discard_exact(r, len)?;
+        return Ok(BoundedLine::OversizedFrame { bytes: len });
+    }
+    // Bounded by `max_bytes`: the declared length was just checked.
+    let mut payload = vec![0u8; len];
+    if !read_exact_or_eof(r, &mut payload)? {
+        return Ok(BoundedLine::TruncatedFrame);
+    }
+    Ok(BoundedLine::Frame(payload))
+}
+
+/// `read_exact` with a clean EOF reported as `Ok(false)` and real IO
+/// failures as typed errors.
+fn read_exact_or_eof(r: &mut impl BufRead, buf: &mut [u8]) -> Result<bool, String> {
+    match std::io::Read::read_exact(r, buf) {
+        Ok(()) => Ok(true),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(false),
+        Err(e) => Err(format!("reading request stream: {e}")),
+    }
+}
+
+/// Consume and drop exactly `n` bytes (or until EOF) without buffering.
+fn discard_exact(r: &mut impl BufRead, n: usize) -> Result<(), String> {
+    let mut left = n;
+    while left > 0 {
+        let chunk = r.fill_buf().map_err(|e| format!("reading request stream: {e}"))?;
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        let take = chunk.len().min(left);
+        r.consume(take);
+        left -= take;
+    }
+    Ok(())
+}
+
 /// `psdp serve --listen` — the persistent streaming service over an
 /// arbitrary reader/writer pair (stdin/stdout in production, buffers in
 /// tests). Responses stream to `writer` in submission order as the
@@ -255,10 +349,19 @@ pub fn serve_listen_on(
     reader: &mut impl BufRead,
     writer: &mut (impl Write + Send),
 ) -> Result<String, String> {
-    args.ensure_known(&["listen", "cache", "shards", "queue-cap", "snapshot", "max-line-bytes"])?;
+    args.ensure_known(&[
+        "listen",
+        "cache",
+        "shards",
+        "queue-cap",
+        "snapshot",
+        "max-line-bytes",
+        "format",
+    ])?;
     let shards: usize = args.flag("shards", 4)?;
     let queue_cap: usize = args.flag("queue-cap", 1024)?;
     let max_line_bytes: usize = args.flag("max-line-bytes", DEFAULT_MAX_LINE_BYTES)?;
+    let fmt = format_of(&args.str_flag("format", "auto"))?;
     let cache_enabled = match args.str_flag("cache", "on").as_str() {
         "on" => true,
         "off" => false,
@@ -287,8 +390,8 @@ pub fn serve_listen_on(
         }
     }
 
-    let mut pack_sources: BTreeMap<String, Arc<PackingInstance>> = BTreeMap::new();
-    let mut mixed_sources: BTreeMap<String, Arc<MixedInstance>> = BTreeMap::new();
+    let mut pack_sources: PackSources = BTreeMap::new();
+    let mut mixed_sources: MixedSources = BTreeMap::new();
     let mut seen_ids: BTreeSet<String> = BTreeSet::new();
     let mut read_err: Option<String> = None;
 
@@ -300,37 +403,35 @@ pub fn serve_listen_on(
             }
             Ok(BoundedLine::Eof) => return None,
             Ok(BoundedLine::Oversized { bytes }) => {
-                return Some(StreamItem::Reject {
-                    error: oversized_line_msg(bytes, max_line_bytes),
-                    ctx: LineCtx::Error { id_json: "null".to_string() },
-                });
+                return Some(reject_item(None, oversized_line_msg(bytes, max_line_bytes)));
+            }
+            Ok(BoundedLine::OversizedFrame { bytes }) => {
+                return Some(reject_item(None, oversized_frame_msg(bytes, max_line_bytes)));
+            }
+            Ok(BoundedLine::TruncatedFrame) => {
+                return Some(reject_item(
+                    None,
+                    "truncated binary frame (stream ended before the declared length)".to_string(),
+                ));
+            }
+            Ok(BoundedLine::Frame(bytes)) => {
+                return Some(
+                    match parse_frame_request(&bytes, &mut pack_sources, &mut mixed_sources) {
+                        Ok(p) => admit_item(p, &mut seen_ids),
+                        Err((id, msg)) => reject_item(id, msg),
+                    },
+                );
             }
             Ok(BoundedLine::Line(raw)) => {
                 if raw.trim().is_empty() {
                     continue;
                 }
-                match parse_request_line(&raw, &mut pack_sources, &mut mixed_sources) {
-                    Ok(p) => {
-                        if !seen_ids.insert(p.request.id.clone()) {
-                            return Some(StreamItem::Reject {
-                                error: format!("duplicate request id `{}`", p.request.id),
-                                ctx: LineCtx::Error { id_json: json_str(&p.request.id) },
-                            });
-                        }
-                        let request = p.request.clone();
-                        return Some(StreamItem::Execute { request, ctx: LineCtx::Request(p) });
-                    }
-                    Err((id, msg)) => {
-                        let id_json = match id {
-                            Some(s) => json_str(&s),
-                            None => "null".to_string(),
-                        };
-                        return Some(StreamItem::Reject {
-                            error: msg,
-                            ctx: LineCtx::Error { id_json },
-                        });
-                    }
-                }
+                return Some(
+                    match parse_request_line(&raw, fmt, &mut pack_sources, &mut mixed_sources) {
+                        Ok(p) => admit_item(p, &mut seen_ids),
+                        Err((id, msg)) => reject_item(id, msg),
+                    },
+                );
             }
         }
     });
@@ -434,6 +535,34 @@ fn summarize_service(r: &ServiceReport) -> String {
 /// Typed message for a line over the `--max-line-bytes` bound.
 fn oversized_line_msg(len: usize, max: usize) -> String {
     format!("line exceeds --max-line-bytes ({len} > {max} bytes)")
+}
+
+/// Typed message for a binary frame whose declared length is over the
+/// `--max-line-bytes` bound (the payload was consumed and dropped).
+fn oversized_frame_msg(len: usize, max: usize) -> String {
+    format!("binary frame exceeds --max-line-bytes ({len} > {max} bytes); payload discarded")
+}
+
+/// Admit one parsed request into the stream (duplicate ids become typed
+/// rejects, same as the one-shot path).
+fn admit_item(p: ParsedLine, seen_ids: &mut BTreeSet<String>) -> StreamItem<LineCtx> {
+    if !seen_ids.insert(p.request.id.clone()) {
+        return StreamItem::Reject {
+            error: format!("duplicate request id `{}`", p.request.id),
+            ctx: LineCtx::Error { id_json: json_str(&p.request.id) },
+        };
+    }
+    let request = p.request.clone();
+    StreamItem::Execute { request, ctx: LineCtx::Request(p) }
+}
+
+/// An admission-stage reject keyed by the best-effort request id.
+fn reject_item(id: Option<String>, msg: String) -> StreamItem<LineCtx> {
+    let id_json = match id {
+        Some(s) => json_str(&s),
+        None => "null".to_string(),
+    };
+    StreamItem::Reject { error: msg, ctx: LineCtx::Error { id_json } }
 }
 
 fn summarize(r: &BatchReport) -> String {
@@ -561,14 +690,13 @@ fn get_str<'v>(obj: &'v JsonValue, key: &str, default: &'static str) -> Result<&
     }
 }
 
-/// Parse one request line. On failure returns `(best-effort id, message)`
-/// so the error response can still be keyed.
-fn parse_request_line(
-    raw: &str,
-    pack_sources: &mut BTreeMap<String, Arc<PackingInstance>>,
-    mixed_sources: &mut BTreeMap<String, Arc<MixedInstance>>,
-) -> Result<ParsedLine, (Option<String>, String)> {
-    let obj = parse(raw).map_err(|e| (None, e.to_string()))?;
+/// Extract `id`/`command` and enforce the per-command key allowlist.
+/// `framed` additionally bans `file`/`instance` (a frame carries its
+/// instance as trailing `psdp-bin-1` bytes, never as a JSON field).
+fn id_and_command(
+    obj: &JsonValue,
+    framed: bool,
+) -> Result<(String, String), (Option<String>, String)> {
     let id = obj
         .get("id")
         .and_then(JsonValue::as_str)
@@ -585,35 +713,155 @@ fn parse_request_line(
     if allowed.is_empty() {
         return Err(fail(format!("unknown command `{command}` (solve|optimize|mixed)")));
     }
-    if let JsonValue::Obj(pairs) = &obj {
+    if let JsonValue::Obj(pairs) = obj {
         for (k, _) in pairs {
+            if framed && matches!(k.as_str(), "file" | "instance") {
+                return Err(fail(format!(
+                    "field `{k}` is not allowed in a binary frame (the instance rides as trailing psdp-bin-1 bytes)"
+                )));
+            }
             if !allowed.contains(&k.as_str()) {
                 return Err(fail(format!("unknown field `{k}` for command `{command}`")));
             }
         }
     }
+    Ok((id, command))
+}
+
+/// Look up or load one packing-instance source. Bytes are sniffed by
+/// magic: `psdp-bin-1` decodes through the verified binary reader (the
+/// returned hash is the header's content hash, already checked), text
+/// parses canonically and is hashed exactly once, here.
+fn packing_source(
+    sources: &mut PackSources,
+    key: &str,
+    fmt: Format,
+    load: impl FnOnce() -> Result<Vec<u8>, String>,
+) -> Result<(Arc<PackingInstance>, u64), String> {
+    if let Some((inst, hash)) = sources.get(key) {
+        return Ok((Arc::clone(inst), *hash));
+    }
+    let bytes = load()?;
+    let (inst, hash) = if fmt.wants_binary(&bytes)? {
+        let (inst, hash) = read_instance_bin(&bytes).map_err(|e| e.to_string())?;
+        (Arc::new(inst), hash)
+    } else {
+        let inst = read_instance(&String::from_utf8_lossy(&bytes)).map_err(|e| e.to_string())?;
+        let hash = packing_content_hash(&inst);
+        (Arc::new(inst), hash)
+    };
+    sources.insert(key.to_string(), (Arc::clone(&inst), hash));
+    Ok((inst, hash))
+}
+
+/// Mixed-family counterpart of [`packing_source`].
+fn mixed_source(
+    sources: &mut MixedSources,
+    key: &str,
+    fmt: Format,
+    load: impl FnOnce() -> Result<Vec<u8>, String>,
+) -> Result<(Arc<MixedInstance>, u64), String> {
+    if let Some((inst, hash)) = sources.get(key) {
+        return Ok((Arc::clone(inst), *hash));
+    }
+    let bytes = load()?;
+    let (inst, hash) = if fmt.wants_binary(&bytes)? {
+        let (inst, hash) = read_mixed_instance_bin(&bytes).map_err(|e| e.to_string())?;
+        (Arc::new(inst), hash)
+    } else {
+        let inst =
+            read_mixed_instance(&String::from_utf8_lossy(&bytes)).map_err(|e| e.to_string())?;
+        let hash = mixed_content_hash(&inst);
+        (Arc::new(inst), hash)
+    };
+    sources.insert(key.to_string(), (Arc::clone(&inst), hash));
+    Ok((inst, hash))
+}
+
+/// Build a `solve` request from its JSON options (shared between the
+/// text-line and binary-frame parsers).
+fn solve_request(
+    obj: &JsonValue,
+    id: String,
+    inst: Arc<PackingInstance>,
+    hash: u64,
+) -> Result<ServeRequest, String> {
+    let eps = get_f64(obj, "eps", 0.1)?;
+    let threshold = get_f64(obj, "threshold", 1.0)?;
+    let seed = get_u64(obj, "seed", 0)?;
+    let engine = crate::commands::engine_of(get_str(obj, "engine", "exact")?, eps)?;
+    let mode = match get_str(obj, "mode", "practical")? {
+        "practical" => ConstantsMode::practical_default(),
+        "strict" => ConstantsMode::PaperStrict,
+        other => return Err(format!("unknown mode `{other}` (practical|strict)")),
+    };
+    let mut opts = DecisionOptions::practical(eps).with_engine(engine).with_seed(seed);
+    opts.mode = mode;
+    Ok(ServeRequest::decision_hashed(id, inst, hash, threshold, opts))
+}
+
+/// Build an `optimize` request from its JSON options.
+fn optimize_request(
+    obj: &JsonValue,
+    id: String,
+    inst: Arc<PackingInstance>,
+    hash: u64,
+) -> Result<ServeRequest, String> {
+    let eps = get_f64(obj, "eps", 0.1)?;
+    let mut opts = ApproxOptions::practical(eps);
+    opts.warm_start = get_bool(obj, "warm", true)?;
+    Ok(ServeRequest::optimize_hashed(id, inst, hash, opts))
+}
+
+/// Build a `mixed` request from its JSON options.
+fn mixed_request(
+    obj: &JsonValue,
+    id: String,
+    inst: Arc<MixedInstance>,
+    hash: u64,
+) -> Result<ServeRequest, String> {
+    let eps = get_f64(obj, "eps", 0.1)?;
+    let seed = get_u64(obj, "seed", 0)?;
+    let engine = crate::commands::engine_of(get_str(obj, "engine", "exact")?, eps)?;
+    let mut opts = MixedApproxOptions::practical(eps);
+    opts.warm_start = get_bool(obj, "warm", true)?;
+    opts.decision = opts.decision.with_engine(engine).with_seed(seed);
+    Ok(ServeRequest::mixed_hashed(id, inst, hash, opts))
+}
+
+/// Parse one request line. On failure returns `(best-effort id, message)`
+/// so the error response can still be keyed.
+fn parse_request_line(
+    raw: &str,
+    fmt: Format,
+    pack_sources: &mut PackSources,
+    mixed_sources: &mut MixedSources,
+) -> Result<ParsedLine, (Option<String>, String)> {
+    let obj = parse(raw).map_err(|e| (None, e.to_string()))?;
+    let (id, command) = id_and_command(&obj, false)?;
+    let fail = |msg: String| (Some(id.clone()), msg);
 
     // Instance source: exactly one of `file` / `instance` (inline text).
     // Loading is deferred so repeat sources (the common zipf case) hit the
     // parsed-instance cache without re-reading the file; a source repeated
     // within one batch therefore also consistently uses the first parse.
+    // Files are read as raw bytes and sniffed: a `.psdpb` file flows
+    // through the binary reader, anything else parses as canonical text.
     let file = obj.get("file").and_then(JsonValue::as_str);
     let inline = obj.get("instance").and_then(JsonValue::as_str);
-    type LoadFn = Box<dyn Fn() -> Result<String, String>>;
+    type LoadFn = Box<dyn FnOnce() -> Result<Vec<u8>, String>>;
     let (source_key, file_json, load): (String, String, LoadFn) = match (file, inline) {
         (Some(path), None) => {
             let p = path.to_string();
             (
                 format!("file:{path}"),
                 json_str(path),
-                Box::new(move || {
-                    std::fs::read_to_string(&p).map_err(|e| format!("reading {p}: {e}"))
-                }),
+                Box::new(move || std::fs::read(&p).map_err(|e| format!("reading {p}: {e}"))),
             )
         }
         (None, Some(text)) => {
             let t = text.to_string();
-            (format!("inline:{text}"), "null".to_string(), Box::new(move || Ok(t.clone())))
+            (format!("inline:{text}"), "null".to_string(), Box::new(move || Ok(t.into_bytes())))
         }
         (Some(_), Some(_)) => {
             return Err(fail("give either `file` or `instance`, not both".to_string()))
@@ -621,76 +869,87 @@ fn parse_request_line(
         (None, None) => return Err(fail("missing `file` or `instance`".to_string())),
     };
 
-    let eps = get_f64(&obj, "eps", 0.1).map_err(&fail)?;
-    match command.as_str() {
+    let request = match command.as_str() {
         "solve" => {
-            let inst = match pack_sources.get(&source_key) {
-                Some(i) => Arc::clone(i),
-                None => {
-                    let text = load().map_err(&fail)?;
-                    let i = Arc::new(read_instance(&text).map_err(|e| fail(e.to_string()))?);
-                    pack_sources.insert(source_key.clone(), Arc::clone(&i));
-                    i
-                }
-            };
-            let threshold = get_f64(&obj, "threshold", 1.0).map_err(&fail)?;
-            let seed = get_u64(&obj, "seed", 0).map_err(&fail)?;
-            let engine =
-                crate::commands::engine_of(get_str(&obj, "engine", "exact").map_err(&fail)?, eps)
-                    .map_err(&fail)?;
-            let mode = match get_str(&obj, "mode", "practical").map_err(&fail)? {
-                "practical" => ConstantsMode::practical_default(),
-                "strict" => ConstantsMode::PaperStrict,
-                other => return Err(fail(format!("unknown mode `{other}` (practical|strict)"))),
-            };
-            let mut opts = DecisionOptions::practical(eps).with_engine(engine).with_seed(seed);
-            opts.mode = mode;
-            Ok(ParsedLine { request: ServeRequest::decision(id, inst, threshold, opts), file_json })
+            let (inst, hash) =
+                packing_source(pack_sources, &source_key, fmt, load).map_err(&fail)?;
+            solve_request(&obj, id.clone(), inst, hash).map_err(&fail)?
         }
         "optimize" => {
-            let inst = match pack_sources.get(&source_key) {
-                Some(i) => Arc::clone(i),
-                None => {
-                    let text = load().map_err(&fail)?;
-                    let i = Arc::new(read_instance(&text).map_err(|e| fail(e.to_string()))?);
-                    pack_sources.insert(source_key.clone(), Arc::clone(&i));
-                    i
-                }
-            };
-            let mut opts = ApproxOptions::practical(eps);
-            opts.warm_start = get_bool(&obj, "warm", true).map_err(&fail)?;
-            Ok(ParsedLine { request: ServeRequest::optimize(id, inst, opts), file_json })
+            let (inst, hash) =
+                packing_source(pack_sources, &source_key, fmt, load).map_err(&fail)?;
+            optimize_request(&obj, id.clone(), inst, hash).map_err(&fail)?
         }
         "mixed" => {
-            let inst = match mixed_sources.get(&source_key) {
-                Some(i) => Arc::clone(i),
-                None => {
-                    let text = load().map_err(&fail)?;
-                    let i = Arc::new(read_mixed_instance(&text).map_err(|e| fail(e.to_string()))?);
-                    mixed_sources.insert(source_key.clone(), Arc::clone(&i));
-                    i
-                }
-            };
-            let seed = get_u64(&obj, "seed", 0).map_err(&fail)?;
-            let engine =
-                crate::commands::engine_of(get_str(&obj, "engine", "exact").map_err(&fail)?, eps)
-                    .map_err(&fail)?;
-            let mut opts = MixedApproxOptions::practical(eps);
-            opts.warm_start = get_bool(&obj, "warm", true).map_err(&fail)?;
-            opts.decision = opts.decision.with_engine(engine).with_seed(seed);
-            Ok(ParsedLine {
-                request: ServeRequest {
-                    id,
-                    payload: psdp_serve::InstancePayload::Mixed(inst),
-                    kind: RequestKind::Mixed { opts },
-                },
-                file_json,
-            })
+            let (inst, hash) =
+                mixed_source(mixed_sources, &source_key, fmt, load).map_err(&fail)?;
+            mixed_request(&obj, id.clone(), inst, hash).map_err(&fail)?
         }
         // Already rejected by the `allowed_keys` check; keep the typed
         // error anyway so this match can never panic as commands evolve.
-        other => Err(fail(format!("unknown command `{other}` (solve|optimize|mixed)"))),
+        other => return Err(fail(format!("unknown command `{other}` (solve|optimize|mixed)"))),
+    };
+    Ok(ParsedLine { request, file_json })
+}
+
+/// Parse one binary frame payload: a `u32` LE JSON-header length, the
+/// JSON header (same schema as a text request, minus `file`/`instance`),
+/// then the instance as `psdp-bin-1` bytes. The source cache is keyed by
+/// the FNV-1a of the **raw instance bytes**, so a repeated frame body
+/// skips decoding entirely — while the serve fingerprint still comes from
+/// the decoded content hash, which the first decode verified against the
+/// header and trailer (a forged header hash on different bytes can
+/// therefore never alias a cached instance).
+fn parse_frame_request(
+    frame: &[u8],
+    pack_sources: &mut PackSources,
+    mixed_sources: &mut MixedSources,
+) -> Result<ParsedLine, (Option<String>, String)> {
+    let mut len_bytes = [0u8; 4];
+    let header = frame
+        .get(..4)
+        .ok_or((None, "binary frame shorter than its JSON length prefix".to_string()))?;
+    len_bytes.copy_from_slice(header);
+    let json_len = u32::from_le_bytes(len_bytes) as usize;
+    let json_end = 4usize.saturating_add(json_len);
+    let json_bytes = frame.get(4..json_end).ok_or((
+        None,
+        format!("frame JSON length {json_len} overruns the {}-byte frame", frame.len()),
+    ))?;
+    let inst_bytes = frame.get(json_end..).unwrap_or(&[]);
+    let raw = std::str::from_utf8(json_bytes)
+        .map_err(|_| (None, "frame JSON header is not UTF-8".to_string()))?;
+    let obj = parse(raw).map_err(|e| (None, e.to_string()))?;
+    let (id, command) = id_and_command(&obj, true)?;
+    let fail = |msg: String| (Some(id.clone()), msg);
+
+    if !is_binary_instance(inst_bytes) {
+        return Err(fail("frame instance is not psdp-bin-1 (bad magic or version)".to_string()));
     }
+    let source_key = format!("bin:{:016x}", fnv1a(inst_bytes));
+
+    let request = match command.as_str() {
+        "solve" => {
+            let (inst, hash) =
+                packing_source(pack_sources, &source_key, Format::Bin, || Ok(inst_bytes.to_vec()))
+                    .map_err(&fail)?;
+            solve_request(&obj, id.clone(), inst, hash).map_err(&fail)?
+        }
+        "optimize" => {
+            let (inst, hash) =
+                packing_source(pack_sources, &source_key, Format::Bin, || Ok(inst_bytes.to_vec()))
+                    .map_err(&fail)?;
+            optimize_request(&obj, id.clone(), inst, hash).map_err(&fail)?
+        }
+        "mixed" => {
+            let (inst, hash) =
+                mixed_source(mixed_sources, &source_key, Format::Bin, || Ok(inst_bytes.to_vec()))
+                    .map_err(&fail)?;
+            mixed_request(&obj, id.clone(), inst, hash).map_err(&fail)?
+        }
+        other => return Err(fail(format!("unknown command `{other}` (solve|optimize|mixed)"))),
+    };
+    Ok(ParsedLine { request, file_json: "null".to_string() })
 }
 
 #[cfg(test)]
@@ -869,6 +1128,148 @@ mod tests {
                     .unwrap();
             assert_eq!(listen.stdout, other.stdout, "shards={shards}");
         }
+    }
+
+    /// Build one wire frame: marker, `u32` LE payload length, then
+    /// `u32` LE JSON length + JSON + instance bytes.
+    fn frame(json: &str, inst_bytes: &[u8]) -> Vec<u8> {
+        let mut payload = (json.len() as u32).to_le_bytes().to_vec();
+        payload.extend_from_slice(json.as_bytes());
+        payload.extend_from_slice(inst_bytes);
+        let mut out = vec![FRAME_MARKER];
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// `serve_listen_on_input` for byte streams (frames are not UTF-8).
+    fn listen_on_bytes(args: &Args, input: &[u8]) -> ServeRun {
+        let mut reader = input;
+        let mut out: Vec<u8> = Vec::new();
+        let summary = serve_listen_on(args, &mut reader, &mut out).unwrap();
+        ServeRun { stdout: String::from_utf8_lossy(&out).into_owned(), summary }
+    }
+
+    #[test]
+    fn binary_frames_match_text_submissions_bitwise() {
+        let inst = PackingInstance::new(vec![
+            PsdMatrix::Diagonal(vec![2.0, 0.0]),
+            PsdMatrix::Diagonal(vec![0.0, 4.0]),
+        ])
+        .unwrap();
+        let text = write_instance(&inst).replace('\n', "\\n");
+        let bin = psdp_core::write_instance_bin(&inst);
+        let text_input = format!(
+            "{{\"id\":\"r1\",\"command\":\"solve\",\"instance\":\"{text}\",\"threshold\":0.5}}\n"
+        );
+        let frame_input = frame("{\"id\":\"r1\",\"command\":\"solve\",\"threshold\":0.5}", &bin);
+        let via_text = serve_listen_on_input(&args(&["serve", "--listen"]), &text_input).unwrap();
+        let via_frame = listen_on_bytes(&args(&["serve", "--listen"]), &frame_input);
+        // Same fingerprint, same cold-start telemetry: the whole response
+        // line is byte-identical across the two encodings.
+        assert_eq!(via_text.stdout, via_frame.stdout);
+
+        // Within one stream, a frame after the equivalent text submission
+        // lands in the same cache entry (the fingerprint is shared).
+        let mut both = text_input.clone().into_bytes();
+        both.extend_from_slice(&frame(
+            "{\"id\":\"r2\",\"command\":\"solve\",\"threshold\":0.5}",
+            &bin,
+        ));
+        let run = listen_on_bytes(&args(&["serve", "--listen"]), &both);
+        let lines: Vec<&str> = run.stdout.lines().collect();
+        assert_eq!(lines.len(), 2, "{}", run.stdout);
+        assert!(lines[1].contains("\"memoized\":true"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn mixed_frames_serve_end_to_end() {
+        let inst = psdp_core::MixedInstance::new(
+            vec![PsdMatrix::Diagonal(vec![2.0, 0.0]), PsdMatrix::Diagonal(vec![0.0, 2.0])],
+            vec![PsdMatrix::Diagonal(vec![1.0, 0.0]), PsdMatrix::Diagonal(vec![0.0, 1.0])],
+        )
+        .unwrap();
+        let bin = psdp_core::write_mixed_instance_bin(&inst);
+        let input = frame("{\"id\":\"m\",\"command\":\"mixed\",\"eps\":0.1}", &bin);
+        let run = listen_on_bytes(&args(&["serve", "--listen"]), &input);
+        let line = run.stdout.lines().next().unwrap();
+        assert!(line.starts_with("{\"id\":\"m\",\"command\":\"mixed\""), "{line}");
+        assert!(line.contains("\"threshold_lower\":"), "{line}");
+    }
+
+    #[test]
+    fn oversized_frames_discard_and_resync() {
+        let text = inline_packing();
+        let junk = vec![0x7fu8; 512];
+        let mut input = vec![FRAME_MARKER];
+        input.extend_from_slice(&(junk.len() as u32).to_le_bytes());
+        input.extend_from_slice(&junk);
+        input.extend_from_slice(
+            format!("{{\"id\":\"ok\",\"command\":\"solve\",\"instance\":\"{text}\"}}\n").as_bytes(),
+        );
+        let run = listen_on_bytes(&args(&["serve", "--listen", "--max-line-bytes", "256"]), &input);
+        let lines: Vec<&str> = run.stdout.lines().collect();
+        assert_eq!(lines.len(), 2, "{}", run.stdout);
+        // The oversized payload is consumed to its declared length and
+        // dropped; the next request is untouched.
+        assert!(lines[0].contains("binary frame exceeds --max-line-bytes"), "{}", lines[0]);
+        assert!(lines[1].contains("\"id\":\"ok\",\"command\":\"solve\""), "{}", lines[1]);
+    }
+
+    #[test]
+    fn malformed_frames_error_in_place() {
+        let inst = PackingInstance::new(vec![PsdMatrix::Diagonal(vec![2.0])]).unwrap();
+        let bin = psdp_core::write_instance_bin(&inst);
+        let text = inline_packing();
+        let mut input: Vec<u8> = Vec::new();
+        // Truncated: declares 100 payload bytes, stream has only a few.
+        let mut truncated = vec![FRAME_MARKER];
+        truncated.extend_from_slice(&100u32.to_le_bytes());
+        truncated.extend_from_slice(b"short");
+        // Text instance where psdp-bin-1 bytes are required.
+        let not_bin = frame("{\"id\":\"nb\",\"command\":\"solve\"}", b"psdp 1\n");
+        // `instance` field is banned inside a frame.
+        let banned = frame(
+            &format!("{{\"id\":\"bf\",\"command\":\"solve\",\"instance\":\"{text}\"}}"),
+            &bin,
+        );
+        input.extend_from_slice(&not_bin);
+        input.extend_from_slice(&banned);
+        input.extend_from_slice(&truncated);
+        let run = listen_on_bytes(&args(&["serve", "--listen"]), &input);
+        let lines: Vec<&str> = run.stdout.lines().collect();
+        assert_eq!(lines.len(), 3, "{}", run.stdout);
+        assert!(lines[0].contains("not psdp-bin-1"), "{}", lines[0]);
+        assert!(lines[1].contains("not allowed in a binary frame"), "{}", lines[1]);
+        assert!(lines[2].contains("truncated binary frame"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn binary_instance_files_are_sniffed_by_magic() {
+        let inst = PackingInstance::new(vec![
+            PsdMatrix::Diagonal(vec![2.0, 0.0]),
+            PsdMatrix::Diagonal(vec![0.0, 4.0]),
+        ])
+        .unwrap();
+        let dir = std::env::temp_dir();
+        let bin_path = dir.join(format!("psdp-serve-sniff-{}.psdpb", std::process::id()));
+        std::fs::write(&bin_path, psdp_core::write_instance_bin(&inst)).unwrap();
+        let text = write_instance(&inst).replace('\n', "\\n");
+        let input = format!(
+            "{{\"id\":\"t\",\"command\":\"solve\",\"instance\":\"{text}\",\"threshold\":0.5}}\n\
+             {{\"id\":\"b\",\"command\":\"solve\",\"file\":{},\"threshold\":0.5}}\n",
+            crate::jsonfmt::json_str(&bin_path.to_string_lossy()),
+        );
+        let run = serve_on_input(&args(&["serve"]), &input).unwrap();
+        let lines: Vec<&str> = run.stdout.lines().collect();
+        assert_eq!(lines.len(), 2, "{}", run.stdout);
+        // The binary file parses, solves, and shares the text request's
+        // fingerprint: the two requests form one group, so exactly one of
+        // them executed and the other was answered from the memo tier.
+        assert!(lines[1].contains("\"command\":\"solve\""), "{}", run.stdout);
+        assert!(run.stdout.contains("\"memoized\":true"), "{}", run.stdout);
+        assert!(run.summary.contains("2 requests in 1 groups"), "{}", run.summary);
+        let _ = std::fs::remove_file(&bin_path);
     }
 
     #[test]

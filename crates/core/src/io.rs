@@ -198,18 +198,18 @@ fn bad(no: usize, msg: &str) -> PsdpError {
 /// entries, so an absurd `dim` header in a malformed file must fail fast
 /// here instead of aborting the process inside an allocator call. Real
 /// instances are bounded far below this by the dense exponential engine.
-const MAX_DIM: usize = 1 << 20;
+pub(crate) const MAX_DIM: usize = 1 << 20;
 
 /// Clamp used for `Vec::with_capacity` on declared entry counts: the count
 /// is untrusted input, so pre-reserve at most this many slots and let the
 /// vector grow normally if a (valid) file really has more.
-const MAX_PREALLOC: usize = 1 << 20;
+pub(crate) const MAX_PREALLOC: usize = 1 << 20;
 
 /// Largest accepted dimension for a *dense* block, which allocates
 /// `O(dim²)` up front (128 MiB of `f64` at this cap — far above anything
 /// the `O(m³)` dense engines can use, far below an allocator abort).
 /// Sparse/diagonal/factor storage is the format for larger dimensions.
-const MAX_DENSE_DIM: usize = 1 << 12;
+pub(crate) const MAX_DENSE_DIM: usize = 1 << 12;
 
 /// Parse a `<prefix> <value>` header line.
 fn header_usize(lines: &mut Lines<'_>, prefix: &str) -> Result<usize, PsdpError> {
@@ -238,10 +238,23 @@ fn read_constraint(
     dim: usize,
 ) -> Result<PsdMatrix, PsdpError> {
     let kind = *toks.get(2).ok_or_else(|| bad(head_no, "missing constraint kind"))?;
+    // Declared entry counts are untrusted: each entry consumes at least one
+    // content line, so a count larger than the remaining input is a lie the
+    // reader should reject before looping (or allocating) on it.
+    let checked_nnz = |lines: &Lines<'_>, nnz: usize| -> Result<usize, PsdpError> {
+        if nnz > lines.remaining() {
+            return Err(bad(
+                head_no,
+                &format!("declared {nnz} entries but only {} lines remain", lines.remaining()),
+            ));
+        }
+        Ok(nnz)
+    };
     match kind {
         "diagonal" => {
             let nnz: usize =
                 toks.get(3).and_then(|s| s.parse().ok()).ok_or_else(|| bad(head_no, "bad nnz"))?;
+            let nnz = checked_nnz(lines, nnz)?;
             let mut d = vec![0.0; dim];
             for _ in 0..nnz {
                 let (no, entry) = lines.next().ok_or_else(|| bad(head_no, "truncated diagonal"))?;
@@ -259,6 +272,7 @@ fn read_constraint(
             if rank > MAX_DIM {
                 return Err(bad(head_no, &format!("factor rank {rank} exceeds limit {MAX_DIM}")));
             }
+            let nnz = checked_nnz(lines, nnz)?;
             let mut trip = Vec::with_capacity(nnz.min(MAX_PREALLOC));
             for _ in 0..nnz {
                 let (no, entry) = lines.next().ok_or_else(|| bad(head_no, "truncated factor"))?;
@@ -274,6 +288,7 @@ fn read_constraint(
         "sparse" => {
             let nnz: usize =
                 toks.get(3).and_then(|s| s.parse().ok()).ok_or_else(|| bad(head_no, "bad nnz"))?;
+            let nnz = checked_nnz(lines, nnz)?;
             let mut trip = Vec::with_capacity(nnz.min(MAX_PREALLOC));
             for _ in 0..nnz {
                 let (no, entry) = lines.next().ok_or_else(|| bad(head_no, "truncated sparse"))?;
@@ -299,6 +314,13 @@ fn read_constraint(
             }
             if lines.remaining() < dim {
                 return Err(bad(head_no, "truncated dense block"));
+            }
+            // `checked_mul` rather than trusting MAX_DENSE_DIM alone: the
+            // O(dim²) cell count must be provably representable before the
+            // allocation (overflow would wrap to a tiny size and then index
+            // out of bounds, not fail cleanly).
+            if dim.checked_mul(dim).is_none() {
+                return Err(bad(head_no, &format!("dense block dim {dim} overflows dim*dim")));
             }
             let mut m = Mat::zeros(dim, dim);
             for r in 0..dim {
@@ -513,6 +535,20 @@ mod tests {
         assert!(read_instance(bad).is_err());
         // Wrong constraint index.
         let bad = "psdp 1\ndim 2\nconstraints 1\nconstraint 3 diagonal 1\n0 1.0\nend\n";
+        assert!(read_instance(bad).is_err());
+    }
+
+    #[test]
+    fn absurd_declared_counts_fail_fast() {
+        // nnz far beyond the remaining input must be rejected up front
+        // (never looped on, never preallocated at face value).
+        let bad = "psdp 1\ndim 2\nconstraints 1\nconstraint 0 sparse 18446744073709551615\nend\n";
+        let err = read_instance(bad).unwrap_err().to_string();
+        assert!(err.contains("lines remain"), "{err}");
+        let bad = "psdp 1\ndim 2\nconstraints 1\nconstraint 0 diagonal 999999\n0 1.0\nend\n";
+        let err = read_instance(bad).unwrap_err().to_string();
+        assert!(err.contains("lines remain"), "{err}");
+        let bad = "psdp 1\ndim 2\nconstraints 1\nconstraint 0 factor 999999999 1\n0 0 1.0\nend\n";
         assert!(read_instance(bad).is_err());
     }
 

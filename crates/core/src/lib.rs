@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod approx;
+pub mod bin_io;
 pub mod decision;
 pub mod error;
 pub mod instance;
@@ -44,6 +45,12 @@ pub mod stats;
 pub mod verify;
 
 pub use approx::{solve_covering, solve_packing, ApproxOptions, CoveringReport, PackingReport};
+pub use bin_io::{
+    binary_family, fnv1a, fnv_wide, is_binary_instance, mixed_content_hash, mixed_structural_eq,
+    packing_content_hash, packing_structural_eq, peek_content_hash, read_instance_bin,
+    read_mixed_instance_bin, write_instance_bin, write_mixed_instance_bin, Fnv1a, FnvWide,
+    BIN_FAMILY_MIXED, BIN_FAMILY_PACKING, BIN_MAGIC, BIN_VERSION,
+};
 pub use decision::{decision_psdp, DecisionResult};
 pub use error::PsdpError;
 pub use instance::{Constraint, MixedInstance, PackingInstance, PositiveSdp};

@@ -1,25 +1,32 @@
 //! The fingerprint-keyed solver cache.
 //!
 //! A fingerprint identifies everything fixed at *preparation* time: the
-//! request family (packing vs mixed), the exact normalized instance (its
-//! canonical `psdp v1` / `psdp mixed v1` text — write→read is exact, so
-//! the text is a faithful canonical form), the requested engine kind, and
-//! the sketch seed. Per-solve options (eps, constants mode, update rule,
-//! bisection accuracy, …) deliberately are **not** part of it: the session
-//! API re-validates them per call, and its internal warm-start caches
-//! carry their own option keys and refuse stale reuse, so requests that
-//! differ only in solve options can safely share one prepared solver.
-//! `DESIGN.md` §10 walks through why this key is sound — i.e. why a cache
-//! hit can never change a verdict.
+//! request family (packing vs mixed), the exact instance (by its
+//! structural content hash — [`psdp_core::packing_content_hash`] — which
+//! text and binary submissions of the same instance share), the requested
+//! engine kind, and the sketch seed. Per-solve options (eps, constants
+//! mode, update rule, bisection accuracy, …) deliberately are **not** part
+//! of it: the session API re-validates them per call, and its internal
+//! warm-start caches carry their own option keys and refuse stale reuse,
+//! so requests that differ only in solve options can safely share one
+//! prepared solver. `DESIGN.md` §10 and §14 walk through why this key is
+//! sound — i.e. why a cache hit can never change a verdict.
 //!
-//! Lookups hash the canonical key (FNV-1a 64) but **verify the full key on
-//! every hit**: a 64-bit collision between two distinct instances must
-//! fall back to a miss, never reuse the wrong prepared state.
+//! The content hash is computed **once** — at parse time for text
+//! requests, straight off the `psdp-bin-1` header for binary ones — and
+//! carried in [`ServeRequest::content_hash`]; admission never
+//! re-serializes an instance. Lookups go by the 64-bit prep hash but
+//! **verify the full fingerprint on every hit** (engine kind, seed, and
+//! bitwise structural instance equality with an `Arc` pointer fast path):
+//! a hash collision between two distinct instances must fall back to a
+//! miss, never reuse the wrong prepared state.
 
 use crate::request::{InstancePayload, RequestKind, ServeRequest};
-use psdp_core::{write_instance, write_mixed_instance, MixedInstance, PackingInstance};
+use psdp_core::{Fnv1a, MixedInstance, PackingInstance};
 use psdp_expdot::{Engine, EngineKind};
 use std::sync::Arc;
+
+pub use psdp_core::fnv1a;
 
 /// Prepared, immutable solver state for one fingerprint.
 #[derive(Clone)]
@@ -42,6 +49,17 @@ pub enum Prepared {
     },
 }
 
+impl Prepared {
+    /// The prepared instance as a request payload (for fingerprint
+    /// verification against an incoming request).
+    pub(crate) fn payload(&self) -> InstancePayload {
+        match self {
+            Prepared::Packing { inst, .. } => InstancePayload::Packing(Arc::clone(inst)),
+            Prepared::Mixed { inst, .. } => InstancePayload::Mixed(Arc::clone(inst)),
+        }
+    }
+}
+
 /// A memoized result, stored verbatim. The whole pipeline is
 /// deterministic, so replaying the stored result for a byte-identical
 /// request is byte-identical to recomputing it.
@@ -53,14 +71,14 @@ pub struct MemoEntry {
     pub result: crate::scheduler::ServeResult,
 }
 
-/// One cache slot: the verified canonical key, prepared state, memoized
-/// results, and the last certified optimize bracket (for warm-starting
-/// perturbed resubmissions).
+/// One cache slot: the prep-hash fingerprint, the prepared state it was
+/// verified for, memoized results, and the last certified optimize bracket
+/// (for warm-starting perturbed resubmissions).
 pub struct CacheEntry {
+    /// The prep hash ([`prep_hash`]) — lookup and shard-routing key.
     pub(crate) hash: u64,
-    pub(crate) key: String,
-    /// Engine kind the prepared state was built with (snapshot rebuild
-    /// input; also embedded textually in `key`).
+    /// Engine kind the prepared state was built with (hit-verification and
+    /// snapshot rebuild input).
     pub(crate) engine_kind: EngineKind,
     /// Sketch seed the prepared state was built with.
     pub(crate) seed: u64,
@@ -72,14 +90,18 @@ pub struct CacheEntry {
     pub(crate) last_used: u64,
 }
 
-/// 64-bit FNV-1a over a byte string.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+impl CacheEntry {
+    /// Full-fingerprint verification for a hit on `req`: engine kind and
+    /// seed must match, and the prepared instance must be bitwise
+    /// structurally equal to the request's (pointer fast path first). This
+    /// is exactly as strong as the old canonical-text comparison, without
+    /// serializing anything.
+    pub(crate) fn matches(&self, req: &ServeRequest) -> bool {
+        let (engine, seed) = prep_engine_of(&req.kind);
+        self.engine_kind == engine
+            && self.seed == seed
+            && self.prepared.payload().structural_eq(&req.payload)
     }
-    h
 }
 
 /// The engine kind and seed a request's prepared solver is keyed on.
@@ -91,19 +113,33 @@ pub fn prep_engine_of(kind: &RequestKind) -> (EngineKind, u64) {
     }
 }
 
-/// The full canonical preparation key of a request: family, engine kind,
-/// seed, and the instance's canonical text. Everything the prepared state
-/// depends on is in here; nothing else is.
-pub fn prep_key(req: &ServeRequest) -> String {
-    let (engine, seed) = prep_engine_of(&req.kind);
-    match &req.payload {
-        InstancePayload::Packing(inst) => {
-            format!("packing\nengine {engine:?}\nseed {seed}\n{}", write_instance(inst))
-        }
-        InstancePayload::Mixed(inst) => {
-            format!("mixed\nengine {engine:?}\nseed {seed}\n{}", write_mixed_instance(inst))
-        }
+/// Family tag folded into the prep hash (and the snapshot format).
+pub(crate) fn family_tag(payload: &InstancePayload) -> u8 {
+    match payload {
+        InstancePayload::Packing(_) => 0,
+        InstancePayload::Mixed(_) => 1,
     }
+}
+
+/// The 64-bit preparation fingerprint from its parts: family, engine kind
+/// (via its stable-within-one-build `Debug` rendering), sketch seed, and
+/// the instance's structural content hash.
+pub fn prep_hash_parts(family: u8, engine: EngineKind, seed: u64, content_hash: u64) -> u64 {
+    let mut f = Fnv1a::new();
+    f.update(&[family]);
+    f.update(format!("{engine:?}").as_bytes());
+    f.update(&seed.to_le_bytes());
+    f.update(&content_hash.to_le_bytes());
+    f.finish()
+}
+
+/// The preparation fingerprint of a request. Everything the prepared
+/// state depends on is in here; nothing else is — and computing it never
+/// touches the instance data (the content hash was computed at parse
+/// time).
+pub fn prep_hash(req: &ServeRequest) -> u64 {
+    let (engine, seed) = prep_engine_of(&req.kind);
+    prep_hash_parts(family_tag(&req.payload), engine, seed, req.content_hash)
 }
 
 /// The canonical request-parameters key: the request kind with every
@@ -114,9 +150,10 @@ pub fn params_key(kind: &RequestKind) -> String {
     format!("{kind:?}")
 }
 
-/// The fingerprint-keyed store. Entries are found by hash and verified by
-/// full key; eviction is deterministic (least-recently-used by a logical
-/// clock, ties impossible since the clock is strictly increasing).
+/// The fingerprint-keyed store. Entries are found by prep hash and
+/// verified by full fingerprint; eviction is deterministic
+/// (least-recently-used by a logical clock, ties impossible since the
+/// clock is strictly increasing).
 pub struct SolverCache {
     entries: Vec<CacheEntry>,
     max_entries: usize,
@@ -140,27 +177,20 @@ impl SolverCache {
         self.entries.is_empty()
     }
 
-    /// Remove and return the entry for `key`, if present. The scheduler
-    /// takes entries out, hands them to the (parallel) group workers, and
-    /// re-inserts them afterwards — no locking needed.
-    pub(crate) fn take(&mut self, key: &str) -> Option<CacheEntry> {
-        let hash = fnv1a(key.as_bytes());
-        let idx = self.entries.iter().position(|e| e.hash == hash && e.key == key)?;
+    /// Remove and return the entry whose prep hash is `hash` **and** whose
+    /// full fingerprint verifies against `req` (see
+    /// [`CacheEntry::matches`]). The scheduler takes entries out, hands
+    /// them to the (parallel) group workers, and re-inserts them
+    /// afterwards — no locking needed.
+    pub(crate) fn take(&mut self, hash: u64, req: &ServeRequest) -> Option<CacheEntry> {
+        let idx = self.entries.iter().position(|e| e.hash == hash && e.matches(req))?;
         Some(self.entries.swap_remove(idx))
     }
 
-    /// Canonical keys of all cached entries, in insertion order.
-    pub(crate) fn keys(&self) -> Vec<String> {
-        self.entries.iter().map(|e| e.key.clone()).collect()
-    }
-
-    /// Re-insert an entry without advancing the LRU clock — used by
-    /// read-only iteration ([`crate::shard::ShardedCache::for_each_sorted`])
-    /// so that *observing* the cache (snapshotting) never perturbs which
-    /// entry the next eviction picks.
-    pub(crate) fn insert_preserving_clock(&mut self, entry: CacheEntry) {
-        self.entries.push(entry);
-        self.evict_over_capacity();
+    /// Read-only view of all cached entries, in insertion order (snapshot
+    /// writing iterates this without taking anything out).
+    pub(crate) fn entries(&self) -> &[CacheEntry] {
+        &self.entries
     }
 
     /// Insert (or re-insert) an entry, stamping its use clock and evicting
@@ -196,22 +226,16 @@ mod tests {
         Arc::new(PackingInstance::new(vec![PsdMatrix::Diagonal(d.to_vec())]).unwrap())
     }
 
-    fn entry(key: &str) -> CacheEntry {
+    fn entry_for(req: &ServeRequest) -> CacheEntry {
+        let (engine_kind, seed) = prep_engine_of(&req.kind);
+        let InstancePayload::Packing(inst) = &req.payload else { unreachable!() };
         CacheEntry {
-            hash: fnv1a(key.as_bytes()),
-            key: key.to_string(),
-            engine_kind: psdp_expdot::EngineKind::Exact,
-            seed: 0,
+            hash: prep_hash(req),
+            engine_kind,
+            seed,
             prepared: Prepared::Packing {
-                inst: inst(&[1.0]),
-                engine: Arc::new(
-                    Engine::new(
-                        psdp_expdot::EngineKind::Exact,
-                        &[PsdMatrix::Diagonal(vec![1.0])],
-                        0,
-                    )
-                    .unwrap(),
-                ),
+                inst: Arc::clone(inst),
+                engine: Arc::new(Engine::new(engine_kind, inst.mats(), seed).unwrap()),
             },
             memo: Vec::new(),
             bracket: None,
@@ -220,12 +244,12 @@ mod tests {
     }
 
     #[test]
-    fn prep_key_separates_instances_engines_and_seeds() {
+    fn prep_hash_separates_instances_engines_and_seeds() {
         let a =
             ServeRequest::decision("a", inst(&[1.0, 2.0]), 1.0, DecisionOptions::practical(0.1));
         let b =
             ServeRequest::decision("b", inst(&[1.0, 3.0]), 1.0, DecisionOptions::practical(0.1));
-        assert_ne!(prep_key(&a), prep_key(&b), "different instances must key apart");
+        assert_ne!(prep_hash(&a), prep_hash(&b), "different instances must key apart");
 
         let c = ServeRequest::decision(
             "c",
@@ -233,19 +257,19 @@ mod tests {
             1.0,
             DecisionOptions::practical(0.1).with_seed(7),
         );
-        assert_ne!(prep_key(&a), prep_key(&c), "different seeds must key apart");
+        assert_ne!(prep_hash(&a), prep_hash(&c), "different seeds must key apart");
 
         // Same instance + engine + seed but different eps/threshold: same
         // prepared state (per-solve options are not prep inputs).
         let d =
             ServeRequest::decision("d", inst(&[1.0, 2.0]), 2.0, DecisionOptions::practical(0.3));
-        assert_eq!(prep_key(&a), prep_key(&d));
+        assert_eq!(prep_hash(&a), prep_hash(&d));
         // …but different request parameters, so memoization keys apart.
         assert_ne!(params_key(&a.kind), params_key(&d.kind));
     }
 
     #[test]
-    fn prep_key_separates_engine_kinds_including_expv() {
+    fn prep_hash_separates_engine_kinds_including_expv() {
         use psdp_expdot::EngineKind;
         let mk = |engine| {
             ServeRequest::decision(
@@ -261,7 +285,7 @@ mod tests {
             EngineKind::TaylorJl { eps: 0.1, sketch_const: 4.0 },
             EngineKind::Expv { eps: 0.1 },
         ];
-        let keys: Vec<String> = kinds.iter().map(|&k| prep_key(&mk(k))).collect();
+        let keys: Vec<u64> = kinds.iter().map(|&k| prep_hash(&mk(k))).collect();
         for i in 0..keys.len() {
             for j in (i + 1)..keys.len() {
                 assert_ne!(
@@ -274,33 +298,64 @@ mod tests {
             }
         }
         // Same Expv eps → same fingerprint; different eps keys apart.
-        assert_eq!(prep_key(&mk(EngineKind::Expv { eps: 0.1 })), keys[3]);
-        assert_ne!(prep_key(&mk(EngineKind::Expv { eps: 0.2 })), keys[3]);
+        assert_eq!(prep_hash(&mk(EngineKind::Expv { eps: 0.1 })), keys[3]);
+        assert_ne!(prep_hash(&mk(EngineKind::Expv { eps: 0.2 })), keys[3]);
     }
 
     #[test]
-    fn take_verifies_full_key_not_just_hash() {
+    fn text_and_binary_submissions_share_a_fingerprint() {
+        // Same logical instance through the text writer/reader and through
+        // a fresh Arc: identical content hashes → identical prep hashes,
+        // and the entry verifies against both (structural eq, not ptr eq).
+        let i1 = inst(&[1.0, 2.0]);
+        let text = psdp_core::write_instance(&i1);
+        let i2 = Arc::new(psdp_core::read_instance(&text).unwrap());
+        let a = ServeRequest::decision("a", i1, 1.0, DecisionOptions::practical(0.1));
+        let b = ServeRequest::decision("b", i2, 1.0, DecisionOptions::practical(0.1));
+        assert_eq!(prep_hash(&a), prep_hash(&b));
+        let e = entry_for(&a);
+        assert!(e.matches(&b), "structurally equal instance must verify");
+    }
+
+    #[test]
+    fn take_verifies_full_fingerprint_not_just_hash() {
+        let a =
+            ServeRequest::decision("a", inst(&[1.0, 2.0]), 1.0, DecisionOptions::practical(0.1));
         let mut cache = SolverCache::new(8);
-        cache.insert(entry("key-a"));
-        // Same hash is impossible to force here, but a different key with
-        // whatever hash must miss even though an entry exists.
-        assert!(cache.take("key-b").is_none());
-        assert!(cache.take("key-a").is_some());
+        cache.insert(entry_for(&a));
+        // A different instance must miss even if we probe with the stored
+        // entry's hash (simulating a 64-bit collision).
+        let other =
+            ServeRequest::decision("o", inst(&[9.0, 9.0]), 1.0, DecisionOptions::practical(0.1));
+        assert!(cache.take(prep_hash(&a), &other).is_none(), "collision must verify and miss");
+        // A different engine must miss the same way.
+        let eng = ServeRequest::decision(
+            "e",
+            inst(&[1.0, 2.0]),
+            1.0,
+            DecisionOptions::practical(0.1)
+                .with_engine(psdp_expdot::EngineKind::Taylor { eps: 0.1 }),
+        );
+        assert!(cache.take(prep_hash(&a), &eng).is_none());
+        assert!(cache.take(prep_hash(&a), &a).is_some());
         assert!(cache.is_empty());
     }
 
     #[test]
     fn eviction_is_lru_and_bounded() {
+        let r1 = ServeRequest::decision("1", inst(&[1.0]), 1.0, DecisionOptions::practical(0.1));
+        let r2 = ServeRequest::decision("2", inst(&[2.0]), 1.0, DecisionOptions::practical(0.1));
+        let r3 = ServeRequest::decision("3", inst(&[3.0]), 1.0, DecisionOptions::practical(0.1));
         let mut cache = SolverCache::new(2);
-        cache.insert(entry("k1"));
-        cache.insert(entry("k2"));
-        // Touch k1 so k2 becomes the LRU.
-        let e = cache.take("k1").unwrap();
+        cache.insert(entry_for(&r1));
+        cache.insert(entry_for(&r2));
+        // Touch r1 so r2 becomes the LRU.
+        let e = cache.take(prep_hash(&r1), &r1).unwrap();
         cache.insert(e);
-        cache.insert(entry("k3"));
+        cache.insert(entry_for(&r3));
         assert_eq!(cache.len(), 2);
-        assert!(cache.take("k2").is_none(), "k2 should have been evicted");
-        assert!(cache.take("k1").is_some());
-        assert!(cache.take("k3").is_some());
+        assert!(cache.take(prep_hash(&r2), &r2).is_none(), "r2 should have been evicted");
+        assert!(cache.take(prep_hash(&r1), &r1).is_some());
+        assert!(cache.take(prep_hash(&r3), &r3).is_some());
     }
 }

@@ -350,9 +350,11 @@ mod tests {
         );
 
         // A mixed kind over a packing payload yields a per-request error.
+        let payload = InstancePayload::Packing(Arc::clone(&pack));
         let bad = ServeRequest {
             id: "bad".into(),
-            payload: InstancePayload::Packing(Arc::clone(&pack)),
+            content_hash: payload.content_hash(),
+            payload,
             kind: RequestKind::Mixed { opts: MixedApproxOptions::practical(0.1) },
         };
         let ok =

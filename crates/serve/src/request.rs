@@ -6,6 +6,7 @@
 //! so cached prepared state can keep the instance alive across batches.
 
 use psdp_core::{
+    mixed_content_hash, mixed_structural_eq, packing_content_hash, packing_structural_eq,
     ApproxOptions, DecisionOptions, MixedApproxOptions, MixedInstance, PackingInstance,
 };
 use std::sync::Arc;
@@ -56,6 +57,36 @@ pub enum InstancePayload {
     Mixed(Arc<MixedInstance>),
 }
 
+impl InstancePayload {
+    /// The structural content hash of the carried instance
+    /// ([`psdp_core::packing_content_hash`] /
+    /// [`psdp_core::mixed_content_hash`]) — `O(nnz)`, so callers that can
+    /// reuse a hash (source caches, binary headers) should prefer the
+    /// `*_hashed` request constructors over recomputing.
+    pub fn content_hash(&self) -> u64 {
+        match self {
+            InstancePayload::Packing(inst) => packing_content_hash(inst),
+            InstancePayload::Mixed(inst) => mixed_content_hash(inst),
+        }
+    }
+
+    /// Bitwise structural equality of two payloads, with an `Arc` pointer
+    /// fast path. This is the collision verifier behind every cache hit:
+    /// exactly as strong as comparing canonical serializations, with zero
+    /// allocation and usually zero work.
+    pub fn structural_eq(&self, other: &InstancePayload) -> bool {
+        match (self, other) {
+            (InstancePayload::Packing(a), InstancePayload::Packing(b)) => {
+                Arc::ptr_eq(a, b) || packing_structural_eq(a, b)
+            }
+            (InstancePayload::Mixed(a), InstancePayload::Mixed(b)) => {
+                Arc::ptr_eq(a, b) || mixed_structural_eq(a, b)
+            }
+            _ => false,
+        }
+    }
+}
+
 /// One serve request: a unique id, an instance, and what to do with it.
 #[derive(Debug, Clone)]
 pub struct ServeRequest {
@@ -67,13 +98,31 @@ pub struct ServeRequest {
     pub payload: InstancePayload,
     /// The work to perform.
     pub kind: RequestKind,
+    /// Structural content hash of the instance, computed **once** when the
+    /// request was built (at parse time for text submissions, straight off
+    /// the header for binary ones) and carried along so admission, shard
+    /// routing, and cache lookups never re-serialize the instance.
+    pub content_hash: u64,
 }
 
 impl ServeRequest {
-    /// A decision request.
+    /// A decision request (hashes the instance; prefer
+    /// [`ServeRequest::decision_hashed`] when the hash is already known).
     pub fn decision(
         id: impl Into<String>,
         inst: Arc<PackingInstance>,
+        threshold: f64,
+        opts: DecisionOptions,
+    ) -> Self {
+        let hash = packing_content_hash(&inst);
+        Self::decision_hashed(id, inst, hash, threshold, opts)
+    }
+
+    /// A decision request with a precomputed content hash.
+    pub fn decision_hashed(
+        id: impl Into<String>,
+        inst: Arc<PackingInstance>,
+        content_hash: u64,
         threshold: f64,
         opts: DecisionOptions,
     ) -> Self {
@@ -81,32 +130,59 @@ impl ServeRequest {
             id: id.into(),
             payload: InstancePayload::Packing(inst),
             kind: RequestKind::Decision { threshold, opts },
+            content_hash,
         }
     }
 
-    /// An optimize request.
+    /// An optimize request (hashes the instance; prefer
+    /// [`ServeRequest::optimize_hashed`] when the hash is already known).
     pub fn optimize(
         id: impl Into<String>,
         inst: Arc<PackingInstance>,
+        opts: ApproxOptions,
+    ) -> Self {
+        let hash = packing_content_hash(&inst);
+        Self::optimize_hashed(id, inst, hash, opts)
+    }
+
+    /// An optimize request with a precomputed content hash.
+    pub fn optimize_hashed(
+        id: impl Into<String>,
+        inst: Arc<PackingInstance>,
+        content_hash: u64,
         opts: ApproxOptions,
     ) -> Self {
         ServeRequest {
             id: id.into(),
             payload: InstancePayload::Packing(inst),
             kind: RequestKind::Optimize { opts },
+            content_hash,
         }
     }
 
-    /// A mixed request.
+    /// A mixed request (hashes the instance; prefer
+    /// [`ServeRequest::mixed_hashed`] when the hash is already known).
     pub fn mixed(
         id: impl Into<String>,
         inst: Arc<MixedInstance>,
+        opts: MixedApproxOptions,
+    ) -> Self {
+        let hash = mixed_content_hash(&inst);
+        Self::mixed_hashed(id, inst, hash, opts)
+    }
+
+    /// A mixed request with a precomputed content hash.
+    pub fn mixed_hashed(
+        id: impl Into<String>,
+        inst: Arc<MixedInstance>,
+        content_hash: u64,
         opts: MixedApproxOptions,
     ) -> Self {
         ServeRequest {
             id: id.into(),
             payload: InstancePayload::Mixed(inst),
             kind: RequestKind::Mixed { opts },
+            content_hash,
         }
     }
 

@@ -4,8 +4,10 @@
 //! ## Execution model
 //!
 //! A batch is partitioned into **groups** by preparation fingerprint
-//! ([`crate::cache::prep_key`]): requests over the same instance with the
-//! same engine kind and seed share one prepared solver and one session.
+//! ([`crate::cache::prep_hash`], verified by structural instance equality
+//! so a 64-bit collision can only split a group, never merge two):
+//! requests over the same instance with the same engine kind and seed
+//! share one prepared solver and one session.
 //! Groups run concurrently over the shared rayon pool, bounded by
 //! [`SchedulerOptions::max_in_flight`]; within a group requests run
 //! sequentially **in request-id order**, so which request pays the cold
@@ -30,7 +32,7 @@
 //! See `DESIGN.md` §10 for the soundness argument (what the fingerprint
 //! must cover so a cache hit can never change a verdict).
 
-use crate::cache::{fnv1a, params_key, prep_engine_of, prep_key, CacheEntry, MemoEntry, Prepared};
+use crate::cache::{params_key, prep_engine_of, prep_hash, CacheEntry, MemoEntry, Prepared};
 use crate::request::{InstancePayload, RequestKind, ServeRequest};
 use psdp_core::{
     DecisionOptions, DecisionResult, MixedInstance, MixedOptions, MixedReport, MixedSolver,
@@ -201,12 +203,25 @@ pub struct Scheduler {
     cache: crate::cache::SolverCache,
 }
 
+/// One fingerprint group's members: `(submission index, request, params
+/// key)`.
+type GroupItems<'r> = Vec<(usize, &'r ServeRequest, String)>;
+
 /// Work unit handed to a group worker.
 struct GroupWork<'r> {
-    key: String,
+    /// The group's prep hash (cold mode uses a synthetic per-request
+    /// value; it is never inserted, so it only needs to be unique).
+    hash: u64,
     entry: Option<CacheEntry>,
-    /// `(submission index, request, params key)`, sorted by request id.
-    items: Vec<(usize, &'r ServeRequest, String)>,
+    /// Members sorted by request id.
+    items: GroupItems<'r>,
+}
+
+/// Full-fingerprint equality between two requests: same engine kind and
+/// seed, and structurally identical instances. This — not the 64-bit hash
+/// — is what defines a group.
+fn fingerprint_eq(a: &ServeRequest, b: &ServeRequest) -> bool {
+    prep_engine_of(&a.kind) == prep_engine_of(&b.kind) && a.payload.structural_eq(&b.payload)
 }
 
 /// What a group worker hands back.
@@ -246,32 +261,56 @@ impl Scheduler {
             }
         }
 
-        // Partition into fingerprint groups (BTreeMap ⇒ canonical group
-        // order, independent of submission order).
+        // Partition into fingerprint groups: bucket by prep hash (BTreeMap
+        // ⇒ canonical bucket order, independent of submission order), then
+        // split each bucket by *actual* fingerprint equality so a 64-bit
+        // collision can only split a group, never merge two distinct
+        // fingerprints onto one prepared solver.
         let mut mismatched: Vec<usize> = Vec::new();
-        let mut groups: BTreeMap<String, Vec<(usize, &ServeRequest, String)>> = BTreeMap::new();
+        let mut buckets: BTreeMap<u64, Vec<GroupItems<'_>>> = BTreeMap::new();
         for (idx, req) in requests.iter().enumerate() {
             if !req.payload_matches_kind() {
                 mismatched.push(idx);
                 continue;
             }
-            let key = if self.opts.cache_enabled {
-                prep_key(req)
+            let hash = if self.opts.cache_enabled {
+                prep_hash(req)
             } else {
                 // Cold mode: every request is its own group and nothing is
-                // kept, giving the uncached per-request baseline.
-                format!("cold-{idx:08}")
+                // kept, giving the uncached per-request baseline. The
+                // synthetic hash is never inserted, only unique.
+                idx as u64
             };
-            groups.entry(key).or_default().push((idx, req, params_key(&req.kind)));
+            let subs = buckets.entry(hash).or_default();
+            let item = (idx, req, params_key(&req.kind));
+            match subs
+                .iter_mut()
+                .find(|s| s.first().is_some_and(|(_, rep, _)| fingerprint_eq(rep, req)))
+            {
+                Some(s) => s.push(item),
+                None => subs.push(vec![item]),
+            }
         }
-        let mut work: Vec<GroupWork<'_>> = groups
-            .into_iter()
-            .map(|(key, mut items)| {
-                items.sort_by(|a, b| a.1.id.cmp(&b.1.id));
-                let entry = if self.opts.cache_enabled { self.cache.take(&key) } else { None };
-                GroupWork { key, entry, items }
-            })
-            .collect();
+        let mut work: Vec<GroupWork<'_>> = Vec::new();
+        for (hash, mut subs) in buckets {
+            for s in subs.iter_mut() {
+                s.sort_by(|a, b| a.1.id.cmp(&b.1.id));
+            }
+            // Collision sub-groups (vanishingly rare) ordered by their
+            // smallest request id, keeping group order a function of batch
+            // contents alone.
+            subs.sort_by(|a, b| {
+                a.first().map(|x| x.1.id.as_str()).cmp(&b.first().map(|x| x.1.id.as_str()))
+            });
+            for items in subs {
+                let entry = if self.opts.cache_enabled {
+                    items.first().and_then(|(_, rep, _)| self.cache.take(hash, rep))
+                } else {
+                    None
+                };
+                work.push(GroupWork { hash, entry, items });
+            }
+        }
 
         // Bounded in-flight concurrency over the shared pool.
         let width = rayon::current_num_threads();
@@ -417,7 +456,7 @@ fn process_packing_group(
     keep_entry: bool,
     batch_start: Instant,
 ) -> GroupOutcome {
-    let GroupWork { key, entry, items } = w;
+    let GroupWork { hash, entry, items } = w;
     let Some((_, first_req, _)) = items.first() else {
         return GroupOutcome { responses: Vec::new(), entry: None, prep_built: false };
     };
@@ -523,9 +562,8 @@ fn process_packing_group(
 
     let engine = solver.engine_handle();
     drop(session);
-    let entry = keep_entry.then(|| CacheEntry {
-        hash: fnv1a(key.as_bytes()),
-        key,
+    let entry = keep_entry.then_some(CacheEntry {
+        hash,
         engine_kind,
         seed,
         prepared: Prepared::Packing { inst, engine },
@@ -542,7 +580,7 @@ fn process_mixed_group(
     keep_entry: bool,
     batch_start: Instant,
 ) -> GroupOutcome {
-    let GroupWork { key, entry, items } = w;
+    let GroupWork { hash, entry, items } = w;
     let Some((_, first_req, _)) = items.first() else {
         return GroupOutcome { responses: Vec::new(), entry: None, prep_built: false };
     };
@@ -623,9 +661,8 @@ fn process_mixed_group(
 
     let (pack_engine, cover_engine) = solver.engine_handles();
     drop(session);
-    let entry = keep_entry.then(|| CacheEntry {
-        hash: fnv1a(key.as_bytes()),
-        key,
+    let entry = keep_entry.then_some(CacheEntry {
+        hash,
         engine_kind,
         seed,
         prepared: Prepared::Mixed { inst, pack_engine, cover_engine },

@@ -44,7 +44,7 @@
 //! reproducible, which `tests/determinism.rs` pins across pools {1, 4} ×
 //! shard counts {1, 4} and snapshot cold/warm starts.
 
-use crate::cache::{fnv1a, params_key, prep_engine_of, prep_key, CacheEntry, MemoEntry, Prepared};
+use crate::cache::{params_key, prep_engine_of, prep_hash, CacheEntry, MemoEntry, Prepared};
 use crate::request::{InstancePayload, RequestKind, ServeRequest};
 use crate::scheduler::{ServeResponse, ServeResult, ServeStats};
 use crate::shard::ShardedCache;
@@ -300,8 +300,9 @@ impl Service {
                         });
                     }
                     StreamItem::Execute { request, ctx } => {
-                        let key = prep_key(&request);
-                        let shard = crate::shard::shard_of(fnv1a(key.as_bytes()), shards);
+                        // Routing is O(1): the content hash was computed at
+                        // parse time, never by re-serializing the instance.
+                        let shard = crate::shard::shard_of(prep_hash(&request), shards);
                         let job = ShardJob { seq, admitted_at: Instant::now(), request, ctx };
                         match shard_txs.get(shard) {
                             Some(tx) => {
@@ -479,12 +480,12 @@ fn execute_request(
             false,
         );
     }
-    let key = prep_key(req);
+    let hash = prep_hash(req);
     let params = params_key(&req.kind);
-    let entry = if cache_enabled { cache.take(&key) } else { None };
+    let entry = if cache_enabled { cache.take(hash, req) } else { None };
     let (result, stats, entry, prep_built) = match &req.payload {
-        InstancePayload::Packing(_) => run_packing_request(req, key, &params, entry, memo_cap),
-        InstancePayload::Mixed(_) => run_mixed_request(req, key, &params, entry, memo_cap),
+        InstancePayload::Packing(_) => run_packing_request(req, hash, &params, entry, memo_cap),
+        InstancePayload::Mixed(_) => run_mixed_request(req, hash, &params, entry, memo_cap),
     };
     if cache_enabled {
         if let Some(entry) = entry {
@@ -502,7 +503,7 @@ fn memo_hit(memo: &[MemoEntry], params: &str) -> Option<ServeResult> {
 #[allow(clippy::type_complexity)]
 fn run_packing_request(
     req: &ServeRequest,
-    key: String,
+    hash: u64,
     params: &str,
     entry: Option<CacheEntry>,
     memo_cap: usize,
@@ -540,8 +541,7 @@ fn run_packing_request(
     if let Some(hit) = memo_hit(&memo, params) {
         stats.memoized = true;
         let entry = CacheEntry {
-            hash: fnv1a(key.as_bytes()),
-            key,
+            hash,
             engine_kind,
             seed,
             prepared: Prepared::Packing {
@@ -623,8 +623,7 @@ fn run_packing_request(
     let engine = solver.engine_handle();
     drop(session);
     let entry = CacheEntry {
-        hash: fnv1a(key.as_bytes()),
-        key,
+        hash,
         engine_kind,
         seed,
         prepared: Prepared::Packing { inst, engine },
@@ -638,7 +637,7 @@ fn run_packing_request(
 #[allow(clippy::type_complexity)]
 fn run_mixed_request(
     req: &ServeRequest,
-    key: String,
+    hash: u64,
     params: &str,
     entry: Option<CacheEntry>,
     memo_cap: usize,
@@ -677,8 +676,7 @@ fn run_mixed_request(
     if let Some(hit) = memo_hit(&memo, params) {
         stats.memoized = true;
         let entry = prior_engines.map(|(pack_engine, cover_engine)| CacheEntry {
-            hash: fnv1a(key.as_bytes()),
-            key,
+            hash,
             engine_kind,
             seed,
             prepared: Prepared::Mixed { inst, pack_engine, cover_engine },
@@ -723,8 +721,7 @@ fn run_mixed_request(
     let (pack_engine, cover_engine) = solver.engine_handles();
     drop(session);
     let entry = CacheEntry {
-        hash: fnv1a(key.as_bytes()),
-        key,
+        hash,
         engine_kind,
         seed,
         prepared: Prepared::Mixed { inst, pack_engine, cover_engine },
@@ -863,9 +860,11 @@ mod tests {
     #[test]
     fn mismatched_payload_is_a_per_request_error() {
         let pack = diag_inst(&[&[1.0]]);
+        let payload = InstancePayload::Packing(Arc::clone(&pack));
         let bad = ServeRequest {
             id: "bad".into(),
-            payload: InstancePayload::Packing(Arc::clone(&pack)),
+            content_hash: payload.content_hash(),
+            payload,
             kind: RequestKind::Mixed { opts: MixedApproxOptions::practical(0.1) },
         };
         let (got, report, _) = run_service(ServiceOptions::default(), vec![bad]);

@@ -22,6 +22,7 @@
 
 use crate::cache::CacheEntry;
 use crate::cache::SolverCache;
+use crate::request::ServeRequest;
 use parking_lot::Mutex;
 
 /// A fingerprint-sharded [`SolverCache`]: `shards` independent caches,
@@ -62,13 +63,13 @@ impl ShardedCache {
         self.shards.iter().all(|s| s.lock().is_empty())
     }
 
-    /// Remove and return the entry for `key` from its shard, if present.
-    /// Workers take the entry out, run without holding the lock, and
-    /// re-insert afterwards — the shard lock is only held for the lookup.
-    pub(crate) fn take(&self, key: &str) -> Option<CacheEntry> {
-        let hash = crate::cache::fnv1a(key.as_bytes());
+    /// Remove and return the entry whose prep hash is `hash` and whose
+    /// full fingerprint verifies against `req`, from its shard. Workers
+    /// take the entry out, run without holding the lock, and re-insert
+    /// afterwards — the shard lock is only held for the lookup.
+    pub(crate) fn take(&self, hash: u64, req: &ServeRequest) -> Option<CacheEntry> {
         let shard = self.shards.get(shard_of(hash, self.shards.len()))?;
-        shard.lock().take(key)
+        shard.lock().take(hash, req)
     }
 
     /// Insert (or re-insert) an entry into its shard, stamping the
@@ -81,23 +82,15 @@ impl ShardedCache {
         }
     }
 
-    /// Run `f` over every entry (key-sorted across all shards) without
-    /// removing them. Used by the snapshot writer.
-    pub(crate) fn for_each_sorted(&self, mut f: impl FnMut(&CacheEntry)) {
-        let mut keys: Vec<(usize, String)> = Vec::new();
-        for (i, shard) in self.shards.iter().enumerate() {
-            for key in shard.lock().keys() {
-                keys.push((i, key));
-            }
-        }
-        keys.sort_by(|a, b| a.1.cmp(&b.1));
-        for (i, key) in keys {
-            if let Some(shard) = self.shards.get(i) {
-                let mut guard = shard.lock();
-                if let Some(entry) = guard.take(&key) {
-                    f(&entry);
-                    guard.insert_preserving_clock(entry);
-                }
+    /// Run `f` over every entry without removing any, shard by shard in
+    /// shard order. Iteration order depends on the shard count, so the
+    /// snapshot writer sorts what it renders; callers that need a
+    /// shard-count-invariant order must do the same.
+    pub(crate) fn for_each(&self, mut f: impl FnMut(&CacheEntry)) {
+        for shard in &self.shards {
+            let guard = shard.lock();
+            for entry in guard.entries() {
+                f(entry);
             }
         }
     }
@@ -106,22 +99,28 @@ impl ShardedCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cache::{fnv1a, Prepared};
-    use psdp_core::PackingInstance;
-    use psdp_expdot::{Engine, EngineKind};
+    use crate::cache::{prep_engine_of, prep_hash, Prepared};
+    use psdp_core::{DecisionOptions, PackingInstance};
+    use psdp_expdot::Engine;
     use psdp_sparse::PsdMatrix;
     use std::sync::Arc;
 
-    fn entry(key: &str) -> CacheEntry {
-        let mats = vec![PsdMatrix::Diagonal(vec![1.0])];
+    fn req(diag: &[f64]) -> ServeRequest {
+        let inst =
+            Arc::new(PackingInstance::new(vec![PsdMatrix::Diagonal(diag.to_vec())]).unwrap());
+        ServeRequest::decision(format!("{diag:?}"), inst, 1.0, DecisionOptions::practical(0.1))
+    }
+
+    fn entry(r: &ServeRequest) -> CacheEntry {
+        let (engine_kind, seed) = prep_engine_of(&r.kind);
+        let crate::request::InstancePayload::Packing(inst) = &r.payload else { unreachable!() };
         CacheEntry {
-            hash: fnv1a(key.as_bytes()),
-            key: key.to_string(),
-            engine_kind: EngineKind::Exact,
-            seed: 0,
+            hash: prep_hash(r),
+            engine_kind,
+            seed,
             prepared: Prepared::Packing {
-                inst: Arc::new(PackingInstance::new(mats.clone()).unwrap()),
-                engine: Arc::new(Engine::new(EngineKind::Exact, &mats, 0).unwrap()),
+                inst: Arc::clone(inst),
+                engine: Arc::new(Engine::new(engine_kind, inst.mats(), seed).unwrap()),
             },
             memo: Vec::new(),
             bracket: None,
@@ -132,8 +131,8 @@ mod tests {
     #[test]
     fn routing_is_stable_and_in_range() {
         for shards in [1usize, 2, 4, 7] {
-            for key in ["a", "b", "packing\nengine Exact\nseed 0\npsdp 1"] {
-                let h = fnv1a(key.as_bytes());
+            for diag in [&[1.0][..], &[2.0], &[1.0, 2.0, 3.0]] {
+                let h = prep_hash(&req(diag));
                 let s = shard_of(h, shards);
                 assert!(s < shards);
                 assert_eq!(s, shard_of(h, shards), "routing must be a pure function");
@@ -145,57 +144,65 @@ mod tests {
     #[test]
     fn take_insert_roundtrip_across_shards() {
         let cache = ShardedCache::new(4, 8);
-        for key in ["k1", "k2", "k3", "k4", "k5"] {
-            cache.insert(entry(key));
+        let reqs: Vec<ServeRequest> =
+            [1.0, 2.0, 3.0, 4.0, 5.0].iter().map(|&v| req(&[v])).collect();
+        for r in &reqs {
+            cache.insert(entry(r));
         }
         assert_eq!(cache.len(), 5);
         assert!(!cache.is_empty());
-        for key in ["k1", "k2", "k3", "k4", "k5"] {
-            let e = cache.take(key).expect("entry present");
-            assert_eq!(e.key, key);
+        for r in &reqs {
+            let e = cache.take(prep_hash(r), r).expect("entry present");
+            assert_eq!(e.hash, prep_hash(r));
             cache.insert(e);
         }
-        assert!(cache.take("missing").is_none());
+        let missing = req(&[99.0]);
+        assert!(cache.take(prep_hash(&missing), &missing).is_none());
         assert_eq!(cache.len(), 5);
     }
 
     #[test]
     fn eviction_is_shard_local() {
-        // Capacity 1 per shard: keys that share a shard evict each other,
-        // keys on other shards are untouched.
+        // Capacity 1 per shard: fingerprints that share a shard evict each
+        // other, fingerprints on other shards are untouched.
         let cache = ShardedCache::new(2, 1);
-        let keys = ["a", "b", "c", "d", "e", "f"];
-        for key in keys {
-            cache.insert(entry(key));
+        let reqs: Vec<ServeRequest> =
+            [1.0, 2.0, 3.0, 4.0, 5.0, 6.0].iter().map(|&v| req(&[v])).collect();
+        for r in &reqs {
+            cache.insert(entry(r));
         }
         // At most one survivor per shard.
         assert!(cache.len() <= 2);
-        let survivors: Vec<&str> =
-            keys.iter().copied().filter(|k| cache.take(k).is_some()).collect();
+        let survivors: Vec<&ServeRequest> =
+            reqs.iter().filter(|r| cache.take(prep_hash(r), r).is_some()).collect();
         assert!(!survivors.is_empty());
-        // Each survivor must be the most recent key routed to its shard.
+        // Each survivor must be the most recent fingerprint routed to its
+        // shard.
         for s in survivors {
-            let sh = shard_of(fnv1a(s.as_bytes()), 2);
-            let later: Vec<&str> = keys
+            let sh = shard_of(prep_hash(s), 2);
+            let later: Vec<&ServeRequest> = reqs
                 .iter()
-                .copied()
-                .skip_while(|k| *k != s)
+                .skip_while(|r| r.id != s.id)
                 .skip(1)
-                .filter(|k| shard_of(fnv1a(k.as_bytes()), 2) == sh)
+                .filter(|r| shard_of(prep_hash(r), 2) == sh)
                 .collect();
-            assert!(later.is_empty(), "{s} should have been evicted by {later:?}");
+            assert!(later.is_empty(), "{} should have been evicted", s.id);
         }
     }
 
     #[test]
-    fn for_each_sorted_visits_all_without_removing() {
+    fn for_each_visits_all_without_removing() {
         let cache = ShardedCache::new(3, 8);
-        for key in ["zz", "aa", "mm"] {
-            cache.insert(entry(key));
+        let reqs: Vec<ServeRequest> = [1.0, 2.0, 3.0].iter().map(|&v| req(&[v])).collect();
+        for r in &reqs {
+            cache.insert(entry(r));
         }
         let mut seen = Vec::new();
-        cache.for_each_sorted(|e| seen.push(e.key.clone()));
-        assert_eq!(seen, ["aa", "mm", "zz"]);
+        cache.for_each(|e| seen.push(e.hash));
+        seen.sort_unstable();
+        let mut want: Vec<u64> = reqs.iter().map(prep_hash).collect();
+        want.sort_unstable();
+        assert_eq!(seen, want);
         assert_eq!(cache.len(), 3, "iteration must not consume entries");
     }
 }

@@ -7,8 +7,8 @@
 //! that is expensive to serialize and riskier still to trust from disk.
 //! The snapshot therefore stores the *rebuild inputs* instead: the
 //! request family, the engine kind (float parameters as exact IEEE-754
-//! bit patterns), the sketch seed, the instance's canonical text, and the
-//! last certified optimize bracket. Loading replays the ordinary solver
+//! bit patterns), the sketch seed, the instance itself, and the last
+//! certified optimize bracket. Loading replays the ordinary solver
 //! preparation path over those inputs, so a warm-started service holds
 //! engines bit-identical to ones it would have built cold — the snapshot
 //! moves preparation cost off the serving path without introducing a new
@@ -16,26 +16,36 @@
 //! results are only replayed within one process lifetime, where "the
 //! pipeline is deterministic" is an invariant the binary itself enforces.
 //!
+//! Instances are stored in one of two payload encodings: small ones as
+//! canonical `psdp` text (human-inspectable, diff-friendly), large ones
+//! (over `BIN_PAYLOAD_NNZ_THRESHOLD` = 1024 stored entries) as hex-encoded
+//! `psdp-bin-1` bytes, which load without any float parsing.
+//!
 //! ## Verification on load
 //!
 //! Every entry is fully verified before insertion, mirroring the cache's
-//! full-key-on-hit discipline:
+//! verify-on-hit discipline:
 //!
-//! 1. the instance text must be *canonical* (read→write is a byte
-//!    fixpoint), so a snapshot edited into a non-canonical spelling of
-//!    the same instance cannot alias a different fingerprint;
-//! 2. the canonical preparation key recomputed from the rebuilt inputs
-//!    must hash to the stored fingerprint hash;
-//! 3. duplicate keys are rejected.
+//! 1. the payload must be *canonical* (read→write is a byte fixpoint in
+//!    its encoding), so a snapshot edited into a non-canonical spelling
+//!    of the same instance cannot alias a different fingerprint;
+//! 2. the preparation hash recomputed from the rebuilt inputs
+//!    ([`crate::cache::prep_hash_parts`] over the family, engine kind,
+//!    seed, and the instance's structural content hash) must equal the
+//!    stored fingerprint;
+//! 3. duplicate fingerprints (hash *and* structural instance equality)
+//!    are rejected.
 //!
 //! Any failure yields a typed [`SnapshotError`] — callers fall back to a
 //! cold start; a corrupted snapshot can never panic the service or
-//! poison its cache.
+//! poison its cache. Version-1 snapshots (which keyed entries by
+//! canonical instance text) are rejected the same way.
 
-use crate::cache::{fnv1a, CacheEntry, Prepared};
+use crate::cache::{family_tag, prep_hash_parts, CacheEntry, Prepared};
 use crate::shard::ShardedCache;
 use psdp_core::{
-    read_instance, read_mixed_instance, write_instance, write_mixed_instance, DecisionOptions,
+    read_instance, read_instance_bin, read_mixed_instance, read_mixed_instance_bin, write_instance,
+    write_instance_bin, write_mixed_instance, write_mixed_instance_bin, DecisionOptions,
     MixedOptions, MixedSolver, Solver,
 };
 use psdp_expdot::EngineKind;
@@ -43,7 +53,14 @@ use std::fmt;
 use std::sync::Arc;
 
 /// Snapshot format version header (line 1 of every snapshot).
-const HEADER: &str = "psdp snapshot v1";
+const HEADER: &str = "psdp snapshot v2";
+
+/// Instances with more stored entries than this are snapshotted as
+/// hex-encoded `psdp-bin-1` payloads instead of canonical text.
+const BIN_PAYLOAD_NNZ_THRESHOLD: usize = 1024;
+
+/// Hex characters per payload line (48 bytes).
+const HEX_LINE_CHARS: usize = 96;
 
 /// Why a snapshot failed to load. All variants are recoverable: the
 /// caller's cache is untouched and a cold start is always safe.
@@ -57,7 +74,7 @@ pub enum SnapshotError {
         msg: String,
     },
     /// An entry parsed but failed full verification (non-canonical
-    /// instance text, fingerprint hash mismatch, duplicate key).
+    /// payload, fingerprint hash mismatch, duplicate fingerprint).
     Verify {
         /// What failed to verify.
         msg: String,
@@ -130,11 +147,47 @@ fn parse_engine(body: &str, line: usize) -> Result<EngineKind, SnapshotError> {
     Ok(kind)
 }
 
-/// Serialize every cached fingerprint (key-sorted, so write→load→write is
-/// a byte fixpoint) into the versioned snapshot text.
+/// Hex-encode `bytes` into lines of [`HEX_LINE_CHARS`] characters.
+fn hex_lines(bytes: &[u8]) -> Vec<String> {
+    let mut hex = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        hex.push_str(&format!("{b:02x}"));
+    }
+    let mut lines = Vec::new();
+    let mut rest = hex.as_str();
+    while !rest.is_empty() {
+        let cut = rest.len().min(HEX_LINE_CHARS);
+        let (line, tail) = rest.split_at(cut);
+        lines.push(line.to_string());
+        rest = tail;
+    }
+    lines
+}
+
+/// Decode a concatenated hex payload back into bytes.
+fn hex_decode(s: &str, line: usize) -> Result<Vec<u8>, SnapshotError> {
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let mut i = 0;
+    while i < s.len() {
+        let Some(pair) = s.get(i..i + 2) else {
+            return Err(SnapshotError::Format { line, msg: "odd-length hex payload".to_string() });
+        };
+        let byte = u8::from_str_radix(pair, 16)
+            .map_err(|_| SnapshotError::Format { line, msg: format!("bad hex byte `{pair}`") })?;
+        out.push(byte);
+        i += 2;
+    }
+    Ok(out)
+}
+
+/// Serialize every cached fingerprint into the versioned snapshot text.
+/// Rendered entry blocks are sorted as strings, so the output is
+/// independent of shard count and insertion order (write→load→write is a
+/// byte fixpoint).
 pub(crate) fn write_snapshot(cache: &ShardedCache) -> String {
     let mut blocks: Vec<String> = Vec::new();
-    cache.for_each_sorted(|e| blocks.push(render_entry(e)));
+    cache.for_each(|e| blocks.push(render_entry(e)));
+    blocks.sort();
     let mut out = String::new();
     out.push_str(HEADER);
     out.push('\n');
@@ -146,9 +199,21 @@ pub(crate) fn write_snapshot(cache: &ShardedCache) -> String {
 }
 
 fn render_entry(e: &CacheEntry) -> String {
-    let (family, inst_text) = match &e.prepared {
-        Prepared::Packing { inst, .. } => ("packing", write_instance(inst)),
-        Prepared::Mixed { inst, .. } => ("mixed", write_mixed_instance(inst)),
+    let (family, payload_kind, payload_lines) = match &e.prepared {
+        Prepared::Packing { inst, .. } => {
+            if inst.total_nnz() > BIN_PAYLOAD_NNZ_THRESHOLD {
+                ("packing", "bin", hex_lines(&write_instance_bin(inst)))
+            } else {
+                ("packing", "text", write_instance(inst).lines().map(String::from).collect())
+            }
+        }
+        Prepared::Mixed { inst, .. } => {
+            if inst.total_nnz() > BIN_PAYLOAD_NNZ_THRESHOLD {
+                ("mixed", "bin", hex_lines(&write_mixed_instance_bin(inst)))
+            } else {
+                ("mixed", "text", write_mixed_instance(inst).lines().map(String::from).collect())
+            }
+        }
     };
     let bracket = match &e.bracket {
         Some((params, lo, hi)) => {
@@ -156,7 +221,6 @@ fn render_entry(e: &CacheEntry) -> String {
         }
         None => "bracket none".to_string(),
     };
-    let n_lines = inst_text.lines().count();
     let mut out = String::new();
     out.push_str("entry\n");
     out.push_str(&format!("family {family}\n"));
@@ -165,9 +229,9 @@ fn render_entry(e: &CacheEntry) -> String {
     out.push_str(&format!("hash {:016x}\n", e.hash));
     out.push_str(&bracket);
     out.push('\n');
-    out.push_str(&format!("instance {n_lines}\n"));
-    for line in inst_text.lines() {
-        out.push_str(line);
+    out.push_str(&format!("payload {payload_kind} {}\n", payload_lines.len()));
+    for line in payload_lines {
+        out.push_str(&line);
         out.push('\n');
     }
     out.push_str("end\n");
@@ -234,15 +298,19 @@ pub(crate) fn load_snapshot(text: &str) -> Result<Vec<CacheEntry>, SnapshotError
     })?;
 
     let mut entries: Vec<CacheEntry> = Vec::with_capacity(count);
-    let mut seen_keys: Vec<String> = Vec::new();
     for _ in 0..count {
         let entry = load_entry(&mut cur)?;
-        if seen_keys.contains(&entry.key) {
+        let dup = entries.iter().any(|e| {
+            e.hash == entry.hash
+                && e.engine_kind == entry.engine_kind
+                && e.seed == entry.seed
+                && e.prepared.payload().structural_eq(&entry.prepared.payload())
+        });
+        if dup {
             return Err(SnapshotError::Verify {
                 msg: format!("duplicate fingerprint (hash {:016x})", entry.hash),
             });
         }
-        seen_keys.push(entry.key.clone());
         entries.push(entry);
     }
     if let Some((no, line)) = cur.next() {
@@ -254,9 +322,68 @@ pub(crate) fn load_snapshot(text: &str) -> Result<Vec<CacheEntry>, SnapshotError
     Ok(entries)
 }
 
+/// The decoded instance payload of one snapshot entry, plus its
+/// structural content hash.
+enum LoadedInstance {
+    Packing(Arc<psdp_core::PackingInstance>, u64),
+    Mixed(Arc<psdp_core::MixedInstance>, u64),
+}
+
+/// Decode and canonicality-check one entry's payload.
+fn load_payload(
+    family: &str,
+    fam_no: usize,
+    kind: &str,
+    text_payload: Option<String>,
+    bin_payload: Option<Vec<u8>>,
+) -> Result<LoadedInstance, SnapshotError> {
+    let not_canonical = || SnapshotError::Verify {
+        msg: "payload is not canonical (read→write is not a byte fixpoint)".to_string(),
+    };
+    let rejected =
+        |e: psdp_core::PsdpError| SnapshotError::Verify { msg: format!("instance rejected: {e}") };
+    match (family, kind, text_payload, bin_payload) {
+        ("packing", "text", Some(text), _) => {
+            let inst = read_instance(&text).map_err(rejected)?;
+            if write_instance(&inst) != text {
+                return Err(not_canonical());
+            }
+            let hash = psdp_core::packing_content_hash(&inst);
+            Ok(LoadedInstance::Packing(Arc::new(inst), hash))
+        }
+        ("packing", "bin", _, Some(bytes)) => {
+            let (inst, hash) = read_instance_bin(&bytes).map_err(rejected)?;
+            if write_instance_bin(&inst) != bytes {
+                return Err(not_canonical());
+            }
+            Ok(LoadedInstance::Packing(Arc::new(inst), hash))
+        }
+        ("mixed", "text", Some(text), _) => {
+            let inst = read_mixed_instance(&text).map_err(rejected)?;
+            if write_mixed_instance(&inst) != text {
+                return Err(not_canonical());
+            }
+            let hash = psdp_core::mixed_content_hash(&inst);
+            Ok(LoadedInstance::Mixed(Arc::new(inst), hash))
+        }
+        ("mixed", "bin", _, Some(bytes)) => {
+            let (inst, hash) = read_mixed_instance_bin(&bytes).map_err(rejected)?;
+            if write_mixed_instance_bin(&inst) != bytes {
+                return Err(not_canonical());
+            }
+            Ok(LoadedInstance::Mixed(Arc::new(inst), hash))
+        }
+        _ => Err(SnapshotError::Format {
+            line: fam_no,
+            msg: format!("unknown family/payload combination `{family}`/`{kind}`"),
+        }),
+    }
+}
+
 fn load_entry(cur: &mut Cursor<'_>) -> Result<CacheEntry, SnapshotError> {
     cur.expect_literal("entry")?;
     let (fam_no, family) = cur.expect_field("family")?;
+    let family = family.to_string();
     let (eng_no, engine_body) = cur.expect_field("engine")?;
     let engine_kind = parse_engine(engine_body, eng_no)?;
     let (seed_no, seed_body) = cur.expect_field("seed")?;
@@ -286,79 +413,69 @@ fn load_entry(cur: &mut Cursor<'_>) -> Result<CacheEntry, SnapshotError> {
             }
         }
     };
-    let (inst_no, n_body) = cur.expect_field("instance")?;
-    let n_lines: usize = n_body.parse().map_err(|_| SnapshotError::Format {
-        line: inst_no,
-        msg: format!("bad instance line count `{n_body}`"),
-    })?;
-    let mut inst_text = String::new();
+    let (pay_no, pay_body) = cur.expect_field("payload")?;
+    let mut pay_parts = pay_body.split(' ');
+    let (kind, n_lines) = match (pay_parts.next(), pay_parts.next(), pay_parts.next()) {
+        (Some(kind @ ("text" | "bin")), Some(n), None) => {
+            let n: usize = n.parse().map_err(|_| SnapshotError::Format {
+                line: pay_no,
+                msg: format!("bad payload line count `{n}`"),
+            })?;
+            (kind, n)
+        }
+        _ => {
+            return Err(SnapshotError::Format {
+                line: pay_no,
+                msg: format!("bad payload spec `{pay_body}`"),
+            });
+        }
+    };
+    let mut body = String::new();
     for _ in 0..n_lines {
         let Some((_, line)) = cur.next() else {
             return Err(SnapshotError::Format {
                 line: cur.pos,
-                msg: "unexpected end of snapshot inside instance text".to_string(),
+                msg: "unexpected end of snapshot inside payload".to_string(),
             });
         };
-        inst_text.push_str(line);
-        inst_text.push('\n');
+        body.push_str(line);
+        if kind == "text" {
+            body.push('\n');
+        }
     }
     cur.expect_literal("end")?;
 
-    // Rebuild + verify. The key is recomputed from the rebuilt inputs in
-    // exactly the `prep_key` format, then checked against the stored
-    // fingerprint hash — a tampered or bit-rotted entry cannot alias a
-    // different fingerprint.
-    let (prepared, key) = match family {
-        "packing" => {
-            let inst = read_instance(&inst_text)
-                .map_err(|e| SnapshotError::Verify { msg: format!("instance rejected: {e}") })?;
-            if write_instance(&inst) != inst_text {
-                return Err(SnapshotError::Verify {
-                    msg: "instance text is not canonical (read→write is not a fixpoint)"
-                        .to_string(),
-                });
-            }
-            let inst = Arc::new(inst);
-            let key =
-                format!("packing\nengine {engine_kind:?}\nseed {seed}\n{}", write_instance(&inst));
+    let (text_payload, bin_payload) =
+        if kind == "text" { (Some(body), None) } else { (None, Some(hex_decode(&body, pay_no)?)) };
+    let loaded = load_payload(&family, fam_no, kind, text_payload, bin_payload)?;
+
+    // Rebuild + verify: the prep hash is recomputed from the rebuilt
+    // inputs exactly as `prep_hash` would compute it for a live request,
+    // then checked against the stored fingerprint — a tampered or
+    // bit-rotted entry cannot alias a different fingerprint.
+    let (prepared, content_hash) = match loaded {
+        LoadedInstance::Packing(inst, content_hash) => {
             let opts = DecisionOptions::practical(0.1).with_engine(engine_kind).with_seed(seed);
             let solver = Solver::builder(&inst)
                 .options(opts)
                 .build()
                 .map_err(|e| SnapshotError::Rebuild { msg: e.to_string() })?;
             let engine = solver.engine_handle();
-            (Prepared::Packing { inst: Arc::clone(&inst), engine }, key)
+            (Prepared::Packing { inst, engine }, content_hash)
         }
-        "mixed" => {
-            let inst = read_mixed_instance(&inst_text)
-                .map_err(|e| SnapshotError::Verify { msg: format!("instance rejected: {e}") })?;
-            if write_mixed_instance(&inst) != inst_text {
-                return Err(SnapshotError::Verify {
-                    msg: "instance text is not canonical (read→write is not a fixpoint)"
-                        .to_string(),
-                });
-            }
-            let inst = Arc::new(inst);
-            let key = format!(
-                "mixed\nengine {engine_kind:?}\nseed {seed}\n{}",
-                write_mixed_instance(&inst)
-            );
+        LoadedInstance::Mixed(inst, content_hash) => {
             let opts = MixedOptions::practical(0.1).with_engine(engine_kind).with_seed(seed);
             let solver = MixedSolver::builder(&inst)
                 .options(opts)
                 .build()
                 .map_err(|e| SnapshotError::Rebuild { msg: e.to_string() })?;
             let (pack_engine, cover_engine) = solver.engine_handles();
-            (Prepared::Mixed { inst: Arc::clone(&inst), pack_engine, cover_engine }, key)
-        }
-        other => {
-            return Err(SnapshotError::Format {
-                line: fam_no,
-                msg: format!("unknown family `{other}`"),
-            });
+            (Prepared::Mixed { inst, pack_engine, cover_engine }, content_hash)
         }
     };
-    if fnv1a(key.as_bytes()) != hash {
+    let computed =
+        prep_hash_parts(family_tag(&prepared.payload()), engine_kind, seed, content_hash);
+    if computed != hash {
         return Err(SnapshotError::Verify {
             msg: format!("fingerprint hash mismatch (stored {hash:016x})"),
         });
@@ -368,16 +485,7 @@ fn load_entry(cur: &mut Cursor<'_>) -> Result<CacheEntry, SnapshotError> {
             msg: "mixed entries cannot carry a packing bracket".to_string(),
         });
     }
-    Ok(CacheEntry {
-        hash,
-        key,
-        engine_kind,
-        seed,
-        prepared,
-        memo: Vec::new(),
-        bracket,
-        last_used: 0,
-    })
+    Ok(CacheEntry { hash, engine_kind, seed, prepared, memo: Vec::new(), bracket, last_used: 0 })
 }
 
 #[cfg(test)]
@@ -448,16 +556,56 @@ mod tests {
     }
 
     #[test]
+    fn large_instances_snapshot_as_binary_payloads() {
+        use crate::cache::{prep_engine_of, prep_hash, Prepared};
+        use psdp_core::DecisionOptions;
+        // 600 diagonal constraints over dim 2 → total_nnz 1200 > threshold.
+        let mats: Vec<PsdMatrix> = (0..600)
+            .map(|i| PsdMatrix::Diagonal(vec![1.0 + (i % 7) as f64, 2.0 + (i % 3) as f64]))
+            .collect();
+        let inst = Arc::new(PackingInstance::new(mats).unwrap());
+        let req =
+            ServeRequest::decision("big", Arc::clone(&inst), 1.0, DecisionOptions::practical(0.2));
+        let (engine_kind, seed) = prep_engine_of(&req.kind);
+        let entry = CacheEntry {
+            hash: prep_hash(&req),
+            engine_kind,
+            seed,
+            prepared: Prepared::Packing {
+                inst: Arc::clone(&inst),
+                engine: Arc::new(psdp_expdot::Engine::new(engine_kind, inst.mats(), seed).unwrap()),
+            },
+            memo: Vec::new(),
+            bracket: None,
+            last_used: 0,
+        };
+        let cache = ShardedCache::new(1, 8);
+        cache.insert(entry);
+        let snap = write_snapshot(&cache);
+        assert!(snap.contains("payload bin "), "large instance must use the binary payload");
+        let entries = load_snapshot(&snap).expect("binary payload loads");
+        assert_eq!(entries.len(), 1);
+        let reloaded = ShardedCache::new(1, 8);
+        for e in entries {
+            reloaded.insert(e);
+        }
+        assert_eq!(write_snapshot(&reloaded), snap, "bin payload write→load→write fixpoint");
+    }
+
+    #[test]
     fn corrupted_snapshots_error_cleanly() {
         let service = warm_service();
         let snap = service.snapshot_string();
         let cases: Vec<String> = vec![
             String::new(),
             "garbage\n".to_string(),
-            snap.replace("psdp snapshot v1", "psdp snapshot v2"),
+            // Old (v1) and future snapshot versions are both rejected.
+            snap.replace("psdp snapshot v2", "psdp snapshot v1"),
+            snap.replace("psdp snapshot v2", "psdp snapshot v3"),
             snap.replace("entries 2", "entries 3"),
             snap.replace("family packing", "family quantum"),
             snap.replace("seed 0", "seed banana"),
+            snap.replace("payload text", "payload braille"),
             // Flip a fingerprint hash digit.
             {
                 let mut s = String::new();
@@ -475,8 +623,8 @@ mod tests {
             },
             // Truncate mid-entry.
             snap.lines().take(5).map(|l| format!("{l}\n")).collect(),
-            // Perturb the first instance body line (breaks canonicality
-            // or the fingerprint hash, whichever trips first).
+            // Perturb the first payload body line (breaks canonicality or
+            // the fingerprint hash, whichever trips first).
             {
                 let mut out = String::new();
                 let mut poison_next = false;
@@ -489,9 +637,9 @@ mod tests {
                         out.push_str(line);
                         out.push('\n');
                     }
-                    poison_next = line.starts_with("instance ");
+                    poison_next = line.starts_with("payload ");
                 }
-                assert!(poisoned, "snapshot must contain an instance body");
+                assert!(poisoned, "snapshot must contain a payload body");
                 out
             },
         ];
@@ -516,7 +664,7 @@ mod tests {
         let mut s = Service::new(ServiceOptions::default());
         match s.load_snapshot(&doubled) {
             Err(SnapshotError::Verify { msg }) => assert!(msg.contains("duplicate")),
-            other => panic!("expected duplicate-key verify error, got {other:?}"),
+            other => panic!("expected duplicate-fingerprint verify error, got {other:?}"),
         }
     }
 

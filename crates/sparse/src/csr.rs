@@ -84,6 +84,66 @@ impl Csr {
         Csr::from_triplets(a.nrows(), a.ncols(), &trip)
     }
 
+    /// Build from raw CSR arrays without panicking, enforcing the canonical
+    /// invariants [`Csr::from_triplets`] produces: monotone `row_ptr`,
+    /// in-range and **strictly increasing** column indices within each row
+    /// (no duplicates). The binary instance reader uses this so malformed
+    /// input surfaces as an error, never an assertion failure.
+    ///
+    /// # Errors
+    /// A message describing the first violated invariant.
+    pub fn try_from_raw(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self, String> {
+        if row_ptr.len() != nrows + 1 {
+            return Err(format!("row_ptr length {} != nrows + 1 = {}", row_ptr.len(), nrows + 1));
+        }
+        if col_idx.len() != values.len() {
+            return Err(format!("{} column indices but {} values", col_idx.len(), values.len()));
+        }
+        if row_ptr.first().copied() != Some(0) {
+            return Err("row_ptr must start at 0".into());
+        }
+        if row_ptr.last().copied() != Some(col_idx.len()) {
+            return Err(format!("row_ptr end {:?} != nnz {}", row_ptr.last(), col_idx.len()));
+        }
+        if !row_ptr.windows(2).all(|w| w[0] <= w[1]) {
+            return Err("row_ptr not monotone".into());
+        }
+        for r in 0..nrows {
+            let row = col_idx.get(row_ptr[r]..row_ptr[r + 1]).unwrap_or(&[]);
+            if !row.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("row {r} columns not strictly increasing"));
+            }
+            if row.last().is_some_and(|&c| c >= ncols) {
+                return Err(format!("row {r} has a column index >= ncols {ncols}"));
+            }
+        }
+        Ok(Csr { nrows, ncols, row_ptr, col_idx, values })
+    }
+
+    /// Row pointer array (length `nrows + 1`).
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column indices (length `nnz`, sorted within each row).
+    #[inline]
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Stored nonzero values, parallel to [`Csr::col_idx`].
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
     /// An `nrows × ncols` all-zero sparse matrix.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
         Csr { nrows, ncols, row_ptr: vec![0; nrows + 1], col_idx: vec![], values: vec![] }
@@ -398,6 +458,31 @@ mod tests {
         let a = Csr::identity(3);
         assert_eq!(SymOp::dim(&a), 3);
         assert_eq!(SymOp::nnz(&a), 3);
+    }
+
+    #[test]
+    fn try_from_raw_accepts_canonical_and_rejects_malformed() {
+        let a = example();
+        let b = Csr::try_from_raw(
+            a.nrows(),
+            a.ncols(),
+            a.row_ptr().to_vec(),
+            a.col_idx().to_vec(),
+            a.values().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        // Wrong row_ptr length.
+        assert!(Csr::try_from_raw(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        // row_ptr end disagrees with nnz.
+        assert!(Csr::try_from_raw(1, 2, vec![0, 2], vec![0], vec![1.0]).is_err());
+        // Column out of range.
+        assert!(Csr::try_from_raw(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
+        // Duplicate / unsorted columns within a row.
+        assert!(Csr::try_from_raw(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err());
+        assert!(Csr::try_from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err());
+        // Non-monotone row_ptr.
+        assert!(Csr::try_from_raw(2, 2, vec![0, 1, 0], vec![0], vec![1.0]).is_err());
     }
 
     #[test]

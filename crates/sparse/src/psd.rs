@@ -298,8 +298,29 @@ impl PsdMatrix {
                 }
                 // Exact symmetry: the incremental-Ψ path relies on sparse
                 // scatter-adds being exactly symmetric, so tolerate no
-                // asymmetry at all (transpose must match bitwise).
-                if s.transpose() != *s {
+                // asymmetry at all. O(nnz) without materializing the
+                // transpose: a row-major walk visits the entries of
+                // transpose-row j in exactly the order a symmetric matrix
+                // stores row j, so one cursor per row verifies pattern
+                // and values in place.
+                let rp = s.row_ptr();
+                let ci = s.col_idx();
+                let vals = s.values();
+                let mut cur: Vec<usize> = rp[..s.nrows()].to_vec();
+                let symmetric = 'sym: {
+                    for i in 0..s.nrows() {
+                        for k in rp[i]..rp[i + 1] {
+                            let j = ci[k];
+                            let t = cur[j];
+                            if t >= rp[j + 1] || ci[t] != i || vals[t] != vals[k] {
+                                break 'sym false;
+                            }
+                            cur[j] = t + 1;
+                        }
+                    }
+                    (0..s.nrows()).all(|j| cur[j] == rp[j + 1])
+                };
+                if !symmetric {
                     return Err("sparse matrix is not exactly symmetric".into());
                 }
                 Ok(())

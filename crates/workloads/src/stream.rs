@@ -324,6 +324,46 @@ pub fn stream_jsonl(batch: &StreamBatch) -> String {
     out
 }
 
+/// Render a [`StreamBatch`] as the `psdp serve --listen` binary-frame
+/// protocol: every request becomes a `0x00`-marked, length-prefixed frame
+/// carrying its JSON header and the instance as `psdp-bin-1` bytes
+/// (encoded once per pool entry, not per request). Same request schedule
+/// as [`stream_jsonl`], so the two encodings must produce byte-identical
+/// response payloads — that is exactly the cross-check the determinism
+/// suite runs — while the binary path skips text parsing entirely.
+pub fn stream_frames(batch: &StreamBatch) -> Vec<u8> {
+    let pack_bins: Vec<Vec<u8>> = batch.packing.iter().map(psdp_core::write_instance_bin).collect();
+    let mixed_bins: Vec<Vec<u8>> =
+        batch.mixed.iter().map(psdp_core::write_mixed_instance_bin).collect();
+    let mut out: Vec<u8> = Vec::new();
+    for r in &batch.requests {
+        let (json, inst) = match r.kind {
+            StreamKind::Solve => (
+                format!(
+                    "{{\"id\":\"{}\",\"command\":\"solve\",\"threshold\":{},\"eps\":{}}}",
+                    r.id, r.threshold, batch.eps,
+                ),
+                &pack_bins[r.instance],
+            ),
+            StreamKind::Optimize => (
+                format!("{{\"id\":\"{}\",\"command\":\"optimize\",\"eps\":{}}}", r.id, batch.eps,),
+                &pack_bins[r.instance],
+            ),
+            StreamKind::Mixed => (
+                format!("{{\"id\":\"{}\",\"command\":\"mixed\",\"eps\":{}}}", r.id, batch.eps),
+                &mixed_bins[r.instance],
+            ),
+        };
+        let payload_len = 4 + json.len() + inst.len();
+        out.push(0x00);
+        out.extend_from_slice(&u32::try_from(payload_len).unwrap_or(u32::MAX).to_le_bytes());
+        out.extend_from_slice(&u32::try_from(json.len()).unwrap_or(u32::MAX).to_le_bytes());
+        out.extend_from_slice(json.as_bytes());
+        out.extend_from_slice(inst);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -425,6 +465,30 @@ mod tests {
             assert!(!line.contains('\n'));
             assert!(line.contains("\\n"), "instance text must be inline-escaped: {line}");
         }
+    }
+
+    #[test]
+    fn frame_stream_matches_request_schedule() {
+        let batch = mixed_request_stream(&MixedStreamSpec {
+            base: RequestStreamSpec { requests: 40, ..Default::default() },
+            ..Default::default()
+        });
+        let bytes = stream_frames(&batch);
+        assert_eq!(bytes, stream_frames(&batch), "frame bytes must be deterministic");
+        // Walk the frames: one per request, each payload holding the JSON
+        // header (with the right id) followed by psdp-bin-1 magic.
+        let mut pos = 0usize;
+        for r in &batch.requests {
+            assert_eq!(bytes[pos], 0x00, "frame marker at {pos}");
+            let len = u32::from_le_bytes(bytes[pos + 1..pos + 5].try_into().unwrap()) as usize;
+            let payload = &bytes[pos + 5..pos + 5 + len];
+            let json_len = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
+            let json = std::str::from_utf8(&payload[4..4 + json_len]).unwrap();
+            assert!(json.starts_with(&format!("{{\"id\":\"{}\",\"command\":", r.id)), "{json}");
+            assert_eq!(&payload[4 + json_len..4 + json_len + 8], b"PSDPBIN1");
+            pos += 5 + len;
+        }
+        assert_eq!(pos, bytes.len(), "no trailing bytes after the last frame");
     }
 
     #[test]

@@ -318,6 +318,52 @@ fn listen_responses_bitwise_across_threads_and_shards() {
     assert_eq!(base, run_serve(&input), "listen and one-shot serve disagree");
 }
 
+/// A text JSONL submission and a binary-frame submission of the **same**
+/// request schedule must produce bitwise-identical response streams,
+/// across rayon pool sizes {1, 4}. The binary ingest path changes how the
+/// instance bytes arrive (psdp-bin-1 frames, hash read off the header)
+/// but never what the solver computes or how requests are fingerprinted —
+/// text and binary submissions of one instance share a content hash, so
+/// they must also share cache groups and memo tiers.
+#[test]
+fn listen_text_and_binary_submissions_bitwise_across_thread_counts() {
+    let batch = psdp_workloads::mixed_request_stream(&psdp_workloads::MixedStreamSpec {
+        base: psdp_workloads::RequestStreamSpec {
+            pool: 2,
+            requests: 6,
+            dim: 8,
+            n: 5,
+            zipf_s: 1.1,
+            thresholds: 2,
+            seed: 11,
+        },
+        mixed_pool: 1,
+        optimize_share: 0.2,
+        mixed_share: 0.2,
+        eps: 0.2,
+    });
+    let text = psdp_workloads::stream_jsonl(&batch);
+    let frames = psdp_workloads::stream_frames(&batch);
+    let run_frames = || {
+        let args =
+            psdp_cli::args::Args::parse(&["serve".to_string(), "--listen".to_string()]).unwrap();
+        let mut reader: &[u8] = &frames;
+        let mut out: Vec<u8> = Vec::new();
+        psdp_cli::serve::serve_listen_on(&args, &mut reader, &mut out).expect("listen runs");
+        String::from_utf8_lossy(&out).into_owned()
+    };
+    let base = run_with_threads(1, || run_listen(&[], &text));
+    for threads in [1usize, 4] {
+        let from_text = run_with_threads(threads, || run_listen(&[], &text));
+        let from_frames = run_with_threads(threads, run_frames);
+        assert_eq!(base, from_text, "text stream changed at threads={threads}");
+        assert_eq!(base, from_frames, "binary stream diverged from text at threads={threads}");
+    }
+    // Sanity: the schedule repeats instances, so the cross-format identity
+    // covered memoized responses, not just cold solves.
+    assert!(base.contains("\"memoized\":true") || base.contains("\"prep_reused\":true"), "{base}");
+}
+
 /// Warm-starting from a snapshot flips reuse telemetry but must leave
 /// every result payload bitwise unchanged — the snapshot stores rebuild
 /// inputs, and rebuilt solvers are the solvers.

@@ -13,11 +13,19 @@
 //!    readers must return `Err` on every one of them (a packing file is
 //!    malformed for the mixed reader by header and vice versa, so the
 //!    assertion is symmetric).
+//!
+//! The same two guarantees hold for the `psdp-bin-1` binary format: the
+//! fixpoint helpers additionally assert text→binary→text byte losslessness
+//! (plus hash agreement between the header and the parse-time hash), and a
+//! parallel `.psdpb` corpus drives both binary readers through every
+//! header/record/checksum guard.
 
 use proptest::prelude::*;
 use psdp_core::{
-    read_instance, read_mixed_instance, write_instance, write_mixed_instance, MixedInstance,
-    PackingInstance,
+    mixed_content_hash, mixed_structural_eq, packing_content_hash, packing_structural_eq,
+    peek_content_hash, read_instance, read_instance_bin, read_mixed_instance,
+    read_mixed_instance_bin, write_instance, write_instance_bin, write_mixed_instance,
+    write_mixed_instance_bin, MixedInstance, PackingInstance,
 };
 use psdp_sparse::{Csr, FactorPsd, PsdMatrix};
 use psdp_test_support::{arb_factorized_instance, arb_mixed_diagonal, arb_sparse_graph_instance};
@@ -32,6 +40,16 @@ fn assert_packing_fixpoint(inst: &PackingInstance) {
     }
     let text2 = write_instance(&back);
     assert_eq!(text1, text2, "write→read→write is not a fixpoint");
+
+    // Binary leg: text→binary→text is byte-lossless, the decoded instance
+    // is bit-identical, and the header hash matches the parse-time hash.
+    let bin = write_instance_bin(&back);
+    let (from_bin, hash) = read_instance_bin(&bin).expect("written binary must parse");
+    assert!(packing_structural_eq(&back, &from_bin), "binary decode drifted");
+    assert_eq!(hash, packing_content_hash(&back), "header hash != parse-time hash");
+    assert_eq!(peek_content_hash(&bin), Some(hash), "peeked hash != verified hash");
+    assert_eq!(write_instance_bin(&from_bin), bin, "bin→read→bin is not a fixpoint");
+    assert_eq!(write_instance(&from_bin), text1, "text→binary→text is not a fixpoint");
 }
 
 fn assert_mixed_fixpoint(inst: &MixedInstance) {
@@ -48,6 +66,14 @@ fn assert_mixed_fixpoint(inst: &MixedInstance) {
     }
     let text2 = write_mixed_instance(&back);
     assert_eq!(text1, text2, "mixed write→read→write is not a fixpoint");
+
+    let bin = write_mixed_instance_bin(&back);
+    let (from_bin, hash) = read_mixed_instance_bin(&bin).expect("written binary must parse");
+    assert!(mixed_structural_eq(&back, &from_bin), "mixed binary decode drifted");
+    assert_eq!(hash, mixed_content_hash(&back), "mixed header hash != parse-time hash");
+    assert_eq!(peek_content_hash(&bin), Some(hash), "peeked hash != verified hash");
+    assert_eq!(write_mixed_instance_bin(&from_bin), bin, "mixed bin fixpoint broken");
+    assert_eq!(write_mixed_instance(&from_bin), text1, "mixed text→binary→text broken");
 }
 
 proptest! {
@@ -151,7 +177,7 @@ fn corpus_errors_are_line_anchored_and_specific() {
         ("09_wrong_constraint_index.psdp", "expected 0"),
         ("10_unknown_kind.psdp", "unknown constraint kind"),
         ("14_diagonal_out_of_range.psdp", "out of range"),
-        ("21_huge_sparse_nnz_truncated.psdp", "truncated sparse"),
+        ("21_huge_sparse_nnz_truncated.psdp", "lines remain"),
         ("24_dense_row_wrong_length.psdp", "dense row has"),
         ("26_wrong_end_token.psdp", "expected `end`"),
         ("37_mixed_trailing_garbage.psdp", "trailing content"),
@@ -166,6 +192,71 @@ fn corpus_errors_are_line_anchored_and_specific() {
         assert!(err.contains(needle), "{name}: error `{err}` missing `{needle}`");
         assert!(err.contains("line"), "{name}: error `{err}` not line-anchored");
     }
+}
+
+/// Every malformed `psdp-bin-1` fixture (`.psdpb`) must make BOTH binary
+/// readers return `Err` without panicking. Fixtures with a target deeper
+/// than the checksum carry *consistent* trailers/content hashes so the
+/// intended guard is the one that fires.
+#[test]
+fn malformed_binary_corpus_errors_never_panics() {
+    let dir = format!("{}/../../tests/fixtures/io_corpus", env!("CARGO_MANIFEST_DIR"));
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {dir}: {e}"))
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "psdpb"))
+        .collect();
+    paths.sort();
+    assert!(paths.len() >= 15, "binary corpus suspiciously small: {} files", paths.len());
+    for path in paths {
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let bytes = std::fs::read(&path).expect("fixture readable");
+        let as_packing = std::panic::catch_unwind(|| read_instance_bin(&bytes));
+        let as_mixed = std::panic::catch_unwind(|| read_mixed_instance_bin(&bytes));
+        match as_packing {
+            Ok(result) => assert!(result.is_err(), "{name}: binary packing reader accepted it"),
+            Err(_) => panic!("{name}: binary packing reader panicked"),
+        }
+        match as_mixed {
+            Ok(result) => assert!(result.is_err(), "{name}: binary mixed reader accepted it"),
+            Err(_) => panic!("{name}: binary mixed reader panicked"),
+        }
+    }
+}
+
+/// Spot-check that representative binary fixtures fail for the *intended*
+/// reason, with byte-offset-anchored messages.
+#[test]
+fn binary_corpus_errors_are_offset_anchored_and_specific() {
+    let dir = format!("{}/../../tests/fixtures/io_corpus", env!("CARGO_MANIFEST_DIR"));
+    let read = |name: &str| std::fs::read(format!("{dir}/{name}")).expect("fixture");
+    let packing_cases = [
+        ("42_bin_bad_magic.psdpb", "bad magic"),
+        ("43_bin_bad_version.psdpb", "unsupported version"),
+        ("45_bin_unknown_family.psdpb", "not a packing instance"),
+        ("46_bin_dim_overflow.psdpb", "exceeds limit"),
+        ("48_bin_record_len_overrun.psdpb", "remain"),
+        ("50_bin_bad_record_kind.psdpb", "unknown record kind"),
+        ("51_bin_diag_nonincreasing.psdpb", "strictly increasing"),
+        ("53_bin_trailer_mismatch.psdpb", "checksum mismatch"),
+        ("54_bin_content_hash_mismatch.psdpb", "content hash mismatch"),
+        ("55_bin_trailing_bytes.psdpb", "trailing bytes"),
+        ("56_bin_factor_rank_zero.psdpb", "factor rank"),
+        ("57_bin_dense_wrong_len.psdpb", "dense block"),
+    ];
+    for (name, needle) in packing_cases {
+        let err = read_instance_bin(&read(name)).unwrap_err().to_string();
+        assert!(err.contains(needle), "{name}: error `{err}` missing `{needle}`");
+        assert!(err.contains("byte"), "{name}: error `{err}` not byte-anchored");
+    }
+    let err = read_mixed_instance_bin(&read("61_bin_mixed_content_hash_mismatch.psdpb"))
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("content hash mismatch"), "{err}");
+    let err = read_mixed_instance_bin(&read("62_bin_mixed_count_overflow.psdpb"))
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("exceeds limit"), "{err}");
 }
 
 /// Absurd declared sizes must fail fast on validation, not inside an
