@@ -444,6 +444,7 @@ mod tests {
             "crates/serve/src/shard.rs",
             "crates/serve/src/snapshot.rs",
             "crates/serve/src/telemetry.rs",
+            "crates/serve/src/transport.rs",
             "crates/cli/src/serve.rs",
         ] {
             assert_eq!(run(path, "let v = x.unwrap();\n"), [("R1".into(), 1)], "{path}");

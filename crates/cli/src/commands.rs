@@ -32,7 +32,8 @@ USAGE:
   psdp optimize FILE [--eps E] [--warm on|off] [--json]
   psdp mixed FILE [--eps E] [--engine auto|exact|taylor|jl|expv] [--seed S] [--warm on|off] [--json]
   psdp serve [--max-in-flight N] [--cache on|off] [--max-line-bytes N] [--format auto|text|bin]   (JSONL requests on stdin)
-  psdp serve --listen [--shards N] [--queue-cap N] [--snapshot FILE] [--cache on|off] [--max-line-bytes N] [--format auto|text|bin]
+  psdp serve --listen [--shards N] [--queue-cap N] [--snapshot FILE] [--snapshot-keep N] [--cache on|off] [--max-line-bytes N] [--format auto|text|bin] [--shed-target-p99-ms MS]
+  psdp serve --listen --bind tcp:ADDR:PORT|unix:PATH [--max-clients N] [--client-inflight N] [...same flags as --listen]
   psdp audit [--root PATH] [--config FILE] [--json] [--deny-warnings]
 
 The `auto` engine picks exact, sketched-Taylor, or the Krylov/Chebyshev
@@ -67,11 +68,24 @@ service (DESIGN.md §13): requests are admitted as they arrive into
 bounded per-shard queues (a full queue answers a typed `overloaded` line
 instead of buffering without bound), the fingerprint-sharded cache
 carries reuse across the whole session, and `--snapshot FILE` persists
-the prepared-solver cache across restarts (a missing or corrupted
-snapshot means a cold start, never a refusal to serve). Lines longer
-than `--max-line-bytes` (default 4 MiB) are rejected in place in both
-modes. The service report — throughput, p50/p99 latency, per-tier hit
-counters, queue high-water marks — goes to stderr.
+the prepared-solver cache across restarts (saved atomically via tmp +
+rename; `--snapshot-keep N` rotates N generations so a torn live file
+warm-loads from the previous one — a missing or corrupted snapshot means
+a cold start, never a refusal to serve). `--shed-target-p99-ms` turns on
+adaptive shedding: queue admission tightens whenever the live p99
+service latency overshoots the target. Lines longer than
+`--max-line-bytes` (default 4 MiB) are rejected in place in both modes.
+The service report — throughput, p50/p99 latency, per-tier hit counters,
+queue high-water marks — goes to stderr.
+With `--bind` the listen-mode service accepts many concurrent socket
+clients (DESIGN.md §15) instead of stdin: `tcp:ADDR:PORT` (port 0 picks
+a free port, printed to stderr) or `unix:PATH`. Each connection carries
+the stdin protocol and gets its responses back in its own submission
+order — bitwise identical to piping the same bytes over stdin. Admission
+drains clients round-robin; a client with `--client-inflight` unwritten
+responses gets typed `overloaded` lines instead of buffering, and
+`--max-clients N` stops accepting after N connections (for scripted
+runs; 0 = accept forever).
 
 `audit` runs the psdp-audit determinism & robustness lint (DESIGN.md §11)
 over the workspace sources: rules D1-D3 (hash-order iteration, parallel

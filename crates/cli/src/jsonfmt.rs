@@ -31,6 +31,23 @@ pub fn json_str(s: &str) -> String {
     out
 }
 
+/// The typed `overloaded` response line `psdp serve` emits when a request
+/// is shed by backpressure — a full shard queue, the adaptive p99 shed
+/// policy, or a per-client in-flight cap at the socket front end
+/// (`shard` is `null` for the last: the request was never routed).
+/// Rendered here so the schema cannot drift from the golden under
+/// `tests/fixtures/schema/serve_overloaded.json`.
+pub fn overloaded_line(id: &str, shard: Option<usize>) -> String {
+    let shard_json = match shard {
+        Some(s) => s.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"id\":{},\"error\":\"overloaded\",\"overloaded\":true,\"shard\":{shard_json}}}\n",
+        json_str(id)
+    )
+}
+
 /// Finite floats print as-is; NaN/inf become `null` (JSON has no literals
 /// for them).
 pub fn json_f64(v: f64) -> String {

@@ -47,8 +47,8 @@ use psdp_core::{
 };
 use psdp_serve::json::{parse, JsonValue};
 use psdp_serve::{
-    BatchReport, Scheduler, SchedulerOptions, ServeRequest, ServeResponse, ServeResult, ServeStats,
-    Service, ServiceOptions, ServiceReport, StreamItem, StreamOutcome,
+    BatchReport, FairMux, Scheduler, SchedulerOptions, ServeRequest, ServeResponse, ServeResult,
+    ServeStats, Service, ServiceOptions, ServiceReport, StreamItem, StreamOutcome,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::{BufRead, Write};
@@ -100,6 +100,16 @@ enum Line {
 /// failures become response lines instead).
 pub fn serve(args: &Args) -> Result<String, String> {
     if args.bool_flag("listen") {
+        if let Some(spec) = args.opt_flag("bind") {
+            let addr = psdp_serve::BindAddr::parse(spec)?;
+            let listener = psdp_serve::Listener::bind(&addr)?;
+            // Report the bound address before serving: a `tcp:…:0`
+            // caller learns the OS-assigned port from this line.
+            eprintln!("listening on {}", listener.local_addr_string());
+            let summary = serve_listen_socket_on(args, listener)?;
+            eprint!("{summary}");
+            return Ok(String::new());
+        }
         let stdin = std::io::stdin();
         let mut stdout = std::io::stdout();
         let summary = serve_listen_on(args, &mut stdin.lock(), &mut stdout)?;
@@ -142,8 +152,14 @@ pub fn serve_on_input(args: &Args, input: &str) -> Result<ServeRun, String> {
             continue;
         }
         if raw.len() > max_line_bytes {
-            lines
-                .push(Line::Error { id: None, msg: oversized_line_msg(raw.len(), max_line_bytes) });
+            // Best-effort correlate the error: scan the bounded prefix —
+            // the same bytes the streaming reader would have retained —
+            // for a leading id before discarding the line.
+            let prefix = raw.as_bytes().get(..max_line_bytes).unwrap_or(raw.as_bytes());
+            lines.push(Line::Error {
+                id: scan_leading_id(prefix),
+                msg: oversized_line_msg(raw.len(), max_line_bytes),
+            });
             continue;
         }
         match parse_request_line(raw, fmt, &mut pack_sources, &mut mixed_sources) {
@@ -212,8 +228,10 @@ enum BoundedLine {
     /// A complete line within the byte bound (without its newline).
     Line(String),
     /// A line over the bound: its bytes were discarded as they streamed
-    /// past (never accumulated), `bytes` is how long it was.
-    Oversized { bytes: usize },
+    /// past (never accumulated beyond the bound), `bytes` is how long it
+    /// was, and `id` is the best-effort leading `"id"` scanned from the
+    /// retained prefix so the error line stays correlatable.
+    Oversized { bytes: usize, id: Option<String> },
     /// A complete binary frame payload within the byte bound.
     Frame(Vec<u8>),
     /// A frame whose declared length exceeds the bound: exactly that many
@@ -241,6 +259,7 @@ fn read_bounded_line(r: &mut impl BufRead, max_bytes: usize) -> Result<BoundedLi
     }
     let mut buf: Vec<u8> = Vec::new();
     let mut dropped = false;
+    let mut oversize_id: Option<String> = None;
     let mut total = 0usize;
     let mut saw_any = false;
     loop {
@@ -256,6 +275,11 @@ fn read_bounded_line(r: &mut impl BufRead, max_bytes: usize) -> Result<BoundedLi
             total += pos;
             if !dropped && total > max_bytes {
                 dropped = true;
+                // Scan the bounded prefix for a leading id before
+                // discarding, so the oversize error stays correlatable.
+                let room = max_bytes.saturating_sub(buf.len()).min(pos);
+                buf.extend_from_slice(chunk.get(..room).unwrap_or(&[]));
+                oversize_id = scan_leading_id(&buf);
                 buf.clear();
             }
             if !dropped {
@@ -268,6 +292,9 @@ fn read_bounded_line(r: &mut impl BufRead, max_bytes: usize) -> Result<BoundedLi
         total += len;
         if !dropped && total > max_bytes {
             dropped = true;
+            let room = max_bytes.saturating_sub(buf.len()).min(len);
+            buf.extend_from_slice(chunk.get(..room).unwrap_or(&[]));
+            oversize_id = scan_leading_id(&buf);
             buf.clear();
         }
         if !dropped {
@@ -276,7 +303,7 @@ fn read_bounded_line(r: &mut impl BufRead, max_bytes: usize) -> Result<BoundedLi
         r.consume(len);
     }
     if dropped {
-        return Ok(BoundedLine::Oversized { bytes: total });
+        return Ok(BoundedLine::Oversized { bytes: total, id: oversize_id });
     }
     if buf.last() == Some(&b'\r') {
         buf.pop();
@@ -349,46 +376,11 @@ pub fn serve_listen_on(
     reader: &mut impl BufRead,
     writer: &mut (impl Write + Send),
 ) -> Result<String, String> {
-    args.ensure_known(&[
-        "listen",
-        "cache",
-        "shards",
-        "queue-cap",
-        "snapshot",
-        "max-line-bytes",
-        "format",
-    ])?;
-    let shards: usize = args.flag("shards", 4)?;
-    let queue_cap: usize = args.flag("queue-cap", 1024)?;
-    let max_line_bytes: usize = args.flag("max-line-bytes", DEFAULT_MAX_LINE_BYTES)?;
-    let fmt = format_of(&args.str_flag("format", "auto"))?;
-    let cache_enabled = match args.str_flag("cache", "on").as_str() {
-        "on" => true,
-        "off" => false,
-        other => return Err(format!("unknown --cache value `{other}` (on|off)")),
-    };
-    let snapshot_path = args.opt_flag("snapshot").map(str::to_string);
-
-    let mut service = Service::new(ServiceOptions {
-        shards,
-        queue_capacity: queue_cap,
-        cache_enabled,
-        ..ServiceOptions::default()
-    });
-
-    let mut notes = String::new();
-    if let Some(path) = &snapshot_path {
-        match std::fs::read_to_string(path) {
-            Ok(text) => match service.load_snapshot(&text) {
-                Ok(n) => {
-                    notes
-                        .push_str(&format!("snapshot: warm-loaded {n} fingerprints from {path}\n"));
-                }
-                Err(e) => notes.push_str(&format!("snapshot: {e}; starting cold\n")),
-            },
-            Err(_) => notes.push_str(&format!("snapshot: {path} not readable; starting cold\n")),
-        }
-    }
+    let cfg = listen_config(args)?;
+    let mut service = cfg.service();
+    let mut notes = cfg.load_snapshot_notes(&mut service);
+    let max_line_bytes = cfg.max_line_bytes;
+    let fmt = cfg.fmt;
 
     let mut pack_sources: PackSources = BTreeMap::new();
     let mut mixed_sources: MixedSources = BTreeMap::new();
@@ -402,8 +394,8 @@ pub fn serve_listen_on(
                 return None;
             }
             Ok(BoundedLine::Eof) => return None,
-            Ok(BoundedLine::Oversized { bytes }) => {
-                return Some(reject_item(None, oversized_line_msg(bytes, max_line_bytes)));
+            Ok(BoundedLine::Oversized { bytes, id }) => {
+                return Some(reject_item(id, oversized_line_msg(bytes, max_line_bytes)));
             }
             Ok(BoundedLine::OversizedFrame { bytes }) => {
                 return Some(reject_item(None, oversized_frame_msg(bytes, max_line_bytes)));
@@ -455,18 +447,133 @@ pub fn serve_listen_on(
     if let Some(e) = write_err {
         return Err(format!("writing response stream: {e}"));
     }
-    if let Some(path) = &snapshot_path {
-        if cache_enabled {
-            match std::fs::write(path, service.snapshot_string()) {
-                Ok(()) => notes.push_str(&format!(
-                    "snapshot: saved {} fingerprints to {path}\n",
-                    service.cached_fingerprints()
-                )),
-                Err(e) => notes.push_str(&format!("snapshot: save to {path} failed: {e}\n")),
+    notes.push_str(&cfg.save_snapshot_notes(&service));
+    Ok(format!("{notes}{}", summarize_service(&report)))
+}
+
+/// The `--listen` flag set, shared by the stdin and socket front ends.
+struct ListenConfig {
+    shards: usize,
+    queue_cap: usize,
+    max_line_bytes: usize,
+    fmt: Format,
+    cache_enabled: bool,
+    snapshot_path: Option<String>,
+    snapshot_keep: usize,
+    shed_target_p99: Option<std::time::Duration>,
+    /// Per-client in-flight response cap (socket mode only): a client
+    /// with this many unwritten responses has further requests answered
+    /// with the typed `overloaded` line instead of buffering.
+    client_inflight: usize,
+    /// Stop accepting after this many connections (socket mode only;
+    /// `0` = accept forever). Lets tests and CI drive a bounded session.
+    max_clients: u64,
+}
+
+/// Parse the shared `--listen` flags. Socket-only flags (`--bind`,
+/// `--max-clients`, `--client-inflight`) are accepted here too — the
+/// dispatcher routes `--bind` before either front end parses.
+fn listen_config(args: &Args) -> Result<ListenConfig, String> {
+    args.ensure_known(&[
+        "listen",
+        "cache",
+        "shards",
+        "queue-cap",
+        "snapshot",
+        "snapshot-keep",
+        "max-line-bytes",
+        "format",
+        "shed-target-p99-ms",
+        "bind",
+        "max-clients",
+        "client-inflight",
+    ])?;
+    let shed_ms: f64 = args.flag("shed-target-p99-ms", 0.0)?;
+    if shed_ms < 0.0 || !shed_ms.is_finite() {
+        return Err(format!(
+            "--shed-target-p99-ms must be a finite non-negative number, got {shed_ms}"
+        ));
+    }
+    Ok(ListenConfig {
+        shards: args.flag("shards", 4)?,
+        queue_cap: args.flag("queue-cap", 1024)?,
+        max_line_bytes: args.flag("max-line-bytes", DEFAULT_MAX_LINE_BYTES)?,
+        fmt: format_of(&args.str_flag("format", "auto"))?,
+        cache_enabled: match args.str_flag("cache", "on").as_str() {
+            "on" => true,
+            "off" => false,
+            other => return Err(format!("unknown --cache value `{other}` (on|off)")),
+        },
+        snapshot_path: args.opt_flag("snapshot").map(str::to_string),
+        snapshot_keep: args.flag::<usize>("snapshot-keep", 1)?.max(1),
+        shed_target_p99: (shed_ms > 0.0).then(|| std::time::Duration::from_secs_f64(shed_ms / 1e3)),
+        client_inflight: args.flag::<usize>("client-inflight", 256)?.max(1),
+        max_clients: args.flag("max-clients", 0)?,
+    })
+}
+
+impl ListenConfig {
+    fn service(&self) -> Service {
+        Service::new(ServiceOptions {
+            shards: self.shards,
+            queue_capacity: self.queue_cap,
+            cache_enabled: self.cache_enabled,
+            shed_target_p99: self.shed_target_p99,
+            ..ServiceOptions::default()
+        })
+    }
+
+    /// Warm-load the newest verifiable snapshot generation: the live
+    /// path first, then rotated generations (`<path>.1`, …) so a torn or
+    /// corrupted live file degrades to the previous generation instead
+    /// of a silent cold start.
+    fn load_snapshot_notes(&self, service: &mut Service) -> String {
+        let Some(path) = &self.snapshot_path else {
+            return String::new();
+        };
+        let mut first_load_err: Option<String> = None;
+        let mut any_readable = false;
+        for gen_path in psdp_serve::snapshot::generation_paths(path, self.snapshot_keep) {
+            let Ok(text) = std::fs::read_to_string(&gen_path) else { continue };
+            any_readable = true;
+            match service.load_snapshot(&text) {
+                Ok(n) => {
+                    return format!("snapshot: warm-loaded {n} fingerprints from {gen_path}\n");
+                }
+                Err(e) => {
+                    if first_load_err.is_none() {
+                        first_load_err = Some(e.to_string());
+                    }
+                }
             }
         }
+        match (any_readable, first_load_err) {
+            (true, Some(e)) => format!("snapshot: {e}; starting cold\n"),
+            _ => format!("snapshot: {path} not readable; starting cold\n"),
+        }
     }
-    Ok(format!("{notes}{}", summarize_service(&report)))
+
+    /// Save the cache atomically (tmp + rename), rotating up to
+    /// `--snapshot-keep` generations.
+    fn save_snapshot_notes(&self, service: &Service) -> String {
+        let Some(path) = &self.snapshot_path else {
+            return String::new();
+        };
+        if !self.cache_enabled {
+            return String::new();
+        }
+        match psdp_serve::snapshot::save_to_path(
+            path,
+            &service.snapshot_string(),
+            self.snapshot_keep,
+        ) {
+            Ok(()) => format!(
+                "snapshot: saved {} fingerprints to {path}\n",
+                service.cached_fingerprints()
+            ),
+            Err(e) => format!("snapshot: save to {path} failed: {e}\n"),
+        }
+    }
 }
 
 /// The testable core of `--listen`: run the streaming service over an
@@ -481,6 +588,218 @@ pub fn serve_listen_on_input(args: &Args, input: &str) -> Result<ServeRun, Strin
     Ok(ServeRun { stdout: String::from_utf8_lossy(&out).into_owned(), summary })
 }
 
+/// Per-connection state the socket front end shares between the reader
+/// thread, the admission loop, and the writer thread: the rendered-line
+/// channel to the writer and the in-flight response counter the
+/// per-client fairness cap reads.
+struct ClientState {
+    tx: std::sync::mpsc::Sender<String>,
+    /// Shared with the writer thread directly (not through
+    /// [`ClientState`]): the writer must never hold its own channel's
+    /// `Sender`, or `recv` could not disconnect and the thread would
+    /// never exit.
+    inflight: Arc<std::sync::atomic::AtomicUsize>,
+}
+
+/// Caller context through the service pipeline in socket mode: the
+/// rendering context plus the originating client.
+type SocketCtx = (LineCtx, Arc<ClientState>);
+
+/// `psdp serve --listen --bind …` over an already-bound [`psdp_serve::Listener`]:
+/// one accept loop, a reader thread and a writer thread per connection,
+/// all multiplexed into the one sharded [`psdp_serve::Service`] through a
+/// round-robin [`psdp_serve::FairMux`]. Each client's responses stream back over its
+/// own connection in that client's submission order — bitwise identical
+/// to a stdin run of the same bytes (DESIGN.md §15,
+/// `tests/determinism.rs`).
+///
+/// # Errors
+/// Flag errors as printable messages. Connection-level failures (a
+/// client hanging up mid-request, a dead reader) close that client only
+/// and are noted in the returned summary, never an error.
+pub fn serve_listen_socket_on(
+    args: &Args,
+    listener: psdp_serve::Listener,
+) -> Result<String, String> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let cfg = listen_config(args)?;
+    let mut service = cfg.service();
+    let mut notes = cfg.load_snapshot_notes(&mut service);
+    let mux: FairMux<StreamItem<SocketCtx>> = FairMux::new(cfg.queue_cap.max(1));
+
+    // Accept loop: registers each connection with the mux and spawns its
+    // reader/writer pair. Owns the per-connection join handles, returned
+    // on join so shutdown can wait for every thread.
+    let accept = {
+        let mux = mux.clone();
+        let (fmt, max_line_bytes, max_clients) = (cfg.fmt, cfg.max_line_bytes, cfg.max_clients);
+        std::thread::spawn(move || -> (String, Vec<std::thread::JoinHandle<()>>) {
+            let mut handles = Vec::new();
+            let mut accept_notes = String::new();
+            let mut accepted: u64 = 0;
+            while max_clients == 0 || accepted < max_clients {
+                let conn = match listener.accept() {
+                    Ok(c) => c,
+                    Err(e) => {
+                        accept_notes.push_str(&format!("accept failed: {e}\n"));
+                        break;
+                    }
+                };
+                let client_id = accepted;
+                accepted += 1;
+                mux.register(client_id);
+                let (tx, rx) = std::sync::mpsc::channel::<String>();
+                let inflight = Arc::new(AtomicUsize::new(0));
+                let client = Arc::new(ClientState { tx, inflight: Arc::clone(&inflight) });
+                let mut w = conn.writer;
+                handles.push(std::thread::spawn(move || {
+                    client_writer(&rx, &mut w, &inflight);
+                }));
+                let reader_mux = mux.clone();
+                handles.push(std::thread::spawn(move || {
+                    client_reader(
+                        conn.reader,
+                        client_id,
+                        &reader_mux,
+                        &client,
+                        fmt,
+                        max_line_bytes,
+                    );
+                }));
+            }
+            mux.finish_accepting();
+            (accept_notes, handles)
+        })
+    };
+
+    // Admission: drain the fair mux on this thread. Every drained item
+    // is counted against its client's in-flight cap; an Execute over the
+    // cap becomes a caller shed, which the sequencer answers with the
+    // typed `overloaded` line in submission order.
+    let cap = cfg.client_inflight;
+    let items = std::iter::from_fn(|| {
+        mux.next().map(|item| {
+            let client = match &item {
+                StreamItem::Execute { ctx: (_, c), .. }
+                | StreamItem::Reject { ctx: (_, c), .. }
+                | StreamItem::Shed { ctx: (_, c), .. } => Arc::clone(c),
+            };
+            let inflight = client.inflight.fetch_add(1, Ordering::SeqCst).saturating_add(1);
+            match item {
+                StreamItem::Execute { request, ctx } if inflight > cap => {
+                    StreamItem::Shed { id: request.id.clone(), ctx }
+                }
+                other => other,
+            }
+        })
+    });
+    let report = service.run_stream(items, |(ctx, client): SocketCtx, outcome| {
+        // Hand the rendered line to the client's writer thread; a closed
+        // channel means the writer is gone (client teardown), and the
+        // response is dropped with it.
+        let _ = client.tx.send(render_outcome(&ctx, &outcome));
+    });
+
+    // run_stream returned, so the mux reported end-of-stream: accepting
+    // finished and every connection closed. Collect the threads.
+    let (accept_notes, conn_handles) = accept
+        .join()
+        .unwrap_or_else(|_| ("accept thread panicked (internal)\n".to_string(), Vec::new()));
+    mux.shutdown();
+    for h in conn_handles {
+        let _ = h.join();
+    }
+    notes.push_str(&accept_notes);
+    notes.push_str(&cfg.save_snapshot_notes(&service));
+    Ok(format!("{notes}{}", summarize_service(&report)))
+}
+
+/// Per-connection reader: parse this connection's byte stream with its
+/// own source/duplicate-id state — exactly the state a stdin run of the
+/// same bytes would hold, which is what keeps per-client responses
+/// bitwise identical to stdin serving — and push items into the fair
+/// mux. EOF or a read error closes the client (its queued items still
+/// drain).
+fn client_reader(
+    reader: Box<dyn std::io::Read + Send>,
+    client_id: u64,
+    mux: &FairMux<StreamItem<SocketCtx>>,
+    client: &Arc<ClientState>,
+    fmt: Format,
+    max_line_bytes: usize,
+) {
+    let mut r = std::io::BufReader::new(reader);
+    let mut pack_sources: PackSources = BTreeMap::new();
+    let mut mixed_sources: MixedSources = BTreeMap::new();
+    let mut seen_ids: BTreeSet<String> = BTreeSet::new();
+    loop {
+        let item = match read_bounded_line(&mut r, max_line_bytes) {
+            Err(_) | Ok(BoundedLine::Eof) => break,
+            Ok(BoundedLine::Oversized { bytes, id }) => {
+                reject_item(id, oversized_line_msg(bytes, max_line_bytes))
+            }
+            Ok(BoundedLine::OversizedFrame { bytes }) => {
+                reject_item(None, oversized_frame_msg(bytes, max_line_bytes))
+            }
+            Ok(BoundedLine::TruncatedFrame) => reject_item(
+                None,
+                "truncated binary frame (stream ended before the declared length)".to_string(),
+            ),
+            Ok(BoundedLine::Frame(bytes)) => {
+                match parse_frame_request(&bytes, &mut pack_sources, &mut mixed_sources) {
+                    Ok(p) => admit_item(p, &mut seen_ids),
+                    Err((id, msg)) => reject_item(id, msg),
+                }
+            }
+            Ok(BoundedLine::Line(raw)) => {
+                if raw.trim().is_empty() {
+                    continue;
+                }
+                match parse_request_line(&raw, fmt, &mut pack_sources, &mut mixed_sources) {
+                    Ok(p) => admit_item(p, &mut seen_ids),
+                    Err((id, msg)) => reject_item(id, msg),
+                }
+            }
+        };
+        if !mux.push(client_id, attach_client(item, client)) {
+            break;
+        }
+    }
+    mux.close_client(client_id);
+}
+
+/// Wrap a parsed stream item's context with its originating client.
+fn attach_client(item: StreamItem<LineCtx>, client: &Arc<ClientState>) -> StreamItem<SocketCtx> {
+    match item {
+        StreamItem::Execute { request, ctx } => {
+            StreamItem::Execute { request, ctx: (ctx, Arc::clone(client)) }
+        }
+        StreamItem::Reject { error, ctx } => {
+            StreamItem::Reject { error, ctx: (ctx, Arc::clone(client)) }
+        }
+        StreamItem::Shed { id, ctx } => StreamItem::Shed { id, ctx: (ctx, Arc::clone(client)) },
+    }
+}
+
+/// Per-connection writer: write each sequenced line and flush, then
+/// release the client's in-flight slot. A write failure marks the client
+/// dead but keeps draining — the counter and channel must never wedge
+/// the sequencer on a hung-up client.
+fn client_writer(
+    rx: &std::sync::mpsc::Receiver<String>,
+    w: &mut Box<dyn Write + Send>,
+    inflight: &std::sync::atomic::AtomicUsize,
+) {
+    let mut dead = false;
+    while let Ok(line) = rx.recv() {
+        if !dead && w.write_all(line.as_bytes()).and_then(|()| w.flush()).is_err() {
+            dead = true;
+        }
+        inflight.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
 /// Render one sequenced stream outcome as its JSONL line.
 fn render_outcome(ctx: &LineCtx, outcome: &StreamOutcome) -> String {
     match outcome {
@@ -491,10 +810,7 @@ fn render_outcome(ctx: &LineCtx, outcome: &StreamOutcome) -> String {
             };
             format!("{{\"id\":{id_json},\"error\":{}}}\n", json_str(error))
         }
-        StreamOutcome::Overloaded { id, shard } => format!(
-            "{{\"id\":{},\"error\":\"overloaded\",\"overloaded\":true,\"shard\":{shard}}}\n",
-            json_str(id)
-        ),
+        StreamOutcome::Overloaded { id, shard } => crate::jsonfmt::overloaded_line(id, *shard),
         StreamOutcome::Response(resp) => match ctx {
             LineCtx::Request(p) => render_response(p, resp),
             LineCtx::Error { id_json } => {
@@ -535,6 +851,50 @@ fn summarize_service(r: &ServiceReport) -> String {
 /// Typed message for a line over the `--max-line-bytes` bound.
 fn oversized_line_msg(len: usize, max: usize) -> String {
     format!("line exceeds --max-line-bytes ({len} > {max} bytes)")
+}
+
+/// Best-effort scan of a (possibly truncated) request-line prefix for a
+/// leading `"id"` string field, so even a discarded oversized line gets
+/// an error its client can correlate. Returns `None` — the error renders
+/// `"id":null` — unless a complete `"id":"…"` value lies inside the
+/// prefix; an id cut off by the truncation point or using exotic escapes
+/// falls back rather than guessing.
+fn scan_leading_id(prefix: &[u8]) -> Option<String> {
+    let at = prefix.windows(4).position(|w| w == b"\"id\"")?;
+    let mut i = at + 4;
+    while prefix.get(i).is_some_and(u8::is_ascii_whitespace) {
+        i += 1;
+    }
+    if prefix.get(i) != Some(&b':') {
+        return None;
+    }
+    i += 1;
+    while prefix.get(i).is_some_and(u8::is_ascii_whitespace) {
+        i += 1;
+    }
+    if prefix.get(i) != Some(&b'"') {
+        return None;
+    }
+    i += 1;
+    let mut bytes: Vec<u8> = Vec::new();
+    loop {
+        match prefix.get(i)? {
+            b'"' => return String::from_utf8(bytes).ok(),
+            b'\\' => {
+                i += 1;
+                match prefix.get(i)? {
+                    b'"' => bytes.push(b'"'),
+                    b'\\' => bytes.push(b'\\'),
+                    b'/' => bytes.push(b'/'),
+                    b'n' => bytes.push(b'\n'),
+                    b't' => bytes.push(b'\t'),
+                    _ => return None,
+                }
+            }
+            &b => bytes.push(b),
+        }
+        i += 1;
+    }
 }
 
 /// Typed message for a binary frame whose declared length is over the
@@ -1306,5 +1666,151 @@ mod tests {
         assert!(recovered.summary.contains("starting cold"), "{}", recovered.summary);
         assert_eq!(recovered.stdout, cold.stdout);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn snapshot_rotation_keeps_generations_and_recovers_torn_live() {
+        let text = inline_packing();
+        let input = format!(
+            "{{\"id\":\"r1\",\"command\":\"optimize\",\"instance\":\"{text}\",\"eps\":0.15}}\n"
+        );
+        let path = std::env::temp_dir().join(format!("psdp-listen-rot-{}.txt", std::process::id()));
+        let path_s = path.to_string_lossy().into_owned();
+        let gen1 = format!("{path_s}.1");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&gen1);
+        let flags = ["serve", "--listen", "--snapshot", &path_s, "--snapshot-keep", "2"];
+        let first = serve_listen_on_input(&args(&flags), &input).unwrap();
+        assert!(first.summary.contains("saved 1 fingerprints"), "{}", first.summary);
+        assert!(!std::path::Path::new(&gen1).exists(), "nothing to rotate on the first save");
+        let second = serve_listen_on_input(&args(&flags), &input).unwrap();
+        assert!(second.summary.contains("warm-loaded 1 fingerprints"), "{}", second.summary);
+        assert!(std::path::Path::new(&gen1).exists(), "second save rotates the first into .1");
+        // Tear the live file: the loader falls back to the intact rotated
+        // generation instead of silently starting cold.
+        std::fs::write(&path, "psdp snapshot v1\nentries 1\ngarbage\n").unwrap();
+        let torn = serve_listen_on_input(&args(&flags), &input).unwrap();
+        assert!(
+            torn.summary.contains(&format!("warm-loaded 1 fingerprints from {gen1}")),
+            "{}",
+            torn.summary
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&gen1);
+    }
+
+    #[test]
+    fn scan_leading_id_parses_prefixes_conservatively() {
+        assert_eq!(scan_leading_id(b"{\"id\":\"abc\",\"x"), Some("abc".to_string()));
+        assert_eq!(scan_leading_id(b"{ \"id\" : \"a\\\"b\" }"), Some("a\"b".to_string()));
+        assert_eq!(scan_leading_id(b"{\"id\":\"trunc"), None, "id cut off by the bound");
+        assert_eq!(scan_leading_id(b"{\"id\":42}"), None, "non-string ids fall back");
+        assert_eq!(scan_leading_id(b"{\"x\":1}"), None);
+        assert_eq!(scan_leading_id(b"{\"id\":\"u\\u0041\"}"), None, "exotic escapes fall back");
+    }
+
+    #[test]
+    fn oversized_lines_recover_the_leading_id_when_it_fits_the_prefix() {
+        let text = inline_packing();
+        let big = "x".repeat(512);
+        // id leads the line: it sits inside the retained prefix and the
+        // typed error names it; junk-first puts the id past the
+        // truncation point and the error falls back to null.
+        let leading = format!(
+            "{{\"id\":\"pad\",\"junk\":\"{big}\"}}\n\
+             {{\"id\":\"ok\",\"command\":\"solve\",\"instance\":\"{text}\"}}\n"
+        );
+        let trailing = format!(
+            "{{\"junk\":\"{big}\",\"id\":\"late\"}}\n\
+             {{\"id\":\"ok\",\"command\":\"solve\",\"instance\":\"{text}\"}}\n"
+        );
+        for (input, want) in
+            [(&leading, "{\"id\":\"pad\",\"error\":"), (&trailing, "{\"id\":null,\"error\":")]
+        {
+            for run in [
+                serve_on_input(&args(&["serve", "--max-line-bytes", "256"]), input).unwrap(),
+                serve_listen_on_input(
+                    &args(&["serve", "--listen", "--max-line-bytes", "256"]),
+                    input,
+                )
+                .unwrap(),
+            ] {
+                let lines: Vec<&str> = run.stdout.lines().collect();
+                assert_eq!(lines.len(), 2, "{}", run.stdout);
+                assert!(lines[0].starts_with(want), "want {want}, got {}", lines[0]);
+                assert!(lines[0].contains("exceeds --max-line-bytes"), "{}", lines[0]);
+                assert!(lines[1].contains("\"id\":\"ok\",\"command\":\"solve\""), "{}", lines[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn overloaded_outcomes_render_through_the_shared_schema() {
+        let ctx = LineCtx::Error { id_json: json_str("r9") };
+        let routed =
+            render_outcome(&ctx, &StreamOutcome::Overloaded { id: "r9".into(), shard: Some(3) });
+        assert_eq!(
+            routed,
+            "{\"id\":\"r9\",\"error\":\"overloaded\",\"overloaded\":true,\"shard\":3}\n"
+        );
+        assert_eq!(routed, crate::jsonfmt::overloaded_line("r9", Some(3)));
+        let unrouted =
+            render_outcome(&ctx, &StreamOutcome::Overloaded { id: "r9".into(), shard: None });
+        assert_eq!(unrouted, crate::jsonfmt::overloaded_line("r9", None));
+        assert!(unrouted.ends_with("\"shard\":null}\n"), "{unrouted}");
+    }
+
+    #[test]
+    fn socket_round_trip_matches_stdin_bytes() {
+        use std::io::Read as _;
+        let text = inline_packing();
+        let other = PackingInstance::new(vec![
+            PsdMatrix::Diagonal(vec![3.0, 0.0]),
+            PsdMatrix::Diagonal(vec![0.0, 5.0]),
+        ])
+        .unwrap();
+        let text2 = write_instance(&other).replace('\n', "\\n");
+        // Disjoint per-client fingerprints: cross-client cache traffic
+        // cannot perturb either client's telemetry vs its stdin run.
+        let inputs = [
+            format!(
+                "{{\"id\":\"c0a\",\"command\":\"solve\",\"instance\":\"{text}\",\"threshold\":0.5}}\n\
+                 {{\"id\":\"c0b\",\"command\":\"optimize\",\"instance\":\"{text}\",\"eps\":0.15}}\n"
+            ),
+            format!(
+                "{{\"id\":\"c1a\",\"command\":\"solve\",\"instance\":\"{text2}\",\"threshold\":0.5}}\n\
+                 not json at all\n"
+            ),
+        ];
+        let listener =
+            psdp_serve::Listener::bind(&psdp_serve::BindAddr::parse("tcp:127.0.0.1:0").unwrap())
+                .unwrap();
+        let addr = listener.local_addr_string().strip_prefix("tcp:").map(str::to_string).unwrap();
+        let sargs = args(&["serve", "--listen", "--shards", "2", "--max-clients", "2"]);
+        let server = std::thread::spawn(move || serve_listen_socket_on(&sargs, listener));
+        let clients: Vec<_> = inputs
+            .iter()
+            .cloned()
+            .map(|input| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let mut s = std::net::TcpStream::connect(&addr).unwrap();
+                    s.write_all(input.as_bytes()).unwrap();
+                    s.shutdown(std::net::Shutdown::Write).unwrap();
+                    let mut out = String::new();
+                    s.read_to_string(&mut out).unwrap();
+                    out
+                })
+            })
+            .collect();
+        let got: Vec<String> = clients.into_iter().map(|h| h.join().unwrap()).collect();
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("listen: 4 requests"), "{summary}");
+        for (input, got) in inputs.iter().zip(&got) {
+            let reference =
+                serve_listen_on_input(&args(&["serve", "--listen", "--shards", "2"]), input)
+                    .unwrap();
+            assert_eq!(&reference.stdout, got, "socket bytes must match stdin bytes");
+        }
     }
 }

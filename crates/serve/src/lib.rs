@@ -25,7 +25,11 @@
 //!   fingerprint-prefix [`shard::ShardedCache`], snapshot persistence
 //!   ([`snapshot`]), and a submission-order sequencer,
 //! * [`telemetry`] — per-tier hit counters and latency histograms shared
-//!   by the one-shot and streaming reports.
+//!   by the one-shot and streaming reports,
+//! * [`transport`] — the socket front end behind `--listen --bind`:
+//!   TCP/Unix listeners and the round-robin fair admission multiplexer
+//!   ([`transport::FairMux`]) that keeps one firehose client from
+//!   starving the rest.
 //!
 //! Determinism contract: responses are a function of the batch contents
 //! (plus prior batches on the same scheduler), never of submission order,
@@ -45,6 +49,7 @@ pub mod service;
 pub mod shard;
 pub mod snapshot;
 pub mod telemetry;
+pub mod transport;
 
 pub use cache::SolverCache;
 pub use request::{InstancePayload, RequestKind, ServeRequest};
@@ -56,6 +61,7 @@ pub use service::{Service, ServiceOptions, ServiceReport, StreamItem, StreamOutc
 pub use shard::ShardedCache;
 pub use snapshot::SnapshotError;
 pub use telemetry::{LatencyHistogram, LatencyStats, TierCounters};
+pub use transport::{BindAddr, Connection, FairMux, Listener};
 
 #[cfg(test)]
 mod tests {

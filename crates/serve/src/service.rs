@@ -32,6 +32,20 @@
 //! stops consuming input (the OS pipe applies backpressure to the
 //! producer).
 //!
+//! Two further shed paths layer on the fixed queue bound:
+//!
+//! * **Adaptive shed** ([`ServiceOptions::shed_target_p99`]): when set,
+//!   the depth a shard queue may reach before admission sheds is scaled
+//!   down from `queue_capacity` in proportion to how far the live p99
+//!   service latency (maintained by the workers in a shared
+//!   [`LatencyHistogram`]) exceeds the target — under load the queue
+//!   admits only as much work as it can serve near the target latency.
+//! * **Caller shed** ([`StreamItem::Shed`]): transports enforcing their
+//!   own admission policy (e.g. the socket front end's per-client
+//!   in-flight caps, DESIGN.md §15) hand the item back pre-shed; it
+//!   flows through the sequencer so the typed overload line still lands
+//!   in submission order.
+//!
 //! ## Determinism contract
 //!
 //! A fingerprint lives on exactly one shard and its shard's worker
@@ -49,6 +63,7 @@ use crate::request::{InstancePayload, RequestKind, ServeRequest};
 use crate::scheduler::{ServeResponse, ServeResult, ServeStats};
 use crate::shard::ShardedCache;
 use crate::telemetry::{LatencyHistogram, TierCounters};
+use parking_lot::Mutex;
 use psdp_core::{DecisionOptions, MixedOptions, MixedSolver, Solver};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -74,6 +89,13 @@ pub struct ServiceOptions {
     pub max_entries_per_shard: usize,
     /// Memoized results kept per fingerprint.
     pub memo_per_entry: usize,
+    /// Adaptive shed target: when set, the admissible depth of each
+    /// shard queue shrinks below `queue_capacity` in proportion to how
+    /// far the live p99 service latency exceeds this target (clamped to
+    /// at least 1 so streams always progress). `None` keeps the fixed
+    /// queue bound only. Shed decisions are timing-dependent by design —
+    /// overloads are the one outcome outside the determinism contract.
+    pub shed_target_p99: Option<Duration>,
 }
 
 impl Default for ServiceOptions {
@@ -85,6 +107,7 @@ impl Default for ServiceOptions {
             cache_enabled: true,
             max_entries_per_shard: 256,
             memo_per_entry: 64,
+            shed_target_p99: None,
         }
     }
 }
@@ -108,6 +131,15 @@ pub enum StreamItem<C> {
         /// Caller context returned with the outcome.
         ctx: C,
     },
+    /// The caller already decided to shed this request (e.g. a
+    /// per-client in-flight cap at the socket front end); emit the typed
+    /// overload outcome in submission order without executing anything.
+    Shed {
+        /// The request id the overload line answers.
+        id: String,
+        /// Caller context returned with the outcome.
+        ctx: C,
+    },
 }
 
 /// What the sequencer emits for one stream item, in submission order.
@@ -121,13 +153,16 @@ pub enum StreamOutcome {
         /// The admission error.
         error: String,
     },
-    /// The request's shard queue was full: typed backpressure, the
-    /// request was **not** executed and its cache state is untouched.
+    /// The request was shed: typed backpressure, the request was **not**
+    /// executed and its cache state is untouched. Raised by a full (or
+    /// adaptively shrunk) shard queue, or pre-shed by the caller via
+    /// [`StreamItem::Shed`].
     Overloaded {
         /// The request id.
         id: String,
-        /// The shard whose queue was full.
-        shard: usize,
+        /// The shard whose queue shed the request; `None` when the
+        /// caller shed it before routing (per-client cap).
+        shard: Option<usize>,
     },
 }
 
@@ -255,10 +290,15 @@ impl Service {
         let pool_width = rayon::current_num_threads();
         let cache_enabled = self.opts.cache_enabled;
         let memo_cap = self.opts.memo_per_entry;
+        let shed_target = self.opts.shed_target_p99;
         let cache = &self.cache;
 
         let depths: Vec<AtomicUsize> = (0..shards).map(|_| AtomicUsize::new(0)).collect();
         let high_water: Vec<AtomicUsize> = (0..shards).map(|_| AtomicUsize::new(0)).collect();
+        // Live service-latency histogram feeding the adaptive shed
+        // policy: workers record as they finish, admission reads the p99.
+        let live_hist = Mutex::new(LatencyHistogram::default());
+        let live_hist = &live_hist;
 
         let mut report = std::thread::scope(|scope| {
             let (results_tx, results_rx) = mpsc::channel::<Sequenced<C>>();
@@ -275,7 +315,16 @@ impl Service {
                 let results_tx = results_tx.clone();
                 let _ = shard_idx;
                 scope.spawn(move || {
-                    worker_loop(rx, results_tx, cache, cache_enabled, memo_cap, pool_width, depth);
+                    worker_loop(
+                        rx,
+                        results_tx,
+                        cache,
+                        cache_enabled,
+                        memo_cap,
+                        pool_width,
+                        depth,
+                        live_hist,
+                    );
                 });
             }
 
@@ -299,10 +348,35 @@ impl Service {
                             prep_built: false,
                         });
                     }
+                    StreamItem::Shed { id, ctx } => {
+                        let _ = results_tx.send(Sequenced {
+                            seq,
+                            ctx,
+                            outcome: StreamOutcome::Overloaded { id, shard: None },
+                            prep_built: false,
+                        });
+                    }
                     StreamItem::Execute { request, ctx } => {
                         // Routing is O(1): the content hash was computed at
                         // parse time, never by re-serializing the instance.
                         let shard = crate::shard::shard_of(prep_hash(&request), shards);
+                        // Adaptive shed: under a latency target, the
+                        // admissible depth shrinks with the live p99.
+                        let allowed = shed_allowance(shed_target, live_hist, queue_cap);
+                        if depths.get(shard).map(|a| a.load(Ordering::SeqCst)).unwrap_or(0)
+                            >= allowed
+                        {
+                            let _ = results_tx.send(Sequenced {
+                                seq,
+                                ctx,
+                                outcome: StreamOutcome::Overloaded {
+                                    id: request.id.clone(),
+                                    shard: Some(shard),
+                                },
+                                prep_built: false,
+                            });
+                            continue;
+                        }
                         let job = ShardJob { seq, admitted_at: Instant::now(), request, ctx };
                         match shard_txs.get(shard) {
                             Some(tx) => {
@@ -330,7 +404,7 @@ impl Service {
                                             ctx: job.ctx,
                                             outcome: StreamOutcome::Overloaded {
                                                 id: job.request.id.clone(),
-                                                shard,
+                                                shard: Some(shard),
                                             },
                                             prep_built: false,
                                         });
@@ -364,8 +438,31 @@ impl Service {
     }
 }
 
+/// How deep a shard queue may grow before admission sheds: the full
+/// configured capacity while the live p99 service latency is at or under
+/// the target (or no target / no samples yet), shrinking proportionally
+/// as the observed p99 exceeds it — clamped to at least 1 so the stream
+/// always makes progress.
+fn shed_allowance(
+    target: Option<Duration>,
+    live_hist: &Mutex<LatencyHistogram>,
+    queue_cap: usize,
+) -> usize {
+    let Some(target) = target else {
+        return usize::MAX;
+    };
+    match live_hist.lock().quantile(0.99) {
+        Some(p99) if p99 > target && p99.as_nanos() > 0 => {
+            let scaled = (queue_cap as u128).saturating_mul(target.as_nanos()) / p99.as_nanos();
+            (scaled as usize).clamp(1, queue_cap)
+        }
+        _ => queue_cap,
+    }
+}
+
 /// One shard worker: drain the queue in arrival order, execute each
 /// request against the shared sharded cache, send sequenced outcomes.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop<C: Send>(
     rx: mpsc::Receiver<ShardJob<C>>,
     results_tx: mpsc::Sender<Sequenced<C>>,
@@ -374,6 +471,7 @@ fn worker_loop<C: Send>(
     memo_cap: usize,
     pool_width: usize,
     depth: &AtomicUsize,
+    live_hist: &Mutex<LatencyHistogram>,
 ) {
     // Propagate the caller's rayon width into this worker thread. Pool
     // construction is infallible in the shim and cheap either way; on
@@ -401,6 +499,7 @@ fn worker_loop<C: Send>(
         };
         stats.queue_wait = queue_wait;
         stats.service = started.elapsed();
+        live_hist.lock().record(stats.service);
         let response = ServeResponse { id: job.request.id.clone(), result, stats };
         let _ = results_tx.send(Sequenced {
             seq: job.seq,
@@ -907,7 +1006,7 @@ mod tests {
                 StreamOutcome::Response(r) => assert!(r.result.is_ok()),
                 StreamOutcome::Overloaded { id, shard } => {
                     assert!(id.starts_with('r'));
-                    assert_eq!(*shard, 0);
+                    assert_eq!(*shard, Some(0));
                 }
                 StreamOutcome::Rejected { .. } => panic!("no rejects in this stream"),
             }
@@ -915,6 +1014,90 @@ mod tests {
         // Depth counts queued items plus at most one being handed to the
         // worker, so the high-water mark is bounded by capacity + 1.
         assert!(report.queue_high_water.iter().all(|&h| h <= 2), "{:?}", report.queue_high_water);
+    }
+
+    #[test]
+    fn caller_shed_items_emit_typed_overloads_in_order() {
+        let pack = diag_inst(&[&[1.0]]);
+        let mut service = Service::new(ServiceOptions::default());
+        let mk = |id: &str, ctx: usize| StreamItem::Execute {
+            request: ServeRequest::decision(
+                id.to_string(),
+                Arc::clone(&pack),
+                1.0,
+                DecisionOptions::practical(0.2),
+            ),
+            ctx,
+        };
+        let items = vec![
+            mk("a", 0),
+            StreamItem::Shed { id: "capped".to_string(), ctx: 1usize },
+            mk("b", 2),
+        ];
+        let mut got = Vec::new();
+        let report = service.run_stream(items.into_iter(), |ctx, out| got.push((ctx, out)));
+        assert_eq!(got.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![0, 1, 2]);
+        match &got[1].1 {
+            StreamOutcome::Overloaded { id, shard } => {
+                assert_eq!(id, "capped");
+                assert_eq!(*shard, None, "caller sheds carry no shard");
+            }
+            _ => panic!("expected an overloaded outcome"),
+        }
+        assert_eq!(report.overloaded, 1);
+        assert_eq!(report.executed, 2);
+    }
+
+    #[test]
+    fn shed_allowance_scales_with_observed_p99() {
+        let hist = Mutex::new(LatencyHistogram::default());
+        // No target: unlimited (the fixed queue bound governs alone).
+        assert_eq!(shed_allowance(None, &hist, 8), usize::MAX);
+        // Target set, no samples yet: full capacity.
+        let target = Some(Duration::from_micros(100));
+        assert_eq!(shed_allowance(target, &hist, 8), 8);
+        // Observed p99 at or under the target: full capacity.
+        for _ in 0..100 {
+            hist.lock().record(Duration::from_micros(50));
+        }
+        assert_eq!(shed_allowance(target, &hist, 8), 8);
+        // Observed p99 far over the target: allowance shrinks, clamped
+        // to at least 1.
+        for _ in 0..1000 {
+            hist.lock().record(Duration::from_millis(40));
+        }
+        let shrunk = shed_allowance(target, &hist, 8);
+        assert!((1..8).contains(&shrunk), "allowance {shrunk} should shrink under overload");
+        assert_eq!(shed_allowance(Some(Duration::from_nanos(1)), &hist, 8), 1);
+    }
+
+    #[test]
+    fn adaptive_shed_keeps_streams_ordered_and_answered() {
+        // An aggressively tiny p99 target must never hang, drop, or
+        // reorder the stream — every request is answered exactly once in
+        // submission order, each either executed or typed-overloaded.
+        let pack = diag_inst(&[&[2.0, 0.0], &[0.0, 4.0]]);
+        let n = 24usize;
+        let requests: Vec<ServeRequest> = (0..n)
+            .map(|i| {
+                ServeRequest::optimize(
+                    format!("r{i:03}"),
+                    Arc::clone(&pack),
+                    ApproxOptions::serving(0.1 + 0.001 * i as f64),
+                )
+            })
+            .collect();
+        let opts = ServiceOptions {
+            shards: 1,
+            queue_capacity: 8,
+            max_outstanding: 4 * n,
+            shed_target_p99: Some(Duration::from_nanos(1)),
+            ..ServiceOptions::default()
+        };
+        let (got, report, _) = run_service(opts, requests);
+        assert_eq!(got.len(), n);
+        assert_eq!(got.iter().map(|(i, _)| *i).collect::<Vec<_>>(), (0..n).collect::<Vec<_>>());
+        assert_eq!(report.executed + report.overloaded, n);
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! entries out before going parallel) but a contention wall for a
 //! long-lived service where workers hit the cache on every request. The
 //! sharded cache splits the fingerprint space into independent shards,
-//! each behind its own lock, routed by a **prefix of the 64-bit
-//! fingerprint hash** (the top byte, folded modulo the shard count).
+//! each behind its own lock, routed by an **unbiased widening-multiply
+//! mapping of the 64-bit fingerprint hash** (`(hash · shards) >> 64`),
+//! which partitions the hash space into `shards` equal contiguous ranges.
 //!
 //! Routing by fingerprint prefix gives the service its determinism lever:
 //! a fingerprint lives on exactly one shard regardless of the shard
@@ -31,11 +32,19 @@ pub struct ShardedCache {
     shards: Vec<Mutex<SolverCache>>,
 }
 
-/// Which shard a fingerprint hash routes to: the hash's top byte (its
-/// prefix), folded modulo the shard count. Using the high bits keeps the
-/// route independent of the low-bit patterns FNV mixes last.
+/// Which shard a fingerprint hash routes to: the widening multiply
+/// `(hash · shards) >> 64`, i.e. the hash's position in an equal
+/// `shards`-way partition of the 64-bit space. Unlike the earlier
+/// top-byte-modulo mapping, this is unbiased for every shard count —
+/// folding 256 byte values modulo a count that does not divide 256 gave
+/// the low residues one extra bucket of the 8-bit space, permanently
+/// overloading those shards. Routing still depends only on the high bits
+/// first (equal contiguous hash ranges), so a fingerprint lives on
+/// exactly one shard for a given count. Snapshots store no shard ids;
+/// `ShardedCache::insert` re-routes every entry on load, so warm
+/// reloads written under the old mapping re-shard automatically.
 pub fn shard_of(hash: u64, shards: usize) -> usize {
-    ((hash >> 56) as usize) % shards.max(1)
+    ((u128::from(hash) * shards.max(1) as u128) >> 64) as usize
 }
 
 impl ShardedCache {
@@ -139,6 +148,63 @@ mod tests {
             }
         }
         assert_eq!(shard_of(u64::MAX, 0), 0, "zero shards treated as one");
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn routing_is_uniform_over_random_fingerprints() {
+        // Chi-square-style bound: over N pseudo-random fingerprints the
+        // per-shard counts must stay within a few standard deviations of
+        // N/shards. The old top-byte-modulo mapping passes this only when
+        // the shard count divides 256; the widening multiply passes for
+        // every count. Statistic: sum over shards of (count-exp)^2/exp,
+        // bounded well above its expectation (shards-1) but far below
+        // what a systematic bias produces.
+        const N: usize = 1 << 16;
+        for shards in [2usize, 3, 4, 5, 8] {
+            let mut counts = vec![0u64; shards];
+            let mut state = 0x5eed_0000_0000_0000u64 ^ shards as u64;
+            for _ in 0..N {
+                counts[shard_of(splitmix64(&mut state), shards)] += 1;
+            }
+            let expected = N as f64 / shards as f64;
+            let chi2: f64 = counts.iter().map(|&c| (c as f64 - expected).powi(2) / expected).sum();
+            assert!(
+                chi2 < 30.0,
+                "shards={shards}: chi2={chi2:.2} counts={counts:?} (biased routing?)"
+            );
+        }
+    }
+
+    #[test]
+    fn routing_is_exactly_balanced_on_a_uniform_grid() {
+        // On hashes evenly spaced across the 64-bit range, the widening
+        // multiply lands within ±1 of N/shards per shard for every shard
+        // count. The old top-byte fold failed this for counts that do not
+        // divide 256 (3, 5, 6, ...): low residues got one extra byte
+        // value, a deviation of N/256 per overloaded shard.
+        const N: u64 = 1 << 16;
+        let step = u64::MAX / N;
+        for shards in [2usize, 3, 4, 5, 6, 8] {
+            let mut counts = vec![0u64; shards];
+            for i in 0..N {
+                counts[shard_of(i * step, shards)] += 1;
+            }
+            let expected = N / shards as u64;
+            for (s, &c) in counts.iter().enumerate() {
+                assert!(
+                    c.abs_diff(expected) <= 1,
+                    "shards={shards} shard={s}: count {c} vs expected {expected}"
+                );
+            }
+        }
     }
 
     #[test]

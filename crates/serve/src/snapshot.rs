@@ -40,6 +40,18 @@
 //! cold start; a corrupted snapshot can never panic the service or
 //! poison its cache. Version-1 snapshots (which keyed entries by
 //! canonical instance text) are rejected the same way.
+//!
+//! ## On-disk atomicity and generations
+//!
+//! [`save_to_path`] never writes the live path directly: the text lands
+//! in `<path>.tmp` first and is renamed into place, so a crash mid-write
+//! can tear only the tmp file — which loads ignore and the next save
+//! overwrites — never an existing generation. With `keep > 1`, prior
+//! generations rotate to `<path>.1`, `<path>.2`, … before the rename, and
+//! loaders fall back through [`generation_paths`] when the live file is
+//! missing or corrupt. Every generation is a full compact rewrite of the
+//! live prepared-key set (sorted entries, LRU-evicted keys gone) — never
+//! a delta or append — so old garbage cannot accumulate across rotations.
 
 use crate::cache::{family_tag, prep_hash_parts, CacheEntry, Prepared};
 use crate::shard::ShardedCache;
@@ -196,6 +208,42 @@ pub(crate) fn write_snapshot(cache: &ShardedCache) -> String {
         out.push_str(&b);
     }
     out
+}
+
+/// The snapshot generation paths for `path`, newest first: the live path
+/// itself, then `<path>.1` … `<path>.<keep-1>` (`keep` is clamped to at
+/// least 1). Loaders try these in order and take the first that verifies.
+pub fn generation_paths(path: &str, keep: usize) -> Vec<String> {
+    std::iter::once(path.to_string())
+        .chain((1..keep.max(1)).map(|i| format!("{path}.{i}")))
+        .collect()
+}
+
+/// Atomically persist snapshot `text` as the live generation of `path`,
+/// keeping up to `keep` generations. The text is written to `<path>.tmp`
+/// first; existing generations then rotate up (`<path>.<keep-2>` →
+/// `<path>.<keep-1>`, …, `<path>` → `<path>.1`) and the tmp file is
+/// renamed into place. A crash at any step leaves every previously
+/// complete generation intact — a torn write can only ever produce a
+/// stray `.tmp` file, which no loader reads.
+///
+/// # Errors
+/// Printable IO failures (the caller degrades to a summary note; serving
+/// is never refused over a snapshot).
+pub fn save_to_path(path: &str, text: &str, keep: usize) -> Result<(), String> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, text).map_err(|e| format!("writing {tmp}: {e}"))?;
+    let gens = generation_paths(path, keep);
+    for pair in gens.windows(2).rev() {
+        if let [from, to] = pair {
+            if std::fs::metadata(from).is_ok() {
+                // Rotation is best-effort: losing an old generation must
+                // not fail the save of the new one.
+                let _ = std::fs::rename(from, to);
+            }
+        }
+    }
+    std::fs::rename(&tmp, path).map_err(|e| format!("renaming {tmp} into place: {e}"))
 }
 
 fn render_entry(e: &CacheEntry) -> String {

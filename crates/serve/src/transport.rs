@@ -1,0 +1,469 @@
+//! Socket transport for the persistent service: bind-address parsing, a
+//! TCP/Unix listener abstraction, and the fair per-client admission
+//! multiplexer behind `psdp serve --listen --bind …`.
+//!
+//! ## Roles
+//!
+//! * [`BindAddr`] / [`Listener`] — parse `tcp:<addr>` / `unix:<path>`
+//!   specs and accept connections, each split into an owned reader and
+//!   writer half so a per-connection reader thread and a per-connection
+//!   writer can run independently.
+//! * [`FairMux`] — the admission multiplexer: every connection gets its
+//!   own bounded queue, and the consumer drains them **round-robin**, one
+//!   item per non-empty queue per pass. A firehose client can fill only
+//!   its own queue (its reader thread then blocks, pushing backpressure
+//!   into its socket); other clients' items keep flowing at the same
+//!   per-pass rate.
+//!
+//! ## What stays deterministic
+//!
+//! Per-client response streams remain bitwise identical to the same
+//! requests submitted over stdin (`tests/determinism.rs` pins this across
+//! pools × shards × client counts): each connection parses with its own
+//! source/id state and its items reach the service in that client's
+//! submission order, so the per-client subsequence of the global
+//! submission order — and therefore the per-client response stream — is a
+//! pure function of that client's bytes. The *interleaving* across
+//! clients is scheduling-dependent by nature; only shared-fingerprint
+//! telemetry and typed `overloaded` outcomes can observe it (DESIGN.md
+//! §15).
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// A parsed `--bind` specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindAddr {
+    /// `tcp:<host>:<port>` — a TCP listening address (port `0` asks the
+    /// OS for a free port; the bound address is reported by
+    /// [`Listener::local_addr_string`]).
+    Tcp(String),
+    /// `unix:<path>` — a Unix-domain socket path (Unix targets only).
+    Unix(PathBuf),
+}
+
+impl BindAddr {
+    /// Parse a `--bind` spec: `tcp:<addr>` or `unix:<path>`.
+    ///
+    /// # Errors
+    /// A printable message for an unknown scheme or empty operand.
+    pub fn parse(spec: &str) -> Result<BindAddr, String> {
+        if let Some(addr) = spec.strip_prefix("tcp:") {
+            if addr.is_empty() {
+                return Err("empty tcp bind address (expected tcp:<host>:<port>)".to_string());
+            }
+            return Ok(BindAddr::Tcp(addr.to_string()));
+        }
+        if let Some(path) = spec.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err("empty unix socket path (expected unix:<path>)".to_string());
+            }
+            return Ok(BindAddr::Unix(PathBuf::from(path)));
+        }
+        Err(format!("unknown bind scheme in `{spec}` (expected tcp:<addr> or unix:<path>)"))
+    }
+}
+
+/// One accepted connection, split into independently owned halves so the
+/// reader thread and the response writer never contend.
+pub struct Connection {
+    /// The read half (requests in).
+    pub reader: Box<dyn Read + Send>,
+    /// The write half (responses out).
+    pub writer: Box<dyn Write + Send>,
+}
+
+/// A bound listening socket (TCP or Unix-domain).
+pub enum Listener {
+    /// A TCP listener.
+    Tcp(std::net::TcpListener),
+    /// A Unix-domain listener.
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixListener),
+}
+
+impl Listener {
+    /// Bind the address. For `unix:` paths a stale socket file from a
+    /// previous run is removed first (binding over it would otherwise
+    /// fail with "address in use" forever).
+    ///
+    /// # Errors
+    /// Printable bind failures; `unix:` specs on non-Unix targets.
+    pub fn bind(addr: &BindAddr) -> Result<Listener, String> {
+        match addr {
+            BindAddr::Tcp(a) => std::net::TcpListener::bind(a)
+                .map(Listener::Tcp)
+                .map_err(|e| format!("binding tcp:{a}: {e}")),
+            #[cfg(unix)]
+            BindAddr::Unix(p) => {
+                let _ = std::fs::remove_file(p);
+                std::os::unix::net::UnixListener::bind(p)
+                    .map(Listener::Unix)
+                    .map_err(|e| format!("binding unix:{}: {e}", p.display()))
+            }
+            #[cfg(not(unix))]
+            BindAddr::Unix(p) => Err(format!("unix:{} requires a Unix target", p.display())),
+        }
+    }
+
+    /// The bound address in `--bind` syntax (`tcp:127.0.0.1:41879`,
+    /// `unix:/run/psdp.sock`) — what a `tcp:…:0` caller needs to learn
+    /// the OS-assigned port.
+    pub fn local_addr_string(&self) -> String {
+        match self {
+            Listener::Tcp(l) => match l.local_addr() {
+                Ok(a) => format!("tcp:{a}"),
+                Err(_) => "tcp:<unknown>".to_string(),
+            },
+            #[cfg(unix)]
+            Listener::Unix(l) => match l.local_addr() {
+                Ok(a) => match a.as_pathname() {
+                    Some(p) => format!("unix:{}", p.display()),
+                    None => "unix:<unnamed>".to_string(),
+                },
+                Err(_) => "unix:<unknown>".to_string(),
+            },
+        }
+    }
+
+    /// Block for the next connection and split it into halves.
+    ///
+    /// # Errors
+    /// Printable accept / handle-clone failures.
+    pub fn accept(&self) -> Result<Connection, String> {
+        match self {
+            Listener::Tcp(l) => {
+                let (stream, _) = l.accept().map_err(|e| format!("accept: {e}"))?;
+                let reader = stream.try_clone().map_err(|e| format!("accept: {e}"))?;
+                Ok(Connection { reader: Box::new(reader), writer: Box::new(stream) })
+            }
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let (stream, _) = l.accept().map_err(|e| format!("accept: {e}"))?;
+                let reader = stream.try_clone().map_err(|e| format!("accept: {e}"))?;
+                Ok(Connection { reader: Box::new(reader), writer: Box::new(stream) })
+            }
+        }
+    }
+}
+
+/// One client's bounded queue inside the multiplexer.
+struct ClientQueue<T> {
+    items: VecDeque<T>,
+    open: bool,
+}
+
+/// Shared multiplexer state behind one lock.
+struct MuxState<T> {
+    queues: BTreeMap<u64, ClientQueue<T>>,
+    /// Registration order: the round-robin scan order.
+    order: Vec<u64>,
+    /// Next round-robin position in `order`.
+    cursor: usize,
+    /// False once the accept loop has stopped registering clients.
+    accepting: bool,
+}
+
+struct MuxInner<T> {
+    state: Mutex<MuxState<T>>,
+    /// Signalled when items arrive or producers close (wakes `next`).
+    ready: Condvar,
+    /// Signalled when `next` frees queue space (wakes blocked `push`es).
+    space: Condvar,
+    per_client_cap: usize,
+}
+
+/// The fair admission multiplexer: per-connection bounded queues drained
+/// round-robin by one consumer. Clone handles freely — producers (reader
+/// threads) and the consumer (the admission loop) share one instance.
+pub struct FairMux<T> {
+    inner: Arc<MuxInner<T>>,
+}
+
+impl<T> Clone for FairMux<T> {
+    fn clone(&self) -> Self {
+        FairMux { inner: Arc::clone(&self.inner) }
+    }
+}
+
+/// Recover the guard from a poisoned lock: a producer panicking while
+/// holding the mutex must not wedge every other connection.
+fn lock_state<T>(m: &Mutex<MuxState<T>>) -> MutexGuard<'_, MuxState<T>> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl<T> FairMux<T> {
+    /// A multiplexer whose per-client queues hold at most
+    /// `per_client_cap` items (`0` is treated as 1). A full queue blocks
+    /// that client's `push` — backpressure lands on the one connection
+    /// that produced it.
+    pub fn new(per_client_cap: usize) -> FairMux<T> {
+        FairMux {
+            inner: Arc::new(MuxInner {
+                state: Mutex::new(MuxState {
+                    queues: BTreeMap::new(),
+                    order: Vec::new(),
+                    cursor: 0,
+                    accepting: true,
+                }),
+                ready: Condvar::new(),
+                space: Condvar::new(),
+                per_client_cap: per_client_cap.max(1),
+            }),
+        }
+    }
+
+    /// Register a new client queue. Ids are caller-assigned and must be
+    /// unique among live clients; re-registering a live id is a no-op.
+    pub fn register(&self, client: u64) {
+        let mut state = lock_state(&self.inner.state);
+        if state.queues.contains_key(&client) {
+            return;
+        }
+        state.queues.insert(client, ClientQueue { items: VecDeque::new(), open: true });
+        state.order.push(client);
+    }
+
+    /// Queue one item for `client`, blocking while that client's queue is
+    /// at capacity. Returns `false` (dropping the item) if the client was
+    /// never registered or already closed.
+    pub fn push(&self, client: u64, item: T) -> bool {
+        let mut state = lock_state(&self.inner.state);
+        loop {
+            match state.queues.get_mut(&client) {
+                None => return false,
+                Some(q) if !q.open => return false,
+                Some(q) if q.items.len() < self.inner.per_client_cap => {
+                    q.items.push_back(item);
+                    self.inner.ready.notify_all();
+                    return true;
+                }
+                Some(_) => {
+                    state = self
+                        .inner
+                        .space
+                        .wait(state)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            }
+        }
+    }
+
+    /// Mark `client` closed: its already-queued items still drain, then
+    /// the queue is retired. Idempotent.
+    pub fn close_client(&self, client: u64) {
+        let mut state = lock_state(&self.inner.state);
+        if let Some(q) = state.queues.get_mut(&client) {
+            q.open = false;
+        }
+        // Wake the consumer (it may be waiting on this client's close to
+        // decide the stream is finished) and any push blocked on a queue
+        // that will never drain further.
+        self.inner.ready.notify_all();
+        self.inner.space.notify_all();
+    }
+
+    /// Declare that no further clients will register. Once every
+    /// registered client is closed and drained, `next` returns `None`.
+    pub fn finish_accepting(&self) {
+        lock_state(&self.inner.state).accepting = false;
+        self.inner.ready.notify_all();
+    }
+
+    /// Take the next item round-robin across non-empty client queues:
+    /// each pass visits the registered clients in order starting after
+    /// the previous hit, so every waiting client yields one item per pass
+    /// regardless of how deep any single queue is. Blocks while all
+    /// queues are empty but producers remain; returns `None` once
+    /// accepting has finished and every client is closed and drained.
+    pub fn next(&self) -> Option<T> {
+        let mut state = lock_state(&self.inner.state);
+        loop {
+            let n = state.order.len();
+            for off in 0..n {
+                let idx = (state.cursor + off) % n;
+                let Some(&cid) = state.order.get(idx) else { continue };
+                let Some(q) = state.queues.get_mut(&cid) else { continue };
+                let Some(item) = q.items.pop_front() else { continue };
+                state.cursor = (idx + 1) % n;
+                Self::retire_done(&mut state);
+                self.inner.space.notify_all();
+                return Some(item);
+            }
+            Self::retire_done(&mut state);
+            let live = state.queues.values().any(|q| q.open || !q.items.is_empty());
+            if !state.accepting && !live {
+                return None;
+            }
+            state = self.inner.ready.wait(state).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Close every queue, drop queued items, and stop accepting: the
+    /// teardown path for a consumer that exits before producers finish,
+    /// so no `push` can block forever against a drain that will never
+    /// come.
+    pub fn shutdown(&self) {
+        let mut state = lock_state(&self.inner.state);
+        state.accepting = false;
+        for q in state.queues.values_mut() {
+            q.open = false;
+            q.items.clear();
+        }
+        self.inner.ready.notify_all();
+        self.inner.space.notify_all();
+    }
+
+    /// Drop closed, drained queues so a long-lived server's scan order
+    /// does not grow with its connection history.
+    fn retire_done(state: &mut MuxState<T>) {
+        if state.queues.values().all(|q| q.open || !q.items.is_empty()) {
+            return;
+        }
+        // Keep the cursor pointing at the same surviving client (or 0).
+        let at = state.order.get(state.cursor).copied();
+        state.queues.retain(|_, q| q.open || !q.items.is_empty());
+        let MuxState { queues, order, cursor, .. } = state;
+        order.retain(|cid| queues.contains_key(cid));
+        *cursor = at
+            .and_then(|cid| order.iter().position(|&c| c == cid))
+            .unwrap_or(0)
+            .min(order.len().saturating_sub(1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+    use std::thread;
+
+    #[test]
+    fn bind_addr_parses_both_schemes_and_rejects_garbage() {
+        assert_eq!(
+            BindAddr::parse("tcp:127.0.0.1:0").unwrap(),
+            BindAddr::Tcp("127.0.0.1:0".to_string())
+        );
+        assert_eq!(
+            BindAddr::parse("unix:/tmp/x.sock").unwrap(),
+            BindAddr::Unix(PathBuf::from("/tmp/x.sock"))
+        );
+        assert!(BindAddr::parse("tcp:").is_err());
+        assert!(BindAddr::parse("unix:").is_err());
+        assert!(BindAddr::parse("127.0.0.1:80").is_err());
+        assert!(BindAddr::parse("udp:127.0.0.1:80").is_err());
+    }
+
+    #[test]
+    fn fair_mux_drains_round_robin_across_clients() {
+        let mux: FairMux<(u64, usize)> = FairMux::new(64);
+        mux.register(1);
+        mux.register(2);
+        // Client 1 is a firehose, client 2 trickles.
+        for i in 0..6 {
+            assert!(mux.push(1, (1, i)));
+        }
+        for i in 0..2 {
+            assert!(mux.push(2, (2, i)));
+        }
+        mux.close_client(1);
+        mux.close_client(2);
+        mux.finish_accepting();
+        let mut got = Vec::new();
+        while let Some(item) = mux.next() {
+            got.push(item);
+        }
+        // One item per non-empty client per pass: 1,2,1,2,1,1,1,1.
+        assert_eq!(
+            got,
+            vec![(1, 0), (2, 0), (1, 1), (2, 1), (1, 2), (1, 3), (1, 4), (1, 5)],
+            "firehose client must not starve the trickling one"
+        );
+    }
+
+    #[test]
+    fn fair_mux_bounds_each_client_queue() {
+        let mux: FairMux<usize> = FairMux::new(2);
+        mux.register(7);
+        assert!(mux.push(7, 0));
+        assert!(mux.push(7, 1));
+        // The third push must block until the consumer drains one item.
+        let producer = {
+            let mux = mux.clone();
+            thread::spawn(move || mux.push(7, 2))
+        };
+        assert_eq!(mux.next(), Some(0));
+        assert!(producer.join().unwrap_or(false));
+        mux.close_client(7);
+        mux.finish_accepting();
+        assert_eq!(mux.next(), Some(1));
+        assert_eq!(mux.next(), Some(2));
+        assert_eq!(mux.next(), None);
+    }
+
+    #[test]
+    fn fair_mux_rejects_pushes_to_unknown_or_closed_clients() {
+        let mux: FairMux<usize> = FairMux::new(4);
+        assert!(!mux.push(9, 0), "unregistered client");
+        mux.register(9);
+        assert!(mux.push(9, 1));
+        mux.close_client(9);
+        assert!(!mux.push(9, 2), "closed client");
+        mux.finish_accepting();
+        assert_eq!(mux.next(), Some(1), "queued items still drain after close");
+        assert_eq!(mux.next(), None);
+    }
+
+    #[test]
+    fn tcp_listener_accepts_and_splits_connections() {
+        let listener = Listener::bind(&BindAddr::parse("tcp:127.0.0.1:0").unwrap()).unwrap();
+        let addr = listener.local_addr_string();
+        let host = addr.strip_prefix("tcp:").unwrap().to_string();
+        let client = thread::spawn(move || {
+            let mut s = std::net::TcpStream::connect(&host).unwrap();
+            s.write_all(b"ping\n").unwrap();
+            let mut line = String::new();
+            BufReader::new(s).read_line(&mut line).unwrap();
+            line
+        });
+        let mut conn = listener.accept().unwrap();
+        let mut line = String::new();
+        BufReader::new(&mut conn.reader).read_line(&mut line).unwrap();
+        assert_eq!(line, "ping\n");
+        conn.writer.write_all(b"pong\n").unwrap();
+        conn.writer.flush().unwrap();
+        drop(conn);
+        assert_eq!(client.join().unwrap(), "pong\n");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_listener_round_trips_and_rebinds_over_stale_sockets() {
+        let path = std::env::temp_dir().join(format!("psdp-mux-{}.sock", std::process::id()));
+        let spec = format!("unix:{}", path.display());
+        // Bind twice: the second bind must clear the stale socket file.
+        let first = Listener::bind(&BindAddr::parse(&spec).unwrap()).unwrap();
+        drop(first);
+        let listener = Listener::bind(&BindAddr::parse(&spec).unwrap()).unwrap();
+        let client_path = path.clone();
+        let client = thread::spawn(move || {
+            let mut s = std::os::unix::net::UnixStream::connect(&client_path).unwrap();
+            s.write_all(b"ping\n").unwrap();
+            let mut line = String::new();
+            BufReader::new(s).read_line(&mut line).unwrap();
+            line
+        });
+        let mut conn = listener.accept().unwrap();
+        let mut line = String::new();
+        BufReader::new(&mut conn.reader).read_line(&mut line).unwrap();
+        assert_eq!(line, "ping\n");
+        conn.writer.write_all(b"pong\n").unwrap();
+        conn.writer.flush().unwrap();
+        drop(conn);
+        assert_eq!(client.join().unwrap(), "pong\n");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -34,6 +34,6 @@ pub use graphs::{edge_packing, edge_packing_sparse, gnp, grid, vertex_star_packi
 pub use mixed::{mixed_edge_cover, mixed_lp_diagonal};
 pub use random::{random_dense, random_factorized, RandomFactorized};
 pub use stream::{
-    mixed_request_stream, request_stream, stream_frames, stream_jsonl, KindedRequest,
-    MixedStreamSpec, RequestStreamSpec, StreamBatch, StreamKind, StreamRequest,
+    mixed_request_stream, multi_client_streams, request_stream, stream_frames, stream_jsonl,
+    KindedRequest, MixedStreamSpec, RequestStreamSpec, StreamBatch, StreamKind, StreamRequest,
 };

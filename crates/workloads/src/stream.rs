@@ -274,6 +274,30 @@ pub fn mixed_request_stream(spec: &MixedStreamSpec) -> StreamBatch {
     StreamBatch { packing, mixed, requests, eps: spec.eps }
 }
 
+/// Split the service workload into `clients` independent per-client
+/// streams with disjoint instance pools: client `c` regenerates the
+/// batch at a seed offset of `c`, so no two clients share a fingerprint.
+/// This is the multi-client determinism harness — each client's stream,
+/// submitted over its own socket connection, must produce responses
+/// bitwise identical to the same stream piped over stdin, and disjoint
+/// pools keep per-request telemetry (cache hits, prepared-state reuse)
+/// identical too, not just the response payloads.
+///
+/// # Panics
+/// Panics on zero `clients`; forwards the panics of
+/// [`mixed_request_stream`].
+pub fn multi_client_streams(spec: &MixedStreamSpec, clients: usize) -> Vec<StreamBatch> {
+    assert!(clients > 0, "clients must be positive");
+    (0..clients)
+        .map(|c| {
+            let mut per_client = *spec;
+            per_client.base.seed =
+                spec.base.seed.wrapping_add((c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            mixed_request_stream(&per_client)
+        })
+        .collect()
+}
+
 /// Minimal JSON string escaper for canonical instance text (quotes,
 /// backslashes, and control characters; everything else passes through).
 fn json_escape(s: &str) -> String {
@@ -489,6 +513,39 @@ mod tests {
             pos += 5 + len;
         }
         assert_eq!(pos, bytes.len(), "no trailing bytes after the last frame");
+    }
+
+    #[test]
+    fn multi_client_streams_are_disjoint_and_deterministic() {
+        let spec = MixedStreamSpec {
+            base: RequestStreamSpec { requests: 30, ..Default::default() },
+            ..Default::default()
+        };
+        let a = multi_client_streams(&spec, 3);
+        let b = multi_client_streams(&spec, 3);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(stream_jsonl(x), stream_jsonl(y), "per-client streams must be stable");
+        }
+        // Client 0 is the base stream verbatim.
+        assert_eq!(stream_jsonl(&a[0]), stream_jsonl(&mixed_request_stream(&spec)));
+        // Disjoint pools: no canonical instance text shared between clients.
+        let texts = |batch: &StreamBatch| -> std::collections::BTreeSet<String> {
+            batch
+                .packing
+                .iter()
+                .map(psdp_core::write_instance)
+                .chain(batch.mixed.iter().map(psdp_core::write_mixed_instance))
+                .collect()
+        };
+        for i in 0..a.len() {
+            for j in i + 1..a.len() {
+                assert!(
+                    texts(&a[i]).is_disjoint(&texts(&a[j])),
+                    "clients {i} and {j} share an instance"
+                );
+            }
+        }
     }
 
     #[test]

@@ -364,6 +364,87 @@ fn listen_text_and_binary_submissions_bitwise_across_thread_counts() {
     assert!(base.contains("\"memoized\":true") || base.contains("\"prep_reused\":true"), "{base}");
 }
 
+/// Serve the given per-client request streams over a loopback TCP socket
+/// (`--bind tcp:127.0.0.1:0 --max-clients N`) and return each client's
+/// response stream in client order. The server runs on the calling
+/// thread inside the requested rayon pool — the same pool-capture point
+/// a production `--bind` run uses.
+fn run_socket(threads: usize, shards: &str, inputs: &[String]) -> Vec<String> {
+    use std::io::{Read as _, Write as _};
+    let listener =
+        psdp_serve::Listener::bind(&psdp_serve::BindAddr::parse("tcp:127.0.0.1:0").unwrap())
+            .unwrap();
+    let addr = listener.local_addr_string().strip_prefix("tcp:").map(str::to_string).unwrap();
+    let clients: Vec<_> = inputs
+        .iter()
+        .cloned()
+        .map(|input| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut s = std::net::TcpStream::connect(&addr).unwrap();
+                s.write_all(input.as_bytes()).unwrap();
+                s.shutdown(std::net::Shutdown::Write).unwrap();
+                let mut out = String::new();
+                s.read_to_string(&mut out).unwrap();
+                out
+            })
+        })
+        .collect();
+    let argv =
+        ["serve", "--listen", "--shards", shards, "--max-clients", &inputs.len().to_string()];
+    let args = psdp_cli::args::Args::parse(&argv.map(String::from)).unwrap();
+    run_with_threads(threads, || {
+        psdp_cli::serve::serve_listen_socket_on(&args, listener).expect("socket serve runs");
+    });
+    clients.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+/// Multi-client socket serving: each client's response stream over its
+/// own connection must be **bitwise** identical to piping that client's
+/// request stream over stdin, across rayon pool sizes {1, 4} × shard
+/// counts {1, 4} × client counts {1, 4}. Per-client connections carry
+/// stdin-equivalent parse state, and the per-client pools are disjoint,
+/// so even the reuse telemetry matches — the transport cannot reach the
+/// bytes (DESIGN.md §15).
+#[test]
+fn socket_responses_bitwise_match_stdin_per_client() {
+    let spec = psdp_workloads::MixedStreamSpec {
+        base: psdp_workloads::RequestStreamSpec {
+            pool: 2,
+            requests: 4,
+            dim: 6,
+            n: 4,
+            zipf_s: 1.1,
+            thresholds: 2,
+            seed: 21,
+        },
+        mixed_pool: 1,
+        optimize_share: 0.2,
+        mixed_share: 0.2,
+        eps: 0.2,
+    };
+    for clients in [1usize, 4] {
+        let inputs: Vec<String> = psdp_workloads::multi_client_streams(&spec, clients)
+            .iter()
+            .map(psdp_workloads::stream_jsonl)
+            .collect();
+        let references: Vec<String> =
+            inputs.iter().map(|i| run_with_threads(1, || run_listen(&[], i))).collect();
+        for threads in [1usize, 4] {
+            for shards in ["1", "4"] {
+                let got = run_socket(threads, shards, &inputs);
+                for (c, (got, want)) in got.iter().zip(&references).enumerate() {
+                    assert_eq!(
+                        got, want,
+                        "client {c} socket bytes diverged at \
+                         threads={threads} shards={shards} clients={clients}"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Warm-starting from a snapshot flips reuse telemetry but must leave
 /// every result payload bitwise unchanged — the snapshot stores rebuild
 /// inputs, and rebuilt solvers are the solvers.

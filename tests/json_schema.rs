@@ -113,6 +113,21 @@ fn serve_response_schemas() {
     assert_schema("serve_error", lines[3]);
 }
 
+/// The typed `overloaded` line is rendered by `jsonfmt::overloaded_line`
+/// (never hand-rolled at a shed site), so one golden pins the schema for
+/// every shed path: a full shard queue, the adaptive p99 policy, and the
+/// per-client in-flight cap (`shard` null — the request was never
+/// routed). The golden carries the null variant, which the structural
+/// diff treats as a wildcard, so both variants must match it.
+#[test]
+fn serve_overloaded_schema() {
+    // Null-shard variant last: under PSDP_UPDATE_GOLDENS the final write
+    // becomes the golden, and only a null in the *golden* wildcards the
+    // routed variant's number.
+    assert_schema("serve_overloaded", &psdp_cli::jsonfmt::overloaded_line("r1", Some(3)));
+    assert_schema("serve_overloaded", &psdp_cli::jsonfmt::overloaded_line("r1", None));
+}
+
 /// The serve schemas must be supersets of the one-shot schemas: same
 /// payload fields plus `id` and `serve` (and `wall_ms` forced to null) —
 /// pinned here structurally so the two paths cannot drift apart.

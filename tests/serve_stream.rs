@@ -13,7 +13,10 @@
 //!    with its response or with a typed `overloaded` line.
 //! 3. **Snapshots are robust.** Write→load→write is a byte fixpoint for
 //!    any cache the service produces, and arbitrarily corrupted snapshot
-//!    bytes load as a clean error (cold start), never a panic.
+//!    bytes load as a clean error (cold start), never a panic. Saves are
+//!    atomic (tmp + rename): a stale torn `<path>.tmp` never corrupts
+//!    the next save, and with `--snapshot-keep` ≥ 2 a torn live file
+//!    warm-loads from the rotated generation instead of starting cold.
 
 use proptest::prelude::*;
 use psdp_core::DecisionOptions;
@@ -199,5 +202,49 @@ proptest! {
         let report = fresh.run_stream(std::iter::once(item), |_, _| answered += 1);
         prop_assert_eq!(report.errors, 0);
         prop_assert_eq!(answered, 1);
+    }
+
+    /// A stale `<path>.tmp` full of arbitrary bytes — what a crash
+    /// mid-save leaves behind — never corrupts the next save:
+    /// `save_to_path` rewrites the tmp and renames it into place, so the
+    /// live file holds exactly the new snapshot and the tmp slot is
+    /// consumed. A torn live file afterwards warm-loads from the rotated
+    /// generation when `--snapshot-keep` ≥ 2, and degrades to a clean
+    /// cold start when there is no fallback.
+    #[test]
+    fn torn_tmp_files_never_corrupt_saves(
+        garbage in proptest::collection::vec(0u32..256, 0..64),
+        keep in 1usize..4,
+        seed in 0u64..100,
+    ) {
+        let garbage: Vec<u8> = garbage.iter().map(|&b| b as u8).collect();
+        let service = populated_service(1, seed);
+        let snap = service.snapshot_string();
+        let path = std::env::temp_dir()
+            .join(format!("psdp-torn-{}-{seed}-{keep}.snap", std::process::id()));
+        let path_s = path.to_string_lossy().into_owned();
+        let tmp = format!("{path_s}.tmp");
+        std::fs::write(&tmp, &garbage).expect("tmp write");
+        psdp_serve::snapshot::save_to_path(&path_s, &snap, keep).expect("save succeeds");
+        prop_assert_eq!(std::fs::read_to_string(&path_s).expect("live readable"), snap.clone());
+        prop_assert!(!std::path::Path::new(&tmp).exists(), "tmp must be consumed by the rename");
+        // Save again (rotating the intact file into `.1`), then tear the
+        // live file mid-write.
+        psdp_serve::snapshot::save_to_path(&path_s, &snap, keep).expect("second save succeeds");
+        std::fs::write(&path_s, "psdp snapshot v1\nentries 1\ngar").expect("tear");
+        let keep_s = keep.to_string();
+        let (_, summary) =
+            run_mode(&["--snapshot", &path_s, "--snapshot-keep", &keep_s], "", true);
+        for g in psdp_serve::snapshot::generation_paths(&path_s, keep) {
+            let _ = std::fs::remove_file(&g);
+        }
+        if keep >= 2 {
+            prop_assert!(
+                summary.contains(&format!("warm-loaded 1 fingerprints from {path_s}.1")),
+                "wanted generation fallback, got: {}", summary
+            );
+        } else {
+            prop_assert!(summary.contains("starting cold"), "{}", summary);
+        }
     }
 }
